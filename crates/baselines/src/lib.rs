@@ -1,0 +1,28 @@
+//! # mf-baselines
+//!
+//! The four systems the paper compares against (§IV-A, Table I):
+//!
+//! 1. **cuSPARSE/cuBLAS v12.0** on the A100 — `Baseline::cusparse()`
+//! 2. **hipSPARSE/hipBLAS v2.3.8** on the MI210 — `Baseline::hipsparse()`
+//! 3. **PETSc v3.20** (`KSPSolve`) on the A100 — `Baseline::petsc()`
+//! 4. **Ginkgo v1.7.0** (`gko::solver::Cg/Bicgstab`) on the A100 —
+//!    `Baseline::ginkgo()`
+//!
+//! All four run the identical FP64 CSR multi-kernel algorithm (Algorithms
+//! 1–2 with one kernel per operation); they differ in their *overhead
+//! profile*: how much launch/synchronization and host-side orchestration
+//! each iteration pays. The profiles are calibrated so the relative
+//! ordering and rough magnitudes match the paper's Figs. 8–9 (see
+//! EXPERIMENTS.md): vendor libraries are the leanest; Ginkgo adds device-
+//! resident but still multi-kernel orchestration; PETSc's `KSPSolve` adds
+//! the heaviest per-iteration host logic (extra norms, convergence
+//! monitors, PetscObject overhead).
+//!
+//! Numerics are exact FP64 — iteration counts from these baselines are the
+//! "With cuSPARSE" columns of Table II.
+
+pub mod profile;
+pub mod solve;
+
+pub use profile::{Baseline, BaselineProfile};
+pub use solve::BaselineReport;

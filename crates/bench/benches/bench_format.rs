@@ -1,0 +1,70 @@
+//! Criterion: preprocessing costs — tiled-format construction (the Fig. 14
+//! subject), precision classification, and packed value decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mf_collection::{circuit_like, poisson2d, random_spd, ValueClass};
+use mf_precision::{classify_value, ClassifyOptions};
+use mf_sparse::TiledMatrix;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let cases = vec![
+        ("poisson_200x200", poisson2d(200, 200)),
+        ("random_spd_20k", random_spd(20_000, 6, ValueClass::Real, 1)),
+        ("circuit_16k", circuit_like(2_000, 8, 8_000, 0.05, 2)),
+    ];
+    let mut g = c.benchmark_group("tiled_build");
+    for (name, a) in &cases {
+        g.throughput(Throughput::Elements(a.nnz() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), a, |b, a| {
+            b.iter(|| TiledMatrix::from_csr(black_box(a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let a = circuit_like(2_000, 8, 8_000, 0.05, 3);
+    let opts = ClassifyOptions::default();
+    let mut g = c.benchmark_group("classify");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("per_nonzero", |b| {
+        b.iter(|| {
+            let mut h = [0usize; 4];
+            for &v in &a.vals {
+                h[classify_value(black_box(v), &opts).tile_code() as usize] += 1;
+            }
+            h
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let a = poisson2d(150, 150);
+    let t = TiledMatrix::from_csr(&a);
+    let mut g = c.benchmark_group("tile_decode");
+    g.throughput(Throughput::Elements(t.nnz() as u64));
+    g.bench_function("decode_all_tiles", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..t.tile_count() {
+                for v in t.decode_tile_values(i) {
+                    total += v;
+                }
+            }
+            total
+        })
+    });
+    g.bench_function("shared_tiles_load", |b| {
+        b.iter(|| mf_kernels::SharedTiles::load(black_box(&t)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_build, bench_classify, bench_decode
+}
+criterion_main!(benches);

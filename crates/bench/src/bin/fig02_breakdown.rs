@@ -1,0 +1,107 @@
+//! **Figure 2**: runtime breakdown (SpMV / dot / AXPY / synchronization) of
+//! the multi-kernel CG and BiCGSTAB baselines over the benchmark suites.
+//!
+//! The paper's finding: synchronization often exceeds 30% of runtime. Rows
+//! are bucketed by nonzero count so the size dependence is visible.
+
+use mf_baselines::Baseline;
+use mf_bench::{bicgstab_entries, cg_entries, harness::paper_rhs, iters_from_env, write_csv, Table};
+use mf_collection::SuiteEntry;
+use mf_gpu::Phase;
+use mf_solver::SolverConfig;
+use rayon::prelude::*;
+
+struct Row {
+    nnz: usize,
+    spmv: f64,
+    dot: f64,
+    axpy: f64,
+    sync: f64,
+}
+
+fn breakdown(entries: &[SuiteEntry], bicgstab: bool, iters: usize) -> Vec<Row> {
+    entries
+        .par_iter()
+        .map(|e| {
+            let a = e.generate();
+            let b = paper_rhs(&a);
+            let cfg = SolverConfig {
+                fixed_iterations: Some(iters),
+                ..SolverConfig::default()
+            };
+            let base = Baseline::cusparse();
+            let rep = if bicgstab {
+                base.solve_bicgstab(&a, &b, &cfg)
+            } else {
+                base.solve_cg(&a, &b, &cfg)
+            };
+            let tl = &rep.timeline;
+            let total = tl.total_us();
+            Row {
+                nnz: a.nnz(),
+                spmv: tl.get(Phase::Spmv) / total,
+                dot: tl.get(Phase::Dot) / total,
+                axpy: tl.get(Phase::Axpy) / total,
+                sync: (tl.get(Phase::Sync) + tl.get(Phase::Transfer)) / total,
+            }
+        })
+        .collect()
+}
+
+fn bucket_label(nnz: usize) -> &'static str {
+    match nnz {
+        0..=999 => "nnz<1e3",
+        1_000..=9_999 => "1e3..1e4",
+        10_000..=99_999 => "1e4..1e5",
+        100_000..=999_999 => "1e5..1e6",
+        _ => ">=1e6",
+    }
+}
+
+fn summarize(label: &str, rows: &[Row], table: &mut Table) {
+    println!("\n{label} (multi-kernel baseline, {} matrices)", rows.len());
+    println!("{:>10} {:>6} {:>7} {:>7} {:>7} {:>7}", "bucket", "count", "spmv%", "dot%", "axpy%", "sync%");
+    for bucket in ["nnz<1e3", "1e3..1e4", "1e4..1e5", "1e5..1e6", ">=1e6"] {
+        let in_bucket: Vec<&Row> = rows.iter().filter(|r| bucket_label(r.nnz) == bucket).collect();
+        if in_bucket.is_empty() {
+            continue;
+        }
+        let n = in_bucket.len() as f64;
+        let avg = |f: fn(&Row) -> f64| 100.0 * in_bucket.iter().map(|r| f(r)).sum::<f64>() / n;
+        let (s, d, a, y) = (
+            avg(|r| r.spmv),
+            avg(|r| r.dot),
+            avg(|r| r.axpy),
+            avg(|r| r.sync),
+        );
+        println!(
+            "{bucket:>10} {:>6} {s:>6.1} {d:>6.1} {a:>6.1} {y:>6.1}",
+            in_bucket.len()
+        );
+        table.row(vec![
+            label.to_string(),
+            bucket.to_string(),
+            in_bucket.len().to_string(),
+            format!("{s:.2}"),
+            format!("{d:.2}"),
+            format!("{a:.2}"),
+            format!("{y:.2}"),
+        ]);
+    }
+    let overall_sync = 100.0 * rows.iter().map(|r| r.sync).sum::<f64>() / rows.len() as f64;
+    println!("  overall mean sync share: {overall_sync:.1}% (paper: often > 30%)");
+}
+
+fn main() {
+    let iters = iters_from_env();
+    let mut table = Table::new(vec!["method", "bucket", "count", "spmv%", "dot%", "axpy%", "sync%"]);
+
+    println!("Figure 2 — runtime breakdown of the multi-kernel baselines ({iters} iterations)");
+    let cg = breakdown(&cg_entries(), false, iters);
+    summarize("CG", &cg, &mut table);
+    let bi = breakdown(&bicgstab_entries(), true, iters);
+    summarize("BiCGSTAB", &bi, &mut table);
+
+    let path = write_csv("fig02_breakdown", &table).unwrap();
+    println!("\ncsv -> {}", path.display());
+}

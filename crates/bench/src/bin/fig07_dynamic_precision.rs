@@ -1,0 +1,63 @@
+//! **Figure 7 companion**: the dynamic evolution of tile precisions in the
+//! on-chip copy across iterations. The paper's Fig. 7 illustrates four
+//! iterations of a 10×10 example; this binary traces the same mechanism at
+//! matrix scale — per iteration, how many tiles currently sit at each
+//! precision and how many columns bypass — on three matrices with distinct
+//! convergence characters.
+
+use mf_bench::{write_csv, Table};
+use mf_collection::named_matrix;
+use mf_gpu::DeviceSpec;
+use mf_solver::{MilleFeuille, SolverConfig};
+
+fn main() {
+    println!("Figure 7 — dynamic tile precision evolution (on-chip lowering + bypass)\n");
+    let mut table = Table::new(vec![
+        "matrix", "iteration", "fp64", "fp32", "fp16", "fp8", "bypassed_tiles",
+    ]);
+
+    for name in ["m3plates", "shallow_water1", "Muu"] {
+        let a = named_matrix(name).expect("named proxy").generate();
+        let mut b = vec![0.0; a.nrows];
+        a.matvec(&vec![1.0; a.ncols], &mut b);
+
+        let cfg = SolverConfig {
+            trace_partial: true,
+            max_iter: 400,
+            ..SolverConfig::default()
+        };
+        let rep = MilleFeuille::new(DeviceSpec::a100(), cfg).solve_cg(&a, &b);
+        println!(
+            "{name}: {} iterations, converged={}, {} on-chip conversions total",
+            rep.iterations, rep.converged, rep.spmv_stats.conversions
+        );
+        let hist = &rep.precision_history;
+        let step = (hist.len() / 10).max(1);
+        println!("  iter |   FP64   FP32   FP16    FP8 | bypassed tiles");
+        for (j, h) in hist.iter().enumerate() {
+            if j % step == 0 || j + 1 == hist.len() {
+                println!(
+                    "  {j:>4} | {:>6} {:>6} {:>6} {:>6} | {:>6}",
+                    h[0], h[1], h[2], h[3], rep.bypass_history[j]
+                );
+            }
+            table.row(vec![
+                name.to_string(),
+                j.to_string(),
+                h[0].to_string(),
+                h[1].to_string(),
+                h[2].to_string(),
+                h[3].to_string(),
+                rep.bypass_history[j].to_string(),
+            ]);
+        }
+        println!();
+    }
+    let path = write_csv("fig07_dynamic_precision", &table).unwrap();
+    println!("csv -> {}", path.display());
+    println!(
+        "Paper reference (Fig. 7): precision only ever decreases, the\n\
+         conversion happens once per level in the on-chip copy, and columns\n\
+         whose p-segments fall below ε·10⁻³ bypass entirely."
+    );
+}

@@ -1,0 +1,92 @@
+//! **Figure 8**: Mille-feuille vs the vendor baselines — cuSPARSE/cuBLAS on
+//! the NVIDIA A100 and hipSPARSE/hipBLAS on the AMD MI210 — for CG and
+//! BiCGSTAB with 100 iterations over the full suites.
+//!
+//! Paper reference numbers (geometric mean, max):
+//!   CG:       3.03× / 8.77× (A100)   2.68× / 7.14× (MI210)
+//!   BiCGSTAB: 2.65× / 7.51× (A100)   2.32× / 6.63× (MI210)
+
+use mf_baselines::Baseline;
+use mf_bench::{
+    bicgstab_entries, cg_entries, compare_bicgstab, compare_cg, iters_from_env, summarize,
+    write_csv, CompareRow, Table,
+};
+use mf_gpu::DeviceSpec;
+
+fn emit(label: &str, rows: &[CompareRow], paper_geo: f64, paper_max: f64) {
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    let s = summarize(&speedups);
+    println!(
+        "{label:<22} {:>4} matrices  geomean {:.2}x (paper {paper_geo:.2}x)  max {:.2}x (paper {paper_max:.2}x)  wins {:.0}%",
+        s.count,
+        s.geomean,
+        s.max,
+        100.0 * s.win_rate
+    );
+    // Top five speedups, like the paper's call-outs.
+    let mut sorted: Vec<&CompareRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.speedup.total_cmp(&a.speedup));
+    for r in sorted.iter().take(5) {
+        println!(
+            "    {:<22} nnz={:<9} {:>9.1}µs vs {:>9.1}µs -> {:.2}x [{:?}]",
+            r.name, r.nnz, r.mf_us, r.base_us, r.speedup, r.mf_mode
+        );
+    }
+
+    let mut table = Table::new(vec![
+        "name", "n", "nnz", "mf_us", "base_us", "speedup", "mode",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.name.clone(),
+            r.n.to_string(),
+            r.nnz.to_string(),
+            format!("{:.3}", r.mf_us),
+            format!("{:.3}", r.base_us),
+            format!("{:.4}", r.speedup),
+            format!("{:?}", r.mf_mode),
+        ]);
+    }
+    let csv = label.to_lowercase().replace([' ', '/'], "_");
+    let path = write_csv(&format!("fig08_{csv}"), &table).unwrap();
+    println!("    csv -> {}\n", path.display());
+}
+
+fn main() {
+    let iters = iters_from_env();
+    let cg = cg_entries();
+    let bi = bicgstab_entries();
+    println!(
+        "Figure 8 — Mille-feuille vs vendor libraries, {iters} iterations, {} SPD + {} nonsymmetric matrices\n",
+        cg.len(),
+        bi.len()
+    );
+
+    let a100 = DeviceSpec::a100();
+    let mi210 = DeviceSpec::mi210();
+
+    emit(
+        "CG vs cuSPARSE A100",
+        &compare_cg(&cg, &a100, &Baseline::cusparse(), iters),
+        3.03,
+        8.77,
+    );
+    emit(
+        "CG vs hipSPARSE MI210",
+        &compare_cg(&cg, &mi210, &Baseline::hipsparse(), iters),
+        2.68,
+        7.14,
+    );
+    emit(
+        "BiCGSTAB vs cuSPARSE A100",
+        &compare_bicgstab(&bi, &a100, &Baseline::cusparse(), iters),
+        2.65,
+        7.51,
+    );
+    emit(
+        "BiCGSTAB vs hipSPARSE MI210",
+        &compare_bicgstab(&bi, &mi210, &Baseline::hipsparse(), iters),
+        2.32,
+        6.63,
+    );
+}

@@ -1,0 +1,79 @@
+//! **Figure 9**: Mille-feuille vs PETSc v3.20 (`KSPSolve`) and Ginkgo
+//! v1.7.0 on the A100, CG and BiCGSTAB, 100 iterations.
+//!
+//! Paper reference numbers (geometric mean, max):
+//!   CG:       5.37× / 16.54× (PETSc)   4.36× / 15.69× (Ginkgo)
+//!   BiCGSTAB: 3.57× / 16.64× (PETSc)   3.78× / 11.73× (Ginkgo)
+
+use mf_baselines::Baseline;
+use mf_bench::{
+    bicgstab_entries, cg_entries, compare_bicgstab, compare_cg, iters_from_env, summarize,
+    write_csv, CompareRow, Table,
+};
+use mf_gpu::DeviceSpec;
+
+fn emit(label: &str, rows: &[CompareRow], paper_geo: f64, paper_max: f64) {
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    let s = summarize(&speedups);
+    println!(
+        "{label:<24} {:>4} matrices  geomean {:.2}x (paper {paper_geo:.2}x)  max {:.2}x (paper {paper_max:.2}x)",
+        s.count, s.geomean, s.max
+    );
+    let mut sorted: Vec<&CompareRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.speedup.total_cmp(&a.speedup));
+    for r in sorted.iter().take(3) {
+        println!(
+            "    {:<22} nnz={:<9} {:.2}x",
+            r.name, r.nnz, r.speedup
+        );
+    }
+    let mut table = Table::new(vec!["name", "n", "nnz", "mf_us", "base_us", "speedup"]);
+    for r in rows {
+        table.row(vec![
+            r.name.clone(),
+            r.n.to_string(),
+            r.nnz.to_string(),
+            format!("{:.3}", r.mf_us),
+            format!("{:.3}", r.base_us),
+            format!("{:.4}", r.speedup),
+        ]);
+    }
+    let csv = label.to_lowercase().replace([' ', '/'], "_");
+    let path = write_csv(&format!("fig09_{csv}"), &table).unwrap();
+    println!("    csv -> {}\n", path.display());
+}
+
+fn main() {
+    let iters = iters_from_env();
+    let cg = cg_entries();
+    let bi = bicgstab_entries();
+    println!(
+        "Figure 9 — Mille-feuille vs PETSc and Ginkgo on the A100, {iters} iterations\n"
+    );
+    let a100 = DeviceSpec::a100();
+
+    emit(
+        "CG vs PETSc",
+        &compare_cg(&cg, &a100, &Baseline::petsc(), iters),
+        5.37,
+        16.54,
+    );
+    emit(
+        "CG vs Ginkgo",
+        &compare_cg(&cg, &a100, &Baseline::ginkgo(), iters),
+        4.36,
+        15.69,
+    );
+    emit(
+        "BiCGSTAB vs PETSc",
+        &compare_bicgstab(&bi, &a100, &Baseline::petsc(), iters),
+        3.57,
+        16.64,
+    );
+    emit(
+        "BiCGSTAB vs Ginkgo",
+        &compare_bicgstab(&bi, &a100, &Baseline::ginkgo(), iters),
+        3.78,
+        11.73,
+    );
+}

@@ -1,0 +1,85 @@
+//! **Figure 12**: relative-error-vs-iteration curves of the mixed-precision
+//! Mille-feuille against the FP64 baseline for `minsurfo`, `m3plates` and
+//! `poisson3Da`.
+//!
+//! The reference solution is the converged FP64 solve; both solvers then
+//! re-run with error tracing against it.
+
+use mf_baselines::Baseline;
+use mf_bench::{harness::paper_rhs, write_csv, Table};
+use mf_collection::{named_matrix, SolverKind};
+use mf_gpu::DeviceSpec;
+use mf_solver::{MilleFeuille, SolverConfig};
+
+fn main() {
+    let mut table = Table::new(vec!["matrix", "iteration", "mixed_err", "fp64_err"]);
+    println!("Figure 12 — relative error vs iterations, mixed precision vs FP64\n");
+
+    for name in ["minsurfo", "m3plates", "poisson3Da"] {
+        let m = named_matrix(name).expect("named proxy");
+        let a = m.generate();
+        let b = paper_rhs(&a);
+
+        // Reference: converged FP64 baseline solve.
+        let ref_cfg = SolverConfig {
+            max_iter: 3000,
+            ..SolverConfig::default()
+        };
+        let reference = match m.kind {
+            SolverKind::Cg => Baseline::cusparse().solve_cg(&a, &b, &ref_cfg).x,
+            SolverKind::Bicgstab => Baseline::cusparse().solve_bicgstab(&a, &b, &ref_cfg).x,
+        };
+
+        let traced = |mixed: bool| -> Vec<f64> {
+            let cfg = SolverConfig {
+                mixed_precision: mixed,
+                partial_convergence: mixed,
+                trace_residuals: true,
+                max_iter: 3000,
+                reference_solution: Some(reference.clone()),
+                ..SolverConfig::default()
+            };
+            let solver = MilleFeuille::new(DeviceSpec::a100(), cfg);
+            let rep = match m.kind {
+                SolverKind::Cg => solver.solve_cg(&a, &b),
+                SolverKind::Bicgstab => solver.solve_bicgstab(&a, &b),
+            };
+            rep.error_history
+        };
+        let mixed = traced(true);
+        let fp64 = traced(false);
+
+        println!(
+            "{name}: mixed {} iters, fp64 {} iters",
+            mixed.len(),
+            fp64.len()
+        );
+        let len = mixed.len().max(fp64.len());
+        let step = (len / 12).max(1);
+        println!("  iter |    mixed rel-err    fp64 rel-err");
+        for j in 0..len {
+            let me = mixed.get(j).copied();
+            let fe = fp64.get(j).copied();
+            if j % step == 0 || j + 1 == len {
+                println!(
+                    "  {j:>4} | {:>15} {:>15}",
+                    me.map_or("-".into(), |v| format!("{v:.3e}")),
+                    fe.map_or("-".into(), |v| format!("{v:.3e}"))
+                );
+            }
+            table.row(vec![
+                name.to_string(),
+                j.to_string(),
+                me.map_or(String::new(), |v| format!("{v:.6e}")),
+                fe.map_or(String::new(), |v| format!("{v:.6e}")),
+            ]);
+        }
+        println!();
+    }
+    let path = write_csv("fig12_convergence_curves", &table).unwrap();
+    println!("csv -> {}", path.display());
+    println!(
+        "Paper reference: minsurfo-like matrices track the FP64 curve; m3plates'\n\
+         mixed curve lags slightly; poisson3Da alternates before both converge."
+    );
+}

@@ -1,0 +1,277 @@
+//! Suite-level experiment drivers shared by the figure binaries.
+
+use mf_baselines::Baseline;
+use mf_collection::{bicgstab_suite, cg_suite, SuiteEntry, SuiteOptions};
+use mf_gpu::DeviceSpec;
+use mf_kernels::ilu0;
+use mf_solver::{ExecutedMode, MilleFeuille, SolverConfig};
+use rayon::prelude::*;
+
+/// One comparison point (one matrix, Mille-feuille vs one baseline).
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Matrix name.
+    pub name: String,
+    /// Rows.
+    pub n: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// Mille-feuille modeled solve time, µs.
+    pub mf_us: f64,
+    /// Baseline modeled solve time, µs.
+    pub base_us: f64,
+    /// `base_us / mf_us`.
+    pub speedup: f64,
+    /// Mille-feuille iterations executed.
+    pub mf_iters: usize,
+    /// Baseline iterations executed.
+    pub base_iters: usize,
+    /// Execution mode Mille-feuille chose.
+    pub mf_mode: ExecutedMode,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Suite options from `MF_SUITE_COUNT` / `MF_MAX_NNZ` (defaults 60 /
+/// 2_000_000 — pass 230/686 and 4_000_000 for the paper-scale run).
+pub fn suite_options_from_env() -> SuiteOptions {
+    SuiteOptions {
+        count: env_usize("MF_SUITE_COUNT", 60),
+        max_nnz: env_usize("MF_MAX_NNZ", 2_000_000),
+        ..SuiteOptions::default()
+    }
+}
+
+/// Benchmark iteration count from `MF_ITERS` (paper: 100).
+pub fn iters_from_env() -> usize {
+    env_usize("MF_ITERS", 100)
+}
+
+/// The CG population (named SPD proxies + synthetic sweep).
+pub fn cg_entries() -> Vec<SuiteEntry> {
+    cg_suite(&suite_options_from_env())
+}
+
+/// The BiCGSTAB population.
+pub fn bicgstab_entries() -> Vec<SuiteEntry> {
+    bicgstab_suite(&suite_options_from_env())
+}
+
+/// Right-hand side the paper uses: `b = A · 1` (§IV-A).
+pub fn paper_rhs(a: &mf_sparse::Csr) -> Vec<f64> {
+    let mut b = vec![0.0; a.nrows];
+    a.matvec(&vec![1.0; a.ncols], &mut b);
+    b
+}
+
+fn mf_config(iters: usize) -> SolverConfig {
+    SolverConfig {
+        fixed_iterations: Some(iters),
+        ..SolverConfig::default()
+    }
+}
+
+/// Runs Mille-feuille vs a baseline on CG over a suite (`iters` fixed
+/// iterations each, paper Figs. 8–9), in parallel over matrices.
+pub fn compare_cg(
+    entries: &[SuiteEntry],
+    device: &DeviceSpec,
+    baseline: &Baseline,
+    iters: usize,
+) -> Vec<CompareRow> {
+    entries
+        .par_iter()
+        .map(|e| {
+            let a = e.generate();
+            let b = paper_rhs(&a);
+            let mf = MilleFeuille::new(device.clone(), mf_config(iters));
+            let rep = mf.solve_cg(&a, &b);
+            let base = baseline.solve_cg(&a, &b, &mf_config(iters));
+            CompareRow {
+                name: e.name.clone(),
+                n: a.nrows,
+                nnz: a.nnz(),
+                mf_us: rep.solve_us(),
+                base_us: base.solve_us(),
+                speedup: base.solve_us() / rep.solve_us(),
+                mf_iters: rep.iterations,
+                base_iters: base.iterations,
+                mf_mode: rep.mode,
+            }
+        })
+        .collect()
+}
+
+/// Runs Mille-feuille vs a baseline on BiCGSTAB over a suite.
+pub fn compare_bicgstab(
+    entries: &[SuiteEntry],
+    device: &DeviceSpec,
+    baseline: &Baseline,
+    iters: usize,
+) -> Vec<CompareRow> {
+    entries
+        .par_iter()
+        .map(|e| {
+            let a = e.generate();
+            let b = paper_rhs(&a);
+            let mf = MilleFeuille::new(device.clone(), mf_config(iters));
+            let rep = mf.solve_bicgstab(&a, &b);
+            let base = baseline.solve_bicgstab(&a, &b, &mf_config(iters));
+            CompareRow {
+                name: e.name.clone(),
+                n: a.nrows,
+                nnz: a.nnz(),
+                mf_us: rep.solve_us(),
+                base_us: base.solve_us(),
+                speedup: base.solve_us() / rep.solve_us(),
+                mf_iters: rep.iterations,
+                base_iters: base.iterations,
+                mf_mode: rep.mode,
+            }
+        })
+        .collect()
+}
+
+/// Preconditioned CG comparison (Fig. 10). Matrices whose ILU(0) breaks
+/// down are skipped, mirroring how the artifact filters failures.
+pub fn compare_pcg(
+    entries: &[SuiteEntry],
+    device: &DeviceSpec,
+    baseline: &Baseline,
+    iters: usize,
+) -> Vec<CompareRow> {
+    entries
+        .par_iter()
+        .filter_map(|e| {
+            let a = e.generate();
+            let ilu = ilu0(&a).ok()?;
+            let b = paper_rhs(&a);
+            let mf = MilleFeuille::new(device.clone(), mf_config(iters));
+            let rep = mf.solve_pcg_with(&a, &b, &ilu);
+            let base = baseline.solve_pcg_with(&a, &b, &mf_config(iters), &ilu);
+            Some(CompareRow {
+                name: e.name.clone(),
+                n: a.nrows,
+                nnz: a.nnz(),
+                mf_us: rep.solve_us(),
+                base_us: base.solve_us(),
+                speedup: base.solve_us() / rep.solve_us(),
+                mf_iters: rep.iterations,
+                base_iters: base.iterations,
+                mf_mode: rep.mode,
+            })
+        })
+        .collect()
+}
+
+/// Preconditioned BiCGSTAB comparison (Fig. 10).
+pub fn compare_pbicgstab(
+    entries: &[SuiteEntry],
+    device: &DeviceSpec,
+    baseline: &Baseline,
+    iters: usize,
+) -> Vec<CompareRow> {
+    entries
+        .par_iter()
+        .filter_map(|e| {
+            let a = e.generate();
+            let ilu = ilu0(&a).ok()?;
+            let b = paper_rhs(&a);
+            let mf = MilleFeuille::new(device.clone(), mf_config(iters));
+            let rep = mf.solve_pbicgstab_with(&a, &b, &ilu);
+            let base = baseline.solve_pbicgstab_with(&a, &b, &mf_config(iters), &ilu);
+            Some(CompareRow {
+                name: e.name.clone(),
+                n: a.nrows,
+                nnz: a.nnz(),
+                mf_us: rep.solve_us(),
+                base_us: base.solve_us(),
+                speedup: base.solve_us() / rep.solve_us(),
+                mf_iters: rep.iterations,
+                base_iters: base.iterations,
+                mf_mode: rep.mode,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_collection::SolverKind;
+
+    fn tiny_suite(kind: SolverKind) -> Vec<SuiteEntry> {
+        let opts = SuiteOptions {
+            count: 45,
+            max_nnz: 5_000,
+            seed: 7,
+        };
+        let all = match kind {
+            SolverKind::Cg => cg_suite(&opts),
+            SolverKind::Bicgstab => bicgstab_suite(&opts),
+        };
+        // Keep only the small synthetic entries for fast tests.
+        all.into_iter()
+            .filter(|e| e.name.starts_with("spd_") || e.name.starts_with("nonsym_"))
+            .take(6)
+            .collect()
+    }
+
+    #[test]
+    fn cg_comparison_produces_rows() {
+        let entries = tiny_suite(SolverKind::Cg);
+        let rows = compare_cg(&entries, &DeviceSpec::a100(), &Baseline::cusparse(), 10);
+        assert_eq!(rows.len(), entries.len());
+        for r in &rows {
+            assert!(r.mf_us > 0.0 && r.base_us > 0.0);
+            assert!(r.speedup.is_finite());
+            assert_eq!(r.mf_iters, 10);
+            assert_eq!(r.base_iters, 10);
+        }
+    }
+
+    #[test]
+    fn small_matrices_speed_up() {
+        // The paper's core claim, smoke-tested: on small systems the single
+        // kernel beats the multi-kernel baseline comfortably.
+        let entries = tiny_suite(SolverKind::Cg);
+        let rows = compare_cg(&entries, &DeviceSpec::a100(), &Baseline::cusparse(), 100);
+        let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+        let s = crate::stats::summarize(&speedups);
+        assert!(s.geomean > 1.5, "geomean {}", s.geomean);
+        assert!(s.win_rate > 0.9, "win rate {}", s.win_rate);
+    }
+
+    #[test]
+    fn bicgstab_comparison_runs() {
+        let entries = tiny_suite(SolverKind::Bicgstab);
+        let rows =
+            compare_bicgstab(&entries, &DeviceSpec::mi210(), &Baseline::hipsparse(), 10);
+        assert_eq!(rows.len(), entries.len());
+        assert!(rows.iter().all(|r| r.speedup > 0.0));
+    }
+
+    #[test]
+    fn preconditioned_comparisons_run() {
+        let entries = tiny_suite(SolverKind::Cg);
+        let rows = compare_pcg(&entries, &DeviceSpec::a100(), &Baseline::cusparse(), 10);
+        assert!(!rows.is_empty());
+        let nentries = tiny_suite(SolverKind::Bicgstab);
+        let nrows =
+            compare_pbicgstab(&nentries, &DeviceSpec::a100(), &Baseline::cusparse(), 10);
+        assert!(!nrows.is_empty());
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Don't set the vars — just exercise the default paths.
+        let opts = suite_options_from_env();
+        assert!(opts.count >= 1);
+        assert!(iters_from_env() >= 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # mf-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§IV). Each figure has a binary (`src/bin/figNN_*`)
+//! printing the same rows/series the paper plots, plus a CSV dump under
+//! `bench_out/`; Criterion benches (`benches/`) measure the real CPU wall
+//! time of the underlying kernels and solves on representative subsets.
+//!
+//! Sweep sizes are controlled by environment variables so a quick sanity
+//! run and the paper-scale run use the same binaries:
+//!
+//! | variable | default | paper scale |
+//! |---|---|---|
+//! | `MF_SUITE_COUNT` | 60 | 230 (CG) / 686 (BiCGSTAB full) |
+//! | `MF_MAX_NNZ` | 2_000_000 | 4_000_000 |
+//! | `MF_ITERS` | 100 | 100 |
+
+pub mod harness;
+pub mod stats;
+pub mod svg;
+pub mod table;
+
+pub use harness::{
+    iters_from_env,
+    bicgstab_entries, cg_entries, compare_cg, compare_bicgstab, compare_pcg,
+    compare_pbicgstab, suite_options_from_env, CompareRow,
+};
+pub use stats::{geomean, max_speedup, summarize, SpeedupSummary};
+pub use svg::{render_tile_map, write_tile_map_svg};
+pub use table::{write_csv, Table};

@@ -1,0 +1,92 @@
+//! Summary statistics (the paper reports geometric-mean and maximum
+//! speedups per comparison).
+
+/// Geometric mean of positive values (ignores non-finite/non-positive).
+pub fn geomean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|v| v.is_finite() && **v > 0.0)
+        .map(|v| v.ln())
+        .collect();
+    if logs.is_empty() {
+        return f64::NAN;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Maximum of finite values.
+pub fn max_speedup(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::NAN, f64::max)
+}
+
+/// Geomean/max/min summary of a speedup population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedupSummary {
+    /// Geometric mean.
+    pub geomean: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Population size.
+    pub count: usize,
+    /// Fraction of cases with speedup > 1.
+    pub win_rate: f64,
+}
+
+/// Summarizes a speedup population.
+pub fn summarize(speedups: &[f64]) -> SpeedupSummary {
+    let finite: Vec<f64> = speedups
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    let wins = finite.iter().filter(|v| **v > 1.0).count();
+    SpeedupSummary {
+        geomean: geomean(&finite),
+        max: max_speedup(&finite),
+        min: finite.iter().copied().fold(f64::NAN, f64::min),
+        count: finite.len(),
+        win_rate: if finite.is_empty() {
+            0.0
+        } else {
+            wins as f64 / finite.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn geomean_ignores_bad_values() {
+        assert!((geomean(&[1.0, 4.0, f64::NAN, -3.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary() {
+        let s = summarize(&[2.0, 8.0, 0.5]);
+        assert!((s.geomean - 2.0).abs() < 1e-12);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.count, 3);
+        assert!((s.win_rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_of_empty_is_nan() {
+        assert!(max_speedup(&[]).is_nan());
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal SVG rendering of tile-precision maps (the spy plots of the
+//! paper's Figs. 1 and 5–7). No dependencies — plain SVG text.
+
+use mf_precision::Precision;
+use mf_sparse::TiledMatrix;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Color of one precision, matching the paper's legend (blue FP64, green
+/// FP32, purple FP16, red FP8).
+pub fn precision_color(p: Precision) -> &'static str {
+    match p {
+        Precision::Fp64 => "#3B6FB6",
+        Precision::Fp32 => "#3FA45B",
+        Precision::Fp16 => "#8E5BA6",
+        Precision::Fp8 => "#D9534F",
+    }
+}
+
+/// Renders the tile-precision map of a matrix as an SVG spy plot. Each
+/// non-empty tile becomes one cell colored by its `TilePrec`; the canvas is
+/// scaled to at most `max_px` pixels on the long edge.
+pub fn render_tile_map<W: Write>(w: &mut W, m: &TiledMatrix, max_px: usize) -> std::io::Result<()> {
+    let cols = m.tile_cols.max(1);
+    let rows = m.tile_rows.max(1);
+    let cell = (max_px as f64 / cols.max(rows) as f64).clamp(0.25, 16.0);
+    let width = cols as f64 * cell;
+    let height = rows as f64 * cell;
+
+    writeln!(
+        w,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.1}" height="{height:.1}" viewBox="0 0 {width:.1} {height:.1}">"#
+    )?;
+    writeln!(
+        w,
+        r##"<rect width="{width:.1}" height="{height:.1}" fill="#ffffff"/>"##
+    )?;
+    for i in 0..m.tile_count() {
+        let x = m.tile_colidx[i] as f64 * cell;
+        let y = m.tile_rowidx[i] as f64 * cell;
+        writeln!(
+            w,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{cell:.2}" height="{cell:.2}" fill="{}"/>"#,
+            precision_color(m.tile_prec[i])
+        )?;
+    }
+    writeln!(w, "</svg>")
+}
+
+/// Writes the tile map under `bench_out/<name>.svg` and returns the path.
+pub fn write_tile_map_svg(name: &str, m: &TiledMatrix, max_px: usize) -> std::io::Result<PathBuf> {
+    let dir = Path::new("bench_out");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.svg"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    render_tile_map(&mut f, m, max_px)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::Coo;
+
+    fn sample() -> TiledMatrix {
+        let mut a = Coo::new(40, 40);
+        for i in 0..40 {
+            a.push(i, i, 2.0); // FP8 tiles
+        }
+        a.push(0, 39, 0.1); // an FP64 tile
+        TiledMatrix::from_csr(&a.to_csr())
+    }
+
+    #[test]
+    fn renders_valid_svg() {
+        let m = sample();
+        let mut buf = Vec::new();
+        render_tile_map(&mut buf, &m, 256).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        // One rect per tile + background.
+        assert_eq!(s.matches("<rect").count(), m.tile_count() + 1);
+        // Both colors present.
+        assert!(s.contains(precision_color(Precision::Fp8)));
+        assert!(s.contains(precision_color(Precision::Fp64)));
+    }
+
+    #[test]
+    fn colors_are_distinct() {
+        let colors: Vec<&str> = Precision::ALL.iter().map(|&p| precision_color(p)).collect();
+        let mut dedup = colors.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn empty_matrix_renders() {
+        let m = TiledMatrix::from_csr(&Coo::new(4, 4).to_csr());
+        let mut buf = Vec::new();
+        render_tile_map(&mut buf, &m, 64).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("</svg>"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # mf-collection
+//!
+//! Synthetic matrix collection standing in for the SuiteSparse Matrix
+//! Collection the paper benchmarks on (230 symmetric positive-definite
+//! matrices for CG, 686 nonsymmetric/indefinite matrices for BiCGSTAB —
+//! ~22 GB of downloads we replace with seeded generators).
+//!
+//! Three layers:
+//!
+//! * [`generators`] — structural families: Poisson stencils (2-D/3-D),
+//!   tridiagonal/banded systems, diagonal mass matrices, convection–
+//!   diffusion (nonsymmetric), circuit-like block matrices, random
+//!   diagonally-dominant SPD/nonsymmetric matrices. Each takes a
+//!   [`ValueClass`] controlling the *value distribution*, which is what
+//!   decides the precision classification (paper Fig. 1: mass/stencil
+//!   matrices are FP8/FP16-heavy, generic-real matrices stay FP64).
+//! * [`named`] — proxies for every matrix the paper calls out by name
+//!   (`bcsstm22`, `mesh3e1`, `garon2`, `nmos3`, `ASIC_320k`, …), generated
+//!   to match the real matrix's documented size, structure class and value
+//!   character. DESIGN.md documents this substitution.
+//! * [`suites`] — the benchmark sweeps: `cg_suite()` (230 SPD matrices) and
+//!   `bicgstab_suite()` (230 default / 686 full nonsymmetric matrices)
+//!   log-spaced over 10²…10⁷ nonzeros so the x-axis of Figs. 8–10 is
+//!   covered.
+//!
+//! Real `.mtx` files can replace any proxy through `mf_sparse::mm`.
+
+pub mod generators;
+pub mod named;
+pub mod suites;
+pub mod values;
+
+pub use generators::*;
+pub use named::{fig11_names, named_matrices, named_matrix, table2_names, NamedMatrix, SolverKind};
+pub use suites::{bicgstab_suite, cg_suite, SuiteEntry, SuiteOptions};
+pub use values::ValueClass;

@@ -1,0 +1,303 @@
+//! The global-memory dependency arrays of the single-kernel scheme
+//! (paper Fig. 6 and Algorithm 3).
+//!
+//! Three arrays coordinate the four steps of a CG iteration without any
+//! kernel boundary:
+//!
+//! * `d_s[row_tile]` — remaining tiles whose SpMV must land before the dot
+//!   product on that row-tile's result segment can start (Step A → B).
+//! * `d_d` — warps still working on the current dot product
+//!   (Step B → C and C → D use it in down/up-counting phases).
+//! * `d_a` — warps still working on the AXPY tail of the iteration
+//!   (Step D → next iteration's Step A).
+//!
+//! This module provides the *real atomic* implementation used by the
+//! threaded single-kernel engine: warps decrement with `fetch_sub(1,
+//! AcqRel)` and busy-wait with `spin_loop` until the counter drains, exactly
+//! the `atomicSub` / `while (...) threadfence()` pattern of Algorithm 3.
+//! The deterministic sequential engine doesn't spin, but it uses the same
+//! initial-value computation ([`DepArrays::init_ds`]) and charges the atomic
+//! traffic to the timeline.
+
+use mf_sparse::TiledMatrix;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Atomic dependency arrays shared by all warps of the single kernel.
+#[derive(Debug)]
+pub struct DepArrays {
+    /// Per row-tile: tiles remaining in Step A (`d_s` in the paper).
+    pub d_s: Vec<AtomicI64>,
+    /// Warps remaining in the current dot phase (`d_d`).
+    pub d_d: AtomicI64,
+    /// Warps remaining in the AXPY phase (`d_a`).
+    pub d_a: AtomicI64,
+    /// Snapshot of the initial `d_s` values for cheap per-iteration reset.
+    ds_init: Vec<i64>,
+    /// Warp count the scalar counters reset to.
+    warp_count: i64,
+}
+
+impl DepArrays {
+    /// Computes the initial `d_s` values for a matrix: the number of
+    /// non-empty tiles in each tile row (Fig. 6 initializes
+    /// `d_s = [1, 2, 2]` for a matrix with 1/2/2 tiles in its row tiles).
+    pub fn init_ds(m: &TiledMatrix) -> Vec<i64> {
+        let mut counts = vec![0i64; m.tile_rows];
+        for &tr in &m.tile_rowidx {
+            counts[tr as usize] += 1;
+        }
+        counts
+    }
+
+    /// Creates dependency arrays for `m` solved by `warp_count` warps.
+    pub fn new(m: &TiledMatrix, warp_count: usize) -> DepArrays {
+        let ds_init = Self::init_ds(m);
+        DepArrays {
+            d_s: ds_init.iter().map(|&v| AtomicI64::new(v)).collect(),
+            d_d: AtomicI64::new(warp_count as i64),
+            d_a: AtomicI64::new(warp_count as i64),
+            ds_init,
+            warp_count: warp_count as i64,
+        }
+    }
+
+    /// Number of warps the scalar counters track.
+    #[inline]
+    pub fn warp_count(&self) -> usize {
+        self.warp_count as usize
+    }
+
+    /// Resets all counters for the next iteration. Must only be called when
+    /// every warp has passed the Step-D barrier (single-threaded moment).
+    pub fn reset(&self) {
+        for (a, &v) in self.d_s.iter().zip(&self.ds_init) {
+            a.store(v, Ordering::Release);
+        }
+        self.d_d.store(self.warp_count, Ordering::Release);
+        self.d_a.store(self.warp_count, Ordering::Release);
+    }
+
+    /// Step A completion: one tile of `row_tile` finished its SpMV
+    /// (`atomicSub(d_s[TileRowidx[i]], 1)`).
+    #[inline]
+    pub fn complete_tile(&self, row_tile: usize) {
+        self.d_s[row_tile].fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Busy-waits until all tiles of `row_tile` have completed Step A
+    /// (`while d_s[warp_id] != 0 do threadfence()`). Returns the number of
+    /// polls performed (the modeled `Wait` cost is proportional).
+    pub fn wait_row_tile(&self, row_tile: usize) -> usize {
+        let mut polls = 0usize;
+        while self.d_s[row_tile].load(Ordering::Acquire) != 0 {
+            std::hint::spin_loop();
+            polls += 1;
+            if polls.is_multiple_of(1024) {
+                std::thread::yield_now(); // stay live even when oversubscribed
+            }
+        }
+        polls
+    }
+
+    /// Dot-phase completion (`atomicSub(d_d, 1)`).
+    #[inline]
+    pub fn complete_dot(&self) {
+        self.d_d.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Busy-waits for the dot phase to drain. Returns poll count.
+    pub fn wait_dot(&self) -> usize {
+        let mut polls = 0usize;
+        while self.d_d.load(Ordering::Acquire) != 0 {
+            std::hint::spin_loop();
+            polls += 1;
+            if polls.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+        }
+        polls
+    }
+
+    /// Re-arms the dot counter for the second dot product of the iteration
+    /// (Step C counts back up in the paper; re-arming down-counting is
+    /// equivalent and keeps one code path). Must be called by exactly one
+    /// warp while all others are between the B and C barriers — the solver
+    /// uses a dedicated leader warp.
+    #[inline]
+    pub fn rearm_dot(&self) {
+        self.d_d.store(self.warp_count, Ordering::Release);
+    }
+
+    /// AXPY-phase completion (`atomicSub(d_a, 1)`).
+    #[inline]
+    pub fn complete_axpy(&self) {
+        self.d_a.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Busy-waits for the AXPY phase to drain. Returns poll count.
+    pub fn wait_axpy(&self) -> usize {
+        let mut polls = 0usize;
+        while self.d_a.load(Ordering::Acquire) != 0 {
+            std::hint::spin_loop();
+            polls += 1;
+            if polls.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+        }
+        polls
+    }
+
+    /// Total atomic operations one full CG iteration performs: one per tile
+    /// (Step A) plus two dot completions and one AXPY completion per warp.
+    /// Used by the sequential engine to charge `Phase::Atomic`.
+    pub fn atomics_per_iteration(&self, tile_count: usize) -> usize {
+        tile_count + 3 * self.warp_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_precision::ClassifyOptions;
+    use mf_sparse::Coo;
+    use std::sync::atomic::AtomicUsize;
+
+    fn sample_matrix() -> TiledMatrix {
+        // The Fig. 6 example: 6x6, five tiles in three tile rows (1/2/2).
+        let mut a = Coo::new(6, 6);
+        for &(r, c) in &[
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 3),
+            (2, 4),
+            (3, 5),
+            (4, 0),
+            (5, 1),
+            (4, 4),
+            (5, 5),
+        ] {
+            a.push(r, c, 1.0);
+        }
+        TiledMatrix::from_csr_with(&a.to_csr(), 2, &ClassifyOptions::default())
+    }
+
+    #[test]
+    fn init_ds_counts_tiles_per_row_tile() {
+        let m = sample_matrix();
+        let ds = DepArrays::init_ds(&m);
+        assert_eq!(ds, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn sequential_protocol_drains() {
+        let m = sample_matrix();
+        let deps = DepArrays::new(&m, 3);
+        // Step A: complete all five tiles.
+        for i in 0..m.tile_count() {
+            deps.complete_tile(m.tile_rowidx[i] as usize);
+        }
+        for rt in 0..3 {
+            assert_eq!(deps.wait_row_tile(rt), 0);
+        }
+        // Step B: all three warps finish their dots.
+        for _ in 0..3 {
+            deps.complete_dot();
+        }
+        assert_eq!(deps.wait_dot(), 0);
+        deps.rearm_dot();
+        for _ in 0..3 {
+            deps.complete_dot();
+        }
+        assert_eq!(deps.wait_dot(), 0);
+        // Step D.
+        for _ in 0..3 {
+            deps.complete_axpy();
+        }
+        assert_eq!(deps.wait_axpy(), 0);
+        // Reset re-arms everything.
+        deps.reset();
+        assert_eq!(deps.d_s[1].load(Ordering::Acquire), 2);
+        assert_eq!(deps.d_d.load(Ordering::Acquire), 3);
+        assert_eq!(deps.d_a.load(Ordering::Acquire), 3);
+    }
+
+    #[test]
+    fn atomics_accounting() {
+        let m = sample_matrix();
+        let deps = DepArrays::new(&m, 3);
+        assert_eq!(deps.atomics_per_iteration(m.tile_count()), 5 + 9);
+    }
+
+    #[test]
+    fn threaded_barrier_works() {
+        // N threads play "warps": each completes a dot, then waits; all must
+        // get through — deadlock would hang the test (run under the harness
+        // timeout).
+        let m = sample_matrix();
+        let warps = 8;
+        let deps = DepArrays::new(&m, warps);
+        let through = AtomicUsize::new(0);
+        crossbeam::scope(|s| {
+            for _ in 0..warps {
+                s.spawn(|_| {
+                    deps.complete_dot();
+                    deps.wait_dot();
+                    through.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(through.load(Ordering::SeqCst), warps);
+        assert_eq!(deps.d_d.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn threaded_step_a_ordering() {
+        // One producer thread completes SpMV tiles with delays; consumer
+        // threads must observe d_s reach zero before proceeding.
+        let m = sample_matrix();
+        let deps = DepArrays::new(&m, 3);
+        let observed = AtomicUsize::new(0);
+        crossbeam::scope(|s| {
+            for rt in 0..3usize {
+                let deps = &deps;
+                let observed = &observed;
+                s.spawn(move |_| {
+                    deps.wait_row_tile(rt);
+                    observed.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            s.spawn(|_| {
+                for i in 0..m.tile_count() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    deps.complete_tile(m.tile_rowidx[i] as usize);
+                }
+            });
+        })
+        .unwrap();
+        assert_eq!(observed.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn repeated_iterations_with_reset() {
+        let m = sample_matrix();
+        let deps = DepArrays::new(&m, 2);
+        for _ in 0..5 {
+            for i in 0..m.tile_count() {
+                deps.complete_tile(m.tile_rowidx[i] as usize);
+            }
+            for rt in 0..m.tile_rows {
+                deps.wait_row_tile(rt);
+            }
+            deps.complete_dot();
+            deps.complete_dot();
+            deps.wait_dot();
+            deps.complete_axpy();
+            deps.complete_axpy();
+            deps.wait_axpy();
+            deps.reset();
+        }
+        assert_eq!(deps.d_a.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! # mf-gpu
+//!
+//! GPU execution-model substrate for the Mille-feuille reproduction.
+//!
+//! The paper runs on an NVIDIA A100 and an AMD MI210. This crate replaces the
+//! physical devices with an explicit *model* of the parts of GPU execution
+//! the paper's findings depend on:
+//!
+//! * [`device`] — device specifications (SM/CU count, clock, HBM bandwidth,
+//!   per-precision throughput, kernel launch/synchronization latency, shared
+//!   memory capacity) with presets for the paper's two GPUs (Table I).
+//! * [`cost`] — a roofline cost model: every kernel-level operation costs
+//!   `max(flops/throughput, bytes/bandwidth)`, de-rated for partial
+//!   occupancy, plus fixed launch overheads. This is what turns the *exact*
+//!   numerics computed by `mf-kernels` into modeled GPU runtimes.
+//! * [`timeline`] — a phase-tagged time ledger (SpMV/dot/AXPY/sync/…)
+//!   used to regenerate the paper's runtime-breakdown figure (Fig. 2).
+//! * [`sharedmem`] — the shared-memory capacity planner deciding which tiles
+//!   stay on-chip across iterations (§III-C) and whether the single-kernel
+//!   scheme applies at all (the ≈10⁶-nnz fallback).
+//! * [`schedule`] — the warp workload partitioner: load-balanced tile
+//!   assignment for SpMV (bounded nonzeros *and* tiles per warp) and
+//!   segment-based assignment for vector operations (§III-C).
+//! * [`deps`] — the `d_s`/`d_d`/`d_a` dependency arrays of Fig. 6, with a
+//!   real atomic implementation used by the threaded single-kernel engine
+//!   and helpers for the modeled sequential engine.
+
+pub mod cost;
+pub mod deps;
+pub mod device;
+pub mod schedule;
+pub mod sharedmem;
+pub mod timeline;
+
+pub use cost::CostModel;
+pub use deps::DepArrays;
+pub use device::{DeviceSpec, Vendor};
+pub use schedule::{SpmvSchedule, VectorSchedule};
+pub use sharedmem::ShmemPlan;
+pub use timeline::{Phase, Timeline};

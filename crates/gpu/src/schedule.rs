@@ -1,0 +1,332 @@
+//! Warp workload partitioning (paper §III-C).
+//!
+//! Two schedules exist, exactly as the paper describes:
+//!
+//! * **SpMV** — tiles are walked in storage order and assigned to the
+//!   current warp while neither the per-warp nonzero cap nor the per-warp
+//!   tile cap is exceeded; otherwise a new warp is opened. This bounds the
+//!   straggler (the slowest warp determines when Step A's dependencies
+//!   resolve).
+//! * **Vector ops (dot/AXPY)** — the vector is cut into segments of
+//!   `tile_size` elements (aligned with the tile columns, which the
+//!   partial-convergence retrieval of §III-D relies on). When segments ≤
+//!   warps each warp owns one segment; otherwise warps own contiguous runs
+//!   of segments.
+
+use mf_sparse::TiledMatrix;
+
+/// Default per-warp nonzero cap for the SpMV schedule.
+pub const MAX_NNZ_PER_WARP: usize = 1024;
+/// Default per-warp tile cap for the SpMV schedule.
+pub const MAX_TILES_PER_WARP: usize = 64;
+
+/// Assignment of tiles to warps for the SpMV step.
+#[derive(Clone, Debug)]
+pub struct SpmvSchedule {
+    /// Per warp: contiguous `[start, end)` range of tile indices.
+    pub warp_tiles: Vec<(usize, usize)>,
+    /// Per warp: total nonzeros assigned.
+    pub warp_nnz: Vec<usize>,
+}
+
+impl SpmvSchedule {
+    /// The paper's greedy builder with explicit caps.
+    pub fn build(m: &TiledMatrix, max_nnz: usize, max_tiles: usize) -> SpmvSchedule {
+        assert!(max_nnz > 0 && max_tiles > 0);
+        let t = m.tile_count();
+        let mut warp_tiles = Vec::new();
+        let mut warp_nnz = Vec::new();
+        let mut start = 0usize;
+        let mut nnz_acc = 0usize;
+        for i in 0..t {
+            let tile_nnz = (m.tile_nnz[i + 1] - m.tile_nnz[i]) as usize;
+            let tiles_acc = i - start;
+            if tiles_acc > 0 && (nnz_acc + tile_nnz > max_nnz || tiles_acc >= max_tiles) {
+                warp_tiles.push((start, i));
+                warp_nnz.push(nnz_acc);
+                start = i;
+                nnz_acc = 0;
+            }
+            nnz_acc += tile_nnz;
+        }
+        if start < t {
+            warp_tiles.push((start, t));
+            warp_nnz.push(nnz_acc);
+        }
+        SpmvSchedule {
+            warp_tiles,
+            warp_nnz,
+        }
+    }
+
+    /// Greedy builder with the paper-default caps.
+    pub fn build_default(m: &TiledMatrix) -> SpmvSchedule {
+        SpmvSchedule::build(m, MAX_NNZ_PER_WARP, MAX_TILES_PER_WARP)
+    }
+
+    /// Partitions tiles into at most `warps` contiguous groups with balanced
+    /// nonzero counts (used when the greedy schedule would exceed the number
+    /// of warps the kernel actually launches).
+    pub fn for_warps(m: &TiledMatrix, warps: usize) -> SpmvSchedule {
+        assert!(warps > 0);
+        let t = m.tile_count();
+        let total = m.nnz();
+        if t == 0 {
+            return SpmvSchedule {
+                warp_tiles: Vec::new(),
+                warp_nnz: Vec::new(),
+            };
+        }
+        let target = (total as f64 / warps as f64).max(1.0);
+        let mut warp_tiles = Vec::with_capacity(warps);
+        let mut warp_nnz = Vec::with_capacity(warps);
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for i in 0..t {
+            let tile_nnz = (m.tile_nnz[i + 1] - m.tile_nnz[i]) as usize;
+            acc += tile_nnz;
+            let groups_left = warps - warp_tiles.len();
+            let tiles_left = t - i - 1;
+            // Close the group when we reached the target, unless doing so
+            // would leave more groups than tiles.
+            if (acc as f64 >= target && groups_left > 1 && tiles_left + 1 >= groups_left)
+                || tiles_left + 1 == groups_left
+            {
+                warp_tiles.push((start, i + 1));
+                warp_nnz.push(acc);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < t {
+            warp_tiles.push((start, t));
+            warp_nnz.push(acc);
+        }
+        SpmvSchedule {
+            warp_tiles,
+            warp_nnz,
+        }
+    }
+
+    /// Number of warps in the schedule.
+    #[inline]
+    pub fn warp_count(&self) -> usize {
+        self.warp_tiles.len()
+    }
+
+    /// Load imbalance: max warp nonzeros over mean warp nonzeros (≥ 1).
+    pub fn imbalance(&self) -> f64 {
+        if self.warp_nnz.is_empty() {
+            return 1.0;
+        }
+        let max = *self.warp_nnz.iter().max().unwrap() as f64;
+        let mean =
+            self.warp_nnz.iter().sum::<usize>() as f64 / self.warp_nnz.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Assignment of vector segments to warps for dot/AXPY steps.
+#[derive(Clone, Debug)]
+pub struct VectorSchedule {
+    /// Vector length.
+    pub n: usize,
+    /// Segment length (= tile size, §III-D alignment).
+    pub segment_len: usize,
+    /// Number of segments (`ceil(n / segment_len)`).
+    pub num_segments: usize,
+    /// Per warp: contiguous `[start, end)` range of segment indices.
+    pub warp_segments: Vec<(usize, usize)>,
+}
+
+impl VectorSchedule {
+    /// Builds a schedule for a length-`n` vector cut into `segment_len`
+    /// segments over at most `max_warps` warps.
+    pub fn build(n: usize, segment_len: usize, max_warps: usize) -> VectorSchedule {
+        assert!(segment_len > 0 && max_warps > 0);
+        let num_segments = n.div_ceil(segment_len);
+        let warps = num_segments.min(max_warps);
+        let mut warp_segments = Vec::with_capacity(warps);
+        #[allow(clippy::manual_checked_ops)] // the zero guard covers the whole split block, not just the division
+        if warps > 0 {
+            // Even contiguous split of segments over warps.
+            let base = num_segments / warps;
+            let extra = num_segments % warps;
+            let mut s = 0usize;
+            for w in 0..warps {
+                let len = base + usize::from(w < extra);
+                warp_segments.push((s, s + len));
+                s += len;
+            }
+            debug_assert_eq!(s, num_segments);
+        }
+        VectorSchedule {
+            n,
+            segment_len,
+            num_segments,
+            warp_segments,
+        }
+    }
+
+    /// Number of warps in the schedule.
+    #[inline]
+    pub fn warp_count(&self) -> usize {
+        self.warp_segments.len()
+    }
+
+    /// Element range `[start, end)` of segment `s`.
+    #[inline]
+    pub fn segment_elems(&self, s: usize) -> (usize, usize) {
+        let lo = s * self.segment_len;
+        let hi = ((s + 1) * self.segment_len).min(self.n);
+        (lo, hi)
+    }
+
+    /// Elements owned by warp `w`.
+    pub fn warp_elems(&self, w: usize) -> (usize, usize) {
+        let (s0, s1) = self.warp_segments[w];
+        let lo = s0 * self.segment_len;
+        let hi = (s1 * self.segment_len).min(self.n);
+        (lo, hi)
+    }
+
+    /// Max elements any warp owns (the straggler of a vector step).
+    pub fn max_warp_elems(&self) -> usize {
+        (0..self.warp_count())
+            .map(|w| {
+                let (lo, hi) = self.warp_elems(w);
+                hi - lo
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::Coo;
+
+    fn tridiag(n: usize, ts: usize) -> TiledMatrix {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        TiledMatrix::from_csr_with(
+            &a.to_csr(),
+            ts,
+            &mf_precision::ClassifyOptions::default(),
+        )
+    }
+
+    #[test]
+    fn greedy_respects_caps() {
+        let m = tridiag(2000, 16);
+        let s = SpmvSchedule::build(&m, 100, 8);
+        for (w, &(lo, hi)) in s.warp_tiles.iter().enumerate() {
+            assert!(hi > lo);
+            assert!(hi - lo <= 8, "warp {w} has {} tiles", hi - lo);
+            // nnz cap can be exceeded only by a single oversized tile.
+            if hi - lo > 1 {
+                assert!(s.warp_nnz[w] <= 100 + 48);
+            }
+        }
+        // Every tile assigned exactly once, in order.
+        assert_eq!(s.warp_tiles[0].0, 0);
+        for i in 1..s.warp_count() {
+            assert_eq!(s.warp_tiles[i].0, s.warp_tiles[i - 1].1);
+        }
+        assert_eq!(s.warp_tiles.last().unwrap().1, m.tile_count());
+        assert_eq!(s.warp_nnz.iter().sum::<usize>(), m.nnz());
+    }
+
+    #[test]
+    fn for_warps_exact_partition() {
+        let m = tridiag(1000, 16);
+        for warps in [1, 2, 3, 7, 16, 64] {
+            let s = SpmvSchedule::for_warps(&m, warps);
+            assert!(s.warp_count() <= warps);
+            assert!(s.warp_count() >= 1);
+            assert_eq!(s.warp_nnz.iter().sum::<usize>(), m.nnz());
+            assert_eq!(s.warp_tiles.last().unwrap().1, m.tile_count());
+        }
+    }
+
+    #[test]
+    fn for_warps_more_warps_than_tiles() {
+        let m = tridiag(30, 16); // 2x2 tile grid, few tiles
+        let s = SpmvSchedule::for_warps(&m, 100);
+        assert!(s.warp_count() <= m.tile_count());
+        assert_eq!(s.warp_nnz.iter().sum::<usize>(), m.nnz());
+    }
+
+    #[test]
+    fn imbalance_reasonable_for_uniform_matrix() {
+        let m = tridiag(5000, 16);
+        let s = SpmvSchedule::for_warps(&m, 32);
+        assert!(s.imbalance() < 1.5, "imbalance {}", s.imbalance());
+    }
+
+    #[test]
+    fn empty_matrix_schedule() {
+        let m = TiledMatrix::from_csr(&Coo::new(4, 4).to_csr());
+        let s = SpmvSchedule::build_default(&m);
+        assert_eq!(s.warp_count(), 0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn vector_one_warp_per_segment_when_few() {
+        let v = VectorSchedule::build(64, 16, 100);
+        assert_eq!(v.num_segments, 4);
+        assert_eq!(v.warp_count(), 4);
+        for w in 0..4 {
+            assert_eq!(v.warp_segments[w], (w, w + 1));
+        }
+        assert_eq!(v.warp_elems(3), (48, 64));
+    }
+
+    #[test]
+    fn vector_distributes_when_many_segments() {
+        let v = VectorSchedule::build(10_000, 16, 8);
+        assert_eq!(v.warp_count(), 8);
+        assert_eq!(v.num_segments, 625);
+        // All segments covered, contiguous.
+        assert_eq!(v.warp_segments[0].0, 0);
+        for w in 1..8 {
+            assert_eq!(v.warp_segments[w].0, v.warp_segments[w - 1].1);
+        }
+        assert_eq!(v.warp_segments[7].1, 625);
+        // Balanced within one segment.
+        let sizes: Vec<usize> = (0..8)
+            .map(|w| v.warp_segments[w].1 - v.warp_segments[w].0)
+            .collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn ragged_tail_segment() {
+        let v = VectorSchedule::build(20, 16, 4);
+        assert_eq!(v.num_segments, 2);
+        assert_eq!(v.segment_elems(1), (16, 20));
+        assert_eq!(v.max_warp_elems(), 16);
+    }
+
+    #[test]
+    fn single_element_vector() {
+        let v = VectorSchedule::build(1, 16, 4);
+        assert_eq!(v.num_segments, 1);
+        assert_eq!(v.warp_count(), 1);
+        assert_eq!(v.warp_elems(0), (0, 1));
+    }
+}

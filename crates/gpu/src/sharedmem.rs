@@ -1,0 +1,187 @@
+//! Shared-memory capacity planning (paper §III-C).
+//!
+//! The single-kernel scheme loads the matrix into shared memory once and
+//! reuses it across all iterations. Three regimes exist:
+//!
+//! 1. Everything fits — all tiles are resident, iterations touch HBM only
+//!    for vectors.
+//! 2. Partial fit — tiles are placed greedily until the budget runs out;
+//!    the rest stays in global memory ("we utilize an array to track the
+//!    number of tiles loaded into shared memory within each warp").
+//! 3. Mostly global — the single-kernel scheme loses to the classic
+//!    multi-kernel path, so the solver falls back (the paper switches at
+//!    ~10⁶ nonzeros in Figs. 8–9).
+
+use crate::device::DeviceSpec;
+use mf_sparse::TiledMatrix;
+
+/// Fraction of physical shared memory the plan may occupy (the kernel also
+/// needs scratch for reductions and the `vis_flag` machinery).
+pub const USABLE_SHMEM_FRACTION: f64 = 0.75;
+
+/// The paper's single-kernel nnz threshold: beyond this the solver reverts
+/// to the multi-kernel path (Figs. 8–9 mark it on the x-axis).
+pub const SINGLE_KERNEL_NNZ_THRESHOLD: usize = 1_000_000;
+
+/// Placement decision for every tile of a matrix.
+#[derive(Clone, Debug)]
+pub struct ShmemPlan {
+    /// `in_shared[i]` — tile `i` is resident in shared memory.
+    pub in_shared: Vec<bool>,
+    /// Bytes of tile data placed in shared memory.
+    pub shared_bytes: usize,
+    /// Bytes of tile data left in global memory.
+    pub global_bytes: usize,
+    /// The device budget the plan was made against.
+    pub budget_bytes: usize,
+}
+
+impl ShmemPlan {
+    /// Plans tile placement for `matrix` on `device`.
+    ///
+    /// Tiles are taken in storage order (row-major over tiles) and admitted
+    /// while the running footprint — packed values plus intra-tile indices —
+    /// stays within the usable budget.
+    #[allow(clippy::needless_range_loop)] // i is a tile id used with several accessors
+    pub fn plan(matrix: &TiledMatrix, device: &DeviceSpec) -> ShmemPlan {
+        let budget =
+            (device.total_shared_mem() as f64 * USABLE_SHMEM_FRACTION) as usize;
+        let t = matrix.tile_count();
+        let mut in_shared = vec![false; t];
+        let mut shared = 0usize;
+        let mut global = 0usize;
+        for i in 0..t {
+            let bytes = Self::tile_bytes(matrix, i);
+            if shared + bytes <= budget {
+                in_shared[i] = true;
+                shared += bytes;
+            } else {
+                global += bytes;
+            }
+        }
+        ShmemPlan {
+            in_shared,
+            shared_bytes: shared,
+            global_bytes: global,
+            budget_bytes: budget,
+        }
+    }
+
+    /// On-chip footprint of one tile: packed values + 1-byte column indices
+    /// + the non-empty-row bookkeeping.
+    pub fn tile_bytes(matrix: &TiledMatrix, i: usize) -> usize {
+        let nnz = (matrix.tile_nnz[i + 1] - matrix.tile_nnz[i]) as usize;
+        let rows = (matrix.nonrow[i + 1] - matrix.nonrow[i]) as usize;
+        nnz * matrix.tile_prec[i].bytes() // values at tile precision
+            + nnz                          // csr_colidx (u8)
+            + rows * 5                     // row_index (u8) + csr_rowptr (u32)
+    }
+
+    /// `true` when every tile fits on-chip.
+    pub fn fits_fully(&self) -> bool {
+        self.global_bytes == 0
+    }
+
+    /// Fraction of tile bytes resident in shared memory.
+    pub fn resident_fraction(&self) -> f64 {
+        let total = self.shared_bytes + self.global_bytes;
+        if total == 0 {
+            1.0
+        } else {
+            self.shared_bytes as f64 / total as f64
+        }
+    }
+
+    /// The solver's mode decision (paper §III-C): run the single-kernel
+    /// scheme when the matrix is small enough that on-chip reuse wins;
+    /// otherwise fall back to the multi-kernel path.
+    pub fn use_single_kernel(matrix: &TiledMatrix, device: &DeviceSpec) -> bool {
+        if matrix.nnz() > SINGLE_KERNEL_NNZ_THRESHOLD {
+            return false;
+        }
+        let plan = Self::plan(matrix, device);
+        // "When ... most of which must be stored in global memory, and the
+        // overhead of the global memory accesses outweighs the performance
+        // benefits of a single kernel, we revert back to multi-kernel."
+        plan.resident_fraction() >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::{Coo, TiledMatrix};
+
+    fn diag_matrix(n: usize) -> TiledMatrix {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0);
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+                a.push(i + 1, i, -1.0);
+            }
+        }
+        TiledMatrix::from_csr(&a.to_csr())
+    }
+
+    #[test]
+    fn small_matrix_fits_fully() {
+        let m = diag_matrix(1000);
+        let plan = ShmemPlan::plan(&m, &DeviceSpec::a100());
+        assert!(plan.fits_fully());
+        assert_eq!(plan.resident_fraction(), 1.0);
+        assert!(plan.shared_bytes > 0);
+        assert!(ShmemPlan::use_single_kernel(&m, &DeviceSpec::a100()));
+    }
+
+    #[test]
+    fn budget_respected() {
+        let m = diag_matrix(5000);
+        let dev = DeviceSpec::a100();
+        let plan = ShmemPlan::plan(&m, &dev);
+        assert!(plan.shared_bytes <= plan.budget_bytes);
+        let sum: usize = (0..m.tile_count())
+            .map(|i| ShmemPlan::tile_bytes(&m, i))
+            .sum();
+        assert_eq!(plan.shared_bytes + plan.global_bytes, sum);
+    }
+
+    #[test]
+    fn tiny_device_overflows() {
+        let m = diag_matrix(3000);
+        let mut dev = DeviceSpec::a100();
+        dev.sm_count = 1;
+        dev.shared_mem_per_sm = 1024;
+        let plan = ShmemPlan::plan(&m, &dev);
+        assert!(!plan.fits_fully());
+        assert!(plan.resident_fraction() < 0.5);
+        assert!(!ShmemPlan::use_single_kernel(&m, &dev));
+    }
+
+    #[test]
+    fn nnz_threshold_forces_multi_kernel() {
+        // Even if it would fit, past the threshold the solver goes
+        // multi-kernel (tridiagonal with >1e6 nnz).
+        let m = diag_matrix(400_000); // ~1.2M nnz
+        assert!(m.nnz() > SINGLE_KERNEL_NNZ_THRESHOLD);
+        assert!(!ShmemPlan::use_single_kernel(&m, &DeviceSpec::a100()));
+    }
+
+    #[test]
+    fn tile_bytes_accounts_precision() {
+        // FP8 tiles cost 2 bytes/nnz (value + colidx), FP64 tiles 9.
+        let m = diag_matrix(64); // values 2.0/-1.0 -> FP8
+        let b = ShmemPlan::tile_bytes(&m, 0);
+        let nnz = (m.tile_nnz[1] - m.tile_nnz[0]) as usize;
+        let rows = (m.nonrow[1] - m.nonrow[0]) as usize;
+        assert_eq!(b, nnz * 2 + rows * 5);
+    }
+
+    #[test]
+    fn empty_matrix_plan() {
+        let m = TiledMatrix::from_csr(&Coo::new(8, 8).to_csr());
+        let plan = ShmemPlan::plan(&m, &DeviceSpec::a100());
+        assert!(plan.fits_fully());
+        assert_eq!(plan.shared_bytes, 0);
+    }
+}

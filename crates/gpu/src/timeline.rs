@@ -1,0 +1,240 @@
+//! Phase-tagged time ledger.
+//!
+//! Every modeled operation reports its cost to a [`Timeline`]; the harness
+//! reads back per-phase totals to regenerate the paper's runtime-breakdown
+//! figure (Fig. 2: SpMV / dot / AXPY / synchronization) and the
+//! preprocessing-proportion figure (Fig. 14).
+
+use std::fmt;
+
+/// Execution phases accounted separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Sparse matrix–vector products.
+    Spmv,
+    /// Dot products (including block reductions).
+    Dot,
+    /// AXPY / vector updates.
+    Axpy,
+    /// Sparse triangular solves (preconditioned variants).
+    SpTrsv,
+    /// Kernel launch + inter-kernel synchronization (the Finding-2 overhead).
+    Sync,
+    /// Device-to-host transfers (residual checks).
+    Transfer,
+    /// Atomic operations of the single-kernel dependency scheme.
+    Atomic,
+    /// Busy-wait time in the single-kernel dependency scheme.
+    Wait,
+    /// Format conversion, schedule construction, precision assignment.
+    Preprocess,
+    /// Preconditioner factorization (ILU0/IC0).
+    Factorize,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 10] = [
+        Phase::Spmv,
+        Phase::Dot,
+        Phase::Axpy,
+        Phase::SpTrsv,
+        Phase::Sync,
+        Phase::Transfer,
+        Phase::Atomic,
+        Phase::Wait,
+        Phase::Preprocess,
+        Phase::Factorize,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Phase::Spmv => 0,
+            Phase::Dot => 1,
+            Phase::Axpy => 2,
+            Phase::SpTrsv => 3,
+            Phase::Sync => 4,
+            Phase::Transfer => 5,
+            Phase::Atomic => 6,
+            Phase::Wait => 7,
+            Phase::Preprocess => 8,
+            Phase::Factorize => 9,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Spmv => "spmv",
+            Phase::Dot => "dot",
+            Phase::Axpy => "axpy",
+            Phase::SpTrsv => "sptrsv",
+            Phase::Sync => "sync",
+            Phase::Transfer => "transfer",
+            Phase::Atomic => "atomic",
+            Phase::Wait => "wait",
+            Phase::Preprocess => "preprocess",
+            Phase::Factorize => "factorize",
+        }
+    }
+}
+
+/// Accumulated modeled time per phase, in microseconds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    totals: [f64; 10],
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Adds `us` microseconds to `phase`.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, us: f64) {
+        debug_assert!(us >= 0.0 && us.is_finite(), "bad cost {us} for {phase:?}");
+        self.totals[phase.index()] += us;
+    }
+
+    /// Total of one phase in µs.
+    #[inline]
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.totals[phase.index()]
+    }
+
+    /// Grand total in µs.
+    pub fn total_us(&self) -> f64 {
+        self.totals.iter().sum()
+    }
+
+    /// Total excluding preprocessing and factorization (the per-iteration
+    /// solve time the paper reports separately from Fig. 14's preprocessing).
+    pub fn solve_us(&self) -> f64 {
+        self.total_us() - self.get(Phase::Preprocess) - self.get(Phase::Factorize)
+    }
+
+    /// Merges another timeline into this one.
+    pub fn merge(&mut self, other: &Timeline) {
+        for (a, b) in self.totals.iter_mut().zip(&other.totals) {
+            *a += b;
+        }
+    }
+
+    /// `(phase, µs, fraction-of-total)` rows for reporting, skipping zeros.
+    pub fn breakdown(&self) -> Vec<(Phase, f64, f64)> {
+        let total = self.total_us().max(f64::MIN_POSITIVE);
+        Phase::ALL
+            .iter()
+            .filter(|p| self.get(**p) > 0.0)
+            .map(|&p| (p, self.get(p), self.get(p) / total))
+            .collect()
+    }
+
+    /// The synchronization share of the total — the quantity Fig. 2 plots
+    /// (`Sync` + `Transfer` for the multi-kernel baselines; `Atomic` + `Wait`
+    /// for the single-kernel scheme).
+    pub fn sync_fraction(&self) -> f64 {
+        let s = self.get(Phase::Sync)
+            + self.get(Phase::Transfer)
+            + self.get(Phase::Atomic)
+            + self.get(Phase::Wait);
+        if self.total_us() == 0.0 {
+            0.0
+        } else {
+            s / self.total_us()
+        }
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total {:.2} µs [", self.total_us())?;
+        let mut first = true;
+        for (p, us, frac) in self.breakdown() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {:.2}µs ({:.0}%)", p.label(), us, frac * 100.0)?;
+            first = false;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_phase() {
+        let mut t = Timeline::new();
+        t.add(Phase::Spmv, 10.0);
+        t.add(Phase::Spmv, 5.0);
+        t.add(Phase::Sync, 15.0);
+        assert_eq!(t.get(Phase::Spmv), 15.0);
+        assert_eq!(t.get(Phase::Dot), 0.0);
+        assert_eq!(t.total_us(), 30.0);
+    }
+
+    #[test]
+    fn sync_fraction_matches_finding2() {
+        // A small multi-kernel iteration: 6 launches at 6.5 µs dominate.
+        let mut t = Timeline::new();
+        t.add(Phase::Sync, 6.0 * 6.5);
+        t.add(Phase::Spmv, 8.0);
+        t.add(Phase::Dot, 4.0);
+        t.add(Phase::Axpy, 6.0);
+        assert!(t.sync_fraction() > 0.5);
+    }
+
+    #[test]
+    fn solve_excludes_preprocess() {
+        let mut t = Timeline::new();
+        t.add(Phase::Preprocess, 100.0);
+        t.add(Phase::Spmv, 50.0);
+        t.add(Phase::Factorize, 25.0);
+        assert_eq!(t.solve_us(), 50.0);
+        assert_eq!(t.total_us(), 175.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Timeline::new();
+        a.add(Phase::Dot, 1.0);
+        let mut b = Timeline::new();
+        b.add(Phase::Dot, 2.0);
+        b.add(Phase::Wait, 3.0);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Dot), 3.0);
+        assert_eq!(a.get(Phase::Wait), 3.0);
+    }
+
+    #[test]
+    fn breakdown_skips_zero_phases() {
+        let mut t = Timeline::new();
+        t.add(Phase::Axpy, 2.0);
+        let rows = t.breakdown();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, Phase::Axpy);
+        assert!((rows[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut t = Timeline::new();
+        t.add(Phase::Spmv, 1.0);
+        let s = format!("{t}");
+        assert!(s.contains("spmv"));
+    }
+
+    #[test]
+    fn empty_timeline_is_sane() {
+        let t = Timeline::new();
+        assert_eq!(t.total_us(), 0.0);
+        assert_eq!(t.sync_fraction(), 0.0);
+        assert!(t.breakdown().is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the GPU execution-model substrate.
+
+use mf_gpu::{CostModel, DeviceSpec, ShmemPlan, SpmvSchedule, VectorSchedule};
+use mf_sparse::{Coo, TiledMatrix};
+use proptest::prelude::*;
+
+fn random_tiled(n: usize, extra: usize, seed: u64) -> TiledMatrix {
+    let mut state = seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(11);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut a = Coo::new(n, n);
+    for i in 0..n {
+        a.push(i, i, 2.0);
+    }
+    for _ in 0..extra {
+        let i = (next() as usize) % n;
+        let j = (next() as usize) % n;
+        a.push(i, j, ((next() % 16) as f64) - 8.0);
+    }
+    TiledMatrix::from_csr(&a.to_csr())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The roofline never prices negative or non-finite times and is
+    /// monotone in both work terms.
+    #[test]
+    fn roofline_monotone(flops in 0.0f64..1e12, bytes in 0.0f64..1e12, warps in 1usize..10_000) {
+        let m = CostModel::new(DeviceSpec::a100());
+        let t = m.roofline_us(flops, bytes, warps);
+        prop_assert!(t.is_finite() && t >= 0.0);
+        prop_assert!(m.roofline_us(flops * 2.0, bytes, warps) >= t);
+        prop_assert!(m.roofline_us(flops, bytes * 2.0, warps) >= t);
+        // More warps never slows things down.
+        prop_assert!(m.roofline_us(flops, bytes, warps * 2) <= t + 1e-12);
+    }
+
+    /// Kernel bodies respect the minimum-body floor.
+    #[test]
+    fn kernel_body_floor(flops in 0.0f64..1e9, bytes in 0.0f64..1e9, warps in 1usize..5_000) {
+        let m = CostModel::new(DeviceSpec::mi210());
+        prop_assert!(m.kernel_body_us(flops, bytes, warps) >= m.device.min_kernel_body_us);
+    }
+
+    /// Every SpMV schedule covers every tile exactly once, in order.
+    #[test]
+    fn spmv_schedule_partitions(n in 8usize..300, extra in 0usize..600, seed in 0u64..300, warps in 1usize..64) {
+        let m = random_tiled(n, extra, seed);
+        for s in [SpmvSchedule::build_default(&m), SpmvSchedule::for_warps(&m, warps)] {
+            prop_assert_eq!(s.warp_nnz.iter().sum::<usize>(), m.nnz());
+            let mut expected_start = 0;
+            for &(lo, hi) in &s.warp_tiles {
+                prop_assert_eq!(lo, expected_start);
+                prop_assert!(hi > lo);
+                expected_start = hi;
+            }
+            prop_assert_eq!(expected_start, m.tile_count());
+            prop_assert!(s.imbalance() >= 1.0 - 1e-12);
+        }
+    }
+
+    /// Vector schedules cover [0, n) exactly, contiguously.
+    #[test]
+    fn vector_schedule_covers(n in 1usize..10_000, seg in 1usize..64, warps in 1usize..512) {
+        let v = VectorSchedule::build(n, seg, warps);
+        prop_assert!(v.warp_count() >= 1);
+        prop_assert!(v.warp_count() <= warps);
+        let mut covered = 0usize;
+        for w in 0..v.warp_count() {
+            let (lo, hi) = v.warp_elems(w);
+            prop_assert_eq!(lo, covered);
+            covered = hi;
+        }
+        prop_assert_eq!(covered, n);
+        prop_assert!(v.max_warp_elems() >= n.div_ceil(v.warp_count()));
+    }
+
+    /// Shared-memory plans conserve bytes and respect the budget.
+    #[test]
+    fn shmem_plan_conserves(n in 8usize..400, extra in 0usize..800, seed in 0u64..300) {
+        let m = random_tiled(n, extra, seed);
+        let plan = ShmemPlan::plan(&m, &DeviceSpec::a100());
+        prop_assert!(plan.shared_bytes <= plan.budget_bytes);
+        let total: usize = (0..m.tile_count()).map(|i| ShmemPlan::tile_bytes(&m, i)).sum();
+        prop_assert_eq!(plan.shared_bytes + plan.global_bytes, total);
+        let f = plan.resident_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

@@ -1,0 +1,174 @@
+//! Vector (BLAS-1) kernels.
+//!
+//! The CG/BiCGSTAB loops use exactly these: dot products, `y ± αx` updates,
+//! `p = r + βp` recurrences and 2-norms. Sequential versions are the
+//! reference; `*_par` versions use rayon and are exercised by the suite-level
+//! experiment fan-out (per the hpc-parallel guides, parallel iterators are
+//! the idiomatic CPU analogue of the GPU grid).
+
+use rayon::prelude::*;
+
+/// Threshold below which the parallel versions fall back to sequential
+/// (rayon task overhead dwarfs tiny vectors).
+const PAR_THRESHOLD: usize = 8_192;
+
+/// Dot product `(x, y)`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Parallel dot product.
+pub fn dot_par(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        return dot(x, y);
+    }
+    x.par_iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Squared 2-norm.
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// 2-norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    norm2_sq(x).sqrt()
+}
+
+/// `y += alpha * x` (classic AXPY).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Parallel AXPY.
+pub fn axpy_par(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        return axpy(alpha, x, y);
+    }
+    y.par_iter_mut().zip(x).for_each(|(yi, xi)| {
+        *yi += alpha * xi;
+    });
+}
+
+/// `y = x + alpha * y` (XPAY — the `p = r + βp` recurrence of CG line 10).
+pub fn xpay(x: &[f64], alpha: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + alpha * *yi;
+    }
+}
+
+/// `z = x + alpha * y` written into `z`.
+pub fn waxpy(x: &[f64], alpha: f64, y: &[f64], z: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), z.len());
+    for i in 0..x.len() {
+        z[i] = x[i] + alpha * y[i];
+    }
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// `y = x`.
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// The BiCGSTAB direction update `p = r + beta * (p - omega * mu)`
+/// (Algorithm 2 line 13), fused as one pass.
+pub fn bicgstab_p_update(r: &[f64], beta: f64, omega: f64, mu: &[f64], p: &mut [f64]) {
+    debug_assert_eq!(r.len(), p.len());
+    debug_assert_eq!(mu.len(), p.len());
+    for i in 0..p.len() {
+        p[i] = r[i] + beta * (p[i] - omega * mu[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basics() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_par_matches_serial() {
+        let n = 20_000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let s = dot(&x, &y);
+        let p = dot_par(&x, &y);
+        assert!((s - p).abs() < 1e-9 * s.abs().max(1.0));
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn axpy_par_matches_serial() {
+        let n = 20_000;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y1 = vec![1.0; n];
+        let mut y2 = vec![1.0; n];
+        axpy(0.5, &x, &mut y1);
+        axpy_par(0.5, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn xpay_is_cg_p_update() {
+        // p = r + beta p
+        let mut p = vec![1.0, 2.0];
+        xpay(&[10.0, 20.0], 0.5, &mut p);
+        assert_eq!(p, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn waxpy_writes_output() {
+        let mut z = vec![0.0; 2];
+        waxpy(&[1.0, 2.0], 3.0, &[10.0, 20.0], &mut z);
+        assert_eq!(z, vec![31.0, 62.0]);
+    }
+
+    #[test]
+    fn scale_and_copy() {
+        let mut x = vec![1.0, -2.0];
+        scale(-2.0, &mut x);
+        assert_eq!(x, vec![-2.0, 4.0]);
+        let mut y = vec![0.0; 2];
+        copy(&x, &mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn bicgstab_update_formula() {
+        let mut p = vec![1.0, 1.0];
+        bicgstab_p_update(&[2.0, 3.0], 0.5, 0.25, &[4.0, 8.0], &mut p);
+        // p_i = r + 0.5*(p - 0.25*mu) = [2 + .5*(1-1), 3 + .5*(1-2)]
+        assert_eq!(p, vec![2.0, 2.5]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # mf-kernels
+//!
+//! Computational kernels for the Mille-feuille reproduction. All numerics
+//! here are *exact* (the modeled GPU time lives in `mf-gpu`): these are the
+//! operations the GPU kernels would perform, bit-faithful with respect to
+//! the storage precisions involved.
+//!
+//! * [`blas1`] — dot, AXPY and friends (sequential and rayon-parallel).
+//! * [`spmv`] — CSR SpMV, tiled SpMV, and the **mixed-precision SpMV with
+//!   tile bypass** of paper Algorithm 5 operating on the "shared memory"
+//!   copy of the tiles.
+//! * [`visflag`] — the convergent-elements retrieval of paper Algorithm 4
+//!   producing the per-column-segment `vis_flag` demands.
+//! * [`sptrsv`] — sparse triangular solves: naive, level-scheduled analysis,
+//!   and the recursive-block algorithm (paper §III-C, ref. \[41\]) used by the
+//!   preconditioned solvers.
+//! * [`ilu`] — ILU(0) and IC(0) factorizations for the PCG/PBiCGSTAB
+//!   variants.
+
+pub mod blas1;
+pub mod block_jacobi;
+pub mod ilu;
+pub mod spmv;
+pub mod sptrsv;
+pub mod visflag;
+
+pub use block_jacobi::BlockJacobi;
+pub use ilu::{ic0, ilu0, Ic0, Ilu0};
+pub use spmv::{spmv_csr, spmv_csr_par, spmv_mixed, spmv_tiled, spmv_tiled_par, MixedSpmvStats, SharedTiles};
+pub use sptrsv::{
+    level_schedule, sptrsv_lower, sptrsv_lower_recursive, sptrsv_upper, sptrsv_upper_recursive,
+    LevelSchedule,
+    RecursiveTrsvStats,
+};
+pub use visflag::{retrieve_vis_flags, VisFlag};

@@ -1,0 +1,467 @@
+//! Sparse matrix–vector products.
+//!
+//! Three kernels, mirroring the paper's implementations:
+//!
+//! * [`spmv_csr`] / [`spmv_csr_par`] — the FP64 CSR kernel the
+//!   cuSPARSE/hipSPARSE baselines call.
+//! * [`spmv_tiled`] — the tiled kernel at each tile's *initial* precision.
+//! * [`spmv_mixed`] — paper **Algorithm 5**: the tiled kernel driven by the
+//!   per-column `vis_flag` demands, with on-chip (shared-memory copy)
+//!   precision lowering and tile bypass.
+
+use crate::visflag::VisFlag;
+use mf_precision::Precision;
+use mf_sparse::{Csr, TiledMatrix};
+use rayon::prelude::*;
+
+/// Reference FP64 CSR SpMV: `y = A x`.
+pub fn spmv_csr(a: &Csr, x: &[f64], y: &mut [f64]) {
+    a.matvec(x, y);
+}
+
+/// Rayon-parallel FP64 CSR SpMV: `y = A x` (row-parallel, like one GPU
+/// thread per row).
+pub fn spmv_csr_par(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols);
+    assert_eq!(y.len(), a.nrows);
+    if a.nrows < 4_096 {
+        return spmv_csr(a, x, y);
+    }
+    y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+        let mut sum = 0.0;
+        for k in a.rowptr[r]..a.rowptr[r + 1] {
+            sum += a.vals[k] * x[a.colidx[k]];
+        }
+        *yr = sum;
+    });
+}
+
+/// Tiled SpMV at initial tile precisions: `y = A x`.
+pub fn spmv_tiled(m: &TiledMatrix, x: &[f64], y: &mut [f64]) {
+    m.matvec(x, y);
+}
+
+/// Rayon-parallel tiled SpMV: tiles are grouped by tile *row*, whose output
+/// row ranges are disjoint — so tile rows parallelize without atomics (the
+/// CPU analogue of assigning row tiles to independent thread blocks).
+pub fn spmv_tiled_par(m: &TiledMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), m.ncols);
+    assert_eq!(y.len(), m.nrows);
+    if m.nrows < 4_096 {
+        return spmv_tiled(m, x, y);
+    }
+    // Tiles are stored sorted by (tile_row, tile_col): record each tile
+    // row's contiguous range, indexed directly by tile row.
+    let t = m.tile_count();
+    let mut row_range: Vec<(usize, usize)> = vec![(0, 0); m.tile_rows];
+    let mut i = 0;
+    while i < t {
+        let tr = m.tile_rowidx[i] as usize;
+        let lo = i;
+        while i < t && m.tile_rowidx[i] as usize == tr {
+            i += 1;
+        }
+        row_range[tr] = (lo, i);
+    }
+    let ts = m.tile_size;
+    // Chunk y by tile row so each task owns its slice exclusively.
+    let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(m.tile_rows);
+    {
+        let mut rest = y;
+        for _ in 0..m.tile_rows {
+            let take = ts.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push(head);
+            rest = tail;
+        }
+    }
+    let mut tasks: Vec<(usize, &mut [f64])> = chunks.into_iter().enumerate().collect();
+    tasks.par_iter_mut().for_each(|(tr, yslice)| {
+        yslice.fill(0.0);
+        {
+            let (lo, hi) = row_range[*tr];
+            for i in lo..hi {
+                let base_col = m.tile_colidx[i] as usize * ts;
+                let nnz_base = m.tile_nnz[i] as usize;
+                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                    let r_in = m.row_index[ri] as usize;
+                    let mut sum = 0.0;
+                    for k in m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize {
+                        sum += m.tile_value(i, k - nnz_base)
+                            * x[base_col + m.csr_colidx[k] as usize];
+                    }
+                    yslice[r_in] += sum;
+                }
+            }
+        }
+    });
+}
+
+/// The "shared memory" copy of the matrix tiles held across iterations by
+/// the single-kernel scheme (§III-C). Values are decoded once at load time;
+/// the dynamic strategy (§III-D) lowers a tile's precision by requantizing
+/// this copy *in place* — a one-way, once-per-level conversion, exactly as
+/// the paper describes ("our precision conversion occurs only once in
+/// on-chip memory; thereafter, the low-precision values ... can be reused").
+#[derive(Clone, Debug)]
+pub struct SharedTiles {
+    /// Decoded values per tile.
+    pub values: Vec<Vec<f64>>,
+    /// Current (possibly lowered) precision per tile.
+    pub current_prec: Vec<Precision>,
+    /// Initial precision per tile (from `TilePrec`).
+    pub initial_prec: Vec<Precision>,
+}
+
+impl SharedTiles {
+    /// Loads (decodes) every tile — the one-time off-chip → on-chip copy.
+    pub fn load(m: &TiledMatrix) -> SharedTiles {
+        let t = m.tile_count();
+        let mut values = Vec::with_capacity(t);
+        for i in 0..t {
+            values.push(m.decode_tile_values(i));
+        }
+        SharedTiles {
+            values,
+            current_prec: m.tile_prec.clone(),
+            initial_prec: m.tile_prec.clone(),
+        }
+    }
+
+    /// Lowers tile `i` to `to` if that is strictly narrower than its current
+    /// precision, requantizing the on-chip copy. Returns `true` when a
+    /// conversion happened.
+    pub fn lower_tile(&mut self, i: usize, to: Precision) -> bool {
+        if to < self.current_prec[i] {
+            self.current_prec[i] = to;
+            to.quantize_slice(&mut self.values[i]);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets every tile to its initial precision by re-decoding from `m`
+    /// (used between independent solves on the same matrix).
+    pub fn reset(&mut self, m: &TiledMatrix) {
+        for i in 0..self.values.len() {
+            self.values[i] = m.decode_tile_values(i);
+            self.current_prec[i] = self.initial_prec[i];
+        }
+    }
+}
+
+/// Execution statistics of one mixed-precision SpMV — feeds both the cost
+/// model (weighted FLOPs/bytes) and the Fig. 11 per-precision accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MixedSpmvStats {
+    /// Tiles actually multiplied.
+    pub tiles_computed: usize,
+    /// Tiles skipped by the bypass rule.
+    pub tiles_bypassed: usize,
+    /// On-chip precision conversions performed during this call.
+    pub conversions: usize,
+    /// Nonzeros multiplied, by executed precision `[FP64, FP32, FP16, FP8]`.
+    pub nnz_by_prec: [usize; 4],
+    /// Nonzeros skipped by bypass.
+    pub nnz_bypassed: usize,
+}
+
+impl MixedSpmvStats {
+    /// FP64-equivalent FLOPs performed (2 per nonzero, weighted by the
+    /// executed precision's throughput ratio).
+    pub fn weighted_flops(&self) -> f64 {
+        let mut f = 0.0;
+        for (code, &n) in self.nnz_by_prec.iter().enumerate() {
+            let p = Precision::from_tile_code(code as u8).unwrap();
+            f += 2.0 * n as f64 * p.flop_cost();
+        }
+        f
+    }
+
+    /// Value bytes touched (per executed precision) — the bandwidth the
+    /// kernel would consume if the tile were streamed from global memory;
+    /// on-chip resident tiles don't pay it after the first load.
+    pub fn value_bytes(&self) -> usize {
+        self.nnz_by_prec
+            .iter()
+            .enumerate()
+            .map(|(code, &n)| n * Precision::from_tile_code(code as u8).unwrap().bytes())
+            .sum()
+    }
+
+    /// Total nonzeros considered (computed + bypassed).
+    pub fn nnz_total(&self) -> usize {
+        self.nnz_by_prec.iter().sum::<usize>() + self.nnz_bypassed
+    }
+
+    /// Merges another call's stats (per-iteration accumulation).
+    pub fn merge(&mut self, o: &MixedSpmvStats) {
+        self.tiles_computed += o.tiles_computed;
+        self.tiles_bypassed += o.tiles_bypassed;
+        self.conversions += o.conversions;
+        for i in 0..4 {
+            self.nnz_by_prec[i] += o.nnz_by_prec[i];
+        }
+        self.nnz_bypassed += o.nnz_bypassed;
+    }
+}
+
+/// Paper **Algorithm 5**: mixed-precision SpMV `y = A x` with per-column
+/// precision demands.
+///
+/// For every tile: look up `vis_flag[TileColidx[i]]`; bypass if demanded;
+/// otherwise lower the shared-memory copy once if the demand is narrower
+/// than the tile's current precision, and multiply using the (possibly
+/// lowered) on-chip values.
+///
+/// `vis_flags` must have one entry per tile column (`m.tile_cols`) — produced
+/// by [`crate::visflag::retrieve_vis_flags`] with `segment_len == tile_size`.
+pub fn spmv_mixed(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    vis_flags: &[VisFlag],
+    x: &[f64],
+    y: &mut [f64],
+) -> MixedSpmvStats {
+    assert_eq!(x.len(), m.ncols);
+    assert_eq!(y.len(), m.nrows);
+    assert!(
+        vis_flags.len() >= m.tile_cols,
+        "need one vis_flag per tile column: {} < {}",
+        vis_flags.len(),
+        m.tile_cols
+    );
+    y.fill(0.0);
+    let mut stats = MixedSpmvStats::default();
+
+    for i in 0..m.tile_count() {
+        let v_f = vis_flags[m.tile_colidx[i] as usize];
+        let tile_nnz = (m.tile_nnz[i + 1] - m.tile_nnz[i]) as usize;
+        if v_f == VisFlag::Bypass {
+            stats.tiles_bypassed += 1;
+            stats.nnz_bypassed += tile_nnz;
+            continue;
+        }
+        if let Some(demanded) = v_f.demanded() {
+            if shared.lower_tile(i, demanded) {
+                stats.conversions += 1;
+            }
+        }
+        let exec_prec = shared.current_prec[i];
+        stats.tiles_computed += 1;
+        stats.nnz_by_prec[exec_prec.tile_code() as usize] += tile_nnz;
+
+        let base_row = m.tile_rowidx[i] as usize * m.tile_size;
+        let base_col = m.tile_colidx[i] as usize * m.tile_size;
+        let nnz_base = m.tile_nnz[i] as usize;
+        let vals = &shared.values[i];
+        for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+            let r = base_row + m.row_index[ri] as usize;
+            let mut sum = 0.0;
+            for k in m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize {
+                sum += vals[k - nnz_base] * x[base_col + m.csr_colidx[k] as usize];
+            }
+            // atomicAdd(u[...], sum) in the kernel; plain add here because
+            // the sequential engine owns y exclusively.
+            y[r] += sum;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_precision::ClassifyOptions;
+    use mf_sparse::Coo;
+
+    fn all_keep(n: usize) -> Vec<VisFlag> {
+        vec![VisFlag::Keep; n]
+    }
+
+    fn sample() -> (Csr, TiledMatrix) {
+        let mut a = Coo::new(8, 8);
+        // Exact-in-FP8 values on a banded pattern.
+        for i in 0..8usize {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < 8 {
+                a.push(i, i + 1, -2.0);
+            }
+        }
+        let csr = a.to_csr();
+        let t = TiledMatrix::from_csr_with(&csr, 2, &ClassifyOptions::default());
+        (csr, t)
+    }
+
+    #[test]
+    fn tiled_parallel_matches_serial() {
+        let n = 8_000;
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0);
+            a.push(i, (i * 13 + 7) % n, 0.5);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+        }
+        let t = TiledMatrix::from_csr_with(&a.to_csr(), 16, &ClassifyOptions::default());
+        let x: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        spmv_tiled(&t, &x, &mut y1);
+        spmv_tiled_par(&t, &x, &mut y2);
+        for i in 0..n {
+            assert!((y1[i] - y2[i]).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn csr_serial_and_parallel_agree() {
+        let (csr, _) = sample();
+        let x: Vec<f64> = (0..8).map(|i| i as f64 - 4.0).collect();
+        let mut y1 = vec![0.0; 8];
+        let mut y2 = vec![0.0; 8];
+        spmv_csr(&csr, &x, &mut y1);
+        spmv_csr_par(&csr, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn parallel_large_matches() {
+        let n = 10_000;
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0);
+            a.push(i, (i * 7 + 1) % n, 0.5);
+        }
+        let csr = a.to_csr();
+        let x: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        spmv_csr(&csr, &x, &mut y1);
+        spmv_csr_par(&csr, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn mixed_with_all_keep_matches_tiled() {
+        let (_, t) = sample();
+        let mut shared = SharedTiles::load(&t);
+        let x: Vec<f64> = (0..8).map(|i| (i + 1) as f64).collect();
+        let mut y1 = vec![0.0; 8];
+        let mut y2 = vec![0.0; 8];
+        spmv_tiled(&t, &x, &mut y1);
+        let stats = spmv_mixed(&t, &mut shared, &all_keep(t.tile_cols), &x, &mut y2);
+        assert_eq!(y1, y2);
+        assert_eq!(stats.tiles_bypassed, 0);
+        assert_eq!(stats.conversions, 0);
+        assert_eq!(stats.nnz_total(), t.nnz());
+    }
+
+    #[test]
+    fn bypass_skips_columns() {
+        let (_, t) = sample();
+        let mut shared = SharedTiles::load(&t);
+        let mut flags = all_keep(t.tile_cols);
+        flags[0] = VisFlag::Bypass; // kill tile column 0 (matrix cols 0..2)
+        let x = vec![1.0; 8];
+        let mut y = vec![0.0; 8];
+        let stats = spmv_mixed(&t, &mut shared, &flags, &x, &mut y);
+        assert!(stats.tiles_bypassed > 0);
+        // Equivalent to multiplying with x zeroed on the bypassed columns.
+        let mut x2 = x.clone();
+        x2[0] = 0.0;
+        x2[1] = 0.0;
+        let mut y2 = vec![0.0; 8];
+        spmv_tiled(&t, &x2, &mut y2);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn lowering_happens_once() {
+        let (_, t) = sample();
+        let mut shared = SharedTiles::load(&t);
+        let mut flags = all_keep(t.tile_cols);
+        for f in flags.iter_mut() {
+            *f = VisFlag::Fp16;
+        }
+        let x = vec![1.0; 8];
+        let mut y = vec![0.0; 8];
+        // Values are FP8-exact -> tiles start at FP8, FP16 demand is *wider*,
+        // so no conversion may happen (one-way rule).
+        let s1 = spmv_mixed(&t, &mut shared, &flags, &x, &mut y);
+        assert_eq!(s1.conversions, 0);
+        assert!(shared.current_prec.iter().all(|&p| p == Precision::Fp8));
+    }
+
+    #[test]
+    fn lowering_quantizes_values() {
+        // A tile with a value only exact in FP64; demand FP16.
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 0.1);
+        let t = TiledMatrix::from_csr_with(&a.to_csr(), 2, &ClassifyOptions::default());
+        assert_eq!(t.tile_prec[0], Precision::Fp64);
+        let mut shared = SharedTiles::load(&t);
+        let flags = vec![VisFlag::Fp16];
+        let x = vec![1.0, 1.0];
+        let mut y = vec![0.0; 2];
+        let s = spmv_mixed(&t, &mut shared, &flags, &x, &mut y);
+        assert_eq!(s.conversions, 1);
+        assert_eq!(shared.current_prec[0], Precision::Fp16);
+        assert_eq!(y[0], Precision::Fp16.quantize(0.1));
+        // Second call: no further conversion.
+        let s2 = spmv_mixed(&t, &mut shared, &flags, &x, &mut y);
+        assert_eq!(s2.conversions, 0);
+        // Demanding FP8 later lowers further.
+        let s3 = spmv_mixed(&t, &mut shared, &[VisFlag::Fp8], &x, &mut y);
+        assert_eq!(s3.conversions, 1);
+        assert_eq!(y[0], Precision::Fp8.quantize(Precision::Fp16.quantize(0.1)));
+    }
+
+    #[test]
+    fn stats_weighted_flops() {
+        let s = MixedSpmvStats {
+            nnz_by_prec: [10, 0, 0, 80], // 10 FP64 + 80 FP8 nonzeros
+            ..Default::default()
+        };
+        let f = s.weighted_flops();
+        assert!((f - (2.0 * 10.0 + 2.0 * 80.0 * 0.125)).abs() < 1e-12);
+        assert_eq!(s.value_bytes(), 10 * 8 + 80);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = MixedSpmvStats {
+            tiles_computed: 1,
+            nnz_by_prec: [1, 0, 0, 0],
+            ..Default::default()
+        };
+        let b = MixedSpmvStats {
+            tiles_bypassed: 2,
+            nnz_bypassed: 5,
+            conversions: 1,
+            nnz_by_prec: [0, 0, 0, 3],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tiles_bypassed, 2);
+        assert_eq!(a.nnz_total(), 9);
+    }
+
+    #[test]
+    fn shared_reset_restores_precision() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 0.1);
+        let t = TiledMatrix::from_csr_with(&a.to_csr(), 2, &ClassifyOptions::default());
+        let mut shared = SharedTiles::load(&t);
+        shared.lower_tile(0, Precision::Fp8);
+        assert_eq!(shared.current_prec[0], Precision::Fp8);
+        shared.reset(&t);
+        assert_eq!(shared.current_prec[0], Precision::Fp64);
+        assert_eq!(shared.values[0][0], 0.1);
+    }
+}

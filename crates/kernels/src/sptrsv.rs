@@ -1,0 +1,439 @@
+//! Sparse triangular solves (SpTRSV).
+//!
+//! The preconditioned solvers (paper §III-C last paragraph, §IV-C) apply
+//! `M z = r` with `M = L U` from ILU(0), which needs two triangular solves
+//! per iteration. Three algorithms are provided:
+//!
+//! * [`sptrsv_lower`] / [`sptrsv_upper`] — plain substitution (the oracle).
+//! * [`level_schedule`] — dependency-level analysis; the number of levels is
+//!   what makes SpTRSV latency-bound on GPUs and is fed to the cost model.
+//! * [`sptrsv_lower_recursive`] / [`sptrsv_upper_recursive`] — the
+//!   **recursive block algorithm** (ref. \[41\]) the paper uses: a triangular
+//!   matrix is split into two smaller triangles and one square block; the
+//!   square block is applied with SpMV (parallel-friendly), recursing into
+//!   the triangles. §IV-C credits this for the large PCG/PBiCGSTAB speedups
+//!   on matrices with high-parallelism blocks.
+
+use mf_sparse::Csr;
+
+/// Forward substitution `L x = b`. `unit_diag` treats the diagonal as 1
+/// (entries on the diagonal are ignored if present).
+///
+/// # Panics
+/// Panics (in debug) if a non-unit diagonal entry is missing or zero.
+pub fn sptrsv_lower(l: &Csr, b: &[f64], unit_diag: bool) -> Vec<f64> {
+    assert_eq!(l.nrows, l.ncols);
+    assert_eq!(b.len(), l.nrows);
+    let n = l.nrows;
+    let mut x = b.to_vec();
+    for r in 0..n {
+        let mut sum = 0.0;
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (c, v) in l.row(r) {
+            if c < r {
+                sum += v * x[c];
+            } else if c == r && !unit_diag {
+                diag = v;
+            }
+        }
+        debug_assert!(diag != 0.0, "zero diagonal at row {r}");
+        x[r] = (x[r] - sum) / diag;
+    }
+    x
+}
+
+/// Backward substitution `U x = b`.
+pub fn sptrsv_upper(u: &Csr, b: &[f64], unit_diag: bool) -> Vec<f64> {
+    assert_eq!(u.nrows, u.ncols);
+    assert_eq!(b.len(), u.nrows);
+    let n = u.nrows;
+    let mut x = b.to_vec();
+    for r in (0..n).rev() {
+        let mut sum = 0.0;
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (c, v) in u.row(r) {
+            if c > r {
+                sum += v * x[c];
+            } else if c == r && !unit_diag {
+                diag = v;
+            }
+        }
+        debug_assert!(diag != 0.0, "zero diagonal at row {r}");
+        x[r] = (x[r] - sum) / diag;
+    }
+    x
+}
+
+/// Dependency levels of a triangular solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelSchedule {
+    /// Level of each row (0-based). Rows in the same level are independent.
+    pub level_of: Vec<usize>,
+    /// Number of levels — the sequential depth of the solve.
+    pub num_levels: usize,
+    /// Rows per level.
+    pub level_sizes: Vec<usize>,
+}
+
+/// Computes the dependency levels of a (structurally) triangular matrix.
+/// `lower = true` analyses `L` (dependencies are columns `< r`), otherwise
+/// `U` (columns `> r`).
+pub fn level_schedule(t: &Csr, lower: bool) -> LevelSchedule {
+    let n = t.nrows;
+    let mut level_of = vec![0usize; n];
+    let mut num_levels = 0usize;
+    let rows: Box<dyn Iterator<Item = usize>> = if lower {
+        Box::new(0..n)
+    } else {
+        Box::new((0..n).rev())
+    };
+    for r in rows {
+        let mut lvl = 0usize;
+        for (c, _) in t.row(r) {
+            let dep = if lower { c < r } else { c > r };
+            if dep {
+                lvl = lvl.max(level_of[c] + 1);
+            }
+        }
+        level_of[r] = lvl;
+        num_levels = num_levels.max(lvl + 1);
+    }
+    let mut level_sizes = vec![0usize; num_levels];
+    for &l in &level_of {
+        level_sizes[l] += 1;
+    }
+    LevelSchedule {
+        level_of,
+        num_levels,
+        level_sizes,
+    }
+}
+
+/// Work statistics of a recursive-block triangular solve, consumed by the
+/// cost model (the square-block SpMV part is parallel, the leaf part is
+/// level-bound only within each leaf).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecursiveTrsvStats {
+    /// Leaf triangles solved by substitution.
+    pub leaves: usize,
+    /// Rows of the largest leaf (bounds each leaf's sequential depth).
+    pub max_leaf_rows: usize,
+    /// Nonzeros applied in square-block SpMV updates (parallel work).
+    pub spmv_nnz: usize,
+    /// Nonzeros consumed inside leaf substitutions (sequential-ish work).
+    pub trsv_nnz: usize,
+    /// Recursion depth reached.
+    pub depth: usize,
+}
+
+/// Default leaf size of the recursive algorithm.
+pub const DEFAULT_TRSV_LEAF: usize = 64;
+
+/// Recursive-block forward solve `L x = b` (ref. \[41\]).
+pub fn sptrsv_lower_recursive(
+    l: &Csr,
+    b: &[f64],
+    unit_diag: bool,
+    leaf: usize,
+) -> (Vec<f64>, RecursiveTrsvStats) {
+    assert!(leaf >= 1);
+    assert_eq!(l.nrows, l.ncols);
+    assert_eq!(b.len(), l.nrows);
+    let mut x = b.to_vec();
+    let mut stats = RecursiveTrsvStats::default();
+    rec_lower(l, &mut x, 0, l.nrows, unit_diag, leaf, &mut stats, 1);
+    (x, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_lower(
+    l: &Csr,
+    x: &mut [f64],
+    lo: usize,
+    hi: usize,
+    unit: bool,
+    leaf: usize,
+    stats: &mut RecursiveTrsvStats,
+    depth: usize,
+) {
+    if hi <= lo {
+        return;
+    }
+    stats.depth = stats.depth.max(depth);
+    if hi - lo <= leaf {
+        // Leaf: substitution using only columns in [lo, hi) — everything to
+        // the left has already been applied by ancestor square blocks.
+        stats.leaves += 1;
+        stats.max_leaf_rows = stats.max_leaf_rows.max(hi - lo);
+        for r in lo..hi {
+            let mut sum = 0.0;
+            let mut diag = if unit { 1.0 } else { 0.0 };
+            for (c, v) in l.row(r) {
+                if c >= lo && c < r {
+                    sum += v * x[c];
+                    stats.trsv_nnz += 1;
+                } else if c == r && !unit {
+                    diag = v;
+                }
+            }
+            debug_assert!(diag != 0.0, "zero diagonal at row {r}");
+            x[r] = (x[r] - sum) / diag;
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    rec_lower(l, x, lo, mid, unit, leaf, stats, depth + 1);
+    // Square block A21 (rows mid..hi, cols lo..mid) applied as SpMV.
+    for r in mid..hi {
+        let mut sum = 0.0;
+        for (c, v) in l.row(r) {
+            if c >= lo && c < mid {
+                sum += v * x[c];
+                stats.spmv_nnz += 1;
+            }
+        }
+        x[r] -= sum;
+    }
+    rec_lower(l, x, mid, hi, unit, leaf, stats, depth + 1);
+}
+
+/// Recursive-block backward solve `U x = b`.
+pub fn sptrsv_upper_recursive(
+    u: &Csr,
+    b: &[f64],
+    unit_diag: bool,
+    leaf: usize,
+) -> (Vec<f64>, RecursiveTrsvStats) {
+    assert!(leaf >= 1);
+    assert_eq!(u.nrows, u.ncols);
+    assert_eq!(b.len(), u.nrows);
+    let mut x = b.to_vec();
+    let mut stats = RecursiveTrsvStats::default();
+    rec_upper(u, &mut x, 0, u.nrows, unit_diag, leaf, &mut stats, 1);
+    (x, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_upper(
+    u: &Csr,
+    x: &mut [f64],
+    lo: usize,
+    hi: usize,
+    unit: bool,
+    leaf: usize,
+    stats: &mut RecursiveTrsvStats,
+    depth: usize,
+) {
+    if hi <= lo {
+        return;
+    }
+    stats.depth = stats.depth.max(depth);
+    if hi - lo <= leaf {
+        stats.leaves += 1;
+        stats.max_leaf_rows = stats.max_leaf_rows.max(hi - lo);
+        for r in (lo..hi).rev() {
+            let mut sum = 0.0;
+            let mut diag = if unit { 1.0 } else { 0.0 };
+            for (c, v) in u.row(r) {
+                if c > r && c < hi {
+                    sum += v * x[c];
+                    stats.trsv_nnz += 1;
+                } else if c == r && !unit {
+                    diag = v;
+                }
+            }
+            debug_assert!(diag != 0.0, "zero diagonal at row {r}");
+            x[r] = (x[r] - sum) / diag;
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    rec_upper(u, x, mid, hi, unit, leaf, stats, depth + 1);
+    // Square block A12 (rows lo..mid, cols mid..hi) applied as SpMV.
+    for r in lo..mid {
+        let mut sum = 0.0;
+        for (c, v) in u.row(r) {
+            if c >= mid && c < hi {
+                sum += v * x[c];
+                stats.spmv_nnz += 1;
+            }
+        }
+        x[r] -= sum;
+    }
+    rec_upper(u, x, lo, mid, unit, leaf, stats, depth + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::{Coo, Dense};
+
+    fn lower_bidiag(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0 + (i % 3) as f64);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    fn random_lower(n: usize, extra: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        let mut state = 99u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for i in 0..n {
+            a.push(i, i, 3.0 + (i % 5) as f64);
+        }
+        for _ in 0..extra {
+            let r = next() % n;
+            if r == 0 {
+                continue;
+            }
+            let c = next() % r;
+            a.push(r, c, ((next() % 9) as f64 - 4.0) / 2.0);
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn lower_solve_matches_dense() {
+        let l = random_lower(40, 120);
+        let b: Vec<f64> = (0..40).map(|i| (i as f64).cos()).collect();
+        let x = sptrsv_lower(&l, &b, false);
+        let d = Dense::from_csr(&l);
+        let xd = d.solve(&b).unwrap();
+        for i in 0..40 {
+            assert!((x[i] - xd[i]).abs() < 1e-9 * xd[i].abs().max(1.0), "row {i}");
+        }
+    }
+
+    #[test]
+    fn upper_solve_matches_dense() {
+        let u = random_lower(40, 120).transpose();
+        let b: Vec<f64> = (0..40).map(|i| (i as f64).sin() + 2.0).collect();
+        let x = sptrsv_upper(&u, &b, false);
+        let d = Dense::from_csr(&u);
+        let xd = d.solve(&b).unwrap();
+        for i in 0..40 {
+            assert!((x[i] - xd[i]).abs() < 1e-9 * xd[i].abs().max(1.0), "row {i}");
+        }
+    }
+
+    #[test]
+    fn unit_diag_ignores_stored_diagonal() {
+        // L = [[7, 0], [2, 7]] with unit_diag: acts like [[1,0],[2,1]].
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 7.0);
+        a.push(1, 0, 2.0);
+        a.push(1, 1, 7.0);
+        let x = sptrsv_lower(&a.to_csr(), &[1.0, 5.0], true);
+        assert_eq!(x, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn levels_of_diagonal_matrix_is_one() {
+        let mut a = Coo::new(5, 5);
+        for i in 0..5 {
+            a.push(i, i, 1.0);
+        }
+        let s = level_schedule(&a.to_csr(), true);
+        assert_eq!(s.num_levels, 1);
+        assert_eq!(s.level_sizes, vec![5]);
+    }
+
+    #[test]
+    fn levels_of_bidiagonal_is_n() {
+        let l = lower_bidiag(10);
+        let s = level_schedule(&l, true);
+        assert_eq!(s.num_levels, 10);
+        assert!(s.level_of.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn levels_of_upper() {
+        let u = lower_bidiag(10).transpose();
+        let s = level_schedule(&u, false);
+        assert_eq!(s.num_levels, 10);
+        assert_eq!(s.level_of[9], 0); // last row solves first
+        assert_eq!(s.level_of[0], 9);
+    }
+
+    #[test]
+    fn block_diagonal_has_few_levels() {
+        // Two independent 3-chains: levels = 3, not 6.
+        let mut a = Coo::new(6, 6);
+        for i in 0..6 {
+            a.push(i, i, 1.0);
+        }
+        a.push(1, 0, 1.0);
+        a.push(2, 1, 1.0);
+        a.push(4, 3, 1.0);
+        a.push(5, 4, 1.0);
+        let s = level_schedule(&a.to_csr(), true);
+        assert_eq!(s.num_levels, 3);
+        assert_eq!(s.level_sizes, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn recursive_matches_plain_lower() {
+        for leaf in [1, 2, 8, 64] {
+            let l = random_lower(100, 400);
+            let b: Vec<f64> = (0..100).map(|i| ((i * i) % 17) as f64 - 8.0).collect();
+            let plain = sptrsv_lower(&l, &b, false);
+            let (rec, stats) = sptrsv_lower_recursive(&l, &b, false, leaf);
+            for i in 0..100 {
+                assert!(
+                    (plain[i] - rec[i]).abs() < 1e-10 * plain[i].abs().max(1.0),
+                    "leaf {leaf} row {i}"
+                );
+            }
+            assert!(stats.leaves >= 1);
+            assert!(stats.max_leaf_rows <= leaf.max(1));
+        }
+    }
+
+    #[test]
+    fn recursive_matches_plain_upper() {
+        for leaf in [1, 4, 32] {
+            let u = random_lower(80, 300).transpose();
+            let b: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).sin()).collect();
+            let plain = sptrsv_upper(&u, &b, false);
+            let (rec, _) = sptrsv_upper_recursive(&u, &b, false, leaf);
+            for i in 0..80 {
+                assert!(
+                    (plain[i] - rec[i]).abs() < 1e-10 * plain[i].abs().max(1.0),
+                    "leaf {leaf} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_stats_account_all_offdiag_nnz() {
+        let l = random_lower(64, 200);
+        let b = vec![1.0; 64];
+        let (_, stats) = sptrsv_lower_recursive(&l, &b, false, 8);
+        // Every strictly-lower nonzero is consumed exactly once, either in a
+        // leaf or in a square-block SpMV.
+        let strict_lower = l.nnz() - 64; // diagonal entries excluded
+        assert_eq!(stats.spmv_nnz + stats.trsv_nnz, strict_lower);
+        assert!(stats.spmv_nnz > 0, "recursion must offload work to SpMV");
+        assert!(stats.depth > 1);
+    }
+
+    #[test]
+    fn recursive_unit_diag() {
+        let mut a = Coo::new(3, 3);
+        a.push(1, 0, 2.0);
+        a.push(2, 1, 3.0);
+        let (x, _) = sptrsv_lower_recursive(&a.to_csr(), &[1.0, 0.0, 0.0], true, 1);
+        assert_eq!(x, vec![1.0, -2.0, 6.0]);
+    }
+}

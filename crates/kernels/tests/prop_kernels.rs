@@ -1,0 +1,155 @@
+//! Property-based tests for the computational kernels.
+
+use mf_kernels::{
+    blas1, ilu0, level_schedule, spmv_csr, spmv_mixed, sptrsv_lower, sptrsv_lower_recursive,
+    sptrsv_upper, sptrsv_upper_recursive, SharedTiles, VisFlag,
+};
+use mf_sparse::{Coo, Csr, TiledMatrix};
+use proptest::prelude::*;
+
+fn coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        prop::collection::vec((0..n, 0..n, -8i32..=8), 0..max_nnz).prop_map(move |entries| {
+            let mut a = Coo::new(n, n);
+            for i in 0..n {
+                a.push(i, i, 20.0); // dominant diagonal
+            }
+            for (r, c, v) in entries {
+                if r != c && v != 0 {
+                    a.push(r, c, v as f64 / 2.0);
+                }
+            }
+            a.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mixed SpMV with all-Keep flags equals CSR SpMV (values here are
+    /// exactly representable at every classified precision).
+    #[test]
+    fn mixed_spmv_matches_csr(a in coo_strategy(60, 250)) {
+        let t = TiledMatrix::from_csr(&a);
+        let mut shared = SharedTiles::load(&t);
+        let flags = vec![VisFlag::Keep; t.tile_cols];
+        let x: Vec<f64> = (0..a.ncols).map(|i| ((i * 3 + 1) % 7) as f64 - 3.0).collect();
+        let mut y1 = vec![0.0; a.nrows];
+        let mut y2 = vec![0.0; a.nrows];
+        spmv_csr(&a, &x, &mut y1);
+        let stats = spmv_mixed(&t, &mut shared, &flags, &x, &mut y2);
+        for i in 0..a.nrows {
+            prop_assert!((y1[i] - y2[i]).abs() < 1e-9 * y1[i].abs().max(1.0));
+        }
+        prop_assert_eq!(stats.nnz_total(), a.nnz());
+    }
+
+    /// Bypassing a column set equals zeroing those x entries.
+    #[test]
+    fn bypass_equals_zeroed_input(a in coo_strategy(50, 200), bypass_col in 0usize..4) {
+        let t = TiledMatrix::from_csr(&a);
+        if t.tile_cols == 0 { return Ok(()); }
+        let bc = bypass_col % t.tile_cols;
+        let mut shared = SharedTiles::load(&t);
+        let mut flags = vec![VisFlag::Keep; t.tile_cols];
+        flags[bc] = VisFlag::Bypass;
+        let x: Vec<f64> = (0..a.ncols).map(|i| (i % 5) as f64 + 1.0).collect();
+        let mut y1 = vec![0.0; a.nrows];
+        spmv_mixed(&t, &mut shared, &flags, &x, &mut y1);
+        // Oracle: zero the bypassed columns.
+        let mut x2 = x.clone();
+        for (i, e) in x2.iter_mut().enumerate() {
+            if i / t.tile_size == bc {
+                *e = 0.0;
+            }
+        }
+        let mut y2 = vec![0.0; a.nrows];
+        spmv_csr(&a, &x2, &mut y2);
+        for i in 0..a.nrows {
+            prop_assert!((y1[i] - y2[i]).abs() < 1e-9 * y2[i].abs().max(1.0));
+        }
+    }
+
+    /// Triangular solves invert the triangle: L·x == b after solving.
+    #[test]
+    fn lower_solve_inverts(a in coo_strategy(50, 200)) {
+        let l = a.lower_triangle();
+        let b: Vec<f64> = (0..l.nrows).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let x = sptrsv_lower(&l, &b, false);
+        let mut back = vec![0.0; l.nrows];
+        l.matvec(&x, &mut back);
+        for i in 0..l.nrows {
+            prop_assert!((back[i] - b[i]).abs() < 1e-8 * b[i].abs().max(1.0));
+        }
+    }
+
+    /// Recursive and plain solves agree at arbitrary leaf sizes, both ways.
+    #[test]
+    fn recursive_solves_agree(a in coo_strategy(60, 250), leaf in 1usize..80) {
+        let l = a.lower_triangle();
+        let u = a.upper_triangle();
+        let b: Vec<f64> = (0..l.nrows).map(|i| (i as f64 * 0.37).sin()).collect();
+        let p1 = sptrsv_lower(&l, &b, false);
+        let (r1, _) = sptrsv_lower_recursive(&l, &b, false, leaf);
+        let p2 = sptrsv_upper(&u, &b, false);
+        let (r2, _) = sptrsv_upper_recursive(&u, &b, false, leaf);
+        for i in 0..l.nrows {
+            prop_assert!((p1[i] - r1[i]).abs() < 1e-9 * p1[i].abs().max(1.0));
+            prop_assert!((p2[i] - r2[i]).abs() < 1e-9 * p2[i].abs().max(1.0));
+        }
+    }
+
+    /// ILU(0) preconditioning: applying M⁻¹ never produces NaN on dominant
+    /// systems, and M⁻¹·(A·x) ≈ x for tridiagonal-like patterns where the
+    /// factorization is exact.
+    #[test]
+    fn ilu_apply_is_finite(a in coo_strategy(50, 200)) {
+        let f = ilu0(&a).unwrap();
+        let b: Vec<f64> = (0..a.nrows).map(|i| (i as f64).cos()).collect();
+        let z = f.apply(&b);
+        prop_assert!(z.iter().all(|v| v.is_finite()));
+        let (z2, _) = f.apply_recursive(&b, 16);
+        for i in 0..a.nrows {
+            prop_assert!((z[i] - z2[i]).abs() < 1e-9 * z[i].abs().max(1.0));
+        }
+    }
+
+    /// Level schedules are valid topological orders: every dependency of a
+    /// row sits in a strictly earlier level.
+    #[test]
+    fn level_schedule_is_topological(a in coo_strategy(60, 250)) {
+        let l = a.lower_triangle();
+        let s = level_schedule(&l, true);
+        for r in 0..l.nrows {
+            for (c, _) in l.row(r) {
+                if c < r {
+                    prop_assert!(s.level_of[c] < s.level_of[r]);
+                }
+            }
+        }
+        prop_assert_eq!(s.level_sizes.iter().sum::<usize>(), l.nrows);
+    }
+
+    /// BLAS-1 identities: dot linearity and axpy/xpay consistency.
+    #[test]
+    fn blas1_identities(v in prop::collection::vec(-100.0f64..100.0, 1..200), alpha in -10.0f64..10.0) {
+        let n = v.len();
+        let w: Vec<f64> = v.iter().map(|x| x * 0.5 + 1.0).collect();
+        // dot(v, w) == dot(w, v)
+        prop_assert!((blas1::dot(&v, &w) - blas1::dot(&w, &v)).abs() < 1e-9);
+        // axpy then subtract recovers the original.
+        let mut y = w.clone();
+        blas1::axpy(alpha, &v, &mut y);
+        blas1::axpy(-alpha, &v, &mut y);
+        for i in 0..n {
+            prop_assert!((y[i] - w[i]).abs() < 1e-9 * w[i].abs().max(1.0));
+        }
+        // waxpy(x, a, y) == x + a*y elementwise.
+        let mut z = vec![0.0; n];
+        blas1::waxpy(&v, alpha, &w, &mut z);
+        for i in 0..n {
+            prop_assert!((z[i] - (v[i] + alpha * w[i])).abs() < 1e-12 * z[i].abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's "enough good" initial-precision criterion (§II-A, Fig. 1).
+//!
+//! > "We first store each nonzero in four data types, and compute the loss
+//! > between three lower precisions (i.e., FP32, FP16 and FP8) and the FP64.
+//! > If the losses of FP32, FP16 and FP8 are less than 1e-15 (i.e., the
+//! > decimal digits of precision of FP64), it indicates that the precision
+//! > FP32, FP16 or FP8 is 'good enough' to store the nonzero. [...] the
+//! > nonzero will be stored in the lowest possible precision."
+//!
+//! With a `1e-15` relative threshold the criterion effectively selects values
+//! that are *exactly representable* in the narrow type (ordinary FP32
+//! rounding already loses ~1e-8 relative). This is why mass/stencil/FEM
+//! matrices whose entries are small integers or dyadic rationals classify
+//! heavily to FP8/FP16 in the paper's Fig. 1, while matrices with generic
+//! real entries stay FP64.
+
+use crate::precision::Precision;
+use crate::ENOUGH_GOOD_LOSS;
+
+/// Options for the classification criterion.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassifyOptions {
+    /// Relative-loss threshold below which a narrower precision is accepted.
+    /// The paper uses `1e-15`.
+    pub loss_threshold: f64,
+    /// Floor applied to the denominator of the relative loss so that
+    /// classification of exact zeros and denormals is well defined.
+    pub denom_floor: f64,
+}
+
+impl Default for ClassifyOptions {
+    fn default() -> Self {
+        ClassifyOptions {
+            loss_threshold: ENOUGH_GOOD_LOSS,
+            denom_floor: f64::MIN_POSITIVE,
+        }
+    }
+}
+
+/// Relative round-trip loss of storing `v` in precision `p`:
+/// `|v - quantize_p(v)| / max(|v|, floor)`.
+///
+/// A non-finite quantization (FP8 overflow would saturate, FP16 can
+/// overflow to infinity) is treated as infinite loss.
+pub fn roundtrip_loss(v: f64, p: Precision, opts: &ClassifyOptions) -> f64 {
+    let q = p.quantize(v);
+    if !q.is_finite() && v.is_finite() {
+        return f64::INFINITY;
+    }
+    (v - q).abs() / v.abs().max(opts.denom_floor)
+}
+
+/// Classifies one nonzero to the *lowest* precision whose loss is below the
+/// threshold (paper §II-A). Always returns `Fp64` as a fallback.
+pub fn classify_value(v: f64, opts: &ClassifyOptions) -> Precision {
+    // Lowest-first so the narrowest acceptable precision wins.
+    for p in [Precision::Fp8, Precision::Fp16, Precision::Fp32] {
+        if roundtrip_loss(v, p, opts) < opts.loss_threshold {
+            return p;
+        }
+    }
+    Precision::Fp64
+}
+
+/// Classifies a tile (or any group of nonzeros): the tile must be stored in
+/// the *widest* precision any of its members needs (paper §III-B assigns one
+/// `TilePrec` per tile).
+pub fn classify_group(vals: &[f64], opts: &ClassifyOptions) -> Precision {
+    let mut need = Precision::Fp8;
+    for &v in vals {
+        let p = classify_value(v, opts);
+        if p > need {
+            need = p;
+        }
+        if need == Precision::Fp64 {
+            break; // cannot get wider
+        }
+    }
+    need
+}
+
+/// Histogram of per-nonzero classifications, indexed `[FP64, FP32, FP16, FP8]`
+/// like the paper's Fig. 1 legend. Returns counts.
+pub fn classification_histogram(vals: &[f64], opts: &ClassifyOptions) -> [usize; 4] {
+    let mut h = [0usize; 4];
+    for &v in vals {
+        h[classify_value(v, opts).tile_code() as usize] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> ClassifyOptions {
+        ClassifyOptions::default()
+    }
+
+    #[test]
+    fn small_integers_classify_to_fp8() {
+        for v in [0.0, 1.0, -1.0, 2.0, 4.0, -8.0, 0.5, 0.25, 448.0] {
+            assert_eq!(classify_value(v, &opts()), Precision::Fp8, "value {v}");
+        }
+    }
+
+    #[test]
+    fn fp16_exact_values_classify_to_fp16() {
+        // 1 + 2^-10 is exact in binary16 but not in E4M3.
+        let v = 1.0 + 2f64.powi(-10);
+        assert_eq!(classify_value(v, &opts()), Precision::Fp16);
+        // 2048 + 2 = 2050 exact in fp16, not fp8 (fp8 max 448).
+        assert_eq!(classify_value(2050.0, &opts()), Precision::Fp16);
+    }
+
+    #[test]
+    fn fp32_exact_values_classify_to_fp32() {
+        let v = 1.0 + 2f64.powi(-20); // exact in f32, not f16
+        assert_eq!(classify_value(v, &opts()), Precision::Fp32);
+        // 1e8 is exactly representable in f32 (< 2^27 granularity at that scale? 1e8 = 100000000, f32 spacing at 1e8 is 8 -> 1e8 divisible by 8? 1e8 = 12500000*8 yes).
+        assert_eq!(classify_value(1e8, &opts()), Precision::Fp32);
+    }
+
+    #[test]
+    fn generic_reals_stay_fp64() {
+        for v in [0.1, 1.0 / 3.0, std::f64::consts::PI, 1.234_567_890_123e-7] {
+            assert_eq!(classify_value(v, &opts()), Precision::Fp64, "value {v}");
+        }
+    }
+
+    #[test]
+    fn overflowing_values_stay_wide() {
+        // 1e30 overflows FP16 and FP8 but is exact-enough in... not exact in
+        // f32 either (1e30 rounds in f32), so FP64.
+        assert_eq!(classify_value(1e30, &opts()), Precision::Fp64);
+        // 2^100 is exact in f32.
+        assert_eq!(classify_value(2f64.powi(100), &opts()), Precision::Fp32);
+        // 2^100 must NOT classify to FP16/FP8 (saturation is lossy).
+        assert!(classify_value(2f64.powi(100), &opts()) < Precision::Fp64);
+    }
+
+    #[test]
+    fn group_takes_widest_need() {
+        let g = [1.0, 2.0, 0.5]; // all FP8
+        assert_eq!(classify_group(&g, &opts()), Precision::Fp8);
+        let g = [1.0, 0.1]; // 0.1 needs FP64
+        assert_eq!(classify_group(&g, &opts()), Precision::Fp64);
+        let g = [1.0, 2050.0]; // 2050 needs FP16
+        assert_eq!(classify_group(&g, &opts()), Precision::Fp16);
+    }
+
+    #[test]
+    fn empty_group_is_fp8() {
+        assert_eq!(classify_group(&[], &opts()), Precision::Fp8);
+    }
+
+    #[test]
+    fn histogram_sums_to_len() {
+        let vals = [1.0, 0.1, 2050.0, 1.0 + 2f64.powi(-20), 0.0, -4.0];
+        let h = classification_histogram(&vals, &opts());
+        assert_eq!(h.iter().sum::<usize>(), vals.len());
+        assert_eq!(h[0], 1); // 0.1 -> FP64
+        assert_eq!(h[1], 1); // 1+2^-20 -> FP32
+        assert_eq!(h[2], 1); // 2050 -> FP16
+        assert_eq!(h[3], 3); // 1.0, 0.0, -4.0 -> FP8
+    }
+
+    #[test]
+    fn loss_is_zero_for_exact() {
+        assert_eq!(roundtrip_loss(1.0, Precision::Fp8, &opts()), 0.0);
+        assert_eq!(roundtrip_loss(0.0, Precision::Fp8, &opts()), 0.0);
+    }
+
+    #[test]
+    fn loss_is_infinite_on_overflow_to_inf() {
+        // FP16 overflows to infinity above 65520.
+        assert_eq!(
+            roundtrip_loss(1e6, Precision::Fp16, &opts()),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn custom_threshold_relaxes_classification() {
+        // With a sloppy 1e-2 threshold, 0.1 is "good enough" in FP16
+        // (relative error ~2.4e-5) and even FP8 (~2.5e-2 > 1e-2, so FP16).
+        let o = ClassifyOptions {
+            loss_threshold: 1e-2,
+            ..ClassifyOptions::default()
+        };
+        assert_eq!(classify_value(0.1, &o), Precision::Fp16);
+        let o = ClassifyOptions {
+            loss_threshold: 0.1,
+            ..ClassifyOptions::default()
+        };
+        assert_eq!(classify_value(0.1, &o), Precision::Fp8);
+    }
+}

@@ -1,0 +1,445 @@
+//! IEEE 754 binary16 ("half") implemented in software.
+//!
+//! Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+//! All conversions use round-to-nearest-even, matching the default GPU
+//! rounding mode for `__float2half_rn` / HIP `__float2half`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 16-bit IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// `Fp16` is a *storage* type: arithmetic is performed by widening to `f32`
+/// or `f64` (exact — every binary16 value is exactly representable in both)
+/// and narrowing the result back, which is precisely how scalar half-precision
+/// code behaves on GPUs that accumulate in a wider type.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Fp16(pub u16);
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7c00;
+const MAN_MASK: u16 = 0x03ff;
+
+impl Fp16 {
+    /// Positive zero.
+    pub const ZERO: Fp16 = Fp16(0x0000);
+    /// One.
+    pub const ONE: Fp16 = Fp16(0x3c00);
+    /// Largest finite value, `65504.0`.
+    pub const MAX: Fp16 = Fp16(0x7bff);
+    /// Smallest positive normal value, `2^-14`.
+    pub const MIN_POSITIVE: Fp16 = Fp16(0x0400);
+    /// Smallest positive subnormal value, `2^-24`.
+    pub const MIN_SUBNORMAL: Fp16 = Fp16(0x0001);
+    /// Positive infinity.
+    pub const INFINITY: Fp16 = Fp16(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Fp16 = Fp16(0xfc00);
+    /// A quiet NaN.
+    pub const NAN: Fp16 = Fp16(0x7e00);
+    /// Machine epsilon (`2^-10`).
+    pub const EPSILON: Fp16 = Fp16(0x1400);
+
+    /// Builds a value from raw binary16 bits.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Fp16(bits)
+    }
+
+    /// Returns the raw binary16 bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        Fp16(f32_to_f16_bits(x))
+    }
+
+    /// Converts an `f64` with round-to-nearest-even.
+    ///
+    /// Double rounding through `f32` would be incorrect for values where the
+    /// `f32` rounding lands exactly on a binary16 tie, so this converts from
+    /// the `f64` bit pattern directly.
+    pub fn from_f64(x: f64) -> Self {
+        Fp16(f64_to_f16_bits(x))
+    }
+
+    /// Widens to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Widens to `f64` (exact).
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// `true` for positive or negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0 & !SIGN_MASK == EXP_MASK
+    }
+
+    /// `true` for any NaN payload.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// `true` when the value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// `true` for subnormal values (zero is not subnormal).
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// `true` for +0.0 and -0.0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 & !SIGN_MASK == 0
+    }
+
+    /// Sign bit as a bool (`true` = negative).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & SIGN_MASK != 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        Fp16(self.0 & !SIGN_MASK)
+    }
+
+    /// Negation (flips the sign bit, including for NaN/zero, per IEEE 754).
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // bitwise IEEE negate; `Neg` is also implemented
+    pub fn neg(self) -> Self {
+        Fp16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl std::ops::Neg for Fp16 {
+    type Output = Fp16;
+    fn neg(self) -> Fp16 {
+        Fp16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl From<f32> for Fp16 {
+    fn from(x: f32) -> Self {
+        Fp16::from_f32(x)
+    }
+}
+
+impl From<f64> for Fp16 {
+    fn from(x: f64) -> Self {
+        Fp16::from_f64(x)
+    }
+}
+
+impl From<Fp16> for f32 {
+    fn from(h: Fp16) -> f32 {
+        h.to_f32()
+    }
+}
+
+impl From<Fp16> for f64 {
+    fn from(h: Fp16) -> f64 {
+        h.to_f64()
+    }
+}
+
+impl PartialOrd for Fp16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for Fp16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Fp16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+/// Converts `f32` bits to binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        return if man == 0 {
+            sign | EXP_MASK // infinity
+        } else {
+            // NaN: force quiet, keep the top payload bits.
+            sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK)
+        };
+    }
+
+    // Re-bias the exponent for binary16.
+    let e = exp - 127 + 15;
+
+    if e >= 0x1f {
+        // Overflow: round-to-nearest-even maps anything at or above the
+        // overflow threshold to infinity.
+        return sign | EXP_MASK;
+    }
+
+    if e <= 0 {
+        // Result is subnormal (or underflows to zero).
+        if e < -10 {
+            // Even the largest mantissa rounds to zero below 2^-25.
+            return sign;
+        }
+        let m = man | 0x0080_0000; // add the implicit leading one
+        let shift = (14 - e) as u32; // 14..=24
+        let half = 1u32 << (shift - 1);
+        let rem = m & ((1u32 << shift) - 1);
+        let mut v = m >> shift;
+        if rem > half || (rem == half && (v & 1) == 1) {
+            v += 1; // may carry into the exponent: 0x0400 == smallest normal, still correct
+        }
+        return sign | v as u16;
+    }
+
+    // Normal result: keep top 10 mantissa bits, round the 13 dropped bits.
+    let mut v = ((e as u32) << 10) | (man >> 13);
+    let rem = man & 0x1fff;
+    if rem > 0x1000 || (rem == 0x1000 && (v & 1) == 1) {
+        v += 1; // carry into exponent is correct (e.g. 2047.5 -> 2048)
+    }
+    if v >= 0x7c00 {
+        return sign | EXP_MASK; // rounded up into infinity
+    }
+    sign | v as u16
+}
+
+/// Converts `f64` bits to binary16 bits with a single round-to-nearest-even.
+pub fn f64_to_f16_bits(x: f64) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 48) & 0x8000) as u16;
+    let exp = ((bits >> 52) & 0x7ff) as i32;
+    let man = bits & 0x000f_ffff_ffff_ffff;
+
+    if exp == 0x7ff {
+        return if man == 0 {
+            sign | EXP_MASK
+        } else {
+            sign | EXP_MASK | 0x0200 | ((man >> 42) as u16 & MAN_MASK)
+        };
+    }
+
+    let e = exp - 1023 + 15;
+
+    if e >= 0x1f {
+        return sign | EXP_MASK;
+    }
+
+    if e <= 0 {
+        if e < -10 {
+            return sign;
+        }
+        let m = man | 0x0010_0000_0000_0000; // implicit one at bit 52
+        let shift = (43 - e) as u32; // aligns so that shift for e==0 keeps 10 bits + guard
+        let half = 1u64 << (shift - 1);
+        let rem = m & ((1u64 << shift) - 1);
+        let mut v = m >> shift;
+        if rem > half || (rem == half && (v & 1) == 1) {
+            v += 1;
+        }
+        return sign | v as u16;
+    }
+
+    let mut v = ((e as u64) << 10) | (man >> 42);
+    let rem = man & 0x3ff_ffff_ffff;
+    let half = 0x200_0000_0000u64;
+    if rem > half || (rem == half && (v & 1) == 1) {
+        v += 1;
+    }
+    if v >= 0x7c00 {
+        return sign | EXP_MASK;
+    }
+    sign | v as u16
+}
+
+/// Widens binary16 bits to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & SIGN_MASK) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h & MAN_MASK) as u32;
+
+    let bits = if exp == 0 {
+        if man == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalize into f32. value = man * 2^-24.
+            let lz = man.leading_zeros() - 22; // shifts needed to bring msb to bit 9
+            let man_norm = (man << (lz + 1)) & MAN_MASK as u32; // drop the leading one
+            let e = 113 - (lz + 1); // f32 biased exponent
+            sign | (e << 23) | (man_norm << 13)
+        }
+    } else if exp == 0x1f {
+        if man == 0 {
+            sign | 0x7f80_0000
+        } else {
+            sign | 0x7fc0_0000 | (man << 13)
+        }
+    } else {
+        sign | ((exp + 112) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_roundtrip() {
+        assert_eq!(Fp16::ZERO.to_f32(), 0.0);
+        assert_eq!(Fp16::ONE.to_f32(), 1.0);
+        assert_eq!(Fp16::MAX.to_f32(), 65504.0);
+        assert_eq!(Fp16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(Fp16::MIN_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(Fp16::EPSILON.to_f32(), 2.0f32.powi(-10));
+        assert!(Fp16::INFINITY.is_infinite());
+        assert!(Fp16::NAN.is_nan());
+    }
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -2048i32..=2048 {
+            let h = Fp16::from_f32(i as f32);
+            assert_eq!(h.to_f32(), i as f32, "integer {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn rounding_ties_to_even() {
+        // 2049 is exactly between 2048 and 2050 in binary16 (spacing 2).
+        assert_eq!(Fp16::from_f32(2049.0).to_f32(), 2048.0);
+        // 2051 is between 2050 and 2052; ties to 2052 (even mantissa).
+        assert_eq!(Fp16::from_f32(2051.0).to_f32(), 2052.0);
+        assert_eq!(Fp16::from_f32(2050.5).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(Fp16::from_f32(65520.0).is_infinite()); // above the RNE threshold
+        assert_eq!(Fp16::from_f32(65519.0).to_f32(), 65504.0); // below, saturates to MAX by rounding
+        assert!(Fp16::from_f32(1e9).is_infinite());
+        assert!(Fp16::from_f32(-1e9).is_infinite());
+        assert!(Fp16::from_f32(-1e9).is_sign_negative());
+    }
+
+    #[test]
+    fn underflow_and_subnormals() {
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(Fp16::from_f32(tiny).to_f32(), tiny);
+        assert!(Fp16::from_f32(tiny).is_subnormal());
+        // Half of the smallest subnormal rounds to zero (tie to even).
+        assert!(Fp16::from_f32(tiny / 2.0).is_zero());
+        // Just above half rounds up to the smallest subnormal.
+        assert_eq!(Fp16::from_f32(tiny * 0.75).to_f32(), tiny);
+        // 1.5x smallest subnormal ties to 2x (even).
+        assert_eq!(Fp16::from_f32(tiny * 1.5).to_f32(), tiny * 2.0);
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        let nz = Fp16::from_f32(-0.0);
+        assert!(nz.is_zero());
+        assert!(nz.is_sign_negative());
+        assert_eq!(nz.to_f32().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(Fp16::from_f32(f32::NAN).is_nan());
+        assert!(Fp16::from_f64(f64::NAN).is_nan());
+        assert!(Fp16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn f64_conversion_matches_f32_when_safe() {
+        // For values exactly representable in f32, f64->f16 must equal f32->f16.
+        let vals = [
+            0.1f32, 1.0, -3.5, 1234.56, 65504.0, 1e-5, -2.0e-7, 0.333_333_34,
+        ];
+        for &v in &vals {
+            assert_eq!(
+                Fp16::from_f64(v as f64).to_bits(),
+                Fp16::from_f32(v).to_bits(),
+                "mismatch at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn f64_single_rounding_beats_double_rounding() {
+        // Construct an f64 that lies just above a binary16 tie midpoint but
+        // rounds *down* to the midpoint in f32 first. Direct f64->f16 must
+        // round up; the double-rounded path would round to even (down).
+        // Midpoint between 1.0 and 1+2^-10 is 1+2^-11.
+        let mid = 1.0 + 2f64.powi(-11);
+        let just_above = mid + 2f64.powi(-40);
+        assert_eq!(Fp16::from_f64(mid).to_f64(), 1.0); // tie -> even
+        assert_eq!(Fp16::from_f64(just_above).to_f64(), 1.0 + 2f64.powi(-10));
+    }
+
+    #[test]
+    fn exhaustive_f16_f32_roundtrip() {
+        // Every finite binary16 value must survive f16 -> f32 -> f16 exactly.
+        for bits in 0u16..=0xffff {
+            let h = Fp16::from_bits(bits);
+            if h.is_nan() {
+                assert!(Fp16::from_f32(h.to_f32()).is_nan());
+                continue;
+            }
+            let back = Fp16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "roundtrip failed for bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn widening_is_monotonic() {
+        // Over all positive finite values, to_f32 must be strictly increasing
+        // with the bit pattern (IEEE ordering property).
+        let mut prev = f32::NEG_INFINITY;
+        for bits in 0u16..0x7c00 {
+            let v = Fp16::from_bits(bits).to_f32();
+            assert!(v > prev, "not monotonic at bits {bits:#06x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn abs_neg() {
+        let h = Fp16::from_f32(-2.5);
+        assert_eq!(h.abs().to_f32(), 2.5);
+        assert_eq!(h.neg().to_f32(), 2.5);
+        assert_eq!(h.neg().neg().to_f32(), -2.5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Fp16::from_f32(1.0) < Fp16::from_f32(2.0));
+        assert!(Fp16::from_f32(-1.0) < Fp16::from_f32(0.5));
+        assert!(Fp16::NAN.partial_cmp(&Fp16::ONE).is_none());
+    }
+}

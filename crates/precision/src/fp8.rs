@@ -1,0 +1,202 @@
+//! 8-bit minifloat wrapper types.
+//!
+//! The paper (§II-A) uses an 8-bit "minifloat" as its narrowest storage
+//! precision. We provide both OCP FP8 variants; the solver uses **E4M3**
+//! (more mantissa, the common choice for storing values rather than
+//! gradients), and E5M2 is available for experimentation.
+
+use crate::minifloat::{E4M3, E5M2};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// OCP FP8 E4M3 value (1 sign, 4 exponent, 3 mantissa bits, bias 7).
+///
+/// No infinities; overflow saturates to ±448 (the `satfinite` conversion
+/// mode). `S.1111.111` is NaN.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Fp8E4M3(pub u8);
+
+/// OCP FP8 E5M2 value (1 sign, 5 exponent, 2 mantissa bits, bias 15).
+///
+/// IEEE-style Inf/NaN in the top binade; max finite 57344.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Fp8E5M2(pub u8);
+
+macro_rules! impl_fp8 {
+    ($ty:ident, $fmt:expr, $name:literal) => {
+        impl $ty {
+            /// Positive zero.
+            pub const ZERO: $ty = $ty(0);
+
+            /// Builds a value from its raw 8-bit code.
+            #[inline]
+            pub const fn from_bits(bits: u8) -> Self {
+                $ty(bits)
+            }
+
+            /// Returns the raw 8-bit code.
+            #[inline]
+            pub const fn to_bits(self) -> u8 {
+                self.0
+            }
+
+            /// Converts from `f64` with round-to-nearest-even.
+            pub fn from_f64(v: f64) -> Self {
+                $ty($fmt.encode(v))
+            }
+
+            /// Converts from `f32` with round-to-nearest-even.
+            pub fn from_f32(v: f32) -> Self {
+                // f32 -> f64 widening is exact, so a single rounding happens.
+                $ty($fmt.encode(v as f64))
+            }
+
+            /// Widens to `f64` (exact).
+            pub fn to_f64(self) -> f64 {
+                $fmt.decode(self.0)
+            }
+
+            /// Widens to `f32` (exact — all FP8 values fit in f32).
+            pub fn to_f32(self) -> f32 {
+                self.to_f64() as f32
+            }
+
+            /// Largest finite magnitude of the format.
+            pub fn max_finite() -> f64 {
+                $fmt.max_finite()
+            }
+
+            /// Smallest positive normal magnitude.
+            pub fn min_normal() -> f64 {
+                $fmt.min_normal()
+            }
+
+            /// Smallest positive subnormal magnitude.
+            pub fn min_subnormal() -> f64 {
+                $fmt.min_subnormal()
+            }
+
+            /// `true` for any NaN code.
+            pub fn is_nan(self) -> bool {
+                self.to_f64().is_nan()
+            }
+
+            /// `true` when finite (not NaN, not infinite).
+            pub fn is_finite(self) -> bool {
+                self.to_f64().is_finite()
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                $ty(self.0 & 0x7f)
+            }
+
+            /// Negation (sign-bit flip).
+            #[allow(clippy::should_implement_trait)] // bitwise IEEE negate; `Neg` is also implemented
+            pub fn neg(self) -> Self {
+                $ty(self.0 ^ 0x80)
+            }
+        }
+
+        impl std::ops::Neg for $ty {
+            type Output = $ty;
+            fn neg(self) -> $ty {
+                $ty(self.0 ^ 0x80)
+            }
+        }
+
+        impl From<f64> for $ty {
+            fn from(v: f64) -> Self {
+                Self::from_f64(v)
+            }
+        }
+
+        impl From<f32> for $ty {
+            fn from(v: f32) -> Self {
+                Self::from_f32(v)
+            }
+        }
+
+        impl From<$ty> for f64 {
+            fn from(v: $ty) -> f64 {
+                v.to_f64()
+            }
+        }
+
+        impl From<$ty> for f32 {
+            fn from(v: $ty) -> f32 {
+                v.to_f32()
+            }
+        }
+
+        impl PartialOrd for $ty {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                self.to_f64().partial_cmp(&other.to_f64())
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($name, "({})"), self.to_f64())
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.to_f64(), f)
+            }
+        }
+    };
+}
+
+impl_fp8!(Fp8E4M3, E4M3, "Fp8E4M3");
+impl_fp8!(Fp8E5M2, E5M2, "Fp8E5M2");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4m3_basics() {
+        assert_eq!(Fp8E4M3::from_f64(1.0).to_f64(), 1.0);
+        assert_eq!(Fp8E4M3::from_f64(-2.0).to_f64(), -2.0);
+        assert_eq!(Fp8E4M3::from_f64(1000.0).to_f64(), 448.0);
+        assert_eq!(Fp8E4M3::max_finite(), 448.0);
+        assert!(Fp8E4M3::from_bits(0x7f).is_nan());
+    }
+
+    #[test]
+    fn e5m2_basics() {
+        assert_eq!(Fp8E5M2::from_f64(1.0).to_f64(), 1.0);
+        assert_eq!(Fp8E5M2::from_f64(1e9).to_f64(), f64::INFINITY);
+        assert_eq!(Fp8E5M2::max_finite(), 57344.0);
+    }
+
+    #[test]
+    fn neg_abs() {
+        let v = Fp8E4M3::from_f64(-3.5);
+        assert_eq!(v.abs().to_f64(), 3.5);
+        assert_eq!(v.neg().to_f64(), 3.5);
+    }
+
+    #[test]
+    fn f32_and_f64_paths_agree() {
+        let vals = [0.0f32, 1.0, -1.5, 0.07, 300.0, 1e-3, -0.125];
+        for &v in &vals {
+            assert_eq!(
+                Fp8E4M3::from_f32(v).to_bits(),
+                Fp8E4M3::from_f64(v as f64).to_bits()
+            );
+            assert_eq!(
+                Fp8E5M2::from_f32(v).to_bits(),
+                Fp8E5M2::from_f64(v as f64).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_on_finites() {
+        assert!(Fp8E4M3::from_f64(1.0) < Fp8E4M3::from_f64(2.0));
+        assert!(Fp8E4M3::from_f64(-448.0) < Fp8E4M3::from_f64(448.0));
+    }
+}

@@ -1,0 +1,45 @@
+//! # mf-precision
+//!
+//! Floating-point substrate for the Mille-feuille solver (SC'24).
+//!
+//! The paper stores sparse-matrix tiles in one of four precisions — FP64,
+//! FP32, FP16 and FP8 — and decides the *initial* precision of every tile by
+//! an "enough good" criterion (paper §II-A): a nonzero may be stored in a
+//! narrower type when the round-trip loss against its FP64 value is below
+//! `1e-15`. During the solve, tiles are further *lowered* (FP32 → FP16 → FP8
+//! → bypass) as the corresponding entries of the search direction `p_j`
+//! partially converge (paper §III-D).
+//!
+//! GPUs provide FP16/FP8 in hardware; on the CPU we implement both from the
+//! bit layout up so that storing a value in a narrow tile applies *exactly*
+//! the rounding the GPU would apply. This keeps the convergence behaviour of
+//! the reproduction honest (Table II and Fig. 12 of the paper are genuine
+//! numerical measurements, not models).
+//!
+//! Contents:
+//!
+//! * [`Fp16`] — IEEE 754 binary16, round-to-nearest-even conversions.
+//! * [`Fp8E4M3`] / [`Fp8E5M2`] — OCP 8-bit minifloats (the paper's "FP8").
+//! * [`Precision`] — the four storage precisions with quantization helpers.
+//! * [`classify`] — the paper's `1e-15`-loss initial-precision criterion.
+//! * [`packed`] — byte-packed value buffers (one encoding per tile precision)
+//!   used by the tiled sparse format for honest memory accounting.
+
+pub mod classify;
+pub mod fp16;
+pub mod fp8;
+pub mod minifloat;
+pub mod packed;
+pub mod precision;
+
+pub use classify::{classification_histogram, classify_group, classify_value, roundtrip_loss, ClassifyOptions};
+pub use fp16::Fp16;
+pub use fp8::{Fp8E4M3, Fp8E5M2};
+pub use packed::{PackedValues, PackedValuesBuilder};
+pub use precision::Precision;
+
+/// The loss threshold of the paper's "enough good" criterion (§II-A):
+/// a nonzero can be stored in a narrower precision when the relative
+/// round-trip loss against FP64 is below this value ("the decimal digits of
+/// precision of FP64").
+pub const ENOUGH_GOOD_LOSS: f64 = 1e-15;

@@ -1,0 +1,334 @@
+//! Generic minifloat encode/decode used by both FP8 variants.
+//!
+//! A minifloat is described by its exponent width, mantissa width, bias and
+//! overflow behaviour. Encoding performs a single round-to-nearest-even from
+//! `f64`, matching GPU conversion instructions (`cvt.rn.e4m3x2.f32` etc.).
+
+/// Static description of a minifloat format (at most 8 bits total here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MiniFormat {
+    /// Number of exponent bits.
+    pub exp_bits: u32,
+    /// Number of mantissa bits.
+    pub man_bits: u32,
+    /// Exponent bias.
+    pub bias: i32,
+    /// `true` if the format reserves the all-ones exponent for Inf/NaN
+    /// (IEEE-like, e.g. E5M2); `false` if only the all-ones code is NaN and
+    /// the rest of the top binade is finite (E4M3 per the OCP FP8 spec).
+    pub ieee_inf: bool,
+}
+
+/// OCP FP8 E4M3: bias 7, no infinities, `S.1111.111` is NaN, max finite 448.
+pub const E4M3: MiniFormat = MiniFormat {
+    exp_bits: 4,
+    man_bits: 3,
+    bias: 7,
+    ieee_inf: false,
+};
+
+/// OCP FP8 E5M2: bias 15, IEEE-style Inf/NaN, max finite 57344.
+pub const E5M2: MiniFormat = MiniFormat {
+    exp_bits: 5,
+    man_bits: 2,
+    bias: 15,
+    ieee_inf: true,
+};
+
+impl MiniFormat {
+    /// Code of the sign bit.
+    #[inline]
+    pub const fn sign_mask(&self) -> u8 {
+        1 << (self.exp_bits + self.man_bits)
+    }
+
+    #[inline]
+    const fn man_mask(&self) -> u8 {
+        (1 << self.man_bits) - 1
+    }
+
+    #[inline]
+    const fn exp_field_max(&self) -> i32 {
+        (1 << self.exp_bits) - 1
+    }
+
+    /// Largest finite magnitude representable.
+    pub fn max_finite(&self) -> f64 {
+        if self.ieee_inf {
+            // top binade reserved: exponent exp_field_max-1, full mantissa
+            let e = self.exp_field_max() - 1 - self.bias;
+            let m = 1.0 + (self.man_mask() as f64) / (1u32 << self.man_bits) as f64;
+            m * 2f64.powi(e)
+        } else {
+            // all-ones exponent is finite except the all-ones mantissa (NaN)
+            let e = self.exp_field_max() - self.bias;
+            let m = 1.0 + ((self.man_mask() - 1) as f64) / (1u32 << self.man_bits) as f64;
+            m * 2f64.powi(e)
+        }
+    }
+
+    /// Smallest positive normal magnitude.
+    pub fn min_normal(&self) -> f64 {
+        2f64.powi(1 - self.bias)
+    }
+
+    /// Smallest positive subnormal magnitude (the quantum of the format).
+    pub fn min_subnormal(&self) -> f64 {
+        2f64.powi(1 - self.bias - self.man_bits as i32)
+    }
+
+    /// The canonical NaN code (positive sign).
+    pub fn nan_code(&self) -> u8 {
+        if self.ieee_inf {
+            // Inf code + a mantissa bit.
+            let inf = (self.exp_field_max() as u8) << self.man_bits;
+            inf | 1 << (self.man_bits - 1)
+        } else {
+            // all ones in exponent and mantissa
+            ((self.exp_field_max() as u8) << self.man_bits) | self.man_mask()
+        }
+    }
+
+    /// The positive-infinity code for IEEE-style formats; the max-finite code
+    /// otherwise (E4M3 has no infinity — overflow saturates, see [`MiniFormat::encode`]).
+    pub fn inf_or_max_code(&self) -> u8 {
+        if self.ieee_inf {
+            (self.exp_field_max() as u8) << self.man_bits
+        } else {
+            (((self.exp_field_max() as u8) << self.man_bits) | self.man_mask()) - 1
+        }
+    }
+
+    /// Encodes an `f64` into this format with round-to-nearest-even.
+    ///
+    /// Overflow behaviour: IEEE-style formats produce infinity; E4M3-style
+    /// formats *saturate* to the maximum finite value (the behaviour of
+    /// `cvt.rn.satfinite`, and the only sane choice inside a solver — a NaN
+    /// in the matrix would poison the whole Krylov iteration).
+    pub fn encode(&self, v: f64) -> u8 {
+        let sign = if v.is_sign_negative() {
+            self.sign_mask()
+        } else {
+            0
+        };
+        if v.is_nan() {
+            return sign | self.nan_code();
+        }
+        let a = v.abs();
+        if a == 0.0 {
+            return sign;
+        }
+        if v.is_infinite() {
+            return sign | self.inf_or_max_code();
+        }
+
+        let min_normal = self.min_normal();
+        let quantum = self.min_subnormal();
+
+        if a < min_normal {
+            // Subnormal target: round a/quantum to an integer. The division
+            // is by a power of two, hence exact in f64 for our ranges.
+            let m = (a / quantum).round_ties_even();
+            let m = m as u64;
+            if m == 0 {
+                return sign; // underflow to (signed) zero
+            }
+            if m < (1u64 << self.man_bits) {
+                return sign | m as u8;
+            }
+            // Rounded up to the smallest normal.
+            return sign | (1 << self.man_bits);
+        }
+
+        // Normal target. Take the unbiased exponent from the f64 bits (a is
+        // normal in f64 whenever it reaches this branch for FP8 ranges).
+        let mut e = ((a.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        // Round the mantissa to man_bits fractional bits:
+        // m = round(a / 2^(e - man_bits)) in [2^man_bits, 2^(man_bits+1)].
+        let scale = 2f64.powi(e - self.man_bits as i32);
+        let mut m = (a / scale).round_ties_even() as u64;
+        if m == 1u64 << (self.man_bits + 1) {
+            m >>= 1;
+            e += 1;
+        }
+
+        let exp_field = e + self.bias;
+        let overflow = if self.ieee_inf {
+            exp_field >= self.exp_field_max()
+        } else {
+            exp_field > self.exp_field_max()
+                || (exp_field == self.exp_field_max()
+                    && (m & self.man_mask() as u64) == self.man_mask() as u64)
+        };
+        if overflow {
+            return sign | self.inf_or_max_code();
+        }
+        sign | ((exp_field as u8) << self.man_bits) | (m as u8 & self.man_mask())
+    }
+
+    /// Decodes a code of this format to `f64` (exact).
+    pub fn decode(&self, code: u8) -> f64 {
+        let sign = if code & self.sign_mask() != 0 { -1.0 } else { 1.0 };
+        let body = code & (self.sign_mask() - 1);
+        let exp_field = (body >> self.man_bits) as i32;
+        let man = (body & self.man_mask()) as f64;
+        let man_scale = (1u32 << self.man_bits) as f64;
+
+        if exp_field == 0 {
+            return sign * man * self.min_subnormal();
+        }
+        if exp_field == self.exp_field_max() {
+            if self.ieee_inf {
+                return if man == 0.0 {
+                    sign * f64::INFINITY
+                } else {
+                    f64::NAN
+                };
+            }
+            if body == self.nan_code() {
+                return f64::NAN;
+            }
+        }
+        sign * (1.0 + man / man_scale) * 2f64.powi(exp_field - self.bias)
+    }
+
+    /// Round-trips an `f64` through this format (`decode(encode(v))`).
+    #[inline]
+    pub fn quantize(&self, v: f64) -> f64 {
+        self.decode(self.encode(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4m3_limits() {
+        assert_eq!(E4M3.max_finite(), 448.0);
+        assert_eq!(E4M3.min_normal(), 2f64.powi(-6));
+        assert_eq!(E4M3.min_subnormal(), 2f64.powi(-9));
+        assert_eq!(E4M3.nan_code(), 0x7f);
+        assert_eq!(E4M3.inf_or_max_code(), 0x7e);
+    }
+
+    #[test]
+    fn e5m2_limits() {
+        assert_eq!(E5M2.max_finite(), 57344.0);
+        assert_eq!(E5M2.min_normal(), 2f64.powi(-14));
+        assert_eq!(E5M2.min_subnormal(), 2f64.powi(-16));
+        assert_eq!(E5M2.inf_or_max_code(), 0x7c);
+    }
+
+    #[test]
+    fn e4m3_exact_values() {
+        for v in [0.0, 1.0, -1.0, 2.0, 0.5, 448.0, -448.0, 0.125, 240.0] {
+            assert_eq!(E4M3.quantize(v), v, "{v} must be exact in E4M3");
+        }
+    }
+
+    #[test]
+    fn e4m3_saturates_no_nan_on_overflow() {
+        assert_eq!(E4M3.quantize(1e9), 448.0);
+        assert_eq!(E4M3.quantize(-1e9), -448.0);
+        assert_eq!(E4M3.quantize(f64::INFINITY), 448.0);
+        // 464 is the midpoint between 448 and the nonexistent 480 code.
+        assert_eq!(E4M3.quantize(464.0), 448.0);
+        assert_eq!(E4M3.quantize(463.9), 448.0);
+    }
+
+    #[test]
+    fn e5m2_overflow_to_infinity() {
+        assert_eq!(E5M2.quantize(1e9), f64::INFINITY);
+        assert_eq!(E5M2.quantize(-1e9), f64::NEG_INFINITY);
+        assert_eq!(E5M2.quantize(57344.0), 57344.0);
+    }
+
+    #[test]
+    fn rne_ties() {
+        // E4M3 around 1.0: spacing 1/8. Midpoint 1.0625 ties to 1.0 (even).
+        assert_eq!(E4M3.quantize(1.0625), 1.0);
+        // Midpoint 1.1875 between 1.125 (odd) and 1.25 (even) ties up.
+        assert_eq!(E4M3.quantize(1.1875), 1.25);
+        assert_eq!(E4M3.quantize(1.06), 1.0);
+        assert_eq!(E4M3.quantize(1.07), 1.125);
+    }
+
+    #[test]
+    fn subnormal_rounding() {
+        let q = E4M3.min_subnormal();
+        assert_eq!(E4M3.quantize(q), q);
+        assert_eq!(E4M3.quantize(q * 0.5), 0.0); // tie to even (zero)
+        assert_eq!(E4M3.quantize(q * 0.51), q);
+        assert_eq!(E4M3.quantize(q * 1.5), 2.0 * q); // tie to even
+        assert_eq!(E4M3.quantize(q * 2.5), 2.0 * q); // tie to even
+    }
+
+    #[test]
+    fn subnormal_to_normal_carry() {
+        // Just below min_normal rounds up into the normal range.
+        let mn = E4M3.min_normal();
+        let just_below = mn - E4M3.min_subnormal() * 0.25;
+        assert_eq!(E4M3.quantize(just_below), mn);
+    }
+
+    #[test]
+    fn signed_zero_and_nan() {
+        assert!(E4M3.quantize(f64::NAN).is_nan());
+        assert!(E5M2.quantize(f64::NAN).is_nan());
+        let nz = E4M3.encode(-0.0);
+        assert_eq!(nz, 0x80);
+        assert_eq!(E4M3.decode(nz), 0.0);
+        assert!(E4M3.decode(nz).is_sign_negative() || E4M3.decode(nz) == 0.0);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_e4m3() {
+        for code in 0u8..=0xff {
+            let v = E4M3.decode(code);
+            if v.is_nan() {
+                assert!(E4M3.decode(E4M3.encode(v)).is_nan());
+                continue;
+            }
+            let back = E4M3.encode(v);
+            // -0.0 and 0.0 both legal; compare decoded values.
+            assert_eq!(E4M3.decode(back), v, "code {code:#04x}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_e5m2() {
+        for code in 0u8..=0xff {
+            let v = E5M2.decode(code);
+            if v.is_nan() {
+                continue;
+            }
+            assert_eq!(E5M2.decode(E5M2.encode(v)), v, "code {code:#04x}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_bound() {
+        // Relative error of normal-range quantization is at most 2^-(man_bits+1).
+        let mut v = 0.07;
+        while v < 400.0 {
+            let q = E4M3.quantize(v);
+            let rel = ((q - v) / v).abs();
+            assert!(rel <= 2f64.powi(-4) + 1e-12, "rel err {rel} at {v}");
+            v *= 1.317;
+        }
+    }
+
+    #[test]
+    fn monotone_quantization() {
+        // Quantization must be monotone non-decreasing.
+        let mut prev = f64::NEG_INFINITY;
+        let mut v = -500.0;
+        while v < 500.0 {
+            let q = E4M3.quantize(v);
+            assert!(q >= prev, "not monotone at {v}");
+            prev = q;
+            v += 0.37;
+        }
+    }
+}

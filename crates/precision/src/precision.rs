@@ -1,0 +1,225 @@
+//! The four storage precisions of the Mille-feuille tiled format.
+
+use crate::fp16::Fp16;
+use crate::fp8::Fp8E4M3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Storage precision of a tile (paper §II-A / Fig. 5 `TilePrec`).
+///
+/// Ordered by *width*: `Fp8 < Fp16 < Fp32 < Fp64`. The dynamic strategy of
+/// §III-D only ever moves a tile *down* this order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 8-bit minifloat (OCP E4M3).
+    Fp8,
+    /// IEEE binary16.
+    Fp16,
+    /// IEEE binary32.
+    Fp32,
+    /// IEEE binary64.
+    Fp64,
+}
+
+impl Precision {
+    /// All precisions from narrowest to widest.
+    pub const ALL: [Precision; 4] = [
+        Precision::Fp8,
+        Precision::Fp16,
+        Precision::Fp32,
+        Precision::Fp64,
+    ];
+
+    /// Storage size of one value in bytes.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Fp8 => 1,
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 4,
+            Precision::Fp64 => 8,
+        }
+    }
+
+    /// Relative arithmetic cost of one FLOP in this precision, normalised to
+    /// FP64 = 1. GPUs execute narrower types at proportionally higher
+    /// throughput (2× per halving on A100/MI210 vector pipes), which is the
+    /// compute-side benefit Finding 1 exploits.
+    #[inline]
+    pub const fn flop_cost(self) -> f64 {
+        match self {
+            Precision::Fp8 => 0.125,
+            Precision::Fp16 => 0.25,
+            Precision::Fp32 => 0.5,
+            Precision::Fp64 => 1.0,
+        }
+    }
+
+    /// Quantizes a value: rounds it to this precision and widens back to
+    /// `f64`. This is the exact perturbation a value suffers when stored in a
+    /// tile of this precision.
+    #[inline]
+    pub fn quantize(self, v: f64) -> f64 {
+        match self {
+            Precision::Fp8 => Fp8E4M3::from_f64(v).to_f64(),
+            Precision::Fp16 => Fp16::from_f64(v).to_f64(),
+            Precision::Fp32 => v as f32 as f64,
+            Precision::Fp64 => v,
+        }
+    }
+
+    /// Quantizes a slice in place.
+    pub fn quantize_slice(self, vals: &mut [f64]) {
+        if self == Precision::Fp64 {
+            return;
+        }
+        for v in vals {
+            *v = self.quantize(*v);
+        }
+    }
+
+    /// The next narrower precision, if any.
+    #[inline]
+    pub const fn narrower(self) -> Option<Precision> {
+        match self {
+            Precision::Fp64 => Some(Precision::Fp32),
+            Precision::Fp32 => Some(Precision::Fp16),
+            Precision::Fp16 => Some(Precision::Fp8),
+            Precision::Fp8 => None,
+        }
+    }
+
+    /// The next wider precision, if any.
+    #[inline]
+    pub const fn wider(self) -> Option<Precision> {
+        match self {
+            Precision::Fp8 => Some(Precision::Fp16),
+            Precision::Fp16 => Some(Precision::Fp32),
+            Precision::Fp32 => Some(Precision::Fp64),
+            Precision::Fp64 => None,
+        }
+    }
+
+    /// Returns the narrower of `self` and `other` (used when the dynamic
+    /// strategy lowers a tile: the effective precision is the minimum of the
+    /// initial tile precision and the `vis_flag` demand, paper Alg. 5).
+    #[inline]
+    pub fn min(self, other: Precision) -> Precision {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Stable index used by the tiled format's `TilePrec` array
+    /// (0 = FP64 … 3 = FP8, matching the paper's figures).
+    #[inline]
+    pub const fn tile_code(self) -> u8 {
+        match self {
+            Precision::Fp64 => 0,
+            Precision::Fp32 => 1,
+            Precision::Fp16 => 2,
+            Precision::Fp8 => 3,
+        }
+    }
+
+    /// Inverse of [`Precision::tile_code`].
+    #[inline]
+    pub const fn from_tile_code(code: u8) -> Option<Precision> {
+        match code {
+            0 => Some(Precision::Fp64),
+            1 => Some(Precision::Fp32),
+            2 => Some(Precision::Fp16),
+            3 => Some(Precision::Fp8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Precision::Fp8 => "FP8",
+            Precision::Fp16 => "FP16",
+            Precision::Fp32 => "FP32",
+            Precision::Fp64 => "FP64",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_ordering() {
+        assert!(Precision::Fp8 < Precision::Fp16);
+        assert!(Precision::Fp16 < Precision::Fp32);
+        assert!(Precision::Fp32 < Precision::Fp64);
+    }
+
+    #[test]
+    fn bytes_and_cost() {
+        assert_eq!(Precision::Fp64.bytes(), 8);
+        assert_eq!(Precision::Fp8.bytes(), 1);
+        assert_eq!(Precision::Fp64.flop_cost(), 1.0);
+        assert_eq!(Precision::Fp16.flop_cost(), 0.25);
+    }
+
+    #[test]
+    fn quantize_identity_for_representable() {
+        for p in Precision::ALL {
+            assert_eq!(p.quantize(1.0), 1.0);
+            assert_eq!(p.quantize(0.0), 0.0);
+            assert_eq!(p.quantize(-0.5), -0.5);
+        }
+    }
+
+    #[test]
+    fn quantize_error_decreases_with_width() {
+        let v = 0.123456789;
+        let mut last = f64::INFINITY;
+        for p in Precision::ALL {
+            let err = (p.quantize(v) - v).abs();
+            assert!(err <= last, "{p}: {err} > {last}");
+            last = err;
+        }
+        assert_eq!(Precision::Fp64.quantize(v), v);
+    }
+
+    #[test]
+    fn narrower_wider_chain() {
+        assert_eq!(Precision::Fp64.narrower(), Some(Precision::Fp32));
+        assert_eq!(Precision::Fp8.narrower(), None);
+        assert_eq!(Precision::Fp8.wider(), Some(Precision::Fp16));
+        assert_eq!(Precision::Fp64.wider(), None);
+    }
+
+    #[test]
+    fn tile_codes_roundtrip() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::from_tile_code(p.tile_code()), Some(p));
+        }
+        assert_eq!(Precision::from_tile_code(9), None);
+    }
+
+    #[test]
+    fn min_takes_narrower() {
+        assert_eq!(
+            Precision::Fp64.min(Precision::Fp16),
+            Precision::Fp16
+        );
+        assert_eq!(Precision::Fp8.min(Precision::Fp64), Precision::Fp8);
+    }
+
+    #[test]
+    fn quantize_slice_applies() {
+        let mut v = vec![0.1, 1.0, std::f64::consts::PI];
+        Precision::Fp16.quantize_slice(&mut v);
+        assert_eq!(v[1], 1.0);
+        assert_ne!(v[0], 0.1);
+        assert!((v[0] - 0.1).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the floating-point substrate.
+
+use mf_precision::fp16::{f32_to_f16_bits, f64_to_f16_bits};
+use mf_precision::minifloat::{E4M3, E5M2};
+use mf_precision::{classify_value, ClassifyOptions, Fp16, Fp8E4M3, PackedValuesBuilder, Precision};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantization is idempotent: quantizing twice equals quantizing once.
+    #[test]
+    fn quantize_idempotent(v in prop::num::f64::NORMAL, p in 0u8..4) {
+        let p = Precision::from_tile_code(p).unwrap();
+        let q1 = p.quantize(v);
+        if q1.is_finite() {
+            prop_assert_eq!(p.quantize(q1), q1);
+        }
+    }
+
+    /// Quantization error of binary16 on in-range values obeys the unit
+    /// roundoff bound: |v - q| <= 2^-11 * |v| for normal-range results.
+    #[test]
+    fn fp16_error_bound(v in -60000.0f64..60000.0) {
+        prop_assume!(v.abs() >= 2f64.powi(-14)); // stay in the normal range
+        let q = Fp16::from_f64(v).to_f64();
+        prop_assert!((v - q).abs() <= v.abs() * 2f64.powi(-11) * (1.0 + 1e-12));
+    }
+
+    /// E4M3 error bound: half ulp = 2^-4 relative on normal-range values.
+    #[test]
+    fn e4m3_error_bound(v in -440.0f64..440.0) {
+        prop_assume!(v.abs() >= 2f64.powi(-6));
+        let q = E4M3.quantize(v);
+        prop_assert!((v - q).abs() <= v.abs() * 2f64.powi(-4) * (1.0 + 1e-12));
+    }
+
+    /// FP16 conversion from f64 agrees with conversion from f32 whenever the
+    /// value is exactly representable in f32.
+    #[test]
+    fn fp16_f32_f64_paths_agree(v in prop::num::f32::NORMAL) {
+        prop_assert_eq!(f32_to_f16_bits(v), f64_to_f16_bits(v as f64));
+    }
+
+    /// Quantization is monotone: v <= w implies q(v) <= q(w).
+    #[test]
+    fn quantize_monotone(a in -1e4f64..1e4, b in -1e4f64..1e4, p in 0u8..4) {
+        let p = Precision::from_tile_code(p).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(p.quantize(lo) <= p.quantize(hi));
+    }
+
+    /// Sign symmetry: q(-v) == -q(v).
+    #[test]
+    fn quantize_odd_function(v in -1e6f64..1e6, p in 0u8..4) {
+        let p = Precision::from_tile_code(p).unwrap();
+        prop_assert_eq!(p.quantize(-v), -p.quantize(v));
+    }
+
+    /// E5M2 decode(encode(v)) never increases the magnitude ordering versus
+    /// another value (joint monotonicity of the minifloat path).
+    #[test]
+    fn e5m2_monotone(a in -5e4f64..5e4, b in -5e4f64..5e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(E5M2.quantize(lo) <= E5M2.quantize(hi));
+    }
+
+    /// The classification always accepts its own quantization: a value that
+    /// classifies to precision P must round-trip through P exactly (that is
+    /// the definition, but it checks the plumbing end-to-end).
+    #[test]
+    fn classified_precision_is_lossless(v in prop::num::f64::NORMAL) {
+        let opts = ClassifyOptions::default();
+        let p = classify_value(v, &opts);
+        if p != Precision::Fp64 {
+            let rel = (v - p.quantize(v)).abs() / v.abs().max(f64::MIN_POSITIVE);
+            prop_assert!(rel < 1e-15);
+        }
+    }
+
+    /// Packed storage: pushing a run in precision P and decoding returns
+    /// exactly quantize_P of each input.
+    #[test]
+    fn packed_roundtrip(vals in prop::collection::vec(-1e5f64..1e5, 1..64), p in 0u8..4) {
+        let p = Precision::from_tile_code(p).unwrap();
+        let mut b = PackedValuesBuilder::new();
+        let off = b.push_run(&vals, p);
+        let packed = b.finish();
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(packed.get(off, p, i), p.quantize(v));
+        }
+        prop_assert_eq!(packed.len_bytes(), vals.len() * p.bytes());
+    }
+
+    /// Fp16 widening then narrowing is the identity on all finite halves.
+    #[test]
+    fn fp16_roundtrip_random_bits(bits in 0u16..0x7c00) {
+        let h = Fp16::from_bits(bits);
+        prop_assert_eq!(Fp16::from_f64(h.to_f64()).to_bits(), bits);
+    }
+
+    /// Fp8 E4M3 roundtrip over all finite codes (shrunken via proptest).
+    #[test]
+    fn fp8_roundtrip_random_bits(bits in 0u8..0x7e) {
+        let v = Fp8E4M3::from_bits(bits);
+        prop_assert_eq!(Fp8E4M3::from_f64(v.to_f64()).to_bits(), bits);
+    }
+}

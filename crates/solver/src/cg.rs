@@ -1,0 +1,385 @@
+//! The conjugate-gradient core (paper Algorithm 1 / Algorithm 3).
+//!
+//! One numeric loop serves both execution modes; the [`Coster`] decides how
+//! the time of each step is charged. The numerics are exact: every SpMV
+//! multiplies the (possibly dynamically lowered) quantized tile values, so
+//! mixed precision genuinely perturbs convergence.
+
+use crate::config::SolverConfig;
+use crate::coster::Coster;
+use crate::partial::PartialState;
+use mf_gpu::Timeline;
+use mf_kernels::{blas1, spmv_mixed, MixedSpmvStats, SharedTiles, VisFlag};
+use mf_sparse::TiledMatrix;
+
+/// Raw output of a solver core loop.
+#[derive(Clone, Debug)]
+pub struct CoreResult {
+    /// Solution iterate.
+    pub x: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Converged by the relative-residual criterion.
+    pub converged: bool,
+    /// Final relative residual from the recurrence.
+    pub final_relres: f64,
+    /// Modeled time of the solve loop.
+    pub timeline: Timeline,
+    /// Accumulated SpMV statistics.
+    pub spmv_stats: MixedSpmvStats,
+    /// Per-iteration relative residuals (when traced).
+    pub residual_history: Vec<f64>,
+    /// Per-iteration relative errors vs. the reference (when configured).
+    pub error_history: Vec<f64>,
+    /// Per-iteration |p| range histograms (when traced).
+    pub p_range_history: Vec<[usize; 5]>,
+    /// Per-iteration bypassed-tile counts (when traced).
+    pub bypass_history: Vec<usize>,
+    /// Per-iteration histogram of *current* tile precisions in the on-chip
+    /// copy `[FP64, FP32, FP16, FP8]` (when traced; paper Fig. 7).
+    pub precision_history: Vec<[usize; 4]>,
+}
+
+/// Relative error `‖x − x*‖₂ / ‖x*‖₂`.
+fn rel_error(x: &[f64], reference: &[f64]) -> f64 {
+    let mut diff = 0.0;
+    let mut norm = 0.0;
+    for (a, b) in x.iter().zip(reference) {
+        diff += (a - b) * (a - b);
+        norm += b * b;
+    }
+    (diff / norm.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+/// Runs CG on the tiled matrix. `shared` is the on-chip tile copy (loaded
+/// once, mutated by dynamic lowering); `partial` controls the Finding-3
+/// strategy (pass a disabled state for plain mixed/FP64 runs).
+pub fn run_cg(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    b: &[f64],
+    cfg: &SolverConfig,
+    coster: &Coster,
+    partial: &mut PartialState,
+) -> CoreResult {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+    assert_eq!(m.nrows, m.ncols, "CG needs a square (SPD) matrix");
+
+    let mut tl = Timeline::new();
+    coster.solve_start(&mut tl);
+
+    let mut result = CoreResult {
+        x: vec![0.0; n],
+        iterations: 0,
+        converged: false,
+        final_relres: f64::INFINITY,
+        timeline: Timeline::new(),
+        spmv_stats: MixedSpmvStats::default(),
+        residual_history: Vec::new(),
+        error_history: Vec::new(),
+        p_range_history: Vec::new(),
+        bypass_history: Vec::new(),
+        precision_history: Vec::new(),
+    };
+
+    let norm_b = blas1::norm2(b);
+    if norm_b == 0.0 {
+        // x = 0 solves the system exactly.
+        result.converged = true;
+        result.final_relres = 0.0;
+        result.timeline = tl;
+        return result;
+    }
+
+    // x0 = 0 ⇒ r0 = b, p0 = r0 (paper Algorithm 1 lines 1–3).
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut u = vec![0.0; n];
+    let mut rr = blas1::dot(&r, &r);
+
+    let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
+    let check_convergence = cfg.fixed_iterations.is_none();
+
+    for _j in 0..iters {
+        // ---- Step A: vis_flag retrieval + mixed-precision SpMV µ = A·p.
+        partial.update(&p);
+        if partial.enabled() {
+            coster.visflag_scan(&mut tl);
+        }
+        let stats = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut u);
+        result.spmv_stats.merge(&stats);
+        coster.spmv(&mut tl, m, shared, &partial.vis_flags, &stats);
+
+        // ---- Step B: α = (r,r) / (µ,p).
+        let py = blas1::dot(&u, &p);
+        coster.dot(&mut tl, true);
+        let alpha = rr / py;
+        if !alpha.is_finite() || py <= 0.0 {
+            // Curvature breakdown (quantization can push a borderline SPD
+            // system off the cone, and fixed-iteration benchmark runs keep
+            // iterating past exact convergence). Restart the direction from
+            // the current residual — but charge the *full* iteration: the
+            // GPU kernel executes every step regardless of degenerate
+            // scalars.
+            p.copy_from_slice(&r);
+            rr = blas1::dot(&r, &r);
+            coster.axpy(&mut tl, 2);
+            coster.dot(&mut tl, true);
+            coster.axpy(&mut tl, 1);
+            coster.iteration_end(&mut tl);
+            result.iterations += 1;
+            let relres = rr.sqrt() / norm_b;
+            result.final_relres = relres;
+            if cfg.trace_residuals {
+                result.residual_history.push(relres);
+            }
+            if let Some(reference) = &cfg.reference_solution {
+                result.error_history.push(rel_error(&x, reference));
+            }
+            if cfg.trace_partial {
+                result.p_range_history.push(partial.p_range_histogram(&p));
+                result.bypass_history.push(stats.tiles_bypassed);
+                result.precision_history.push(current_precision_histogram(shared));
+            }
+            continue;
+        }
+
+        // ---- Step C: x += αp; r −= αµ; z = (r,r).
+        blas1::axpy(alpha, &p, &mut x);
+        blas1::axpy(-alpha, &u, &mut r);
+        coster.axpy(&mut tl, 2);
+        let rr_new = blas1::dot(&r, &r);
+        coster.dot(&mut tl, true);
+
+        // ---- Step D: β = z/(r,r)_old; p = r + βp.
+        let beta = rr_new / rr;
+        rr = rr_new;
+        blas1::xpay(&r, beta, &mut p);
+        coster.axpy(&mut tl, 1);
+        coster.iteration_end(&mut tl);
+
+        result.iterations += 1;
+        let relres = rr_new.sqrt() / norm_b;
+        result.final_relres = relres;
+
+        if cfg.trace_residuals {
+            result.residual_history.push(relres);
+        }
+        if let Some(reference) = &cfg.reference_solution {
+            result.error_history.push(rel_error(&x, reference));
+        }
+        if cfg.trace_partial {
+            result.p_range_history.push(partial.p_range_histogram(&p));
+            result.bypass_history.push(stats.tiles_bypassed);
+            result.precision_history.push(current_precision_histogram(shared));
+        }
+
+        if check_convergence && relres < cfg.tolerance {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.x = x;
+    result.timeline = tl;
+    result
+}
+
+/// Histogram of the on-chip copy's *current* tile precisions,
+/// `[FP64, FP32, FP16, FP8]` (paper Fig. 7's color counts).
+pub fn current_precision_histogram(shared: &SharedTiles) -> [usize; 4] {
+    let mut h = [0usize; 4];
+    for &p in &shared.current_prec {
+        h[p.tile_code() as usize] += 1;
+    }
+    h
+}
+
+/// Builds an all-`Keep` flag vector — the flag set a plain (non-dynamic)
+/// tiled SpMV runs with; callers driving [`mf_kernels::spmv_mixed`] outside
+/// the solver loops use it to opt out of Finding 3.
+///
+/// ```
+/// use mf_solver::cg::keep_flags;
+/// use mf_kernels::VisFlag;
+/// assert_eq!(keep_flags(3), vec![VisFlag::Keep; 3]);
+/// assert_eq!(keep_flags(0).len(), 1); // always indexable
+/// ```
+pub fn keep_flags(tile_cols: usize) -> Vec<VisFlag> {
+    vec![VisFlag::Keep; tile_cols.max(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::coster::{Coster, MultiCoster, SingleCoster};
+    use mf_gpu::{CostModel, DeviceSpec};
+    use mf_precision::ClassifyOptions;
+    use mf_sparse::{Coo, Csr, TiledMatrix};
+
+    fn poisson1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    fn setup(
+        a: &Csr,
+        cfg: &SolverConfig,
+    ) -> (TiledMatrix, SharedTiles, Coster, PartialState, Vec<f64>) {
+        let m = TiledMatrix::from_csr_with(a, cfg.tile_size, &ClassifyOptions::default());
+        let shared = SharedTiles::load(&m);
+        let cost = CostModel::new(DeviceSpec::a100());
+        let coster = Coster::Single(SingleCoster::new(cost, &m, cfg.tile_size));
+        let mut b = vec![0.0; a.nrows];
+        a.matvec(&vec![1.0; a.ncols], &mut b);
+        let eps_abs = cfg.tolerance * blas1::norm2(&b);
+        let partial = PartialState::new(
+            cfg.partial_convergence,
+            m.tile_cols,
+            cfg.tile_size,
+            eps_abs,
+        );
+        (m, shared, coster, partial, b)
+    }
+
+    #[test]
+    fn cg_converges_on_poisson() {
+        let a = poisson1d(200);
+        let cfg = SolverConfig::default();
+        let (m, mut shared, coster, mut partial, b) = setup(&a, &cfg);
+        let res = run_cg(&m, &mut shared, &b, &cfg, &coster, &mut partial);
+        assert!(res.converged, "relres {}", res.final_relres);
+        assert!(res.iterations < 200);
+        // b = A·1 so x ≈ 1.
+        for v in &res.x {
+            assert!((v - 1.0).abs() < 1e-7, "{v}");
+        }
+    }
+
+    #[test]
+    fn cg_true_residual_matches_recurrence() {
+        let a = poisson1d(150);
+        let cfg = SolverConfig::default();
+        let (m, mut shared, coster, mut partial, b) = setup(&a, &cfg);
+        let res = run_cg(&m, &mut shared, &b, &cfg, &coster, &mut partial);
+        let mut ax = vec![0.0; 150];
+        m.matvec(&res.x, &mut ax);
+        let true_res: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, ai)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt()
+            / blas1::norm2(&b);
+        // Bypass perturbs the recurrence slightly; orders must agree.
+        assert!(true_res < 1e-8, "true relres {true_res}");
+    }
+
+    #[test]
+    fn fixed_iterations_run_exactly() {
+        let a = poisson1d(64);
+        let cfg = SolverConfig::benchmark_100_iters();
+        let (m, mut shared, coster, mut partial, b) = setup(&a, &cfg);
+        let res = run_cg(&m, &mut shared, &b, &cfg, &coster, &mut partial);
+        assert_eq!(res.iterations, 100);
+        assert!(!res.converged);
+    }
+
+    #[test]
+    fn zero_rhs_trivially_converges() {
+        let a = poisson1d(32);
+        let cfg = SolverConfig::default();
+        let (m, mut shared, coster, mut partial, _) = setup(&a, &cfg);
+        let res = run_cg(&m, &mut shared, &vec![0.0; 32], &cfg, &coster, &mut partial);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert!(res.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn traces_recorded_when_enabled() {
+        let a = poisson1d(64);
+        let mut cfg = SolverConfig::convergence_study();
+        cfg.reference_solution = Some(vec![1.0; 64]);
+        let (m, mut shared, coster, mut partial, b) = setup(&a, &cfg);
+        let res = run_cg(&m, &mut shared, &b, &cfg, &coster, &mut partial);
+        assert_eq!(res.residual_history.len(), res.iterations);
+        assert_eq!(res.error_history.len(), res.iterations);
+        assert_eq!(res.p_range_history.len(), res.iterations);
+        // Residuals trend down.
+        assert!(res.residual_history.last().unwrap() < &res.residual_history[0]);
+        // Error approaches zero.
+        assert!(res.error_history.last().unwrap() < &1e-8);
+    }
+
+    #[test]
+    fn multi_kernel_mode_matches_numerics() {
+        let a = poisson1d(120);
+        let cfg = SolverConfig {
+            partial_convergence: false,
+            ..SolverConfig::default()
+        };
+        let (m, mut sh1, coster_s, mut p1, b) = setup(&a, &cfg);
+        let res_s = run_cg(&m, &mut sh1, &b, &cfg, &coster_s, &mut p1);
+
+        let mut sh2 = SharedTiles::load(&m);
+        let coster_m = Coster::Multi(MultiCoster::new(
+            CostModel::new(DeviceSpec::a100()),
+            m.nrows,
+        ));
+        let mut p2 = PartialState::new(false, m.tile_cols, 16, 1e-10);
+        let res_m = run_cg(&m, &mut sh2, &b, &cfg, &coster_m, &mut p2);
+
+        // Same numerics, different time accounting.
+        assert_eq!(res_s.iterations, res_m.iterations);
+        assert_eq!(res_s.x, res_m.x);
+        assert!(res_m.timeline.get(mf_gpu::Phase::Sync) > res_s.timeline.get(mf_gpu::Phase::Sync));
+    }
+
+    #[test]
+    fn partial_convergence_bypasses_late_iterations() {
+        // Decoupled system: the scaled-identity block is a single isolated
+        // eigenvalue that CG eliminates within a few iterations, while the
+        // unshifted Laplacian chain needs ~n iterations — so mid-solve the
+        // identity columns' p entries sit far below ε·10⁻³ and bypass
+        // (exactly the m3plates behaviour of Fig. 4).
+        let mut a = Coo::new(128, 128);
+        for i in 0..32 {
+            a.push(i, i, 4.0);
+        }
+        for i in 32..128 {
+            a.push(i, i, 2.0);
+            if i > 32 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < 128 {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        let csr = a.to_csr();
+        let cfg = SolverConfig {
+            trace_partial: true,
+            ..SolverConfig::default()
+        };
+        let (m, mut shared, coster, mut partial, b) = setup(&csr, &cfg);
+        let res = run_cg(&m, &mut shared, &b, &cfg, &coster, &mut partial);
+        assert!(res.converged);
+        assert!(
+            res.spmv_stats.tiles_bypassed > 0,
+            "identity block columns should bypass: {:?}",
+            res.spmv_stats
+        );
+    }
+}

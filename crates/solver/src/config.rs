@@ -1,0 +1,141 @@
+//! Solver configuration.
+
+use mf_precision::ClassifyOptions;
+
+/// Execution-mode selection (§III-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Decide per matrix: single kernel when the tiles fit on-chip and the
+    /// nonzero count is below the fallback threshold (the paper's policy).
+    Auto,
+    /// Force the single-kernel scheme.
+    SingleKernel,
+    /// Force the classic multi-kernel path.
+    MultiKernel,
+}
+
+/// Configuration of a Mille-feuille solve.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Relative-residual convergence threshold ε (paper §IV-A: 1e-10).
+    pub tolerance: f64,
+    /// Maximum iterations (paper §IV-A: 1000).
+    pub max_iter: usize,
+    /// Run exactly this many iterations, ignoring convergence — the paper's
+    /// performance figures (Figs. 8–10) time 100 fixed iterations.
+    pub fixed_iterations: Option<usize>,
+    /// Tile edge length (paper: 16).
+    pub tile_size: usize,
+    /// Store tiles in classified mixed precision (Finding 1). When `false`
+    /// every tile is FP64 (the ablation baseline of Fig. 11).
+    pub mixed_precision: bool,
+    /// Force every tile to one uniform storage precision, overriding both
+    /// `mixed_precision` and classification (the matrix-grained storage
+    /// alternative of §II-A; used by the granularity ablation). Values are
+    /// quantized accordingly — choose the precision that is lossless for
+    /// the whole matrix to compare fairly.
+    pub uniform_precision: Option<mf_precision::Precision>,
+    /// Enable the partial-convergence strategy: per-iteration `vis_flag`
+    /// retrieval, dynamic on-chip lowering and tile bypass (Finding 3).
+    pub partial_convergence: bool,
+    /// Safety factor on the partial-convergence threshold ladder. The
+    /// paper's ladder is `ε·10⁻³ … ε` (factor 1.0); the default 0.1 shifts
+    /// it one decade down, which keeps stiff systems from stalling just
+    /// above the tolerance while retaining almost all of the bypass volume
+    /// on well-behaved systems (see EXPERIMENTS.md).
+    pub partial_safety: f64,
+    /// Kernel mode policy.
+    pub kernel_mode: KernelMode,
+    /// Classification options for the initial tile precisions.
+    pub classify: ClassifyOptions,
+    /// Leaf size of the recursive-block SpTRSV (preconditioned solvers).
+    pub trsv_leaf: usize,
+    /// Record the relative residual after every iteration (Fig. 12).
+    pub trace_residuals: bool,
+    /// Record the |p| range histogram after every iteration (Fig. 4) and
+    /// the per-iteration bypass/precision statistics.
+    pub trace_partial: bool,
+    /// If set, record per-iteration relative error `‖x−x*‖₂/‖x*‖₂` against
+    /// this reference solution (Fig. 12's y-axis).
+    pub reference_solution: Option<Vec<f64>>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            tolerance: 1e-10,
+            max_iter: 1000,
+            fixed_iterations: None,
+            tile_size: mf_sparse::DEFAULT_TILE_SIZE,
+            mixed_precision: true,
+            uniform_precision: None,
+            partial_convergence: true,
+            partial_safety: 0.1,
+            kernel_mode: KernelMode::Auto,
+            classify: ClassifyOptions::default(),
+            trsv_leaf: mf_kernels::sptrsv::DEFAULT_TRSV_LEAF,
+            trace_residuals: false,
+            trace_partial: false,
+            reference_solution: None,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The paper's benchmark configuration: 100 fixed iterations.
+    pub fn benchmark_100_iters() -> Self {
+        SolverConfig {
+            fixed_iterations: Some(100),
+            ..SolverConfig::default()
+        }
+    }
+
+    /// A plain FP64 configuration (mixed precision and the partial-
+    /// convergence strategy disabled) — the "only FP64" bar of Fig. 11.
+    pub fn fp64_only() -> Self {
+        SolverConfig {
+            mixed_precision: false,
+            partial_convergence: false,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// Convergence-study configuration (residual + error traces on).
+    pub fn convergence_study() -> Self {
+        SolverConfig {
+            trace_residuals: true,
+            trace_partial: true,
+            ..SolverConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SolverConfig::default();
+        assert_eq!(c.tolerance, 1e-10);
+        assert_eq!(c.max_iter, 1000);
+        assert_eq!(c.tile_size, 16);
+        assert!(c.mixed_precision);
+        assert!(c.partial_convergence);
+        assert_eq!(c.kernel_mode, KernelMode::Auto);
+        assert!(c.fixed_iterations.is_none());
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(
+            SolverConfig::benchmark_100_iters().fixed_iterations,
+            Some(100)
+        );
+        let f = SolverConfig::fp64_only();
+        assert!(!f.mixed_precision);
+        assert!(!f.partial_convergence);
+        let s = SolverConfig::convergence_study();
+        assert!(s.trace_residuals && s.trace_partial);
+    }
+}

@@ -1,0 +1,48 @@
+//! # mf-solver
+//!
+//! The Mille-feuille solver (SC'24): tile-grained mixed-precision CG and
+//! BiCGSTAB with a single-kernel execution scheme and partial-convergence-
+//! aware dynamic precision lowering.
+//!
+//! ## Architecture
+//!
+//! The numerics and the performance model are strictly separated:
+//!
+//! * **Numerics** run exactly — quantized tile values, dynamic lowering and
+//!   tile bypass all perturb the computation precisely the way the GPU
+//!   kernels would, so iteration counts and residual histories (paper
+//!   Table II, Fig. 12) are measurements, not estimates.
+//! * **Time** is charged to a [`mf_gpu::Timeline`] by a *coster* matching
+//!   the execution mode: the single-kernel coster charges one launch per
+//!   solve, per-warp step maxima (straggler model), atomic traffic and
+//!   busy-wait polls (paper Fig. 6 / Algorithm 3); the multi-kernel coster
+//!   charges one launch per kernel call plus device-to-host scalar reads —
+//!   the Finding-2 overhead the single kernel removes.
+//!
+//! ## Entry point
+//!
+//! [`MilleFeuille`] owns a device model and a [`SolverConfig`]; its
+//! `solve_cg` / `solve_bicgstab` / `solve_pcg` / `solve_pbicgstab` methods
+//! take any CSR matrix, preprocess it into the tiled format (§III-B), pick
+//! single- vs multi-kernel mode (§III-C, with the ≈10⁶-nnz fallback), run
+//! the solve, and return a [`SolveReport`] with the solution, convergence
+//! data and a full modeled-time breakdown.
+//!
+//! The [`threaded`] module contains a *real* multi-threaded single-kernel
+//! CG engine — warps as OS threads synchronized only through atomic
+//! dependency counters — used to validate that the paper's in-kernel
+//! synchronization scheme is correct and deadlock-free.
+
+pub mod bicgstab;
+pub mod cg;
+pub mod config;
+pub mod coster;
+pub mod partial;
+pub mod precond;
+pub mod report;
+pub mod solver;
+pub mod threaded;
+
+pub use config::{KernelMode, SolverConfig};
+pub use report::{ExecutedMode, SolveReport};
+pub use solver::MilleFeuille;

@@ -1,0 +1,122 @@
+//! Partial-convergence state (paper §III-D, Algorithms 4–5 driver).
+//!
+//! Holds the per-tile-column `vis_flag` array, refreshed from the SpMV
+//! input vector every iteration, plus the tracing used by Fig. 4 (the
+//! evolution of |p| magnitudes over the iterations).
+
+use mf_kernels::{retrieve_vis_flags, VisFlag};
+
+/// Per-iteration partial-convergence state.
+#[derive(Clone, Debug)]
+pub struct PartialState {
+    /// Current per-tile-column demands (all `Keep` when disabled).
+    pub vis_flags: Vec<VisFlag>,
+    enabled: bool,
+    /// Absolute threshold ε used for the range comparisons. The paper's
+    /// convergence criterion is relative (`‖r‖/‖b‖ < ε`), so the element
+    /// thresholds are scaled by `‖b‖₂`.
+    eps_abs: f64,
+    segment_len: usize,
+}
+
+impl PartialState {
+    /// Creates the state for a system with `tile_cols` tile columns.
+    /// `eps_abs` is the scaled convergence threshold (ε·‖b‖₂).
+    pub fn new(enabled: bool, tile_cols: usize, segment_len: usize, eps_abs: f64) -> PartialState {
+        PartialState {
+            vis_flags: vec![VisFlag::Keep; tile_cols.max(1)],
+            enabled,
+            eps_abs,
+            segment_len,
+        }
+    }
+
+    /// Refreshes the flags from the SpMV input vector (Algorithm 4). A
+    /// no-op (all `Keep`) when the strategy is disabled.
+    pub fn update(&mut self, p: &[f64]) {
+        if !self.enabled {
+            return;
+        }
+        retrieve_vis_flags(p, self.segment_len, self.eps_abs, &mut self.vis_flags);
+    }
+
+    /// `true` when the dynamic strategy is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of columns currently bypassed.
+    pub fn bypassed_columns(&self) -> usize {
+        self.vis_flags
+            .iter()
+            .filter(|&&f| f == VisFlag::Bypass)
+            .count()
+    }
+
+    /// Fig. 4 histogram: counts of |p| in the five ranges
+    /// `[≥ε, ε/10..ε, ε/100..ε/10, ε/1000..ε/100, <ε/1000]`.
+    pub fn p_range_histogram(&self, p: &[f64]) -> [usize; 5] {
+        let e = self.eps_abs;
+        let mut h = [0usize; 5];
+        for &v in p {
+            let a = v.abs();
+            let bucket = if a >= e {
+                0
+            } else if a >= e * 1e-1 {
+                1
+            } else if a >= e * 1e-2 {
+                2
+            } else if a >= e * 1e-3 {
+                3
+            } else {
+                4
+            };
+            h[bucket] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_state_keeps_everything() {
+        let mut s = PartialState::new(false, 4, 16, 1e-10);
+        s.update(&[1e-20; 64]);
+        assert!(s.vis_flags.iter().all(|&f| f == VisFlag::Keep));
+        assert_eq!(s.bypassed_columns(), 0);
+        assert!(!s.enabled());
+    }
+
+    #[test]
+    fn enabled_state_tracks_segments() {
+        let mut s = PartialState::new(true, 2, 2, 1e-6);
+        // Segment 0 large, segment 1 tiny.
+        s.update(&[1.0, 1.0, 1e-12, 1e-12]);
+        assert_eq!(s.vis_flags[0], VisFlag::Keep);
+        assert_eq!(s.vis_flags[1], VisFlag::Bypass);
+        assert_eq!(s.bypassed_columns(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let s = PartialState::new(true, 1, 4, 1e-6);
+        let h = s.p_range_histogram(&[1.0, 1e-7, 1e-8, 1e-9, 1e-12, 0.0]);
+        assert_eq!(h, [1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn flags_update_as_vector_shrinks() {
+        let mut s = PartialState::new(true, 1, 4, 1e-6);
+        s.update(&[1e-7; 4]); // in [eps/10, eps) -> FP32
+        assert_eq!(s.vis_flags[0], VisFlag::Fp32);
+        s.update(&[1e-8; 4]);
+        assert_eq!(s.vis_flags[0], VisFlag::Fp16);
+        s.update(&[1e-9; 4]);
+        assert_eq!(s.vis_flags[0], VisFlag::Fp8);
+        s.update(&[1e-10; 4]);
+        assert_eq!(s.vis_flags[0], VisFlag::Bypass);
+    }
+}

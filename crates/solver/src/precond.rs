@@ -1,0 +1,660 @@
+//! ILU(0)-preconditioned CG and BiCGSTAB (paper §III-C last paragraph,
+//! evaluated in §IV-C / Fig. 10).
+//!
+//! The paper applies preconditioning in its *multi-kernel* method ("We
+//! apply the recursive block SpTRSV algorithm \[41\] to our multi-kernel
+//! method"), so both loops here charge through a [`MultiCoster`]; the
+//! Mille-feuille advantage comes from (a) the tiled mixed-precision SpMV
+//! and (b) the recursive-block SpTRSV, whose square sub-blocks run as
+//! parallel SpMVs instead of serialized dependency levels.
+
+use crate::cg::CoreResult;
+use crate::config::SolverConfig;
+use crate::coster::MultiCoster;
+use crate::partial::PartialState;
+use mf_gpu::{Phase, Timeline};
+use mf_kernels::{blas1, spmv_mixed, BlockJacobi, Ic0, Ilu0, MixedSpmvStats, SharedTiles};
+use mf_sparse::TiledMatrix;
+
+/// Charges the ILU(0) factorization itself (done once, on device — modeled
+/// as two triangular sweeps over the pattern).
+pub fn charge_factorization(mc: &MultiCoster, tl: &mut Timeline, nnz: usize, n: usize) {
+    let body = mc.cost.sptrsv_us(nnz, n, (n / 32).max(1));
+    tl.add(Phase::Factorize, 2.0 * body);
+    tl.add(Phase::Sync, 2.0 * mc.cost.launch_us());
+}
+
+/// Preconditioned CG with `M = L·U` from ILU(0), applied through the
+/// recursive-block SpTRSV.
+pub fn run_pcg(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    ilu: &Ilu0,
+    b: &[f64],
+    cfg: &SolverConfig,
+    mc: &MultiCoster,
+    partial: &mut PartialState,
+) -> CoreResult {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+
+    let mut tl = Timeline::new();
+    charge_factorization(mc, &mut tl, ilu.nnz(), n);
+    // Preprocessing decides the SpTRSV algorithm for this factor pair:
+    // recursive-block vs level-scheduled (see MultiCoster::sptrsv_adaptive).
+    let lu_levels = mf_kernels::level_schedule(&ilu.l, true).num_levels
+        + mf_kernels::level_schedule(&ilu.u, false).num_levels;
+
+    let mut result = CoreResult {
+        x: vec![0.0; n],
+        iterations: 0,
+        converged: false,
+        final_relres: f64::INFINITY,
+        timeline: Timeline::new(),
+        spmv_stats: MixedSpmvStats::default(),
+        residual_history: Vec::new(),
+        error_history: Vec::new(),
+        p_range_history: Vec::new(),
+        bypass_history: Vec::new(),
+        precision_history: Vec::new(),
+    };
+
+    let norm_b = blas1::norm2(b);
+    if norm_b == 0.0 {
+        result.converged = true;
+        result.final_relres = 0.0;
+        result.timeline = tl;
+        return result;
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let (z0, fstats) = ilu.apply_recursive(&r, cfg.trsv_leaf);
+    mc.sptrsv_adaptive(&mut tl, &fstats, ilu.nnz(), lu_levels);
+    let mut z = z0;
+    let mut p = z.clone();
+    let mut u = vec![0.0; n];
+    let mut rz = blas1::dot(&r, &z);
+    mc.dot(&mut tl, true);
+
+    let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
+    let check_convergence = cfg.fixed_iterations.is_none();
+
+    for _j in 0..iters {
+        partial.update(&p);
+        let stats = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut u);
+        result.spmv_stats.merge(&stats);
+        mc.spmv(&mut tl, m, &stats);
+
+        let pu = blas1::dot(&p, &u);
+        mc.dot(&mut tl, true);
+        let alpha = rz / pu;
+        if !alpha.is_finite() || pu <= 0.0 {
+            // Breakdown restart — the kernel sequence still runs, charge it.
+            p.copy_from_slice(&z);
+            rz = blas1::dot(&r, &z);
+            mc.axpy(&mut tl);
+            mc.axpy(&mut tl);
+            mc.dot(&mut tl, true);
+            mc.dot(&mut tl, true);
+            mc.axpy(&mut tl);
+            result.iterations += 1;
+            continue;
+        }
+
+        blas1::axpy(alpha, &p, &mut x);
+        blas1::axpy(-alpha, &u, &mut r);
+        mc.axpy(&mut tl);
+        mc.axpy(&mut tl);
+
+        let rr = blas1::dot(&r, &r);
+        mc.dot(&mut tl, true);
+
+        let (znew, zstats) = ilu.apply_recursive(&r, cfg.trsv_leaf);
+        mc.sptrsv_adaptive(&mut tl, &zstats, ilu.nnz(), lu_levels);
+        z = znew;
+
+        let rz_new = blas1::dot(&r, &z);
+        mc.dot(&mut tl, true);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        blas1::xpay(&z, beta, &mut p);
+        mc.axpy(&mut tl);
+
+        result.iterations += 1;
+        let relres = rr.sqrt() / norm_b;
+        result.final_relres = relres;
+        if cfg.trace_residuals {
+            result.residual_history.push(relres);
+        }
+        if check_convergence && relres < cfg.tolerance {
+            result.converged = true;
+            break;
+        }
+        if !beta.is_finite() {
+            break;
+        }
+    }
+
+    result.x = x;
+    result.timeline = tl;
+    result
+}
+
+/// IC(0)-preconditioned CG (`M = L·Lᵀ`) — an extension beyond the paper's
+/// ILU(0) evaluation that suits the SPD class: symmetric preconditioning
+/// keeps the preconditioned operator SPD and the factorization costs half
+/// the ILU work.
+pub fn run_pcg_ic(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    ic: &Ic0,
+    b: &[f64],
+    cfg: &SolverConfig,
+    mc: &MultiCoster,
+    partial: &mut PartialState,
+) -> CoreResult {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+
+    let mut tl = Timeline::new();
+    charge_factorization(mc, &mut tl, ic.l.nnz(), n);
+    let lu_levels = mf_kernels::level_schedule(&ic.l, true).num_levels
+        + mf_kernels::level_schedule(&ic.lt, false).num_levels;
+
+    let mut result = CoreResult {
+        x: vec![0.0; n],
+        iterations: 0,
+        converged: false,
+        final_relres: f64::INFINITY,
+        timeline: Timeline::new(),
+        spmv_stats: MixedSpmvStats::default(),
+        residual_history: Vec::new(),
+        error_history: Vec::new(),
+        p_range_history: Vec::new(),
+        bypass_history: Vec::new(),
+        precision_history: Vec::new(),
+    };
+
+    let norm_b = blas1::norm2(b);
+    if norm_b == 0.0 {
+        result.converged = true;
+        result.final_relres = 0.0;
+        result.timeline = tl;
+        return result;
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let (z0, fstats) = ic.apply_recursive(&r, cfg.trsv_leaf);
+    mc.sptrsv_adaptive(&mut tl, &fstats, ic.nnz(), lu_levels);
+    let mut z = z0;
+    let mut p = z.clone();
+    let mut u = vec![0.0; n];
+    let mut rz = blas1::dot(&r, &z);
+    mc.dot(&mut tl, true);
+
+    let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
+    let check_convergence = cfg.fixed_iterations.is_none();
+
+    for _j in 0..iters {
+        partial.update(&p);
+        let stats = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut u);
+        result.spmv_stats.merge(&stats);
+        mc.spmv(&mut tl, m, &stats);
+
+        let pu = blas1::dot(&p, &u);
+        mc.dot(&mut tl, true);
+        let alpha = rz / pu;
+        if !alpha.is_finite() || pu <= 0.0 {
+            p.copy_from_slice(&z);
+            rz = blas1::dot(&r, &z);
+            mc.axpy(&mut tl);
+            mc.axpy(&mut tl);
+            mc.dot(&mut tl, true);
+            mc.dot(&mut tl, true);
+            mc.axpy(&mut tl);
+            result.iterations += 1;
+            continue;
+        }
+
+        blas1::axpy(alpha, &p, &mut x);
+        blas1::axpy(-alpha, &u, &mut r);
+        mc.axpy(&mut tl);
+        mc.axpy(&mut tl);
+        let rr = blas1::dot(&r, &r);
+        mc.dot(&mut tl, true);
+
+        let (znew, zstats) = ic.apply_recursive(&r, cfg.trsv_leaf);
+        mc.sptrsv_adaptive(&mut tl, &zstats, ic.nnz(), lu_levels);
+        z = znew;
+
+        let rz_new = blas1::dot(&r, &z);
+        mc.dot(&mut tl, true);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        blas1::xpay(&z, beta, &mut p);
+        mc.axpy(&mut tl);
+
+        result.iterations += 1;
+        let relres = rr.sqrt() / norm_b;
+        result.final_relres = relres;
+        if cfg.trace_residuals {
+            result.residual_history.push(relres);
+        }
+        if check_convergence && relres < cfg.tolerance {
+            result.converged = true;
+            break;
+        }
+        if !beta.is_finite() {
+            break;
+        }
+    }
+
+    result.x = x;
+    result.timeline = tl;
+    result
+}
+
+/// CG preconditioned with the adaptive-precision block-Jacobi `M⁻¹` — an
+/// extension following the mixed-precision preconditioning line the paper's
+/// related work cites (Anzt et al. / Ginkgo). Fully parallel preconditioner
+/// application (no dependency levels), with each block's inverse stored in
+/// the narrowest precision its conditioning tolerates.
+pub fn run_pcg_bj(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    bj: &BlockJacobi,
+    b: &[f64],
+    cfg: &SolverConfig,
+    mc: &MultiCoster,
+    partial: &mut PartialState,
+) -> CoreResult {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+
+    let mut tl = Timeline::new();
+    // Factorization: one dense inversion per block, parallel over blocks.
+    tl.add(
+        Phase::Factorize,
+        mc.cost.kernel_body_us(
+            2.0 * bj
+                .inv_blocks
+                .iter()
+                .map(|blk| (blk.len() as f64).powf(1.5))
+                .sum::<f64>(),
+            bj.storage_bytes() as f64 * 2.0,
+            mc.cost.blas1_warps(n.max(1)),
+        ),
+    );
+    tl.add(Phase::Sync, mc.cost.launch_us());
+
+    let mut result = CoreResult {
+        x: vec![0.0; n],
+        iterations: 0,
+        converged: false,
+        final_relres: f64::INFINITY,
+        timeline: Timeline::new(),
+        spmv_stats: MixedSpmvStats::default(),
+        residual_history: Vec::new(),
+        error_history: Vec::new(),
+        p_range_history: Vec::new(),
+        bypass_history: Vec::new(),
+        precision_history: Vec::new(),
+    };
+
+    let norm_b = blas1::norm2(b);
+    if norm_b == 0.0 {
+        result.converged = true;
+        result.final_relres = 0.0;
+        result.timeline = tl;
+        return result;
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = bj.apply(&r);
+    mc.block_jacobi(&mut tl, bj);
+    let mut p = z.clone();
+    let mut u = vec![0.0; n];
+    let mut rz = blas1::dot(&r, &z);
+    mc.dot(&mut tl, true);
+
+    let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
+    let check_convergence = cfg.fixed_iterations.is_none();
+
+    for _j in 0..iters {
+        partial.update(&p);
+        let stats = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut u);
+        result.spmv_stats.merge(&stats);
+        mc.spmv(&mut tl, m, &stats);
+
+        let pu = blas1::dot(&p, &u);
+        mc.dot(&mut tl, true);
+        let alpha = rz / pu;
+        if !alpha.is_finite() || pu <= 0.0 {
+            p.copy_from_slice(&z);
+            rz = blas1::dot(&r, &z);
+            mc.axpy(&mut tl);
+            mc.axpy(&mut tl);
+            mc.dot(&mut tl, true);
+            mc.dot(&mut tl, true);
+            mc.axpy(&mut tl);
+            result.iterations += 1;
+            continue;
+        }
+
+        blas1::axpy(alpha, &p, &mut x);
+        blas1::axpy(-alpha, &u, &mut r);
+        mc.axpy(&mut tl);
+        mc.axpy(&mut tl);
+        let rr = blas1::dot(&r, &r);
+        mc.dot(&mut tl, true);
+
+        z = bj.apply(&r);
+        mc.block_jacobi(&mut tl, bj);
+
+        let rz_new = blas1::dot(&r, &z);
+        mc.dot(&mut tl, true);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        blas1::xpay(&z, beta, &mut p);
+        mc.axpy(&mut tl);
+
+        result.iterations += 1;
+        let relres = rr.sqrt() / norm_b;
+        result.final_relres = relres;
+        if cfg.trace_residuals {
+            result.residual_history.push(relres);
+        }
+        if check_convergence && relres < cfg.tolerance {
+            result.converged = true;
+            break;
+        }
+        if !beta.is_finite() {
+            break;
+        }
+    }
+
+    result.x = x;
+    result.timeline = tl;
+    result
+}
+
+/// Preconditioned BiCGSTAB (right preconditioning: `p̂ = M⁻¹p`,
+/// `ŝ = M⁻¹s`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_pbicgstab(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    ilu: &Ilu0,
+    b: &[f64],
+    cfg: &SolverConfig,
+    mc: &MultiCoster,
+    partial: &mut PartialState,
+) -> CoreResult {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+
+    let mut tl = Timeline::new();
+    charge_factorization(mc, &mut tl, ilu.nnz(), n);
+    // Preprocessing decides the SpTRSV algorithm for this factor pair:
+    // recursive-block vs level-scheduled (see MultiCoster::sptrsv_adaptive).
+    let lu_levels = mf_kernels::level_schedule(&ilu.l, true).num_levels
+        + mf_kernels::level_schedule(&ilu.u, false).num_levels;
+
+    let mut result = CoreResult {
+        x: vec![0.0; n],
+        iterations: 0,
+        converged: false,
+        final_relres: f64::INFINITY,
+        timeline: Timeline::new(),
+        spmv_stats: MixedSpmvStats::default(),
+        residual_history: Vec::new(),
+        error_history: Vec::new(),
+        p_range_history: Vec::new(),
+        bypass_history: Vec::new(),
+        precision_history: Vec::new(),
+    };
+
+    let norm_b = blas1::norm2(b);
+    if norm_b == 0.0 {
+        result.converged = true;
+        result.final_relres = 0.0;
+        result.timeline = tl;
+        return result;
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let r0s = r.clone();
+    let mut p = r.clone();
+    let mut v = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut t = vec![0.0; n];
+    let mut rho = blas1::dot(&r, &r0s);
+
+    let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
+    let check_convergence = cfg.fixed_iterations.is_none();
+
+    for _j in 0..iters {
+        // p̂ = M⁻¹ p ; v = A p̂.
+        let (phat, st_p) = ilu.apply_recursive(&p, cfg.trsv_leaf);
+        mc.sptrsv_adaptive(&mut tl, &st_p, ilu.nnz(), lu_levels);
+        partial.update(&phat);
+        let st1 = spmv_mixed(m, shared, &partial.vis_flags, &phat, &mut v);
+        result.spmv_stats.merge(&st1);
+        mc.spmv(&mut tl, m, &st1);
+
+        let denom = blas1::dot(&v, &r0s);
+        mc.dot(&mut tl, true);
+        let alpha = rho / denom;
+        if !alpha.is_finite() || denom.abs() < f64::MIN_POSITIVE {
+            // Breakdown restart — charge the remaining pipeline.
+            p.copy_from_slice(&r);
+            rho = blas1::dot(&r, &r0s);
+            if rho == 0.0 {
+                rho = blas1::dot(&r, &r);
+            }
+            mc.axpy(&mut tl);
+            mc.sptrsv_adaptive(&mut tl, &st_p, ilu.nnz(), lu_levels);
+            mc.spmv(&mut tl, m, &st1);
+            mc.dot(&mut tl, true);
+            mc.dot(&mut tl, true);
+            mc.axpy(&mut tl);
+            mc.axpy(&mut tl);
+            mc.axpy(&mut tl);
+            mc.dot(&mut tl, true);
+            mc.dot(&mut tl, true);
+            mc.axpy(&mut tl);
+            result.iterations += 1;
+            continue;
+        }
+
+        blas1::waxpy(&r, -alpha, &v, &mut s);
+        mc.axpy(&mut tl);
+
+        // ŝ = M⁻¹ s ; t = A ŝ.
+        let (shat, st_s) = ilu.apply_recursive(&s, cfg.trsv_leaf);
+        mc.sptrsv_adaptive(&mut tl, &st_s, ilu.nnz(), lu_levels);
+        partial.update(&shat);
+        let st2 = spmv_mixed(m, shared, &partial.vis_flags, &shat, &mut t);
+        result.spmv_stats.merge(&st2);
+        mc.spmv(&mut tl, m, &st2);
+
+        let ts_dot = blas1::dot(&t, &s);
+        let tt = blas1::dot(&t, &t);
+        mc.dot(&mut tl, false);
+        mc.dot(&mut tl, true); // scalar pair -> one readback
+        let omega = if tt > 0.0 { ts_dot / tt } else { 0.0 };
+
+        for i in 0..n {
+            x[i] += alpha * phat[i] + omega * shat[i];
+        }
+        mc.axpy(&mut tl);
+        mc.axpy(&mut tl);
+        blas1::waxpy(&s, -omega, &t, &mut r);
+        mc.axpy(&mut tl);
+
+        let rho_new = blas1::dot(&r, &r0s);
+        mc.dot(&mut tl, false);
+        let rr = blas1::dot(&r, &r);
+        mc.dot(&mut tl, true); // scalar pair -> one readback
+
+        result.iterations += 1;
+        let relres = rr.sqrt() / norm_b;
+        result.final_relres = relres;
+        if cfg.trace_residuals {
+            result.residual_history.push(relres);
+        }
+        if check_convergence && relres < cfg.tolerance {
+            result.converged = true;
+            break;
+        }
+
+        let beta = (rho_new / rho) * (alpha / omega);
+        if !beta.is_finite() || omega == 0.0 || rho_new.abs() < f64::MIN_POSITIVE {
+            p.copy_from_slice(&r);
+            rho = blas1::dot(&r, &r0s);
+            if rho == 0.0 {
+                rho = blas1::dot(&r, &r);
+            }
+            mc.axpy(&mut tl); // the p-update kernel still runs
+            continue;
+        }
+        rho = rho_new;
+        blas1::bicgstab_p_update(&r, beta, omega, &v, &mut p);
+        mc.axpy(&mut tl);
+    }
+
+    result.x = x;
+    result.timeline = tl;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_gpu::{CostModel, DeviceSpec};
+    use mf_kernels::ilu0;
+    use mf_precision::ClassifyOptions;
+    use mf_sparse::{Coo, Csr};
+
+    fn poisson1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    fn nonsym1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.75);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -0.25);
+            }
+        }
+        a.to_csr()
+    }
+
+    fn setup(a: &Csr) -> (TiledMatrix, SharedTiles, MultiCoster, PartialState, Vec<f64>) {
+        let m = TiledMatrix::from_csr_with(a, 16, &ClassifyOptions::default());
+        let shared = SharedTiles::load(&m);
+        let mc = MultiCoster::new(CostModel::new(DeviceSpec::a100()), a.nrows);
+        let mut b = vec![0.0; a.nrows];
+        a.matvec(&vec![1.0; a.ncols], &mut b);
+        let partial = PartialState::new(false, m.tile_cols, 16, 1e-10);
+        (m, shared, mc, partial, b)
+    }
+
+    #[test]
+    fn pcg_converges_much_faster_than_cg() {
+        let a = poisson1d(400);
+        let ilu = ilu0(&a).unwrap();
+        let cfg = SolverConfig::default();
+        let (m, mut shared, mc, mut partial, b) = setup(&a);
+        let res = run_pcg(&m, &mut shared, &ilu, &b, &cfg, &mc, &mut partial);
+        assert!(res.converged, "relres {}", res.final_relres);
+        // ILU(0) of a tridiagonal is exact -> 1-2 iterations.
+        assert!(res.iterations <= 3, "{} iterations", res.iterations);
+        for v in &res.x {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pcg_timeline_includes_factorize_and_sptrsv() {
+        let a = poisson1d(200);
+        let ilu = ilu0(&a).unwrap();
+        let cfg = SolverConfig::default();
+        let (m, mut shared, mc, mut partial, b) = setup(&a);
+        let res = run_pcg(&m, &mut shared, &ilu, &b, &cfg, &mc, &mut partial);
+        assert!(res.timeline.get(Phase::Factorize) > 0.0);
+        assert!(res.timeline.get(Phase::SpTrsv) > 0.0);
+        assert!(res.timeline.get(Phase::Sync) > 0.0);
+    }
+
+    #[test]
+    fn pbicgstab_converges_on_nonsymmetric() {
+        let a = nonsym1d(300);
+        let ilu = ilu0(&a).unwrap();
+        let cfg = SolverConfig::default();
+        let (m, mut shared, mc, mut partial, b) = setup(&a);
+        let res = run_pbicgstab(&m, &mut shared, &ilu, &b, &cfg, &mc, &mut partial);
+        assert!(res.converged, "relres {}", res.final_relres);
+        assert!(res.iterations <= 3, "{} iterations", res.iterations);
+        for v in &res.x {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fixed_iterations_respected() {
+        let a = nonsym1d(64);
+        let ilu = ilu0(&a).unwrap();
+        let cfg = SolverConfig {
+            fixed_iterations: Some(10),
+            ..SolverConfig::default()
+        };
+        let (m, mut shared, mc, mut partial, b) = setup(&a);
+        let res = run_pbicgstab(&m, &mut shared, &ilu, &b, &cfg, &mc, &mut partial);
+        assert_eq!(res.iterations, 10);
+    }
+
+    #[test]
+    fn pcg_ic_converges_on_spd() {
+        let a = poisson1d(300);
+        let ic = mf_kernels::Ic0::new(&a).unwrap();
+        let cfg = SolverConfig::default();
+        let (m, mut shared, mc, mut partial, b) = setup(&a);
+        let res = run_pcg_ic(&m, &mut shared, &ic, &b, &cfg, &mc, &mut partial);
+        assert!(res.converged, "relres {}", res.final_relres);
+        // IC(0) of a tridiagonal is exact Cholesky -> 1-2 iterations.
+        assert!(res.iterations <= 3, "{}", res.iterations);
+        for v in &res.x {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = poisson1d(32);
+        let ilu = ilu0(&a).unwrap();
+        let cfg = SolverConfig::default();
+        let (m, mut shared, mc, mut partial, _) = setup(&a);
+        let res = run_pcg(&m, &mut shared, &ilu, &vec![0.0; 32], &cfg, &mc, &mut partial);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Solve reports: solution, convergence data, modeled time and the
+//! statistics every figure of the evaluation reads back.
+
+use mf_gpu::Timeline;
+use mf_kernels::MixedSpmvStats;
+use mf_sparse::TiledMemory;
+
+/// Which execution path actually ran (after the Auto decision).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutedMode {
+    /// Whole solve inside one kernel (paper §III-C).
+    SingleKernel,
+    /// Classic one-kernel-per-operation path (fallback / baselines).
+    MultiKernel,
+}
+
+/// Everything a solve produces.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Converged within tolerance? (`false` when `fixed_iterations` ran or
+    /// `max_iter` was exhausted.)
+    pub converged: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final relative residual `‖r‖₂ / ‖b‖₂` (recomputed from the true
+    /// residual, not the recurrence).
+    pub final_relres: f64,
+    /// Which execution path ran.
+    pub mode: ExecutedMode,
+    /// Modeled time ledger (µs), including preprocessing phases.
+    pub timeline: Timeline,
+    /// Aggregated mixed-precision SpMV statistics over all iterations.
+    pub spmv_stats: MixedSpmvStats,
+    /// Memory footprint of the tiled structure.
+    pub tiled_memory: TiledMemory,
+    /// Memory footprint of the equivalent 3-array CSR (Fig. 13 baseline).
+    pub csr_memory: usize,
+    /// Warps the single-kernel schedule used (0 in multi-kernel mode).
+    pub warp_count: usize,
+    /// Relative residual after each iteration (when `trace_residuals`).
+    pub residual_history: Vec<f64>,
+    /// Relative error vs. the reference solution per iteration (when a
+    /// reference is configured; Fig. 12).
+    pub error_history: Vec<f64>,
+    /// Per-iteration histogram of |p| magnitudes in the five partial-
+    /// convergence ranges `[≥ε, ε..ε/10, ε/10..ε/100, ε/100..ε/1000,
+    /// <ε/1000]` (when `trace_partial`; Fig. 4).
+    pub p_range_history: Vec<[usize; 5]>,
+    /// Per-iteration count of bypassed tiles (when `trace_partial`).
+    pub bypass_history: Vec<usize>,
+    /// Per-iteration histogram of current on-chip tile precisions
+    /// `[FP64, FP32, FP16, FP8]` (when `trace_partial`; paper Fig. 7).
+    pub precision_history: Vec<[usize; 4]>,
+    /// Preprocessing wall-clock on the host running this simulation, in µs
+    /// (informational; the modeled preprocess time is in `timeline`).
+    pub preprocess_wall_us: f64,
+}
+
+impl SolveReport {
+    /// Modeled solve time in µs (excludes preprocessing/factorization).
+    pub fn solve_us(&self) -> f64 {
+        self.timeline.solve_us()
+    }
+
+    /// Modeled total time in µs.
+    pub fn total_us(&self) -> f64 {
+        self.timeline.total_us()
+    }
+
+    /// Fraction of matrix nonzero *work* that was executed below FP64 or
+    /// bypassed, over the whole solve (Fig. 11's stacked shares).
+    pub fn low_precision_fraction(&self) -> f64 {
+        let total = self.spmv_stats.nnz_total();
+        if total == 0 {
+            return 0.0;
+        }
+        let low = total - self.spmv_stats.nnz_by_prec[0];
+        low as f64 / total as f64
+    }
+
+    /// Recomputes the *true* relative residual `‖b − A·x‖₂ / ‖b‖₂` against
+    /// the original CSR matrix — the recurrence residual the solver tracks
+    /// can drift from it on stiff systems (the attainable-accuracy effect;
+    /// EXPERIMENTS.md known gap 5), so verification paths should use this.
+    pub fn true_relres(&self, a: &mf_sparse::Csr, b: &[f64]) -> f64 {
+        assert_eq!(a.nrows, self.x.len());
+        assert_eq!(b.len(), a.nrows);
+        let mut ax = vec![0.0; a.nrows];
+        a.matvec(&self.x, &mut ax);
+        let mut rr = 0.0;
+        let mut bb = 0.0;
+        for i in 0..a.nrows {
+            let d = b[i] - ax[i];
+            rr += d * d;
+            bb += b[i] * b[i];
+        }
+        (rr / bb.max(f64::MIN_POSITIVE)).sqrt()
+    }
+
+    /// Fraction of nonzero work bypassed entirely.
+    pub fn bypass_fraction(&self) -> f64 {
+        let total = self.spmv_stats.nnz_total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.spmv_stats.nnz_bypassed as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_gpu::Phase;
+
+    fn dummy() -> SolveReport {
+        SolveReport {
+            x: vec![0.0; 4],
+            converged: true,
+            iterations: 10,
+            final_relres: 1e-11,
+            mode: ExecutedMode::SingleKernel,
+            timeline: Timeline::new(),
+            spmv_stats: MixedSpmvStats::default(),
+            tiled_memory: TiledMemory::default(),
+            csr_memory: 100,
+            warp_count: 4,
+            residual_history: vec![],
+            error_history: vec![],
+            p_range_history: vec![],
+            bypass_history: vec![],
+            precision_history: vec![],
+            preprocess_wall_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn fractions_of_empty_stats_are_zero() {
+        let r = dummy();
+        assert_eq!(r.low_precision_fraction(), 0.0);
+        assert_eq!(r.bypass_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fractions_computed() {
+        let mut r = dummy();
+        r.spmv_stats.nnz_by_prec = [50, 0, 0, 30];
+        r.spmv_stats.nnz_bypassed = 20;
+        assert!((r.low_precision_fraction() - 0.5).abs() < 1e-12);
+        assert!((r.bypass_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_time_excludes_preprocess() {
+        let mut r = dummy();
+        r.timeline.add(Phase::Preprocess, 5.0);
+        r.timeline.add(Phase::Spmv, 10.0);
+        assert_eq!(r.solve_us(), 10.0);
+        assert_eq!(r.total_us(), 15.0);
+    }
+}

@@ -1,0 +1,544 @@
+//! The `MilleFeuille` facade: preprocessing, mode selection, dispatch.
+
+use crate::bicgstab::run_bicgstab;
+use crate::cg::{run_cg, CoreResult};
+use crate::config::{KernelMode, SolverConfig};
+use crate::coster::{Coster, MultiCoster, SingleCoster};
+use crate::partial::PartialState;
+use crate::precond::{run_pbicgstab, run_pcg, run_pcg_bj, run_pcg_ic};
+use crate::report::{ExecutedMode, SolveReport};
+use mf_gpu::{CostModel, DeviceSpec, Phase, ShmemPlan, Timeline};
+use mf_kernels::{blas1, ilu0, Ic0, Ilu0, SharedTiles};
+use mf_sparse::{Csr, TiledMatrix};
+
+/// The Mille-feuille solver: tile-grained mixed precision + single-kernel
+/// execution + partial-convergence-aware dynamic lowering.
+///
+/// ```
+/// use mf_gpu::DeviceSpec;
+/// use mf_solver::{MilleFeuille, SolverConfig};
+/// use mf_sparse::Coo;
+///
+/// // A tiny SPD system.
+/// let mut a = Coo::new(4, 4);
+/// for i in 0..4 {
+///     a.push(i, i, 4.0);
+///     if i > 0 { a.push(i, i - 1, -1.0); }
+///     if i + 1 < 4 { a.push(i, i + 1, -1.0); }
+/// }
+/// let a = a.to_csr();
+/// let b = vec![1.0; 4];
+///
+/// let solver = MilleFeuille::new(DeviceSpec::a100(), SolverConfig::default());
+/// let report = solver.solve_cg(&a, &b);
+/// assert!(report.converged);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MilleFeuille {
+    /// Device model the solve is priced on.
+    pub device: DeviceSpec,
+    /// Solver configuration.
+    pub config: SolverConfig,
+}
+
+/// Everything produced by preprocessing (paper Fig. 14 measures its cost).
+pub struct Preprocessed {
+    /// The tiled mixed-precision matrix.
+    pub tiled: TiledMatrix,
+    /// Modeled preprocessing time, µs.
+    pub timeline: Timeline,
+    /// Host wall-clock of the conversion in this simulation, µs.
+    pub wall_us: f64,
+}
+
+impl MilleFeuille {
+    /// Creates a solver for `device` with `config`.
+    pub fn new(device: DeviceSpec, config: SolverConfig) -> MilleFeuille {
+        MilleFeuille { device, config }
+    }
+
+    /// Creates a solver with default configuration.
+    pub fn with_defaults(device: DeviceSpec) -> MilleFeuille {
+        MilleFeuille::new(device, SolverConfig::default())
+    }
+
+    fn cost(&self) -> CostModel {
+        CostModel::new(self.device.clone())
+    }
+
+    /// Converts a CSR matrix into the tiled format, charging the modeled
+    /// preprocessing cost (format conversion + task distribution + initial
+    /// precision assignment — the three components §IV-H lists).
+    pub fn preprocess(&self, a: &Csr) -> Preprocessed {
+        let start = std::time::Instant::now();
+        let tiled = if let Some(p) = self.config.uniform_precision {
+            TiledMatrix::from_csr_uniform(a, self.config.tile_size, p)
+        } else if self.config.mixed_precision {
+            TiledMatrix::from_csr_with(a, self.config.tile_size, &self.config.classify)
+        } else {
+            TiledMatrix::from_csr_uniform(
+                a,
+                self.config.tile_size,
+                mf_precision::Precision::Fp64,
+            )
+        };
+        let wall_us = start.elapsed().as_secs_f64() * 1e6;
+
+        let cost = self.cost();
+        let mut tl = Timeline::new();
+        let nnz = a.nnz() as f64;
+        // Conversion pass: read CSR (12 B/nnz), classify (4 round-trips per
+        // value), write the tiled arrays (~10 B/nnz + tile metadata).
+        let conv = cost.kernel_body_us(16.0 * nnz, 26.0 * nnz, cost.spmv_warps(a.nnz().max(1)));
+        // Schedule construction: one pass over the tile metadata.
+        let sched = cost.kernel_body_us(
+            2.0 * tiled.tile_count() as f64,
+            13.0 * tiled.tile_count() as f64,
+            cost.blas1_warps(tiled.tile_count().max(1)),
+        );
+        tl.add(Phase::Preprocess, conv + sched);
+        tl.add(Phase::Sync, 2.0 * cost.launch_us());
+        Preprocessed {
+            tiled,
+            timeline: tl,
+            wall_us,
+        }
+    }
+
+    /// The §III-C mode decision for a preprocessed matrix.
+    pub fn decide_mode(&self, tiled: &TiledMatrix) -> ExecutedMode {
+        match self.config.kernel_mode {
+            KernelMode::SingleKernel => ExecutedMode::SingleKernel,
+            KernelMode::MultiKernel => ExecutedMode::MultiKernel,
+            KernelMode::Auto => {
+                if !ShmemPlan::use_single_kernel(tiled, &self.device) {
+                    return ExecutedMode::MultiKernel;
+                }
+                // Capacity admits the single kernel; confirm it actually
+                // wins (tile-scattered matrices can be dominated by the
+                // dependency-array atomic traffic — the "overhead outweighs
+                // the benefit" clause of §III-C).
+                let single = SingleCoster::new(self.cost(), tiled, self.config.tile_size)
+                    .estimate_cg_iteration_us(&tiled.tile_prec);
+                let multi = MultiCoster::new(self.cost(), tiled.nrows)
+                    .estimate_cg_iteration_us(tiled);
+                // Slightly conservative: the estimate is a CG iteration,
+                // and the multi-kernel fallback is never worse than the
+                // baselines — prefer it on a near-tie.
+                if single <= multi * 0.90 {
+                    ExecutedMode::SingleKernel
+                } else {
+                    ExecutedMode::MultiKernel
+                }
+            }
+        }
+    }
+
+    fn partial_state(&self, tiled: &TiledMatrix, b: &[f64], mode: ExecutedMode) -> PartialState {
+        // The dynamic strategy needs the persistent on-chip tile copy, so it
+        // only runs in single-kernel mode (§III-D).
+        let enabled = self.config.partial_convergence && mode == ExecutedMode::SingleKernel;
+        let eps_abs = self.config.tolerance * self.config.partial_safety * blas1::norm2(b);
+        PartialState::new(
+            enabled,
+            tiled.tile_cols,
+            self.config.tile_size,
+            eps_abs.max(f64::MIN_POSITIVE),
+        )
+    }
+
+    fn assemble(
+        &self,
+        a: &Csr,
+        pre: Preprocessed,
+        mode: ExecutedMode,
+        warp_count: usize,
+        core: CoreResult,
+    ) -> SolveReport {
+        let mut timeline = pre.timeline;
+        timeline.merge(&core.timeline);
+        SolveReport {
+            x: core.x,
+            converged: core.converged,
+            iterations: core.iterations,
+            final_relres: core.final_relres,
+            mode,
+            timeline,
+            spmv_stats: core.spmv_stats,
+            tiled_memory: pre.tiled.memory_bytes(),
+            csr_memory: a.memory_bytes(),
+            warp_count,
+            residual_history: core.residual_history,
+            error_history: core.error_history,
+            p_range_history: core.p_range_history,
+            bypass_history: core.bypass_history,
+            precision_history: core.precision_history,
+            preprocess_wall_us: pre.wall_us,
+        }
+    }
+
+    /// Solves `A x = b`, picking the method by matrix structure the way the
+    /// paper partitions SuiteSparse: CG for (likely) symmetric positive
+    /// definite matrices, BiCGSTAB otherwise.
+    pub fn solve_auto(&self, a: &Csr, b: &[f64]) -> SolveReport {
+        if mf_sparse::MatrixStats::compute(a).likely_spd() {
+            self.solve_cg(a, b)
+        } else {
+            self.solve_bicgstab(a, b)
+        }
+    }
+
+    /// Solves `A x = b` with CG (A must be SPD).
+    pub fn solve_cg(&self, a: &Csr, b: &[f64]) -> SolveReport {
+        let pre = self.preprocess(a);
+        let mode = self.decide_mode(&pre.tiled);
+        let mut shared = SharedTiles::load(&pre.tiled);
+        let mut partial = self.partial_state(&pre.tiled, b, mode);
+        let coster = self.build_coster(&pre.tiled, mode);
+        let core = run_cg(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial);
+        let warps = coster.warp_count();
+        self.assemble(a, pre, mode, warps, core)
+    }
+
+    /// Solves `A x = b` with BiCGSTAB (A nonsymmetric or indefinite).
+    pub fn solve_bicgstab(&self, a: &Csr, b: &[f64]) -> SolveReport {
+        let pre = self.preprocess(a);
+        let mode = self.decide_mode(&pre.tiled);
+        let mut shared = SharedTiles::load(&pre.tiled);
+        let mut partial = self.partial_state(&pre.tiled, b, mode);
+        let coster = self.build_coster(&pre.tiled, mode);
+        let core = run_bicgstab(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial);
+        let warps = coster.warp_count();
+        self.assemble(a, pre, mode, warps, core)
+    }
+
+    /// Solves with ILU(0)-preconditioned CG (multi-kernel path, recursive-
+    /// block SpTRSV — §IV-C).
+    ///
+    /// Returns `Err` with the factorization failure when ILU(0) breaks down.
+    pub fn solve_pcg(&self, a: &Csr, b: &[f64]) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
+        let ilu = ilu0(a)?;
+        Ok(self.solve_pcg_with(a, b, &ilu))
+    }
+
+    /// PCG with a caller-provided factorization (lets benchmarks reuse it).
+    pub fn solve_pcg_with(&self, a: &Csr, b: &[f64], ilu: &Ilu0) -> SolveReport {
+        let pre = self.preprocess(a);
+        let mode = ExecutedMode::MultiKernel; // paper: preconditioning extends the multi-kernel method
+        let mut shared = SharedTiles::load(&pre.tiled);
+        let mut partial = self.partial_state(&pre.tiled, b, mode);
+        let mc = MultiCoster::new(self.cost(), a.nrows);
+        let core = run_pcg(&pre.tiled, &mut shared, ilu, b, &self.config, &mc, &mut partial);
+        self.assemble(a, pre, mode, 0, core)
+    }
+
+    /// Solves with IC(0)-preconditioned CG (`M = L·Lᵀ`) — an extension
+    /// beyond the paper's ILU(0) evaluation: the symmetric factorization
+    /// halves the factor work and keeps the preconditioned operator SPD.
+    pub fn solve_pcg_ic0(
+        &self,
+        a: &Csr,
+        b: &[f64],
+    ) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
+        let ic = Ic0::new(a)?;
+        let pre = self.preprocess(a);
+        let mode = ExecutedMode::MultiKernel;
+        let mut shared = SharedTiles::load(&pre.tiled);
+        let mut partial = self.partial_state(&pre.tiled, b, mode);
+        let mc = MultiCoster::new(self.cost(), a.nrows);
+        let core = run_pcg_ic(&pre.tiled, &mut shared, &ic, b, &self.config, &mc, &mut partial);
+        Ok(self.assemble(a, pre, mode, 0, core))
+    }
+
+    /// Solves with adaptive-precision block-Jacobi-preconditioned CG
+    /// (`tile_size`-sized blocks) — see `mf_kernels::block_jacobi`.
+    pub fn solve_pcg_block_jacobi(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        block: usize,
+    ) -> Result<SolveReport, mf_kernels::block_jacobi::SingularBlock> {
+        let bj = mf_kernels::BlockJacobi::new(a, block)?;
+        let pre = self.preprocess(a);
+        let mode = ExecutedMode::MultiKernel;
+        let mut shared = SharedTiles::load(&pre.tiled);
+        let mut partial = self.partial_state(&pre.tiled, b, mode);
+        let mc = MultiCoster::new(self.cost(), a.nrows);
+        let core = run_pcg_bj(&pre.tiled, &mut shared, &bj, b, &self.config, &mc, &mut partial);
+        Ok(self.assemble(a, pre, mode, 0, core))
+    }
+
+    /// Solves with ILU(0)-preconditioned BiCGSTAB.
+    pub fn solve_pbicgstab(
+        &self,
+        a: &Csr,
+        b: &[f64],
+    ) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
+        let ilu = ilu0(a)?;
+        Ok(self.solve_pbicgstab_with(a, b, &ilu))
+    }
+
+    /// PBiCGSTAB with a caller-provided factorization.
+    pub fn solve_pbicgstab_with(&self, a: &Csr, b: &[f64], ilu: &Ilu0) -> SolveReport {
+        let pre = self.preprocess(a);
+        let mode = ExecutedMode::MultiKernel;
+        let mut shared = SharedTiles::load(&pre.tiled);
+        let mut partial = self.partial_state(&pre.tiled, b, mode);
+        let mc = MultiCoster::new(self.cost(), a.nrows);
+        let core = run_pbicgstab(&pre.tiled, &mut shared, ilu, b, &self.config, &mc, &mut partial);
+        self.assemble(a, pre, mode, 0, core)
+    }
+
+    fn build_coster(&self, tiled: &TiledMatrix, mode: ExecutedMode) -> Coster {
+        match mode {
+            ExecutedMode::SingleKernel => Coster::Single(SingleCoster::new(
+                self.cost(),
+                tiled,
+                self.config.tile_size,
+            )),
+            ExecutedMode::MultiKernel => {
+                Coster::Multi(MultiCoster::new(self.cost(), tiled.nrows))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::Coo;
+
+    fn poisson1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    fn rhs(a: &Csr) -> Vec<f64> {
+        let mut b = vec![0.0; a.nrows];
+        a.matvec(&vec![1.0; a.ncols], &mut b);
+        b
+    }
+
+    #[test]
+    fn facade_cg_end_to_end() {
+        let a = poisson1d(500);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let rep = solver.solve_cg(&a, &b);
+        assert!(rep.converged);
+        assert_eq!(rep.mode, ExecutedMode::SingleKernel);
+        assert!(rep.warp_count > 0);
+        assert!(rep.timeline.get(Phase::Preprocess) > 0.0);
+        assert!(rep.solve_us() > 0.0);
+        assert!(rep.tiled_memory.total() > 0);
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn auto_mode_falls_back_for_large_matrices() {
+        // > 1e6 nnz forces the multi-kernel path.
+        let a = poisson1d(400_000);
+        assert!(a.nnz() > 1_000_000);
+        let b = rhs(&a);
+        let solver = MilleFeuille::new(
+            DeviceSpec::a100(),
+            SolverConfig {
+                fixed_iterations: Some(3),
+                ..SolverConfig::default()
+            },
+        );
+        let rep = solver.solve_cg(&a, &b);
+        assert_eq!(rep.mode, ExecutedMode::MultiKernel);
+        assert_eq!(rep.iterations, 3);
+        // Multi-kernel: launches accumulate per kernel.
+        assert!(rep.timeline.get(Phase::Sync) > 6.0 * 3.0);
+    }
+
+    #[test]
+    fn forced_modes() {
+        let a = poisson1d(100);
+        let b = rhs(&a);
+        for (mode, expect) in [
+            (KernelMode::SingleKernel, ExecutedMode::SingleKernel),
+            (KernelMode::MultiKernel, ExecutedMode::MultiKernel),
+        ] {
+            let solver = MilleFeuille::new(
+                DeviceSpec::a100(),
+                SolverConfig {
+                    kernel_mode: mode,
+                    ..SolverConfig::default()
+                },
+            );
+            let rep = solver.solve_cg(&a, &b);
+            assert_eq!(rep.mode, expect);
+            assert!(rep.converged);
+        }
+    }
+
+    #[test]
+    fn facade_bicgstab_end_to_end() {
+        let mut a = Coo::new(300, 300);
+        for i in 0..300 {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.5);
+            }
+            if i + 1 < 300 {
+                a.push(i, i + 1, -0.5);
+            }
+        }
+        let a = a.to_csr();
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::mi210());
+        let rep = solver.solve_bicgstab(&a, &b);
+        assert!(rep.converged);
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn facade_preconditioned_variants() {
+        let a = poisson1d(256);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let rep = solver.solve_pcg(&a, &b).unwrap();
+        assert!(rep.converged);
+        assert!(rep.iterations <= 3);
+        assert!(rep.timeline.get(Phase::SpTrsv) > 0.0);
+
+        let rep2 = solver.solve_pbicgstab(&a, &b).unwrap();
+        assert!(rep2.converged);
+    }
+
+    #[test]
+    fn ic0_preconditioned_cg() {
+        let a = poisson1d(256);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let rep = solver.solve_pcg_ic0(&a, &b).unwrap();
+        assert!(rep.converged);
+        // IC(0) of a tridiagonal is exact Cholesky.
+        assert!(rep.iterations <= 3, "{}", rep.iterations);
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+        // Indefinite input is rejected.
+        let mut bad = mf_sparse::Coo::new(2, 2);
+        bad.push(0, 0, -1.0);
+        bad.push(1, 1, 1.0);
+        assert!(solver.solve_pcg_ic0(&bad.to_csr(), &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn block_jacobi_preconditioned_cg() {
+        let a = poisson1d(256);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let plain = solver.solve_cg(&a, &b);
+        let rep = solver.solve_pcg_block_jacobi(&a, &b, 16).unwrap();
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        // Block-Jacobi must reduce the iteration count of plain CG.
+        assert!(
+            rep.iterations < plain.iterations,
+            "bj {} vs plain {}",
+            rep.iterations,
+            plain.iterations
+        );
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+        assert!(rep.timeline.get(Phase::SpTrsv) > 0.0); // bj applications
+    }
+
+    #[test]
+    fn fp64_only_config_disables_mixing() {
+        let a = poisson1d(128);
+        let b = rhs(&a);
+        let solver = MilleFeuille::new(DeviceSpec::a100(), SolverConfig::fp64_only());
+        let rep = solver.solve_cg(&a, &b);
+        assert!(rep.converged);
+        // All executed nonzeros were FP64.
+        assert_eq!(rep.spmv_stats.nnz_by_prec[1], 0);
+        assert_eq!(rep.spmv_stats.nnz_by_prec[2], 0);
+        assert_eq!(rep.spmv_stats.nnz_by_prec[3], 0);
+        assert_eq!(rep.spmv_stats.nnz_bypassed, 0);
+    }
+
+    #[test]
+    fn mixed_is_modeled_faster_than_fp64_only() {
+        // Integer-valued matrix: everything classifies FP8.
+        let a = poisson1d(5_000);
+        let b = rhs(&a);
+        let mixed = MilleFeuille::new(
+            DeviceSpec::a100(),
+            SolverConfig::benchmark_100_iters(),
+        );
+        let fp64 = MilleFeuille::new(
+            DeviceSpec::a100(),
+            SolverConfig {
+                mixed_precision: false,
+                partial_convergence: false,
+                fixed_iterations: Some(100),
+                ..SolverConfig::default()
+            },
+        );
+        let t_mixed = mixed.solve_cg(&a, &b).solve_us();
+        let t_fp64 = fp64.solve_cg(&a, &b).solve_us();
+        assert!(
+            t_mixed < t_fp64,
+            "mixed {t_mixed} should beat fp64 {t_fp64}"
+        );
+    }
+
+    #[test]
+    fn solve_auto_picks_by_structure() {
+        let spd = poisson1d(100);
+        let b = rhs(&spd);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let rep = solver.solve_auto(&spd, &b);
+        assert!(rep.converged);
+        // True residual matches the recurrence on this benign system.
+        assert!(rep.true_relres(&spd, &b) < 1e-9);
+
+        let mut nonsym = Coo::new(60, 60);
+        for i in 0..60 {
+            nonsym.push(i, i, 4.0);
+            if i > 0 {
+                nonsym.push(i, i - 1, -1.5);
+            }
+            if i + 1 < 60 {
+                nonsym.push(i, i + 1, -0.5);
+            }
+        }
+        let nonsym = nonsym.to_csr();
+        let bn = rhs(&nonsym);
+        let rep = solver.solve_auto(&nonsym, &bn);
+        assert!(rep.converged);
+        assert!(rep.true_relres(&nonsym, &bn) < 1e-9);
+    }
+
+    #[test]
+    fn memory_report_matches_fig13_accounting() {
+        let a = poisson1d(1_000);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let rep = solver.solve_cg(&a, &b);
+        assert_eq!(rep.csr_memory, a.memory_bytes());
+        assert_eq!(
+            rep.tiled_memory.total(),
+            TiledMatrix::from_csr(&a).memory_bytes().total()
+        );
+    }
+}

@@ -1,0 +1,759 @@
+//! A *real* multi-threaded single-kernel CG engine.
+//!
+//! Everything else in this crate models GPU time while computing
+//! deterministically. This module instead **executes** the paper's
+//! Algorithm 3 concurrently: each warp is an OS thread; the only
+//! synchronization is the atomic dependency counters (`d_s`, `d_d`, `d_a`
+//! of Fig. 6) polled in busy-wait loops — no mutexes, no channels, no
+//! barriers from the standard library. It exists to validate that the
+//! single-kernel scheme is correct and deadlock-free, which is the paper's
+//! central systems claim.
+//!
+//! One deliberate deviation from the paper's pseudocode: instead of
+//! *resetting* the dependency arrays between iterations (Algorithm 3
+//! re-initializes them after the Step-D check, which needs a subtle
+//! leader/followers protocol to avoid racing the next iteration's
+//! decrements), the counters here **count up monotonically** and every
+//! barrier waits for an iteration-scaled target (`init·(j+1)`). This is
+//! behaviourally identical, race-free by construction, and uses the same
+//! number of atomic operations.
+
+use mf_gpu::SpmvSchedule;
+use mf_sparse::TiledMatrix;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Result of a threaded solve.
+#[derive(Clone, Debug)]
+pub struct ThreadedReport {
+    /// Solution.
+    pub x: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Converged within tolerance.
+    pub converged: bool,
+    /// Final relative residual (recurrence).
+    pub final_relres: f64,
+    /// Warps (threads) used.
+    pub warps: usize,
+}
+
+/// Adds `v` to an `f64` stored as bits in an `AtomicU64` (the CPU analogue
+/// of `atomicAdd(double*)`).
+#[inline]
+fn atomic_add_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+#[inline]
+fn spin_until(counter: &AtomicI64, target: i64) {
+    let mut polls = 0u32;
+    while counter.load(Ordering::Acquire) < target {
+        std::hint::spin_loop();
+        polls += 1;
+        if polls.is_multiple_of(512) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs CG on `max_warps.min(segments)` threads synchronized purely through
+/// atomic dependency counters. Tiles execute at their stored (initial)
+/// precision; the dynamic strategy is not exercised here — this engine
+/// validates the *synchronization* scheme.
+///
+/// ```
+/// use mf_solver::threaded::run_cg_threaded;
+/// use mf_sparse::{Coo, TiledMatrix};
+///
+/// let n = 64;
+/// let mut a = Coo::new(n, n);
+/// for i in 0..n {
+///     a.push(i, i, 4.0);
+///     if i > 0 { a.push(i, i - 1, -1.0); }
+///     if i + 1 < n { a.push(i, i + 1, -1.0); }
+/// }
+/// let a = a.to_csr();
+/// let mut b = vec![0.0; n];
+/// a.matvec(&vec![1.0; n], &mut b);
+///
+/// let t = TiledMatrix::from_csr(&a);
+/// let rep = run_cg_threaded(&t, &b, 1e-10, 1000, 4);
+/// assert!(rep.converged);
+/// assert!(rep.x.iter().all(|v| (v - 1.0).abs() < 1e-7));
+/// ```
+pub fn run_cg_threaded(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+) -> ThreadedReport {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+    assert_eq!(m.nrows, m.ncols);
+    assert!(max_warps >= 1);
+
+    let ts = m.tile_size;
+    let segments = n.div_ceil(ts).max(1);
+    let warps = segments.min(max_warps).max(1);
+
+    // Segment ownership: warp w owns segments [seg_lo[w], seg_lo[w+1]).
+    let base = segments / warps;
+    let extra = segments % warps;
+    let mut seg_lo = Vec::with_capacity(warps + 1);
+    seg_lo.push(0usize);
+    for w in 0..warps {
+        seg_lo.push(seg_lo[w] + base + usize::from(w < extra));
+    }
+
+    let spmv = SpmvSchedule::for_warps(m, warps);
+
+    let norm_b = {
+        let mut s = 0.0;
+        for &v in b {
+            s += v * v;
+        }
+        s.sqrt()
+    };
+    if norm_b == 0.0 {
+        return ThreadedReport {
+            x: vec![0.0; n],
+            iterations: 0,
+            converged: true,
+            final_relres: 0.0,
+            warps,
+        };
+    }
+
+    // Shared vectors as atomic bit-cells: each element is written by one
+    // warp between barriers (x, r, p) or atomically accumulated (u).
+    let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
+        v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
+    };
+    let x = to_cells(&vec![0.0; n]);
+    let r = to_cells(b);
+    let p = to_cells(b);
+    let u = to_cells(&vec![0.0; n]);
+
+    // Dependency counters (monotone epochs).
+    let ds_init: Vec<i64> = {
+        let mut c = vec![0i64; m.tile_rows];
+        for &tr in &m.tile_rowidx {
+            c[tr as usize] += 1;
+        }
+        c
+    };
+    let d_s: Vec<AtomicI64> = (0..m.tile_rows).map(|_| AtomicI64::new(0)).collect();
+    let d_d = AtomicI64::new(0);
+    let d_a = AtomicI64::new(0);
+    // Dot accumulators, double-buffered by iteration parity: iteration j
+    // accumulates into cell j%2 while the leader warp resets cell (j+1)%2
+    // at the top of iteration j (safe: the last reads of that cell happened
+    // before the previous Step-D barrier). A single monotone accumulator
+    // would suffer catastrophic cancellation once residuals shrink by many
+    // decades.
+    let acc_y = [
+        AtomicU64::new(0f64.to_bits()),
+        AtomicU64::new(0f64.to_bits()),
+    ];
+    let acc_z = [
+        AtomicU64::new(0f64.to_bits()),
+        AtomicU64::new(0f64.to_bits()),
+    ];
+
+    let rr0: f64 = b.iter().map(|v| v * v).sum();
+    let iterations_done = AtomicI64::new(0);
+    let converged_flag = AtomicI64::new(0);
+    let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
+
+    let warps_i = warps as i64;
+
+    crossbeam::scope(|scope| {
+        for w in 0..warps {
+            let (x, r, p, u) = (&x, &r, &p, &u);
+            let (d_s, d_d, d_a) = (&d_s, &d_d, &d_a);
+            let (acc_y, acc_z) = (&acc_y, &acc_z);
+            let ds_init = &ds_init;
+            let spmv = &spmv;
+            let seg_lo = &seg_lo;
+            let iterations_done = &iterations_done;
+            let converged_flag = &converged_flag;
+            let final_relres_bits = &final_relres_bits;
+            scope.spawn(move |_| {
+                let my_segs = seg_lo[w]..seg_lo[w + 1];
+                let elems = |s: usize| (s * ts)..(((s + 1) * ts).min(n));
+                let my_tiles = if w < spmv.warp_tiles.len() {
+                    let (lo, hi) = spmv.warp_tiles[w];
+                    lo..hi
+                } else {
+                    0..0
+                };
+                // Decode my tiles once ("load into shared memory").
+                let tile_vals: Vec<Vec<f64>> =
+                    my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+
+                let mut rr = rr0;
+                let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
+                let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+
+                for j in 0..max_iter as i64 {
+                    let cell = (j % 2) as usize;
+                    if w == 0 {
+                        // Reset the *other* parity's accumulators for the
+                        // next iteration (no warp can touch them before the
+                        // upcoming Step-D barrier).
+                        acc_y[1 - cell].store(0f64.to_bits(), Ordering::Release);
+                        acc_z[1 - cell].store(0f64.to_bits(), Ordering::Release);
+                    }
+
+                    // ---- Step A: tiled SpMV u += A_tile · p over my tiles.
+                    for (ti, i) in my_tiles.clone().enumerate() {
+                        let base_row = m.tile_rowidx[i] as usize * ts;
+                        let base_col = m.tile_colidx[i] as usize * ts;
+                        let nnz_base = m.tile_nnz[i] as usize;
+                        let vals = &tile_vals[ti];
+                        for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                            let row = base_row + m.row_index[ri] as usize;
+                            let mut sum = 0.0;
+                            for k in m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                            {
+                                sum += vals[k - nnz_base]
+                                    * ld(&p[base_col + m.csr_colidx[k] as usize]);
+                            }
+                            atomic_add_f64(&u[row], sum);
+                        }
+                        // atomicSub(d_s[...]) in the paper; monotone epoch here.
+                        d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
+                    }
+
+                    // ---- Step B: dot (u, p) over my segments, after their
+                    // row tiles complete.
+                    let mut part = 0.0;
+                    for s in my_segs.clone() {
+                        if s < ds_init.len() {
+                            spin_until(&d_s[s], ds_init[s] * (j + 1));
+                        }
+                        for e in elems(s) {
+                            part += ld(&u[e]) * ld(&p[e]);
+                        }
+                    }
+                    atomic_add_f64(&acc_y[cell], part);
+                    d_d.fetch_add(1, Ordering::AcqRel);
+                    spin_until(d_d, warps_i * (2 * j + 1));
+                    let alpha = rr / ld(&acc_y[cell]);
+
+                    // ---- Step C: x += αp, r −= αu, then dot (r, r).
+                    let mut part_z = 0.0;
+                    for s in my_segs.clone() {
+                        for e in elems(s) {
+                            st(&x[e], ld(&x[e]) + alpha * ld(&p[e]));
+                            let rv = ld(&r[e]) - alpha * ld(&u[e]);
+                            st(&r[e], rv);
+                            part_z += rv * rv;
+                        }
+                    }
+                    atomic_add_f64(&acc_z[cell], part_z);
+                    d_d.fetch_add(1, Ordering::AcqRel);
+                    spin_until(d_d, warps_i * (2 * j + 2));
+                    let rr_new = ld(&acc_z[cell]);
+                    let beta = rr_new / rr;
+                    rr = rr_new;
+
+                    // ---- Step D: p = r + βp; zero my u segments for the
+                    // next iteration (everyone is past reading u).
+                    for s in my_segs.clone() {
+                        for e in elems(s) {
+                            st(&p[e], ld(&r[e]) + beta * ld(&p[e]));
+                            st(&u[e], 0.0);
+                        }
+                    }
+                    d_a.fetch_add(1, Ordering::AcqRel);
+                    spin_until(d_a, warps_i * (j + 1));
+
+                    // All warps compute the identical residual decision —
+                    // the in-kernel convergence check of Algorithm 3.
+                    let relres = rr_new.max(0.0).sqrt() / norm_b;
+                    if w == 0 {
+                        iterations_done.store(j + 1, Ordering::Release);
+                        final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                    }
+                    if relres < tol {
+                        if w == 0 {
+                            converged_flag.store(1, Ordering::Release);
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("threaded CG panicked");
+
+    ThreadedReport {
+        x: x.iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
+            .collect(),
+        iterations: iterations_done.load(Ordering::Acquire) as usize,
+        converged: converged_flag.load(Ordering::Acquire) == 1,
+        final_relres: f64::from_bits(final_relres_bits.load(Ordering::Acquire)),
+        warps,
+    }
+}
+
+
+/// Runs BiCGSTAB on threads synchronized purely through atomic dependency
+/// counters — the two-SpMV variant of the single-kernel scheme ("the
+/// consolidation applies to BiCGSTAB as well", §III-C). Per iteration the
+/// warps pass two row-tile SpMV epochs, three dot barriers (α, ω, β/‖r‖)
+/// and two vector barriers (s ready before the second SpMV; p/u/θ ready
+/// before the next iteration).
+pub fn run_bicgstab_threaded(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+) -> ThreadedReport {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+    assert_eq!(m.nrows, m.ncols);
+    assert!(max_warps >= 1);
+
+    let ts = m.tile_size;
+    let segments = n.div_ceil(ts).max(1);
+    let warps = segments.min(max_warps).max(1);
+
+    let base = segments / warps;
+    let extra = segments % warps;
+    let mut seg_lo = Vec::with_capacity(warps + 1);
+    seg_lo.push(0usize);
+    for w in 0..warps {
+        seg_lo.push(seg_lo[w] + base + usize::from(w < extra));
+    }
+
+    let spmv = SpmvSchedule::for_warps(m, warps);
+
+    let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_b == 0.0 {
+        return ThreadedReport {
+            x: vec![0.0; n],
+            iterations: 0,
+            converged: true,
+            final_relres: 0.0,
+            warps,
+        };
+    }
+
+    let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
+        v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
+    };
+    let x = to_cells(&vec![0.0; n]);
+    let r = to_cells(b);
+    let p = to_cells(b);
+    let sv = to_cells(&vec![0.0; n]); // s
+    let u = to_cells(&vec![0.0; n]); // µ = A p
+    let th = to_cells(&vec![0.0; n]); // θ = A s
+    let r0s: Vec<f64> = b.to_vec(); // shadow residual, immutable
+
+    let ds_init: Vec<i64> = {
+        let mut c = vec![0i64; m.tile_rows];
+        for &tr in &m.tile_rowidx {
+            c[tr as usize] += 1;
+        }
+        c
+    };
+    let d_s: Vec<AtomicI64> = (0..m.tile_rows).map(|_| AtomicI64::new(0)).collect();
+    let d_d = AtomicI64::new(0); // three dot barriers per iteration
+    let d_b = AtomicI64::new(0); // s-ready barrier
+    let d_a = AtomicI64::new(0); // end-of-iteration barrier
+    // Five parity-buffered dot accumulators: denom, ts, tt, rho, rr.
+    let mk = || {
+        [
+            AtomicU64::new(0f64.to_bits()),
+            AtomicU64::new(0f64.to_bits()),
+        ]
+    };
+    let acc_denom = mk();
+    let acc_ts = mk();
+    let acc_tt = mk();
+    let acc_rho = mk();
+    let acc_rr = mk();
+
+    let rho0: f64 = b.iter().zip(&r0s).map(|(a, b)| a * b).sum();
+    let iterations_done = AtomicI64::new(0);
+    let converged_flag = AtomicI64::new(0);
+    let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
+
+    let warps_i = warps as i64;
+
+    crossbeam::scope(|scope| {
+        for w in 0..warps {
+            let (x, r, p, sv, u, th) = (&x, &r, &p, &sv, &u, &th);
+            let (d_s, d_d, d_b, d_a) = (&d_s, &d_d, &d_b, &d_a);
+            let (acc_denom, acc_ts, acc_tt, acc_rho, acc_rr) =
+                (&acc_denom, &acc_ts, &acc_tt, &acc_rho, &acc_rr);
+            let (ds_init, spmv, seg_lo, r0s) = (&ds_init, &spmv, &seg_lo, &r0s);
+            let iterations_done = &iterations_done;
+            let converged_flag = &converged_flag;
+            let final_relres_bits = &final_relres_bits;
+            scope.spawn(move |_| {
+                let my_segs = seg_lo[w]..seg_lo[w + 1];
+                let elems = |sg: usize| (sg * ts)..(((sg + 1) * ts).min(n));
+                let my_tiles = if w < spmv.warp_tiles.len() {
+                    let (lo, hi) = spmv.warp_tiles[w];
+                    lo..hi
+                } else {
+                    0..0
+                };
+                let tile_vals: Vec<Vec<f64>> =
+                    my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+
+                let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
+                let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+                // One warp's tiled SpMV into an atomic output vector.
+                let spmv_into = |input: &Vec<AtomicU64>, output: &Vec<AtomicU64>| {
+                    for (ti, i) in my_tiles.clone().enumerate() {
+                        let base_row = m.tile_rowidx[i] as usize * ts;
+                        let base_col = m.tile_colidx[i] as usize * ts;
+                        let nnz_base = m.tile_nnz[i] as usize;
+                        let vals = &tile_vals[ti];
+                        for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                            let row = base_row + m.row_index[ri] as usize;
+                            let mut sum = 0.0;
+                            for k in
+                                m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                            {
+                                sum += vals[k - nnz_base]
+                                    * ld(&input[base_col + m.csr_colidx[k] as usize]);
+                            }
+                            atomic_add_f64(&output[row], sum);
+                        }
+                        d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
+                    }
+                };
+
+                let mut rho = rho0;
+                for j in 0..max_iter as i64 {
+                    let cell = (j % 2) as usize;
+                    if w == 0 {
+                        for acc in [acc_denom, acc_ts, acc_tt, acc_rho, acc_rr] {
+                            acc[1 - cell].store(0f64.to_bits(), Ordering::Release);
+                        }
+                    }
+
+                    // ---- µ = A p (first SpMV epoch: targets init·(2j+1)).
+                    spmv_into(p, u);
+                    let mut part = 0.0;
+                    for sg in my_segs.clone() {
+                        if sg < ds_init.len() {
+                            spin_until(&d_s[sg], ds_init[sg] * (2 * j + 1));
+                        }
+                        for e in elems(sg) {
+                            part += ld(&u[e]) * r0s[e];
+                        }
+                    }
+                    atomic_add_f64(&acc_denom[cell], part);
+                    d_d.fetch_add(1, Ordering::AcqRel);
+                    spin_until(d_d, warps_i * (3 * j + 1));
+                    let denom = ld(&acc_denom[cell]);
+                    let alpha = rho / denom;
+
+                    // ---- s = r − αµ on my segments; barrier before SpMV2
+                    // (other warps read every segment of s).
+                    for sg in my_segs.clone() {
+                        for e in elems(sg) {
+                            st(&sv[e], ld(&r[e]) - alpha * ld(&u[e]));
+                        }
+                    }
+                    d_b.fetch_add(1, Ordering::AcqRel);
+                    spin_until(d_b, warps_i * (j + 1));
+
+                    // ---- θ = A s (second SpMV epoch: targets init·(2j+2)).
+                    spmv_into(sv, th);
+                    let mut pts = 0.0;
+                    let mut ptt = 0.0;
+                    for sg in my_segs.clone() {
+                        if sg < ds_init.len() {
+                            spin_until(&d_s[sg], ds_init[sg] * (2 * j + 2));
+                        }
+                        for e in elems(sg) {
+                            let t = ld(&th[e]);
+                            pts += t * ld(&sv[e]);
+                            ptt += t * t;
+                        }
+                    }
+                    atomic_add_f64(&acc_ts[cell], pts);
+                    atomic_add_f64(&acc_tt[cell], ptt);
+                    d_d.fetch_add(1, Ordering::AcqRel);
+                    spin_until(d_d, warps_i * (3 * j + 2));
+                    let tt = ld(&acc_tt[cell]);
+                    let omega = if tt > 0.0 { ld(&acc_ts[cell]) / tt } else { 0.0 };
+
+                    // ---- x += αp + ωs; r = s − ωθ; ρ' and ‖r‖² partials.
+                    let mut prho = 0.0;
+                    let mut prr = 0.0;
+                    for sg in my_segs.clone() {
+                        for e in elems(sg) {
+                            st(&x[e], ld(&x[e]) + alpha * ld(&p[e]) + omega * ld(&sv[e]));
+                            let rv = ld(&sv[e]) - omega * ld(&th[e]);
+                            st(&r[e], rv);
+                            prho += rv * r0s[e];
+                            prr += rv * rv;
+                        }
+                    }
+                    atomic_add_f64(&acc_rho[cell], prho);
+                    atomic_add_f64(&acc_rr[cell], prr);
+                    d_d.fetch_add(1, Ordering::AcqRel);
+                    spin_until(d_d, warps_i * (3 * j + 3));
+                    let rho_new = ld(&acc_rho[cell]);
+                    let rr = ld(&acc_rr[cell]);
+                    let relres = rr.max(0.0).sqrt() / norm_b;
+
+                    // ---- p = r + β(p − ωµ); zero my u/θ segments.
+                    let beta = (rho_new / rho) * (alpha / omega);
+                    let restart = !beta.is_finite()
+                        || omega == 0.0
+                        || rho_new.abs() < f64::MIN_POSITIVE;
+                    for sg in my_segs.clone() {
+                        for e in elems(sg) {
+                            let pv = if restart {
+                                ld(&r[e])
+                            } else {
+                                ld(&r[e]) + beta * (ld(&p[e]) - omega * ld(&u[e]))
+                            };
+                            st(&p[e], pv);
+                            st(&u[e], 0.0);
+                            st(&th[e], 0.0);
+                        }
+                    }
+                    rho = if restart { rho_new.max(rr) } else { rho_new };
+                    d_a.fetch_add(1, Ordering::AcqRel);
+                    spin_until(d_a, warps_i * (j + 1));
+
+                    if w == 0 {
+                        iterations_done.store(j + 1, Ordering::Release);
+                        final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                    }
+                    if relres < tol {
+                        if w == 0 {
+                            converged_flag.store(1, Ordering::Release);
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("threaded BiCGSTAB panicked");
+
+    ThreadedReport {
+        x: x.iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
+            .collect(),
+        iterations: iterations_done.load(Ordering::Acquire) as usize,
+        converged: converged_flag.load(Ordering::Acquire) == 1,
+        final_relres: f64::from_bits(final_relres_bits.load(Ordering::Acquire)),
+        warps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_precision::ClassifyOptions;
+    use mf_sparse::{Coo, Csr};
+
+    fn poisson1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    fn tiled(a: &Csr) -> TiledMatrix {
+        TiledMatrix::from_csr_with(a, 16, &ClassifyOptions::default())
+    }
+
+    #[test]
+    fn threaded_cg_converges() {
+        let a = poisson1d(512);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 512];
+        a.matvec(&vec![1.0; 512], &mut b);
+        let rep = run_cg_threaded(&m, &b, 1e-10, 1000, 8);
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        assert_eq!(rep.warps, 8);
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-7, "{v}");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_iterations() {
+        let a = poisson1d(256);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 256];
+        a.matvec(&vec![1.0; 256], &mut b);
+
+        let rep_t = run_cg_threaded(&m, &b, 1e-10, 1000, 4);
+
+        // Sequential reference through the public solver path (partial
+        // convergence off so numerics match the threaded engine's plain
+        // tiled SpMV).
+        let solver = crate::MilleFeuille::new(
+            mf_gpu::DeviceSpec::a100(),
+            crate::SolverConfig {
+                partial_convergence: false,
+                ..crate::SolverConfig::default()
+            },
+        );
+        let rep_s = solver.solve_cg(&a, &b);
+        assert!(rep_t.converged && rep_s.converged);
+        // Atomic accumulation reorders float adds; iteration counts may
+        // differ by a hair, the solutions must agree.
+        assert!(rep_t.iterations.abs_diff(rep_s.iterations) <= 2);
+        for (t, s) in rep_t.x.iter().zip(&rep_s.x) {
+            assert!((t - s).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn single_warp_degenerate_case() {
+        let a = poisson1d(64);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 64];
+        a.matvec(&vec![1.0; 64], &mut b);
+        let rep = run_cg_threaded(&m, &b, 1e-10, 1000, 1);
+        assert!(rep.converged);
+        assert_eq!(rep.warps, 1);
+    }
+
+    #[test]
+    fn many_warps_capped_by_segments() {
+        let a = poisson1d(64); // 4 segments of 16
+        let m = tiled(&a);
+        let mut b = vec![0.0; 64];
+        a.matvec(&vec![1.0; 64], &mut b);
+        let rep = run_cg_threaded(&m, &b, 1e-10, 1000, 64);
+        assert_eq!(rep.warps, 4);
+        assert!(rep.converged);
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let a = poisson1d(32);
+        let m = tiled(&a);
+        let rep = run_cg_threaded(&m, &vec![0.0; 32], 1e-10, 100, 4);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn max_iter_respected() {
+        let a = poisson1d(128);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 128];
+        a.matvec(&vec![1.0; 128], &mut b);
+        let rep = run_cg_threaded(&m, &b, 1e-30, 5, 4);
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 5);
+    }
+
+    fn convdiff1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.5);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -0.5);
+            }
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn threaded_bicgstab_converges() {
+        let a = convdiff1d(400);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 400];
+        a.matvec(&vec![1.0; 400], &mut b);
+        let rep = run_bicgstab_threaded(&m, &b, 1e-10, 1000, 8);
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn threaded_bicgstab_single_warp() {
+        let a = convdiff1d(48);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 48];
+        a.matvec(&vec![1.0; 48], &mut b);
+        let rep = run_bicgstab_threaded(&m, &b, 1e-10, 1000, 1);
+        assert!(rep.converged);
+        assert_eq!(rep.warps, 1);
+    }
+
+    #[test]
+    fn threaded_bicgstab_zero_rhs_and_max_iter() {
+        let a = convdiff1d(32);
+        let m = tiled(&a);
+        let rep = run_bicgstab_threaded(&m, &vec![0.0; 32], 1e-10, 50, 4);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+        let mut b = vec![0.0; 32];
+        a.matvec(&vec![1.0; 32], &mut b);
+        let rep = run_bicgstab_threaded(&m, &b, 1e-30, 5, 4);
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 5);
+    }
+
+    #[test]
+    fn threaded_bicgstab_repeated_runs() {
+        let a = convdiff1d(150);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 150];
+        a.matvec(&vec![1.0; 150], &mut b);
+        for trial in 0..10 {
+            let rep = run_bicgstab_threaded(&m, &b, 1e-10, 1000, 5);
+            assert!(rep.converged, "trial {trial}");
+            for v in &rep.x {
+                assert!((v - 1.0).abs() < 1e-6, "trial {trial}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_consistent() {
+        // Stress the synchronization: 20 back-to-back threaded solves must
+        // all converge to the same solution (catches latent races).
+        let a = poisson1d(200);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 200];
+        a.matvec(&vec![1.0; 200], &mut b);
+        for trial in 0..20 {
+            let rep = run_cg_threaded(&m, &b, 1e-10, 1000, 7);
+            assert!(rep.converged, "trial {trial}");
+            for v in &rep.x {
+                assert!((v - 1.0).abs() < 1e-7, "trial {trial}: {v}");
+            }
+        }
+    }
+}

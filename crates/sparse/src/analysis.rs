@@ -1,0 +1,168 @@
+//! Structural and numerical analysis of sparse matrices.
+//!
+//! Used to pick the right solver (CG needs symmetric positive-definite,
+//! BiCGSTAB handles nonsymmetric/indefinite — the paper partitions the
+//! SuiteSparse collection this way) and by the collection crate to verify
+//! generated matrices have the intended properties.
+
+use crate::csr::Csr;
+
+/// Summary statistics of a sparse matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixStats {
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Numerically symmetric (tol 1e-12 relative)?
+    pub symmetric: bool,
+    /// Every diagonal entry strictly positive?
+    pub positive_diagonal: bool,
+    /// Fraction of rows that are weakly diagonally dominant.
+    pub diag_dominant_fraction: f64,
+    /// Maximum `|i - j|` over stored entries.
+    pub bandwidth: usize,
+    /// Smallest nonzero magnitude.
+    pub min_abs: f64,
+    /// Largest magnitude.
+    pub max_abs: f64,
+    /// Average nonzeros per row.
+    pub avg_nnz_per_row: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `a`.
+    pub fn compute(a: &Csr) -> MatrixStats {
+        let mut bandwidth = 0usize;
+        let mut min_abs = f64::INFINITY;
+        let mut max_abs: f64 = 0.0;
+        let mut dominant_rows = 0usize;
+        let mut positive_diagonal = a.nrows == a.ncols;
+        for r in 0..a.nrows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (c, v) in a.row(r) {
+                bandwidth = bandwidth.max(r.abs_diff(c));
+                let av = v.abs();
+                if av > 0.0 {
+                    min_abs = min_abs.min(av);
+                }
+                max_abs = max_abs.max(av);
+                if c == r {
+                    diag = v;
+                } else {
+                    off += av;
+                }
+            }
+            if diag.abs() >= off {
+                dominant_rows += 1;
+            }
+            if a.nrows == a.ncols && diag <= 0.0 {
+                positive_diagonal = false;
+            }
+        }
+        if !min_abs.is_finite() {
+            min_abs = 0.0;
+        }
+        MatrixStats {
+            nrows: a.nrows,
+            ncols: a.ncols,
+            nnz: a.nnz(),
+            symmetric: a.nrows == a.ncols && a.is_symmetric(1e-12),
+            positive_diagonal,
+            diag_dominant_fraction: if a.nrows == 0 {
+                0.0
+            } else {
+                dominant_rows as f64 / a.nrows as f64
+            },
+            bandwidth,
+            min_abs,
+            max_abs,
+            avg_nnz_per_row: if a.nrows == 0 {
+                0.0
+            } else {
+                a.nnz() as f64 / a.nrows as f64
+            },
+        }
+    }
+
+    /// Heuristic: symmetric, positive diagonal and mostly diagonally dominant
+    /// matrices are (very likely) SPD — the CG-suitable class. Generators in
+    /// `mf-collection` construct matrices that are SPD by construction; this
+    /// is a sanity check, not a proof.
+    pub fn likely_spd(&self) -> bool {
+        self.symmetric && self.positive_diagonal && self.diag_dominant_fraction > 0.9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn laplacian_1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn laplacian_stats() {
+        let s = MatrixStats::compute(&laplacian_1d(10));
+        assert!(s.symmetric);
+        assert!(s.positive_diagonal);
+        assert_eq!(s.bandwidth, 1);
+        assert_eq!(s.diag_dominant_fraction, 1.0);
+        assert!(s.likely_spd());
+        assert_eq!(s.min_abs, 1.0);
+        assert_eq!(s.max_abs, 2.0);
+        assert!((s.avg_nnz_per_row - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonsymmetric_detected() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1.0);
+        a.push(0, 1, 5.0);
+        a.push(1, 1, 1.0);
+        let s = MatrixStats::compute(&a.to_csr());
+        assert!(!s.symmetric);
+        assert!(!s.likely_spd());
+    }
+
+    #[test]
+    fn negative_diagonal_detected() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, -1.0);
+        a.push(1, 1, 1.0);
+        let s = MatrixStats::compute(&a.to_csr());
+        assert!(!s.positive_diagonal);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Coo::new(0, 0).to_csr();
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.diag_dominant_fraction, 0.0);
+    }
+
+    #[test]
+    fn bandwidth_of_wide_entry() {
+        let mut a = Coo::new(5, 5);
+        a.push(0, 4, 1.0);
+        a.push(4, 4, 1.0);
+        let s = MatrixStats::compute(&a.to_csr());
+        assert_eq!(s.bandwidth, 4);
+    }
+}

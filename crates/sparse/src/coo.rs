@@ -1,0 +1,259 @@
+//! Coordinate (triplet) format — the assembly and interchange format.
+
+use crate::csr::Csr;
+use crate::SparseError;
+
+/// A sparse matrix in coordinate (COO/triplet) form.
+///
+/// Entries may arrive unsorted and with duplicates; [`Coo::compact`] sorts
+/// row-major and sums duplicates, which is the canonical form expected by
+/// the CSR conversion.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Coo {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row indices, one per entry.
+    pub rows: Vec<usize>,
+    /// Column indices, one per entry.
+    pub cols: Vec<usize>,
+    /// Values, one per entry.
+    pub vals: Vec<f64>,
+}
+
+impl Coo {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds from parallel triplet arrays, validating indices.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<usize>,
+        cols: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(SparseError::Shape(format!(
+                "triplet arrays disagree: {} rows, {} cols, {} vals",
+                rows.len(),
+                cols.len(),
+                vals.len()
+            )));
+        }
+        if let Some(&r) = rows.iter().max() {
+            if r >= nrows {
+                return Err(SparseError::Shape(format!(
+                    "row index {r} out of range for {nrows} rows"
+                )));
+            }
+        }
+        if let Some(&c) = cols.iter().max() {
+            if c >= ncols {
+                return Err(SparseError::Shape(format!(
+                    "col index {c} out of range for {ncols} cols"
+                )));
+            }
+        }
+        Ok(Coo {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        })
+    }
+
+    /// Number of stored entries (before compaction this may include
+    /// duplicates and explicit zeros).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.nrows && col < self.ncols, "index out of range");
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Sorts entries row-major (row, then column) and sums duplicates.
+    /// Entries that sum to exactly zero are retained (they are structural
+    /// nonzeros, which matters for ILU patterns).
+    pub fn compact(&mut self) {
+        let n = self.nnz();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&i| (self.rows[i], self.cols[i]));
+
+        let mut rows = Vec::with_capacity(n);
+        let mut cols = Vec::with_capacity(n);
+        let mut vals = Vec::with_capacity(n);
+        for &i in &order {
+            let (r, c, v) = (self.rows[i], self.cols[i], self.vals[i]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().unwrap() += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Converts to CSR (compacts first).
+    pub fn to_csr(&self) -> Csr {
+        let mut c = self.clone();
+        c.compact();
+        let mut rowptr = vec![0usize; c.nrows + 1];
+        for &r in &c.rows {
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..c.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        Csr {
+            nrows: c.nrows,
+            ncols: c.ncols,
+            rowptr,
+            colidx: c.cols,
+            vals: c.vals,
+        }
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Coo {
+        Coo {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Dense `y = A x` for oracle checks (O(nnz)).
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        y.fill(0.0);
+        for i in 0..self.nnz() {
+            y[self.rows[i]] += self.vals[i] * x[self.cols[i]];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        let mut a = Coo::new(3, 3);
+        a.push(0, 0, 2.0);
+        a.push(2, 1, -1.0);
+        a.push(1, 1, 3.0);
+        a.push(0, 0, 0.5); // duplicate
+        a
+    }
+
+    #[test]
+    fn push_and_nnz() {
+        let a = sample();
+        assert_eq!(a.nnz(), 4);
+    }
+
+    #[test]
+    fn compact_sorts_and_sums() {
+        let mut a = sample();
+        a.compact();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.rows, vec![0, 1, 2]);
+        assert_eq!(a.cols, vec![0, 1, 1]);
+        assert_eq!(a.vals, vec![2.5, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn compact_keeps_structural_zeros() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1.0);
+        a.push(0, 0, -1.0);
+        a.compact();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.vals[0], 0.0);
+    }
+
+    #[test]
+    fn to_csr_matches() {
+        let csr = sample().to_csr();
+        assert_eq!(csr.rowptr, vec![0, 1, 2, 3]);
+        assert_eq!(csr.colidx, vec![0, 1, 1]);
+        assert_eq!(csr.vals, vec![2.5, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn from_triplets_validates() {
+        assert!(Coo::from_triplets(2, 2, vec![0], vec![0], vec![1.0]).is_ok());
+        assert!(Coo::from_triplets(2, 2, vec![2], vec![0], vec![1.0]).is_err());
+        assert!(Coo::from_triplets(2, 2, vec![0], vec![5], vec![1.0]).is_err());
+        assert!(Coo::from_triplets(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let t = sample().transpose();
+        assert_eq!(t.nrows, 3);
+        assert!(t.rows.contains(&1)); // col 1 entries become row 1
+        let mut tt = t.transpose();
+        tt.compact();
+        let mut orig = sample();
+        orig.compact();
+        assert_eq!(tt, orig);
+    }
+
+    #[test]
+    fn matvec_oracle() {
+        let mut a = sample();
+        a.compact();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, [2.5, 6.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_out_of_range_panics() {
+        let mut a = Coo::new(2, 2);
+        a.push(2, 0, 1.0);
+    }
+}

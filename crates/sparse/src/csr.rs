@@ -1,0 +1,309 @@
+//! Compressed sparse row — the format of the cuSPARSE/hipSPARSE baselines.
+
+use crate::coo::Coo;
+
+/// A sparse matrix in CSR form with `f64` values.
+///
+/// Column indices within each row are sorted ascending (guaranteed when built
+/// through [`Coo::to_csr`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Csr {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row pointer array, length `nrows + 1`.
+    pub rowptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    pub colidx: Vec<usize>,
+    /// Values, length `nnz`.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// An `n × n` identity matrix.
+    pub fn identity(n: usize) -> Csr {
+        Csr {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colidx: (0..n).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Iterator over `(col, val)` of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.rowptr[r];
+        let hi = self.rowptr[r + 1];
+        self.colidx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// Value at `(r, c)`, or 0.0 if not stored (binary search within the row).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.rowptr[r];
+        let hi = self.rowptr[r + 1];
+        match self.colidx[lo..hi].binary_search(&c) {
+            Ok(k) => self.vals[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Reference `y = A x` (sequential, FP64).
+    #[allow(clippy::needless_range_loop)] // r indexes y, rowptr and colidx together
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for r in 0..self.nrows {
+            let mut sum = 0.0;
+            for k in self.rowptr[r]..self.rowptr[r + 1] {
+                sum += self.vals[k] * x[self.colidx[k]];
+            }
+            y[r] = sum;
+        }
+    }
+
+    /// Converts back to COO.
+    pub fn to_coo(&self) -> Coo {
+        let mut rows = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            rows.extend(std::iter::repeat_n(r, self.rowptr[r + 1] - self.rowptr[r]));
+        }
+        Coo {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rows,
+            cols: self.colidx.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Returns the transpose in CSR (i.e. CSC of `self`), O(nnz + n).
+    pub fn transpose(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.ncols + 1];
+        for &c in &self.colidx {
+            rowptr[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colidx = vec![0usize; self.nnz()];
+        let mut vals = vec![0.0; self.nnz()];
+        let mut next = rowptr.clone();
+        for r in 0..self.nrows {
+            for k in self.rowptr[r]..self.rowptr[r + 1] {
+                let c = self.colidx[k];
+                let dst = next[c];
+                colidx[dst] = r;
+                vals[dst] = self.vals[k];
+                next[c] += 1;
+            }
+        }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// `true` if the matrix is structurally and numerically symmetric within
+    /// `tol` (relative to the larger magnitude of the pair).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.rowptr != self.rowptr || t.colidx != self.colidx {
+            // Patterns differ: check numerically anyway (a pattern-unsymmetric
+            // matrix can be numerically symmetric only if mismatched entries
+            // are zero, which `get` handles).
+            for r in 0..self.nrows {
+                for (c, v) in self.row(r) {
+                    let w = self.get(c, r);
+                    let scale = v.abs().max(w.abs()).max(1e-300);
+                    if (v - w).abs() / scale > tol {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        self.vals
+            .iter()
+            .zip(&t.vals)
+            .all(|(&v, &w)| (v - w).abs() <= tol * v.abs().max(w.abs()).max(1e-300))
+    }
+
+    /// Extracts the main diagonal (missing entries are 0).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Extracts the lower triangle including the diagonal.
+    pub fn lower_triangle(&self) -> Csr {
+        self.filter(|r, c| c <= r)
+    }
+
+    /// Extracts the strict upper triangle plus unit diagonal.
+    pub fn upper_triangle(&self) -> Csr {
+        self.filter(|r, c| c >= r)
+    }
+
+    /// Keeps entries for which `keep(row, col)` is true.
+    pub fn filter(&self, keep: impl Fn(usize, usize) -> bool) -> Csr {
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        let mut colidx = Vec::new();
+        let mut vals = Vec::new();
+        rowptr.push(0);
+        for r in 0..self.nrows {
+            for k in self.rowptr[r]..self.rowptr[r + 1] {
+                let c = self.colidx[k];
+                if keep(r, c) {
+                    colidx.push(c);
+                    vals.push(self.vals[k]);
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// Memory footprint of the standard 3-array CSR as allocated by the
+    /// cuSPARSE baseline: 32-bit `rowptr` and `colidx`, 64-bit values
+    /// (paper Fig. 13 compares against exactly this layout).
+    pub fn memory_bytes(&self) -> usize {
+        4 * (self.nrows + 1) + 4 * self.nnz() + 8 * self.nnz()
+    }
+
+    /// Scales every value by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.vals {
+            *v *= s;
+        }
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.nrows)
+            .map(|r| self.row(r).map(|(_, v)| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [ 2 0 1 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        let mut a = Coo::new(3, 3);
+        for &(r, c, v) in &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+            a.push(r, c, v);
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i = Csr::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        i.matvec(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn get_and_row() {
+        let a = sample();
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(2, 2), 5.0);
+        let row0: Vec<_> = a.row(0).collect();
+        assert_eq!(row0, vec![(0, 2.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let x = [1.0, -1.0, 2.0];
+        let mut y = [0.0; 3];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, [4.0, -3.0, 14.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let a = sample();
+        assert!(!a.is_symmetric(1e-12));
+        let mut s = Coo::new(2, 2);
+        s.push(0, 0, 2.0);
+        s.push(0, 1, -1.0);
+        s.push(1, 0, -1.0);
+        s.push(1, 1, 2.0);
+        assert!(s.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(sample().diagonal(), vec![2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn triangles() {
+        let a = sample();
+        let l = a.lower_triangle();
+        assert_eq!(l.nnz(), 4); // (0,0),(1,1),(2,0),(2,2)
+        let u = a.upper_triangle();
+        assert_eq!(u.nnz(), 4); // (0,0),(0,2),(1,1),(2,2)
+        assert_eq!(l.get(0, 2), 0.0);
+        assert_eq!(u.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let a = sample();
+        assert_eq!(a.to_coo().to_csr(), a);
+    }
+
+    #[test]
+    fn memory_model() {
+        let a = sample();
+        assert_eq!(a.memory_bytes(), 4 * 4 + 4 * 5 + 8 * 5);
+    }
+
+    #[test]
+    fn norms_and_scale() {
+        let mut a = sample();
+        assert_eq!(a.norm_inf(), 9.0);
+        a.scale(2.0);
+        assert_eq!(a.norm_inf(), 18.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Small dense matrices used as test oracles (direct solves, explicit
+//! residuals) — never on the hot path.
+
+use crate::csr::Csr;
+
+/// Row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dense {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row-major storage, length `nrows * ncols`.
+    pub data: Vec<f64>,
+}
+
+impl Dense {
+    /// A zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Dense {
+        Dense {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Dense {
+        let mut d = Dense::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = 1.0;
+        }
+        d
+    }
+
+    /// Converts a CSR matrix to dense.
+    pub fn from_csr(a: &Csr) -> Dense {
+        let mut d = Dense::zeros(a.nrows, a.ncols);
+        for r in 0..a.nrows {
+            for (c, v) in a.row(r) {
+                d[(r, c)] += v;
+            }
+        }
+        d
+    }
+
+    /// `y = A x`.
+    #[allow(clippy::needless_range_loop)] // r indexes y and the row slice together
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for r in 0..self.nrows {
+            let row = &self.data[r * self.ncols..(r + 1) * self.ncols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Solves `A x = b` by LU with partial pivoting. Returns `None` when the
+    /// matrix is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.nrows, self.ncols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.nrows);
+        let n = self.nrows;
+        let mut lu = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        let mut piv: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot.
+            let mut p = k;
+            let mut pmax = lu[piv[k] * n + k].abs();
+            for (i, &pi) in piv.iter().enumerate().skip(k + 1) {
+                let v = lu[pi * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return None;
+            }
+            piv.swap(k, p);
+            let pk = piv[k];
+            let pivot = lu[pk * n + k];
+            for &pi in piv.iter().skip(k + 1) {
+                let f = lu[pi * n + k] / pivot;
+                lu[pi * n + k] = f;
+                for j in k + 1..n {
+                    lu[pi * n + j] -= f * lu[pk * n + j];
+                }
+            }
+        }
+
+        // Forward substitution (L has unit diagonal, stored in the factors).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let pi = piv[i];
+            let mut s = x[pi];
+            for j in 0..i {
+                s -= lu[pi * n + j] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let pi = piv[i];
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= lu[pi * n + j] * x[j];
+            }
+            x[i] = s / lu[pi * n + i];
+        }
+        Some(x)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// `true` when symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for i in 0..self.nrows {
+            for j in 0..i {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Dense {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Dense {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn identity_solve() {
+        let i = Dense::identity(3);
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(i.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [4/5, 7/5]
+        let mut a = Dense::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position requires a row swap.
+        let mut a = Dense::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = Dense::zeros(2, 2);
+        assert!(a.solve(&[1.0, 1.0]).is_none());
+        let mut b = Dense::zeros(2, 2);
+        b[(0, 0)] = 1.0;
+        b[(0, 1)] = 2.0;
+        b[(1, 0)] = 2.0;
+        b[(1, 1)] = 4.0;
+        assert!(b.solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn from_csr_and_matvec() {
+        let mut c = Coo::new(2, 3);
+        c.push(0, 0, 1.0);
+        c.push(1, 2, 5.0);
+        let d = Dense::from_csr(&c.to_csr());
+        let mut y = [0.0; 2];
+        d.matvec(&[1.0, 1.0, 2.0], &mut y);
+        assert_eq!(y, [1.0, 10.0]);
+    }
+
+    #[test]
+    fn residual_of_solve_is_small() {
+        // Random-ish well-conditioned system.
+        let n = 8;
+        let mut a = Dense::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 31 + j * 17) % 13) as f64 / 13.0;
+            }
+            a[(i, i)] += 5.0; // diagonally dominant
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let x = a.solve(&b).unwrap();
+        let mut r = vec![0.0; n];
+        a.matvec(&x, &mut r);
+        for i in 0..n {
+            assert!((r[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let mut a = Dense::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        assert!(!a.is_symmetric(1e-15));
+        a[(1, 0)] = 1.0;
+        assert!(a.is_symmetric(1e-15));
+    }
+}

@@ -1,0 +1,332 @@
+//! Matrix Market I/O.
+//!
+//! The paper's artifact downloads `.mtx` files from the SuiteSparse Matrix
+//! Collection. This reproduction ships synthetic generators instead (see
+//! `mf-collection`), but the reader below accepts real SuiteSparse files so
+//! the full dataset can be dropped in: coordinate format, `real` / `integer`
+//! / `pattern` fields, `general` / `symmetric` / `skew-symmetric` symmetry.
+
+use crate::coo::Coo;
+use crate::SparseError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Lower triangle stored; mirror on read.
+    Symmetric,
+    /// Lower triangle stored; mirror with negation on read.
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market coordinate file into COO (expanding symmetry).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))??;
+    let header_lc = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lc.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(SparseError::Parse(format!(
+            "only coordinate format is supported, got {}",
+            fields[2]
+        )));
+    }
+    let field_kind = fields[3];
+    if !matches!(field_kind, "real" | "integer" | "pattern") {
+        return Err(SparseError::Parse(format!(
+            "unsupported field type {field_kind} (complex matrices are out of scope)"
+        )));
+    }
+    let symmetry = match fields[4] {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported symmetry {other}"
+            )))
+        }
+    };
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing size line".into()))??;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break t.to_string();
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SparseError::Parse(format!("bad size line '{size_line}': {e}")))?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!(
+            "size line must have 3 fields, got '{size_line}'"
+        )));
+    }
+    let (nrows, ncols, nnz_decl) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == MmSymmetry::General {
+            nnz_decl
+        } else {
+            2 * nnz_decl
+        },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("bad entry '{t}'")))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad row in '{t}': {e}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("bad entry '{t}'")))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad col in '{t}': {e}")))?;
+        let v: f64 = match field_kind {
+            "pattern" => 1.0,
+            _ => it
+                .next()
+                .ok_or_else(|| SparseError::Parse(format!("missing value in '{t}'")))?
+                .parse()
+                .map_err(|e| SparseError::Parse(format!("bad value in '{t}': {e}")))?,
+        };
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(SparseError::Parse(format!(
+                "entry ({r},{c}) out of bounds for {nrows}x{ncols}"
+            )));
+        }
+        let (r, c) = (r - 1, c - 1); // 1-based -> 0-based
+        coo.push(r, c, v);
+        match symmetry {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric => {
+                if r != c {
+                    coo.push(c, r, v);
+                }
+            }
+            MmSymmetry::SkewSymmetric => {
+                if r != c {
+                    coo.push(c, r, -v);
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz_decl {
+        return Err(SparseError::Parse(format!(
+            "declared {nnz_decl} entries but found {seen}"
+        )));
+    }
+    coo.compact();
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Coo, SparseError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a COO matrix in `coordinate real general` form.
+pub fn write_matrix_market<W: Write>(w: &mut W, a: &Coo) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by mille-feuille-rs")?;
+    writeln!(w, "{} {} {}", a.nrows, a.ncols, a.nnz())?;
+    for i in 0..a.nnz() {
+        writeln!(w, "{} {} {:e}", a.rows[i] + 1, a.cols[i] + 1, a.vals[i])?;
+    }
+    Ok(())
+}
+
+/// Writes a *symmetric* COO matrix in `coordinate real symmetric` form
+/// (lower triangle only — halves the file size for the CG-class inputs).
+///
+/// Returns a shape error if the matrix is not numerically symmetric.
+pub fn write_matrix_market_symmetric<W: Write>(w: &mut W, a: &Coo) -> Result<(), SparseError> {
+    let csr = a.to_csr();
+    if !csr.is_symmetric(1e-12) {
+        return Err(SparseError::Shape(
+            "matrix is not symmetric; use write_matrix_market".into(),
+        ));
+    }
+    let lower = csr.lower_triangle();
+    writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(w, "% written by mille-feuille-rs")?;
+    writeln!(w, "{} {} {}", lower.nrows, lower.ncols, lower.nnz())?;
+    for r in 0..lower.nrows {
+        for (c, v) in lower.row(r) {
+            writeln!(w, "{} {} {:e}", r + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a COO matrix to a file.
+pub fn write_matrix_market_file(path: impl AsRef<Path>, a: &Coo) -> Result<(), SparseError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_matrix_market(&mut f, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_general() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 2 3.0\n\
+                    3 1 4.0\n\
+                    3 3 5.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nrows, 3);
+        assert_eq!(a.nnz(), 4);
+        let csr = a.to_csr();
+        assert_eq!(csr.get(2, 0), 4.0);
+    }
+
+    #[test]
+    fn read_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 2.0\n\
+                    2 1 -1.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 3);
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 1), -1.0);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert!(csr.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn read_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        let csr = a.to_csr();
+        assert_eq!(csr.get(1, 0), 3.0);
+        assert_eq!(csr.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn read_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 1\n\
+                    2 2\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.vals, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn read_integer() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n\
+                    1 1 1\n\
+                    1 1 7\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.vals, vec![7.0]);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let mut a = Coo::new(3, 2);
+        a.push(0, 0, 1.5);
+        a.push(2, 1, -2.25e-3);
+        a.compact();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_writer_roundtrips() {
+        let mut a = Coo::new(3, 3);
+        a.push(0, 0, 2.0);
+        a.push(1, 0, -1.0);
+        a.push(0, 1, -1.0);
+        a.push(1, 1, 2.0);
+        a.push(2, 2, 3.0);
+        a.compact();
+        let mut buf = Vec::new();
+        write_matrix_market_symmetric(&mut buf, &a).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("symmetric"));
+        // Only 4 stored entries (lower triangle) instead of 5.
+        assert!(text.contains("3 3 4"));
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn symmetric_writer_rejects_nonsymmetric() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 1, 5.0);
+        a.push(0, 0, 1.0);
+        a.push(1, 1, 1.0);
+        let mut buf = Vec::new();
+        assert!(write_matrix_market_symmetric(&mut buf, &a).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_matrix_market("nonsense\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_count_mismatch() {
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(oob.as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mf_sparse_mm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mtx");
+        let mut a = Coo::new(2, 2);
+        a.push(0, 1, 9.0);
+        a.compact();
+        write_matrix_market_file(&path, &a).unwrap();
+        let b = read_matrix_market_file(&path).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Mixed-precision study: how the "enough good" classification threshold
+//! and the partial-convergence safety factor trade storage, speed and
+//! iteration count on one workload.
+//!
+//! The paper fixes both knobs (loss < 1e-15, thresholds ε·10⁻³…ε); this
+//! example shows what the dials do — relaxing the loss threshold pushes
+//! more tiles narrow (cheaper, but costs iterations once rounding bites),
+//! and a looser partial-convergence ladder bypasses more work.
+//!
+//! ```text
+//! cargo run --release --example mixed_precision_study
+//! ```
+
+use mille_feuille::precision::ClassifyOptions;
+use mille_feuille::prelude::*;
+
+fn main() {
+    // A CFD-like system with real-valued coefficients so classification
+    // actually has decisions to make.
+    let a = mille_feuille::collection::banded_spd(
+        20_000,
+        6,
+        mille_feuille::collection::ValueClass::Real,
+        7,
+    );
+    let mut b = vec![0.0; a.nrows];
+    a.matvec(&vec![1.0; a.ncols], &mut b);
+    println!("system: n = {}, nnz = {}\n", a.nrows, a.nnz());
+
+    // --- Dial 1: the classification loss threshold.
+    println!("classification loss threshold sweep (paper: 1e-15):");
+    println!(
+        "{:>10} | {:>7} {:>7} {:>7} {:>7} | {:>9} | {:>6} | {:>10}",
+        "threshold", "t64", "t32", "t16", "t8", "mem/CSR", "iters", "solve µs"
+    );
+    for loss in [1e-15, 1e-9, 1e-6, 1e-2, 0.4] {
+        let classify = ClassifyOptions {
+            loss_threshold: loss,
+            ..ClassifyOptions::default()
+        };
+        let t = TiledMatrix::from_csr_with(&a, 16, &classify);
+        let h = t.tile_precision_histogram();
+        let mem = t.memory_bytes().total() as f64 / a.memory_bytes() as f64;
+        let cfg = SolverConfig {
+            classify,
+            ..SolverConfig::default()
+        };
+        let rep = MilleFeuille::new(DeviceSpec::a100(), cfg).solve_cg(&a, &b);
+        println!(
+            "{:>10.0e} | {:>7} {:>7} {:>7} {:>7} | {:>9.3} | {:>6} | {:>10.1}{}",
+            loss,
+            h[0],
+            h[1],
+            h[2],
+            h[3],
+            mem,
+            rep.iterations,
+            rep.solve_us(),
+            if rep.converged { "" } else { "  [!conv]" }
+        );
+    }
+
+    // --- Dial 2: the partial-convergence safety factor, on a system with
+    // genuinely early-converging components (the m3plates class).
+    let a = mille_feuille::collection::decoupled_blocks_with(160, 64, 0.3, 2.0, 21);
+    let mut b = vec![0.0; a.nrows];
+    a.matvec(&vec![1.0; a.ncols], &mut b);
+    println!("\nsecond system (decoupled blocks): n = {}, nnz = {}", a.nrows, a.nnz());
+    println!("\npartial-convergence safety factor sweep (default 0.1; 1.0 = paper's exact ladder):");
+    println!(
+        "{:>8} | {:>6} | {:>8} | {:>10}",
+        "safety", "iters", "bypass%", "solve µs"
+    );
+    for safety in [0.0f64, 0.01, 0.1, 1.0] {
+        let cfg = SolverConfig {
+            partial_convergence: safety > 0.0,
+            partial_safety: safety.max(1e-300),
+            ..SolverConfig::default()
+        };
+        let rep = MilleFeuille::new(DeviceSpec::a100(), cfg).solve_cg(&a, &b);
+        println!(
+            "{:>8} | {:>6} | {:>8.2} | {:>10.1}{}",
+            if safety == 0.0 { "off".to_string() } else { format!("{safety}") },
+            rep.iterations,
+            100.0 * rep.bypass_fraction(),
+            rep.solve_us(),
+            if rep.converged { "" } else { "  [!conv]" }
+        );
+    }
+    println!("\nreading: storage shrinks monotonically with the loss threshold, and the\nsolver tolerates surprisingly sloppy storage before iterations grow — the\nheadroom Finding 1 exploits. The safety dial trades bypass volume against\nrobustness on stiff systems (EXPERIMENTS.md, deviation 4).");
+}

@@ -1,0 +1,97 @@
+//! Precision explorer: renders the Fig.-1-style "enough good" precision map
+//! of a matrix as ASCII art, plus the classification histograms.
+//!
+//! Works on the built-in named proxies or on any Matrix Market file:
+//!
+//! ```text
+//! cargo run --release --example precision_explorer            # named proxies
+//! cargo run --release --example precision_explorer my.mtx     # your matrix
+//! ```
+
+use mille_feuille::collection::named_matrix;
+use mille_feuille::precision::{classification_histogram, ClassifyOptions, Precision};
+use mille_feuille::prelude::*;
+use mille_feuille::sparse::mm::read_matrix_market_file;
+
+/// Renders a coarse tile-precision map: each character cell aggregates the
+/// tile grid down to at most `width` columns and shows the *widest*
+/// precision any covered tile needs.
+fn render_map(t: &TiledMatrix, width: usize) {
+    if t.tile_count() == 0 {
+        println!("  (empty matrix)");
+        return;
+    }
+    let scale = (t.tile_cols.max(t.tile_rows)).div_ceil(width).max(1);
+    let rows = t.tile_rows.div_ceil(scale);
+    let cols = t.tile_cols.div_ceil(scale);
+    // 0 empty, else precision rank (1=FP8 .. 4=FP64).
+    let mut grid = vec![0u8; rows * cols];
+    for i in 0..t.tile_count() {
+        let r = t.tile_rowidx[i] as usize / scale;
+        let c = t.tile_colidx[i] as usize / scale;
+        let rank = match t.tile_prec[i] {
+            Precision::Fp8 => 1,
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 3,
+            Precision::Fp64 => 4,
+        };
+        let cell = &mut grid[r * cols + c];
+        *cell = (*cell).max(rank);
+    }
+    println!("  legend: '.' empty  '8' FP8  'h' FP16  's' FP32  'D' FP64  (1 char = {scale}x{scale} tiles)");
+    for r in 0..rows {
+        let line: String = (0..cols)
+            .map(|c| match grid[r * cols + c] {
+                0 => '.',
+                1 => '8',
+                2 => 'h',
+                3 => 's',
+                _ => 'D',
+            })
+            .collect();
+        println!("  {line}");
+    }
+}
+
+fn explore(name: &str, a: &Csr) {
+    println!("== {name}: n = {}, nnz = {}", a.nrows, a.nnz());
+    let h = classification_histogram(&a.vals, &ClassifyOptions::default());
+    let pct = |c: usize| 100.0 * c as f64 / a.nnz().max(1) as f64;
+    println!(
+        "  nonzeros: FP64 {:.1}%  FP32 {:.1}%  FP16 {:.1}%  FP8 {:.1}%",
+        pct(h[0]),
+        pct(h[1]),
+        pct(h[2]),
+        pct(h[3])
+    );
+    let t = TiledMatrix::from_csr(a);
+    let th = t.tile_precision_histogram();
+    println!(
+        "  tiles:    FP64 {}  FP32 {}  FP16 {}  FP8 {}   (memory {:.3}x of CSR)",
+        th[0],
+        th[1],
+        th[2],
+        th[3],
+        t.memory_bytes().total() as f64 / a.memory_bytes() as f64
+    );
+    render_map(&t, 64);
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for name in ["garon2", "nmos3", "ASIC_320k"] {
+            let a = named_matrix(name).expect("named proxy").generate();
+            explore(name, &a);
+        }
+        println!("tip: pass a path to a Matrix Market file to explore your own matrix");
+    } else {
+        for path in &args {
+            match read_matrix_market_file(path) {
+                Ok(coo) => explore(path, &coo.to_csr()),
+                Err(e) => eprintln!("{path}: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every figure and table of the paper (the analogue of the
+# artifact's all_figures.sh). Output tables print to stdout; CSVs land in
+# bench_out/. Scale knobs: MF_SUITE_COUNT (default 60; paper scale 230/686),
+# MF_MAX_NNZ, MF_ITERS, MF_PRECOND_COUNT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p mf-bench --bins
+
+BIN=target/release
+for fig in fig01_precision_map fig02_breakdown fig04_partial_convergence \
+           fig06_dependency_trace fig07_dynamic_precision \
+           fig08_vs_vendor fig09_vs_libraries fig10_preconditioned \
+           fig11_mixed_precision fig12_convergence_curves fig13_memory \
+           fig14_preprocessing table2_iterations \
+           ablation_single_kernel ablation_granularity ablation_partial \
+           ablation_tile_size; do
+  echo
+  echo "################ $fig ################"
+  "$BIN/$fig"
+done
+echo
+echo "All figures regenerated; CSVs in bench_out/"
