@@ -8,10 +8,8 @@
 //! multi-kernel CG iteration, >50% for small matrices). EXPERIMENTS.md
 //! documents the calibration.
 
-use serde::{Deserialize, Serialize};
-
 /// GPU vendor (only affects labeling and a few schedule defaults).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Vendor {
     /// NVIDIA (CUDA execution model, 32-thread warps).
     Nvidia,
@@ -20,7 +18,7 @@ pub enum Vendor {
 }
 
 /// A GPU device model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DeviceSpec {
     /// Marketing name, e.g. `"NVIDIA A100 PCIe"`.
     pub name: String,

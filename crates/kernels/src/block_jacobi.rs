@@ -125,8 +125,16 @@ impl BlockJacobi {
     /// Applies the preconditioner: `z = M⁻¹ r` (one dense mat-vec per
     /// block).
     pub fn apply(&self, r: &[f64]) -> Vec<f64> {
-        assert_eq!(r.len(), self.n);
         let mut z = vec![0.0; self.n];
+        self.apply_into(r, &mut z);
+        z
+    }
+
+    /// In-place [`Self::apply`]: every element of `z` is overwritten, so the
+    /// solver loops can reuse a workspace buffer without clearing it.
+    pub fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n);
+        assert_eq!(z.len(), self.n);
         for (b, inv) in self.inv_blocks.iter().enumerate() {
             let lo = b * self.block;
             let hi = ((b + 1) * self.block).min(self.n);
@@ -139,7 +147,6 @@ impl BlockJacobi {
                 z[lo + i] = s;
             }
         }
-        z
     }
 
     /// Storage bytes of the quantized inverse blocks (the memory the

@@ -9,10 +9,21 @@
 //! the solvers run through the recursive-block SpTRSV of [`crate::sptrsv`].
 
 use crate::sptrsv::{
-    sptrsv_lower, sptrsv_lower_recursive, sptrsv_upper, sptrsv_upper_recursive,
-    DEFAULT_TRSV_LEAF,
+    sptrsv_lower, sptrsv_lower_recursive_into, sptrsv_upper, sptrsv_upper_recursive_into,
+    RecursiveTrsvStats, DEFAULT_TRSV_LEAF,
 };
 use mf_sparse::Csr;
+
+/// Merges the statistics of a forward + backward recursive solve pair.
+fn combine_trsv(s1: RecursiveTrsvStats, s2: RecursiveTrsvStats) -> RecursiveTrsvStats {
+    RecursiveTrsvStats {
+        leaves: s1.leaves + s2.leaves,
+        max_leaf_rows: s1.max_leaf_rows.max(s2.max_leaf_rows),
+        spmv_nnz: s1.spmv_nnz + s2.spmv_nnz,
+        trsv_nnz: s1.trsv_nnz + s2.trsv_nnz,
+        depth: s1.depth.max(s2.depth),
+    }
+}
 
 /// An ILU(0) factorization `A ≈ L U`.
 #[derive(Clone, Debug)]
@@ -164,17 +175,26 @@ impl Ilu0 {
         &self,
         r: &[f64],
         leaf: usize,
-    ) -> (Vec<f64>, crate::sptrsv::RecursiveTrsvStats) {
-        let (y, s1) = sptrsv_lower_recursive(&self.l, r, true, leaf);
-        let (z, s2) = sptrsv_upper_recursive(&self.u, &y, false, leaf);
-        let stats = crate::sptrsv::RecursiveTrsvStats {
-            leaves: s1.leaves + s2.leaves,
-            max_leaf_rows: s1.max_leaf_rows.max(s2.max_leaf_rows),
-            spmv_nnz: s1.spmv_nnz + s2.spmv_nnz,
-            trsv_nnz: s1.trsv_nnz + s2.trsv_nnz,
-            depth: s1.depth.max(s2.depth),
-        };
+    ) -> (Vec<f64>, RecursiveTrsvStats) {
+        let mut y = vec![0.0; r.len()];
+        let mut z = vec![0.0; r.len()];
+        let stats = self.apply_recursive_into(r, leaf, &mut y, &mut z);
         (z, stats)
+    }
+
+    /// In-place [`Self::apply_recursive`]: `scratch` holds the intermediate
+    /// `y` of `L y = r`, `z` receives the solution. Allocation-free, so the
+    /// solver loops can reuse workspace buffers across iterations.
+    pub fn apply_recursive_into(
+        &self,
+        r: &[f64],
+        leaf: usize,
+        scratch: &mut [f64],
+        z: &mut [f64],
+    ) -> RecursiveTrsvStats {
+        let s1 = sptrsv_lower_recursive_into(&self.l, r, scratch, true, leaf);
+        let s2 = sptrsv_upper_recursive_into(&self.u, scratch, z, false, leaf);
+        combine_trsv(s1, s2)
     }
 
     /// Applies with the default leaf size.
@@ -217,17 +237,24 @@ impl Ic0 {
         &self,
         r: &[f64],
         leaf: usize,
-    ) -> (Vec<f64>, crate::sptrsv::RecursiveTrsvStats) {
-        let (y, s1) = sptrsv_lower_recursive(&self.l, r, false, leaf);
-        let (z, s2) = sptrsv_upper_recursive(&self.lt, &y, false, leaf);
-        let stats = crate::sptrsv::RecursiveTrsvStats {
-            leaves: s1.leaves + s2.leaves,
-            max_leaf_rows: s1.max_leaf_rows.max(s2.max_leaf_rows),
-            spmv_nnz: s1.spmv_nnz + s2.spmv_nnz,
-            trsv_nnz: s1.trsv_nnz + s2.trsv_nnz,
-            depth: s1.depth.max(s2.depth),
-        };
+    ) -> (Vec<f64>, RecursiveTrsvStats) {
+        let mut y = vec![0.0; r.len()];
+        let mut z = vec![0.0; r.len()];
+        let stats = self.apply_recursive_into(r, leaf, &mut y, &mut z);
         (z, stats)
+    }
+
+    /// In-place [`Self::apply_recursive`] (see [`Ilu0::apply_recursive_into`]).
+    pub fn apply_recursive_into(
+        &self,
+        r: &[f64],
+        leaf: usize,
+        scratch: &mut [f64],
+        z: &mut [f64],
+    ) -> RecursiveTrsvStats {
+        let s1 = sptrsv_lower_recursive_into(&self.l, r, scratch, false, leaf);
+        let s2 = sptrsv_upper_recursive_into(&self.lt, scratch, z, false, leaf);
+        combine_trsv(s1, s2)
     }
 
     /// Total stored nonzeros of both factor copies.

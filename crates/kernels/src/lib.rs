@@ -26,10 +26,13 @@ pub mod visflag;
 
 pub use block_jacobi::BlockJacobi;
 pub use ilu::{ic0, ilu0, Ic0, Ilu0};
-pub use spmv::{spmv_csr, spmv_csr_par, spmv_mixed, spmv_tiled, spmv_tiled_par, MixedSpmvStats, SharedTiles};
+pub use spmv::{
+    spmv_csr, spmv_csr_par, spmv_mixed, spmv_mixed_par, spmv_tiled, spmv_tiled_par,
+    MixedSpmvStats, SharedTiles,
+};
 pub use sptrsv::{
-    level_schedule, sptrsv_lower, sptrsv_lower_recursive, sptrsv_upper, sptrsv_upper_recursive,
-    LevelSchedule,
+    level_schedule, sptrsv_lower, sptrsv_lower_recursive, sptrsv_lower_recursive_into,
+    sptrsv_upper, sptrsv_upper_recursive, sptrsv_upper_recursive_into, LevelSchedule,
     RecursiveTrsvStats,
 };
 pub use visflag::{retrieve_vis_flags, VisFlag};

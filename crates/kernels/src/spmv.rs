@@ -78,22 +78,8 @@ pub fn spmv_tiled_par(m: &TiledMatrix, x: &[f64], y: &mut [f64]) {
     let mut tasks: Vec<(usize, &mut [f64])> = chunks.into_iter().enumerate().collect();
     tasks.par_iter_mut().for_each(|(tr, yslice)| {
         yslice.fill(0.0);
-        {
-            let (lo, hi) = row_range[*tr];
-            for i in lo..hi {
-                let base_col = m.tile_colidx[i] as usize * ts;
-                let nnz_base = m.tile_nnz[i] as usize;
-                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
-                    let r_in = m.row_index[ri] as usize;
-                    let mut sum = 0.0;
-                    for k in m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize {
-                        sum += m.tile_value(i, k - nnz_base)
-                            * x[base_col + m.csr_colidx[k] as usize];
-                    }
-                    yslice[r_in] += sum;
-                }
-            }
-        }
+        let (lo, hi) = row_range[*tr];
+        m.tile_matvec_span(lo..hi, x, yslice, *tr * ts);
     });
 }
 
@@ -103,10 +89,20 @@ pub fn spmv_tiled_par(m: &TiledMatrix, x: &[f64], y: &mut [f64]) {
 /// this copy *in place* — a one-way, once-per-level conversion, exactly as
 /// the paper describes ("our precision conversion occurs only once in
 /// on-chip memory; thereafter, the low-precision values ... can be reused").
+///
+/// Values live in one flat arena (tile `i` at
+/// `tile_off[i]..tile_off[i + 1]`, mirroring `TiledMatrix::tile_nnz`), so a
+/// span of whole tile rows owns a contiguous arena range — which is what
+/// lets [`spmv_mixed_par`] hand disjoint `&mut` stripes to worker threads
+/// with `split_at_mut`, no locks.
 #[derive(Clone, Debug)]
 pub struct SharedTiles {
-    /// Decoded values per tile.
-    pub values: Vec<Vec<f64>>,
+    /// Flat arena of decoded values; tile `i` occupies
+    /// `arena[tile_off[i]..tile_off[i + 1]]`.
+    pub arena: Vec<f64>,
+    /// Per-tile arena offsets (prefix sums; `tile_off[tile_count]` is the
+    /// total nonzero count).
+    pub tile_off: Vec<usize>,
     /// Current (possibly lowered) precision per tile.
     pub current_prec: Vec<Precision>,
     /// Initial precision per tile (from `TilePrec`).
@@ -117,15 +113,35 @@ impl SharedTiles {
     /// Loads (decodes) every tile — the one-time off-chip → on-chip copy.
     pub fn load(m: &TiledMatrix) -> SharedTiles {
         let t = m.tile_count();
-        let mut values = Vec::with_capacity(t);
+        let tile_off: Vec<usize> = m.tile_nnz.iter().map(|&o| o as usize).collect();
+        let mut arena = vec![0.0; tile_off[t]];
         for i in 0..t {
-            values.push(m.decode_tile_values(i));
+            m.decode_tile_into(i, &mut arena[tile_off[i]..tile_off[i + 1]]);
         }
         SharedTiles {
-            values,
+            arena,
+            tile_off,
             current_prec: m.tile_prec.clone(),
             initial_prec: m.tile_prec.clone(),
         }
+    }
+
+    /// A valueless instance carrying only the precision state — for cost
+    /// modeling (`Coster::spmv` reads `current_prec` alone) without paying
+    /// for a decode of every tile.
+    pub fn precision_only(initial_prec: &[Precision]) -> SharedTiles {
+        SharedTiles {
+            arena: Vec::new(),
+            tile_off: vec![0; initial_prec.len() + 1],
+            current_prec: initial_prec.to_vec(),
+            initial_prec: initial_prec.to_vec(),
+        }
+    }
+
+    /// Decoded values of tile `i` at its current precision.
+    #[inline]
+    pub fn tile_values(&self, i: usize) -> &[f64] {
+        &self.arena[self.tile_off[i]..self.tile_off[i + 1]]
     }
 
     /// Lowers tile `i` to `to` if that is strictly narrower than its current
@@ -134,7 +150,8 @@ impl SharedTiles {
     pub fn lower_tile(&mut self, i: usize, to: Precision) -> bool {
         if to < self.current_prec[i] {
             self.current_prec[i] = to;
-            to.quantize_slice(&mut self.values[i]);
+            let (lo, hi) = (self.tile_off[i], self.tile_off[i + 1]);
+            to.quantize_slice(&mut self.arena[lo..hi]);
             true
         } else {
             false
@@ -142,10 +159,12 @@ impl SharedTiles {
     }
 
     /// Resets every tile to its initial precision by re-decoding from `m`
-    /// (used between independent solves on the same matrix).
+    /// into the existing arena (used between independent solves on the same
+    /// matrix). Performs no allocations.
     pub fn reset(&mut self, m: &TiledMatrix) {
-        for i in 0..self.values.len() {
-            self.values[i] = m.decode_tile_values(i);
+        for i in 0..m.tile_count() {
+            let (lo, hi) = (self.tile_off[i], self.tile_off[i + 1]);
+            m.decode_tile_into(i, &mut self.arena[lo..hi]);
             self.current_prec[i] = self.initial_prec[i];
         }
     }
@@ -224,6 +243,23 @@ pub fn spmv_mixed(
     x: &[f64],
     y: &mut [f64],
 ) -> MixedSpmvStats {
+    check_mixed_inputs(m, vis_flags, x, y);
+    y.fill(0.0);
+    mixed_span(
+        m,
+        vis_flags,
+        x,
+        0..m.tile_count(),
+        &shared.tile_off,
+        y,
+        0,
+        &mut shared.arena,
+        0,
+        &mut shared.current_prec,
+    )
+}
+
+fn check_mixed_inputs(m: &TiledMatrix, vis_flags: &[VisFlag], x: &[f64], y: &[f64]) {
     assert_eq!(x.len(), m.ncols);
     assert_eq!(y.len(), m.nrows);
     assert!(
@@ -232,10 +268,35 @@ pub fn spmv_mixed(
         vis_flags.len(),
         m.tile_cols
     );
-    y.fill(0.0);
-    let mut stats = MixedSpmvStats::default();
+}
 
-    for i in 0..m.tile_count() {
+/// The Algorithm-5 engine over one contiguous tile span. Both the
+/// sequential kernel (one span: every tile) and the stripe-parallel kernel
+/// (one span per worker) run *this exact loop*, which is what makes
+/// [`spmv_mixed_par`] bitwise-identical to [`spmv_mixed`]: a stripe of
+/// whole tile rows owns a disjoint row range of `y` and a contiguous arena
+/// range, and within the stripe tiles execute in the same order with the
+/// same accumulation order as the sequential engine.
+///
+/// Slice windows: `y` covers matrix rows `[y_base, y_base + y.len())`,
+/// `arena` covers arena indices `[arena_base, ..)`, and `prec` covers tiles
+/// `[tiles.start, tiles.end)`. `y` must be pre-zeroed; results accumulate.
+#[allow(clippy::too_many_arguments)]
+fn mixed_span(
+    m: &TiledMatrix,
+    vis_flags: &[VisFlag],
+    x: &[f64],
+    tiles: std::ops::Range<usize>,
+    tile_off: &[usize],
+    y: &mut [f64],
+    y_base: usize,
+    arena: &mut [f64],
+    arena_base: usize,
+    prec: &mut [Precision],
+) -> MixedSpmvStats {
+    let mut stats = MixedSpmvStats::default();
+    let prec_base = tiles.start;
+    for i in tiles {
         let v_f = vis_flags[m.tile_colidx[i] as usize];
         let tile_nnz = (m.tile_nnz[i + 1] - m.tile_nnz[i]) as usize;
         if v_f == VisFlag::Bypass {
@@ -243,19 +304,25 @@ pub fn spmv_mixed(
             stats.nnz_bypassed += tile_nnz;
             continue;
         }
+        let pi = i - prec_base;
+        let (a_lo, a_hi) = (tile_off[i] - arena_base, tile_off[i + 1] - arena_base);
         if let Some(demanded) = v_f.demanded() {
-            if shared.lower_tile(i, demanded) {
+            // One-way in-place lowering of the on-chip copy (§III-D); the
+            // stripe owns this arena range exclusively.
+            if demanded < prec[pi] {
+                prec[pi] = demanded;
+                demanded.quantize_slice(&mut arena[a_lo..a_hi]);
                 stats.conversions += 1;
             }
         }
-        let exec_prec = shared.current_prec[i];
+        let exec_prec = prec[pi];
         stats.tiles_computed += 1;
         stats.nnz_by_prec[exec_prec.tile_code() as usize] += tile_nnz;
 
         let base_row = m.tile_rowidx[i] as usize * m.tile_size;
         let base_col = m.tile_colidx[i] as usize * m.tile_size;
         let nnz_base = m.tile_nnz[i] as usize;
-        let vals = &shared.values[i];
+        let vals = &arena[a_lo..a_hi];
         for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
             let r = base_row + m.row_index[ri] as usize;
             let mut sum = 0.0;
@@ -263,9 +330,139 @@ pub fn spmv_mixed(
                 sum += vals[k - nnz_base] * x[base_col + m.csr_colidx[k] as usize];
             }
             // atomicAdd(u[...], sum) in the kernel; plain add here because
-            // the sequential engine owns y exclusively.
-            y[r] += sum;
+            // each span owns its row range exclusively.
+            y[r - y_base] += sum;
         }
+    }
+    stats
+}
+
+/// Stripe-parallel mixed-precision SpMV: **bitwise-identical** to
+/// [`spmv_mixed`] (outputs *and* stats), the CPU analogue of assigning row
+/// tiles to independent thread blocks.
+///
+/// Tiles are sorted by `(tile_row, tile_col)`, so cutting the tile-row space
+/// into `threads` contiguous stripes (balanced by nonzero count) gives every
+/// worker a disjoint `y` row range, a contiguous arena range, and a
+/// contiguous `current_prec` range — all handed out via `split_at_mut`, so
+/// stripes run with no atomics or locks. Precision lowering stays an
+/// exclusive in-place write within the owning stripe. Per-stripe stats are
+/// merged in stripe order (integer sums — exact).
+pub fn spmv_mixed_par(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    vis_flags: &[VisFlag],
+    x: &[f64],
+    y: &mut [f64],
+    threads: usize,
+) -> MixedSpmvStats {
+    check_mixed_inputs(m, vis_flags, x, y);
+    let t = m.tile_count();
+    let threads = threads.max(1).min(m.tile_rows.max(1));
+    if threads <= 1 || t == 0 {
+        return spmv_mixed(m, shared, vis_flags, x, y);
+    }
+
+    // row_start[tr]: first tile index of tile row >= tr (tiles are sorted
+    // row-major, so each tile row is one contiguous run).
+    let mut row_start = vec![0usize; m.tile_rows + 1];
+    {
+        let mut i = 0;
+        for (tr, slot) in row_start.iter_mut().enumerate() {
+            while i < t && (m.tile_rowidx[i] as usize) < tr {
+                i += 1;
+            }
+            *slot = i;
+        }
+    }
+
+    // Cut the tile-row space into `threads` contiguous stripes balanced by
+    // nonzero count.
+    let tile_off = shared.tile_off.as_slice();
+    let total_nnz = tile_off[t];
+    let mut cuts = vec![0usize; threads + 1];
+    cuts[threads] = m.tile_rows;
+    {
+        let mut tr = 0usize;
+        for (k, cut) in cuts.iter_mut().enumerate().take(threads).skip(1) {
+            let target = total_nnz * k / threads;
+            while tr < m.tile_rows && tile_off[row_start[tr]] < target {
+                tr += 1;
+            }
+            *cut = tr;
+        }
+    }
+
+    // Partition y / arena / current_prec into per-stripe exclusive windows.
+    let ts = m.tile_size;
+    let nrows = m.nrows;
+    struct Stripe<'s> {
+        tiles: std::ops::Range<usize>,
+        y: &'s mut [f64],
+        y_base: usize,
+        arena: &'s mut [f64],
+        arena_base: usize,
+        prec: &'s mut [Precision],
+    }
+    let mut stripes: Vec<Stripe<'_>> = Vec::with_capacity(threads);
+    {
+        let mut y_rest: &mut [f64] = y;
+        let mut arena_rest: &mut [f64] = &mut shared.arena;
+        let mut prec_rest: &mut [Precision] = &mut shared.current_prec;
+        let (mut y_pos, mut arena_pos, mut prec_pos) = (0usize, 0usize, 0usize);
+        for w in 0..threads {
+            let (r0, r1) = (cuts[w], cuts[w + 1]);
+            let (t0, t1) = (row_start[r0], row_start[r1]);
+            let y_hi = (r1 * ts).min(nrows);
+            let (y_span, yr) = y_rest.split_at_mut(y_hi - y_pos);
+            y_rest = yr;
+            let (a_span, ar) = arena_rest.split_at_mut(tile_off[t1] - arena_pos);
+            arena_rest = ar;
+            let (p_span, pr) = prec_rest.split_at_mut(t1 - prec_pos);
+            prec_rest = pr;
+            stripes.push(Stripe {
+                tiles: t0..t1,
+                y: y_span,
+                y_base: y_pos,
+                arena: a_span,
+                arena_base: arena_pos,
+                prec: p_span,
+            });
+            y_pos = y_hi;
+            arena_pos = tile_off[t1];
+            prec_pos = t1;
+        }
+    }
+
+    let parts: Vec<MixedSpmvStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = stripes
+            .into_iter()
+            .map(|stripe| {
+                s.spawn(move || {
+                    stripe.y.fill(0.0);
+                    mixed_span(
+                        m,
+                        vis_flags,
+                        x,
+                        stripe.tiles,
+                        tile_off,
+                        stripe.y,
+                        stripe.y_base,
+                        stripe.arena,
+                        stripe.arena_base,
+                        stripe.prec,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("spmv stripe worker panicked"))
+            .collect()
+    });
+    let mut stats = MixedSpmvStats::default();
+    for p in &parts {
+        stats.merge(p);
     }
     stats
 }
@@ -462,6 +659,64 @@ mod tests {
         assert_eq!(shared.current_prec[0], Precision::Fp8);
         shared.reset(&t);
         assert_eq!(shared.current_prec[0], Precision::Fp64);
-        assert_eq!(shared.values[0][0], 0.1);
+        assert_eq!(shared.tile_values(0)[0], 0.1);
+    }
+
+    #[test]
+    fn shared_reset_does_not_allocate() {
+        let (_, t) = sample();
+        let mut shared = SharedTiles::load(&t);
+        let arena_ptr = shared.arena.as_ptr();
+        let arena_cap = shared.arena.capacity();
+        for i in 0..t.tile_count() {
+            shared.lower_tile(i, Precision::Fp8);
+        }
+        shared.reset(&t);
+        assert_eq!(shared.arena.as_ptr(), arena_ptr, "arena reallocated");
+        assert_eq!(shared.arena.capacity(), arena_cap);
+        for i in 0..t.tile_count() {
+            assert_eq!(shared.tile_values(i), t.decode_tile_values(i).as_slice());
+            assert_eq!(shared.current_prec[i], shared.initial_prec[i]);
+        }
+    }
+
+    #[test]
+    fn mixed_par_bitwise_matches_serial() {
+        let n = 4_000;
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 3.0 + (i % 5) as f64 * 0.1);
+            a.push(i, (i * 31 + 3) % n, 0.25);
+            if i > 0 {
+                a.push(i, i - 1, -0.125);
+            }
+        }
+        let t = TiledMatrix::from_csr_with(&a.to_csr(), 8, &ClassifyOptions::default());
+        let x: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) * 0.37 - 4.0).collect();
+        // Mixed flag pattern: bypass some columns, demand lowering on others.
+        let flags: Vec<VisFlag> = (0..t.tile_cols)
+            .map(|c| match c % 5 {
+                0 => VisFlag::Bypass,
+                1 => VisFlag::Fp16,
+                2 => VisFlag::Fp8,
+                3 => VisFlag::Fp32,
+                _ => VisFlag::Keep,
+            })
+            .collect();
+        for threads in [2, 3, 4, 7] {
+            let mut sh1 = SharedTiles::load(&t);
+            let mut sh2 = SharedTiles::load(&t);
+            let mut y1 = vec![0.0; n];
+            let mut y2 = vec![0.0; n];
+            let s1 = spmv_mixed(&t, &mut sh1, &flags, &x, &mut y1);
+            let s2 = spmv_mixed_par(&t, &mut sh2, &flags, &x, &mut y2, threads);
+            assert_eq!(s1, s2, "stats differ at {threads} threads");
+            assert!(
+                y1.iter().zip(&y2).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "outputs not bitwise-identical at {threads} threads"
+            );
+            assert_eq!(sh1.current_prec, sh2.current_prec);
+            assert_eq!(sh1.arena, sh2.arena);
+        }
     }
 }

@@ -136,13 +136,28 @@ pub fn sptrsv_lower_recursive(
     unit_diag: bool,
     leaf: usize,
 ) -> (Vec<f64>, RecursiveTrsvStats) {
+    let mut x = vec![0.0; l.nrows];
+    let stats = sptrsv_lower_recursive_into(l, b, &mut x, unit_diag, leaf);
+    (x, stats)
+}
+
+/// In-place [`sptrsv_lower_recursive`]: the solution lands in `x`
+/// (length `l.nrows`) without allocating.
+pub fn sptrsv_lower_recursive_into(
+    l: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+    unit_diag: bool,
+    leaf: usize,
+) -> RecursiveTrsvStats {
     assert!(leaf >= 1);
     assert_eq!(l.nrows, l.ncols);
     assert_eq!(b.len(), l.nrows);
-    let mut x = b.to_vec();
+    assert_eq!(x.len(), l.nrows);
+    x.copy_from_slice(b);
     let mut stats = RecursiveTrsvStats::default();
-    rec_lower(l, &mut x, 0, l.nrows, unit_diag, leaf, &mut stats, 1);
-    (x, stats)
+    rec_lower(l, x, 0, l.nrows, unit_diag, leaf, &mut stats, 1);
+    stats
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -204,13 +219,28 @@ pub fn sptrsv_upper_recursive(
     unit_diag: bool,
     leaf: usize,
 ) -> (Vec<f64>, RecursiveTrsvStats) {
+    let mut x = vec![0.0; u.nrows];
+    let stats = sptrsv_upper_recursive_into(u, b, &mut x, unit_diag, leaf);
+    (x, stats)
+}
+
+/// In-place [`sptrsv_upper_recursive`]: the solution lands in `x`
+/// (length `u.nrows`) without allocating.
+pub fn sptrsv_upper_recursive_into(
+    u: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+    unit_diag: bool,
+    leaf: usize,
+) -> RecursiveTrsvStats {
     assert!(leaf >= 1);
     assert_eq!(u.nrows, u.ncols);
     assert_eq!(b.len(), u.nrows);
-    let mut x = b.to_vec();
+    assert_eq!(x.len(), u.nrows);
+    x.copy_from_slice(b);
     let mut stats = RecursiveTrsvStats::default();
-    rec_upper(u, &mut x, 0, u.nrows, unit_diag, leaf, &mut stats, 1);
-    (x, stats)
+    rec_upper(u, x, 0, u.nrows, unit_diag, leaf, &mut stats, 1);
+    stats
 }
 
 #[allow(clippy::too_many_arguments)]

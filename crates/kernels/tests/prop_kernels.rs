@@ -1,9 +1,10 @@
 //! Property-based tests for the computational kernels.
 
 use mf_kernels::{
-    blas1, ilu0, level_schedule, spmv_csr, spmv_mixed, sptrsv_lower, sptrsv_lower_recursive,
-    sptrsv_upper, sptrsv_upper_recursive, SharedTiles, VisFlag,
+    blas1, ilu0, level_schedule, spmv_csr, spmv_mixed, spmv_mixed_par, sptrsv_lower,
+    sptrsv_lower_recursive, sptrsv_upper, sptrsv_upper_recursive, SharedTiles, VisFlag,
 };
+use mf_precision::ClassifyOptions;
 use mf_sparse::{Coo, Csr, TiledMatrix};
 use proptest::prelude::*;
 
@@ -22,6 +23,47 @@ fn coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
             a.to_csr()
         })
     })
+}
+
+/// Like [`coo_strategy`] but with values spread over many magnitudes, so
+/// precision lowering is genuinely lossy and per-tile classification picks
+/// different precisions — the interesting regime for bitwise-identity tests.
+fn varied_coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        prop::collection::vec((0..n, 0..n, 1i32..=2000), 0..max_nnz).prop_map(move |entries| {
+            let mut a = Coo::new(n, n);
+            for i in 0..n {
+                a.push(i, i, 20.0 + (i % 7) as f64 * 0.013);
+            }
+            for (r, c, v) in entries {
+                if r != c {
+                    let mag = 10f64.powi((v % 11) - 5);
+                    a.push(r, c, v as f64 / 777.0 * mag);
+                }
+            }
+            a.to_csr()
+        })
+    })
+}
+
+const FLAG_CHOICES: [VisFlag; 5] = [
+    VisFlag::Bypass,
+    VisFlag::Fp16,
+    VisFlag::Fp8,
+    VisFlag::Fp32,
+    VisFlag::Keep,
+];
+
+/// Deterministic pseudo-random flag pattern for `tile_cols` column segments.
+fn flag_pattern(tile_cols: usize, seed: u64, round: u64) -> Vec<VisFlag> {
+    (0..tile_cols)
+        .map(|c| {
+            let h = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(c as u64 * 97 + round * 131);
+            FLAG_CHOICES[(h % FLAG_CHOICES.len() as u64) as usize]
+        })
+        .collect()
 }
 
 proptest! {
@@ -129,6 +171,45 @@ proptest! {
             }
         }
         prop_assert_eq!(s.level_sizes.iter().sum::<usize>(), l.nrows);
+    }
+
+    /// The stripe-parallel mixed SpMV is bitwise-identical to the serial
+    /// engine — outputs, stats, arena bits, and precision state — across
+    /// random matrices, tile sizes, thread counts, and flag patterns,
+    /// including mid-run precision lowering and bypass (two rounds with
+    /// different demands against the *same* shared-tile state).
+    #[test]
+    fn par_mixed_spmv_bitwise_equals_serial(
+        a in varied_coo_strategy(80, 400),
+        tile_pick in 0usize..5,
+        threads in 2usize..9,
+        flag_seed in 0u64..1_000_000,
+    ) {
+        let tile = [2usize, 4, 8, 16, 32][tile_pick];
+        let t = TiledMatrix::from_csr_with(&a, tile, &ClassifyOptions::default());
+        let x: Vec<f64> = (0..a.ncols)
+            .map(|i| ((i * 13 + 5) % 29) as f64 * 0.37 - 4.0)
+            .collect();
+        let mut sh_s = SharedTiles::load(&t);
+        let mut sh_p = SharedTiles::load(&t);
+        for round in 0..2u64 {
+            let flags = flag_pattern(t.tile_cols, flag_seed, round);
+            let mut y_s = vec![0.0; a.nrows];
+            let mut y_p = vec![0.0; a.nrows];
+            let st_s = spmv_mixed(&t, &mut sh_s, &flags, &x, &mut y_s);
+            let st_p = spmv_mixed_par(&t, &mut sh_p, &flags, &x, &mut y_p, threads);
+            prop_assert_eq!(st_s, st_p);
+            for i in 0..a.nrows {
+                prop_assert_eq!(y_s[i].to_bits(), y_p[i].to_bits());
+            }
+        }
+        // Shared state after both rounds: identical lowered values (bitwise)
+        // and identical per-tile precision records.
+        prop_assert_eq!(sh_s.arena.len(), sh_p.arena.len());
+        for k in 0..sh_s.arena.len() {
+            prop_assert_eq!(sh_s.arena[k].to_bits(), sh_p.arena[k].to_bits());
+        }
+        prop_assert_eq!(&sh_s.current_prec, &sh_p.current_prec);
     }
 
     /// BLAS-1 identities: dot linearity and axpy/xpay consistency.

@@ -2,14 +2,13 @@
 
 use crate::fp16::Fp16;
 use crate::fp8::Fp8E4M3;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Storage precision of a tile (paper §II-A / Fig. 5 `TilePrec`).
 ///
 /// Ordered by *width*: `Fp8 < Fp16 < Fp32 < Fp64`. The dynamic strategy of
 /// §III-D only ever moves a tile *down* this order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Precision {
     /// 8-bit minifloat (OCP E4M3).
     Fp8,

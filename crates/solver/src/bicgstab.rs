@@ -6,12 +6,13 @@
 //! input vector (`p_j` and `s_j`), matching the §III-D rule that the SpMV
 //! *input* drives tile precision.
 
-use crate::cg::CoreResult;
+use crate::cg::{mixed_spmv, CoreResult};
 use crate::config::SolverConfig;
 use crate::coster::Coster;
 use crate::partial::PartialState;
+use crate::workspace::SolverWorkspace;
 use mf_gpu::Timeline;
-use mf_kernels::{blas1, spmv_mixed, MixedSpmvStats, SharedTiles};
+use mf_kernels::{blas1, MixedSpmvStats, SharedTiles};
 use mf_sparse::TiledMatrix;
 
 /// Runs BiCGSTAB on the tiled matrix.
@@ -23,6 +24,20 @@ pub fn run_bicgstab(
     coster: &Coster,
     partial: &mut PartialState,
 ) -> CoreResult {
+    run_bicgstab_ws(m, shared, b, cfg, coster, partial, &mut SolverWorkspace::new())
+}
+
+/// Workspace-reusing variant of [`run_bicgstab`] (see
+/// [`crate::cg::run_cg_ws`] for the contract).
+pub fn run_bicgstab_ws(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    b: &[f64],
+    cfg: &SolverConfig,
+    coster: &Coster,
+    partial: &mut PartialState,
+    ws: &mut SolverWorkspace,
+) -> CoreResult {
     let n = m.nrows;
     assert_eq!(b.len(), n);
     assert_eq!(m.nrows, m.ncols, "BiCGSTAB needs a square matrix");
@@ -31,7 +46,7 @@ pub fn run_bicgstab(
     coster.solve_start(&mut tl);
 
     let mut result = CoreResult {
-        x: vec![0.0; n],
+        x: Vec::new(),
         iterations: 0,
         converged: false,
         final_relres: f64::INFINITY,
@@ -46,37 +61,38 @@ pub fn run_bicgstab(
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
+        result.x = vec![0.0; n];
         result.converged = true;
         result.final_relres = 0.0;
         result.timeline = tl;
         return result;
     }
 
-    // x0 = 0 ⇒ r0 = b, r0* = r0, p0 = r0 (Algorithm 2 lines 1–3).
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let r0s = r.clone(); // shadow residual, fixed
-    let mut p = r.clone();
-    let mut mu = vec![0.0; n];
-    let mut s = vec![0.0; n];
-    let mut theta = vec![0.0; n];
-    let mut rho = blas1::dot(&r, &r0s);
+    // x0 = 0 ⇒ r0 = b, r0* = r0, p0 = r0 (Algorithm 2 lines 1–3). The
+    // workspace maps µ onto `u` and θ onto `t`.
+    ws.ensure(n);
+    let SolverWorkspace { x, r, r0s, p, u: mu, s, t: theta, .. } = ws;
+    r.copy_from_slice(b);
+    r0s.copy_from_slice(b); // shadow residual, fixed
+    p.copy_from_slice(b);
+    let threads = cfg.host_parallelism.threads_for(m.nnz());
+    let mut rho = blas1::dot(r, r0s);
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
 
     for _j in 0..iters {
         // µ = A·p (first SpMV, flags from p).
-        partial.update(&p);
+        partial.update(p);
         if partial.enabled() {
             coster.visflag_scan(&mut tl);
         }
-        let st1 = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut mu);
+        let st1 = mixed_spmv(m, shared, &partial.vis_flags, p, mu, threads);
         result.spmv_stats.merge(&st1);
         coster.spmv(&mut tl, m, shared, &partial.vis_flags, &st1);
 
         // α = (r, r0*) / (µ, r0*).
-        let denom = blas1::dot(&mu, &r0s);
+        let denom = blas1::dot(mu, r0s);
         coster.dot(&mut tl, true);
         let alpha = rho / denom;
         if !alpha.is_finite() || denom.abs() < f64::MIN_POSITIVE {
@@ -84,7 +100,7 @@ pub fn run_bicgstab(
             // the kernel pipeline runs every step regardless (the second
             // SpMV is charged at the first one's cost profile, which is
             // what it would execute with the same flags).
-            restart(&mut r, &mut p, &r0s, &mut rho);
+            restart(r, p, r0s, &mut rho);
             coster.axpy(&mut tl, 1);
             coster.spmv(&mut tl, m, shared, &partial.vis_flags, &st1);
             coster.dot(&mut tl, false);
@@ -96,26 +112,26 @@ pub fn run_bicgstab(
             coster.axpy(&mut tl, 1);
             coster.iteration_end(&mut tl);
             result.iterations += 1;
-            record_traces(&mut result, cfg, partial, shared, &x, &r, &p, norm_b, &st1, &st1);
+            record_traces(&mut result, cfg, partial, shared, x, r, p, norm_b, &st1, &st1);
             continue;
         }
 
         // s = r − αµ.
-        blas1::waxpy(&r, -alpha, &mu, &mut s);
+        blas1::waxpy(r, -alpha, mu, s);
         coster.axpy(&mut tl, 1);
 
         // θ = A·s (second SpMV, flags from s).
-        partial.update(&s);
+        partial.update(s);
         if partial.enabled() {
             coster.visflag_scan(&mut tl);
         }
-        let st2 = spmv_mixed(m, shared, &partial.vis_flags, &s, &mut theta);
+        let st2 = mixed_spmv(m, shared, &partial.vis_flags, s, theta, threads);
         result.spmv_stats.merge(&st2);
         coster.spmv(&mut tl, m, shared, &partial.vis_flags, &st2);
 
         // ω = (θ,s) / (θ,θ).
-        let ts = blas1::dot(&theta, &s);
-        let tt = blas1::dot(&theta, &theta);
+        let ts = blas1::dot(theta, s);
+        let tt = blas1::dot(theta, theta);
         coster.dot(&mut tl, false);
         coster.dot(&mut tl, true); // scalar pair -> one readback
         let omega = if tt > 0.0 { ts / tt } else { 0.0 };
@@ -127,13 +143,13 @@ pub fn run_bicgstab(
         coster.axpy(&mut tl, 2);
 
         // r = s − ωθ.
-        blas1::waxpy(&s, -omega, &theta, &mut r);
+        blas1::waxpy(s, -omega, theta, r);
         coster.axpy(&mut tl, 1);
 
         // β = (r,r0*)/(r_old,r0*) · α/ω; p = r + β(p − ωµ).
-        let rho_new = blas1::dot(&r, &r0s);
+        let rho_new = blas1::dot(r, r0s);
         coster.dot(&mut tl, false);
-        let rr = blas1::dot(&r, &r);
+        let rr = blas1::dot(r, r);
         coster.dot(&mut tl, true); // scalar pair -> one readback
 
         result.iterations += 1;
@@ -154,7 +170,7 @@ pub fn run_bicgstab(
                 .push((diff / norm.max(f64::MIN_POSITIVE)).sqrt());
         }
         if cfg.trace_partial {
-            result.p_range_history.push(partial.p_range_histogram(&p));
+            result.p_range_history.push(partial.p_range_histogram(p));
             result
                 .bypass_history
                 .push(st1.tiles_bypassed + st2.tiles_bypassed);
@@ -170,18 +186,18 @@ pub fn run_bicgstab(
 
         let beta = (rho_new / rho) * (alpha / omega);
         if !beta.is_finite() || omega == 0.0 || rho_new.abs() < f64::MIN_POSITIVE {
-            restart(&mut r, &mut p, &r0s, &mut rho);
+            restart(r, p, r0s, &mut rho);
             coster.axpy(&mut tl, 1); // the p-update step still executes
             coster.iteration_end(&mut tl);
             continue;
         }
         rho = rho_new;
-        blas1::bicgstab_p_update(&r, beta, omega, &mu, &mut p);
+        blas1::bicgstab_p_update(r, beta, omega, mu, p);
         coster.axpy(&mut tl, 1);
         coster.iteration_end(&mut tl);
     }
 
-    result.x = x;
+    result.x = x.clone();
     result.timeline = tl;
     result
 }

@@ -8,9 +8,28 @@
 use crate::config::SolverConfig;
 use crate::coster::Coster;
 use crate::partial::PartialState;
+use crate::workspace::SolverWorkspace;
 use mf_gpu::Timeline;
-use mf_kernels::{blas1, spmv_mixed, MixedSpmvStats, SharedTiles, VisFlag};
+use mf_kernels::{blas1, spmv_mixed, spmv_mixed_par, MixedSpmvStats, SharedTiles, VisFlag};
 use mf_sparse::TiledMatrix;
+
+/// Dispatches the mixed SpMV serially or tile-row-striped according to the
+/// resolved host thread count. The two paths are bitwise-identical
+/// (see `mf_kernels::spmv`), so the choice is purely a wall-clock one.
+pub(crate) fn mixed_spmv(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    flags: &[VisFlag],
+    x: &[f64],
+    y: &mut [f64],
+    threads: usize,
+) -> MixedSpmvStats {
+    if threads > 1 {
+        spmv_mixed_par(m, shared, flags, x, y, threads)
+    } else {
+        spmv_mixed(m, shared, flags, x, y)
+    }
+}
 
 /// Raw output of a solver core loop.
 #[derive(Clone, Debug)]
@@ -62,6 +81,21 @@ pub fn run_cg(
     coster: &Coster,
     partial: &mut PartialState,
 ) -> CoreResult {
+    run_cg_ws(m, shared, b, cfg, coster, partial, &mut SolverWorkspace::new())
+}
+
+/// Workspace-reusing variant of [`run_cg`]: every loop vector comes from
+/// `ws`, so a warm workspace makes the iteration loop allocation-free (the
+/// returned result still clones the solution out once per solve).
+pub fn run_cg_ws(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    b: &[f64],
+    cfg: &SolverConfig,
+    coster: &Coster,
+    partial: &mut PartialState,
+    ws: &mut SolverWorkspace,
+) -> CoreResult {
     let n = m.nrows;
     assert_eq!(b.len(), n);
     assert_eq!(m.nrows, m.ncols, "CG needs a square (SPD) matrix");
@@ -70,7 +104,7 @@ pub fn run_cg(
     coster.solve_start(&mut tl);
 
     let mut result = CoreResult {
-        x: vec![0.0; n],
+        x: Vec::new(),
         iterations: 0,
         converged: false,
         final_relres: f64::INFINITY,
@@ -86,34 +120,38 @@ pub fn run_cg(
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
         // x = 0 solves the system exactly.
+        result.x = vec![0.0; n];
         result.converged = true;
         result.final_relres = 0.0;
         result.timeline = tl;
         return result;
     }
 
-    // x0 = 0 ⇒ r0 = b, p0 = r0 (paper Algorithm 1 lines 1–3).
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut p = r.clone();
-    let mut u = vec![0.0; n];
-    let mut rr = blas1::dot(&r, &r);
+    // x0 = 0 ⇒ r0 = b, p0 = r0 (paper Algorithm 1 lines 1–3). The vectors
+    // live in the workspace; `ensure` zero-fills them without reallocating
+    // once warm.
+    ws.ensure(n);
+    let SolverWorkspace { x, r, p, u, .. } = ws;
+    r.copy_from_slice(b);
+    p.copy_from_slice(b);
+    let threads = cfg.host_parallelism.threads_for(m.nnz());
+    let mut rr = blas1::dot(r, r);
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
 
     for _j in 0..iters {
         // ---- Step A: vis_flag retrieval + mixed-precision SpMV µ = A·p.
-        partial.update(&p);
+        partial.update(p);
         if partial.enabled() {
             coster.visflag_scan(&mut tl);
         }
-        let stats = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut u);
+        let stats = mixed_spmv(m, shared, &partial.vis_flags, p, u, threads);
         result.spmv_stats.merge(&stats);
         coster.spmv(&mut tl, m, shared, &partial.vis_flags, &stats);
 
         // ---- Step B: α = (r,r) / (µ,p).
-        let py = blas1::dot(&u, &p);
+        let py = blas1::dot(u, p);
         coster.dot(&mut tl, true);
         let alpha = rr / py;
         if !alpha.is_finite() || py <= 0.0 {
@@ -123,8 +161,8 @@ pub fn run_cg(
             // the current residual — but charge the *full* iteration: the
             // GPU kernel executes every step regardless of degenerate
             // scalars.
-            p.copy_from_slice(&r);
-            rr = blas1::dot(&r, &r);
+            p.copy_from_slice(r);
+            rr = blas1::dot(r, r);
             coster.axpy(&mut tl, 2);
             coster.dot(&mut tl, true);
             coster.axpy(&mut tl, 1);
@@ -136,10 +174,10 @@ pub fn run_cg(
                 result.residual_history.push(relres);
             }
             if let Some(reference) = &cfg.reference_solution {
-                result.error_history.push(rel_error(&x, reference));
+                result.error_history.push(rel_error(x, reference));
             }
             if cfg.trace_partial {
-                result.p_range_history.push(partial.p_range_histogram(&p));
+                result.p_range_history.push(partial.p_range_histogram(p));
                 result.bypass_history.push(stats.tiles_bypassed);
                 result.precision_history.push(current_precision_histogram(shared));
             }
@@ -147,16 +185,16 @@ pub fn run_cg(
         }
 
         // ---- Step C: x += αp; r −= αµ; z = (r,r).
-        blas1::axpy(alpha, &p, &mut x);
-        blas1::axpy(-alpha, &u, &mut r);
+        blas1::axpy(alpha, p, x);
+        blas1::axpy(-alpha, u, r);
         coster.axpy(&mut tl, 2);
-        let rr_new = blas1::dot(&r, &r);
+        let rr_new = blas1::dot(r, r);
         coster.dot(&mut tl, true);
 
         // ---- Step D: β = z/(r,r)_old; p = r + βp.
         let beta = rr_new / rr;
         rr = rr_new;
-        blas1::xpay(&r, beta, &mut p);
+        blas1::xpay(r, beta, p);
         coster.axpy(&mut tl, 1);
         coster.iteration_end(&mut tl);
 
@@ -168,10 +206,10 @@ pub fn run_cg(
             result.residual_history.push(relres);
         }
         if let Some(reference) = &cfg.reference_solution {
-            result.error_history.push(rel_error(&x, reference));
+            result.error_history.push(rel_error(x, reference));
         }
         if cfg.trace_partial {
-            result.p_range_history.push(partial.p_range_histogram(&p));
+            result.p_range_history.push(partial.p_range_histogram(p));
             result.bypass_history.push(stats.tiles_bypassed);
             result.precision_history.push(current_precision_histogram(shared));
         }
@@ -182,7 +220,7 @@ pub fn run_cg(
         }
     }
 
-    result.x = x;
+    result.x = x.clone();
     result.timeline = tl;
     result
 }
@@ -322,6 +360,56 @@ mod tests {
         assert!(res.residual_history.last().unwrap() < &res.residual_history[0]);
         // Error approaches zero.
         assert!(res.error_history.last().unwrap() < &1e-8);
+    }
+
+    #[test]
+    fn workspace_reuse_is_identical_and_allocation_free() {
+        let a = poisson1d(300);
+        let cfg = SolverConfig::default();
+        let (m, mut shared, coster, mut partial, b) = setup(&a, &cfg);
+        let mut ws = crate::workspace::SolverWorkspace::with_size(300);
+        let ptrs = [ws.x.as_ptr(), ws.r.as_ptr(), ws.p.as_ptr(), ws.u.as_ptr()];
+        let res1 = run_cg_ws(&m, &mut shared, &b, &cfg, &coster, &mut partial, &mut ws);
+        assert!(res1.converged);
+
+        // Second solve of the same system from fresh dynamic state, reusing
+        // the warm workspace: identical report, stable buffer pointers.
+        let mut shared2 = SharedTiles::load(&m);
+        let eps_abs = cfg.tolerance * blas1::norm2(&b);
+        let mut partial2 =
+            PartialState::new(cfg.partial_convergence, m.tile_cols, cfg.tile_size, eps_abs);
+        let res2 = run_cg_ws(&m, &mut shared2, &b, &cfg, &coster, &mut partial2, &mut ws);
+
+        assert_eq!(res1.iterations, res2.iterations);
+        assert_eq!(res1.x, res2.x);
+        assert_eq!(res1.final_relres, res2.final_relres);
+        assert_eq!(
+            [ws.x.as_ptr(), ws.r.as_ptr(), ws.p.as_ptr(), ws.u.as_ptr()],
+            ptrs,
+            "workspace buffers must be reused, not reallocated"
+        );
+    }
+
+    #[test]
+    fn forced_thread_counts_do_not_change_results() {
+        use crate::config::HostParallelism;
+        let a = poisson1d(250);
+        let base = SolverConfig {
+            host_parallelism: HostParallelism::Serial,
+            ..SolverConfig::default()
+        };
+        let (m, mut shared, coster, mut partial, b) = setup(&a, &base);
+        let serial = run_cg(&m, &mut shared, &b, &base, &coster, &mut partial);
+        for t in [2usize, 5] {
+            let cfg = SolverConfig {
+                host_parallelism: HostParallelism::Threads(t),
+                ..SolverConfig::default()
+            };
+            let (m2, mut sh2, coster2, mut p2, b2) = setup(&a, &cfg);
+            let par = run_cg(&m2, &mut sh2, &b2, &cfg, &coster2, &mut p2);
+            assert_eq!(serial.iterations, par.iterations, "threads={t}");
+            assert_eq!(serial.x, par.x, "threads={t}");
+        }
     }
 
     #[test]

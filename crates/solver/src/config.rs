@@ -14,6 +14,49 @@ pub enum KernelMode {
     MultiKernel,
 }
 
+/// Host-side parallelism policy for the exact-numerics kernels.
+///
+/// The solver cores run the mixed-precision SpMV either serially or striped
+/// over tile rows ([`mf_kernels::spmv_mixed_par`]); the two paths are
+/// bitwise-identical, so this knob trades wall-clock for thread occupancy
+/// without perturbing any result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostParallelism {
+    /// Parallelize when the matrix is large enough to amortize the thread
+    /// spawns (`nnz ≥` [`AUTO_PAR_NNZ`], the SpMV analogue of
+    /// `blas1::PAR_THRESHOLD`), using all available cores.
+    Auto,
+    /// Always run the serial kernels.
+    Serial,
+    /// Always use exactly this many worker threads (clamped to ≥ 1).
+    Threads(usize),
+}
+
+/// `HostParallelism::Auto` switches to the striped SpMV at this stored-
+/// nonzero count. Below it a solve iteration is memory-latency dominated
+/// and thread spawn/join overhead exceeds the win.
+pub const AUTO_PAR_NNZ: usize = 65_536;
+
+impl HostParallelism {
+    /// Resolves the policy to a concrete worker count for a matrix with
+    /// `nnz` stored nonzeros. Returns 1 when the serial path should run.
+    pub fn threads_for(self, nnz: usize) -> usize {
+        match self {
+            HostParallelism::Serial => 1,
+            HostParallelism::Threads(n) => n.max(1),
+            HostParallelism::Auto => {
+                if nnz >= AUTO_PAR_NNZ {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
 /// Configuration of a Mille-feuille solve.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
@@ -58,6 +101,9 @@ pub struct SolverConfig {
     /// If set, record per-iteration relative error `‖x−x*‖₂/‖x*‖₂` against
     /// this reference solution (Fig. 12's y-axis).
     pub reference_solution: Option<Vec<f64>>,
+    /// Host-side kernel parallelism (serial vs tile-row-striped SpMV).
+    /// Both paths are bitwise-identical; see [`HostParallelism`].
+    pub host_parallelism: HostParallelism,
 }
 
 impl Default for SolverConfig {
@@ -77,6 +123,7 @@ impl Default for SolverConfig {
             trace_residuals: false,
             trace_partial: false,
             reference_solution: None,
+            host_parallelism: HostParallelism::Auto,
         }
     }
 }
@@ -124,6 +171,17 @@ mod tests {
         assert!(c.partial_convergence);
         assert_eq!(c.kernel_mode, KernelMode::Auto);
         assert!(c.fixed_iterations.is_none());
+        assert_eq!(c.host_parallelism, HostParallelism::Auto);
+    }
+
+    #[test]
+    fn host_parallelism_resolution() {
+        assert_eq!(HostParallelism::Serial.threads_for(usize::MAX), 1);
+        assert_eq!(HostParallelism::Threads(4).threads_for(10), 4);
+        assert_eq!(HostParallelism::Threads(0).threads_for(10), 1);
+        // Auto stays serial below the threshold regardless of core count.
+        assert_eq!(HostParallelism::Auto.threads_for(AUTO_PAR_NNZ - 1), 1);
+        assert!(HostParallelism::Auto.threads_for(AUTO_PAR_NNZ) >= 1);
     }
 
     #[test]

@@ -188,11 +188,8 @@ impl SingleCoster {
     /// traffic dominates fall back).
     pub fn estimate_cg_iteration_us(&self, initial_prec: &[mf_precision::Precision]) -> f64 {
         let mut tl = Timeline::new();
-        let shared = SharedTiles {
-            values: Vec::new(), // spmv costing reads only current_prec
-            current_prec: initial_prec.to_vec(),
-            initial_prec: initial_prec.to_vec(),
-        };
+        // spmv costing reads only current_prec.
+        let shared = SharedTiles::precision_only(initial_prec);
         let keep = [VisFlag::Keep; 1];
         // spmv() indexes vis by tile column; build a full Keep vector.
         let max_col = self.tile_col.iter().copied().max().unwrap_or(0) as usize;

@@ -42,7 +42,9 @@ pub mod precond;
 pub mod report;
 pub mod solver;
 pub mod threaded;
+pub mod workspace;
 
-pub use config::{KernelMode, SolverConfig};
+pub use config::{HostParallelism, KernelMode, SolverConfig};
+pub use workspace::SolverWorkspace;
 pub use report::{ExecutedMode, SolveReport};
 pub use solver::MilleFeuille;

@@ -8,12 +8,13 @@
 //! and (b) the recursive-block SpTRSV, whose square sub-blocks run as
 //! parallel SpMVs instead of serialized dependency levels.
 
-use crate::cg::CoreResult;
+use crate::cg::{mixed_spmv, CoreResult};
 use crate::config::SolverConfig;
 use crate::coster::MultiCoster;
 use crate::partial::PartialState;
+use crate::workspace::SolverWorkspace;
 use mf_gpu::{Phase, Timeline};
-use mf_kernels::{blas1, spmv_mixed, BlockJacobi, Ic0, Ilu0, MixedSpmvStats, SharedTiles};
+use mf_kernels::{blas1, BlockJacobi, Ic0, Ilu0, MixedSpmvStats, SharedTiles};
 use mf_sparse::TiledMatrix;
 
 /// Charges the ILU(0) factorization itself (done once, on device — modeled
@@ -35,6 +36,21 @@ pub fn run_pcg(
     mc: &MultiCoster,
     partial: &mut PartialState,
 ) -> CoreResult {
+    run_pcg_ws(m, shared, ilu, b, cfg, mc, partial, &mut SolverWorkspace::new())
+}
+
+/// Workspace-reusing variant of [`run_pcg`] (see [`crate::cg::run_cg_ws`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_ws(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    ilu: &Ilu0,
+    b: &[f64],
+    cfg: &SolverConfig,
+    mc: &MultiCoster,
+    partial: &mut PartialState,
+    ws: &mut SolverWorkspace,
+) -> CoreResult {
     let n = m.nrows;
     assert_eq!(b.len(), n);
 
@@ -46,7 +62,7 @@ pub fn run_pcg(
         + mf_kernels::level_schedule(&ilu.u, false).num_levels;
 
     let mut result = CoreResult {
-        x: vec![0.0; n],
+        x: Vec::new(),
         iterations: 0,
         converged: false,
         final_relres: f64::INFINITY,
@@ -61,38 +77,39 @@ pub fn run_pcg(
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
+        result.x = vec![0.0; n];
         result.converged = true;
         result.final_relres = 0.0;
         result.timeline = tl;
         return result;
     }
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let (z0, fstats) = ilu.apply_recursive(&r, cfg.trsv_leaf);
+    ws.ensure(n);
+    let SolverWorkspace { x, r, z, p, u, y, .. } = ws;
+    r.copy_from_slice(b);
+    let threads = cfg.host_parallelism.threads_for(m.nnz());
+    let fstats = ilu.apply_recursive_into(r, cfg.trsv_leaf, y, z);
     mc.sptrsv_adaptive(&mut tl, &fstats, ilu.nnz(), lu_levels);
-    let mut z = z0;
-    let mut p = z.clone();
-    let mut u = vec![0.0; n];
-    let mut rz = blas1::dot(&r, &z);
+    p.copy_from_slice(z);
+    let mut rz = blas1::dot(r, z);
     mc.dot(&mut tl, true);
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
 
     for _j in 0..iters {
-        partial.update(&p);
-        let stats = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut u);
+        partial.update(p);
+        let stats = mixed_spmv(m, shared, &partial.vis_flags, p, u, threads);
         result.spmv_stats.merge(&stats);
         mc.spmv(&mut tl, m, &stats);
 
-        let pu = blas1::dot(&p, &u);
+        let pu = blas1::dot(p, u);
         mc.dot(&mut tl, true);
         let alpha = rz / pu;
         if !alpha.is_finite() || pu <= 0.0 {
             // Breakdown restart — the kernel sequence still runs, charge it.
-            p.copy_from_slice(&z);
-            rz = blas1::dot(&r, &z);
+            p.copy_from_slice(z);
+            rz = blas1::dot(r, z);
             mc.axpy(&mut tl);
             mc.axpy(&mut tl);
             mc.dot(&mut tl, true);
@@ -102,23 +119,22 @@ pub fn run_pcg(
             continue;
         }
 
-        blas1::axpy(alpha, &p, &mut x);
-        blas1::axpy(-alpha, &u, &mut r);
+        blas1::axpy(alpha, p, x);
+        blas1::axpy(-alpha, u, r);
         mc.axpy(&mut tl);
         mc.axpy(&mut tl);
 
-        let rr = blas1::dot(&r, &r);
+        let rr = blas1::dot(r, r);
         mc.dot(&mut tl, true);
 
-        let (znew, zstats) = ilu.apply_recursive(&r, cfg.trsv_leaf);
+        let zstats = ilu.apply_recursive_into(r, cfg.trsv_leaf, y, z);
         mc.sptrsv_adaptive(&mut tl, &zstats, ilu.nnz(), lu_levels);
-        z = znew;
 
-        let rz_new = blas1::dot(&r, &z);
+        let rz_new = blas1::dot(r, z);
         mc.dot(&mut tl, true);
         let beta = rz_new / rz;
         rz = rz_new;
-        blas1::xpay(&z, beta, &mut p);
+        blas1::xpay(z, beta, p);
         mc.axpy(&mut tl);
 
         result.iterations += 1;
@@ -136,7 +152,7 @@ pub fn run_pcg(
         }
     }
 
-    result.x = x;
+    result.x = x.clone();
     result.timeline = tl;
     result
 }
@@ -154,6 +170,21 @@ pub fn run_pcg_ic(
     mc: &MultiCoster,
     partial: &mut PartialState,
 ) -> CoreResult {
+    run_pcg_ic_ws(m, shared, ic, b, cfg, mc, partial, &mut SolverWorkspace::new())
+}
+
+/// Workspace-reusing variant of [`run_pcg_ic`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_ic_ws(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    ic: &Ic0,
+    b: &[f64],
+    cfg: &SolverConfig,
+    mc: &MultiCoster,
+    partial: &mut PartialState,
+    ws: &mut SolverWorkspace,
+) -> CoreResult {
     let n = m.nrows;
     assert_eq!(b.len(), n);
 
@@ -163,7 +194,7 @@ pub fn run_pcg_ic(
         + mf_kernels::level_schedule(&ic.lt, false).num_levels;
 
     let mut result = CoreResult {
-        x: vec![0.0; n],
+        x: Vec::new(),
         iterations: 0,
         converged: false,
         final_relres: f64::INFINITY,
@@ -178,37 +209,38 @@ pub fn run_pcg_ic(
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
+        result.x = vec![0.0; n];
         result.converged = true;
         result.final_relres = 0.0;
         result.timeline = tl;
         return result;
     }
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let (z0, fstats) = ic.apply_recursive(&r, cfg.trsv_leaf);
+    ws.ensure(n);
+    let SolverWorkspace { x, r, z, p, u, y, .. } = ws;
+    r.copy_from_slice(b);
+    let threads = cfg.host_parallelism.threads_for(m.nnz());
+    let fstats = ic.apply_recursive_into(r, cfg.trsv_leaf, y, z);
     mc.sptrsv_adaptive(&mut tl, &fstats, ic.nnz(), lu_levels);
-    let mut z = z0;
-    let mut p = z.clone();
-    let mut u = vec![0.0; n];
-    let mut rz = blas1::dot(&r, &z);
+    p.copy_from_slice(z);
+    let mut rz = blas1::dot(r, z);
     mc.dot(&mut tl, true);
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
 
     for _j in 0..iters {
-        partial.update(&p);
-        let stats = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut u);
+        partial.update(p);
+        let stats = mixed_spmv(m, shared, &partial.vis_flags, p, u, threads);
         result.spmv_stats.merge(&stats);
         mc.spmv(&mut tl, m, &stats);
 
-        let pu = blas1::dot(&p, &u);
+        let pu = blas1::dot(p, u);
         mc.dot(&mut tl, true);
         let alpha = rz / pu;
         if !alpha.is_finite() || pu <= 0.0 {
-            p.copy_from_slice(&z);
-            rz = blas1::dot(&r, &z);
+            p.copy_from_slice(z);
+            rz = blas1::dot(r, z);
             mc.axpy(&mut tl);
             mc.axpy(&mut tl);
             mc.dot(&mut tl, true);
@@ -218,22 +250,21 @@ pub fn run_pcg_ic(
             continue;
         }
 
-        blas1::axpy(alpha, &p, &mut x);
-        blas1::axpy(-alpha, &u, &mut r);
+        blas1::axpy(alpha, p, x);
+        blas1::axpy(-alpha, u, r);
         mc.axpy(&mut tl);
         mc.axpy(&mut tl);
-        let rr = blas1::dot(&r, &r);
+        let rr = blas1::dot(r, r);
         mc.dot(&mut tl, true);
 
-        let (znew, zstats) = ic.apply_recursive(&r, cfg.trsv_leaf);
+        let zstats = ic.apply_recursive_into(r, cfg.trsv_leaf, y, z);
         mc.sptrsv_adaptive(&mut tl, &zstats, ic.nnz(), lu_levels);
-        z = znew;
 
-        let rz_new = blas1::dot(&r, &z);
+        let rz_new = blas1::dot(r, z);
         mc.dot(&mut tl, true);
         let beta = rz_new / rz;
         rz = rz_new;
-        blas1::xpay(&z, beta, &mut p);
+        blas1::xpay(z, beta, p);
         mc.axpy(&mut tl);
 
         result.iterations += 1;
@@ -251,7 +282,7 @@ pub fn run_pcg_ic(
         }
     }
 
-    result.x = x;
+    result.x = x.clone();
     result.timeline = tl;
     result
 }
@@ -269,6 +300,21 @@ pub fn run_pcg_bj(
     cfg: &SolverConfig,
     mc: &MultiCoster,
     partial: &mut PartialState,
+) -> CoreResult {
+    run_pcg_bj_ws(m, shared, bj, b, cfg, mc, partial, &mut SolverWorkspace::new())
+}
+
+/// Workspace-reusing variant of [`run_pcg_bj`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_bj_ws(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    bj: &BlockJacobi,
+    b: &[f64],
+    cfg: &SolverConfig,
+    mc: &MultiCoster,
+    partial: &mut PartialState,
+    ws: &mut SolverWorkspace,
 ) -> CoreResult {
     let n = m.nrows;
     assert_eq!(b.len(), n);
@@ -290,7 +336,7 @@ pub fn run_pcg_bj(
     tl.add(Phase::Sync, mc.cost.launch_us());
 
     let mut result = CoreResult {
-        x: vec![0.0; n],
+        x: Vec::new(),
         iterations: 0,
         converged: false,
         final_relres: f64::INFINITY,
@@ -305,36 +351,38 @@ pub fn run_pcg_bj(
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
+        result.x = vec![0.0; n];
         result.converged = true;
         result.final_relres = 0.0;
         result.timeline = tl;
         return result;
     }
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut z = bj.apply(&r);
+    ws.ensure(n);
+    let SolverWorkspace { x, r, z, p, u, .. } = ws;
+    r.copy_from_slice(b);
+    let threads = cfg.host_parallelism.threads_for(m.nnz());
+    bj.apply_into(r, z);
     mc.block_jacobi(&mut tl, bj);
-    let mut p = z.clone();
-    let mut u = vec![0.0; n];
-    let mut rz = blas1::dot(&r, &z);
+    p.copy_from_slice(z);
+    let mut rz = blas1::dot(r, z);
     mc.dot(&mut tl, true);
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
 
     for _j in 0..iters {
-        partial.update(&p);
-        let stats = spmv_mixed(m, shared, &partial.vis_flags, &p, &mut u);
+        partial.update(p);
+        let stats = mixed_spmv(m, shared, &partial.vis_flags, p, u, threads);
         result.spmv_stats.merge(&stats);
         mc.spmv(&mut tl, m, &stats);
 
-        let pu = blas1::dot(&p, &u);
+        let pu = blas1::dot(p, u);
         mc.dot(&mut tl, true);
         let alpha = rz / pu;
         if !alpha.is_finite() || pu <= 0.0 {
-            p.copy_from_slice(&z);
-            rz = blas1::dot(&r, &z);
+            p.copy_from_slice(z);
+            rz = blas1::dot(r, z);
             mc.axpy(&mut tl);
             mc.axpy(&mut tl);
             mc.dot(&mut tl, true);
@@ -344,21 +392,21 @@ pub fn run_pcg_bj(
             continue;
         }
 
-        blas1::axpy(alpha, &p, &mut x);
-        blas1::axpy(-alpha, &u, &mut r);
+        blas1::axpy(alpha, p, x);
+        blas1::axpy(-alpha, u, r);
         mc.axpy(&mut tl);
         mc.axpy(&mut tl);
-        let rr = blas1::dot(&r, &r);
+        let rr = blas1::dot(r, r);
         mc.dot(&mut tl, true);
 
-        z = bj.apply(&r);
+        bj.apply_into(r, z);
         mc.block_jacobi(&mut tl, bj);
 
-        let rz_new = blas1::dot(&r, &z);
+        let rz_new = blas1::dot(r, z);
         mc.dot(&mut tl, true);
         let beta = rz_new / rz;
         rz = rz_new;
-        blas1::xpay(&z, beta, &mut p);
+        blas1::xpay(z, beta, p);
         mc.axpy(&mut tl);
 
         result.iterations += 1;
@@ -376,7 +424,7 @@ pub fn run_pcg_bj(
         }
     }
 
-    result.x = x;
+    result.x = x.clone();
     result.timeline = tl;
     result
 }
@@ -393,6 +441,21 @@ pub fn run_pbicgstab(
     mc: &MultiCoster,
     partial: &mut PartialState,
 ) -> CoreResult {
+    run_pbicgstab_ws(m, shared, ilu, b, cfg, mc, partial, &mut SolverWorkspace::new())
+}
+
+/// Workspace-reusing variant of [`run_pbicgstab`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pbicgstab_ws(
+    m: &TiledMatrix,
+    shared: &mut SharedTiles,
+    ilu: &Ilu0,
+    b: &[f64],
+    cfg: &SolverConfig,
+    mc: &MultiCoster,
+    partial: &mut PartialState,
+    ws: &mut SolverWorkspace,
+) -> CoreResult {
     let n = m.nrows;
     assert_eq!(b.len(), n);
 
@@ -404,7 +467,7 @@ pub fn run_pbicgstab(
         + mf_kernels::level_schedule(&ilu.u, false).num_levels;
 
     let mut result = CoreResult {
-        x: vec![0.0; n],
+        x: Vec::new(),
         iterations: 0,
         converged: false,
         final_relres: f64::INFINITY,
@@ -419,42 +482,42 @@ pub fn run_pbicgstab(
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
+        result.x = vec![0.0; n];
         result.converged = true;
         result.final_relres = 0.0;
         result.timeline = tl;
         return result;
     }
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let r0s = r.clone();
-    let mut p = r.clone();
-    let mut v = vec![0.0; n];
-    let mut s = vec![0.0; n];
-    let mut t = vec![0.0; n];
-    let mut rho = blas1::dot(&r, &r0s);
+    ws.ensure(n);
+    let SolverWorkspace { x, r, r0s, p, u: v, s, t, y, phat, shat, .. } = ws;
+    r.copy_from_slice(b);
+    r0s.copy_from_slice(b);
+    p.copy_from_slice(b);
+    let threads = cfg.host_parallelism.threads_for(m.nnz());
+    let mut rho = blas1::dot(r, r0s);
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
 
     for _j in 0..iters {
         // p̂ = M⁻¹ p ; v = A p̂.
-        let (phat, st_p) = ilu.apply_recursive(&p, cfg.trsv_leaf);
+        let st_p = ilu.apply_recursive_into(p, cfg.trsv_leaf, y, phat);
         mc.sptrsv_adaptive(&mut tl, &st_p, ilu.nnz(), lu_levels);
-        partial.update(&phat);
-        let st1 = spmv_mixed(m, shared, &partial.vis_flags, &phat, &mut v);
+        partial.update(phat);
+        let st1 = mixed_spmv(m, shared, &partial.vis_flags, phat, v, threads);
         result.spmv_stats.merge(&st1);
         mc.spmv(&mut tl, m, &st1);
 
-        let denom = blas1::dot(&v, &r0s);
+        let denom = blas1::dot(v, r0s);
         mc.dot(&mut tl, true);
         let alpha = rho / denom;
         if !alpha.is_finite() || denom.abs() < f64::MIN_POSITIVE {
             // Breakdown restart — charge the remaining pipeline.
-            p.copy_from_slice(&r);
-            rho = blas1::dot(&r, &r0s);
+            p.copy_from_slice(r);
+            rho = blas1::dot(r, r0s);
             if rho == 0.0 {
-                rho = blas1::dot(&r, &r);
+                rho = blas1::dot(r, r);
             }
             mc.axpy(&mut tl);
             mc.sptrsv_adaptive(&mut tl, &st_p, ilu.nnz(), lu_levels);
@@ -471,19 +534,19 @@ pub fn run_pbicgstab(
             continue;
         }
 
-        blas1::waxpy(&r, -alpha, &v, &mut s);
+        blas1::waxpy(r, -alpha, v, s);
         mc.axpy(&mut tl);
 
         // ŝ = M⁻¹ s ; t = A ŝ.
-        let (shat, st_s) = ilu.apply_recursive(&s, cfg.trsv_leaf);
+        let st_s = ilu.apply_recursive_into(s, cfg.trsv_leaf, y, shat);
         mc.sptrsv_adaptive(&mut tl, &st_s, ilu.nnz(), lu_levels);
-        partial.update(&shat);
-        let st2 = spmv_mixed(m, shared, &partial.vis_flags, &shat, &mut t);
+        partial.update(shat);
+        let st2 = mixed_spmv(m, shared, &partial.vis_flags, shat, t, threads);
         result.spmv_stats.merge(&st2);
         mc.spmv(&mut tl, m, &st2);
 
-        let ts_dot = blas1::dot(&t, &s);
-        let tt = blas1::dot(&t, &t);
+        let ts_dot = blas1::dot(t, s);
+        let tt = blas1::dot(t, t);
         mc.dot(&mut tl, false);
         mc.dot(&mut tl, true); // scalar pair -> one readback
         let omega = if tt > 0.0 { ts_dot / tt } else { 0.0 };
@@ -493,12 +556,12 @@ pub fn run_pbicgstab(
         }
         mc.axpy(&mut tl);
         mc.axpy(&mut tl);
-        blas1::waxpy(&s, -omega, &t, &mut r);
+        blas1::waxpy(s, -omega, t, r);
         mc.axpy(&mut tl);
 
-        let rho_new = blas1::dot(&r, &r0s);
+        let rho_new = blas1::dot(r, r0s);
         mc.dot(&mut tl, false);
-        let rr = blas1::dot(&r, &r);
+        let rr = blas1::dot(r, r);
         mc.dot(&mut tl, true); // scalar pair -> one readback
 
         result.iterations += 1;
@@ -514,20 +577,20 @@ pub fn run_pbicgstab(
 
         let beta = (rho_new / rho) * (alpha / omega);
         if !beta.is_finite() || omega == 0.0 || rho_new.abs() < f64::MIN_POSITIVE {
-            p.copy_from_slice(&r);
-            rho = blas1::dot(&r, &r0s);
+            p.copy_from_slice(r);
+            rho = blas1::dot(r, r0s);
             if rho == 0.0 {
-                rho = blas1::dot(&r, &r);
+                rho = blas1::dot(r, r);
             }
             mc.axpy(&mut tl); // the p-update kernel still runs
             continue;
         }
         rho = rho_new;
-        blas1::bicgstab_p_update(&r, beta, omega, &v, &mut p);
+        blas1::bicgstab_p_update(r, beta, omega, v, p);
         mc.axpy(&mut tl);
     }
 
-    result.x = x;
+    result.x = x.clone();
     result.timeline = tl;
     result
 }

@@ -1,12 +1,13 @@
 //! The `MilleFeuille` facade: preprocessing, mode selection, dispatch.
 
-use crate::bicgstab::run_bicgstab;
-use crate::cg::{run_cg, CoreResult};
+use crate::bicgstab::run_bicgstab_ws;
+use crate::cg::{run_cg_ws, CoreResult};
 use crate::config::{KernelMode, SolverConfig};
 use crate::coster::{Coster, MultiCoster, SingleCoster};
 use crate::partial::PartialState;
 use crate::precond::{run_pbicgstab, run_pcg, run_pcg_bj, run_pcg_ic};
 use crate::report::{ExecutedMode, SolveReport};
+use crate::workspace::SolverWorkspace;
 use mf_gpu::{CostModel, DeviceSpec, Phase, ShmemPlan, Timeline};
 use mf_kernels::{blas1, ilu0, Ic0, Ilu0, SharedTiles};
 use mf_sparse::{Csr, TiledMatrix};
@@ -74,7 +75,14 @@ impl MilleFeuille {
         let tiled = if let Some(p) = self.config.uniform_precision {
             TiledMatrix::from_csr_uniform(a, self.config.tile_size, p)
         } else if self.config.mixed_precision {
-            TiledMatrix::from_csr_with(a, self.config.tile_size, &self.config.classify)
+            // Classification dominates conversion time; the parallel build
+            // is bit-identical to the serial one, so route through it
+            // whenever the host-parallelism policy resolves to >1 thread.
+            if self.config.host_parallelism.threads_for(a.nnz()) > 1 {
+                TiledMatrix::from_csr_par(a, self.config.tile_size, &self.config.classify)
+            } else {
+                TiledMatrix::from_csr_with(a, self.config.tile_size, &self.config.classify)
+            }
         } else {
             TiledMatrix::from_csr_uniform(
                 a,
@@ -190,24 +198,42 @@ impl MilleFeuille {
 
     /// Solves `A x = b` with CG (A must be SPD).
     pub fn solve_cg(&self, a: &Csr, b: &[f64]) -> SolveReport {
+        self.solve_cg_ws(a, b, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::solve_cg`] with a caller-provided [`SolverWorkspace`]:
+    /// repeated solves reuse the iterate buffers instead of reallocating
+    /// them (the report, tiled matrix and on-chip copy still allocate).
+    pub fn solve_cg_ws(&self, a: &Csr, b: &[f64], ws: &mut SolverWorkspace) -> SolveReport {
         let pre = self.preprocess(a);
         let mode = self.decide_mode(&pre.tiled);
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let coster = self.build_coster(&pre.tiled, mode);
-        let core = run_cg(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial);
+        let core = run_cg_ws(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial, ws);
         let warps = coster.warp_count();
         self.assemble(a, pre, mode, warps, core)
     }
 
     /// Solves `A x = b` with BiCGSTAB (A nonsymmetric or indefinite).
     pub fn solve_bicgstab(&self, a: &Csr, b: &[f64]) -> SolveReport {
+        self.solve_bicgstab_ws(a, b, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::solve_bicgstab`] with a caller-provided [`SolverWorkspace`].
+    pub fn solve_bicgstab_ws(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        ws: &mut SolverWorkspace,
+    ) -> SolveReport {
         let pre = self.preprocess(a);
         let mode = self.decide_mode(&pre.tiled);
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let coster = self.build_coster(&pre.tiled, mode);
-        let core = run_bicgstab(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial);
+        let core =
+            run_bicgstab_ws(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial, ws);
         let warps = coster.warp_count();
         self.assemble(a, pre, mode, warps, core)
     }
@@ -343,6 +369,22 @@ mod tests {
         for v in &rep.x {
             assert!((v - 1.0).abs() < 1e-7);
         }
+    }
+
+    #[test]
+    fn facade_workspace_reuse_gives_identical_reports() {
+        let a = poisson1d(400);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let mut ws = SolverWorkspace::new();
+        let rep1 = solver.solve_cg_ws(&a, &b, &mut ws);
+        let ptr = ws.x.as_ptr();
+        let rep2 = solver.solve_cg_ws(&a, &b, &mut ws);
+        assert!(rep1.converged && rep2.converged);
+        assert_eq!(rep1.iterations, rep2.iterations);
+        assert_eq!(rep1.x, rep2.x);
+        assert_eq!(rep1.final_relres, rep2.final_relres);
+        assert_eq!(ws.x.as_ptr(), ptr, "buffers must be reused across solves");
     }
 
     #[test]

@@ -110,18 +110,38 @@ impl TiledMatrix {
         Self::build(a, tile_size, opts, None)
     }
 
+    /// Like [`Self::from_csr_with`], but classifies tile precisions in
+    /// parallel with rayon. Classification dominates preprocessing time (it
+    /// reads every value up to four times for the round-trip tests), and
+    /// tiles are independent, so this is an embarrassingly parallel map.
+    /// The result is identical to the serial build: the parallel stage only
+    /// computes per-tile precisions, joined back in tile order.
+    pub fn from_csr_par(a: &Csr, tile_size: usize, opts: &ClassifyOptions) -> TiledMatrix {
+        Self::build_impl(a, tile_size, opts, None, true)
+    }
+
     /// Builds with a *uniform* precision for every tile (used by the FP64
     /// baseline configuration of Fig. 11 and the granularity ablation).
     pub fn from_csr_uniform(a: &Csr, tile_size: usize, prec: Precision) -> TiledMatrix {
         Self::build(a, tile_size, &ClassifyOptions::default(), Some(prec))
     }
 
-    #[allow(clippy::needless_range_loop)] // k walks parallel arrays (keys, row_of, colidx)
     fn build(
         a: &Csr,
         tile_size: usize,
         opts: &ClassifyOptions,
         force_prec: Option<Precision>,
+    ) -> TiledMatrix {
+        Self::build_impl(a, tile_size, opts, force_prec, false)
+    }
+
+    #[allow(clippy::needless_range_loop)] // k walks parallel arrays (keys, row_of, colidx)
+    fn build_impl(
+        a: &Csr,
+        tile_size: usize,
+        opts: &ClassifyOptions,
+        force_prec: Option<Precision>,
+        parallel: bool,
     ) -> TiledMatrix {
         assert!(
             (2..=256).contains(&tile_size),
@@ -155,6 +175,45 @@ impl TiledMatrix {
         }
         order.sort_unstable_by_key(|&i| keys[i as usize]);
 
+        // Tile spans in the sorted order (start, end). Tiles are the unit of
+        // both classification and packing.
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        {
+            let mut i = 0usize;
+            while i < nnz {
+                let tile_key = keys[order[i] as usize] >> 16;
+                let start = i;
+                while i < nnz && keys[order[i] as usize] >> 16 == tile_key {
+                    i += 1;
+                }
+                spans.push((start as u32, i as u32));
+            }
+        }
+
+        // Per-tile precision. Classification reads every value several times
+        // (round-trip tests per candidate precision) and tiles are
+        // independent, so the parallel build farms it out; results are
+        // joined in tile order, making the output identical to the serial
+        // pass.
+        let classify_span = |&(s, e): &(u32, u32)| -> Precision {
+            match force_prec {
+                Some(p) => p,
+                None => {
+                    let vals: Vec<f64> = order[s as usize..e as usize]
+                        .iter()
+                        .map(|&oi| a.vals[oi as usize])
+                        .collect();
+                    classify_group(&vals, opts)
+                }
+            }
+        };
+        let precs: Vec<Precision> = if parallel && force_prec.is_none() {
+            use rayon::prelude::*;
+            spans.par_iter().map(classify_span).collect()
+        } else {
+            spans.iter().map(classify_span).collect()
+        };
+
         let mut tile_rowidx = Vec::new();
         let mut tile_colidx = Vec::new();
         let mut tile_prec = Vec::new();
@@ -166,21 +225,17 @@ impl TiledMatrix {
         let mut packed = PackedValuesBuilder::new();
         let mut val_offsets = Vec::new();
 
-        let mut i = 0usize;
         let mut tile_vals: Vec<f64> = Vec::new();
-        while i < nnz {
-            let tile_key = keys[order[i] as usize] >> 16;
+        for (t, &(s, e)) in spans.iter().enumerate() {
+            let (start, i) = (s as usize, e as usize);
+            let tile_key = keys[order[start] as usize] >> 16;
             let trow = (tile_key as usize) / tile_cols;
             let tcol = (tile_key as usize) % tile_cols;
 
-            // Collect this tile's entries.
-            let start = i;
+            // Gather this tile's values for packing.
             tile_vals.clear();
-            while i < nnz && keys[order[i] as usize] >> 16 == tile_key {
-                tile_vals.push(a.vals[order[i] as usize]);
-                i += 1;
-            }
-            let prec = force_prec.unwrap_or_else(|| classify_group(&tile_vals, opts));
+            tile_vals.extend(order[start..i].iter().map(|&oi| a.vals[oi as usize]));
+            let prec = precs[t];
 
             tile_rowidx.push(trow as u32);
             tile_colidx.push(tcol as u32);
@@ -313,6 +368,46 @@ impl TiledMatrix {
             .decode_run_vec(self.val_offsets[i], self.tile_prec[i], n)
     }
 
+    /// Decodes all values of tile `i` into `out` without allocating —
+    /// `out.len()` must equal the tile's nonzero count. This is the
+    /// in-place variant [`decode_tile_values`](Self::decode_tile_values)
+    /// that `SharedTiles` uses to (re)fill its flat value arena.
+    pub fn decode_tile_into(&self, i: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), (self.tile_nnz[i + 1] - self.tile_nnz[i]) as usize);
+        self.vals
+            .decode_run(self.val_offsets[i], self.tile_prec[i], out);
+    }
+
+    /// Multiplies the contiguous tile span `tiles` into `y`, where `y[0]`
+    /// corresponds to matrix row `row_base` (accumulating; the caller zeroes
+    /// `y`). Tiles are stored sorted by `(tile_row, tile_col)`, so a span of
+    /// whole tile rows touches a contiguous, exclusive row range — the
+    /// property both the sequential [`matvec`](Self::matvec) (one span: all
+    /// tiles) and the stripe-parallel kernels in `mf-kernels` rely on to
+    /// share this single tile-iteration loop.
+    pub fn tile_matvec_span(
+        &self,
+        tiles: std::ops::Range<usize>,
+        x: &[f64],
+        y: &mut [f64],
+        row_base: usize,
+    ) {
+        for i in tiles {
+            let base_row = self.tile_rowidx[i] as usize * self.tile_size;
+            let base_col = self.tile_colidx[i] as usize * self.tile_size;
+            let nnz_base = self.tile_nnz[i] as usize;
+            for ri in self.nonrow[i] as usize..self.nonrow[i + 1] as usize {
+                let r = base_row + self.row_index[ri] as usize;
+                let mut sum = 0.0;
+                for k in self.csr_rowptr[ri] as usize..self.csr_rowptr[ri + 1] as usize {
+                    sum += self.tile_value(i, k - nnz_base)
+                        * x[base_col + self.csr_colidx[k] as usize];
+                }
+                y[r - row_base] += sum;
+            }
+        }
+    }
+
     /// Converts back to CSR. Values carry the quantization of their tile's
     /// precision (exactly what the GPU kernels would compute with).
     pub fn to_csr(&self) -> Csr {
@@ -338,19 +433,7 @@ impl TiledMatrix {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         y.fill(0.0);
-        for i in 0..self.tile_count() {
-            let base_row = self.tile_rowidx[i] as usize * self.tile_size;
-            let base_col = self.tile_colidx[i] as usize * self.tile_size;
-            let nnz_base = self.tile_nnz[i] as usize;
-            for ri in self.nonrow[i] as usize..self.nonrow[i + 1] as usize {
-                let r = base_row + self.row_index[ri] as usize;
-                let mut sum = 0.0;
-                for k in self.csr_rowptr[ri] as usize..self.csr_rowptr[ri + 1] as usize {
-                    sum += self.tile_value(i, k - nnz_base) * x[base_col + self.csr_colidx[k] as usize];
-                }
-                y[r] += sum;
-            }
-        }
+        self.tile_matvec_span(0..self.tile_count(), x, y, 0);
     }
 
     /// Per-tile precision histogram indexed `[FP64, FP32, FP16, FP8]`
@@ -454,6 +537,42 @@ impl<'a> TileView<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        // Mixed-magnitude entries so classification picks varied precisions.
+        let n = 200;
+        let mut a = Coo::new(n, n);
+        let mut mag = 1.0;
+        for i in 0..n {
+            a.push(i, i, 4.0 + mag);
+            if i > 0 {
+                a.push(i, i - 1, -mag);
+            }
+            if i + 2 < n {
+                a.push(i, i + 2, 0.125 * mag);
+            }
+            mag *= 1.07;
+            if mag > 1e5 {
+                mag = 1e-5;
+            }
+        }
+        let a = a.to_csr();
+        for ts in [4usize, 16, 32] {
+            let s = TiledMatrix::from_csr_with(&a, ts, &ClassifyOptions::default());
+            let p = TiledMatrix::from_csr_par(&a, ts, &ClassifyOptions::default());
+            assert_eq!(s.tile_rowidx, p.tile_rowidx, "ts={ts}");
+            assert_eq!(s.tile_colidx, p.tile_colidx);
+            assert_eq!(s.tile_prec, p.tile_prec);
+            assert_eq!(s.tile_nnz, p.tile_nnz);
+            assert_eq!(s.nonrow, p.nonrow);
+            assert_eq!(s.csr_rowptr, p.csr_rowptr);
+            assert_eq!(s.row_index, p.row_index);
+            assert_eq!(s.csr_colidx, p.csr_colidx);
+            assert_eq!(s.val_offsets, p.val_offsets);
+            assert_eq!(s.vals_raw(), p.vals_raw());
+        }
+    }
 
     /// The 8×8 example of paper Fig. 5 (2×2 tiles, 9 non-empty tiles).
     fn figure5_like() -> Csr {

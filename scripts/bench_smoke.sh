@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Smoke-run the host SpMV scaling bench and record the perf trajectory:
+# writes bench_out/spmv_scaling.csv and BENCH_spmv.json at the repo root.
+#
+# Knobs (see crates/bench/src/bin/spmv_scaling.rs):
+#   MF_SPMV_GRID     Poisson grid side (default 320 -> 102,400 rows)
+#   MF_SPMV_REPS     timed reps per thread count (default 20)
+#   MF_SPMV_THREADS  comma list of thread counts (default 1,2,4,8)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --locked --offline -p mf-bench --bin spmv_scaling
+./target/release/spmv_scaling

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, lint — all offline (the workspace vendors
+# every external crate under vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --locked --offline --workspace
+cargo test -q --locked --offline --workspace
+cargo clippy --all-targets --workspace --locked --offline -- -D warnings

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! tiny slice of the `bytes` API it actually uses: an immutable byte buffer
+//! ([`Bytes`]) and a growable builder ([`BytesMut`]) with `freeze`. Both are
+//! thin wrappers over `Vec<u8>` — the zero-copy refcounting of the real
+//! crate is irrelevant to how `mf-precision` uses it (append-only build,
+//! then read-only random access).
+
+use std::ops::Deref;
+
+/// Immutable contiguous byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no bytes are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Bytes {
+        Bytes { buf }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(b: &[u8]) -> Bytes {
+        Bytes { buf: b.to_vec() }
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty builder with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no bytes are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends `src` to the buffer.
+    #[inline]
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { buf: self.buf }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_read() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(&[1, 2, 3]);
+        b.extend_from_slice(&[4]);
+        assert_eq!(b.len(), 4);
+        let f = b.freeze();
+        assert_eq!(&f[1..3], &[2, 3]);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let f = Bytes::from(vec![9u8, 8]);
+        assert_eq!(&f[..], &[9, 8]);
+    }
+}

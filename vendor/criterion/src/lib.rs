@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, groups, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`) with a simple
+//! median-of-samples wall-clock measurement instead of criterion's full
+//! statistical machinery. Reports are printed as plain text; no HTML.
+//!
+//! When invoked with `--test` (what `cargo test` passes to `harness = false`
+//! targets) every benchmark body runs exactly once as a smoke test, like
+//! real criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+/// How work-per-iteration is reported.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median per-sample duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            std::hint::black_box(f());
+            self.last = Some(Duration::ZERO);
+            return;
+        }
+        // One warmup, then `samples` timed runs.
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !test_mode() {
+            println!("\n== {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one(&id.into().id, sample_size, None, f);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        last: None,
+    };
+    f(&mut b);
+    if test_mode() {
+        println!("test-mode smoke: {id} ... ok");
+        return;
+    }
+    match b.last {
+        Some(t) => {
+            let rate = throughput.map_or(String::new(), |tp| {
+                let secs = t.as_secs_f64().max(1e-12);
+                match tp {
+                    Throughput::Elements(n) => {
+                        format!("  ({:.3} Melem/s)", n as f64 / secs / 1e6)
+                    }
+                    Throughput::Bytes(n) => {
+                        format!("  ({:.3} MiB/s)", n as f64 / secs / (1024.0 * 1024.0))
+                    }
+                }
+            });
+            println!("{id:<40} {:>12}{rate}", format_duration(t));
+        }
+        None => println!("{id:<40} (no measurement)"),
+    }
+}
+
+/// Group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, tp: Throughput) {
+        self.throughput = Some(tp);
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &id.into().id,
+            self.criterion.sample_size,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &id.into().id,
+            self.criterion.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (printing nothing extra in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        let mut hits = 0u32;
+        g.bench_function("inc", |b| b.iter(|| hits = hits.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}

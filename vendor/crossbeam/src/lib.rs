@@ -1,0 +1,58 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::scope` is used in this workspace (structured fork/join in
+//! `mf-solver::threaded` and `mf-gpu::deps`). Since Rust 1.63 the standard
+//! library provides scoped threads, so this shim forwards to
+//! [`std::thread::scope`] and mimics the crossbeam calling convention:
+//! the scope closure and each spawned closure receive a `&Scope` argument,
+//! and `scope` returns a `Result` (always `Ok` here; panics in child threads
+//! propagate on join exactly as callers expect from `.unwrap()`).
+
+use std::thread;
+
+/// Scope handle passed to the `scope` closure and to spawned closures.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope again so it
+    /// can spawn nested work, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let this = *self;
+        self.inner.spawn(move || f(&this))
+    }
+}
+
+/// Runs `f` with a scope in which threads can borrow from the enclosing
+/// stack frame; joins all spawned threads before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = [1u64, 2, 3, 4];
+        let mut left = 0u64;
+        let mut right = 0u64;
+        super::scope(|s| {
+            let (a, b) = data.split_at(2);
+            let ha = s.spawn(move |_| a.iter().sum::<u64>());
+            let hb = s.spawn(move |_| b.iter().sum::<u64>());
+            left = ha.join().unwrap();
+            right = hb.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(left + right, 10);
+    }
+}

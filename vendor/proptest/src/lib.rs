@@ -1,0 +1,444 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of proptest this workspace's property tests use:
+//! the `proptest! { #![proptest_config(..)] fn case(x in strategy) {..} }`
+//! macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range/tuple/vec
+//! strategies, `prop_map`/`prop_flat_map`, and `prop::num::{f32,f64}::NORMAL`.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports its
+//! message and case number only), and value streams are deterministic per
+//! test name (seeded from a hash of the test function's name) rather than
+//! drawn from an OS RNG. Both are acceptable for this repo: the tests assert
+//! mathematical invariants where any counterexample is already small enough
+//! to debug from the assertion message.
+
+/// Per-run configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` passing cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; try another case.
+        Reject(String),
+        /// `prop_assert!`-style failure; abort the test.
+        Fail(String),
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 stream, seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an FNV-1a hash of `name`, so every test has its own
+        /// reproducible stream.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> R,
+        {
+            Map { base: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and samples it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, R> Strategy for Map<B, F>
+    where
+        B: Strategy,
+        F: Fn(B::Value) -> R,
+    {
+        type Value = R;
+
+        fn generate(&self, rng: &mut TestRng) -> R {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, S> Strategy for FlatMap<B, F>
+    where
+        B: Strategy,
+        S: Strategy,
+        F: Fn(B::Value) -> S,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (self.start as f64 + rng.unit_f64() * (self.end as f64 - self.start as f64)) as f32
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:ident $idx:tt),+);)*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s of `elem` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    mod imp {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Uniform over the *bit patterns* that decode to normal f64s
+        /// (log-uniform magnitudes, both signs), like proptest's `NORMAL`.
+        pub struct NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+
+        /// f32 analogue of [`NormalF64`].
+        pub struct NormalF32;
+
+        impl Strategy for NormalF32 {
+            type Value = f32;
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                loop {
+                    let v = f32::from_bits(rng.next_u64() as u32);
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+
+    pub mod f64 {
+        pub const NORMAL: super::imp::NormalF64 = super::imp::NormalF64;
+    }
+
+    pub mod f32 {
+        pub const NORMAL: super::imp::NormalF32 = super::imp::NormalF32;
+    }
+}
+
+/// Namespace mirror so tests can write `prop::collection::vec` and
+/// `prop::num::f64::NORMAL` after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `a == b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __lhs = $a;
+        let __rhs = $b;
+        if !(__lhs == __rhs) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __lhs,
+                __rhs
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        // `if c {} else { .. }` rather than `if !c`: `!` on a float
+        // comparison trips clippy::neg_cmp_op_on_partial_ord at every
+        // call site.
+        if $cond {
+        } else {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Defines property tests: each `fn` runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome: $crate::test_runner::TestCaseResult =
+                    (move || { $body Ok(()) })();
+                match __outcome {
+                    Ok(()) => __passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected < __config.cases.saturating_mul(256).max(4096),
+                            "proptest '{}': too many prop_assume rejections ({})",
+                            stringify!($name),
+                            __why
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest '{}' failed after {} passing case(s): {}",
+                            stringify!($name),
+                            __passed,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1usize..10, (a, b) in (0u8..4, -3i32..=3)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((-3..=3).contains(&b), "b = {}", b);
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..8).prop_flat_map(|n| prop::collection::vec(0..n, 1..20))) {
+            let n = *v.iter().max().unwrap() + 1;
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn normals_are_normal(x in prop::num::f64::NORMAL, y in prop::num::f32::NORMAL) {
+            prop_assert!(x.is_normal());
+            prop_assert!(y.is_normal());
+        }
+
+        #[test]
+        fn assume_rejects(v in -10.0f64..10.0) {
+            prop_assume!(v.abs() > 0.5);
+            prop_assert!(v != 0.0);
+        }
+
+        #[test]
+        fn map_applies(s in (0u16..100).prop_map(|v| v.to_string())) {
+            prop_assert_eq!(s.parse::<u16>().unwrap() < 100, true);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        for _ in 0..32 {
+            assert_eq!((0..1000u32).generate(&mut a), (0..1000u32).generate(&mut b));
+        }
+    }
+}

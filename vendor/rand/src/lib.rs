@@ -1,0 +1,149 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The matrix generators in `mf-collection` only need a seedable,
+//! deterministic PRNG with uniform range/bool sampling. This shim provides
+//! exactly that surface (`Rng`, `RngExt`, `SeedableRng`, `rngs::StdRng`)
+//! backed by SplitMix64 — statistically solid for test-matrix generation
+//! and fully reproducible from a `u64` seed. Streams do NOT match the real
+//! `rand` crate bit-for-bit; everything in this workspace that depends on
+//! random data derives it from fixed seeds through this one implementation,
+//! so reproducibility within the workspace is what matters.
+
+/// Core uniform random source.
+pub trait Rng {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Constructing a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types that can be sampled uniformly. Implemented for half-open and
+/// inclusive ranges of the integer and float types the workspace uses.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform sample from `range`.
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..64 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.random_range(1..=15);
+            assert!((1..=15).contains(&v));
+            let f: f64 = rng.random_range(-2.5..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let g: f32 = rng.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&g));
+            let n = rng.random_range(0usize..7);
+            assert!(n < 7);
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+}

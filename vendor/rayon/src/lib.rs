@@ -1,0 +1,518 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the indexed-parallel-iterator subset this workspace uses
+//! (`par_iter`, `par_iter_mut`, `into_par_iter`, `map`, `zip`, `enumerate`,
+//! `filter_map`, `for_each`, `sum`, `collect`) on top of
+//! [`std::thread::scope`]. There is no work-stealing pool: each consumer
+//! splits its index space into one contiguous chunk per available thread and
+//! joins them in order, so **chunk results are always combined in index
+//! order** — `collect` preserves input order exactly like real rayon.
+//!
+//! The driving model is an *indexed* iterator: every source knows its length
+//! and can produce the item at index `i`. Each index is produced exactly
+//! once by exactly one chunk, which is what makes the `&mut`/by-value
+//! sources sound (disjoint chunks never alias).
+
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Number of worker threads consumers may use: `RAYON_NUM_THREADS` if set,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Splits `0..len` into at most `chunks` contiguous ranges of near-equal
+/// size, in index order.
+fn chunk_bounds(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(len.max(1));
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    for c in 0..chunks {
+        let hi = lo + base + usize::from(c < rem);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// Runs `work` over `0..len` split into per-thread chunks and returns the
+/// chunk results **in index order**. Chunk 0 runs on the calling thread.
+fn drive<R, W>(len: usize, work: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return vec![work(0..len)];
+    }
+    let bounds = chunk_bounds(len, threads);
+    std::thread::scope(|s| {
+        let mut rest = bounds[1..].iter().cloned();
+        let handles: Vec<_> = rest
+            .by_ref()
+            .map(|r| {
+                let work = &work;
+                s.spawn(move || work(r))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(bounds.len());
+        out.push(work(bounds[0].clone()));
+        for h in handles {
+            out.push(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+/// An indexed parallel iterator.
+///
+/// # Safety
+///
+/// Callers of [`get`](ParallelIterator::get) must request each index in
+/// `0..len()` at most once across all threads; sources that hand out `&mut`
+/// references or move values out rely on that exclusivity.
+pub unsafe trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// `true` when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `i`.
+    ///
+    /// # Safety
+    /// Each index may be taken at most once (see trait docs), and `i` must
+    /// be `< self.len()`.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs items with those of `other`, truncating to the shorter side.
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Maps each item through `f`, keeping only `Some` results (in index
+    /// order).
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync,
+        R: Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Applies `f` to every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(self.len(), |r| {
+            for i in r {
+                f(unsafe { self.get(i) });
+            }
+        });
+    }
+
+    /// Sums the items. Chunk partial sums are combined in index order.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(self.len(), |r| {
+            r.map(|i| unsafe { self.get(i) }).sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Collects the items, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+
+    /// Builds from per-chunk buffers already in index order (used by
+    /// `filter_map`, where chunks yield a variable number of items).
+    fn from_ordered_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Vec<T> {
+        let len = it.len();
+        let chunks = drive(len, |r| {
+            r.map(|i| unsafe { it.get(i) }).collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(len);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+
+    fn from_ordered_chunks(chunks: Vec<Vec<T>>) -> Vec<T> {
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+/// Values convertible into a [`ParallelIterator`].
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on shared slices (and anything derefing to one).
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `.par_iter_mut()` on mutable slices (and anything derefing to one).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+unsafe impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+/// Parallel iterator over `&mut [T]`. Soundness: the driver hands each index
+/// to exactly one chunk, so the `&mut` references never alias.
+pub struct ParIterMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
+
+unsafe impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Owning parallel iterator over `Vec<T>`. Items are moved out with
+/// `ptr::read`; the allocation is freed (without dropping elements) when the
+/// iterator is dropped. Consumers read every index exactly once; if a
+/// consumer panics mid-way the unread items leak rather than double-drop.
+pub struct IntoVec<T: Send> {
+    buf: ManuallyDrop<Vec<T>>,
+}
+
+unsafe impl<T: Send> Sync for IntoVec<T> {}
+
+unsafe impl<T: Send> ParallelIterator for IntoVec<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.buf.len());
+        std::ptr::read(self.buf.as_ptr().add(i))
+    }
+}
+
+impl<T: Send> Drop for IntoVec<T> {
+    fn drop(&mut self) {
+        // Free the allocation only; the items were moved out by `get`.
+        unsafe {
+            let v = ManuallyDrop::take(&mut self.buf);
+            let mut v = ManuallyDrop::new(v);
+            drop(Vec::from_raw_parts(v.as_mut_ptr(), 0, v.capacity()));
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = IntoVec<T>;
+    type Item = T;
+    fn into_par_iter(self) -> IntoVec<T> {
+        IntoVec {
+            buf: ManuallyDrop::new(self),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+unsafe impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> R {
+        (self.f)(self.base.get(i))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.get(i), self.b.get(i))
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+unsafe impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.get(i))
+    }
+}
+
+/// See [`ParallelIterator::filter_map`]. Yields a variable number of items
+/// per chunk, so it exposes its own consumers rather than implementing the
+/// indexed trait.
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> FilterMap<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> Option<R> + Sync,
+    R: Send,
+{
+    /// Collects the retained items, preserving input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let chunks = drive(self.base.len(), |r| {
+            r.filter_map(|i| (self.f)(unsafe { self.base.get(i) }))
+                .collect::<Vec<R>>()
+        });
+        C::from_ordered_chunks(chunks)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_moves_values() {
+        let v: Vec<String> = (0..257).map(|i| i.to_string()).collect();
+        let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[256], "256!");
+    }
+
+    #[test]
+    fn zip_sum_matches_serial() {
+        let x: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..20_000).map(|i| (i % 7) as f64).collect();
+        let par: f64 = x.par_iter().zip(&y[..]).map(|(a, b)| a * b).sum();
+        let ser: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        // Chunked summation can reassociate vs fully serial; both are exact
+        // here because products are integers well within f64 range.
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_slot() {
+        let mut v = vec![0u64; 5000];
+        v.par_iter_mut().enumerate().for_each(|(i, slot)| {
+            *slot = i as u64;
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .filter_map(|x| if x % 3 == 0 { Some(x) } else { None })
+            .collect();
+        assert_eq!(out, (0..1000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = Vec::new();
+        let out: Vec<usize> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let s: f64 = Vec::<f64>::new().into_par_iter().sum();
+        assert_eq!(s, 0.0);
+    }
+}
