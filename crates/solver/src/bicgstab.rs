@@ -7,12 +7,13 @@
 //! *input* drives tile precision.
 
 use crate::cg::{mixed_spmv, CoreResult};
-use crate::config::SolverConfig;
+use crate::config::{SolverConfig, MAX_CONSECUTIVE_RESTARTS};
 use crate::coster::Coster;
 use crate::partial::PartialState;
+use crate::report::{BreakdownKind, RecoveryAction, SolveFailure};
 use crate::workspace::SolverWorkspace;
 use mf_gpu::Timeline;
-use mf_kernels::{blas1, MixedSpmvStats, SharedTiles};
+use mf_kernels::{blas1, SharedTiles};
 use mf_sparse::TiledMatrix;
 
 /// Runs BiCGSTAB on the tiled matrix.
@@ -45,19 +46,7 @@ pub fn run_bicgstab_ws(
     let mut tl = Timeline::new();
     coster.solve_start(&mut tl);
 
-    let mut result = CoreResult {
-        x: Vec::new(),
-        iterations: 0,
-        converged: false,
-        final_relres: f64::INFINITY,
-        timeline: Timeline::new(),
-        spmv_stats: MixedSpmvStats::default(),
-        residual_history: Vec::new(),
-        error_history: Vec::new(),
-        p_range_history: Vec::new(),
-        bypass_history: Vec::new(),
-        precision_history: Vec::new(),
-    };
+    let mut result = CoreResult::empty();
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
@@ -80,6 +69,7 @@ pub fn run_bicgstab_ws(
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
+    let mut consecutive_restarts = 0usize;
 
     for _j in 0..iters {
         // µ = A·p (first SpMV, flags from p).
@@ -100,6 +90,11 @@ pub fn run_bicgstab_ws(
             // the kernel pipeline runs every step regardless (the second
             // SpMV is charged at the first one's cost profile, which is
             // what it would execute with the same flags).
+            let kind = if !alpha.is_finite() {
+                BreakdownKind::NonFinite
+            } else {
+                BreakdownKind::Rho
+            };
             restart(r, p, r0s, &mut rho);
             coster.axpy(&mut tl, 1);
             coster.spmv(&mut tl, m, shared, &partial.vis_flags, &st1);
@@ -111,8 +106,29 @@ pub fn run_bicgstab_ws(
             coster.dot(&mut tl, true);
             coster.axpy(&mut tl, 1);
             coster.iteration_end(&mut tl);
+            let iter_idx = result.iterations;
             result.iterations += 1;
+            consecutive_restarts += 1;
             record_traces(&mut result, cfg, partial, shared, x, r, p, norm_b, &st1, &st1);
+            // An α-restart leaves x and r untouched; see the CG core for
+            // why repeating it is a fixed point worth aborting.
+            let abort_nonfinite = !rho.is_finite();
+            let abort_stalled =
+                check_convergence && consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+            let action = if abort_nonfinite || abort_stalled {
+                RecoveryAction::Aborted
+            } else {
+                RecoveryAction::Restarted
+            };
+            result.record_breakdown(iter_idx, kind, action);
+            if abort_nonfinite {
+                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                break;
+            }
+            if abort_stalled {
+                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                break;
+            }
             continue;
         }
 
@@ -151,6 +167,19 @@ pub fn run_bicgstab_ws(
         coster.dot(&mut tl, false);
         let rr = blas1::dot(r, r);
         coster.dot(&mut tl, true); // scalar pair -> one readback
+        consecutive_restarts = 0; // x and r advanced: real progress
+
+        if !rr.is_finite() {
+            // Poisoned residual: restarting would rebuild from the same
+            // non-finite r. Abort observably (final_relres keeps its last
+            // finite value).
+            let iter_idx = result.iterations;
+            result.iterations += 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            coster.iteration_end(&mut tl);
+            break;
+        }
 
         result.iterations += 1;
         let relres = rr.sqrt() / norm_b;
@@ -186,6 +215,14 @@ pub fn run_bicgstab_ws(
 
         let beta = (rho_new / rho) * (alpha / omega);
         if !beta.is_finite() || omega == 0.0 || rho_new.abs() < f64::MIN_POSITIVE {
+            let kind = if omega == 0.0 {
+                BreakdownKind::Omega
+            } else if rho_new.abs() < f64::MIN_POSITIVE {
+                BreakdownKind::Rho
+            } else {
+                BreakdownKind::NonFinite
+            };
+            result.record_breakdown(result.iterations - 1, kind, RecoveryAction::Restarted);
             restart(r, p, r0s, &mut rho);
             coster.axpy(&mut tl, 1); // the p-update step still executes
             coster.iteration_end(&mut tl);
@@ -251,8 +288,9 @@ fn restart(r: &mut [f64], p: &mut Vec<f64>, r0s: &[f64], rho: &mut f64) {
     p.clear();
     p.extend_from_slice(r);
     *rho = blas1::dot(r, r0s);
-    if *rho == 0.0 {
-        // Orthogonal shadow residual: fall back to a fresh rho on r itself
+    if rho.abs() < f64::MIN_POSITIVE {
+        // (Sub)normal-zero shadow correlation: a ρ ≈ 0 would make the next
+        // α non-finite again, so fall back to a fresh rho on r itself
         // (equivalent to restarting with r0* = r, standard practice).
         *rho = blas1::dot(r, r);
     }
@@ -360,6 +398,65 @@ mod tests {
         let res_m = run_bicgstab(&m, &mut sh2, &b, &cfg, &coster_m, &mut p2);
         assert_eq!(res_s.iterations, res_m.iterations);
         assert_eq!(res_s.x, res_m.x);
+    }
+
+    /// Skew-symmetric matrix: `(A·p, r0*) = 0` exactly on the first
+    /// iteration, so α = ρ/0 is infinite before any update runs. The old
+    /// core divided blindly and NaN-poisoned x; the robustness layer must
+    /// restart, observe the fixed point, and abort with a structured
+    /// failure and a finite residual.
+    #[test]
+    fn breakdown_matrix_fails_finite_with_events() {
+        let n = 32;
+        let mut a = Coo::new(n, n);
+        for i in 0..n - 1 {
+            a.push(i, i + 1, 1.0);
+            a.push(i + 1, i, -1.0);
+        }
+        let csr = a.to_csr();
+        let cfg = SolverConfig::default();
+        let m = TiledMatrix::from_csr_with(&csr, cfg.tile_size, &ClassifyOptions::default());
+        let mut shared = SharedTiles::load(&m);
+        let coster = Coster::Single(SingleCoster::new(
+            CostModel::new(DeviceSpec::a100()),
+            &m,
+            cfg.tile_size,
+        ));
+        let b = vec![1.0; n];
+        let mut partial = PartialState::new(
+            cfg.partial_convergence,
+            m.tile_cols,
+            cfg.tile_size,
+            cfg.tolerance * blas1::norm2(&b),
+        );
+        let res = run_bicgstab(&m, &mut shared, &b, &cfg, &coster, &mut partial);
+        assert!(!res.converged);
+        assert!(
+            res.final_relres.is_finite(),
+            "breakdown must not leak NaN: {}",
+            res.final_relres
+        );
+        for v in &res.x {
+            assert!(v.is_finite(), "x poisoned: {v}");
+        }
+        assert!(
+            matches!(res.failure, Some(SolveFailure::Stalled { .. })),
+            "expected a stall abort, got {:?}",
+            res.failure
+        );
+        assert!(
+            !res.breakdowns.is_empty(),
+            "breakdown events must be recorded"
+        );
+        assert_eq!(
+            res.breakdowns.last().unwrap().action,
+            RecoveryAction::Aborted
+        );
+        assert!(
+            res.iterations <= MAX_CONSECUTIVE_RESTARTS,
+            "stall abort must bound the futile restarts, ran {}",
+            res.iterations
+        );
     }
 
     #[test]

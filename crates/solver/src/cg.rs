@@ -5,9 +5,10 @@
 //! multiplies the (possibly dynamically lowered) quantized tile values, so
 //! mixed precision genuinely perturbs convergence.
 
-use crate::config::SolverConfig;
+use crate::config::{SolverConfig, MAX_CONSECUTIVE_RESTARTS};
 use crate::coster::Coster;
 use crate::partial::PartialState;
+use crate::report::{BreakdownEvent, BreakdownKind, RecoveryAction, SolveFailure};
 use crate::workspace::SolverWorkspace;
 use mf_gpu::Timeline;
 use mf_kernels::{blas1, spmv_mixed, spmv_mixed_par, MixedSpmvStats, SharedTiles, VisFlag};
@@ -57,6 +58,44 @@ pub struct CoreResult {
     /// Per-iteration histogram of *current* tile precisions in the on-chip
     /// copy `[FP64, FP32, FP16, FP8]` (when traced; paper Fig. 7).
     pub precision_history: Vec<[usize; 4]>,
+    /// Every breakdown the loop observed and what was done about it.
+    pub breakdowns: Vec<BreakdownEvent>,
+    /// Set when the loop terminated abnormally (non-finite state or a
+    /// restart fixed point); `None` for convergence or plain iteration
+    /// exhaustion.
+    pub failure: Option<SolveFailure>,
+}
+
+impl CoreResult {
+    /// A fresh not-yet-run result: no solution, `∞` residual, empty
+    /// histories. Cores fill it in as the loop executes.
+    pub fn empty() -> CoreResult {
+        CoreResult {
+            x: Vec::new(),
+            iterations: 0,
+            converged: false,
+            final_relres: f64::INFINITY,
+            timeline: Timeline::new(),
+            spmv_stats: MixedSpmvStats::default(),
+            residual_history: Vec::new(),
+            error_history: Vec::new(),
+            p_range_history: Vec::new(),
+            bypass_history: Vec::new(),
+            precision_history: Vec::new(),
+            breakdowns: Vec::new(),
+            failure: None,
+        }
+    }
+
+    /// Records a breakdown observed at the *current* (0-based) iteration —
+    /// call before `iterations` is advanced past it.
+    pub(crate) fn record_breakdown(&mut self, iteration: usize, kind: BreakdownKind, action: RecoveryAction) {
+        self.breakdowns.push(BreakdownEvent {
+            iteration,
+            kind,
+            action,
+        });
+    }
 }
 
 /// Relative error `‖x − x*‖₂ / ‖x*‖₂`.
@@ -103,19 +142,7 @@ pub fn run_cg_ws(
     let mut tl = Timeline::new();
     coster.solve_start(&mut tl);
 
-    let mut result = CoreResult {
-        x: Vec::new(),
-        iterations: 0,
-        converged: false,
-        final_relres: f64::INFINITY,
-        timeline: Timeline::new(),
-        spmv_stats: MixedSpmvStats::default(),
-        residual_history: Vec::new(),
-        error_history: Vec::new(),
-        p_range_history: Vec::new(),
-        bypass_history: Vec::new(),
-        precision_history: Vec::new(),
-    };
+    let mut result = CoreResult::empty();
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
@@ -139,6 +166,7 @@ pub fn run_cg_ws(
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
+    let mut consecutive_restarts = 0usize;
 
     for _j in 0..iters {
         // ---- Step A: vis_flag retrieval + mixed-precision SpMV µ = A·p.
@@ -161,15 +189,24 @@ pub fn run_cg_ws(
             // the current residual — but charge the *full* iteration: the
             // GPU kernel executes every step regardless of degenerate
             // scalars.
+            let kind = if py.is_finite() && py <= 0.0 {
+                BreakdownKind::Curvature
+            } else {
+                BreakdownKind::NonFinite
+            };
             p.copy_from_slice(r);
             rr = blas1::dot(r, r);
             coster.axpy(&mut tl, 2);
             coster.dot(&mut tl, true);
             coster.axpy(&mut tl, 1);
             coster.iteration_end(&mut tl);
+            let iter_idx = result.iterations;
             result.iterations += 1;
+            consecutive_restarts += 1;
             let relres = rr.sqrt() / norm_b;
-            result.final_relres = relres;
+            if relres.is_finite() {
+                result.final_relres = relres;
+            }
             if cfg.trace_residuals {
                 result.residual_history.push(relres);
             }
@@ -181,8 +218,30 @@ pub fn run_cg_ws(
                 result.bypass_history.push(stats.tiles_bypassed);
                 result.precision_history.push(current_precision_histogram(shared));
             }
+            // Abort when recovery is impossible: the residual itself went
+            // non-finite, or restarting keeps reproducing the same state (a
+            // restart leaves x and r untouched, so repeated restarts are a
+            // fixed point — exempting fixed-iteration benchmark runs).
+            let abort_nonfinite = !rr.is_finite();
+            let abort_stalled =
+                check_convergence && consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+            let action = if abort_nonfinite || abort_stalled {
+                RecoveryAction::Aborted
+            } else {
+                RecoveryAction::Restarted
+            };
+            result.record_breakdown(iter_idx, kind, action);
+            if abort_nonfinite {
+                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                break;
+            }
+            if abort_stalled {
+                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                break;
+            }
             continue;
         }
+        consecutive_restarts = 0;
 
         // ---- Step C: x += αp; r −= αµ; z = (r,r).
         blas1::axpy(alpha, p, x);
@@ -190,6 +249,18 @@ pub fn run_cg_ws(
         coster.axpy(&mut tl, 2);
         let rr_new = blas1::dot(r, r);
         coster.dot(&mut tl, true);
+        if !rr_new.is_finite() {
+            // Overflowed residual recurrence: the iterate is poisoned and a
+            // restart would rebuild from the same non-finite r. Fail
+            // observably instead of NaN-spinning to max_iter (final_relres
+            // keeps its last finite value).
+            let iter_idx = result.iterations;
+            result.iterations += 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            coster.iteration_end(&mut tl);
+            break;
+        }
 
         // ---- Step D: β = z/(r,r)_old; p = r + βp.
         let beta = rr_new / rr;
@@ -360,6 +431,64 @@ mod tests {
         assert!(res.residual_history.last().unwrap() < &res.residual_history[0]);
         // Error approaches zero.
         assert!(res.error_history.last().unwrap() < &1e-8);
+    }
+
+    #[test]
+    fn indefinite_matrix_fails_finite_with_breakdown_trail() {
+        // A = −I is negative definite: (p, A·p) < 0 immediately, and a
+        // restart reproduces the same state — the solve must terminate as
+        // Stalled with a finite report, not NaN-spin to max_iter.
+        let mut a = Coo::new(64, 64);
+        for i in 0..64 {
+            a.push(i, i, -1.0);
+        }
+        let csr = a.to_csr();
+        let cfg = SolverConfig::default();
+        let (m, mut shared, coster, mut partial, _) = setup(&csr, &cfg);
+        let b = vec![1.0; 64];
+        let res = run_cg(&m, &mut shared, &b, &cfg, &coster, &mut partial);
+        assert!(!res.converged);
+        assert!(res.final_relres.is_finite());
+        assert!(res.x.iter().all(|v| v.is_finite()));
+        assert_eq!(res.iterations, crate::config::MAX_CONSECUTIVE_RESTARTS);
+        assert!(matches!(
+            res.failure,
+            Some(crate::report::SolveFailure::Stalled { .. })
+        ));
+        assert!(!res.breakdowns.is_empty());
+        assert!(res
+            .breakdowns
+            .iter()
+            .all(|e| e.kind == crate::report::BreakdownKind::Curvature));
+        assert_eq!(
+            res.breakdowns.last().unwrap().action,
+            crate::report::RecoveryAction::Aborted
+        );
+    }
+
+    #[test]
+    fn fixed_iteration_mode_keeps_restarting_without_abort() {
+        // Benchmark semantics: fixed-iteration runs charge every iteration
+        // even when each one is a breakdown restart — no stall abort.
+        let mut a = Coo::new(32, 32);
+        for i in 0..32 {
+            a.push(i, i, -1.0);
+        }
+        let csr = a.to_csr();
+        let cfg = SolverConfig {
+            fixed_iterations: Some(20),
+            ..SolverConfig::default()
+        };
+        let (m, mut shared, coster, mut partial, _) = setup(&csr, &cfg);
+        let b = vec![1.0; 32];
+        let res = run_cg(&m, &mut shared, &b, &cfg, &coster, &mut partial);
+        assert_eq!(res.iterations, 20);
+        assert!(res.failure.is_none());
+        assert_eq!(res.breakdowns.len(), 20);
+        assert!(res
+            .breakdowns
+            .iter()
+            .all(|e| e.action == crate::report::RecoveryAction::Restarted));
     }
 
     #[test]

@@ -1,6 +1,23 @@
 //! Solver configuration.
 
 use mf_precision::ClassifyOptions;
+use std::time::Duration;
+
+/// Default watchdog deadline for the threaded single-kernel engines — far
+/// above any healthy solve in this repo's size class, but finite, so a
+/// wedged barrier turns into a structured failure instead of an infinite
+/// spin.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+/// How many *consecutive* breakdown restarts a convergence-mode solve
+/// tolerates before declaring itself stalled. A breakdown restart replaces
+/// the search direction with the current residual without touching `x` or
+/// `r`; once that restart itself breaks down again the state is (up to
+/// dynamic-precision side effects) a fixed point, so a short budget only
+/// truncates provably futile work. Fixed-iteration benchmark runs are
+/// exempt — they intentionally keep iterating past exact convergence,
+/// where restarts are routine.
+pub const MAX_CONSECUTIVE_RESTARTS: usize = 8;
 
 /// Execution-mode selection (§III-C).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +121,15 @@ pub struct SolverConfig {
     /// Host-side kernel parallelism (serial vs tile-row-striped SpMV).
     /// Both paths are bitwise-identical; see [`HostParallelism`].
     pub host_parallelism: HostParallelism,
+    /// Watchdog deadline for the threaded single-kernel engines
+    /// ([`crate::threaded`]): if any warp is still spinning at a dependency
+    /// barrier past this wall-clock budget (measured from solve start), the
+    /// solve is poisoned and returns a [`crate::report::SolveFailure::Wedged`]
+    /// failure instead of hanging. `None` disables the watchdog (the
+    /// paper's idealized deadlock-free assumption); default is
+    /// [`DEFAULT_WATCHDOG`]. Scale it up for workloads whose healthy solves
+    /// legitimately run longer.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for SolverConfig {
@@ -124,6 +150,7 @@ impl Default for SolverConfig {
             trace_partial: false,
             reference_solution: None,
             host_parallelism: HostParallelism::Auto,
+            watchdog: Some(DEFAULT_WATCHDOG),
         }
     }
 }
@@ -172,6 +199,7 @@ mod tests {
         assert_eq!(c.kernel_mode, KernelMode::Auto);
         assert!(c.fixed_iterations.is_none());
         assert_eq!(c.host_parallelism, HostParallelism::Auto);
+        assert_eq!(c.watchdog, Some(DEFAULT_WATCHDOG), "watchdog defaults on");
     }
 
     #[test]

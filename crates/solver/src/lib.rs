@@ -32,6 +32,16 @@
 //! CG engine — warps as OS threads synchronized only through atomic
 //! dependency counters — used to validate that the paper's in-kernel
 //! synchronization scheme is correct and deadlock-free.
+//!
+//! ## Robustness
+//!
+//! Every core fails *finite, fast, and observably*: scalar breakdowns
+//! (curvature, ρ, ω, non-finite) trigger the classical restart, repeated
+//! futile restarts abort as [`SolveFailure::Stalled`], and the threaded
+//! engines add a poison flag plus a watchdog deadline
+//! ([`SolverConfig::watchdog`]) so a panicking or NaN-poisoned warp can
+//! never wedge the process. Reports carry the full [`BreakdownEvent`]
+//! trail; see DESIGN.md "Failure modes and recovery".
 
 pub mod bicgstab;
 pub mod cg;
@@ -44,7 +54,10 @@ pub mod solver;
 pub mod threaded;
 pub mod workspace;
 
-pub use config::{HostParallelism, KernelMode, SolverConfig};
+pub use config::{HostParallelism, KernelMode, SolverConfig, DEFAULT_WATCHDOG};
 pub use workspace::SolverWorkspace;
-pub use report::{ExecutedMode, SolveReport};
+pub use report::{
+    BreakdownEvent, BreakdownKind, ExecutedMode, RecoveryAction, SolveFailure, SolveReport,
+};
 pub use solver::MilleFeuille;
+pub use threaded::ThreadedReport;

@@ -9,12 +9,13 @@
 //! parallel SpMVs instead of serialized dependency levels.
 
 use crate::cg::{mixed_spmv, CoreResult};
-use crate::config::SolverConfig;
+use crate::config::{SolverConfig, MAX_CONSECUTIVE_RESTARTS};
 use crate::coster::MultiCoster;
 use crate::partial::PartialState;
+use crate::report::{BreakdownKind, RecoveryAction, SolveFailure};
 use crate::workspace::SolverWorkspace;
 use mf_gpu::{Phase, Timeline};
-use mf_kernels::{blas1, BlockJacobi, Ic0, Ilu0, MixedSpmvStats, SharedTiles};
+use mf_kernels::{blas1, BlockJacobi, Ic0, Ilu0, SharedTiles};
 use mf_sparse::TiledMatrix;
 
 /// Charges the ILU(0) factorization itself (done once, on device — modeled
@@ -61,19 +62,7 @@ pub fn run_pcg_ws(
     let lu_levels = mf_kernels::level_schedule(&ilu.l, true).num_levels
         + mf_kernels::level_schedule(&ilu.u, false).num_levels;
 
-    let mut result = CoreResult {
-        x: Vec::new(),
-        iterations: 0,
-        converged: false,
-        final_relres: f64::INFINITY,
-        timeline: Timeline::new(),
-        spmv_stats: MixedSpmvStats::default(),
-        residual_history: Vec::new(),
-        error_history: Vec::new(),
-        p_range_history: Vec::new(),
-        bypass_history: Vec::new(),
-        precision_history: Vec::new(),
-    };
+    let mut result = CoreResult::empty();
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
@@ -96,6 +85,7 @@ pub fn run_pcg_ws(
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
+    let mut consecutive_restarts = 0usize;
 
     for _j in 0..iters {
         partial.update(p);
@@ -108,6 +98,11 @@ pub fn run_pcg_ws(
         let alpha = rz / pu;
         if !alpha.is_finite() || pu <= 0.0 {
             // Breakdown restart — the kernel sequence still runs, charge it.
+            let kind = if pu.is_finite() && pu <= 0.0 {
+                BreakdownKind::Curvature
+            } else {
+                BreakdownKind::NonFinite
+            };
             p.copy_from_slice(z);
             rz = blas1::dot(r, z);
             mc.axpy(&mut tl);
@@ -115,9 +110,31 @@ pub fn run_pcg_ws(
             mc.dot(&mut tl, true);
             mc.dot(&mut tl, true);
             mc.axpy(&mut tl);
+            let iter_idx = result.iterations;
             result.iterations += 1;
+            consecutive_restarts += 1;
+            // A restart leaves x and r untouched, so repeating it is a
+            // fixed point (see crate::cg) — abort instead of spinning.
+            let abort_nonfinite = !rz.is_finite();
+            let abort_stalled =
+                check_convergence && consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+            let action = if abort_nonfinite || abort_stalled {
+                RecoveryAction::Aborted
+            } else {
+                RecoveryAction::Restarted
+            };
+            result.record_breakdown(iter_idx, kind, action);
+            if abort_nonfinite {
+                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                break;
+            }
+            if abort_stalled {
+                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                break;
+            }
             continue;
         }
+        consecutive_restarts = 0;
 
         blas1::axpy(alpha, p, x);
         blas1::axpy(-alpha, u, r);
@@ -126,6 +143,15 @@ pub fn run_pcg_ws(
 
         let rr = blas1::dot(r, r);
         mc.dot(&mut tl, true);
+        if !rr.is_finite() {
+            // Poisoned residual: no restart can rebuild finite state from
+            // it. Abort observably (final_relres keeps its last value).
+            let iter_idx = result.iterations;
+            result.iterations += 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            break;
+        }
 
         let zstats = ilu.apply_recursive_into(r, cfg.trsv_leaf, y, z);
         mc.sptrsv_adaptive(&mut tl, &zstats, ilu.nnz(), lu_levels);
@@ -148,6 +174,11 @@ pub fn run_pcg_ws(
             break;
         }
         if !beta.is_finite() {
+            // β = (r,z)_new/(r,z) went non-finite — the preconditioned
+            // correlation collapsed. Record and abort.
+            let iter_idx = result.iterations - 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
             break;
         }
     }
@@ -193,19 +224,7 @@ pub fn run_pcg_ic_ws(
     let lu_levels = mf_kernels::level_schedule(&ic.l, true).num_levels
         + mf_kernels::level_schedule(&ic.lt, false).num_levels;
 
-    let mut result = CoreResult {
-        x: Vec::new(),
-        iterations: 0,
-        converged: false,
-        final_relres: f64::INFINITY,
-        timeline: Timeline::new(),
-        spmv_stats: MixedSpmvStats::default(),
-        residual_history: Vec::new(),
-        error_history: Vec::new(),
-        p_range_history: Vec::new(),
-        bypass_history: Vec::new(),
-        precision_history: Vec::new(),
-    };
+    let mut result = CoreResult::empty();
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
@@ -228,6 +247,7 @@ pub fn run_pcg_ic_ws(
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
+    let mut consecutive_restarts = 0usize;
 
     for _j in 0..iters {
         partial.update(p);
@@ -239,6 +259,12 @@ pub fn run_pcg_ic_ws(
         mc.dot(&mut tl, true);
         let alpha = rz / pu;
         if !alpha.is_finite() || pu <= 0.0 {
+            // Breakdown restart — the kernel sequence still runs, charge it.
+            let kind = if pu.is_finite() && pu <= 0.0 {
+                BreakdownKind::Curvature
+            } else {
+                BreakdownKind::NonFinite
+            };
             p.copy_from_slice(z);
             rz = blas1::dot(r, z);
             mc.axpy(&mut tl);
@@ -246,9 +272,31 @@ pub fn run_pcg_ic_ws(
             mc.dot(&mut tl, true);
             mc.dot(&mut tl, true);
             mc.axpy(&mut tl);
+            let iter_idx = result.iterations;
             result.iterations += 1;
+            consecutive_restarts += 1;
+            // A restart leaves x and r untouched, so repeating it is a
+            // fixed point (see crate::cg) — abort instead of spinning.
+            let abort_nonfinite = !rz.is_finite();
+            let abort_stalled =
+                check_convergence && consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+            let action = if abort_nonfinite || abort_stalled {
+                RecoveryAction::Aborted
+            } else {
+                RecoveryAction::Restarted
+            };
+            result.record_breakdown(iter_idx, kind, action);
+            if abort_nonfinite {
+                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                break;
+            }
+            if abort_stalled {
+                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                break;
+            }
             continue;
         }
+        consecutive_restarts = 0;
 
         blas1::axpy(alpha, p, x);
         blas1::axpy(-alpha, u, r);
@@ -256,6 +304,15 @@ pub fn run_pcg_ic_ws(
         mc.axpy(&mut tl);
         let rr = blas1::dot(r, r);
         mc.dot(&mut tl, true);
+        if !rr.is_finite() {
+            // Poisoned residual: no restart can rebuild finite state from
+            // it. Abort observably (final_relres keeps its last value).
+            let iter_idx = result.iterations;
+            result.iterations += 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            break;
+        }
 
         let zstats = ic.apply_recursive_into(r, cfg.trsv_leaf, y, z);
         mc.sptrsv_adaptive(&mut tl, &zstats, ic.nnz(), lu_levels);
@@ -278,6 +335,11 @@ pub fn run_pcg_ic_ws(
             break;
         }
         if !beta.is_finite() {
+            // β = (r,z)_new/(r,z) went non-finite — the preconditioned
+            // correlation collapsed. Record and abort.
+            let iter_idx = result.iterations - 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
             break;
         }
     }
@@ -335,19 +397,7 @@ pub fn run_pcg_bj_ws(
     );
     tl.add(Phase::Sync, mc.cost.launch_us());
 
-    let mut result = CoreResult {
-        x: Vec::new(),
-        iterations: 0,
-        converged: false,
-        final_relres: f64::INFINITY,
-        timeline: Timeline::new(),
-        spmv_stats: MixedSpmvStats::default(),
-        residual_history: Vec::new(),
-        error_history: Vec::new(),
-        p_range_history: Vec::new(),
-        bypass_history: Vec::new(),
-        precision_history: Vec::new(),
-    };
+    let mut result = CoreResult::empty();
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
@@ -370,6 +420,7 @@ pub fn run_pcg_bj_ws(
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
+    let mut consecutive_restarts = 0usize;
 
     for _j in 0..iters {
         partial.update(p);
@@ -381,6 +432,12 @@ pub fn run_pcg_bj_ws(
         mc.dot(&mut tl, true);
         let alpha = rz / pu;
         if !alpha.is_finite() || pu <= 0.0 {
+            // Breakdown restart — the kernel sequence still runs, charge it.
+            let kind = if pu.is_finite() && pu <= 0.0 {
+                BreakdownKind::Curvature
+            } else {
+                BreakdownKind::NonFinite
+            };
             p.copy_from_slice(z);
             rz = blas1::dot(r, z);
             mc.axpy(&mut tl);
@@ -388,9 +445,31 @@ pub fn run_pcg_bj_ws(
             mc.dot(&mut tl, true);
             mc.dot(&mut tl, true);
             mc.axpy(&mut tl);
+            let iter_idx = result.iterations;
             result.iterations += 1;
+            consecutive_restarts += 1;
+            // A restart leaves x and r untouched, so repeating it is a
+            // fixed point (see crate::cg) — abort instead of spinning.
+            let abort_nonfinite = !rz.is_finite();
+            let abort_stalled =
+                check_convergence && consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+            let action = if abort_nonfinite || abort_stalled {
+                RecoveryAction::Aborted
+            } else {
+                RecoveryAction::Restarted
+            };
+            result.record_breakdown(iter_idx, kind, action);
+            if abort_nonfinite {
+                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                break;
+            }
+            if abort_stalled {
+                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                break;
+            }
             continue;
         }
+        consecutive_restarts = 0;
 
         blas1::axpy(alpha, p, x);
         blas1::axpy(-alpha, u, r);
@@ -398,6 +477,15 @@ pub fn run_pcg_bj_ws(
         mc.axpy(&mut tl);
         let rr = blas1::dot(r, r);
         mc.dot(&mut tl, true);
+        if !rr.is_finite() {
+            // Poisoned residual: no restart can rebuild finite state from
+            // it. Abort observably (final_relres keeps its last value).
+            let iter_idx = result.iterations;
+            result.iterations += 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            break;
+        }
 
         bj.apply_into(r, z);
         mc.block_jacobi(&mut tl, bj);
@@ -420,6 +508,11 @@ pub fn run_pcg_bj_ws(
             break;
         }
         if !beta.is_finite() {
+            // β = (r,z)_new/(r,z) went non-finite — the preconditioned
+            // correlation collapsed. Record and abort.
+            let iter_idx = result.iterations - 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
             break;
         }
     }
@@ -466,19 +559,7 @@ pub fn run_pbicgstab_ws(
     let lu_levels = mf_kernels::level_schedule(&ilu.l, true).num_levels
         + mf_kernels::level_schedule(&ilu.u, false).num_levels;
 
-    let mut result = CoreResult {
-        x: Vec::new(),
-        iterations: 0,
-        converged: false,
-        final_relres: f64::INFINITY,
-        timeline: Timeline::new(),
-        spmv_stats: MixedSpmvStats::default(),
-        residual_history: Vec::new(),
-        error_history: Vec::new(),
-        p_range_history: Vec::new(),
-        bypass_history: Vec::new(),
-        precision_history: Vec::new(),
-    };
+    let mut result = CoreResult::empty();
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
@@ -499,6 +580,7 @@ pub fn run_pbicgstab_ws(
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
+    let mut consecutive_restarts = 0usize;
 
     for _j in 0..iters {
         // p̂ = M⁻¹ p ; v = A p̂.
@@ -514,9 +596,14 @@ pub fn run_pbicgstab_ws(
         let alpha = rho / denom;
         if !alpha.is_finite() || denom.abs() < f64::MIN_POSITIVE {
             // Breakdown restart — charge the remaining pipeline.
+            let kind = if !alpha.is_finite() {
+                BreakdownKind::NonFinite
+            } else {
+                BreakdownKind::Rho
+            };
             p.copy_from_slice(r);
             rho = blas1::dot(r, r0s);
-            if rho == 0.0 {
+            if rho.abs() < f64::MIN_POSITIVE {
                 rho = blas1::dot(r, r);
             }
             mc.axpy(&mut tl);
@@ -530,7 +617,27 @@ pub fn run_pbicgstab_ws(
             mc.dot(&mut tl, true);
             mc.dot(&mut tl, true);
             mc.axpy(&mut tl);
+            let iter_idx = result.iterations;
             result.iterations += 1;
+            consecutive_restarts += 1;
+            // Same fixed-point argument as the sequential BiCGSTAB core.
+            let abort_nonfinite = !rho.is_finite();
+            let abort_stalled =
+                check_convergence && consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+            let action = if abort_nonfinite || abort_stalled {
+                RecoveryAction::Aborted
+            } else {
+                RecoveryAction::Restarted
+            };
+            result.record_breakdown(iter_idx, kind, action);
+            if abort_nonfinite {
+                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                break;
+            }
+            if abort_stalled {
+                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                break;
+            }
             continue;
         }
 
@@ -563,6 +670,15 @@ pub fn run_pbicgstab_ws(
         mc.dot(&mut tl, false);
         let rr = blas1::dot(r, r);
         mc.dot(&mut tl, true); // scalar pair -> one readback
+        consecutive_restarts = 0; // x and r advanced: real progress
+
+        if !rr.is_finite() {
+            let iter_idx = result.iterations;
+            result.iterations += 1;
+            result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
+            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            break;
+        }
 
         result.iterations += 1;
         let relres = rr.sqrt() / norm_b;
@@ -577,9 +693,17 @@ pub fn run_pbicgstab_ws(
 
         let beta = (rho_new / rho) * (alpha / omega);
         if !beta.is_finite() || omega == 0.0 || rho_new.abs() < f64::MIN_POSITIVE {
+            let kind = if omega == 0.0 {
+                BreakdownKind::Omega
+            } else if rho_new.abs() < f64::MIN_POSITIVE {
+                BreakdownKind::Rho
+            } else {
+                BreakdownKind::NonFinite
+            };
+            result.record_breakdown(result.iterations - 1, kind, RecoveryAction::Restarted);
             p.copy_from_slice(r);
             rho = blas1::dot(r, r0s);
-            if rho == 0.0 {
+            if rho.abs() < f64::MIN_POSITIVE {
                 rho = blas1::dot(r, r);
             }
             mc.axpy(&mut tl); // the p-update kernel still runs

@@ -5,6 +5,83 @@ use mf_gpu::Timeline;
 use mf_kernels::MixedSpmvStats;
 use mf_sparse::TiledMemory;
 
+/// What went numerically wrong in one iteration (the breakdown taxonomy of
+/// the robustness layer; see DESIGN.md "Failure modes and recovery").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakdownKind {
+    /// CG curvature failure: `(p, A·p) ≤ 0`. The matrix is not SPD on the
+    /// current subspace (indefinite input, or quantization pushed a
+    /// borderline system off the cone).
+    Curvature,
+    /// BiCGSTAB ρ breakdown: the shadow-residual correlation `(r, r0*)`
+    /// collapsed to (sub)normal zero.
+    Rho,
+    /// BiCGSTAB ω breakdown: the stabilization scalar was zero
+    /// (`(θ, θ) = 0`).
+    Omega,
+    /// A recurrence scalar (α, β, ρ or ‖r‖²) became NaN or infinite.
+    NonFinite,
+    /// The watchdog deadline expired while a warp was stuck at a barrier.
+    Watchdog,
+    /// A warp panicked; the poison flag released its siblings.
+    Panic,
+}
+
+/// What the solver did in response to a breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The Krylov process was restarted from the current residual and the
+    /// solve continued.
+    Restarted,
+    /// The solve was terminated with a structured [`SolveFailure`].
+    Aborted,
+}
+
+/// One observed breakdown: where it happened, what it was, what was done.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakdownEvent {
+    /// Zero-based iteration index at which the breakdown was detected.
+    pub iteration: usize,
+    /// Breakdown classification.
+    pub kind: BreakdownKind,
+    /// Recovery decision.
+    pub action: RecoveryAction,
+}
+
+/// Structured description of a solve that terminated abnormally. `None` in
+/// a report means the solve either converged or simply ran out of
+/// iterations — callers can now distinguish "converged", "ran out of
+/// iterations" and "broke down" without inspecting residuals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveFailure {
+    /// A threaded barrier failed to clear before the watchdog deadline
+    /// ([`crate::SolverConfig::watchdog`]); the solve was poisoned and all
+    /// warps released. `iteration` is the last fully completed iteration.
+    Wedged {
+        /// Last fully completed iteration count.
+        iteration: usize,
+    },
+    /// A warp panicked (e.g. malformed matrix indexing); the poison flag
+    /// converted the would-be hang into this failure.
+    WarpPanic {
+        /// Index of the warp that panicked.
+        warp: usize,
+        /// Downcast panic payload.
+        message: String,
+    },
+    /// The iterate state became non-finite and no restart could recover it.
+    NonFinite {
+        /// Iteration at which the non-finite state was detected.
+        iteration: usize,
+    },
+    /// Breakdown restarts reached a fixed point (restarting from the same
+    /// residual repeatedly) — continuing could make no progress.
+    Stalled {
+        /// Iteration at which the solve was declared stalled.
+        iteration: usize,
+    },
+}
+
 /// Which execution path actually ran (after the Auto decision).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecutedMode {
@@ -56,6 +133,11 @@ pub struct SolveReport {
     /// Preprocessing wall-clock on the host running this simulation, in µs
     /// (informational; the modeled preprocess time is in `timeline`).
     pub preprocess_wall_us: f64,
+    /// Every breakdown the core observed (iteration, kind, recovery).
+    pub breakdowns: Vec<BreakdownEvent>,
+    /// Set when the solve terminated abnormally (poisoned, stalled, or
+    /// non-finite); `None` for converged and plain out-of-iterations runs.
+    pub failure: Option<SolveFailure>,
 }
 
 impl SolveReport {
@@ -99,6 +181,16 @@ impl SolveReport {
         (rr / bb.max(f64::MIN_POSITIVE)).sqrt()
     }
 
+    /// `true` when the solve recovered from at least one breakdown and
+    /// still ran to a normal termination (converged or out of iterations).
+    pub fn recovered(&self) -> bool {
+        self.failure.is_none()
+            && self
+                .breakdowns
+                .iter()
+                .any(|e| e.action == RecoveryAction::Restarted)
+    }
+
     /// Fraction of nonzero work bypassed entirely.
     pub fn bypass_fraction(&self) -> f64 {
         let total = self.spmv_stats.nnz_total();
@@ -132,6 +224,8 @@ mod tests {
             bypass_history: vec![],
             precision_history: vec![],
             preprocess_wall_us: 0.0,
+            breakdowns: vec![],
+            failure: None,
         }
     }
 
@@ -149,6 +243,20 @@ mod tests {
         r.spmv_stats.nnz_bypassed = 20;
         assert!((r.low_precision_fraction() - 0.5).abs() < 1e-12);
         assert!((r.bypass_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovered_requires_restart_without_failure() {
+        let mut r = dummy();
+        assert!(!r.recovered(), "no breakdowns -> not 'recovered'");
+        r.breakdowns.push(BreakdownEvent {
+            iteration: 3,
+            kind: BreakdownKind::Curvature,
+            action: RecoveryAction::Restarted,
+        });
+        assert!(r.recovered());
+        r.failure = Some(SolveFailure::Stalled { iteration: 5 });
+        assert!(!r.recovered(), "a terminal failure is not a recovery");
     }
 
     #[test]

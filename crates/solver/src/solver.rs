@@ -182,6 +182,8 @@ impl MilleFeuille {
             bypass_history: core.bypass_history,
             precision_history: core.precision_history,
             preprocess_wall_us: pre.wall_us,
+            breakdowns: core.breakdowns,
+            failure: core.failure,
         }
     }
 
@@ -213,6 +215,45 @@ impl MilleFeuille {
         let core = run_cg_ws(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial, ws);
         let warps = coster.warp_count();
         self.assemble(a, pre, mode, warps, core)
+    }
+
+    /// Solves `A x = b` with the *real* multi-threaded single-kernel CG
+    /// engine (warps as OS threads, atomic-counter synchronization). The
+    /// solve inherits `tolerance`, `max_iter` and [`SolverConfig::watchdog`]
+    /// from this facade's config; `max_warps` caps the thread count.
+    pub fn solve_cg_threaded(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        max_warps: usize,
+    ) -> crate::threaded::ThreadedReport {
+        let pre = self.preprocess(a);
+        crate::threaded::run_cg_threaded_watchdog(
+            &pre.tiled,
+            b,
+            self.config.tolerance,
+            self.config.max_iter,
+            max_warps,
+            self.config.watchdog,
+        )
+    }
+
+    /// Threaded single-kernel BiCGSTAB; see [`Self::solve_cg_threaded`].
+    pub fn solve_bicgstab_threaded(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        max_warps: usize,
+    ) -> crate::threaded::ThreadedReport {
+        let pre = self.preprocess(a);
+        crate::threaded::run_bicgstab_threaded_watchdog(
+            &pre.tiled,
+            b,
+            self.config.tolerance,
+            self.config.max_iter,
+            max_warps,
+            self.config.watchdog,
+        )
     }
 
     /// Solves `A x = b` with BiCGSTAB (A nonsymmetric or indefinite).
@@ -369,6 +410,36 @@ mod tests {
         for v in &rep.x {
             assert!((v - 1.0).abs() < 1e-7);
         }
+    }
+
+    #[test]
+    fn facade_threaded_engines_inherit_config() {
+        let a = poisson1d(300);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let rep = solver.solve_cg_threaded(&a, &b, 4);
+        assert!(rep.converged);
+        assert!(rep.failure.is_none());
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+        let rep = solver.solve_bicgstab_threaded(&a, &b, 4);
+        assert!(rep.converged);
+        assert!(rep.failure.is_none());
+
+        // An indefinite matrix through the facade must fail *finite* within
+        // the configured watchdog, with a structured failure attached.
+        let mut neg = Coo::new(64, 64);
+        for i in 0..64 {
+            neg.push(i, i, -1.0);
+        }
+        let neg = neg.to_csr();
+        let b = vec![1.0; 64];
+        let rep = solver.solve_cg_threaded(&neg, &b, 4);
+        assert!(!rep.converged);
+        assert!(rep.failure.is_some());
+        assert!(!rep.breakdowns.is_empty());
+        assert!(rep.final_relres.is_finite());
     }
 
     #[test]

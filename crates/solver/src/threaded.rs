@@ -17,10 +17,42 @@
 //! barrier waits for an iteration-scaled target (`init·(j+1)`). This is
 //! behaviourally identical, race-free by construction, and uses the same
 //! number of atomic operations.
+//!
+//! ## Robustness (deviation from the paper)
+//!
+//! The paper assumes well-behaved SPD inputs, where the scheme is indeed
+//! deadlock-free. On real inputs two extra failure classes appear and both
+//! used to wedge the process forever:
+//!
+//! * **Numerical breakdown** — an indefinite matrix makes `α = rr/pᵀAp`
+//!   meaningless (or NaN), the NaN propagates into every vector, and
+//!   `relres < tol` is never true again. Both engines now run the same
+//!   breakdown-restart semantics as the sequential cores: the decision is
+//!   derived from the *shared* dot accumulators after a barrier, so every
+//!   warp takes the identical branch and the barrier epochs stay aligned.
+//!   Futile restart loops abort as [`SolveFailure::Stalled`].
+//! * **A stuck warp** — a panic (e.g. out-of-bounds indexing on a
+//!   malformed [`TiledMatrix`]) leaves its siblings spinning on a counter
+//!   that will never advance. Every warp body runs under
+//!   [`std::panic::catch_unwind`]; the catcher sets a shared **poison
+//!   flag** that every spin loop polls, converting the would-be hang into
+//!   a [`SolveFailure::WarpPanic`]. A configurable **watchdog deadline**
+//!   ([`crate::SolverConfig::watchdog`]) backstops everything else: any
+//!   warp that observes the deadline expired poisons the solve and all
+//!   warps return a [`SolveFailure::Wedged`] report.
+//!
+//! The poison flag and the `Mutex`-free failure cells are *failure-path*
+//! machinery only: on a healthy solve the per-iteration overhead is one
+//! relaxed load per spin poll and one `Instant::now()` per iteration, and
+//! the iterate arithmetic is bitwise-unchanged.
 
+use crate::config::{DEFAULT_WATCHDOG, MAX_CONSECUTIVE_RESTARTS};
+use crate::report::{BreakdownEvent, BreakdownKind, RecoveryAction, SolveFailure};
 use mf_gpu::SpmvSchedule;
 use mf_sparse::TiledMatrix;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Result of a threaded solve.
 #[derive(Clone, Debug)]
@@ -31,11 +63,29 @@ pub struct ThreadedReport {
     pub iterations: usize,
     /// Converged within tolerance.
     pub converged: bool,
-    /// Final relative residual (recurrence).
+    /// Final relative residual (recurrence; last *finite* value observed).
     pub final_relres: f64,
     /// Warps (threads) used.
     pub warps: usize,
+    /// Every breakdown observed, in iteration order (warp 0's trail — the
+    /// decisions are deterministic, so every warp records the same one).
+    pub breakdowns: Vec<BreakdownEvent>,
+    /// Set when the solve terminated abnormally; `None` for converged and
+    /// plain out-of-iterations runs.
+    pub failure: Option<SolveFailure>,
 }
+
+// Poison codes: why the solve was released early. First writer wins (CAS
+// from NONE), every spin loop polls the flag.
+const POISON_NONE: i64 = 0;
+const POISON_WEDGED: i64 = 1;
+const POISON_PANIC: i64 = 2;
+
+// Deterministic-abort codes, set by warp 0 (all warps reach the identical
+// decision from shared accumulator reads).
+const FAIL_NONE: i64 = 0;
+const FAIL_NONFINITE: i64 = 1;
+const FAIL_STALLED: i64 = 2;
 
 /// Adds `v` to an `f64` stored as bits in an `AtomicU64` (the CPU analogue
 /// of `atomicAdd(double*)`).
@@ -51,22 +101,191 @@ fn atomic_add_f64(cell: &AtomicU64, v: f64) {
     }
 }
 
-#[inline]
-fn spin_until(counter: &AtomicI64, target: i64) {
-    let mut polls = 0u32;
-    while counter.load(Ordering::Acquire) < target {
-        std::hint::spin_loop();
-        polls += 1;
-        if polls.is_multiple_of(512) {
-            std::thread::yield_now();
+/// Per-warp view of the shared poison flag and the watchdog deadline; all
+/// barrier waits go through [`WarpSync::spin_until`], which is where a
+/// stuck solve is detected and broken.
+#[derive(Clone, Copy)]
+struct WarpSync<'a> {
+    poison: &'a AtomicI64,
+    deadline: Option<Instant>,
+}
+
+impl WarpSync<'_> {
+    /// Spins until `counter >= target`, or fails with the poison code when
+    /// the solve was poisoned or the watchdog deadline expired while
+    /// waiting. The deadline is polled every 512 spins (including the very
+    /// first unsatisfied one, so an already-expired deadline is detected
+    /// deterministically).
+    #[inline]
+    fn spin_until(&self, counter: &AtomicI64, target: i64) -> Result<(), i64> {
+        let mut polls = 0u32;
+        loop {
+            if counter.load(Ordering::Acquire) >= target {
+                return Ok(());
+            }
+            let code = self.poison.load(Ordering::Acquire);
+            if code != POISON_NONE {
+                return Err(code);
+            }
+            if polls.is_multiple_of(512) {
+                if let Some(d) = self.deadline {
+                    if Instant::now() >= d {
+                        let _ = self.poison.compare_exchange(
+                            POISON_NONE,
+                            POISON_WEDGED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        return Err(self.poison.load(Ordering::Acquire));
+                    }
+                }
+                std::thread::yield_now();
+            }
+            std::hint::spin_loop();
+            polls = polls.wrapping_add(1);
+        }
+    }
+
+    /// Top-of-iteration gate: fail fast if the solve is already poisoned
+    /// or past the deadline (this is what makes a zero/elapsed deadline
+    /// deterministic even for warps that never wait at a barrier).
+    #[inline]
+    fn iteration_gate(&self) -> Result<(), i64> {
+        let code = self.poison.load(Ordering::Acquire);
+        if code != POISON_NONE {
+            return Err(code);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                let _ = self.poison.compare_exchange(
+                    POISON_NONE,
+                    POISON_WEDGED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                return Err(self.poison.load(Ordering::Acquire));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic-failure cell set by warp 0; first write wins.
+struct FailureCell {
+    code: AtomicI64,
+    iter: AtomicI64,
+}
+
+impl FailureCell {
+    fn new() -> FailureCell {
+        FailureCell {
+            code: AtomicI64::new(FAIL_NONE),
+            iter: AtomicI64::new(0),
+        }
+    }
+
+    fn set(&self, code: i64, iter: i64) {
+        if self
+            .code
+            .compare_exchange(FAIL_NONE, code, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.iter.store(iter, Ordering::Release);
         }
     }
 }
 
-/// Runs CG on `max_warps.min(segments)` threads synchronized purely through
-/// atomic dependency counters. Tiles execute at their stored (initial)
-/// precision; the dynamic strategy is not exercised here — this engine
-/// validates the *synchronization* scheme.
+/// What one warp thread hands back through its join handle.
+struct WarpOut {
+    events: Vec<BreakdownEvent>,
+    panic: Option<String>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "warp panicked with a non-string payload".to_string()
+    }
+}
+
+/// Segment ownership: warp `w` owns segments `[seg_lo[w], seg_lo[w+1])`.
+fn segment_bounds(segments: usize, warps: usize) -> Vec<usize> {
+    let base = segments / warps;
+    let extra = segments % warps;
+    let mut seg_lo = Vec::with_capacity(warps + 1);
+    seg_lo.push(0usize);
+    for w in 0..warps {
+        seg_lo.push(seg_lo[w] + base + usize::from(w < extra));
+    }
+    seg_lo
+}
+
+/// Assembles the report from the shared cells and the per-warp outputs:
+/// panics beat the watchdog beat the deterministic aborts, and the host
+/// appends the terminal Panic/Watchdog event to warp 0's trail.
+#[allow(clippy::too_many_arguments)]
+fn finish_report(
+    x: &[AtomicU64],
+    warps: usize,
+    iterations_done: &AtomicI64,
+    converged_flag: &AtomicI64,
+    final_relres_bits: &AtomicU64,
+    poison: &AtomicI64,
+    failure_cell: &FailureCell,
+    mut outs: Vec<WarpOut>,
+) -> ThreadedReport {
+    let iterations = iterations_done.load(Ordering::Acquire) as usize;
+    let mut breakdowns = if outs.is_empty() {
+        Vec::new()
+    } else {
+        std::mem::take(&mut outs[0].events)
+    };
+    let panic_hit = outs
+        .iter()
+        .enumerate()
+        .find_map(|(w, o)| o.panic.as_ref().map(|m| (w, m.clone())));
+    let failure = if let Some((warp, message)) = panic_hit {
+        breakdowns.push(BreakdownEvent {
+            iteration: iterations,
+            kind: BreakdownKind::Panic,
+            action: RecoveryAction::Aborted,
+        });
+        Some(SolveFailure::WarpPanic { warp, message })
+    } else if poison.load(Ordering::Acquire) == POISON_WEDGED {
+        breakdowns.push(BreakdownEvent {
+            iteration: iterations,
+            kind: BreakdownKind::Watchdog,
+            action: RecoveryAction::Aborted,
+        });
+        Some(SolveFailure::Wedged {
+            iteration: iterations,
+        })
+    } else {
+        let iter = failure_cell.iter.load(Ordering::Acquire) as usize;
+        match failure_cell.code.load(Ordering::Acquire) {
+            FAIL_NONFINITE => Some(SolveFailure::NonFinite { iteration: iter }),
+            FAIL_STALLED => Some(SolveFailure::Stalled { iteration: iter }),
+            _ => None,
+        }
+    };
+    ThreadedReport {
+        x: x.iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
+            .collect(),
+        iterations,
+        converged: converged_flag.load(Ordering::Acquire) == 1,
+        final_relres: f64::from_bits(final_relres_bits.load(Ordering::Acquire)),
+        warps,
+        breakdowns,
+        failure,
+    }
+}
+
+/// Runs CG with the default watchdog ([`DEFAULT_WATCHDOG`]); see
+/// [`run_cg_threaded_watchdog`].
 ///
 /// ```
 /// use mf_solver::threaded::run_cg_threaded;
@@ -95,6 +314,24 @@ pub fn run_cg_threaded(
     max_iter: usize,
     max_warps: usize,
 ) -> ThreadedReport {
+    run_cg_threaded_watchdog(m, b, tol, max_iter, max_warps, Some(DEFAULT_WATCHDOG))
+}
+
+/// Runs CG on `max_warps.min(segments)` threads synchronized purely through
+/// atomic dependency counters. Tiles execute at their stored (initial)
+/// precision; the dynamic strategy is not exercised here — this engine
+/// validates the *synchronization* scheme.
+///
+/// `watchdog` is an absolute wall-clock budget for the whole solve; `None`
+/// disables it (the paper's idealized deadlock-free assumption).
+pub fn run_cg_threaded_watchdog(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
     let n = m.nrows;
     assert_eq!(b.len(), n);
     assert_eq!(m.nrows, m.ncols);
@@ -103,15 +340,7 @@ pub fn run_cg_threaded(
     let ts = m.tile_size;
     let segments = n.div_ceil(ts).max(1);
     let warps = segments.min(max_warps).max(1);
-
-    // Segment ownership: warp w owns segments [seg_lo[w], seg_lo[w+1]).
-    let base = segments / warps;
-    let extra = segments % warps;
-    let mut seg_lo = Vec::with_capacity(warps + 1);
-    seg_lo.push(0usize);
-    for w in 0..warps {
-        seg_lo.push(seg_lo[w] + base + usize::from(w < extra));
-    }
+    let seg_lo = segment_bounds(segments, warps);
 
     let spmv = SpmvSchedule::for_warps(m, warps);
 
@@ -129,6 +358,8 @@ pub fn run_cg_threaded(
             converged: true,
             final_relres: 0.0,
             warps,
+            breakdowns: Vec::new(),
+            failure: None,
         };
     }
 
@@ -172,10 +403,14 @@ pub fn run_cg_threaded(
     let iterations_done = AtomicI64::new(0);
     let converged_flag = AtomicI64::new(0);
     let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
+    let poison = AtomicI64::new(POISON_NONE);
+    let failure_cell = FailureCell::new();
+    let deadline = watchdog.map(|d| Instant::now() + d);
 
     let warps_i = warps as i64;
 
-    crossbeam::scope(|scope| {
+    let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(warps);
         for w in 0..warps {
             let (x, r, p, u) = (&x, &r, &p, &u);
             let (d_s, d_d, d_a) = (&d_s, &d_d, &d_a);
@@ -186,140 +421,287 @@ pub fn run_cg_threaded(
             let iterations_done = &iterations_done;
             let converged_flag = &converged_flag;
             let final_relres_bits = &final_relres_bits;
-            scope.spawn(move |_| {
-                let my_segs = seg_lo[w]..seg_lo[w + 1];
-                let elems = |s: usize| (s * ts)..(((s + 1) * ts).min(n));
-                let my_tiles = if w < spmv.warp_tiles.len() {
-                    let (lo, hi) = spmv.warp_tiles[w];
-                    lo..hi
-                } else {
-                    0..0
-                };
-                // Decode my tiles once ("load into shared memory").
-                let tile_vals: Vec<Vec<f64>> =
-                    my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+            let poison = &poison;
+            let failure_cell = &failure_cell;
+            handles.push(scope.spawn(move |_| {
+                let sync = WarpSync { poison, deadline };
+                let mut events: Vec<BreakdownEvent> = Vec::new();
+                let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
+                    let my_segs = seg_lo[w]..seg_lo[w + 1];
+                    let elems = |s: usize| (s * ts)..(((s + 1) * ts).min(n));
+                    let my_tiles = if w < spmv.warp_tiles.len() {
+                        let (lo, hi) = spmv.warp_tiles[w];
+                        lo..hi
+                    } else {
+                        0..0
+                    };
+                    // Decode my tiles once ("load into shared memory").
+                    let tile_vals: Vec<Vec<f64>> =
+                        my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
 
-                let mut rr = rr0;
-                let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
-                let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+                    let mut rr = rr0;
+                    let mut consecutive_restarts = 0usize;
+                    let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
+                    let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
 
-                for j in 0..max_iter as i64 {
-                    let cell = (j % 2) as usize;
-                    if w == 0 {
-                        // Reset the *other* parity's accumulators for the
-                        // next iteration (no warp can touch them before the
-                        // upcoming Step-D barrier).
-                        acc_y[1 - cell].store(0f64.to_bits(), Ordering::Release);
-                        acc_z[1 - cell].store(0f64.to_bits(), Ordering::Release);
-                    }
-
-                    // ---- Step A: tiled SpMV u += A_tile · p over my tiles.
-                    for (ti, i) in my_tiles.clone().enumerate() {
-                        let base_row = m.tile_rowidx[i] as usize * ts;
-                        let base_col = m.tile_colidx[i] as usize * ts;
-                        let nnz_base = m.tile_nnz[i] as usize;
-                        let vals = &tile_vals[ti];
-                        for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
-                            let row = base_row + m.row_index[ri] as usize;
-                            let mut sum = 0.0;
-                            for k in m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
-                            {
-                                sum += vals[k - nnz_base]
-                                    * ld(&p[base_col + m.csr_colidx[k] as usize]);
-                            }
-                            atomic_add_f64(&u[row], sum);
-                        }
-                        // atomicSub(d_s[...]) in the paper; monotone epoch here.
-                        d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
-                    }
-
-                    // ---- Step B: dot (u, p) over my segments, after their
-                    // row tiles complete.
-                    let mut part = 0.0;
-                    for s in my_segs.clone() {
-                        if s < ds_init.len() {
-                            spin_until(&d_s[s], ds_init[s] * (j + 1));
-                        }
-                        for e in elems(s) {
-                            part += ld(&u[e]) * ld(&p[e]);
-                        }
-                    }
-                    atomic_add_f64(&acc_y[cell], part);
-                    d_d.fetch_add(1, Ordering::AcqRel);
-                    spin_until(d_d, warps_i * (2 * j + 1));
-                    let alpha = rr / ld(&acc_y[cell]);
-
-                    // ---- Step C: x += αp, r −= αu, then dot (r, r).
-                    let mut part_z = 0.0;
-                    for s in my_segs.clone() {
-                        for e in elems(s) {
-                            st(&x[e], ld(&x[e]) + alpha * ld(&p[e]));
-                            let rv = ld(&r[e]) - alpha * ld(&u[e]);
-                            st(&r[e], rv);
-                            part_z += rv * rv;
-                        }
-                    }
-                    atomic_add_f64(&acc_z[cell], part_z);
-                    d_d.fetch_add(1, Ordering::AcqRel);
-                    spin_until(d_d, warps_i * (2 * j + 2));
-                    let rr_new = ld(&acc_z[cell]);
-                    let beta = rr_new / rr;
-                    rr = rr_new;
-
-                    // ---- Step D: p = r + βp; zero my u segments for the
-                    // next iteration (everyone is past reading u).
-                    for s in my_segs.clone() {
-                        for e in elems(s) {
-                            st(&p[e], ld(&r[e]) + beta * ld(&p[e]));
-                            st(&u[e], 0.0);
-                        }
-                    }
-                    d_a.fetch_add(1, Ordering::AcqRel);
-                    spin_until(d_a, warps_i * (j + 1));
-
-                    // All warps compute the identical residual decision —
-                    // the in-kernel convergence check of Algorithm 3.
-                    let relres = rr_new.max(0.0).sqrt() / norm_b;
-                    if w == 0 {
-                        iterations_done.store(j + 1, Ordering::Release);
-                        final_relres_bits.store(relres.to_bits(), Ordering::Release);
-                    }
-                    if relres < tol {
+                    for j in 0..max_iter as i64 {
+                        sync.iteration_gate()?;
+                        let cell = (j % 2) as usize;
                         if w == 0 {
-                            converged_flag.store(1, Ordering::Release);
+                            // Reset the *other* parity's accumulators for the
+                            // next iteration (no warp can touch them before the
+                            // upcoming Step-D barrier).
+                            acc_y[1 - cell].store(0f64.to_bits(), Ordering::Release);
+                            acc_z[1 - cell].store(0f64.to_bits(), Ordering::Release);
                         }
-                        break;
+
+                        // ---- Step A: tiled SpMV u += A_tile · p over my tiles.
+                        for (ti, i) in my_tiles.clone().enumerate() {
+                            let base_row = m.tile_rowidx[i] as usize * ts;
+                            let base_col = m.tile_colidx[i] as usize * ts;
+                            let nnz_base = m.tile_nnz[i] as usize;
+                            let vals = &tile_vals[ti];
+                            for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                let row = base_row + m.row_index[ri] as usize;
+                                let mut sum = 0.0;
+                                for k in
+                                    m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                                {
+                                    sum += vals[k - nnz_base]
+                                        * ld(&p[base_col + m.csr_colidx[k] as usize]);
+                                }
+                                atomic_add_f64(&u[row], sum);
+                            }
+                            // atomicSub(d_s[...]) in the paper; monotone epoch here.
+                            d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
+                        }
+
+                        // ---- Step B: dot (u, p) over my segments, after their
+                        // row tiles complete.
+                        let mut part = 0.0;
+                        for s in my_segs.clone() {
+                            if s < ds_init.len() {
+                                sync.spin_until(&d_s[s], ds_init[s] * (j + 1))?;
+                            }
+                            for e in elems(s) {
+                                part += ld(&u[e]) * ld(&p[e]);
+                            }
+                        }
+                        atomic_add_f64(&acc_y[cell], part);
+                        d_d.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(d_d, warps_i * (2 * j + 1))?;
+                        let py = ld(&acc_y[cell]);
+                        let alpha = rr / py;
+
+                        if !alpha.is_finite() || py <= 0.0 {
+                            // ---- Breakdown: the curvature pᵀAp is not
+                            // positive (or a scalar went non-finite). Every
+                            // warp reads the same `py`/`rr`, so every warp
+                            // is in this branch — the barrier epochs below
+                            // match the normal path exactly (d_d twice,
+                            // d_a once per warp).
+                            let kind = if py.is_finite() && py <= 0.0 {
+                                BreakdownKind::Curvature
+                            } else {
+                                BreakdownKind::NonFinite
+                            };
+                            // Restart needs rr = (r, r): reuse the second
+                            // dot barrier for it.
+                            let mut part_z = 0.0;
+                            for s in my_segs.clone() {
+                                for e in elems(s) {
+                                    let rv = ld(&r[e]);
+                                    part_z += rv * rv;
+                                }
+                            }
+                            atomic_add_f64(&acc_z[cell], part_z);
+                            d_d.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_d, warps_i * (2 * j + 2))?;
+                            let rr_restart = ld(&acc_z[cell]);
+                            // p = r; zero u (all SpMV adds completed before
+                            // the α barrier, so no add can race the zeroing).
+                            for s in my_segs.clone() {
+                                for e in elems(s) {
+                                    st(&p[e], ld(&r[e]));
+                                    st(&u[e], 0.0);
+                                }
+                            }
+                            rr = rr_restart;
+                            d_a.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_a, warps_i * (j + 1))?;
+
+                            consecutive_restarts += 1;
+                            // A restart leaves x and r untouched, so a
+                            // repeat from the same state is a fixed point —
+                            // abort instead of spinning (see crate::config).
+                            let abort_nonfinite = !rr_restart.is_finite();
+                            let abort_stalled =
+                                consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let action = if abort_nonfinite || abort_stalled {
+                                RecoveryAction::Aborted
+                            } else {
+                                RecoveryAction::Restarted
+                            };
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind,
+                                action,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                let relres = rr_restart.max(0.0).sqrt() / norm_b;
+                                if relres.is_finite() {
+                                    final_relres_bits
+                                        .store(relres.to_bits(), Ordering::Release);
+                                }
+                                if abort_nonfinite {
+                                    failure_cell.set(FAIL_NONFINITE, j);
+                                } else if abort_stalled {
+                                    failure_cell.set(FAIL_STALLED, j);
+                                }
+                            }
+                            if abort_nonfinite || abort_stalled {
+                                return Ok(());
+                            }
+                            continue;
+                        }
+
+                        // ---- Step C: x += αp, r −= αu, then dot (r, r).
+                        let mut part_z = 0.0;
+                        for s in my_segs.clone() {
+                            for e in elems(s) {
+                                st(&x[e], ld(&x[e]) + alpha * ld(&p[e]));
+                                let rv = ld(&r[e]) - alpha * ld(&u[e]);
+                                st(&r[e], rv);
+                                part_z += rv * rv;
+                            }
+                        }
+                        atomic_add_f64(&acc_z[cell], part_z);
+                        d_d.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(d_d, warps_i * (2 * j + 2))?;
+                        let rr_new = ld(&acc_z[cell]);
+
+                        if !rr_new.is_finite() {
+                            // Poisoned residual: no restart can rebuild
+                            // finite state from it. All warps abort here
+                            // identically (final_relres keeps its last
+                            // finite value).
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: BreakdownKind::NonFinite,
+                                action: RecoveryAction::Aborted,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                failure_cell.set(FAIL_NONFINITE, j);
+                            }
+                            return Ok(());
+                        }
+                        consecutive_restarts = 0;
+                        let beta = rr_new / rr;
+                        rr = rr_new;
+
+                        // ---- Step D: p = r + βp; zero my u segments for the
+                        // next iteration (everyone is past reading u).
+                        for s in my_segs.clone() {
+                            for e in elems(s) {
+                                st(&p[e], ld(&r[e]) + beta * ld(&p[e]));
+                                st(&u[e], 0.0);
+                            }
+                        }
+                        d_a.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(d_a, warps_i * (j + 1))?;
+
+                        // All warps compute the identical residual decision —
+                        // the in-kernel convergence check of Algorithm 3.
+                        let relres = rr_new.max(0.0).sqrt() / norm_b;
+                        if w == 0 {
+                            iterations_done.store(j + 1, Ordering::Release);
+                            final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                        }
+                        if relres < tol {
+                            if w == 0 {
+                                converged_flag.store(1, Ordering::Release);
+                            }
+                            break;
+                        }
+                    }
+                    Ok(())
+                }));
+                match body {
+                    Ok(_) => WarpOut {
+                        events,
+                        panic: None,
+                    },
+                    Err(payload) => {
+                        // Poison first so spinning siblings are released,
+                        // then report the payload through the join handle.
+                        let _ = poison.compare_exchange(
+                            POISON_NONE,
+                            POISON_PANIC,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        WarpOut {
+                            events,
+                            panic: Some(panic_message(payload)),
+                        }
                     }
                 }
-            });
+            }));
         }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| WarpOut {
+                    events: Vec::new(),
+                    panic: Some("warp thread died outside the panic guard".to_string()),
+                })
+            })
+            .collect()
     })
-    .expect("threaded CG panicked");
+    .expect("threaded CG scope failed");
 
-    ThreadedReport {
-        x: x.iter()
-            .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
-            .collect(),
-        iterations: iterations_done.load(Ordering::Acquire) as usize,
-        converged: converged_flag.load(Ordering::Acquire) == 1,
-        final_relres: f64::from_bits(final_relres_bits.load(Ordering::Acquire)),
+    finish_report(
+        &x,
         warps,
-    }
+        &iterations_done,
+        &converged_flag,
+        &final_relres_bits,
+        &poison,
+        &failure_cell,
+        outs,
+    )
 }
 
-
-/// Runs BiCGSTAB on threads synchronized purely through atomic dependency
-/// counters — the two-SpMV variant of the single-kernel scheme ("the
-/// consolidation applies to BiCGSTAB as well", §III-C). Per iteration the
-/// warps pass two row-tile SpMV epochs, three dot barriers (α, ω, β/‖r‖)
-/// and two vector barriers (s ready before the second SpMV; p/u/θ ready
-/// before the next iteration).
+/// Runs BiCGSTAB with the default watchdog ([`DEFAULT_WATCHDOG`]); see
+/// [`run_bicgstab_threaded_watchdog`].
 pub fn run_bicgstab_threaded(
     m: &TiledMatrix,
     b: &[f64],
     tol: f64,
     max_iter: usize,
     max_warps: usize,
+) -> ThreadedReport {
+    run_bicgstab_threaded_watchdog(m, b, tol, max_iter, max_warps, Some(DEFAULT_WATCHDOG))
+}
+
+/// Runs BiCGSTAB on threads synchronized purely through atomic dependency
+/// counters — the two-SpMV variant of the single-kernel scheme ("the
+/// consolidation applies to BiCGSTAB as well", §III-C). Per iteration the
+/// warps pass two row-tile SpMV epochs, three dot barriers (α, ω, β/‖r‖)
+/// and two vector barriers (s ready before the second SpMV; p/u/θ ready
+/// before the next iteration). Breakdowns (α non-finite, subnormal ρ,
+/// ω = 0) run the sequential cores' restart semantics with all barrier
+/// epochs kept aligned; `watchdog` bounds the wall-clock as in
+/// [`run_cg_threaded_watchdog`].
+pub fn run_bicgstab_threaded_watchdog(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
 ) -> ThreadedReport {
     let n = m.nrows;
     assert_eq!(b.len(), n);
@@ -329,14 +711,7 @@ pub fn run_bicgstab_threaded(
     let ts = m.tile_size;
     let segments = n.div_ceil(ts).max(1);
     let warps = segments.min(max_warps).max(1);
-
-    let base = segments / warps;
-    let extra = segments % warps;
-    let mut seg_lo = Vec::with_capacity(warps + 1);
-    seg_lo.push(0usize);
-    for w in 0..warps {
-        seg_lo.push(seg_lo[w] + base + usize::from(w < extra));
-    }
+    let seg_lo = segment_bounds(segments, warps);
 
     let spmv = SpmvSchedule::for_warps(m, warps);
 
@@ -348,6 +723,8 @@ pub fn run_bicgstab_threaded(
             converged: true,
             final_relres: 0.0,
             warps,
+            breakdowns: Vec::new(),
+            failure: None,
         };
     }
 
@@ -390,10 +767,14 @@ pub fn run_bicgstab_threaded(
     let iterations_done = AtomicI64::new(0);
     let converged_flag = AtomicI64::new(0);
     let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
+    let poison = AtomicI64::new(POISON_NONE);
+    let failure_cell = FailureCell::new();
+    let deadline = watchdog.map(|d| Instant::now() + d);
 
     let warps_i = warps as i64;
 
-    crossbeam::scope(|scope| {
+    let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(warps);
         for w in 0..warps {
             let (x, r, p, sv, u, th) = (&x, &r, &p, &sv, &u, &th);
             let (d_s, d_d, d_b, d_a) = (&d_s, &d_d, &d_b, &d_a);
@@ -403,165 +784,334 @@ pub fn run_bicgstab_threaded(
             let iterations_done = &iterations_done;
             let converged_flag = &converged_flag;
             let final_relres_bits = &final_relres_bits;
-            scope.spawn(move |_| {
-                let my_segs = seg_lo[w]..seg_lo[w + 1];
-                let elems = |sg: usize| (sg * ts)..(((sg + 1) * ts).min(n));
-                let my_tiles = if w < spmv.warp_tiles.len() {
-                    let (lo, hi) = spmv.warp_tiles[w];
-                    lo..hi
-                } else {
-                    0..0
-                };
-                let tile_vals: Vec<Vec<f64>> =
-                    my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+            let poison = &poison;
+            let failure_cell = &failure_cell;
+            handles.push(scope.spawn(move |_| {
+                let sync = WarpSync { poison, deadline };
+                let mut events: Vec<BreakdownEvent> = Vec::new();
+                let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
+                    let my_segs = seg_lo[w]..seg_lo[w + 1];
+                    let elems = |sg: usize| (sg * ts)..(((sg + 1) * ts).min(n));
+                    let my_tiles = if w < spmv.warp_tiles.len() {
+                        let (lo, hi) = spmv.warp_tiles[w];
+                        lo..hi
+                    } else {
+                        0..0
+                    };
+                    let tile_vals: Vec<Vec<f64>> =
+                        my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
 
-                let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
-                let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
-                // One warp's tiled SpMV into an atomic output vector.
-                let spmv_into = |input: &Vec<AtomicU64>, output: &Vec<AtomicU64>| {
-                    for (ti, i) in my_tiles.clone().enumerate() {
-                        let base_row = m.tile_rowidx[i] as usize * ts;
-                        let base_col = m.tile_colidx[i] as usize * ts;
-                        let nnz_base = m.tile_nnz[i] as usize;
-                        let vals = &tile_vals[ti];
-                        for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
-                            let row = base_row + m.row_index[ri] as usize;
-                            let mut sum = 0.0;
-                            for k in
-                                m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
-                            {
-                                sum += vals[k - nnz_base]
-                                    * ld(&input[base_col + m.csr_colidx[k] as usize]);
+                    let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
+                    let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+                    // One warp's tiled SpMV into an atomic output vector.
+                    let spmv_into = |input: &Vec<AtomicU64>, output: &Vec<AtomicU64>| {
+                        for (ti, i) in my_tiles.clone().enumerate() {
+                            let base_row = m.tile_rowidx[i] as usize * ts;
+                            let base_col = m.tile_colidx[i] as usize * ts;
+                            let nnz_base = m.tile_nnz[i] as usize;
+                            let vals = &tile_vals[ti];
+                            for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                let row = base_row + m.row_index[ri] as usize;
+                                let mut sum = 0.0;
+                                for k in
+                                    m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                                {
+                                    sum += vals[k - nnz_base]
+                                        * ld(&input[base_col + m.csr_colidx[k] as usize]);
+                                }
+                                atomic_add_f64(&output[row], sum);
                             }
-                            atomic_add_f64(&output[row], sum);
+                            d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
                         }
-                        d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
-                    }
-                };
+                    };
 
-                let mut rho = rho0;
-                for j in 0..max_iter as i64 {
-                    let cell = (j % 2) as usize;
-                    if w == 0 {
-                        for acc in [acc_denom, acc_ts, acc_tt, acc_rho, acc_rr] {
-                            acc[1 - cell].store(0f64.to_bits(), Ordering::Release);
-                        }
-                    }
-
-                    // ---- µ = A p (first SpMV epoch: targets init·(2j+1)).
-                    spmv_into(p, u);
-                    let mut part = 0.0;
-                    for sg in my_segs.clone() {
-                        if sg < ds_init.len() {
-                            spin_until(&d_s[sg], ds_init[sg] * (2 * j + 1));
-                        }
-                        for e in elems(sg) {
-                            part += ld(&u[e]) * r0s[e];
-                        }
-                    }
-                    atomic_add_f64(&acc_denom[cell], part);
-                    d_d.fetch_add(1, Ordering::AcqRel);
-                    spin_until(d_d, warps_i * (3 * j + 1));
-                    let denom = ld(&acc_denom[cell]);
-                    let alpha = rho / denom;
-
-                    // ---- s = r − αµ on my segments; barrier before SpMV2
-                    // (other warps read every segment of s).
-                    for sg in my_segs.clone() {
-                        for e in elems(sg) {
-                            st(&sv[e], ld(&r[e]) - alpha * ld(&u[e]));
-                        }
-                    }
-                    d_b.fetch_add(1, Ordering::AcqRel);
-                    spin_until(d_b, warps_i * (j + 1));
-
-                    // ---- θ = A s (second SpMV epoch: targets init·(2j+2)).
-                    spmv_into(sv, th);
-                    let mut pts = 0.0;
-                    let mut ptt = 0.0;
-                    for sg in my_segs.clone() {
-                        if sg < ds_init.len() {
-                            spin_until(&d_s[sg], ds_init[sg] * (2 * j + 2));
-                        }
-                        for e in elems(sg) {
-                            let t = ld(&th[e]);
-                            pts += t * ld(&sv[e]);
-                            ptt += t * t;
-                        }
-                    }
-                    atomic_add_f64(&acc_ts[cell], pts);
-                    atomic_add_f64(&acc_tt[cell], ptt);
-                    d_d.fetch_add(1, Ordering::AcqRel);
-                    spin_until(d_d, warps_i * (3 * j + 2));
-                    let tt = ld(&acc_tt[cell]);
-                    let omega = if tt > 0.0 { ld(&acc_ts[cell]) / tt } else { 0.0 };
-
-                    // ---- x += αp + ωs; r = s − ωθ; ρ' and ‖r‖² partials.
-                    let mut prho = 0.0;
-                    let mut prr = 0.0;
-                    for sg in my_segs.clone() {
-                        for e in elems(sg) {
-                            st(&x[e], ld(&x[e]) + alpha * ld(&p[e]) + omega * ld(&sv[e]));
-                            let rv = ld(&sv[e]) - omega * ld(&th[e]);
-                            st(&r[e], rv);
-                            prho += rv * r0s[e];
-                            prr += rv * rv;
-                        }
-                    }
-                    atomic_add_f64(&acc_rho[cell], prho);
-                    atomic_add_f64(&acc_rr[cell], prr);
-                    d_d.fetch_add(1, Ordering::AcqRel);
-                    spin_until(d_d, warps_i * (3 * j + 3));
-                    let rho_new = ld(&acc_rho[cell]);
-                    let rr = ld(&acc_rr[cell]);
-                    let relres = rr.max(0.0).sqrt() / norm_b;
-
-                    // ---- p = r + β(p − ωµ); zero my u/θ segments.
-                    let beta = (rho_new / rho) * (alpha / omega);
-                    let restart = !beta.is_finite()
-                        || omega == 0.0
-                        || rho_new.abs() < f64::MIN_POSITIVE;
-                    for sg in my_segs.clone() {
-                        for e in elems(sg) {
-                            let pv = if restart {
-                                ld(&r[e])
-                            } else {
-                                ld(&r[e]) + beta * (ld(&p[e]) - omega * ld(&u[e]))
-                            };
-                            st(&p[e], pv);
-                            st(&u[e], 0.0);
-                            st(&th[e], 0.0);
-                        }
-                    }
-                    rho = if restart { rho_new.max(rr) } else { rho_new };
-                    d_a.fetch_add(1, Ordering::AcqRel);
-                    spin_until(d_a, warps_i * (j + 1));
-
-                    if w == 0 {
-                        iterations_done.store(j + 1, Ordering::Release);
-                        final_relres_bits.store(relres.to_bits(), Ordering::Release);
-                    }
-                    if relres < tol {
+                    let mut rho = rho0;
+                    let mut consecutive_restarts = 0usize;
+                    for j in 0..max_iter as i64 {
+                        sync.iteration_gate()?;
+                        let cell = (j % 2) as usize;
                         if w == 0 {
-                            converged_flag.store(1, Ordering::Release);
+                            for acc in [acc_denom, acc_ts, acc_tt, acc_rho, acc_rr] {
+                                acc[1 - cell].store(0f64.to_bits(), Ordering::Release);
+                            }
                         }
-                        break;
+
+                        // ---- µ = A p (first SpMV epoch: targets init·(2j+1)).
+                        spmv_into(p, u);
+                        let mut part = 0.0;
+                        for sg in my_segs.clone() {
+                            if sg < ds_init.len() {
+                                sync.spin_until(&d_s[sg], ds_init[sg] * (2 * j + 1))?;
+                            }
+                            for e in elems(sg) {
+                                part += ld(&u[e]) * r0s[e];
+                            }
+                        }
+                        atomic_add_f64(&acc_denom[cell], part);
+                        d_d.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(d_d, warps_i * (3 * j + 1))?;
+                        let denom = ld(&acc_denom[cell]);
+                        let alpha = rho / denom;
+
+                        if !alpha.is_finite() || denom.abs() < f64::MIN_POSITIVE {
+                            // ---- α breakdown (the old engine divided
+                            // blindly and NaN-poisoned every vector).
+                            // Every warp reads the same denom/ρ, so every
+                            // warp is here; each skipped step gets a
+                            // stand-in counter bump so all epochs stay
+                            // aligned with the normal path.
+                            let kind = if !alpha.is_finite() {
+                                BreakdownKind::NonFinite
+                            } else {
+                                BreakdownKind::Rho
+                            };
+                            // Stand-in for the skipped second SpMV epoch.
+                            for i in my_tiles.clone() {
+                                d_s[m.tile_rowidx[i] as usize]
+                                    .fetch_add(1, Ordering::AcqRel);
+                            }
+                            d_b.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_b, warps_i * (j + 1))?;
+                            // Restart scalars ρ = (r, r0*) and ‖r‖² at the
+                            // second dot barrier.
+                            let mut prho = 0.0;
+                            let mut prr = 0.0;
+                            for sg in my_segs.clone() {
+                                for e in elems(sg) {
+                                    let rv = ld(&r[e]);
+                                    prho += rv * r0s[e];
+                                    prr += rv * rv;
+                                }
+                            }
+                            atomic_add_f64(&acc_rho[cell], prho);
+                            atomic_add_f64(&acc_rr[cell], prr);
+                            d_d.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_d, warps_i * (3 * j + 2))?;
+                            let mut rho_restart = ld(&acc_rho[cell]);
+                            let rr = ld(&acc_rr[cell]);
+                            if rho_restart.abs() < f64::MIN_POSITIVE {
+                                // Orthogonal shadow residual: restart with
+                                // r0* = r semantics (sequential restart()).
+                                rho_restart = rr;
+                            }
+                            // p = r; zero u (SpMV1 adds completed before
+                            // the α barrier). θ was never written this
+                            // iteration, so it is still zero.
+                            for sg in my_segs.clone() {
+                                for e in elems(sg) {
+                                    st(&p[e], ld(&r[e]));
+                                    st(&u[e], 0.0);
+                                }
+                            }
+                            rho = rho_restart;
+                            // Third dot bump keeps the d_d epoch aligned.
+                            d_d.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_d, warps_i * (3 * j + 3))?;
+                            d_a.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_a, warps_i * (j + 1))?;
+
+                            consecutive_restarts += 1;
+                            let abort_nonfinite =
+                                !rho_restart.is_finite() || !rr.is_finite();
+                            let abort_stalled =
+                                consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let action = if abort_nonfinite || abort_stalled {
+                                RecoveryAction::Aborted
+                            } else {
+                                RecoveryAction::Restarted
+                            };
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind,
+                                action,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                let relres = rr.max(0.0).sqrt() / norm_b;
+                                if relres.is_finite() {
+                                    final_relres_bits
+                                        .store(relres.to_bits(), Ordering::Release);
+                                }
+                                if abort_nonfinite {
+                                    failure_cell.set(FAIL_NONFINITE, j);
+                                } else if abort_stalled {
+                                    failure_cell.set(FAIL_STALLED, j);
+                                }
+                            }
+                            if abort_nonfinite || abort_stalled {
+                                return Ok(());
+                            }
+                            continue;
+                        }
+
+                        // ---- s = r − αµ on my segments; barrier before SpMV2
+                        // (other warps read every segment of s).
+                        for sg in my_segs.clone() {
+                            for e in elems(sg) {
+                                st(&sv[e], ld(&r[e]) - alpha * ld(&u[e]));
+                            }
+                        }
+                        d_b.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(d_b, warps_i * (j + 1))?;
+
+                        // ---- θ = A s (second SpMV epoch: targets init·(2j+2)).
+                        spmv_into(sv, th);
+                        let mut pts = 0.0;
+                        let mut ptt = 0.0;
+                        for sg in my_segs.clone() {
+                            if sg < ds_init.len() {
+                                sync.spin_until(&d_s[sg], ds_init[sg] * (2 * j + 2))?;
+                            }
+                            for e in elems(sg) {
+                                let t = ld(&th[e]);
+                                pts += t * ld(&sv[e]);
+                                ptt += t * t;
+                            }
+                        }
+                        atomic_add_f64(&acc_ts[cell], pts);
+                        atomic_add_f64(&acc_tt[cell], ptt);
+                        d_d.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(d_d, warps_i * (3 * j + 2))?;
+                        let tt = ld(&acc_tt[cell]);
+                        let omega = if tt > 0.0 { ld(&acc_ts[cell]) / tt } else { 0.0 };
+
+                        // ---- x += αp + ωs; r = s − ωθ; ρ' and ‖r‖² partials.
+                        let mut prho = 0.0;
+                        let mut prr = 0.0;
+                        for sg in my_segs.clone() {
+                            for e in elems(sg) {
+                                st(
+                                    &x[e],
+                                    ld(&x[e]) + alpha * ld(&p[e]) + omega * ld(&sv[e]),
+                                );
+                                let rv = ld(&sv[e]) - omega * ld(&th[e]);
+                                st(&r[e], rv);
+                                prho += rv * r0s[e];
+                                prr += rv * rv;
+                            }
+                        }
+                        atomic_add_f64(&acc_rho[cell], prho);
+                        atomic_add_f64(&acc_rr[cell], prr);
+                        d_d.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(d_d, warps_i * (3 * j + 3))?;
+                        let rho_new = ld(&acc_rho[cell]);
+                        let rr = ld(&acc_rr[cell]);
+                        let relres = rr.max(0.0).sqrt() / norm_b;
+
+                        if !rr.is_finite() {
+                            // Poisoned residual: abort identically on all
+                            // warps (final_relres keeps its last finite
+                            // value).
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: BreakdownKind::NonFinite,
+                                action: RecoveryAction::Aborted,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                failure_cell.set(FAIL_NONFINITE, j);
+                            }
+                            return Ok(());
+                        }
+                        consecutive_restarts = 0; // x and r advanced
+
+                        // ---- p = r + β(p − ωµ); zero my u/θ segments.
+                        let beta = (rho_new / rho) * (alpha / omega);
+                        let restart = !beta.is_finite()
+                            || omega == 0.0
+                            || rho_new.abs() < f64::MIN_POSITIVE;
+                        for sg in my_segs.clone() {
+                            for e in elems(sg) {
+                                let pv = if restart {
+                                    ld(&r[e])
+                                } else {
+                                    ld(&r[e]) + beta * (ld(&p[e]) - omega * ld(&u[e]))
+                                };
+                                st(&p[e], pv);
+                                st(&u[e], 0.0);
+                                st(&th[e], 0.0);
+                            }
+                        }
+                        // Sequential restart() semantics: ρ = (r, r0*)
+                        // (= rho_new, already computed), falling back to
+                        // ‖r‖² when the shadow correlation is (sub)normal
+                        // zero — replaces the old `rho_new.max(rr)` hack.
+                        rho = if restart && rho_new.abs() < f64::MIN_POSITIVE {
+                            rr
+                        } else {
+                            rho_new
+                        };
+                        d_a.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(d_a, warps_i * (j + 1))?;
+
+                        if w == 0 {
+                            iterations_done.store(j + 1, Ordering::Release);
+                            final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                        }
+                        if relres < tol {
+                            if w == 0 {
+                                converged_flag.store(1, Ordering::Release);
+                            }
+                            break;
+                        }
+                        if restart {
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: if omega == 0.0 {
+                                    BreakdownKind::Omega
+                                } else if rho_new.abs() < f64::MIN_POSITIVE {
+                                    BreakdownKind::Rho
+                                } else {
+                                    BreakdownKind::NonFinite
+                                },
+                                action: RecoveryAction::Restarted,
+                            });
+                        }
+                    }
+                    Ok(())
+                }));
+                match body {
+                    Ok(_) => WarpOut {
+                        events,
+                        panic: None,
+                    },
+                    Err(payload) => {
+                        let _ = poison.compare_exchange(
+                            POISON_NONE,
+                            POISON_PANIC,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        WarpOut {
+                            events,
+                            panic: Some(panic_message(payload)),
+                        }
                     }
                 }
-            });
+            }));
         }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| WarpOut {
+                    events: Vec::new(),
+                    panic: Some("warp thread died outside the panic guard".to_string()),
+                })
+            })
+            .collect()
     })
-    .expect("threaded BiCGSTAB panicked");
+    .expect("threaded BiCGSTAB scope failed");
 
-    ThreadedReport {
-        x: x.iter()
-            .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
-            .collect(),
-        iterations: iterations_done.load(Ordering::Acquire) as usize,
-        converged: converged_flag.load(Ordering::Acquire) == 1,
-        final_relres: f64::from_bits(final_relres_bits.load(Ordering::Acquire)),
+    finish_report(
+        &x,
         warps,
-    }
+        &iterations_done,
+        &converged_flag,
+        &final_relres_bits,
+        &poison,
+        &failure_cell,
+        outs,
+    )
 }
 
 #[cfg(test)]
@@ -569,6 +1119,10 @@ mod tests {
     use super::*;
     use mf_precision::ClassifyOptions;
     use mf_sparse::{Coo, Csr};
+
+    /// Both watchdog entry points, as a single fn-pointer type so tests can
+    /// table-drive over the two engines.
+    type Engine = fn(&TiledMatrix, &[f64], f64, usize, usize, Option<Duration>) -> ThreadedReport;
 
     fn poisson1d(n: usize) -> Csr {
         let mut a = Coo::new(n, n);
@@ -597,6 +1151,8 @@ mod tests {
         let rep = run_cg_threaded(&m, &b, 1e-10, 1000, 8);
         assert!(rep.converged, "relres {}", rep.final_relres);
         assert_eq!(rep.warps, 8);
+        assert!(rep.failure.is_none());
+        assert!(rep.breakdowns.is_empty());
         for v in &rep.x {
             assert!((v - 1.0).abs() < 1e-7, "{v}");
         }
@@ -660,6 +1216,7 @@ mod tests {
         let rep = run_cg_threaded(&m, &vec![0.0; 32], 1e-10, 100, 4);
         assert!(rep.converged);
         assert_eq!(rep.iterations, 0);
+        assert!(rep.failure.is_none());
     }
 
     #[test]
@@ -671,6 +1228,8 @@ mod tests {
         let rep = run_cg_threaded(&m, &b, 1e-30, 5, 4);
         assert!(!rep.converged);
         assert_eq!(rep.iterations, 5);
+        // Out-of-iterations is a normal termination, not a failure.
+        assert!(rep.failure.is_none());
     }
 
     fn convdiff1d(n: usize) -> Csr {
@@ -695,6 +1254,7 @@ mod tests {
         a.matvec(&vec![1.0; 400], &mut b);
         let rep = run_bicgstab_threaded(&m, &b, 1e-10, 1000, 8);
         assert!(rep.converged, "relres {}", rep.final_relres);
+        assert!(rep.failure.is_none());
         for v in &rep.x {
             assert!((v - 1.0).abs() < 1e-6, "{v}");
         }
@@ -753,6 +1313,204 @@ mod tests {
             assert!(rep.converged, "trial {trial}");
             for v in &rep.x {
                 assert!((v - 1.0).abs() < 1e-7, "trial {trial}: {v}");
+            }
+        }
+    }
+
+    // ---- Robustness regressions ------------------------------------------
+
+    /// A = −I is indefinite: pᵀAp = −‖p‖² < 0 on the very first iteration.
+    /// The old engine computed a meaningless α, NaN-poisoned every vector
+    /// and spun all `max_iter` iterations; now every warp must take the
+    /// identical restart branch, observe the fixed point and abort with a
+    /// structured failure and a finite residual.
+    #[test]
+    fn threaded_cg_indefinite_fails_finite() {
+        let n = 64;
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, -1.0);
+        }
+        let m = tiled(&a.to_csr());
+        let b = vec![1.0; n];
+        for warps in [1, 4] {
+            let rep = run_cg_threaded(&m, &b, 1e-10, 1000, warps);
+            assert!(!rep.converged, "warps {warps}");
+            assert!(
+                rep.final_relres.is_finite(),
+                "warps {warps}: NaN leaked: {}",
+                rep.final_relres
+            );
+            assert!(rep.x.iter().all(|v| v.is_finite()), "warps {warps}");
+            assert!(
+                matches!(rep.failure, Some(SolveFailure::Stalled { .. })),
+                "warps {warps}: {:?}",
+                rep.failure
+            );
+            assert_eq!(rep.iterations, MAX_CONSECUTIVE_RESTARTS, "warps {warps}");
+            assert!(!rep.breakdowns.is_empty());
+            assert!(rep
+                .breakdowns
+                .iter()
+                .all(|e| e.kind == BreakdownKind::Curvature));
+            assert_eq!(
+                rep.breakdowns.last().unwrap().action,
+                RecoveryAction::Aborted
+            );
+        }
+    }
+
+    /// Skew-symmetric matrix: `(A·p, r0*) = 0` exactly, so the old engine's
+    /// unguarded `α = ρ/denom` was infinite on iteration 0. The guarded
+    /// engine must restart (with the sequential `restart()` semantics, not
+    /// the old `rho_new.max(rr)` hack), observe the fixed point, and abort.
+    #[test]
+    fn threaded_bicgstab_breakdown_matrix_fails_finite() {
+        let n = 32;
+        let mut a = Coo::new(n, n);
+        for i in 0..n - 1 {
+            a.push(i, i + 1, 1.0);
+            a.push(i + 1, i, -1.0);
+        }
+        let m = tiled(&a.to_csr());
+        let b = vec![1.0; n];
+        for warps in [1, 2] {
+            let rep = run_bicgstab_threaded(&m, &b, 1e-10, 1000, warps);
+            assert!(!rep.converged, "warps {warps}");
+            assert!(rep.final_relres.is_finite(), "warps {warps}");
+            assert!(rep.x.iter().all(|v| v.is_finite()), "warps {warps}");
+            assert!(
+                matches!(rep.failure, Some(SolveFailure::Stalled { .. })),
+                "warps {warps}: {:?}",
+                rep.failure
+            );
+            assert_eq!(rep.iterations, MAX_CONSECUTIVE_RESTARTS, "warps {warps}");
+            assert_eq!(
+                rep.breakdowns.last().unwrap().action,
+                RecoveryAction::Aborted
+            );
+        }
+    }
+
+    /// A malformed tile column index makes one warp index out of bounds.
+    /// The old engine left the sibling warps spinning forever and the
+    /// scope never joined; the poison flag must convert this into a
+    /// `WarpPanic` failure, promptly, with every thread joined.
+    #[test]
+    fn panicking_warp_propagates_instead_of_hanging() {
+        let a = poisson1d(128);
+        let mut m = tiled(&a);
+        let last = m.tile_colidx.len() - 1;
+        m.tile_colidx[last] = 10_000; // way past ncols -> index panic
+        let mut b = vec![0.0; 128];
+        a.matvec(&vec![1.0; 128], &mut b);
+        let rep = run_cg_threaded(&m, &b, 1e-10, 1000, 4);
+        assert!(!rep.converged);
+        assert!(
+            matches!(rep.failure, Some(SolveFailure::WarpPanic { .. })),
+            "{:?}",
+            rep.failure
+        );
+        assert_eq!(rep.breakdowns.last().unwrap().kind, BreakdownKind::Panic);
+        // Same protocol on the BiCGSTAB engine.
+        let rep = run_bicgstab_threaded(&m, &b, 1e-10, 1000, 4);
+        assert!(matches!(rep.failure, Some(SolveFailure::WarpPanic { .. })));
+    }
+
+    /// An already-expired deadline must wedge deterministically at the top
+    /// of iteration 0 — clean `Wedged` report, no hang, all threads joined.
+    #[test]
+    fn watchdog_zero_deadline_wedges_cleanly() {
+        let a = poisson1d(128);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 128];
+        a.matvec(&vec![1.0; 128], &mut b);
+        for (engine, name) in [
+            (run_cg_threaded_watchdog as Engine, "cg"),
+            (run_bicgstab_threaded_watchdog as Engine, "bicgstab"),
+        ] {
+            let rep: ThreadedReport =
+                engine(&m, &b, 1e-10, 1000, 4, Some(Duration::ZERO));
+            assert!(!rep.converged, "{name}");
+            assert_eq!(rep.iterations, 0, "{name}");
+            assert!(
+                matches!(rep.failure, Some(SolveFailure::Wedged { .. })),
+                "{name}: {:?}",
+                rep.failure
+            );
+            assert_eq!(
+                rep.breakdowns.last().unwrap().kind,
+                BreakdownKind::Watchdog,
+                "{name}"
+            );
+        }
+    }
+
+    /// Stress: {indefinite, singular, badly-scaled} × {1, 4, 7} warps ×
+    /// both engines all terminate within the watchdog and never hang. A
+    /// singular-but-consistent-free system simply runs out of iterations
+    /// (normal termination); the other two must report a structured
+    /// failure.
+    #[test]
+    fn stress_bad_matrices_never_hang() {
+        let n = 97;
+        let indefinite = {
+            let mut a = Coo::new(n, n);
+            for i in 0..n {
+                a.push(i, i, if i % 2 == 0 { 2.0 } else { -2.0 });
+            }
+            a.to_csr()
+        };
+        let singular = {
+            let mut a = Coo::new(n, n);
+            for i in 0..n - 1 {
+                a.push(i, i, 1.0); // last row/col all zero
+            }
+            a.to_csr()
+        };
+        let badly_scaled = {
+            let mut a = Coo::new(n, n);
+            for i in 0..n {
+                a.push(i, i, 1e200); // forces Inf dot products with b=1e200
+            }
+            a.to_csr()
+        };
+        let wd = Some(Duration::from_secs(2));
+        // `must_fail` lists the engines that have to report a structured
+        // failure: CG breaks on indefinite curvature, but BiCGSTAB solves a
+        // nonsingular indefinite system legitimately (it never required SPD).
+        for (name, a, b_val, must_fail) in [
+            ("indefinite", &indefinite, 1.0, &["cg"][..]),
+            ("singular", &singular, 1.0, &[][..]),
+            ("badly_scaled", &badly_scaled, 1e200, &["cg", "bicgstab"][..]),
+        ] {
+            let m = tiled(a);
+            let b = vec![b_val; n];
+            for warps in [1, 4, 7] {
+                for (engine, ename) in [
+                    (run_cg_threaded_watchdog as Engine, "cg"),
+                    (run_bicgstab_threaded_watchdog as Engine, "bicgstab"),
+                ] {
+                    let rep: ThreadedReport = engine(&m, &b, 1e-10, 100, warps, wd);
+                    assert!(
+                        !rep.final_relres.is_nan(),
+                        "{name}/{ename}/{warps}: NaN relres"
+                    );
+                    if must_fail.contains(&ename) {
+                        assert!(
+                            rep.failure.is_some(),
+                            "{name}/{ename}/{warps}: expected a structured failure"
+                        );
+                        assert!(
+                            !rep.breakdowns.is_empty(),
+                            "{name}/{ename}/{warps}: breakdown trail empty"
+                        );
+                    } else {
+                        // Terminated (converged / out of iterations /
+                        // structured failure) — the point is: no hang.
+                        assert!(rep.iterations <= 100, "{name}/{ename}/{warps}");
+                    }
+                }
             }
         }
     }

@@ -5,5 +5,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --locked --offline --workspace
-cargo test -q --locked --offline --workspace
+# Hard timeout: the threaded engines are hang-proof by design (poison flag +
+# watchdog), so a wedged test run is a regression — kill it instead of letting
+# CI sit forever.
+timeout --signal=KILL 600 cargo test -q --locked --offline --workspace
 cargo clippy --all-targets --workspace --locked --offline -- -D warnings

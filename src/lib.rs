@@ -46,6 +46,9 @@ pub mod prelude {
     pub use mf_baselines::Baseline;
     pub use mf_gpu::DeviceSpec;
     pub use mf_precision::Precision;
-    pub use mf_solver::{ExecutedMode, KernelMode, MilleFeuille, SolveReport, SolverConfig};
+    pub use mf_solver::{
+        BreakdownEvent, BreakdownKind, ExecutedMode, KernelMode, MilleFeuille, RecoveryAction,
+        SolveFailure, SolveReport, SolverConfig, ThreadedReport,
+    };
     pub use mf_sparse::{Coo, Csr, TiledMatrix};
 }

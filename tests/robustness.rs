@@ -1,0 +1,131 @@
+//! Cross-crate integration: the robustness layer through the public facade.
+//!
+//! Every solver entry point must fail *finite, fast, and observably* on
+//! pathological inputs — no hang, no NaN solution, and a structured
+//! `SolveFailure` plus a `BreakdownEvent` trail on the report.
+
+use mille_feuille::prelude::*;
+use std::time::Duration;
+
+fn rhs(a: &Csr) -> Vec<f64> {
+    let mut b = vec![0.0; a.nrows];
+    a.matvec(&vec![1.0; a.ncols], &mut b);
+    b
+}
+
+fn poisson1d(n: usize) -> Csr {
+    let mut a = Coo::new(n, n);
+    for i in 0..n {
+        a.push(i, i, 4.0);
+        if i > 0 {
+            a.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            a.push(i, i + 1, -1.0);
+        }
+    }
+    a.to_csr()
+}
+
+/// diag(-1): every CG curvature check fails immediately.
+fn negative_definite(n: usize) -> Csr {
+    let mut a = Coo::new(n, n);
+    for i in 0..n {
+        a.push(i, i, -1.0);
+    }
+    a.to_csr()
+}
+
+/// Skew-symmetric tridiagonal: BiCGSTAB's alpha denominator is exactly 0.
+fn skew(n: usize) -> Csr {
+    let mut a = Coo::new(n, n);
+    for i in 0..n - 1 {
+        a.push(i, i + 1, 1.0);
+        a.push(i + 1, i, -1.0);
+    }
+    a.to_csr()
+}
+
+fn assert_failed_finite(rep: &SolveReport, label: &str) {
+    assert!(!rep.converged, "{label}: must not claim convergence");
+    assert!(
+        rep.failure.is_some(),
+        "{label}: expected a structured failure"
+    );
+    assert!(
+        !rep.breakdowns.is_empty(),
+        "{label}: breakdown trail must not be empty"
+    );
+    assert!(
+        !rep.final_relres.is_nan(),
+        "{label}: final_relres must never be NaN"
+    );
+    for v in &rep.x {
+        assert!(!v.is_nan(), "{label}: NaN leaked into the solution vector");
+    }
+}
+
+#[test]
+fn modeled_cores_fail_finite_on_breakdown() {
+    let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+
+    let a = negative_definite(64);
+    let b = rhs(&a);
+    let rep = solver.solve_cg(&a, &b);
+    assert_failed_finite(&rep, "cg/negative-definite");
+    assert!(matches!(rep.failure, Some(SolveFailure::Stalled { .. })));
+    assert!(rep
+        .breakdowns
+        .iter()
+        .all(|e| e.kind == BreakdownKind::Curvature));
+    assert_eq!(
+        rep.breakdowns.last().unwrap().action,
+        RecoveryAction::Aborted
+    );
+
+    let a = skew(32);
+    let b = vec![1.0; 32];
+    let rep = solver.solve_bicgstab(&a, &b);
+    assert_failed_finite(&rep, "bicgstab/skew");
+}
+
+#[test]
+fn threaded_facade_fails_finite_within_watchdog() {
+    let config = SolverConfig {
+        watchdog: Some(Duration::from_secs(5)),
+        ..SolverConfig::default()
+    };
+    let solver = MilleFeuille::new(DeviceSpec::a100(), config);
+
+    let a = negative_definite(96);
+    let b = rhs(&a);
+    let rep: ThreadedReport = solver.solve_cg_threaded(&a, &b, 4);
+    assert!(!rep.converged);
+    assert!(rep.failure.is_some(), "{:?}", rep.failure);
+    assert!(!rep.breakdowns.is_empty());
+    assert!(rep.final_relres.is_finite());
+
+    let a = skew(32);
+    let b = vec![1.0; 32];
+    let rep = solver.solve_bicgstab_threaded(&a, &b, 2);
+    assert!(!rep.converged);
+    assert!(rep.failure.is_some(), "{:?}", rep.failure);
+    assert!(!rep.final_relres.is_nan());
+}
+
+#[test]
+fn healthy_solves_report_no_failure() {
+    let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+    let a = poisson1d(256);
+    let b = rhs(&a);
+
+    let rep = solver.solve_cg(&a, &b);
+    assert!(rep.converged);
+    assert!(rep.failure.is_none());
+    assert!(rep.breakdowns.is_empty());
+
+    let rep = solver.solve_cg_threaded(&a, &b, 4);
+    assert!(rep.converged);
+    assert!(rep.failure.is_none());
+    assert!(rep.breakdowns.is_empty());
+}
