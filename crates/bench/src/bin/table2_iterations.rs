@@ -18,11 +18,11 @@ fn main() {
     let (cg_names, bi_names) = table2_names();
     let mut table = Table::new(vec![
         "method", "matrix", "base_iters", "base_ms", "mf_iters", "mf_ms", "iter_ratio",
-        "time_speedup",
+        "time_speedup", "mf_status",
     ]);
 
     println!(
-        "{:<8} {:<16} | {:>10} {:>10} | {:>8} {:>8} | {:>6} {:>8}",
+        "{:<8} {:<16} | {:>10} {:>10} | {:>8} {:>8} | {:>6} {:>8} | status",
         "method", "matrix", "base iter", "base ms", "mf iter", "mf ms", "iterx", "speedup"
     );
 
@@ -41,9 +41,10 @@ fn main() {
         };
         let ratio = mf.iterations as f64 / bl.iterations.max(1) as f64;
         let speedup = bl.solve_us() / mf.solve_us();
+        let status = mf.status_label();
         iter_ratios.push(ratio);
         println!(
-            "{:<8} {:<16} | {:>10} {:>10.3} | {:>8} {:>8.3} | {:>5.2}x {:>7.2}x{}{}",
+            "{:<8} {:<16} | {:>10} {:>10.3} | {:>8} {:>8.3} | {:>5.2}x {:>7.2}x | {}{}",
             method,
             name,
             bl.iterations,
@@ -52,7 +53,7 @@ fn main() {
             mf.solve_us() / 1e3,
             ratio,
             speedup,
-            if mf.converged { "" } else { "  [mf !conv]" },
+            status,
             if bl.converged { "" } else { "  [base !conv]" },
         );
         table.row(vec![
@@ -64,6 +65,7 @@ fn main() {
             format!("{:.4}", mf.solve_us() / 1e3),
             format!("{ratio:.3}"),
             format!("{speedup:.3}"),
+            status,
         ]);
     };
 

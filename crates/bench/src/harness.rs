@@ -4,7 +4,7 @@ use mf_baselines::Baseline;
 use mf_collection::{bicgstab_suite, cg_suite, SuiteEntry, SuiteOptions};
 use mf_gpu::DeviceSpec;
 use mf_kernels::ilu0;
-use mf_solver::{ExecutedMode, MilleFeuille, SolverConfig};
+use mf_solver::{ExecutedMode, MilleFeuille, SolveReport, SolverConfig};
 use rayon::prelude::*;
 
 /// One comparison point (one matrix, Mille-feuille vs one baseline).
@@ -28,6 +28,37 @@ pub struct CompareRow {
     pub base_iters: usize,
     /// Execution mode Mille-feuille chose.
     pub mf_mode: ExecutedMode,
+    /// Mille-feuille termination status: `converged`, `max_iter`, or
+    /// `aborted(<breakdown>)` ([`SolveReport::status_label`]) — Table-II
+    /// style rows no longer conflate "ran the iteration budget" with
+    /// "broke down".
+    pub mf_status: String,
+}
+
+impl CompareRow {
+    /// Builds a row from one matrix's Mille-feuille report plus the
+    /// baseline's time and iteration count.
+    fn from_reports(
+        name: &str,
+        n: usize,
+        nnz: usize,
+        mf: &SolveReport,
+        base_us: f64,
+        base_iters: usize,
+    ) -> Self {
+        CompareRow {
+            name: name.to_string(),
+            n,
+            nnz,
+            mf_us: mf.solve_us(),
+            base_us,
+            speedup: base_us / mf.solve_us(),
+            mf_iters: mf.iterations,
+            base_iters,
+            mf_mode: mf.mode,
+            mf_status: mf.status_label(),
+        }
+    }
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -92,17 +123,14 @@ pub fn compare_cg(
             let mf = MilleFeuille::new(device.clone(), mf_config(iters));
             let rep = mf.solve_cg(&a, &b);
             let base = baseline.solve_cg(&a, &b, &mf_config(iters));
-            CompareRow {
-                name: e.name.clone(),
-                n: a.nrows,
-                nnz: a.nnz(),
-                mf_us: rep.solve_us(),
-                base_us: base.solve_us(),
-                speedup: base.solve_us() / rep.solve_us(),
-                mf_iters: rep.iterations,
-                base_iters: base.iterations,
-                mf_mode: rep.mode,
-            }
+            CompareRow::from_reports(
+                &e.name,
+                a.nrows,
+                a.nnz(),
+                &rep,
+                base.solve_us(),
+                base.iterations,
+            )
         })
         .collect()
 }
@@ -122,17 +150,14 @@ pub fn compare_bicgstab(
             let mf = MilleFeuille::new(device.clone(), mf_config(iters));
             let rep = mf.solve_bicgstab(&a, &b);
             let base = baseline.solve_bicgstab(&a, &b, &mf_config(iters));
-            CompareRow {
-                name: e.name.clone(),
-                n: a.nrows,
-                nnz: a.nnz(),
-                mf_us: rep.solve_us(),
-                base_us: base.solve_us(),
-                speedup: base.solve_us() / rep.solve_us(),
-                mf_iters: rep.iterations,
-                base_iters: base.iterations,
-                mf_mode: rep.mode,
-            }
+            CompareRow::from_reports(
+                &e.name,
+                a.nrows,
+                a.nnz(),
+                &rep,
+                base.solve_us(),
+                base.iterations,
+            )
         })
         .collect()
 }
@@ -154,17 +179,14 @@ pub fn compare_pcg(
             let mf = MilleFeuille::new(device.clone(), mf_config(iters));
             let rep = mf.solve_pcg_with(&a, &b, &ilu);
             let base = baseline.solve_pcg_with(&a, &b, &mf_config(iters), &ilu);
-            Some(CompareRow {
-                name: e.name.clone(),
-                n: a.nrows,
-                nnz: a.nnz(),
-                mf_us: rep.solve_us(),
-                base_us: base.solve_us(),
-                speedup: base.solve_us() / rep.solve_us(),
-                mf_iters: rep.iterations,
-                base_iters: base.iterations,
-                mf_mode: rep.mode,
-            })
+            Some(CompareRow::from_reports(
+                &e.name,
+                a.nrows,
+                a.nnz(),
+                &rep,
+                base.solve_us(),
+                base.iterations,
+            ))
         })
         .collect()
 }
@@ -185,17 +207,14 @@ pub fn compare_pbicgstab(
             let mf = MilleFeuille::new(device.clone(), mf_config(iters));
             let rep = mf.solve_pbicgstab_with(&a, &b, &ilu);
             let base = baseline.solve_pbicgstab_with(&a, &b, &mf_config(iters), &ilu);
-            Some(CompareRow {
-                name: e.name.clone(),
-                n: a.nrows,
-                nnz: a.nnz(),
-                mf_us: rep.solve_us(),
-                base_us: base.solve_us(),
-                speedup: base.solve_us() / rep.solve_us(),
-                mf_iters: rep.iterations,
-                base_iters: base.iterations,
-                mf_mode: rep.mode,
-            })
+            Some(CompareRow::from_reports(
+                &e.name,
+                a.nrows,
+                a.nnz(),
+                &rep,
+                base.solve_us(),
+                base.iterations,
+            ))
         })
         .collect()
 }
@@ -265,6 +284,81 @@ mod tests {
         let nrows =
             compare_pbicgstab(&nentries, &DeviceSpec::a100(), &Baseline::cusparse(), 10);
         assert!(!nrows.is_empty());
+    }
+
+    /// Synthetic reports exercising every status a row can carry — the
+    /// Table-II-style output must distinguish a clean convergence, an
+    /// exhausted iteration budget, and each structured abort.
+    #[test]
+    fn status_column_distinguishes_termination_kinds() {
+        use mf_solver::report::{
+            BreakdownEvent, BreakdownKind, ExecutedMode, RecoveryAction, SolveFailure,
+        };
+
+        fn synthetic(
+            converged: bool,
+            breakdowns: Vec<BreakdownEvent>,
+            failure: Option<SolveFailure>,
+        ) -> mf_solver::SolveReport {
+            mf_solver::SolveReport {
+                x: vec![0.0; 4],
+                converged,
+                iterations: 12,
+                final_relres: 1e-3,
+                mode: ExecutedMode::SingleKernel,
+                timeline: mf_gpu::Timeline::new(),
+                spmv_stats: Default::default(),
+                tiled_memory: Default::default(),
+                csr_memory: 0,
+                warp_count: 4,
+                residual_history: vec![],
+                error_history: vec![],
+                p_range_history: vec![],
+                bypass_history: vec![],
+                precision_history: vec![],
+                preprocess_wall_us: 0.0,
+                breakdowns,
+                failure,
+            }
+        }
+
+        let abort = |kind| BreakdownEvent {
+            iteration: 11,
+            kind,
+            action: RecoveryAction::Aborted,
+        };
+        let cases = [
+            (synthetic(true, vec![], None), "converged"),
+            (synthetic(false, vec![], None), "max_iter"),
+            (
+                synthetic(
+                    false,
+                    vec![abort(BreakdownKind::Curvature)],
+                    Some(SolveFailure::Stalled { iteration: 11 }),
+                ),
+                "aborted(curvature)",
+            ),
+            (
+                synthetic(
+                    false,
+                    vec![abort(BreakdownKind::NonFinite)],
+                    Some(SolveFailure::NonFinite { iteration: 11 }),
+                ),
+                "aborted(non_finite)",
+            ),
+            (
+                synthetic(false, vec![], Some(SolveFailure::Wedged { iteration: 2 })),
+                "aborted(wedged)",
+            ),
+        ];
+        for (mf, expect) in &cases {
+            let row = CompareRow::from_reports("synthetic", 4, 10, mf, 1.0, 12);
+            assert_eq!(&row.mf_status, expect);
+        }
+        // Statuses must be distinct so the table actually separates them.
+        let labels: std::collections::HashSet<_> =
+            cases.iter().map(|(r, _)| r.status_label()).collect();
+        assert_eq!(labels.len(), cases.len());
     }
 
     #[test]

@@ -155,6 +155,84 @@ impl DepArrays {
     }
 }
 
+/// Per-row dependency counters for in-kernel SpTRSV.
+///
+/// The preconditioned solvers run the ILU(0) triangular solves *inside*
+/// the fused kernel: a warp may only combine `x[c]` into row `r` once the
+/// warp owning row `c` has finished it. On the GPU this is the same
+/// `atomicAdd` + busy-wait pattern as [`DepArrays`], but at **row**
+/// granularity and — like the threaded engine's barriers — counting *up
+/// monotonically* instead of resetting between preconditioner
+/// applications: after the `e`-th application of the factor, `done[r] ==
+/// e` for every row, so a consumer in application `e` waits for
+/// `done[c] >= e`. No reset step exists to race with, and a stale read
+/// can only under-estimate the counter (the wait is conservative, never
+/// unsound).
+#[derive(Debug)]
+pub struct RowDeps {
+    done: Vec<AtomicI64>,
+}
+
+impl RowDeps {
+    /// Counters for an `n`-row triangular factor, all starting at zero
+    /// (no application has completed yet).
+    pub fn new(n: usize) -> RowDeps {
+        RowDeps {
+            done: (0..n).map(|_| AtomicI64::new(0)).collect(),
+        }
+    }
+
+    /// Number of rows tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// True when no rows are tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// Publishes that `row` finished its current application
+    /// (`atomicAdd(done[row], 1)`); the store of `x[row]` must happen
+    /// before this call. Returns the new epoch.
+    #[inline]
+    pub fn complete(&self, row: usize) -> i64 {
+        self.done[row].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// True once `row` has completed application `epoch` (1-based).
+    #[inline]
+    pub fn is_done(&self, row: usize, epoch: i64) -> bool {
+        self.done[row].load(Ordering::Acquire) >= epoch
+    }
+
+    /// The raw counter for `row`, for spin loops that interleave the wait
+    /// with poison/watchdog checks (the threaded engine polls through
+    /// its `WarpSync` so a wedged dependency chain fails as `Wedged`
+    /// instead of hanging).
+    #[inline]
+    pub fn counter(&self, row: usize) -> &AtomicI64 {
+        &self.done[row]
+    }
+
+    /// Plain busy-wait until `row` reaches `epoch`; returns the poll
+    /// count. Test/model use only — production spin loops must poll a
+    /// poison flag as well.
+    pub fn wait_row(&self, row: usize, epoch: i64) -> usize {
+        let mut polls = 0usize;
+        while !self.is_done(row, epoch) {
+            std::hint::spin_loop();
+            polls += 1;
+            if polls.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+        }
+        polls
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +377,44 @@ mod tests {
             deps.reset();
         }
         assert_eq!(deps.d_a.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn row_deps_monotone_epochs() {
+        let deps = RowDeps::new(4);
+        assert_eq!(deps.len(), 4);
+        assert!(!deps.is_empty());
+        assert!(!deps.is_done(2, 1));
+        assert_eq!(deps.complete(2), 1);
+        assert!(deps.is_done(2, 1));
+        assert!(!deps.is_done(2, 2));
+        // A second application pushes the epoch, never resets it.
+        assert_eq!(deps.complete(2), 2);
+        assert!(deps.is_done(2, 1));
+        assert!(deps.is_done(2, 2));
+        assert_eq!(deps.wait_row(2, 2), 0);
+    }
+
+    #[test]
+    fn row_deps_cross_thread_chain() {
+        // A strict chain 0 → 1 → 2 executed by three threads completing
+        // out of spawn order still resolves: each waits for its
+        // predecessor's epoch before completing its own row.
+        let deps = RowDeps::new(3);
+        crossbeam::scope(|scope| {
+            for r in (0..3).rev() {
+                let deps = &deps;
+                scope.spawn(move |_| {
+                    if r > 0 {
+                        deps.wait_row(r - 1, 1);
+                    }
+                    deps.complete(r);
+                });
+            }
+        })
+        .unwrap();
+        for r in 0..3 {
+            assert!(deps.is_done(r, 1));
+        }
     }
 }

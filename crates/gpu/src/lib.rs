@@ -33,7 +33,7 @@ pub mod sharedmem;
 pub mod timeline;
 
 pub use cost::CostModel;
-pub use deps::DepArrays;
+pub use deps::{DepArrays, RowDeps};
 pub use device::{DeviceSpec, Vendor};
 pub use schedule::{SpmvSchedule, VectorSchedule};
 pub use sharedmem::ShmemPlan;

@@ -31,8 +31,8 @@ pub use spmv::{
     MixedSpmvStats, SharedTiles,
 };
 pub use sptrsv::{
-    level_schedule, sptrsv_lower, sptrsv_lower_recursive, sptrsv_lower_recursive_into,
-    sptrsv_upper, sptrsv_upper_recursive, sptrsv_upper_recursive_into, LevelSchedule,
-    RecursiveTrsvStats,
+    level_schedule, sptrsv_lower, sptrsv_lower_into, sptrsv_lower_recursive,
+    sptrsv_lower_recursive_into, sptrsv_upper, sptrsv_upper_into, sptrsv_upper_recursive,
+    sptrsv_upper_recursive_into, LevelSchedule, RecursiveTrsvStats,
 };
 pub use visflag::{retrieve_vis_flags, VisFlag};

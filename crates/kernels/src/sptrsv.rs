@@ -64,6 +64,49 @@ pub fn sptrsv_upper(u: &Csr, b: &[f64], unit_diag: bool) -> Vec<f64> {
     x
 }
 
+/// Allocation-free [`sptrsv_lower`]: solves `L x = b` into `x`
+/// (`x.len() == b.len()`), bitwise-identical to the allocating variant.
+/// This is the summation-order reference for the threaded in-kernel
+/// SpTRSV — both combine each row's stored entries in CSR order.
+pub fn sptrsv_lower_into(l: &Csr, b: &[f64], x: &mut [f64], unit_diag: bool) {
+    assert_eq!(l.nrows, l.ncols);
+    assert_eq!(b.len(), l.nrows);
+    assert_eq!(x.len(), l.nrows);
+    for r in 0..l.nrows {
+        let mut sum = 0.0;
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (c, v) in l.row(r) {
+            if c < r {
+                sum += v * x[c];
+            } else if c == r && !unit_diag {
+                diag = v;
+            }
+        }
+        debug_assert!(diag != 0.0, "zero diagonal at row {r}");
+        x[r] = (b[r] - sum) / diag;
+    }
+}
+
+/// Allocation-free [`sptrsv_upper`]: solves `U x = b` into `x`.
+pub fn sptrsv_upper_into(u: &Csr, b: &[f64], x: &mut [f64], unit_diag: bool) {
+    assert_eq!(u.nrows, u.ncols);
+    assert_eq!(b.len(), u.nrows);
+    assert_eq!(x.len(), u.nrows);
+    for r in (0..u.nrows).rev() {
+        let mut sum = 0.0;
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (c, v) in u.row(r) {
+            if c > r {
+                sum += v * x[c];
+            } else if c == r && !unit_diag {
+                diag = v;
+            }
+        }
+        debug_assert!(diag != 0.0, "zero diagonal at row {r}");
+        x[r] = (b[r] - sum) / diag;
+    }
+}
+
 /// Dependency levels of a triangular solve.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LevelSchedule {
@@ -465,5 +508,28 @@ mod tests {
         a.push(2, 1, 3.0);
         let (x, _) = sptrsv_lower_recursive(&a.to_csr(), &[1.0, 0.0, 0.0], true, 1);
         assert_eq!(x, vec![1.0, -2.0, 6.0]);
+    }
+
+    #[test]
+    fn into_variants_bitwise_match_allocating() {
+        let l = random_lower(48, 160);
+        let u = l.transpose();
+        let b: Vec<f64> = (0..48).map(|i| (i as f64 * 0.37).sin() + 0.5).collect();
+
+        let y_alloc = sptrsv_lower(&l, &b, false);
+        let mut y = vec![0.0; 48];
+        sptrsv_lower_into(&l, &b, &mut y, false);
+        assert_eq!(
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y_alloc.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let z_alloc = sptrsv_upper(&u, &y_alloc, true);
+        let mut z = vec![0.0; 48];
+        sptrsv_upper_into(&u, &y, &mut z, true);
+        assert_eq!(
+            z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            z_alloc.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 }

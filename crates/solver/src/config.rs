@@ -130,6 +130,12 @@ pub struct SolverConfig {
     /// [`DEFAULT_WATCHDOG`]. Scale it up for workloads whose healthy solves
     /// legitimately run longer.
     pub watchdog: Option<Duration>,
+    /// When [`crate::MilleFeuille::solve_auto`]'s structure heuristic picks
+    /// CG but the solve aborts on curvature breakdowns (the matrix looked
+    /// SPD and was not), re-dispatch the system to BiCGSTAB instead of
+    /// surfacing the failed CG report. The handoff is recorded as a
+    /// [`crate::report::RecoveryAction::SwitchedSolver`] breakdown event.
+    pub auto_switch_on_breakdown: bool,
 }
 
 impl Default for SolverConfig {
@@ -151,6 +157,7 @@ impl Default for SolverConfig {
             reference_solution: None,
             host_parallelism: HostParallelism::Auto,
             watchdog: Some(DEFAULT_WATCHDOG),
+            auto_switch_on_breakdown: true,
         }
     }
 }
@@ -200,6 +207,7 @@ mod tests {
         assert!(c.fixed_iterations.is_none());
         assert_eq!(c.host_parallelism, HostParallelism::Auto);
         assert_eq!(c.watchdog, Some(DEFAULT_WATCHDOG), "watchdog defaults on");
+        assert!(c.auto_switch_on_breakdown, "auto re-dispatch defaults on");
     }
 
     #[test]

@@ -28,10 +28,16 @@
 //! the solve, and return a [`SolveReport`] with the solution, convergence
 //! data and a full modeled-time breakdown.
 //!
-//! The [`threaded`] module contains a *real* multi-threaded single-kernel
-//! CG engine — warps as OS threads synchronized only through atomic
+//! The [`threaded`] module contains *real* multi-threaded single-kernel
+//! engines — warps as OS threads synchronized only through atomic
 //! dependency counters — used to validate that the paper's in-kernel
-//! synchronization scheme is correct and deadlock-free.
+//! synchronization scheme is correct and deadlock-free. Beyond plain CG
+//! and BiCGSTAB, the preconditioned engines (`solve_pcg_threaded`,
+//! `solve_pbicgstab_threaded`) run the ILU(0) forward/backward triangular
+//! solves *inside* the kernel via per-row dependency counters
+//! ([`mf_gpu::deps::RowDeps`]), and are deterministic and warp-count
+//! invariant by construction so differential tests can compare them
+//! bitwise against sequential references.
 //!
 //! ## Robustness
 //!
@@ -60,4 +66,8 @@ pub use report::{
     BreakdownEvent, BreakdownKind, ExecutedMode, RecoveryAction, SolveFailure, SolveReport,
 };
 pub use solver::MilleFeuille;
-pub use threaded::ThreadedReport;
+pub use threaded::{
+    run_ilu_sptrsv_threaded, run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded,
+    run_pbicgstab_threaded_watchdog, run_pcg_threaded, run_pcg_threaded_watchdog,
+    ThreadedReport,
+};

@@ -27,6 +27,20 @@ pub enum BreakdownKind {
     Panic,
 }
 
+impl BreakdownKind {
+    /// Stable lower-case label used in harness tables and status strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakdownKind::Curvature => "curvature",
+            BreakdownKind::Rho => "rho",
+            BreakdownKind::Omega => "omega",
+            BreakdownKind::NonFinite => "non_finite",
+            BreakdownKind::Watchdog => "watchdog",
+            BreakdownKind::Panic => "panic",
+        }
+    }
+}
+
 /// What the solver did in response to a breakdown.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecoveryAction {
@@ -35,6 +49,9 @@ pub enum RecoveryAction {
     Restarted,
     /// The solve was terminated with a structured [`SolveFailure`].
     Aborted,
+    /// The Auto front-end abandoned this method and re-dispatched the system
+    /// to a different solver (CG → BiCGSTAB after curvature breakdowns).
+    SwitchedSolver,
 }
 
 /// One observed breakdown: where it happened, what it was, what was done.
@@ -80,6 +97,45 @@ pub enum SolveFailure {
         /// Iteration at which the solve was declared stalled.
         iteration: usize,
     },
+}
+
+impl SolveFailure {
+    /// Stable lower-case label used in harness tables and status strings.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            SolveFailure::Wedged { .. } => "wedged",
+            SolveFailure::WarpPanic { .. } => "warp_panic",
+            SolveFailure::NonFinite { .. } => "non_finite",
+            SolveFailure::Stalled { .. } => "stalled",
+        }
+    }
+}
+
+/// Shared Table-II-style status string: `converged`, `max_iter`, or
+/// `aborted(<breakdown>)` where the breakdown label comes from the last
+/// aborting [`BreakdownEvent`] (falling back to the failure's own name when
+/// the abort did not go through the breakdown taxonomy, e.g. a wedge or a
+/// warp panic). Used by both [`SolveReport`] and the threaded reports.
+pub(crate) fn status_label_parts(
+    converged: bool,
+    breakdowns: &[BreakdownEvent],
+    failure: Option<&SolveFailure>,
+) -> String {
+    if converged {
+        return "converged".to_string();
+    }
+    match failure {
+        Some(f) => {
+            let label = breakdowns
+                .iter()
+                .rev()
+                .find(|e| e.action == RecoveryAction::Aborted)
+                .map(|e| e.kind.label())
+                .unwrap_or_else(|| f.short_name());
+            format!("aborted({label})")
+        }
+        None => "max_iter".to_string(),
+    }
 }
 
 /// Which execution path actually ran (after the Auto decision).
@@ -191,6 +247,12 @@ impl SolveReport {
                 .any(|e| e.action == RecoveryAction::Restarted)
     }
 
+    /// One-word status for harness tables: `converged`, `max_iter`, or
+    /// `aborted(<breakdown>)` — see [`status_label_parts`].
+    pub fn status_label(&self) -> String {
+        status_label_parts(self.converged, &self.breakdowns, self.failure.as_ref())
+    }
+
     /// Fraction of nonzero work bypassed entirely.
     pub fn bypass_fraction(&self) -> f64 {
         let total = self.spmv_stats.nnz_total();
@@ -257,6 +319,38 @@ mod tests {
         assert!(r.recovered());
         r.failure = Some(SolveFailure::Stalled { iteration: 5 });
         assert!(!r.recovered(), "a terminal failure is not a recovery");
+    }
+
+    #[test]
+    fn status_labels_cover_the_three_outcomes() {
+        let mut r = dummy();
+        assert_eq!(r.status_label(), "converged");
+
+        r.converged = false;
+        assert_eq!(r.status_label(), "max_iter", "no failure means max_iter");
+
+        r.failure = Some(SolveFailure::Stalled { iteration: 7 });
+        r.breakdowns.push(BreakdownEvent {
+            iteration: 3,
+            kind: BreakdownKind::Curvature,
+            action: RecoveryAction::Restarted,
+        });
+        r.breakdowns.push(BreakdownEvent {
+            iteration: 7,
+            kind: BreakdownKind::Curvature,
+            action: RecoveryAction::Aborted,
+        });
+        assert_eq!(r.status_label(), "aborted(curvature)");
+
+        // Failures that bypass the breakdown taxonomy use their own name.
+        r.breakdowns.clear();
+        r.failure = Some(SolveFailure::Wedged { iteration: 2 });
+        assert_eq!(r.status_label(), "aborted(wedged)");
+        r.failure = Some(SolveFailure::WarpPanic {
+            warp: 1,
+            message: "boom".into(),
+        });
+        assert_eq!(r.status_label(), "aborted(warp_panic)");
     }
 
     #[test]

@@ -190,12 +190,39 @@ impl MilleFeuille {
     /// Solves `A x = b`, picking the method by matrix structure the way the
     /// paper partitions SuiteSparse: CG for (likely) symmetric positive
     /// definite matrices, BiCGSTAB otherwise.
+    ///
+    /// The structure heuristic can be fooled (a symmetric, diagonally
+    /// dominated-looking matrix that is actually indefinite). When CG then
+    /// aborts on curvature breakdowns and
+    /// [`SolverConfig::auto_switch_on_breakdown`] is on (the default), the
+    /// system is re-dispatched to BiCGSTAB; the returned report is the
+    /// BiCGSTAB one with CG's breakdown trail prepended and the handoff
+    /// recorded as a [`crate::report::RecoveryAction::SwitchedSolver`]
+    /// event.
     pub fn solve_auto(&self, a: &Csr, b: &[f64]) -> SolveReport {
-        if mf_sparse::MatrixStats::compute(a).likely_spd() {
-            self.solve_cg(a, b)
-        } else {
-            self.solve_bicgstab(a, b)
+        use crate::report::{BreakdownEvent, BreakdownKind, RecoveryAction};
+        if !mf_sparse::MatrixStats::compute(a).likely_spd() {
+            return self.solve_bicgstab(a, b);
         }
+        let cg = self.solve_cg(a, b);
+        let curvature_abort = cg.failure.is_some()
+            && cg
+                .breakdowns
+                .iter()
+                .any(|e| e.kind == BreakdownKind::Curvature);
+        if !(curvature_abort && self.config.auto_switch_on_breakdown) {
+            return cg;
+        }
+        let mut handoff = cg.breakdowns;
+        handoff.push(BreakdownEvent {
+            iteration: cg.iterations,
+            kind: BreakdownKind::Curvature,
+            action: RecoveryAction::SwitchedSolver,
+        });
+        let mut rep = self.solve_bicgstab(a, b);
+        handoff.extend(rep.breakdowns.iter().copied());
+        rep.breakdowns = handoff;
+        rep
     }
 
     /// Solves `A x = b` with CG (A must be SPD).
@@ -354,6 +381,77 @@ impl MilleFeuille {
         let mc = MultiCoster::new(self.cost(), a.nrows);
         let core = run_pbicgstab(&pre.tiled, &mut shared, ilu, b, &self.config, &mc, &mut partial);
         self.assemble(a, pre, mode, 0, core)
+    }
+
+    /// Solves `A x = b` with the threaded single-kernel ILU(0)-PCG engine:
+    /// the forward/backward triangular solves run *inside* the kernel via
+    /// per-row dependency counters (no kernel-boundary synchronization),
+    /// with `tolerance`, `max_iter` and [`SolverConfig::watchdog`] inherited
+    /// from this facade's config and `max_warps` capping the thread count.
+    ///
+    /// Returns `Err` with the factorization failure when ILU(0) breaks down.
+    pub fn solve_pcg_threaded(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        max_warps: usize,
+    ) -> Result<crate::threaded::ThreadedReport, mf_kernels::ilu::FactorError> {
+        let ilu = ilu0(a)?;
+        Ok(self.solve_pcg_threaded_with(a, b, &ilu, max_warps))
+    }
+
+    /// [`Self::solve_pcg_threaded`] with a caller-provided factorization
+    /// (benchmark reuse, or stress tests injecting corrupted factors).
+    pub fn solve_pcg_threaded_with(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        ilu: &Ilu0,
+        max_warps: usize,
+    ) -> crate::threaded::ThreadedReport {
+        let pre = self.preprocess(a);
+        crate::threaded::run_pcg_threaded_watchdog(
+            &pre.tiled,
+            ilu,
+            b,
+            self.config.tolerance,
+            self.config.max_iter,
+            max_warps,
+            self.config.watchdog,
+        )
+    }
+
+    /// Threaded single-kernel ILU(0)-PBiCGSTAB; see
+    /// [`Self::solve_pcg_threaded`].
+    pub fn solve_pbicgstab_threaded(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        max_warps: usize,
+    ) -> Result<crate::threaded::ThreadedReport, mf_kernels::ilu::FactorError> {
+        let ilu = ilu0(a)?;
+        Ok(self.solve_pbicgstab_threaded_with(a, b, &ilu, max_warps))
+    }
+
+    /// [`Self::solve_pbicgstab_threaded`] with a caller-provided
+    /// factorization.
+    pub fn solve_pbicgstab_threaded_with(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        ilu: &Ilu0,
+        max_warps: usize,
+    ) -> crate::threaded::ThreadedReport {
+        let pre = self.preprocess(a);
+        crate::threaded::run_pbicgstab_threaded_watchdog(
+            &pre.tiled,
+            ilu,
+            b,
+            self.config.tolerance,
+            self.config.max_iter,
+            max_warps,
+            self.config.watchdog,
+        )
     }
 
     fn build_coster(&self, tiled: &TiledMatrix, mode: ExecutedMode) -> Coster {
@@ -640,6 +738,109 @@ mod tests {
         let rep = solver.solve_auto(&nonsym, &bn);
         assert!(rep.converged);
         assert!(rep.true_relres(&nonsym, &bn) < 1e-9);
+    }
+
+    #[test]
+    fn facade_threaded_preconditioned_end_to_end() {
+        let a = poisson1d(300);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let rep = solver.solve_pcg_threaded(&a, &b, 4).unwrap();
+        assert!(rep.converged);
+        assert!(rep.failure.is_none());
+        // ILU(0) is exact on a tridiagonal system.
+        assert!(rep.iterations <= 3, "{}", rep.iterations);
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+        let rep = solver.solve_pbicgstab_threaded(&a, &b, 4).unwrap();
+        assert!(rep.converged);
+        assert!(rep.failure.is_none());
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+        // Factorization failure propagates as Err, not a panic.
+        let mut zero_diag = Coo::new(4, 4);
+        zero_diag.push(0, 1, 1.0);
+        zero_diag.push(1, 0, 1.0);
+        zero_diag.push(2, 2, 1.0);
+        zero_diag.push(3, 3, 1.0);
+        assert!(solver
+            .solve_pcg_threaded(&zero_diag.to_csr(), &[1.0; 4], 2)
+            .is_err());
+    }
+
+    /// A symmetric matrix with positive diagonal and 38/40 = 0.95 > 0.9
+    /// diagonally dominant rows passes `likely_spd`, but the trailing
+    /// [[1, 5], [5, 1]] block (eigenvalues 6 and −4) makes it indefinite:
+    /// CG aborts on curvature breakdowns. Auto must re-dispatch to
+    /// BiCGSTAB, record the handoff, and still solve the system.
+    #[test]
+    fn solve_auto_switches_solver_on_curvature_breakdown() {
+        use crate::report::{BreakdownKind, RecoveryAction};
+        let n = 40;
+        let mut a = Coo::new(n, n);
+        for i in 0..n - 2 {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n - 2 {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.push(n - 2, n - 2, 1.0);
+        a.push(n - 2, n - 1, 5.0);
+        a.push(n - 1, n - 2, 5.0);
+        a.push(n - 1, n - 1, 1.0);
+        let a = a.to_csr();
+        assert!(
+            mf_sparse::MatrixStats::compute(&a).likely_spd(),
+            "fixture must fool the SPD heuristic"
+        );
+        // RHS concentrated in the indefinite block: p₀ = b has
+        // bᵀAb = [1,−1]·[[1,5],[5,1]]·[1,−1]ᵀ = −8 < 0, so CG hits the
+        // curvature breakdown immediately and restarting from the residual
+        // is a fixed point.
+        let mut b = vec![0.0; n];
+        b[n - 2] = 1.0;
+        b[n - 1] = -1.0;
+
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        // CG alone breaks down on this system (prerequisite of the test).
+        let cg = solver.solve_cg(&a, &b);
+        assert!(cg.failure.is_some(), "CG should abort: {:?}", cg.failure);
+        assert!(cg
+            .breakdowns
+            .iter()
+            .any(|e| e.kind == BreakdownKind::Curvature));
+
+        let rep = solver.solve_auto(&a, &b);
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        assert!(rep.failure.is_none());
+        assert!(rep.true_relres(&a, &b) < 1e-8);
+        let switch = rep
+            .breakdowns
+            .iter()
+            .filter(|e| e.action == RecoveryAction::SwitchedSolver)
+            .count();
+        assert_eq!(switch, 1, "exactly one handoff event: {:?}", rep.breakdowns);
+        assert_eq!(rep.status_label(), "converged");
+
+        // The knob turns the re-dispatch off: the failed CG report surfaces.
+        let pinned = MilleFeuille::new(
+            DeviceSpec::a100(),
+            SolverConfig {
+                auto_switch_on_breakdown: false,
+                ..SolverConfig::default()
+            },
+        );
+        let rep = pinned.solve_auto(&a, &b);
+        assert!(rep.failure.is_some());
+        assert!(!rep
+            .breakdowns
+            .iter()
+            .any(|e| e.action == RecoveryAction::SwitchedSolver));
     }
 
     #[test]

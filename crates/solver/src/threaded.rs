@@ -48,8 +48,10 @@
 
 use crate::config::{DEFAULT_WATCHDOG, MAX_CONSECUTIVE_RESTARTS};
 use crate::report::{BreakdownEvent, BreakdownKind, RecoveryAction, SolveFailure};
-use mf_gpu::SpmvSchedule;
-use mf_sparse::TiledMatrix;
+use mf_gpu::{RowDeps, SpmvSchedule};
+use mf_kernels::ilu::Ilu0;
+use mf_sparse::{Csr, TiledMatrix};
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -73,6 +75,20 @@ pub struct ThreadedReport {
     /// Set when the solve terminated abnormally; `None` for converged and
     /// plain out-of-iterations runs.
     pub failure: Option<SolveFailure>,
+    /// Recurrence relative residual after each completed (non-breakdown)
+    /// iteration, recorded by warp 0 — the threaded counterpart of
+    /// [`crate::SolveReport::residual_history`], used by the differential
+    /// harness to assert trajectory parity against the sequential oracle.
+    pub residual_history: Vec<f64>,
+}
+
+impl ThreadedReport {
+    /// Table-II style status: `converged`, `max_iter`, or
+    /// `aborted(<breakdown>)` naming why the solve stopped early (same
+    /// labeling as [`crate::SolveReport::status_label`]).
+    pub fn status_label(&self) -> String {
+        crate::report::status_label_parts(self.converged, &self.breakdowns, self.failure.as_ref())
+    }
 }
 
 // Poison codes: why the solve was released early. First writer wins (CAS
@@ -199,6 +215,8 @@ impl FailureCell {
 struct WarpOut {
     events: Vec<BreakdownEvent>,
     panic: Option<String>,
+    /// Warp 0's per-iteration recurrence relres trail (empty elsewhere).
+    trail: Vec<f64>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -238,10 +256,13 @@ fn finish_report(
     mut outs: Vec<WarpOut>,
 ) -> ThreadedReport {
     let iterations = iterations_done.load(Ordering::Acquire) as usize;
-    let mut breakdowns = if outs.is_empty() {
-        Vec::new()
+    let (mut breakdowns, residual_history) = if outs.is_empty() {
+        (Vec::new(), Vec::new())
     } else {
-        std::mem::take(&mut outs[0].events)
+        (
+            std::mem::take(&mut outs[0].events),
+            std::mem::take(&mut outs[0].trail),
+        )
     };
     let panic_hit = outs
         .iter()
@@ -281,6 +302,7 @@ fn finish_report(
         warps,
         breakdowns,
         failure,
+        residual_history,
     }
 }
 
@@ -360,6 +382,7 @@ pub fn run_cg_threaded_watchdog(
             warps,
             breakdowns: Vec::new(),
             failure: None,
+            residual_history: Vec::new(),
         };
     }
 
@@ -426,6 +449,7 @@ pub fn run_cg_threaded_watchdog(
             handles.push(scope.spawn(move |_| {
                 let sync = WarpSync { poison, deadline };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
+                let mut trail: Vec<f64> = Vec::new();
                 let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
                     let my_segs = seg_lo[w]..seg_lo[w + 1];
                     let elems = |s: usize| (s * ts)..(((s + 1) * ts).min(n));
@@ -618,6 +642,7 @@ pub fn run_cg_threaded_watchdog(
                         if w == 0 {
                             iterations_done.store(j + 1, Ordering::Release);
                             final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                            trail.push(relres);
                         }
                         if relres < tol {
                             if w == 0 {
@@ -632,6 +657,7 @@ pub fn run_cg_threaded_watchdog(
                     Ok(_) => WarpOut {
                         events,
                         panic: None,
+                        trail,
                     },
                     Err(payload) => {
                         // Poison first so spinning siblings are released,
@@ -645,6 +671,7 @@ pub fn run_cg_threaded_watchdog(
                         WarpOut {
                             events,
                             panic: Some(panic_message(payload)),
+                            trail,
                         }
                     }
                 }
@@ -656,6 +683,7 @@ pub fn run_cg_threaded_watchdog(
                 h.join().unwrap_or_else(|_| WarpOut {
                     events: Vec::new(),
                     panic: Some("warp thread died outside the panic guard".to_string()),
+                    trail: Vec::new(),
                 })
             })
             .collect()
@@ -725,6 +753,7 @@ pub fn run_bicgstab_threaded_watchdog(
             warps,
             breakdowns: Vec::new(),
             failure: None,
+            residual_history: Vec::new(),
         };
     }
 
@@ -789,6 +818,7 @@ pub fn run_bicgstab_threaded_watchdog(
             handles.push(scope.spawn(move |_| {
                 let sync = WarpSync { poison, deadline };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
+                let mut trail: Vec<f64> = Vec::new();
                 let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
                     let my_segs = seg_lo[w]..seg_lo[w + 1];
                     let elems = |sg: usize| (sg * ts)..(((sg + 1) * ts).min(n));
@@ -1047,6 +1077,7 @@ pub fn run_bicgstab_threaded_watchdog(
                         if w == 0 {
                             iterations_done.store(j + 1, Ordering::Release);
                             final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                            trail.push(relres);
                         }
                         if relres < tol {
                             if w == 0 {
@@ -1074,6 +1105,7 @@ pub fn run_bicgstab_threaded_watchdog(
                     Ok(_) => WarpOut {
                         events,
                         panic: None,
+                        trail,
                     },
                     Err(payload) => {
                         let _ = poison.compare_exchange(
@@ -1085,6 +1117,7 @@ pub fn run_bicgstab_threaded_watchdog(
                         WarpOut {
                             events,
                             panic: Some(panic_message(payload)),
+                            trail,
                         }
                     }
                 }
@@ -1096,11 +1129,1099 @@ pub fn run_bicgstab_threaded_watchdog(
                 h.join().unwrap_or_else(|_| WarpOut {
                     events: Vec::new(),
                     panic: Some("warp thread died outside the panic guard".to_string()),
+                    trail: Vec::new(),
                 })
             })
             .collect()
     })
     .expect("threaded BiCGSTAB scope failed");
+
+    finish_report(
+        &x,
+        warps,
+        &iterations_done,
+        &converged_flag,
+        &final_relres_bits,
+        &poison,
+        &failure_cell,
+        outs,
+    )
+}
+
+/// Starting tile index of each tile row (tiles are stored sorted by
+/// `(tile_row, tile_col)`), padded to `segments + 1` entries so trailing
+/// all-zero tile rows own an empty range. Warp `w` of the preconditioned
+/// engines owns exactly the tiles of its tile rows — the owner-computes
+/// SpMV needs no atomics and reproduces `TiledMatrix::matvec`'s per-row
+/// summation order bitwise at any warp count.
+fn tile_row_starts(m: &TiledMatrix, segments: usize) -> Vec<usize> {
+    let mut starts = vec![0usize; segments + 1];
+    for &tr in &m.tile_rowidx {
+        starts[tr as usize + 1] += 1;
+    }
+    for s in 0..segments {
+        starts[s + 1] += starts[s];
+    }
+    starts
+}
+
+/// One warp's rows of a dependency-ordered forward (lower-triangular)
+/// substitution: ascending own rows, spinning on [`RowDeps`] for every
+/// entry outside the already-completed own range. On a well-formed factor
+/// this combines each row's entries in CSR order — bitwise-identical to
+/// [`mf_kernels::sptrsv::sptrsv_lower`]. Unlike the sequential kernel,
+/// entries *above* the diagonal are not silently ignored but treated as
+/// dependencies: a corrupted/cyclic factor therefore wedges the spin loop
+/// (and fails as `Wedged` via the watchdog) instead of reading garbage.
+#[allow(clippy::too_many_arguments)]
+fn warp_sptrsv_lower(
+    l: &Csr,
+    unit_diag: bool,
+    rhs: &[AtomicU64],
+    out: &[AtomicU64],
+    deps: &RowDeps,
+    rows: Range<usize>,
+    epoch: i64,
+    sync: WarpSync<'_>,
+) -> Result<(), i64> {
+    for r in rows.clone() {
+        let mut sum = 0.0;
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (c, v) in l.row(r) {
+            if c == r {
+                if !unit_diag {
+                    diag = v;
+                }
+                continue;
+            }
+            if !(rows.start <= c && c < r) {
+                sync.spin_until(deps.counter(c), epoch)?;
+            }
+            sum += v * f64::from_bits(out[c].load(Ordering::Acquire));
+        }
+        let xr = (f64::from_bits(rhs[r].load(Ordering::Acquire)) - sum) / diag;
+        out[r].store(xr.to_bits(), Ordering::Release);
+        deps.complete(r);
+    }
+    Ok(())
+}
+
+/// Backward (upper-triangular) counterpart of [`warp_sptrsv_lower`]:
+/// descending own rows; sub-diagonal entries are dependencies, not noise.
+#[allow(clippy::too_many_arguments)]
+fn warp_sptrsv_upper(
+    u: &Csr,
+    unit_diag: bool,
+    rhs: &[AtomicU64],
+    out: &[AtomicU64],
+    deps: &RowDeps,
+    rows: Range<usize>,
+    epoch: i64,
+    sync: WarpSync<'_>,
+) -> Result<(), i64> {
+    for r in rows.clone().rev() {
+        let mut sum = 0.0;
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (c, v) in u.row(r) {
+            if c == r {
+                if !unit_diag {
+                    diag = v;
+                }
+                continue;
+            }
+            if !(r < c && c < rows.end) {
+                sync.spin_until(deps.counter(c), epoch)?;
+            }
+            sum += v * f64::from_bits(out[c].load(Ordering::Acquire));
+        }
+        let xr = (f64::from_bits(rhs[r].load(Ordering::Acquire)) - sum) / diag;
+        out[r].store(xr.to_bits(), Ordering::Release);
+        deps.complete(r);
+    }
+    Ok(())
+}
+
+/// Runs one threaded `L y = b; U x = y` solve with the default watchdog;
+/// see [`run_ilu_sptrsv_threaded_watchdog`].
+pub fn run_ilu_sptrsv_threaded(
+    l: &Csr,
+    u: &Csr,
+    b: &[f64],
+    unit_lower: bool,
+    unit_upper: bool,
+    seg: usize,
+    max_warps: usize,
+) -> ThreadedReport {
+    run_ilu_sptrsv_threaded_watchdog(
+        l,
+        u,
+        b,
+        unit_lower,
+        unit_upper,
+        seg,
+        max_warps,
+        Some(DEFAULT_WATCHDOG),
+    )
+}
+
+/// Executes one forward + backward triangular solve pair (`L y = b`, then
+/// `U x = y`) with warps cooperating through per-row [`RowDeps`] counters —
+/// the standalone harness for the in-kernel SpTRSV protocol used by the
+/// preconditioned engines. Rows are segmented in chunks of `seg`
+/// (the "tile size") over `max_warps.min(segments)` warps.
+///
+/// On success the report has `converged = true`, `iterations = 1` and
+/// `x` holding the backward-solve result (`final_relres` is not
+/// meaningful for a direct solve and is reported as `0`). A dependency
+/// cycle (corrupted factor) fails as [`SolveFailure::Wedged`] once
+/// `watchdog` expires; a panicking warp (e.g. out-of-range column index)
+/// fails as [`SolveFailure::WarpPanic`] — never a hang.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ilu_sptrsv_threaded_watchdog(
+    l: &Csr,
+    u: &Csr,
+    b: &[f64],
+    unit_lower: bool,
+    unit_upper: bool,
+    seg: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
+    let n = l.nrows;
+    assert_eq!(l.nrows, l.ncols);
+    assert_eq!(u.nrows, u.ncols);
+    assert_eq!(u.nrows, n);
+    assert_eq!(b.len(), n);
+    assert!(seg >= 1);
+    assert!(max_warps >= 1);
+
+    let segments = n.div_ceil(seg).max(1);
+    let warps = segments.min(max_warps).max(1);
+    let seg_lo = segment_bounds(segments, warps);
+
+    let rhs: Vec<AtomicU64> = b.iter().map(|&v| AtomicU64::new(v.to_bits())).collect();
+    let y: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let z: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let fwd = RowDeps::new(n);
+    let bwd = RowDeps::new(n);
+    let done_bar = AtomicI64::new(0);
+
+    let iterations_done = AtomicI64::new(0);
+    let converged_flag = AtomicI64::new(0);
+    let final_relres_bits = AtomicU64::new(0f64.to_bits());
+    let poison = AtomicI64::new(POISON_NONE);
+    let failure_cell = FailureCell::new();
+    let deadline = watchdog.map(|d| Instant::now() + d);
+    let warps_i = warps as i64;
+
+    let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(warps);
+        for w in 0..warps {
+            let (rhs, y, z) = (&rhs, &y, &z);
+            let (fwd, bwd) = (&fwd, &bwd);
+            let (seg_lo, done_bar) = (&seg_lo, &done_bar);
+            let iterations_done = &iterations_done;
+            let converged_flag = &converged_flag;
+            let poison = &poison;
+            handles.push(scope.spawn(move |_| {
+                let sync = WarpSync { poison, deadline };
+                let events: Vec<BreakdownEvent> = Vec::new();
+                let trail: Vec<f64> = Vec::new();
+                let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
+                    let rows = (seg_lo[w] * seg)..((seg_lo[w + 1] * seg).min(n));
+                    sync.iteration_gate()?;
+                    warp_sptrsv_lower(l, unit_lower, rhs, y, fwd, rows.clone(), 1, sync)?;
+                    warp_sptrsv_upper(u, unit_upper, y, z, bwd, rows, 1, sync)?;
+                    // Completion barrier so success is only reported once
+                    // every warp finished (a late panic must win).
+                    done_bar.fetch_add(1, Ordering::AcqRel);
+                    sync.spin_until(done_bar, warps_i)?;
+                    if w == 0 {
+                        iterations_done.store(1, Ordering::Release);
+                        converged_flag.store(1, Ordering::Release);
+                    }
+                    Ok(())
+                }));
+                match body {
+                    Ok(_) => WarpOut {
+                        events,
+                        panic: None,
+                        trail,
+                    },
+                    Err(payload) => {
+                        let _ = poison.compare_exchange(
+                            POISON_NONE,
+                            POISON_PANIC,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        WarpOut {
+                            events,
+                            panic: Some(panic_message(payload)),
+                            trail,
+                        }
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| WarpOut {
+                    events: Vec::new(),
+                    panic: Some("warp thread died outside the panic guard".to_string()),
+                    trail: Vec::new(),
+                })
+            })
+            .collect()
+    })
+    .expect("threaded SpTRSV scope failed");
+
+    finish_report(
+        &z,
+        warps,
+        &iterations_done,
+        &converged_flag,
+        &final_relres_bits,
+        &poison,
+        &failure_cell,
+        outs,
+    )
+}
+
+/// Runs ILU(0)-preconditioned CG with the default watchdog
+/// ([`DEFAULT_WATCHDOG`]); see [`run_pcg_threaded_watchdog`].
+pub fn run_pcg_threaded(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+) -> ThreadedReport {
+    run_pcg_threaded_watchdog(m, ilu, b, tol, max_iter, max_warps, Some(DEFAULT_WATCHDOG))
+}
+
+/// Runs ILU(0)-preconditioned CG entirely inside the "single kernel":
+/// warps cooperate on the forward/backward SpTRSV through per-row
+/// [`RowDeps`] epoch counters, busy-waiting on predecessor rows with the
+/// poison flag and watchdog polled in every spin (a wedged triangular
+/// dependency fails as [`SolveFailure::Wedged`], a panicking warp as
+/// [`SolveFailure::WarpPanic`]). Breakdown/restart semantics mirror the
+/// sequential `run_pcg` core: non-positive curvature restarts the
+/// direction from `p = z`, futile restarts abort as `Stalled`.
+///
+/// The engine is deterministic *and warp-count invariant by construction*:
+/// the SpMV is owner-computes over whole tile rows (no atomic adds, same
+/// per-row summation order as [`TiledMatrix::matvec`]), dot products are
+/// per-segment single-writer partials reduced in fixed segment order by
+/// every warp, and the triangular solves combine each row's entries in
+/// CSR order exactly like the sequential kernel. Residual trajectories
+/// are therefore bitwise-reproducible across 1..k warps — the property
+/// the differential harness in `tests/threaded_parity.rs` locks down.
+pub fn run_pcg_threaded_watchdog(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+    assert_eq!(m.nrows, m.ncols);
+    assert_eq!(ilu.l.nrows, n);
+    assert_eq!(ilu.u.nrows, n);
+    assert!(max_warps >= 1);
+
+    let ts = m.tile_size;
+    let segments = n.div_ceil(ts).max(1);
+    let warps = segments.min(max_warps).max(1);
+    let seg_lo = segment_bounds(segments, warps);
+    let tr_start = tile_row_starts(m, segments);
+
+    let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_b == 0.0 {
+        return ThreadedReport {
+            x: vec![0.0; n],
+            iterations: 0,
+            converged: true,
+            final_relres: 0.0,
+            warps,
+            breakdowns: Vec::new(),
+            failure: None,
+            residual_history: Vec::new(),
+        };
+    }
+
+    let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
+        v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
+    };
+    let zeros = vec![0.0; n];
+    let x = to_cells(&zeros);
+    let r = to_cells(b);
+    let p = to_cells(&zeros);
+    let uv = to_cells(&zeros); // u = A p
+    let y = to_cells(&zeros); // forward-solve scratch
+    let z = to_cells(&zeros); // preconditioned residual
+
+    let fwd = RowDeps::new(n);
+    let bwd = RowDeps::new(n);
+    let bar = AtomicI64::new(0);
+
+    // Per-segment single-writer dot partials: warp w stores the partial of
+    // each segment it owns; after the barrier every warp reduces segments
+    // 0..segments in order, so the totals are identical on every warp and
+    // independent of the warp count. One array per dot site — at least one
+    // barrier always separates a site's reads from its next writes.
+    let mk_seg = || -> Vec<AtomicU64> { (0..segments).map(|_| AtomicU64::new(0)).collect() };
+    let seg_pu = mk_seg();
+    let seg_rr = mk_seg();
+    let seg_rz = mk_seg();
+    let seg_rz_bd = mk_seg();
+
+    let iterations_done = AtomicI64::new(0);
+    let converged_flag = AtomicI64::new(0);
+    let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
+    let poison = AtomicI64::new(POISON_NONE);
+    let failure_cell = FailureCell::new();
+    let deadline = watchdog.map(|d| Instant::now() + d);
+    let warps_i = warps as i64;
+
+    let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(warps);
+        for w in 0..warps {
+            let (x, r, p, uv, y, z) = (&x, &r, &p, &uv, &y, &z);
+            let (fwd, bwd, bar) = (&fwd, &bwd, &bar);
+            let (seg_pu, seg_rr, seg_rz, seg_rz_bd) = (&seg_pu, &seg_rr, &seg_rz, &seg_rz_bd);
+            let (seg_lo, tr_start) = (&seg_lo, &tr_start);
+            let iterations_done = &iterations_done;
+            let converged_flag = &converged_flag;
+            let final_relres_bits = &final_relres_bits;
+            let poison = &poison;
+            let failure_cell = &failure_cell;
+            handles.push(scope.spawn(move |_| {
+                let sync = WarpSync { poison, deadline };
+                let mut events: Vec<BreakdownEvent> = Vec::new();
+                let mut trail: Vec<f64> = Vec::new();
+                let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
+                    let my_segs = seg_lo[w]..seg_lo[w + 1];
+                    let elems = |s: usize| (s * ts)..(((s + 1) * ts).min(n));
+                    let rows = (seg_lo[w] * ts)..((seg_lo[w + 1] * ts).min(n));
+                    let my_tiles = tr_start[seg_lo[w]]..tr_start[seg_lo[w + 1]];
+                    let tile_vals: Vec<Vec<f64>> =
+                        my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+                    let mut acc = vec![0.0f64; ts];
+
+                    let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
+                    let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+                    let seg_total = |cells: &[AtomicU64]| -> f64 {
+                        let mut t = 0.0;
+                        for cell in cells.iter() {
+                            t += f64::from_bits(cell.load(Ordering::Acquire));
+                        }
+                        t
+                    };
+                    let mut bar_epoch = 0i64;
+                    let mut barrier = || -> Result<(), i64> {
+                        bar_epoch += 1;
+                        bar.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(bar, warps_i * bar_epoch)
+                    };
+                    // Owner-computes SpMV over my whole tile rows: local
+                    // accumulation per segment, one plain store per row —
+                    // no atomics, no inter-iteration zeroing.
+                    let mut spmv_own = |input: &[AtomicU64], output: &[AtomicU64]| {
+                        for s in my_segs.clone() {
+                            let base_row = s * ts;
+                            let len = ((s + 1) * ts).min(n) - base_row;
+                            acc[..len].fill(0.0);
+                            for i in tr_start[s]..tr_start[s + 1] {
+                                let base_col = m.tile_colidx[i] as usize * ts;
+                                let nnz_base = m.tile_nnz[i] as usize;
+                                let vals = &tile_vals[i - my_tiles.start];
+                                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                    let mut sum = 0.0;
+                                    for k in
+                                        m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                                    {
+                                        sum += vals[k - nnz_base]
+                                            * f64::from_bits(
+                                                input[base_col + m.csr_colidx[k] as usize]
+                                                    .load(Ordering::Acquire),
+                                            );
+                                    }
+                                    acc[m.row_index[ri] as usize] += sum;
+                                }
+                            }
+                            for (o, v) in acc[..len].iter().enumerate() {
+                                output[base_row + o].store(v.to_bits(), Ordering::Release);
+                            }
+                        }
+                    };
+
+                    let mut apply_epoch = 0i64;
+                    let mut consecutive_restarts = 0usize;
+
+                    // ---- Init: z = M⁻¹ r (r = b), p = z, ρ = (r, z).
+                    sync.iteration_gate()?;
+                    apply_epoch += 1;
+                    warp_sptrsv_lower(&ilu.l, true, r, y, fwd, rows.clone(), apply_epoch, sync)?;
+                    warp_sptrsv_upper(&ilu.u, false, y, z, bwd, rows.clone(), apply_epoch, sync)?;
+                    for s in my_segs.clone() {
+                        let mut part = 0.0;
+                        for e in elems(s) {
+                            let zv = ld(&z[e]);
+                            st(&p[e], zv);
+                            part += ld(&r[e]) * zv;
+                        }
+                        st(&seg_rz[s], part);
+                    }
+                    barrier()?; // publishes p and the ρ partials
+                    let mut rz = seg_total(seg_rz);
+
+                    for j in 0..max_iter as i64 {
+                        sync.iteration_gate()?;
+
+                        // ---- u = A p; curvature pᵀ A p.
+                        spmv_own(p, uv);
+                        for s in my_segs.clone() {
+                            let mut part = 0.0;
+                            for e in elems(s) {
+                                part += ld(&uv[e]) * ld(&p[e]);
+                            }
+                            st(&seg_pu[s], part);
+                        }
+                        barrier()?;
+                        let pu = seg_total(seg_pu);
+                        let alpha = rz / pu;
+
+                        if !alpha.is_finite() || pu <= 0.0 {
+                            // ---- Breakdown: restart the direction from the
+                            // current residual (p = z, ρ = (r, z)); identical
+                            // decision on every warp, barrier counts aligned.
+                            let kind = if pu.is_finite() && pu <= 0.0 {
+                                BreakdownKind::Curvature
+                            } else {
+                                BreakdownKind::NonFinite
+                            };
+                            for s in my_segs.clone() {
+                                let mut part = 0.0;
+                                for e in elems(s) {
+                                    let zv = ld(&z[e]);
+                                    st(&p[e], zv);
+                                    part += ld(&r[e]) * zv;
+                                }
+                                st(&seg_rz_bd[s], part);
+                            }
+                            barrier()?;
+                            let rz_restart = seg_total(seg_rz_bd);
+                            rz = rz_restart;
+                            consecutive_restarts += 1;
+                            let abort_nonfinite = !rz_restart.is_finite();
+                            let abort_stalled =
+                                consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let action = if abort_nonfinite || abort_stalled {
+                                RecoveryAction::Aborted
+                            } else {
+                                RecoveryAction::Restarted
+                            };
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind,
+                                action,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                if abort_nonfinite {
+                                    failure_cell.set(FAIL_NONFINITE, j);
+                                } else if abort_stalled {
+                                    failure_cell.set(FAIL_STALLED, j);
+                                }
+                            }
+                            if abort_nonfinite || abort_stalled {
+                                return Ok(());
+                            }
+                            continue;
+                        }
+
+                        // ---- x += αp, r −= αu, ‖r‖² partials.
+                        for s in my_segs.clone() {
+                            let mut part = 0.0;
+                            for e in elems(s) {
+                                st(&x[e], ld(&x[e]) + alpha * ld(&p[e]));
+                                let rv = ld(&r[e]) - alpha * ld(&uv[e]);
+                                st(&r[e], rv);
+                                part += rv * rv;
+                            }
+                            st(&seg_rr[s], part);
+                        }
+                        barrier()?;
+                        let rr = seg_total(seg_rr);
+                        if !rr.is_finite() {
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: BreakdownKind::NonFinite,
+                                action: RecoveryAction::Aborted,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                failure_cell.set(FAIL_NONFINITE, j);
+                            }
+                            return Ok(());
+                        }
+                        consecutive_restarts = 0;
+
+                        // ---- z = M⁻¹ r (the barrier above published every
+                        // segment of r) and ρ' = (r, z).
+                        apply_epoch += 1;
+                        warp_sptrsv_lower(
+                            &ilu.l,
+                            true,
+                            r,
+                            y,
+                            fwd,
+                            rows.clone(),
+                            apply_epoch,
+                            sync,
+                        )?;
+                        warp_sptrsv_upper(
+                            &ilu.u,
+                            false,
+                            y,
+                            z,
+                            bwd,
+                            rows.clone(),
+                            apply_epoch,
+                            sync,
+                        )?;
+                        for s in my_segs.clone() {
+                            let mut part = 0.0;
+                            for e in elems(s) {
+                                part += ld(&r[e]) * ld(&z[e]);
+                            }
+                            st(&seg_rz[s], part);
+                        }
+                        barrier()?;
+                        let rz_new = seg_total(seg_rz);
+                        let beta = rz_new / rz;
+                        rz = rz_new;
+
+                        // ---- p = z + βp.
+                        for s in my_segs.clone() {
+                            for e in elems(s) {
+                                st(&p[e], ld(&z[e]) + beta * ld(&p[e]));
+                            }
+                        }
+                        let relres = rr.max(0.0).sqrt() / norm_b;
+                        if w == 0 {
+                            iterations_done.store(j + 1, Ordering::Release);
+                            final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                            trail.push(relres);
+                        }
+                        if relres < tol {
+                            if w == 0 {
+                                converged_flag.store(1, Ordering::Release);
+                            }
+                            break;
+                        }
+                        if !beta.is_finite() {
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: BreakdownKind::NonFinite,
+                                action: RecoveryAction::Aborted,
+                            });
+                            if w == 0 {
+                                failure_cell.set(FAIL_NONFINITE, j);
+                            }
+                            return Ok(());
+                        }
+                        barrier()?; // publishes p for the next SpMV
+                    }
+                    Ok(())
+                }));
+                match body {
+                    Ok(_) => WarpOut {
+                        events,
+                        panic: None,
+                        trail,
+                    },
+                    Err(payload) => {
+                        let _ = poison.compare_exchange(
+                            POISON_NONE,
+                            POISON_PANIC,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        WarpOut {
+                            events,
+                            panic: Some(panic_message(payload)),
+                            trail,
+                        }
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| WarpOut {
+                    events: Vec::new(),
+                    panic: Some("warp thread died outside the panic guard".to_string()),
+                    trail: Vec::new(),
+                })
+            })
+            .collect()
+    })
+    .expect("threaded PCG scope failed");
+
+    finish_report(
+        &x,
+        warps,
+        &iterations_done,
+        &converged_flag,
+        &final_relres_bits,
+        &poison,
+        &failure_cell,
+        outs,
+    )
+}
+
+/// Runs ILU(0)-preconditioned BiCGSTAB with the default watchdog
+/// ([`DEFAULT_WATCHDOG`]); see [`run_pbicgstab_threaded_watchdog`].
+pub fn run_pbicgstab_threaded(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+) -> ThreadedReport {
+    run_pbicgstab_threaded_watchdog(m, ilu, b, tol, max_iter, max_warps, Some(DEFAULT_WATCHDOG))
+}
+
+/// Right-preconditioned BiCGSTAB inside the single kernel: two in-kernel
+/// SpTRSV applications (`p̂ = M⁻¹p`, `ŝ = M⁻¹s`) and two owner-computes
+/// SpMVs per iteration, five barriers on the normal path. Same
+/// determinism, dependency-counter, poison and watchdog story as
+/// [`run_pcg_threaded_watchdog`]; breakdown/restart semantics mirror the
+/// sequential `run_pbicgstab` core (ρ/ω restarts, `Stalled` abort after
+/// futile restarts).
+pub fn run_pbicgstab_threaded_watchdog(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+    assert_eq!(m.nrows, m.ncols);
+    assert_eq!(ilu.l.nrows, n);
+    assert_eq!(ilu.u.nrows, n);
+    assert!(max_warps >= 1);
+
+    let ts = m.tile_size;
+    let segments = n.div_ceil(ts).max(1);
+    let warps = segments.min(max_warps).max(1);
+    let seg_lo = segment_bounds(segments, warps);
+    let tr_start = tile_row_starts(m, segments);
+
+    let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_b == 0.0 {
+        return ThreadedReport {
+            x: vec![0.0; n],
+            iterations: 0,
+            converged: true,
+            final_relres: 0.0,
+            warps,
+            breakdowns: Vec::new(),
+            failure: None,
+            residual_history: Vec::new(),
+        };
+    }
+
+    let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
+        v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
+    };
+    let zeros = vec![0.0; n];
+    let x = to_cells(&zeros);
+    let r = to_cells(b);
+    let p = to_cells(b);
+    let phat = to_cells(&zeros); // p̂ = M⁻¹ p
+    let v = to_cells(&zeros); // v = A p̂
+    let sv = to_cells(&zeros); // s
+    let shat = to_cells(&zeros); // ŝ = M⁻¹ s
+    let tv = to_cells(&zeros); // t = A ŝ
+    let y = to_cells(&zeros); // forward-solve scratch
+    let r0s: Vec<f64> = b.to_vec(); // shadow residual, immutable
+
+    let fwd = RowDeps::new(n);
+    let bwd = RowDeps::new(n);
+    let bar = AtomicI64::new(0);
+
+    let mk_seg = || -> Vec<AtomicU64> { (0..segments).map(|_| AtomicU64::new(0)).collect() };
+    let seg_denom = mk_seg();
+    let seg_ts = mk_seg();
+    let seg_tt = mk_seg();
+    let seg_rho = mk_seg();
+    let seg_rr = mk_seg();
+    let seg_rho_bd = mk_seg();
+    let seg_rr_bd = mk_seg();
+
+    let rho0: f64 = b.iter().zip(&r0s).map(|(a, b)| a * b).sum();
+    let iterations_done = AtomicI64::new(0);
+    let converged_flag = AtomicI64::new(0);
+    let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
+    let poison = AtomicI64::new(POISON_NONE);
+    let failure_cell = FailureCell::new();
+    let deadline = watchdog.map(|d| Instant::now() + d);
+    let warps_i = warps as i64;
+
+    let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(warps);
+        for w in 0..warps {
+            let (x, r, p, phat, v, sv, shat, tv, y) =
+                (&x, &r, &p, &phat, &v, &sv, &shat, &tv, &y);
+            let (fwd, bwd, bar) = (&fwd, &bwd, &bar);
+            let (seg_denom, seg_ts, seg_tt) = (&seg_denom, &seg_ts, &seg_tt);
+            let (seg_rho, seg_rr, seg_rho_bd, seg_rr_bd) =
+                (&seg_rho, &seg_rr, &seg_rho_bd, &seg_rr_bd);
+            let (seg_lo, tr_start, r0s) = (&seg_lo, &tr_start, &r0s);
+            let iterations_done = &iterations_done;
+            let converged_flag = &converged_flag;
+            let final_relres_bits = &final_relres_bits;
+            let poison = &poison;
+            let failure_cell = &failure_cell;
+            handles.push(scope.spawn(move |_| {
+                let sync = WarpSync { poison, deadline };
+                let mut events: Vec<BreakdownEvent> = Vec::new();
+                let mut trail: Vec<f64> = Vec::new();
+                let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
+                    let my_segs = seg_lo[w]..seg_lo[w + 1];
+                    let elems = |s: usize| (s * ts)..(((s + 1) * ts).min(n));
+                    let rows = (seg_lo[w] * ts)..((seg_lo[w + 1] * ts).min(n));
+                    let my_tiles = tr_start[seg_lo[w]]..tr_start[seg_lo[w + 1]];
+                    let tile_vals: Vec<Vec<f64>> =
+                        my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+                    let mut acc = vec![0.0f64; ts];
+
+                    let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
+                    let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+                    let seg_total = |cells: &[AtomicU64]| -> f64 {
+                        let mut t = 0.0;
+                        for cell in cells.iter() {
+                            t += f64::from_bits(cell.load(Ordering::Acquire));
+                        }
+                        t
+                    };
+                    let mut bar_epoch = 0i64;
+                    let mut barrier = || -> Result<(), i64> {
+                        bar_epoch += 1;
+                        bar.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(bar, warps_i * bar_epoch)
+                    };
+                    let mut spmv_own = |input: &[AtomicU64], output: &[AtomicU64]| {
+                        for s in my_segs.clone() {
+                            let base_row = s * ts;
+                            let len = ((s + 1) * ts).min(n) - base_row;
+                            acc[..len].fill(0.0);
+                            for i in tr_start[s]..tr_start[s + 1] {
+                                let base_col = m.tile_colidx[i] as usize * ts;
+                                let nnz_base = m.tile_nnz[i] as usize;
+                                let vals = &tile_vals[i - my_tiles.start];
+                                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                    let mut sum = 0.0;
+                                    for k in
+                                        m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                                    {
+                                        sum += vals[k - nnz_base]
+                                            * f64::from_bits(
+                                                input[base_col + m.csr_colidx[k] as usize]
+                                                    .load(Ordering::Acquire),
+                                            );
+                                    }
+                                    acc[m.row_index[ri] as usize] += sum;
+                                }
+                            }
+                            for (o, val) in acc[..len].iter().enumerate() {
+                                output[base_row + o].store(val.to_bits(), Ordering::Release);
+                            }
+                        }
+                    };
+
+                    let mut apply_epoch = 0i64;
+                    let mut rho = rho0;
+                    let mut consecutive_restarts = 0usize;
+
+                    for j in 0..max_iter as i64 {
+                        sync.iteration_gate()?;
+
+                        // ---- p̂ = M⁻¹ p (own rows of p feed the forward
+                        // solve; cross-warp flow is through the counters).
+                        apply_epoch += 1;
+                        warp_sptrsv_lower(
+                            &ilu.l,
+                            true,
+                            p,
+                            y,
+                            fwd,
+                            rows.clone(),
+                            apply_epoch,
+                            sync,
+                        )?;
+                        warp_sptrsv_upper(
+                            &ilu.u,
+                            false,
+                            y,
+                            phat,
+                            bwd,
+                            rows.clone(),
+                            apply_epoch,
+                            sync,
+                        )?;
+                        barrier()?; // p̂ published for the SpMV
+
+                        // ---- v = A p̂; denom = (v, r0*).
+                        spmv_own(phat, v);
+                        for s in my_segs.clone() {
+                            let mut part = 0.0;
+                            for e in elems(s) {
+                                part += ld(&v[e]) * r0s[e];
+                            }
+                            st(&seg_denom[s], part);
+                        }
+                        barrier()?;
+                        let denom = seg_total(seg_denom);
+                        let alpha = rho / denom;
+
+                        if !alpha.is_finite() || denom.abs() < f64::MIN_POSITIVE {
+                            // ---- α breakdown: restart with p = r and
+                            // ρ = (r, r0*) (‖r‖² fallback), as sequential.
+                            let kind = if !alpha.is_finite() {
+                                BreakdownKind::NonFinite
+                            } else {
+                                BreakdownKind::Rho
+                            };
+                            for s in my_segs.clone() {
+                                let mut prho = 0.0;
+                                let mut prr = 0.0;
+                                for e in elems(s) {
+                                    let rv = ld(&r[e]);
+                                    st(&p[e], rv);
+                                    prho += rv * r0s[e];
+                                    prr += rv * rv;
+                                }
+                                st(&seg_rho_bd[s], prho);
+                                st(&seg_rr_bd[s], prr);
+                            }
+                            barrier()?;
+                            let mut rho_restart = seg_total(seg_rho_bd);
+                            let rrv = seg_total(seg_rr_bd);
+                            if rho_restart.abs() < f64::MIN_POSITIVE {
+                                rho_restart = rrv;
+                            }
+                            rho = rho_restart;
+                            consecutive_restarts += 1;
+                            let abort_nonfinite =
+                                !rho_restart.is_finite() || !rrv.is_finite();
+                            let abort_stalled =
+                                consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let action = if abort_nonfinite || abort_stalled {
+                                RecoveryAction::Aborted
+                            } else {
+                                RecoveryAction::Restarted
+                            };
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind,
+                                action,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                let relres = rrv.max(0.0).sqrt() / norm_b;
+                                if relres.is_finite() {
+                                    final_relres_bits
+                                        .store(relres.to_bits(), Ordering::Release);
+                                }
+                                if abort_nonfinite {
+                                    failure_cell.set(FAIL_NONFINITE, j);
+                                } else if abort_stalled {
+                                    failure_cell.set(FAIL_STALLED, j);
+                                }
+                            }
+                            if abort_nonfinite || abort_stalled {
+                                return Ok(());
+                            }
+                            continue;
+                        }
+
+                        // ---- s = r − αv; ŝ = M⁻¹ s.
+                        for s in my_segs.clone() {
+                            for e in elems(s) {
+                                st(&sv[e], ld(&r[e]) - alpha * ld(&v[e]));
+                            }
+                        }
+                        apply_epoch += 1;
+                        warp_sptrsv_lower(
+                            &ilu.l,
+                            true,
+                            sv,
+                            y,
+                            fwd,
+                            rows.clone(),
+                            apply_epoch,
+                            sync,
+                        )?;
+                        warp_sptrsv_upper(
+                            &ilu.u,
+                            false,
+                            y,
+                            shat,
+                            bwd,
+                            rows.clone(),
+                            apply_epoch,
+                            sync,
+                        )?;
+                        barrier()?; // ŝ published for the SpMV
+
+                        // ---- t = A ŝ; (t, s) and (t, t).
+                        spmv_own(shat, tv);
+                        for s in my_segs.clone() {
+                            let mut pts = 0.0;
+                            let mut ptt = 0.0;
+                            for e in elems(s) {
+                                let t = ld(&tv[e]);
+                                pts += t * ld(&sv[e]);
+                                ptt += t * t;
+                            }
+                            st(&seg_ts[s], pts);
+                            st(&seg_tt[s], ptt);
+                        }
+                        barrier()?;
+                        let tt = seg_total(seg_tt);
+                        let omega = if tt > 0.0 { seg_total(seg_ts) / tt } else { 0.0 };
+
+                        // ---- x += αp̂ + ωŝ; r = s − ωt; ρ', ‖r‖² partials.
+                        for s in my_segs.clone() {
+                            let mut prho = 0.0;
+                            let mut prr = 0.0;
+                            for e in elems(s) {
+                                st(
+                                    &x[e],
+                                    ld(&x[e]) + alpha * ld(&phat[e]) + omega * ld(&shat[e]),
+                                );
+                                let rv = ld(&sv[e]) - omega * ld(&tv[e]);
+                                st(&r[e], rv);
+                                prho += rv * r0s[e];
+                                prr += rv * rv;
+                            }
+                            st(&seg_rho[s], prho);
+                            st(&seg_rr[s], prr);
+                        }
+                        barrier()?;
+                        let rho_new = seg_total(seg_rho);
+                        let rrv = seg_total(seg_rr);
+                        let relres = rrv.max(0.0).sqrt() / norm_b;
+
+                        if !rrv.is_finite() {
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: BreakdownKind::NonFinite,
+                                action: RecoveryAction::Aborted,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                failure_cell.set(FAIL_NONFINITE, j);
+                            }
+                            return Ok(());
+                        }
+                        consecutive_restarts = 0;
+
+                        // ---- p = r + β(p − ωv) (or restart p = r).
+                        let beta = (rho_new / rho) * (alpha / omega);
+                        let restart = !beta.is_finite()
+                            || omega == 0.0
+                            || rho_new.abs() < f64::MIN_POSITIVE;
+                        for s in my_segs.clone() {
+                            for e in elems(s) {
+                                let pv = if restart {
+                                    ld(&r[e])
+                                } else {
+                                    ld(&r[e]) + beta * (ld(&p[e]) - omega * ld(&v[e]))
+                                };
+                                st(&p[e], pv);
+                            }
+                        }
+                        rho = if restart && rho_new.abs() < f64::MIN_POSITIVE {
+                            rrv
+                        } else {
+                            rho_new
+                        };
+                        if w == 0 {
+                            iterations_done.store(j + 1, Ordering::Release);
+                            final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                            trail.push(relres);
+                        }
+                        if relres < tol {
+                            if w == 0 {
+                                converged_flag.store(1, Ordering::Release);
+                            }
+                            break;
+                        }
+                        if restart {
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: if omega == 0.0 {
+                                    BreakdownKind::Omega
+                                } else if rho_new.abs() < f64::MIN_POSITIVE {
+                                    BreakdownKind::Rho
+                                } else {
+                                    BreakdownKind::NonFinite
+                                },
+                                action: RecoveryAction::Restarted,
+                            });
+                        }
+                    }
+                    Ok(())
+                }));
+                match body {
+                    Ok(_) => WarpOut {
+                        events,
+                        panic: None,
+                        trail,
+                    },
+                    Err(payload) => {
+                        let _ = poison.compare_exchange(
+                            POISON_NONE,
+                            POISON_PANIC,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        WarpOut {
+                            events,
+                            panic: Some(panic_message(payload)),
+                            trail,
+                        }
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| WarpOut {
+                    events: Vec::new(),
+                    panic: Some("warp thread died outside the panic guard".to_string()),
+                    trail: Vec::new(),
+                })
+            })
+            .collect()
+    })
+    .expect("threaded PBiCGSTAB scope failed");
 
     finish_report(
         &x,
@@ -1444,6 +2565,182 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    // ---- In-kernel SpTRSV / preconditioned engines -----------------------
+
+    #[test]
+    fn sptrsv_runner_bitwise_matches_sequential() {
+        use mf_kernels::{ilu0, sptrsv_lower_into, sptrsv_upper_into};
+        let a = poisson1d(130); // ragged tail segment (130 = 8*16 + 2)
+        let f = ilu0(&a).unwrap();
+        let b: Vec<f64> = (0..130).map(|i| 0.3 + (i as f64) * 0.01).collect();
+        let mut y = vec![0.0; 130];
+        let mut z = vec![0.0; 130];
+        sptrsv_lower_into(&f.l, &b, &mut y, true);
+        sptrsv_upper_into(&f.u, &y, &mut z, false);
+        for warps in [1, 3, 8] {
+            let rep = run_ilu_sptrsv_threaded(&f.l, &f.u, &b, true, false, 16, warps);
+            assert!(rep.converged, "warps {warps}");
+            assert!(rep.failure.is_none(), "warps {warps}: {:?}", rep.failure);
+            for (i, (t, s)) in rep.x.iter().zip(&z).enumerate() {
+                assert_eq!(
+                    t.to_bits(),
+                    s.to_bits(),
+                    "warps {warps} row {i}: {t} vs {s}"
+                );
+            }
+        }
+    }
+
+    /// A mutually-cyclic pair of "dependencies" in L (rows 5 and 80 in
+    /// different warps' ranges pointing at each other) can never be
+    /// satisfied: both warps spin on each other's counter. The watchdog
+    /// must convert that into `Wedged` — the protocol's whole point.
+    #[test]
+    fn cyclic_factor_wedges_instead_of_hanging() {
+        use mf_kernels::ilu0;
+        let a = poisson1d(128);
+        let mut f = ilu0(&a).unwrap();
+        // Row 5 gains a dependency on row 80 (an upper entry in L), while
+        // row 80 already depends on row 79..; rewire row 80's sub-diagonal
+        // entry to depend on row 5's completion *after* corrupting row 5
+        // to wait on 80 -> genuine cycle across warp boundaries.
+        let k5 = f.l.rowptr[5]; // row 5's first (only) strictly-lower entry
+        f.l.colidx[k5] = 80;
+        let started = Instant::now();
+        let rep = run_ilu_sptrsv_threaded_watchdog(
+            &f.l,
+            &f.u,
+            &vec![1.0; 128],
+            true,
+            false,
+            16,
+            4,
+            Some(Duration::from_millis(250)),
+        );
+        assert!(
+            matches!(rep.failure, Some(SolveFailure::Wedged { .. })),
+            "{:?}",
+            rep.failure
+        );
+        assert!(!rep.converged);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "wedge detection took {:?}",
+            started.elapsed()
+        );
+    }
+
+    fn pcg_fixture(n: usize) -> (Csr, TiledMatrix, mf_kernels::Ilu0, Vec<f64>) {
+        let a = poisson1d(n);
+        let m = tiled(&a);
+        let f = mf_kernels::ilu0(&a).unwrap();
+        let mut b = vec![0.0; n];
+        a.matvec(&vec![1.0; n], &mut b);
+        (a, m, f, b)
+    }
+
+    #[test]
+    fn threaded_pcg_converges_and_is_warp_invariant() {
+        let (_, m, f, b) = pcg_fixture(512);
+        let base = run_pcg_threaded(&m, &f, &b, 1e-10, 1000, 1);
+        assert!(base.converged, "relres {}", base.final_relres);
+        assert!(base.failure.is_none());
+        for v in &base.x {
+            assert!((v - 1.0).abs() < 1e-7, "{v}");
+        }
+        for warps in [2, 5, 8] {
+            let rep = run_pcg_threaded(&m, &f, &b, 1e-10, 1000, warps);
+            assert!(rep.converged, "warps {warps}");
+            assert_eq!(rep.iterations, base.iterations, "warps {warps}");
+            assert_eq!(
+                rep.final_relres.to_bits(),
+                base.final_relres.to_bits(),
+                "warps {warps}"
+            );
+            assert_eq!(rep.residual_history, base.residual_history);
+            for (i, (t, s)) in rep.x.iter().zip(&base.x).enumerate() {
+                assert_eq!(t.to_bits(), s.to_bits(), "warps {warps} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_pbicgstab_converges_and_is_warp_invariant() {
+        let a = convdiff1d(400);
+        let m = tiled(&a);
+        let f = mf_kernels::ilu0(&a).unwrap();
+        let mut b = vec![0.0; 400];
+        a.matvec(&vec![1.0; 400], &mut b);
+        let base = run_pbicgstab_threaded(&m, &f, &b, 1e-10, 1000, 1);
+        assert!(base.converged, "relres {}", base.final_relres);
+        for v in &base.x {
+            assert!((v - 1.0).abs() < 1e-6, "{v}");
+        }
+        for warps in [3, 7] {
+            let rep = run_pbicgstab_threaded(&m, &f, &b, 1e-10, 1000, warps);
+            assert!(rep.converged, "warps {warps}");
+            assert_eq!(rep.iterations, base.iterations, "warps {warps}");
+            assert_eq!(rep.residual_history, base.residual_history);
+            for (t, s) in rep.x.iter().zip(&base.x) {
+                assert_eq!(t.to_bits(), s.to_bits(), "warps {warps}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_pcg_zero_rhs_and_max_iter() {
+        let (_, m, f, _) = pcg_fixture(64);
+        let rep = run_pcg_threaded(&m, &f, &vec![0.0; 64], 1e-10, 100, 4);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+        let mut b = vec![0.0; 64];
+        poisson1d(64).matvec(&vec![1.0; 64], &mut b);
+        // ILU(0) is *exact* on a tridiagonal matrix, so any positive
+        // tolerance is reachable; tol = 0 forces the iteration cap.
+        let rep = run_pcg_threaded(&m, &f, &b, 0.0, 3, 4);
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 3);
+        assert!(rep.failure.is_none());
+        assert_eq!(rep.status_label(), "max_iter");
+    }
+
+    /// A corrupted L with a cycle must wedge the *engines* too (mid-solve,
+    /// inside the preconditioner application), not just the standalone
+    /// runner, and a poisoned column index must surface as `WarpPanic`.
+    #[test]
+    fn pcg_wedge_and_panic_mid_sptrsv() {
+        let (_, m, f, b) = pcg_fixture(128);
+        let mut cyc = f.clone();
+        let k5 = cyc.l.rowptr[5];
+        cyc.l.colidx[k5] = 80;
+        let wd = Some(Duration::from_millis(250));
+        let rep = run_pcg_threaded_watchdog(&m, &cyc, &b, 1e-10, 1000, 4, wd);
+        assert!(
+            matches!(rep.failure, Some(SolveFailure::Wedged { .. })),
+            "{:?}",
+            rep.failure
+        );
+        assert_eq!(rep.status_label(), "aborted(watchdog)");
+
+        let mut bad = f.clone();
+        let k5 = bad.l.rowptr[5];
+        bad.l.colidx[k5] = 10_000; // out of bounds -> index panic in a warp
+        let rep = run_pcg_threaded_watchdog(&m, &bad, &b, 1e-10, 1000, 4, wd);
+        assert!(
+            matches!(rep.failure, Some(SolveFailure::WarpPanic { .. })),
+            "{:?}",
+            rep.failure
+        );
+        assert_eq!(rep.status_label(), "aborted(panic)");
+
+        let rep = run_pbicgstab_threaded_watchdog(&m, &cyc, &b, 1e-10, 1000, 4, wd);
+        assert!(
+            matches!(rep.failure, Some(SolveFailure::Wedged { .. })),
+            "{:?}",
+            rep.failure
+        );
     }
 
     /// Stress: {indefinite, singular, badly-scaled} × {1, 4, 7} warps ×

@@ -9,4 +9,9 @@ cargo build --release --locked --offline --workspace
 # watchdog), so a wedged test run is a regression — kill it instead of letting
 # CI sit forever.
 timeout --signal=KILL 600 cargo test -q --locked --offline --workspace
+# Release tier: the cross-engine differential harness (threaded PCG/PBiCGSTAB
+# vs sequential references, bitwise) includes release-only deep sweeps that
+# are ignored in debug; run them optimized, again with a hard kill so a
+# wedged in-kernel SpTRSV fails fast instead of stalling CI.
+timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test threaded_parity
 cargo clippy --all-targets --workspace --locked --offline -- -D warnings
