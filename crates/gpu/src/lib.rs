@@ -23,17 +23,26 @@
 //!   segment-based assignment for vector operations (§III-C).
 //! * [`deps`] — the `d_s`/`d_d`/`d_a` dependency arrays of Fig. 6, with a
 //!   real atomic implementation used by the threaded single-kernel engine
-//!   and helpers for the modeled sequential engine.
+//!   and helpers for the modeled sequential engine, plus the progress
+//!   [`Heartbeat`] backing the adaptive watchdog.
+//! * [`faults`] — deterministic, seed-reproducible schedule perturbation
+//!   and fault injection ([`FaultPlan`]) for stress-testing the
+//!   dependency protocol's determinism and liveness claims.
 
 pub mod cost;
 pub mod deps;
 pub mod device;
+pub mod faults;
 pub mod schedule;
 pub mod sharedmem;
 pub mod timeline;
 
 pub use cost::CostModel;
-pub use deps::{DepArrays, RowDeps};
+pub use deps::{DepArrays, Heartbeat, RowDeps};
+pub use faults::{
+    BarrierFault, FaultCounts, FaultKind, FaultPlan, InjectedFaults, SpinFault, StepFault,
+    WarpFaults,
+};
 pub use device::{DeviceSpec, Vendor};
 pub use schedule::{SpmvSchedule, VectorSchedule};
 pub use sharedmem::ShmemPlan;

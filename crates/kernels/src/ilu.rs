@@ -57,6 +57,110 @@ impl std::fmt::Display for FactorError {
 
 impl std::error::Error for FactorError {}
 
+/// A pivot that cannot be divided by safely: zero, subnormal, NaN or
+/// infinite. Subnormal pivots overflow the multipliers into inf/NaN and
+/// poison the factors exactly like a hard zero, so the factorizations
+/// treat the whole class identically.
+fn unusable_pivot(p: f64) -> bool {
+    !p.is_finite() || p.abs() < f64::MIN_POSITIVE
+}
+
+/// How many diagonal-boosting retries the `*_boosted` drivers attempt
+/// before giving up and surfacing the last pivot failure.
+pub const MAX_FACTOR_SHIFTS: usize = 4;
+
+/// First boost is this fraction of the largest diagonal magnitude; each
+/// retry doubles it.
+const SHIFT_FRACTION: f64 = 1e-3;
+
+/// The boosting scale ‖diag‖: largest finite |a_ii|, or 1 when the
+/// diagonal is entirely absent/zero so the shift is still nonzero.
+fn shift_base(a: &Csr) -> f64 {
+    let mut base = 0.0f64;
+    for i in 0..a.nrows.min(a.ncols) {
+        let d = a.get(i, i).abs();
+        if d.is_finite() && d > base {
+            base = d;
+        }
+    }
+    if base > 0.0 {
+        base
+    } else {
+        1.0
+    }
+}
+
+/// Returns `A + shift·I` as a new CSR matrix, inserting diagonal entries
+/// that are structurally missing from `A`'s pattern (a missing `a_ii` is
+/// precisely the structural-zero-pivot case boosting exists to repair).
+pub fn diag_shifted(a: &Csr, shift: f64) -> Csr {
+    let n = a.nrows;
+    let mut rowptr = Vec::with_capacity(n + 1);
+    let mut colidx = Vec::with_capacity(a.nnz() + n);
+    let mut vals = Vec::with_capacity(a.nnz() + n);
+    rowptr.push(0);
+    for i in 0..n {
+        let mut seen_diag = false;
+        for (c, v) in a.row(i) {
+            if c == i {
+                colidx.push(c);
+                vals.push(v + shift);
+                seen_diag = true;
+            } else {
+                if c > i && !seen_diag && i < a.ncols {
+                    colidx.push(i);
+                    vals.push(shift);
+                    seen_diag = true;
+                }
+                colidx.push(c);
+                vals.push(v);
+            }
+        }
+        if !seen_diag && i < a.ncols {
+            colidx.push(i);
+            vals.push(shift);
+        }
+        rowptr.push(colidx.len());
+    }
+    Csr {
+        nrows: n,
+        ncols: a.ncols,
+        rowptr,
+        colidx,
+        vals,
+    }
+}
+
+/// ILU(0) with zero/tiny-pivot fallback by diagonal boosting (a Manteuffel
+/// shift): when the plain factorization breaks down on a pivot, retry on
+/// `A + αI` with `α = 10⁻³·max|a_ii|`, doubling `α` per attempt, at most
+/// [`MAX_FACTOR_SHIFTS`] retries. Returns the factorization together with
+/// the shift of **every** attempt made (empty when the unshifted
+/// factorization succeeded) so callers can record one
+/// `BreakdownEvent::FactorShift` per attempt. The final factors
+/// approximate `A + α_last·I`, which for these small `α` still
+/// preconditions `A` effectively. `NotSquare` is never retried — no shift
+/// repairs a shape error.
+pub fn ilu0_boosted(a: &Csr) -> Result<(Ilu0, Vec<f64>), FactorError> {
+    match ilu0(a) {
+        Ok(f) => return Ok((f, Vec::new())),
+        Err(FactorError::NotSquare) => return Err(FactorError::NotSquare),
+        Err(_) => {}
+    }
+    let mut shifts = Vec::new();
+    let mut shift = SHIFT_FRACTION * shift_base(a);
+    let mut last = FactorError::ZeroPivot(0);
+    for _ in 0..MAX_FACTOR_SHIFTS {
+        shifts.push(shift);
+        match ilu0(&diag_shifted(a, shift)) {
+            Ok(f) => return Ok((f, shifts)),
+            Err(e) => last = e,
+        }
+        shift *= 2.0;
+    }
+    Err(last)
+}
+
 /// Computes the ILU(0) factorization of `a` (IKJ variant, no fill-in).
 pub fn ilu0(a: &Csr) -> Result<Ilu0, FactorError> {
     if a.nrows != a.ncols {
@@ -92,7 +196,7 @@ pub fn ilu0(a: &Csr) -> Result<Ilu0, FactorError> {
                 break;
             }
             let pivot = udiag[k];
-            if pivot == 0.0 {
+            if unusable_pivot(pivot) {
                 return Err(FactorError::ZeroPivot(k));
             }
             let factor = work_vals[wk] / pivot;
@@ -121,7 +225,7 @@ pub fn ilu0(a: &Csr) -> Result<Ilu0, FactorError> {
                 urow.push((c, work_vals[wk]));
             }
         }
-        if udiag[i] == 0.0 {
+        if unusable_pivot(udiag[i]) {
             return Err(FactorError::ZeroPivot(i));
         }
         // Clear scatter markers.
@@ -226,6 +330,34 @@ impl Ic0 {
         Ok(Ic0 { l, lt })
     }
 
+    /// IC(0) with the same bounded diagonal-boosting fallback as
+    /// [`ilu0_boosted`]: zero/tiny pivots retry on `A + αI` with a doubling
+    /// shift, at most [`MAX_FACTOR_SHIFTS`] attempts, all attempted shifts
+    /// returned for breakdown-event recording. A genuinely indefinite
+    /// matrix still fails — the largest boost tried is `8·10⁻³·max|a_ii|`,
+    /// far below what it would take to make a negative eigenvalue positive
+    /// — so boosting repairs borderline pivots without silently
+    /// Cholesky-factoring non-SPD systems.
+    pub fn new_boosted(a: &Csr) -> Result<(Ic0, Vec<f64>), FactorError> {
+        match Ic0::new(a) {
+            Ok(f) => return Ok((f, Vec::new())),
+            Err(FactorError::NotSquare) => return Err(FactorError::NotSquare),
+            Err(_) => {}
+        }
+        let mut shifts = Vec::new();
+        let mut shift = SHIFT_FRACTION * shift_base(a);
+        let mut last = FactorError::ZeroPivot(0);
+        for _ in 0..MAX_FACTOR_SHIFTS {
+            shifts.push(shift);
+            match Ic0::new(&diag_shifted(a, shift)) {
+                Ok(f) => return Ok((f, shifts)),
+                Err(e) => last = e,
+            }
+            shift *= 2.0;
+        }
+        Err(last)
+    }
+
     /// Applies the preconditioner: solves `L Lᵀ z = r` by substitution.
     pub fn apply(&self, r: &[f64]) -> Vec<f64> {
         let y = sptrsv_lower(&self.l, r, false);
@@ -304,7 +436,7 @@ pub fn ic0(a: &Csr) -> Result<Csr, FactorError> {
                     let _ = k;
                     d -= lik * lik;
                 }
-                if d <= 0.0 {
+                if d <= 0.0 || !d.is_finite() {
                     return Err(FactorError::NotSpd(i));
                 }
                 let v = d.sqrt();
@@ -312,7 +444,7 @@ pub fn ic0(a: &Csr) -> Result<Csr, FactorError> {
                 row.push((i, v));
             }
         }
-        if ldiag[i] == 0.0 {
+        if unusable_pivot(ldiag[i]) {
             return Err(FactorError::ZeroPivot(i));
         }
         for &c in &cols {
@@ -510,6 +642,107 @@ mod tests {
         a.push(0, 0, -1.0);
         a.push(1, 1, 1.0);
         assert!(matches!(ic0(&a.to_csr()), Err(FactorError::NotSpd(0))));
+    }
+
+    #[test]
+    fn diag_shifted_inserts_missing_diagonal() {
+        let mut a = Coo::new(3, 3);
+        a.push(0, 1, 2.0); // row 0: no diagonal, off-diag after it
+        a.push(1, 1, 5.0); // row 1: diagonal present
+        a.push(2, 0, 3.0); // row 2: no diagonal, off-diag before it
+        let s = diag_shifted(&a.to_csr(), 0.5);
+        assert_eq!(s.get(0, 0), 0.5);
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(1, 1), 5.5);
+        assert_eq!(s.get(2, 0), 3.0);
+        assert_eq!(s.get(2, 2), 0.5);
+        // Columns stay sorted within each row.
+        for r in 0..3 {
+            let cols: Vec<usize> = s.row(r).map(|(c, _)| c).collect();
+            let mut sorted = cols.clone();
+            sorted.sort_unstable();
+            assert_eq!(cols, sorted, "row {r} unsorted");
+        }
+    }
+
+    #[test]
+    fn ilu0_boosted_recovers_structural_zero_pivot() {
+        // (0,0) and (1,1) structurally missing: plain ILU(0) fails, the
+        // boosted driver inserts the diagonal and factors A + αI.
+        let mut a = Coo::new(4, 4);
+        a.push(0, 1, 1.0);
+        a.push(1, 0, 1.0);
+        a.push(2, 2, 1.0);
+        a.push(3, 3, 1.0);
+        let a = a.to_csr();
+        assert!(matches!(ilu0(&a), Err(FactorError::ZeroPivot(0))));
+        let (f, shifts) = ilu0_boosted(&a).unwrap();
+        assert!(!shifts.is_empty(), "a shift must have been applied");
+        for w in shifts.windows(2) {
+            assert_eq!(w[1], 2.0 * w[0], "shift schedule doubles");
+        }
+        // α‖diag‖ scaling: base is max|a_ii| = 1.
+        assert_eq!(shifts[0], 1e-3);
+        assert_eq!(f.l.nrows, 4);
+        assert_eq!(f.u.nrows, 4);
+    }
+
+    #[test]
+    fn ilu0_boosted_clean_matrix_is_shift_free() {
+        let a = tridiag_spd(12);
+        let (f, shifts) = ilu0_boosted(&a).unwrap();
+        assert!(shifts.is_empty(), "no breakdown → no shift");
+        // Identical to the plain factorization.
+        let plain = ilu0(&a).unwrap();
+        assert_eq!(f.u.vals, plain.u.vals);
+        assert_eq!(f.l.vals, plain.l.vals);
+    }
+
+    #[test]
+    fn ilu0_boosted_never_retries_shape_errors() {
+        let a = Coo::new(2, 3).to_csr();
+        assert!(matches!(ilu0_boosted(&a), Err(FactorError::NotSquare)));
+    }
+
+    #[test]
+    fn ilu0_rejects_subnormal_pivot() {
+        // A tiny (subnormal) pivot is as unusable as an exact zero: the
+        // 1/pivot multiplier overflows. Must fail, and boosting must fix it.
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1e-320);
+        a.push(0, 1, 1.0);
+        a.push(1, 0, 1.0);
+        a.push(1, 1, 1.0);
+        let a = a.to_csr();
+        assert!(matches!(ilu0(&a), Err(FactorError::ZeroPivot(0))));
+        let (_, shifts) = ilu0_boosted(&a).unwrap();
+        assert!(!shifts.is_empty());
+    }
+
+    #[test]
+    fn ic0_boosted_recovers_zero_diagonal() {
+        // Missing (0,0) entry: plain IC(0) hits a zero pivot; boosting
+        // inserts α on the diagonal and succeeds.
+        let mut a = Coo::new(2, 2);
+        a.push(1, 1, 4.0);
+        let a = a.to_csr();
+        assert!(Ic0::new(&a).is_err());
+        let (ic, shifts) = Ic0::new_boosted(&a).unwrap();
+        assert!(!shifts.is_empty());
+        assert_eq!(ic.l.nrows, 2);
+    }
+
+    #[test]
+    fn ic0_boosted_still_rejects_indefinite() {
+        // Eigenvalue −1 needs a shift > 1; the bounded schedule tops out at
+        // 8e-3·max|a_ii|, so a genuinely indefinite matrix still fails.
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, -1.0);
+        a.push(1, 1, 1.0);
+        assert!(matches!(
+            Ic0::new_boosted(&a.to_csr()),
+            Err(FactorError::NotSpd(0))
+        ));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod sptrsv;
 pub mod visflag;
 
 pub use block_jacobi::BlockJacobi;
-pub use ilu::{ic0, ilu0, Ic0, Ilu0};
+pub use ilu::{diag_shifted, ic0, ilu0, ilu0_boosted, Ic0, Ilu0, MAX_FACTOR_SHIFTS};
 pub use spmv::{
     spmv_csr, spmv_csr_par, spmv_mixed, spmv_mixed_par, spmv_tiled, spmv_tiled_par,
     MixedSpmvStats, SharedTiles,

@@ -6,8 +6,48 @@ use std::time::Duration;
 /// Default watchdog deadline for the threaded single-kernel engines — far
 /// above any healthy solve in this repo's size class, but finite, so a
 /// wedged barrier turns into a structured failure instead of an infinite
-/// spin.
+/// spin. This is the *wall-clock* policy's default; the progress
+/// heartbeat's is [`DEFAULT_HEARTBEAT`].
 pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Default interval of the progress-heartbeat watchdog: the solve only
+/// fails as `Wedged` when **no** warp has produced a progress event for
+/// this long. Unlike [`DEFAULT_WATCHDOG`] it does not bound total solve
+/// time, so slow-but-healthy solves on huge systems never trip it; 10 s of
+/// *zero* progress, by contrast, only happens to a genuinely wedged
+/// dependency chain.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_secs(10);
+
+/// How the threaded single-kernel engines detect a wedged solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WatchdogPolicy {
+    /// No watchdog at all (the paper's idealized deadlock-free
+    /// assumption). A truly wedged dependency chain will spin forever.
+    Disabled,
+    /// Absolute deadline measured from solve start (the PR 2 behavior):
+    /// simple, but trips spuriously on slow-but-healthy solves.
+    WallClock(Duration),
+    /// Progress heartbeat: fires only when *no* warp has advanced for the
+    /// given interval ([`mf_gpu::Heartbeat`]). The default.
+    Heartbeat(Duration),
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy::Heartbeat(DEFAULT_HEARTBEAT)
+    }
+}
+
+impl WatchdogPolicy {
+    /// Adapter for the legacy `Option<Duration>` wall-clock API
+    /// (`run_*_threaded_watchdog`): `None` disables the watchdog.
+    pub fn from_wallclock(deadline: Option<Duration>) -> WatchdogPolicy {
+        match deadline {
+            Some(d) => WatchdogPolicy::WallClock(d),
+            None => WatchdogPolicy::Disabled,
+        }
+    }
+}
 
 /// How many *consecutive* breakdown restarts a convergence-mode solve
 /// tolerates before declaring itself stalled. A breakdown restart replaces
@@ -121,15 +161,14 @@ pub struct SolverConfig {
     /// Host-side kernel parallelism (serial vs tile-row-striped SpMV).
     /// Both paths are bitwise-identical; see [`HostParallelism`].
     pub host_parallelism: HostParallelism,
-    /// Watchdog deadline for the threaded single-kernel engines
-    /// ([`crate::threaded`]): if any warp is still spinning at a dependency
-    /// barrier past this wall-clock budget (measured from solve start), the
-    /// solve is poisoned and returns a [`crate::report::SolveFailure::Wedged`]
-    /// failure instead of hanging. `None` disables the watchdog (the
-    /// paper's idealized deadlock-free assumption); default is
-    /// [`DEFAULT_WATCHDOG`]. Scale it up for workloads whose healthy solves
-    /// legitimately run longer.
-    pub watchdog: Option<Duration>,
+    /// Wedge detection for the threaded single-kernel engines
+    /// ([`crate::threaded`]): when the policy fires, the solve is poisoned
+    /// and returns a [`crate::report::SolveFailure::Wedged`] failure
+    /// instead of hanging. The default is the progress heartbeat
+    /// ([`DEFAULT_HEARTBEAT`]): it fires only when *no* warp advances for
+    /// the interval, so slow-but-healthy solves never trip it. The PR 2
+    /// absolute deadline survives as [`WatchdogPolicy::WallClock`].
+    pub watchdog: WatchdogPolicy,
     /// When [`crate::MilleFeuille::solve_auto`]'s structure heuristic picks
     /// CG but the solve aborts on curvature breakdowns (the matrix looked
     /// SPD and was not), re-dispatch the system to BiCGSTAB instead of
@@ -156,7 +195,7 @@ impl Default for SolverConfig {
             trace_partial: false,
             reference_solution: None,
             host_parallelism: HostParallelism::Auto,
-            watchdog: Some(DEFAULT_WATCHDOG),
+            watchdog: WatchdogPolicy::default(),
             auto_switch_on_breakdown: true,
         }
     }
@@ -206,8 +245,24 @@ mod tests {
         assert_eq!(c.kernel_mode, KernelMode::Auto);
         assert!(c.fixed_iterations.is_none());
         assert_eq!(c.host_parallelism, HostParallelism::Auto);
-        assert_eq!(c.watchdog, Some(DEFAULT_WATCHDOG), "watchdog defaults on");
+        assert_eq!(
+            c.watchdog,
+            WatchdogPolicy::Heartbeat(DEFAULT_HEARTBEAT),
+            "watchdog defaults to the progress heartbeat"
+        );
         assert!(c.auto_switch_on_breakdown, "auto re-dispatch defaults on");
+    }
+
+    #[test]
+    fn watchdog_policy_wallclock_adapter() {
+        assert_eq!(
+            WatchdogPolicy::from_wallclock(Some(Duration::from_secs(3))),
+            WatchdogPolicy::WallClock(Duration::from_secs(3))
+        );
+        assert_eq!(
+            WatchdogPolicy::from_wallclock(None),
+            WatchdogPolicy::Disabled
+        );
     }
 
     #[test]

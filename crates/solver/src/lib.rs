@@ -60,14 +60,23 @@ pub mod solver;
 pub mod threaded;
 pub mod workspace;
 
-pub use config::{HostParallelism, KernelMode, SolverConfig, DEFAULT_WATCHDOG};
+pub use config::{
+    HostParallelism, KernelMode, SolverConfig, WatchdogPolicy, DEFAULT_HEARTBEAT,
+    DEFAULT_WATCHDOG,
+};
 pub use workspace::SolverWorkspace;
 pub use report::{
     BreakdownEvent, BreakdownKind, ExecutedMode, RecoveryAction, SolveFailure, SolveReport,
+    WarpProgress,
 };
 pub use solver::MilleFeuille;
 pub use threaded::{
-    run_ilu_sptrsv_threaded, run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded,
-    run_pbicgstab_threaded_watchdog, run_pcg_threaded, run_pcg_threaded_watchdog,
-    ThreadedReport,
+    run_bicgstab_threaded_full, run_cg_threaded_full, run_ilu_sptrsv_threaded,
+    run_ilu_sptrsv_threaded_full, run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded,
+    run_pbicgstab_threaded_full, run_pbicgstab_threaded_watchdog, run_pcg_threaded,
+    run_pcg_threaded_full, run_pcg_threaded_watchdog, ThreadedReport, BICGSTAB_STEPS, CG_STEPS,
+    PBICGSTAB_STEPS, PCG_STEPS, SPTRSV_STEPS,
 };
+// The fault-injection vocabulary lives in `mf_gpu::faults`; re-export the
+// pieces test harnesses compose so they need only this crate.
+pub use mf_gpu::{FaultKind, FaultPlan, InjectedFaults};

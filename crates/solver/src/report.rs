@@ -25,6 +25,10 @@ pub enum BreakdownKind {
     Watchdog,
     /// A warp panicked; the poison flag released its siblings.
     Panic,
+    /// An incomplete factorization broke down on a zero/tiny pivot and was
+    /// retried with a boosted diagonal (`A + αI` scaled by `‖diag‖∞`, α
+    /// doubling); one event is recorded per shifted attempt.
+    FactorShift,
 }
 
 impl BreakdownKind {
@@ -37,8 +41,24 @@ impl BreakdownKind {
             BreakdownKind::NonFinite => "non_finite",
             BreakdownKind::Watchdog => "watchdog",
             BreakdownKind::Panic => "panic",
+            BreakdownKind::FactorShift => "factor_shift",
         }
     }
+}
+
+/// Last published position of one warp when a threaded solve ended — the
+/// heartbeat's progress snapshot, decoded against the engine's step-name
+/// table. Diagnostic payload of `Wedged` reports: it names the step every
+/// warp was stuck at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarpProgress {
+    /// Warp index.
+    pub warp: usize,
+    /// Last iteration the warp reported reaching.
+    pub iteration: usize,
+    /// Name of the last step boundary the warp crossed (engine-specific
+    /// step table; `"start"` when the warp never reported).
+    pub step: &'static str,
 }
 
 /// What the solver did in response to a breakdown.

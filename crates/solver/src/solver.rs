@@ -9,7 +9,7 @@ use crate::precond::{run_pbicgstab, run_pcg, run_pcg_bj, run_pcg_ic};
 use crate::report::{ExecutedMode, SolveReport};
 use crate::workspace::SolverWorkspace;
 use mf_gpu::{CostModel, DeviceSpec, Phase, ShmemPlan, Timeline};
-use mf_kernels::{blas1, ilu0, Ic0, Ilu0, SharedTiles};
+use mf_kernels::{blas1, ilu0_boosted, Ic0, Ilu0, SharedTiles};
 use mf_sparse::{Csr, TiledMatrix};
 
 /// The Mille-feuille solver: tile-grained mixed precision + single-kernel
@@ -34,6 +34,30 @@ use mf_sparse::{Csr, TiledMatrix};
 /// let report = solver.solve_cg(&a, &b);
 /// assert!(report.converged);
 /// ```
+/// Prepends one [`BreakdownKind::FactorShift`] event per diagonal-boosting
+/// attempt to a solve's breakdown trail, so reports show the factorization
+/// recovery before any iteration-time events. The shifts come from
+/// [`mf_kernels::ilu0_boosted`] / [`Ic0::new_boosted`]; `iteration` is 0
+/// because the shifts happen before the first iteration.
+///
+/// [`BreakdownKind::FactorShift`]: crate::report::BreakdownKind::FactorShift
+fn prepend_factor_shifts(breakdowns: &mut Vec<crate::report::BreakdownEvent>, shifts: &[f64]) {
+    use crate::report::{BreakdownEvent, BreakdownKind, RecoveryAction};
+    if shifts.is_empty() {
+        return;
+    }
+    let mut trail: Vec<BreakdownEvent> = shifts
+        .iter()
+        .map(|_| BreakdownEvent {
+            iteration: 0,
+            kind: BreakdownKind::FactorShift,
+            action: RecoveryAction::Restarted,
+        })
+        .collect();
+    trail.extend(breakdowns.iter().copied());
+    *breakdowns = trail;
+}
+
 #[derive(Clone, Debug)]
 pub struct MilleFeuille {
     /// Device model the solve is priced on.
@@ -255,13 +279,14 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_cg_threaded_watchdog(
+        crate::threaded::run_cg_threaded_full(
             &pre.tiled,
             b,
             self.config.tolerance,
             self.config.max_iter,
             max_warps,
             self.config.watchdog,
+            &mf_gpu::FaultPlan::default(),
         )
     }
 
@@ -273,13 +298,14 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_bicgstab_threaded_watchdog(
+        crate::threaded::run_bicgstab_threaded_full(
             &pre.tiled,
             b,
             self.config.tolerance,
             self.config.max_iter,
             max_warps,
             self.config.watchdog,
+            &mf_gpu::FaultPlan::default(),
         )
     }
 
@@ -309,10 +335,15 @@ impl MilleFeuille {
     /// Solves with ILU(0)-preconditioned CG (multi-kernel path, recursive-
     /// block SpTRSV — §IV-C).
     ///
-    /// Returns `Err` with the factorization failure when ILU(0) breaks down.
+    /// A zero or tiny ILU(0) pivot is first retried with bounded diagonal
+    /// boosting ([`mf_kernels::ilu0_boosted`]); every shift attempt is
+    /// recorded as a `FactorShift` breakdown event on the report. Returns
+    /// `Err` only when boosting is exhausted (or the matrix is not square).
     pub fn solve_pcg(&self, a: &Csr, b: &[f64]) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
-        let ilu = ilu0(a)?;
-        Ok(self.solve_pcg_with(a, b, &ilu))
+        let (ilu, shifts) = ilu0_boosted(a)?;
+        let mut rep = self.solve_pcg_with(a, b, &ilu);
+        prepend_factor_shifts(&mut rep.breakdowns, &shifts);
+        Ok(rep)
     }
 
     /// PCG with a caller-provided factorization (lets benchmarks reuse it).
@@ -334,14 +365,16 @@ impl MilleFeuille {
         a: &Csr,
         b: &[f64],
     ) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
-        let ic = Ic0::new(a)?;
+        let (ic, shifts) = Ic0::new_boosted(a)?;
         let pre = self.preprocess(a);
         let mode = ExecutedMode::MultiKernel;
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let mc = MultiCoster::new(self.cost(), a.nrows);
         let core = run_pcg_ic(&pre.tiled, &mut shared, &ic, b, &self.config, &mc, &mut partial);
-        Ok(self.assemble(a, pre, mode, 0, core))
+        let mut rep = self.assemble(a, pre, mode, 0, core);
+        prepend_factor_shifts(&mut rep.breakdowns, &shifts);
+        Ok(rep)
     }
 
     /// Solves with adaptive-precision block-Jacobi-preconditioned CG
@@ -368,8 +401,10 @@ impl MilleFeuille {
         a: &Csr,
         b: &[f64],
     ) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
-        let ilu = ilu0(a)?;
-        Ok(self.solve_pbicgstab_with(a, b, &ilu))
+        let (ilu, shifts) = ilu0_boosted(a)?;
+        let mut rep = self.solve_pbicgstab_with(a, b, &ilu);
+        prepend_factor_shifts(&mut rep.breakdowns, &shifts);
+        Ok(rep)
     }
 
     /// PBiCGSTAB with a caller-provided factorization.
@@ -389,15 +424,19 @@ impl MilleFeuille {
     /// with `tolerance`, `max_iter` and [`SolverConfig::watchdog`] inherited
     /// from this facade's config and `max_warps` capping the thread count.
     ///
-    /// Returns `Err` with the factorization failure when ILU(0) breaks down.
+    /// Pivot breakdowns are first retried with bounded diagonal boosting
+    /// (recorded as `FactorShift` breakdown events); returns `Err` only
+    /// when boosting is exhausted or the matrix is not square.
     pub fn solve_pcg_threaded(
         &self,
         a: &Csr,
         b: &[f64],
         max_warps: usize,
     ) -> Result<crate::threaded::ThreadedReport, mf_kernels::ilu::FactorError> {
-        let ilu = ilu0(a)?;
-        Ok(self.solve_pcg_threaded_with(a, b, &ilu, max_warps))
+        let (ilu, shifts) = ilu0_boosted(a)?;
+        let mut rep = self.solve_pcg_threaded_with(a, b, &ilu, max_warps);
+        prepend_factor_shifts(&mut rep.breakdowns, &shifts);
+        Ok(rep)
     }
 
     /// [`Self::solve_pcg_threaded`] with a caller-provided factorization
@@ -410,7 +449,7 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_pcg_threaded_watchdog(
+        crate::threaded::run_pcg_threaded_full(
             &pre.tiled,
             ilu,
             b,
@@ -418,6 +457,7 @@ impl MilleFeuille {
             self.config.max_iter,
             max_warps,
             self.config.watchdog,
+            &mf_gpu::FaultPlan::default(),
         )
     }
 
@@ -429,8 +469,10 @@ impl MilleFeuille {
         b: &[f64],
         max_warps: usize,
     ) -> Result<crate::threaded::ThreadedReport, mf_kernels::ilu::FactorError> {
-        let ilu = ilu0(a)?;
-        Ok(self.solve_pbicgstab_threaded_with(a, b, &ilu, max_warps))
+        let (ilu, shifts) = ilu0_boosted(a)?;
+        let mut rep = self.solve_pbicgstab_threaded_with(a, b, &ilu, max_warps);
+        prepend_factor_shifts(&mut rep.breakdowns, &shifts);
+        Ok(rep)
     }
 
     /// [`Self::solve_pbicgstab_threaded`] with a caller-provided
@@ -443,7 +485,7 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_pbicgstab_threaded_watchdog(
+        crate::threaded::run_pbicgstab_threaded_full(
             &pre.tiled,
             ilu,
             b,
@@ -451,6 +493,7 @@ impl MilleFeuille {
             self.config.max_iter,
             max_warps,
             self.config.watchdog,
+            &mf_gpu::FaultPlan::default(),
         )
     }
 
@@ -759,15 +802,28 @@ mod tests {
         for v in &rep.x {
             assert!((v - 1.0).abs() < 1e-6);
         }
-        // Factorization failure propagates as Err, not a panic.
+        // A structurally zero diagonal is no longer a hard failure: the
+        // boosted ILU(0) retries on A + αI and records every attempt as a
+        // FactorShift breakdown event on the threaded report.
         let mut zero_diag = Coo::new(4, 4);
         zero_diag.push(0, 1, 1.0);
         zero_diag.push(1, 0, 1.0);
         zero_diag.push(2, 2, 1.0);
         zero_diag.push(3, 3, 1.0);
-        assert!(solver
+        let rep = solver
             .solve_pcg_threaded(&zero_diag.to_csr(), &[1.0; 4], 2)
-            .is_err());
+            .unwrap();
+        let shift_events = rep
+            .breakdowns
+            .iter()
+            .filter(|e| e.kind == crate::report::BreakdownKind::FactorShift)
+            .count();
+        assert!(shift_events >= 1, "boosting attempts must be recorded");
+        assert!(rep.final_relres.is_finite());
+        // Unrepairable factorization failures still propagate as Err, not a
+        // panic: no diagonal shift fixes a shape error.
+        let rect = Coo::new(2, 3).to_csr();
+        assert!(solver.solve_pcg_threaded(&rect, &[1.0; 2], 2).is_err());
     }
 
     /// A symmetric matrix with positive diagonal and 38/40 = 0.95 > 0.9

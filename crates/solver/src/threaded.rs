@@ -45,10 +45,35 @@
 //! machinery only: on a healthy solve the per-iteration overhead is one
 //! relaxed load per spin poll and one `Instant::now()` per iteration, and
 //! the iterate arithmetic is bitwise-unchanged.
+//!
+//! ## Heartbeat watchdog and fault injection
+//!
+//! Wedge detection is a [`WatchdogPolicy`]: the legacy absolute deadline
+//! survives as `WallClock`, but the default is the progress heartbeat
+//! ([`mf_gpu::Heartbeat`]) — every warp publishes a monotone
+//! iteration × step position at step boundaries ([`WarpSync::step`]) and
+//! pulses on every cleared wait/produced tile/solved row, and the solve
+//! only fails as [`SolveFailure::Wedged`] when **no** warp has produced a
+//! progress event for the interval. Slow-but-healthy schedules therefore
+//! never trip it, while a wedged dependency chain (which stops *all*
+//! beats) still converts into a structured failure.
+//!
+//! Every engine also has a `run_*_threaded_full` entry accepting a
+//! [`FaultPlan`]: a deterministic, seed-reproducible schedule
+//! perturbation threaded through the spin/barrier sites ([`mf_gpu::faults`]).
+//! Benign plans (delays, yields, stalls, retry storms) must leave results
+//! **bitwise identical** — which is why all four iterative engines use
+//! owner-computes SpMV partials plus per-segment single-writer dot
+//! reductions in fixed segment order, never arrival-order atomic adds.
+//! Malign plans (panic, poison, halt) must fail structurally within the
+//! heartbeat bound; `tests/fault_injection.rs` locks both families down.
 
-use crate::config::{DEFAULT_WATCHDOG, MAX_CONSECUTIVE_RESTARTS};
-use crate::report::{BreakdownEvent, BreakdownKind, RecoveryAction, SolveFailure};
-use mf_gpu::{RowDeps, SpmvSchedule};
+use crate::config::{WatchdogPolicy, MAX_CONSECUTIVE_RESTARTS};
+use crate::report::{BreakdownEvent, BreakdownKind, RecoveryAction, SolveFailure, WarpProgress};
+use mf_gpu::{
+    BarrierFault, FaultCounts, FaultPlan, Heartbeat, InjectedFaults, RowDeps, SpinFault,
+    SpmvSchedule, StepFault, WarpFaults,
+};
 use mf_kernels::ilu::Ilu0;
 use mf_sparse::{Csr, TiledMatrix};
 use std::ops::Range;
@@ -80,6 +105,15 @@ pub struct ThreadedReport {
     /// [`crate::SolveReport::residual_history`], used by the differential
     /// harness to assert trajectory parity against the sequential oracle.
     pub residual_history: Vec<f64>,
+    /// Each warp's last published (iteration, step) position, decoded from
+    /// the progress heartbeat. Empty unless the solve ran under
+    /// [`WatchdogPolicy::Heartbeat`]; on a `Wedged` failure this names the
+    /// step every warp was stuck at.
+    pub last_progress: Vec<WarpProgress>,
+    /// Fault-injection telemetry: the plan's repro line plus the merged
+    /// injection tally. `None` when the solve ran with an empty
+    /// [`FaultPlan`] (the normal case).
+    pub injected_faults: Option<InjectedFaults>,
 }
 
 impl ThreadedReport {
@@ -103,57 +137,166 @@ const FAIL_NONE: i64 = 0;
 const FAIL_NONFINITE: i64 = 1;
 const FAIL_STALLED: i64 = 2;
 
-/// Adds `v` to an `f64` stored as bits in an `AtomicU64` (the CPU analogue
-/// of `atomicAdd(double*)`).
-#[inline]
-fn atomic_add_f64(cell: &AtomicU64, v: f64) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    loop {
-        let new = (f64::from_bits(cur) + v).to_bits();
-        match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
-            Ok(_) => return,
-            Err(c) => cur = c,
-        }
-    }
-}
+// ---- Step-name tables ------------------------------------------------------
+//
+// Each engine calls `WarpSync::step(j, idx)` at the top of every logical
+// step; `idx` indexes the engine's table below. The same (iteration, step)
+// coordinates address `FaultPlan::with_panic_at`/`with_poison_at` sites and
+// decode `ThreadedReport::last_progress`. Step 0 of iteration 0 exists on
+// every engine, so a point fault at (w, 0, 0) is engine-portable.
 
-/// Per-warp view of the shared poison flag and the watchdog deadline; all
+/// Step names of the unpreconditioned CG engine.
+pub const CG_STEPS: &[&str] = &["spmv", "dot", "update", "direction"];
+/// Step names of the unpreconditioned BiCGSTAB engine.
+pub const BICGSTAB_STEPS: &[&str] = &["spmv_p", "svec", "spmv_s", "update", "direction"];
+/// Step names of the PCG engine (`init` runs once, before iteration 0).
+pub const PCG_STEPS: &[&str] = &["init", "spmv", "update", "precond", "direction"];
+/// Step names of the PBiCGSTAB engine.
+pub const PBICGSTAB_STEPS: &[&str] = &["precond_p", "spmv_v", "precond_s", "spmv_t", "update"];
+/// Step names of the standalone SpTRSV runner.
+pub const SPTRSV_STEPS: &[&str] = &["lower", "upper"];
+
+/// Per-warp view of the shared poison flag, the watchdog (wall-clock
+/// deadline and/or progress heartbeat) and the warp's fault stream; all
 /// barrier waits go through [`WarpSync::spin_until`], which is where a
-/// stuck solve is detected and broken.
+/// stuck solve is detected and broken and where schedule perturbations are
+/// injected.
 #[derive(Clone, Copy)]
 struct WarpSync<'a> {
     poison: &'a AtomicI64,
     deadline: Option<Instant>,
+    heartbeat: Option<&'a Heartbeat>,
+    faults: Option<&'a WarpFaults>,
+    warp: usize,
 }
 
 impl WarpSync<'_> {
-    /// Spins until `counter >= target`, or fails with the poison code when
-    /// the solve was poisoned or the watchdog deadline expired while
-    /// waiting. The deadline is polled every 512 spins (including the very
-    /// first unsatisfied one, so an already-expired deadline is detected
-    /// deterministically).
+    /// True when the active watchdog policy has fired: past the wall-clock
+    /// deadline, or (heartbeat policy) no warp has progressed for a full
+    /// interval.
     #[inline]
+    fn expired(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(hb) = self.heartbeat {
+            if hb.stalled() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Poisons the solve as wedged (first writer wins) and returns the
+    /// winning code.
+    fn wedge(&self) -> i64 {
+        let _ = self.poison.compare_exchange(
+            POISON_NONE,
+            POISON_WEDGED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.poison.load(Ordering::Acquire)
+    }
+
+    /// A progress event without a position change (a produced tile, a
+    /// solved triangular row, a cleared wait).
+    #[inline]
+    fn pulse(&self) {
+        if let Some(hb) = self.heartbeat {
+            hb.pulse();
+        }
+    }
+
+    /// Step boundary: publish this warp's (iteration, step) position to the
+    /// heartbeat, then fire any injected point fault addressed at it.
+    #[inline]
+    fn step(&self, iteration: i64, step: usize) -> Result<(), i64> {
+        if let Some(hb) = self.heartbeat {
+            hb.beat(self.warp, Heartbeat::pack(iteration as usize, step));
+        }
+        if let Some(f) = self.faults {
+            match f.step_fault(iteration as usize, step) {
+                StepFault::None => {}
+                StepFault::Panic => panic!(
+                    "injected fault: warp {} panicked at iteration {} step {}",
+                    self.warp, iteration, step
+                ),
+                StepFault::Poison => return Err(self.wedge()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Spins until `counter >= target`, or fails with the poison code when
+    /// the solve was poisoned or the watchdog fired while waiting. The
+    /// watchdog is polled every 512 spins (including the very first
+    /// unsatisfied one, so an already-expired deadline is detected
+    /// deterministically). Fault hooks: the warp's `barrier_entry` fault
+    /// fires once on entry — *before* the satisfied check, so a `Halt`
+    /// wedges even a single-warp solve — and the per-poll `poll` fault
+    /// fires on every unsatisfied re-read. A successful exit pulses the
+    /// heartbeat, so a schedule that keeps clearing waits (however slowly)
+    /// is never reported as wedged.
     fn spin_until(&self, counter: &AtomicI64, target: i64) -> Result<(), i64> {
+        if let Some(f) = self.faults {
+            match f.barrier_entry() {
+                BarrierFault::None => {}
+                BarrierFault::Stall(d) => {
+                    let until = Instant::now() + d;
+                    while Instant::now() < until {
+                        let code = self.poison.load(Ordering::Acquire);
+                        if code != POISON_NONE {
+                            return Err(code);
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+                BarrierFault::Retry(extra) => {
+                    for _ in 0..extra {
+                        let _ = counter.load(Ordering::Acquire);
+                    }
+                }
+                BarrierFault::Halt => loop {
+                    // Dead warp: never advances again, but keeps polling the
+                    // poison flag and the watchdog so the run is reapable.
+                    let code = self.poison.load(Ordering::Acquire);
+                    if code != POISON_NONE {
+                        return Err(code);
+                    }
+                    if self.expired() {
+                        return Err(self.wedge());
+                    }
+                    std::thread::yield_now();
+                },
+            }
+        }
         let mut polls = 0u32;
         loop {
             if counter.load(Ordering::Acquire) >= target {
+                self.pulse();
                 return Ok(());
             }
             let code = self.poison.load(Ordering::Acquire);
             if code != POISON_NONE {
                 return Err(code);
             }
-            if polls.is_multiple_of(512) {
-                if let Some(d) = self.deadline {
-                    if Instant::now() >= d {
-                        let _ = self.poison.compare_exchange(
-                            POISON_NONE,
-                            POISON_WEDGED,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        );
-                        return Err(self.poison.load(Ordering::Acquire));
+            if let Some(f) = self.faults {
+                match f.poll() {
+                    SpinFault::None => {}
+                    SpinFault::Delay(spins) => {
+                        for _ in 0..spins {
+                            std::hint::spin_loop();
+                        }
                     }
+                    SpinFault::Yield => std::thread::yield_now(),
+                }
+            }
+            if polls.is_multiple_of(512) {
+                if self.expired() {
+                    return Err(self.wedge());
                 }
                 std::thread::yield_now();
             }
@@ -163,26 +306,28 @@ impl WarpSync<'_> {
     }
 
     /// Top-of-iteration gate: fail fast if the solve is already poisoned
-    /// or past the deadline (this is what makes a zero/elapsed deadline
-    /// deterministic even for warps that never wait at a barrier).
+    /// or the watchdog already fired (this is what makes a zero/elapsed
+    /// deadline deterministic even for warps that never wait at a barrier).
     #[inline]
     fn iteration_gate(&self) -> Result<(), i64> {
         let code = self.poison.load(Ordering::Acquire);
         if code != POISON_NONE {
             return Err(code);
         }
-        if let Some(d) = self.deadline {
-            if Instant::now() >= d {
-                let _ = self.poison.compare_exchange(
-                    POISON_NONE,
-                    POISON_WEDGED,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                );
-                return Err(self.poison.load(Ordering::Acquire));
-            }
+        if self.expired() {
+            return Err(self.wedge());
         }
         Ok(())
+    }
+}
+
+/// Resolves a [`WatchdogPolicy`] into the engine's runtime pair: an
+/// absolute deadline and/or a shared heartbeat.
+fn arm_watchdog(policy: WatchdogPolicy, warps: usize) -> (Option<Instant>, Option<Heartbeat>) {
+    match policy {
+        WatchdogPolicy::Disabled => (None, None),
+        WatchdogPolicy::WallClock(d) => (Some(Instant::now() + d), None),
+        WatchdogPolicy::Heartbeat(i) => (None, Some(Heartbeat::new(i, warps))),
     }
 }
 
@@ -217,6 +362,67 @@ struct WarpOut {
     panic: Option<String>,
     /// Warp 0's per-iteration recurrence relres trail (empty elsewhere).
     trail: Vec<f64>,
+    /// Faults this warp actually injected (zero under an empty plan).
+    faults: FaultCounts,
+}
+
+/// Folds one warp's `catch_unwind` outcome into a [`WarpOut`], poisoning
+/// the siblings first on a panic so nobody spins on a dead counter.
+fn settle_warp(
+    body: std::thread::Result<Result<(), i64>>,
+    poison: &AtomicI64,
+    events: Vec<BreakdownEvent>,
+    trail: Vec<f64>,
+    faults: FaultCounts,
+) -> WarpOut {
+    match body {
+        Ok(_) => WarpOut {
+            events,
+            panic: None,
+            trail,
+            faults,
+        },
+        Err(payload) => {
+            let _ = poison.compare_exchange(
+                POISON_NONE,
+                POISON_PANIC,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            WarpOut {
+                events,
+                panic: Some(panic_message(payload)),
+                trail,
+                faults,
+            }
+        }
+    }
+}
+
+/// Join-failure fallback: the warp died outside the panic guard.
+fn dead_warp() -> WarpOut {
+    WarpOut {
+        events: Vec::new(),
+        panic: Some("warp thread died outside the panic guard".to_string()),
+        trail: Vec::new(),
+        faults: FaultCounts::default(),
+    }
+}
+
+/// The `b = 0` fast path: `x = 0` converges in zero iterations.
+fn trivial_report(n: usize, warps: usize) -> ThreadedReport {
+    ThreadedReport {
+        x: vec![0.0; n],
+        iterations: 0,
+        converged: true,
+        final_relres: 0.0,
+        warps,
+        breakdowns: Vec::new(),
+        failure: None,
+        residual_history: Vec::new(),
+        last_progress: Vec::new(),
+        injected_faults: None,
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -243,7 +449,10 @@ fn segment_bounds(segments: usize, warps: usize) -> Vec<usize> {
 
 /// Assembles the report from the shared cells and the per-warp outputs:
 /// panics beat the watchdog beat the deterministic aborts, and the host
-/// appends the terminal Panic/Watchdog event to warp 0's trail.
+/// appends the terminal Panic/Watchdog event to warp 0's trail. The
+/// heartbeat snapshot is decoded through the engine's step-name table into
+/// [`ThreadedReport::last_progress`]; a non-empty plan is echoed as
+/// [`InjectedFaults`] telemetry (repro line + merged tally).
 #[allow(clippy::too_many_arguments)]
 fn finish_report(
     x: &[AtomicU64],
@@ -253,8 +462,41 @@ fn finish_report(
     final_relres_bits: &AtomicU64,
     poison: &AtomicI64,
     failure_cell: &FailureCell,
+    heartbeat: Option<&Heartbeat>,
+    steps: &'static [&'static str],
+    plan: &FaultPlan,
     mut outs: Vec<WarpOut>,
 ) -> ThreadedReport {
+    let injected_faults = if plan.is_empty() {
+        None
+    } else {
+        Some(InjectedFaults {
+            plan: plan.to_string(),
+            counts: outs
+                .iter()
+                .fold(FaultCounts::default(), |a, o| a.merge(o.faults)),
+        })
+    };
+    let last_progress: Vec<WarpProgress> = heartbeat
+        .map(|hb| {
+            hb.snapshot()
+                .iter()
+                .enumerate()
+                .map(|(wi, &packed)| match Heartbeat::unpack(packed) {
+                    None => WarpProgress {
+                        warp: wi,
+                        iteration: 0,
+                        step: "start",
+                    },
+                    Some((iteration, stp)) => WarpProgress {
+                        warp: wi,
+                        iteration,
+                        step: steps.get(stp).copied().unwrap_or("?"),
+                    },
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     let iterations = iterations_done.load(Ordering::Acquire) as usize;
     let (mut breakdowns, residual_history) = if outs.is_empty() {
         (Vec::new(), Vec::new())
@@ -303,11 +545,13 @@ fn finish_report(
         breakdowns,
         failure,
         residual_history,
+        last_progress,
+        injected_faults,
     }
 }
 
-/// Runs CG with the default watchdog ([`DEFAULT_WATCHDOG`]); see
-/// [`run_cg_threaded_watchdog`].
+/// Runs CG with the default watchdog policy (the progress heartbeat,
+/// [`crate::config::DEFAULT_HEARTBEAT`]); see [`run_cg_threaded_full`].
 ///
 /// ```
 /// use mf_solver::threaded::run_cg_threaded;
@@ -336,16 +580,20 @@ pub fn run_cg_threaded(
     max_iter: usize,
     max_warps: usize,
 ) -> ThreadedReport {
-    run_cg_threaded_watchdog(m, b, tol, max_iter, max_warps, Some(DEFAULT_WATCHDOG))
+    run_cg_threaded_full(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::default(),
+        &FaultPlan::default(),
+    )
 }
 
-/// Runs CG on `max_warps.min(segments)` threads synchronized purely through
-/// atomic dependency counters. Tiles execute at their stored (initial)
-/// precision; the dynamic strategy is not exercised here — this engine
-/// validates the *synchronization* scheme.
-///
-/// `watchdog` is an absolute wall-clock budget for the whole solve; `None`
-/// disables it (the paper's idealized deadlock-free assumption).
+/// Legacy wall-clock adapter: `Some(d)` is an absolute deadline for the
+/// whole solve, `None` disables the watchdog entirely (the paper's
+/// idealized deadlock-free assumption). See [`run_cg_threaded_full`].
 pub fn run_cg_threaded_watchdog(
     m: &TiledMatrix,
     b: &[f64],
@@ -353,6 +601,39 @@ pub fn run_cg_threaded_watchdog(
     max_iter: usize,
     max_warps: usize,
     watchdog: Option<Duration>,
+) -> ThreadedReport {
+    run_cg_threaded_full(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::from_wallclock(watchdog),
+        &FaultPlan::default(),
+    )
+}
+
+/// Runs CG on `max_warps.min(segments)` threads synchronized purely through
+/// atomic dependency counters. Tiles execute at their stored (initial)
+/// precision; the dynamic strategy is not exercised here — this engine
+/// validates the *synchronization* scheme.
+///
+/// Deterministic and warp-count invariant by construction: producers store
+/// per-tile-row SpMV partials into a per-entry scratch array (the `d_s`
+/// protocol is unchanged), segment owners assemble `u = A p` in global
+/// tile order, and every dot product is a per-segment single-writer
+/// partial reduced in fixed segment order — no arrival-order atomic adds
+/// anywhere. A benign [`FaultPlan`] therefore cannot change a single bit
+/// of the result.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cg_threaded_full(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
 ) -> ThreadedReport {
     let n = m.nrows;
     assert_eq!(b.len(), n);
@@ -363,31 +644,18 @@ pub fn run_cg_threaded_watchdog(
     let segments = n.div_ceil(ts).max(1);
     let warps = segments.min(max_warps).max(1);
     let seg_lo = segment_bounds(segments, warps);
+    let tr_start = tile_row_starts(m, segments);
 
     let spmv = SpmvSchedule::for_warps(m, warps);
 
-    let norm_b = {
-        let mut s = 0.0;
-        for &v in b {
-            s += v * v;
-        }
-        s.sqrt()
-    };
+    let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm_b == 0.0 {
-        return ThreadedReport {
-            x: vec![0.0; n],
-            iterations: 0,
-            converged: true,
-            final_relres: 0.0,
-            warps,
-            breakdowns: Vec::new(),
-            failure: None,
-            residual_history: Vec::new(),
-        };
+        return trivial_report(n, warps);
     }
 
-    // Shared vectors as atomic bit-cells: each element is written by one
-    // warp between barriers (x, r, p) or atomically accumulated (u).
+    // Shared vectors as atomic bit-cells: every element is written by
+    // exactly one warp between barriers (x, r, p by the segment owner; u by
+    // the segment owner during the gather).
     let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
         v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
     };
@@ -395,6 +663,13 @@ pub fn run_cg_threaded_watchdog(
     let r = to_cells(b);
     let p = to_cells(b);
     let u = to_cells(&vec![0.0; n]);
+    // One slot per tile-row entry: the producing warp stores its tile's
+    // per-row partial of A·p here (Release) before bumping `d_s`; the
+    // segment owner assembles rows from the slots in global tile order, so
+    // the sum is identical for every warp count and schedule perturbation.
+    let scratch: Vec<AtomicU64> = (0..m.row_index.len())
+        .map(|_| AtomicU64::new(0))
+        .collect();
 
     // Dependency counters (monotone epochs).
     let ds_init: Vec<i64> = {
@@ -407,20 +682,15 @@ pub fn run_cg_threaded_watchdog(
     let d_s: Vec<AtomicI64> = (0..m.tile_rows).map(|_| AtomicI64::new(0)).collect();
     let d_d = AtomicI64::new(0);
     let d_a = AtomicI64::new(0);
-    // Dot accumulators, double-buffered by iteration parity: iteration j
-    // accumulates into cell j%2 while the leader warp resets cell (j+1)%2
-    // at the top of iteration j (safe: the last reads of that cell happened
-    // before the previous Step-D barrier). A single monotone accumulator
-    // would suffer catastrophic cancellation once residuals shrink by many
-    // decades.
-    let acc_y = [
-        AtomicU64::new(0f64.to_bits()),
-        AtomicU64::new(0f64.to_bits()),
-    ];
-    let acc_z = [
-        AtomicU64::new(0f64.to_bits()),
-        AtomicU64::new(0f64.to_bits()),
-    ];
+    // Per-segment single-writer dot partials, reduced in fixed segment
+    // order by every warp after the dot barrier — deterministic and free of
+    // the catastrophic cancellation a monotone shared accumulator would
+    // suffer. One array per dot site; a barrier always separates a site's
+    // reads from its next writes.
+    let mk_seg = || -> Vec<AtomicU64> { (0..segments).map(|_| AtomicU64::new(0)).collect() };
+    let seg_y = mk_seg();
+    let seg_z = mk_seg();
+    let seg_z_bd = mk_seg();
 
     let rr0: f64 = b.iter().map(|v| v * v).sum();
     let iterations_done = AtomicI64::new(0);
@@ -428,7 +698,8 @@ pub fn run_cg_threaded_watchdog(
     let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
     let poison = AtomicI64::new(POISON_NONE);
     let failure_cell = FailureCell::new();
-    let deadline = watchdog.map(|d| Instant::now() + d);
+    let (deadline, heartbeat) = arm_watchdog(watchdog, warps);
+    let hb = heartbeat.as_ref();
 
     let warps_i = warps as i64;
 
@@ -437,17 +708,26 @@ pub fn run_cg_threaded_watchdog(
         for w in 0..warps {
             let (x, r, p, u) = (&x, &r, &p, &u);
             let (d_s, d_d, d_a) = (&d_s, &d_d, &d_a);
-            let (acc_y, acc_z) = (&acc_y, &acc_z);
+            let scratch = &scratch;
+            let (seg_y, seg_z, seg_z_bd) = (&seg_y, &seg_z, &seg_z_bd);
             let ds_init = &ds_init;
             let spmv = &spmv;
-            let seg_lo = &seg_lo;
+            let (seg_lo, tr_start) = (&seg_lo, &tr_start);
             let iterations_done = &iterations_done;
             let converged_flag = &converged_flag;
             let final_relres_bits = &final_relres_bits;
             let poison = &poison;
             let failure_cell = &failure_cell;
+            let plan = &*plan;
             handles.push(scope.spawn(move |_| {
-                let sync = WarpSync { poison, deadline };
+                let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let sync = WarpSync {
+                    poison,
+                    deadline,
+                    heartbeat: hb,
+                    faults: wf.as_ref(),
+                    warp: w,
+                };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
                 let mut trail: Vec<f64> = Vec::new();
                 let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
@@ -462,31 +742,35 @@ pub fn run_cg_threaded_watchdog(
                     // Decode my tiles once ("load into shared memory").
                     let tile_vals: Vec<Vec<f64>> =
                         my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+                    let mut acc = vec![0.0f64; ts];
 
                     let mut rr = rr0;
                     let mut consecutive_restarts = 0usize;
                     let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
                     let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+                    let seg_total = |cells: &[AtomicU64]| -> f64 {
+                        let mut t = 0.0;
+                        for cell in cells.iter() {
+                            t += f64::from_bits(cell.load(Ordering::Acquire));
+                        }
+                        t
+                    };
 
                     for j in 0..max_iter as i64 {
                         sync.iteration_gate()?;
-                        let cell = (j % 2) as usize;
-                        if w == 0 {
-                            // Reset the *other* parity's accumulators for the
-                            // next iteration (no warp can touch them before the
-                            // upcoming Step-D barrier).
-                            acc_y[1 - cell].store(0f64.to_bits(), Ordering::Release);
-                            acc_z[1 - cell].store(0f64.to_bits(), Ordering::Release);
-                        }
 
-                        // ---- Step A: tiled SpMV u += A_tile · p over my tiles.
+                        // ---- Step A: produce the per-tile-row partials of
+                        // u = A·p for my (load-balanced) tiles into their
+                        // scratch slots, then bump the row's `d_s` epoch.
+                        sync.step(j, 0)?;
                         for (ti, i) in my_tiles.clone().enumerate() {
-                            let base_row = m.tile_rowidx[i] as usize * ts;
                             let base_col = m.tile_colidx[i] as usize * ts;
                             let nnz_base = m.tile_nnz[i] as usize;
                             let vals = &tile_vals[ti];
+                            // scratch is keyed by absolute CSR row id, not a
+                            // local window — indexing is the clear spelling.
+                            #[allow(clippy::needless_range_loop)]
                             for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
-                                let row = base_row + m.row_index[ri] as usize;
                                 let mut sum = 0.0;
                                 for k in
                                     m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
@@ -494,27 +778,43 @@ pub fn run_cg_threaded_watchdog(
                                     sum += vals[k - nnz_base]
                                         * ld(&p[base_col + m.csr_colidx[k] as usize]);
                                 }
-                                atomic_add_f64(&u[row], sum);
+                                scratch[ri].store(sum.to_bits(), Ordering::Release);
                             }
                             // atomicSub(d_s[...]) in the paper; monotone epoch here.
                             d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
+                            sync.pulse();
                         }
 
-                        // ---- Step B: dot (u, p) over my segments, after their
-                        // row tiles complete.
-                        let mut part = 0.0;
+                        // ---- Step B: once a segment's row tiles are all
+                        // produced, assemble its rows of u in *global tile
+                        // order* and take the (u, p) partial — single writer
+                        // per seg_y slot, so the dot is bit-stable under any
+                        // schedule.
+                        sync.step(j, 1)?;
                         for s in my_segs.clone() {
                             if s < ds_init.len() {
                                 sync.spin_until(&d_s[s], ds_init[s] * (j + 1))?;
                             }
-                            for e in elems(s) {
-                                part += ld(&u[e]) * ld(&p[e]);
+                            let base_row = s * ts;
+                            let len = ((s + 1) * ts).min(n) - base_row;
+                            acc[..len].fill(0.0);
+                            for i in tr_start[s]..tr_start[s + 1] {
+                                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                    acc[m.row_index[ri] as usize] +=
+                                        f64::from_bits(scratch[ri].load(Ordering::Acquire));
+                                }
                             }
+                            let mut part = 0.0;
+                            for (o, &v) in acc[..len].iter().enumerate() {
+                                let e = base_row + o;
+                                st(&u[e], v);
+                                part += v * ld(&p[e]);
+                            }
+                            st(&seg_y[s], part);
                         }
-                        atomic_add_f64(&acc_y[cell], part);
                         d_d.fetch_add(1, Ordering::AcqRel);
                         sync.spin_until(d_d, warps_i * (2 * j + 1))?;
-                        let py = ld(&acc_y[cell]);
+                        let py = seg_total(seg_y);
                         let alpha = rr / py;
 
                         if !alpha.is_finite() || py <= 0.0 {
@@ -531,23 +831,22 @@ pub fn run_cg_threaded_watchdog(
                             };
                             // Restart needs rr = (r, r): reuse the second
                             // dot barrier for it.
-                            let mut part_z = 0.0;
                             for s in my_segs.clone() {
+                                let mut part_z = 0.0;
                                 for e in elems(s) {
                                     let rv = ld(&r[e]);
                                     part_z += rv * rv;
                                 }
+                                st(&seg_z_bd[s], part_z);
                             }
-                            atomic_add_f64(&acc_z[cell], part_z);
                             d_d.fetch_add(1, Ordering::AcqRel);
                             sync.spin_until(d_d, warps_i * (2 * j + 2))?;
-                            let rr_restart = ld(&acc_z[cell]);
-                            // p = r; zero u (all SpMV adds completed before
-                            // the α barrier, so no add can race the zeroing).
+                            let rr_restart = seg_total(seg_z_bd);
+                            // p = r (u needs no zeroing — the Step-B gather
+                            // overwrites every element wholesale).
                             for s in my_segs.clone() {
                                 for e in elems(s) {
                                     st(&p[e], ld(&r[e]));
-                                    st(&u[e], 0.0);
                                 }
                             }
                             rr = rr_restart;
@@ -591,19 +890,20 @@ pub fn run_cg_threaded_watchdog(
                         }
 
                         // ---- Step C: x += αp, r −= αu, then dot (r, r).
-                        let mut part_z = 0.0;
+                        sync.step(j, 2)?;
                         for s in my_segs.clone() {
+                            let mut part_z = 0.0;
                             for e in elems(s) {
                                 st(&x[e], ld(&x[e]) + alpha * ld(&p[e]));
                                 let rv = ld(&r[e]) - alpha * ld(&u[e]);
                                 st(&r[e], rv);
                                 part_z += rv * rv;
                             }
+                            st(&seg_z[s], part_z);
                         }
-                        atomic_add_f64(&acc_z[cell], part_z);
                         d_d.fetch_add(1, Ordering::AcqRel);
                         sync.spin_until(d_d, warps_i * (2 * j + 2))?;
-                        let rr_new = ld(&acc_z[cell]);
+                        let rr_new = seg_total(seg_z);
 
                         if !rr_new.is_finite() {
                             // Poisoned residual: no restart can rebuild
@@ -625,12 +925,11 @@ pub fn run_cg_threaded_watchdog(
                         let beta = rr_new / rr;
                         rr = rr_new;
 
-                        // ---- Step D: p = r + βp; zero my u segments for the
-                        // next iteration (everyone is past reading u).
+                        // ---- Step D: p = r + βp.
+                        sync.step(j, 3)?;
                         for s in my_segs.clone() {
                             for e in elems(s) {
                                 st(&p[e], ld(&r[e]) + beta * ld(&p[e]));
-                                st(&u[e], 0.0);
                             }
                         }
                         d_a.fetch_add(1, Ordering::AcqRel);
@@ -653,39 +952,13 @@ pub fn run_cg_threaded_watchdog(
                     }
                     Ok(())
                 }));
-                match body {
-                    Ok(_) => WarpOut {
-                        events,
-                        panic: None,
-                        trail,
-                    },
-                    Err(payload) => {
-                        // Poison first so spinning siblings are released,
-                        // then report the payload through the join handle.
-                        let _ = poison.compare_exchange(
-                            POISON_NONE,
-                            POISON_PANIC,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        );
-                        WarpOut {
-                            events,
-                            panic: Some(panic_message(payload)),
-                            trail,
-                        }
-                    }
-                }
+                let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
+                settle_warp(body, poison, events, trail, faults)
             }));
         }
         handles
             .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| WarpOut {
-                    events: Vec::new(),
-                    panic: Some("warp thread died outside the panic guard".to_string()),
-                    trail: Vec::new(),
-                })
-            })
+            .map(|h| h.join().unwrap_or_else(|_| dead_warp()))
             .collect()
     })
     .expect("threaded CG scope failed");
@@ -698,12 +971,15 @@ pub fn run_cg_threaded_watchdog(
         &final_relres_bits,
         &poison,
         &failure_cell,
+        heartbeat.as_ref(),
+        CG_STEPS,
+        plan,
         outs,
     )
 }
 
-/// Runs BiCGSTAB with the default watchdog ([`DEFAULT_WATCHDOG`]); see
-/// [`run_bicgstab_threaded_watchdog`].
+/// Runs BiCGSTAB with the default watchdog policy (the progress heartbeat,
+/// [`crate::config::DEFAULT_HEARTBEAT`]); see [`run_bicgstab_threaded_full`].
 pub fn run_bicgstab_threaded(
     m: &TiledMatrix,
     b: &[f64],
@@ -711,7 +987,35 @@ pub fn run_bicgstab_threaded(
     max_iter: usize,
     max_warps: usize,
 ) -> ThreadedReport {
-    run_bicgstab_threaded_watchdog(m, b, tol, max_iter, max_warps, Some(DEFAULT_WATCHDOG))
+    run_bicgstab_threaded_full(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::default(),
+        &FaultPlan::default(),
+    )
+}
+
+/// Legacy wall-clock adapter; see [`run_bicgstab_threaded_full`].
+pub fn run_bicgstab_threaded_watchdog(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
+    run_bicgstab_threaded_full(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::from_wallclock(watchdog),
+        &FaultPlan::default(),
+    )
 }
 
 /// Runs BiCGSTAB on threads synchronized purely through atomic dependency
@@ -721,15 +1025,19 @@ pub fn run_bicgstab_threaded(
 /// and two vector barriers (s ready before the second SpMV; p/u/θ ready
 /// before the next iteration). Breakdowns (α non-finite, subnormal ρ,
 /// ω = 0) run the sequential cores' restart semantics with all barrier
-/// epochs kept aligned; `watchdog` bounds the wall-clock as in
-/// [`run_cg_threaded_watchdog`].
-pub fn run_bicgstab_threaded_watchdog(
+/// epochs kept aligned. Like [`run_cg_threaded_full`] the SpMV partials go
+/// through a per-entry scratch array and every dot is a per-segment
+/// single-writer reduction, so the result is bitwise warp-count invariant
+/// and immune to benign schedule perturbations.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bicgstab_threaded_full(
     m: &TiledMatrix,
     b: &[f64],
     tol: f64,
     max_iter: usize,
     max_warps: usize,
-    watchdog: Option<Duration>,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
 ) -> ThreadedReport {
     let n = m.nrows;
     assert_eq!(b.len(), n);
@@ -740,21 +1048,13 @@ pub fn run_bicgstab_threaded_watchdog(
     let segments = n.div_ceil(ts).max(1);
     let warps = segments.min(max_warps).max(1);
     let seg_lo = segment_bounds(segments, warps);
+    let tr_start = tile_row_starts(m, segments);
 
     let spmv = SpmvSchedule::for_warps(m, warps);
 
     let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm_b == 0.0 {
-        return ThreadedReport {
-            x: vec![0.0; n],
-            iterations: 0,
-            converged: true,
-            final_relres: 0.0,
-            warps,
-            breakdowns: Vec::new(),
-            failure: None,
-            residual_history: Vec::new(),
-        };
+        return trivial_report(n, warps);
     }
 
     let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
@@ -767,6 +1067,12 @@ pub fn run_bicgstab_threaded_watchdog(
     let u = to_cells(&vec![0.0; n]); // µ = A p
     let th = to_cells(&vec![0.0; n]); // θ = A s
     let r0s: Vec<f64> = b.to_vec(); // shadow residual, immutable
+    // Per-tile-row-entry SpMV partials, shared by both SpMV epochs (the
+    // dot barrier after each gather separates a slot's reads from its next
+    // writes); see [`run_cg_threaded_full`].
+    let scratch: Vec<AtomicU64> = (0..m.row_index.len())
+        .map(|_| AtomicU64::new(0))
+        .collect();
 
     let ds_init: Vec<i64> = {
         let mut c = vec![0i64; m.tile_rows];
@@ -779,18 +1085,15 @@ pub fn run_bicgstab_threaded_watchdog(
     let d_d = AtomicI64::new(0); // three dot barriers per iteration
     let d_b = AtomicI64::new(0); // s-ready barrier
     let d_a = AtomicI64::new(0); // end-of-iteration barrier
-    // Five parity-buffered dot accumulators: denom, ts, tt, rho, rr.
-    let mk = || {
-        [
-            AtomicU64::new(0f64.to_bits()),
-            AtomicU64::new(0f64.to_bits()),
-        ]
-    };
-    let acc_denom = mk();
-    let acc_ts = mk();
-    let acc_tt = mk();
-    let acc_rho = mk();
-    let acc_rr = mk();
+    // Per-segment single-writer dot partials, one array per dot site.
+    let mk_seg = || -> Vec<AtomicU64> { (0..segments).map(|_| AtomicU64::new(0)).collect() };
+    let seg_denom = mk_seg();
+    let seg_ts = mk_seg();
+    let seg_tt = mk_seg();
+    let seg_rho = mk_seg();
+    let seg_rr = mk_seg();
+    let seg_rho_bd = mk_seg();
+    let seg_rr_bd = mk_seg();
 
     let rho0: f64 = b.iter().zip(&r0s).map(|(a, b)| a * b).sum();
     let iterations_done = AtomicI64::new(0);
@@ -798,7 +1101,8 @@ pub fn run_bicgstab_threaded_watchdog(
     let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
     let poison = AtomicI64::new(POISON_NONE);
     let failure_cell = FailureCell::new();
-    let deadline = watchdog.map(|d| Instant::now() + d);
+    let (deadline, heartbeat) = arm_watchdog(watchdog, warps);
+    let hb = heartbeat.as_ref();
 
     let warps_i = warps as i64;
 
@@ -807,16 +1111,27 @@ pub fn run_bicgstab_threaded_watchdog(
         for w in 0..warps {
             let (x, r, p, sv, u, th) = (&x, &r, &p, &sv, &u, &th);
             let (d_s, d_d, d_b, d_a) = (&d_s, &d_d, &d_b, &d_a);
-            let (acc_denom, acc_ts, acc_tt, acc_rho, acc_rr) =
-                (&acc_denom, &acc_ts, &acc_tt, &acc_rho, &acc_rr);
-            let (ds_init, spmv, seg_lo, r0s) = (&ds_init, &spmv, &seg_lo, &r0s);
+            let scratch = &scratch;
+            let (seg_denom, seg_ts, seg_tt) = (&seg_denom, &seg_ts, &seg_tt);
+            let (seg_rho, seg_rr) = (&seg_rho, &seg_rr);
+            let (seg_rho_bd, seg_rr_bd) = (&seg_rho_bd, &seg_rr_bd);
+            let (ds_init, spmv, seg_lo, tr_start, r0s) =
+                (&ds_init, &spmv, &seg_lo, &tr_start, &r0s);
             let iterations_done = &iterations_done;
             let converged_flag = &converged_flag;
             let final_relres_bits = &final_relres_bits;
             let poison = &poison;
             let failure_cell = &failure_cell;
+            let plan = &*plan;
             handles.push(scope.spawn(move |_| {
-                let sync = WarpSync { poison, deadline };
+                let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let sync = WarpSync {
+                    poison,
+                    deadline,
+                    heartbeat: hb,
+                    faults: wf.as_ref(),
+                    warp: w,
+                };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
                 let mut trail: Vec<f64> = Vec::new();
                 let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
@@ -830,18 +1145,28 @@ pub fn run_bicgstab_threaded_watchdog(
                     };
                     let tile_vals: Vec<Vec<f64>> =
                         my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+                    let mut acc = vec![0.0f64; ts];
 
                     let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
                     let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
-                    // One warp's tiled SpMV into an atomic output vector.
-                    let spmv_into = |input: &Vec<AtomicU64>, output: &Vec<AtomicU64>| {
+                    let seg_total = |cells: &[AtomicU64]| -> f64 {
+                        let mut t = 0.0;
+                        for cell in cells.iter() {
+                            t += f64::from_bits(cell.load(Ordering::Acquire));
+                        }
+                        t
+                    };
+                    // Producer half of one SpMV epoch: store my tiles'
+                    // per-row partials and bump each row's `d_s`.
+                    let produce = |input: &[AtomicU64]| {
                         for (ti, i) in my_tiles.clone().enumerate() {
-                            let base_row = m.tile_rowidx[i] as usize * ts;
                             let base_col = m.tile_colidx[i] as usize * ts;
                             let nnz_base = m.tile_nnz[i] as usize;
                             let vals = &tile_vals[ti];
+                            // scratch is keyed by absolute CSR row id, not a
+                            // local window — indexing is the clear spelling.
+                            #[allow(clippy::needless_range_loop)]
                             for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
-                                let row = base_row + m.row_index[ri] as usize;
                                 let mut sum = 0.0;
                                 for k in
                                     m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
@@ -849,9 +1174,26 @@ pub fn run_bicgstab_threaded_watchdog(
                                     sum += vals[k - nnz_base]
                                         * ld(&input[base_col + m.csr_colidx[k] as usize]);
                                 }
-                                atomic_add_f64(&output[row], sum);
+                                scratch[ri].store(sum.to_bits(), Ordering::Release);
                             }
                             d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
+                            sync.pulse();
+                        }
+                    };
+                    // Consumer half: assemble segment `sg`'s rows in global
+                    // tile order and plain-store them into `out`.
+                    let mut gather = |sg: usize, out: &[AtomicU64]| {
+                        let base_row = sg * ts;
+                        let len = ((sg + 1) * ts).min(n) - base_row;
+                        acc[..len].fill(0.0);
+                        for i in tr_start[sg]..tr_start[sg + 1] {
+                            for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                acc[m.row_index[ri] as usize] +=
+                                    f64::from_bits(scratch[ri].load(Ordering::Acquire));
+                            }
+                        }
+                        for (o, &v) in acc[..len].iter().enumerate() {
+                            out[base_row + o].store(v.to_bits(), Ordering::Release);
                         }
                     };
 
@@ -859,28 +1201,24 @@ pub fn run_bicgstab_threaded_watchdog(
                     let mut consecutive_restarts = 0usize;
                     for j in 0..max_iter as i64 {
                         sync.iteration_gate()?;
-                        let cell = (j % 2) as usize;
-                        if w == 0 {
-                            for acc in [acc_denom, acc_ts, acc_tt, acc_rho, acc_rr] {
-                                acc[1 - cell].store(0f64.to_bits(), Ordering::Release);
-                            }
-                        }
 
                         // ---- µ = A p (first SpMV epoch: targets init·(2j+1)).
-                        spmv_into(p, u);
-                        let mut part = 0.0;
+                        sync.step(j, 0)?;
+                        produce(p);
                         for sg in my_segs.clone() {
                             if sg < ds_init.len() {
                                 sync.spin_until(&d_s[sg], ds_init[sg] * (2 * j + 1))?;
                             }
+                            gather(sg, u);
+                            let mut part = 0.0;
                             for e in elems(sg) {
                                 part += ld(&u[e]) * r0s[e];
                             }
+                            st(&seg_denom[sg], part);
                         }
-                        atomic_add_f64(&acc_denom[cell], part);
                         d_d.fetch_add(1, Ordering::AcqRel);
                         sync.spin_until(d_d, warps_i * (3 * j + 1))?;
-                        let denom = ld(&acc_denom[cell]);
+                        let denom = seg_total(seg_denom);
                         let alpha = rho / denom;
 
                         if !alpha.is_finite() || denom.abs() < f64::MIN_POSITIVE {
@@ -904,33 +1242,31 @@ pub fn run_bicgstab_threaded_watchdog(
                             sync.spin_until(d_b, warps_i * (j + 1))?;
                             // Restart scalars ρ = (r, r0*) and ‖r‖² at the
                             // second dot barrier.
-                            let mut prho = 0.0;
-                            let mut prr = 0.0;
                             for sg in my_segs.clone() {
+                                let mut prho = 0.0;
+                                let mut prr = 0.0;
                                 for e in elems(sg) {
                                     let rv = ld(&r[e]);
                                     prho += rv * r0s[e];
                                     prr += rv * rv;
                                 }
+                                st(&seg_rho_bd[sg], prho);
+                                st(&seg_rr_bd[sg], prr);
                             }
-                            atomic_add_f64(&acc_rho[cell], prho);
-                            atomic_add_f64(&acc_rr[cell], prr);
                             d_d.fetch_add(1, Ordering::AcqRel);
                             sync.spin_until(d_d, warps_i * (3 * j + 2))?;
-                            let mut rho_restart = ld(&acc_rho[cell]);
-                            let rr = ld(&acc_rr[cell]);
+                            let mut rho_restart = seg_total(seg_rho_bd);
+                            let rr = seg_total(seg_rr_bd);
                             if rho_restart.abs() < f64::MIN_POSITIVE {
                                 // Orthogonal shadow residual: restart with
                                 // r0* = r semantics (sequential restart()).
                                 rho_restart = rr;
                             }
-                            // p = r; zero u (SpMV1 adds completed before
-                            // the α barrier). θ was never written this
-                            // iteration, so it is still zero.
+                            // p = r (no zeroing: the gathers overwrite u and
+                            // θ wholesale).
                             for sg in my_segs.clone() {
                                 for e in elems(sg) {
                                     st(&p[e], ld(&r[e]));
-                                    st(&u[e], 0.0);
                                 }
                             }
                             rho = rho_restart;
@@ -976,6 +1312,7 @@ pub fn run_bicgstab_threaded_watchdog(
 
                         // ---- s = r − αµ on my segments; barrier before SpMV2
                         // (other warps read every segment of s).
+                        sync.step(j, 1)?;
                         for sg in my_segs.clone() {
                             for e in elems(sg) {
                                 st(&sv[e], ld(&r[e]) - alpha * ld(&u[e]));
@@ -985,30 +1322,33 @@ pub fn run_bicgstab_threaded_watchdog(
                         sync.spin_until(d_b, warps_i * (j + 1))?;
 
                         // ---- θ = A s (second SpMV epoch: targets init·(2j+2)).
-                        spmv_into(sv, th);
-                        let mut pts = 0.0;
-                        let mut ptt = 0.0;
+                        sync.step(j, 2)?;
+                        produce(sv);
                         for sg in my_segs.clone() {
                             if sg < ds_init.len() {
                                 sync.spin_until(&d_s[sg], ds_init[sg] * (2 * j + 2))?;
                             }
+                            gather(sg, th);
+                            let mut pts = 0.0;
+                            let mut ptt = 0.0;
                             for e in elems(sg) {
                                 let t = ld(&th[e]);
                                 pts += t * ld(&sv[e]);
                                 ptt += t * t;
                             }
+                            st(&seg_ts[sg], pts);
+                            st(&seg_tt[sg], ptt);
                         }
-                        atomic_add_f64(&acc_ts[cell], pts);
-                        atomic_add_f64(&acc_tt[cell], ptt);
                         d_d.fetch_add(1, Ordering::AcqRel);
                         sync.spin_until(d_d, warps_i * (3 * j + 2))?;
-                        let tt = ld(&acc_tt[cell]);
-                        let omega = if tt > 0.0 { ld(&acc_ts[cell]) / tt } else { 0.0 };
+                        let tt = seg_total(seg_tt);
+                        let omega = if tt > 0.0 { seg_total(seg_ts) / tt } else { 0.0 };
 
                         // ---- x += αp + ωs; r = s − ωθ; ρ' and ‖r‖² partials.
-                        let mut prho = 0.0;
-                        let mut prr = 0.0;
+                        sync.step(j, 3)?;
                         for sg in my_segs.clone() {
+                            let mut prho = 0.0;
+                            let mut prr = 0.0;
                             for e in elems(sg) {
                                 st(
                                     &x[e],
@@ -1019,13 +1359,13 @@ pub fn run_bicgstab_threaded_watchdog(
                                 prho += rv * r0s[e];
                                 prr += rv * rv;
                             }
+                            st(&seg_rho[sg], prho);
+                            st(&seg_rr[sg], prr);
                         }
-                        atomic_add_f64(&acc_rho[cell], prho);
-                        atomic_add_f64(&acc_rr[cell], prr);
                         d_d.fetch_add(1, Ordering::AcqRel);
                         sync.spin_until(d_d, warps_i * (3 * j + 3))?;
-                        let rho_new = ld(&acc_rho[cell]);
-                        let rr = ld(&acc_rr[cell]);
+                        let rho_new = seg_total(seg_rho);
+                        let rr = seg_total(seg_rr);
                         let relres = rr.max(0.0).sqrt() / norm_b;
 
                         if !rr.is_finite() {
@@ -1045,7 +1385,8 @@ pub fn run_bicgstab_threaded_watchdog(
                         }
                         consecutive_restarts = 0; // x and r advanced
 
-                        // ---- p = r + β(p − ωµ); zero my u/θ segments.
+                        // ---- p = r + β(p − ωµ).
+                        sync.step(j, 4)?;
                         let beta = (rho_new / rho) * (alpha / omega);
                         let restart = !beta.is_finite()
                             || omega == 0.0
@@ -1058,8 +1399,6 @@ pub fn run_bicgstab_threaded_watchdog(
                                     ld(&r[e]) + beta * (ld(&p[e]) - omega * ld(&u[e]))
                                 };
                                 st(&p[e], pv);
-                                st(&u[e], 0.0);
-                                st(&th[e], 0.0);
                             }
                         }
                         // Sequential restart() semantics: ρ = (r, r0*)
@@ -1101,37 +1440,13 @@ pub fn run_bicgstab_threaded_watchdog(
                     }
                     Ok(())
                 }));
-                match body {
-                    Ok(_) => WarpOut {
-                        events,
-                        panic: None,
-                        trail,
-                    },
-                    Err(payload) => {
-                        let _ = poison.compare_exchange(
-                            POISON_NONE,
-                            POISON_PANIC,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        );
-                        WarpOut {
-                            events,
-                            panic: Some(panic_message(payload)),
-                            trail,
-                        }
-                    }
-                }
+                let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
+                settle_warp(body, poison, events, trail, faults)
             }));
         }
         handles
             .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| WarpOut {
-                    events: Vec::new(),
-                    panic: Some("warp thread died outside the panic guard".to_string()),
-                    trail: Vec::new(),
-                })
-            })
+            .map(|h| h.join().unwrap_or_else(|_| dead_warp()))
             .collect()
     })
     .expect("threaded BiCGSTAB scope failed");
@@ -1144,6 +1459,9 @@ pub fn run_bicgstab_threaded_watchdog(
         &final_relres_bits,
         &poison,
         &failure_cell,
+        heartbeat.as_ref(),
+        BICGSTAB_STEPS,
+        plan,
         outs,
     )
 }
@@ -1202,6 +1520,7 @@ fn warp_sptrsv_lower(
         let xr = (f64::from_bits(rhs[r].load(Ordering::Acquire)) - sum) / diag;
         out[r].store(xr.to_bits(), Ordering::Release);
         deps.complete(r);
+        sync.pulse();
     }
     Ok(())
 }
@@ -1237,12 +1556,13 @@ fn warp_sptrsv_upper(
         let xr = (f64::from_bits(rhs[r].load(Ordering::Acquire)) - sum) / diag;
         out[r].store(xr.to_bits(), Ordering::Release);
         deps.complete(r);
+        sync.pulse();
     }
     Ok(())
 }
 
-/// Runs one threaded `L y = b; U x = y` solve with the default watchdog;
-/// see [`run_ilu_sptrsv_threaded_watchdog`].
+/// Runs one threaded `L y = b; U x = y` solve with the default watchdog
+/// policy; see [`run_ilu_sptrsv_threaded_full`].
 pub fn run_ilu_sptrsv_threaded(
     l: &Csr,
     u: &Csr,
@@ -1252,7 +1572,7 @@ pub fn run_ilu_sptrsv_threaded(
     seg: usize,
     max_warps: usize,
 ) -> ThreadedReport {
-    run_ilu_sptrsv_threaded_watchdog(
+    run_ilu_sptrsv_threaded_full(
         l,
         u,
         b,
@@ -1260,7 +1580,33 @@ pub fn run_ilu_sptrsv_threaded(
         unit_upper,
         seg,
         max_warps,
-        Some(DEFAULT_WATCHDOG),
+        WatchdogPolicy::default(),
+        &FaultPlan::default(),
+    )
+}
+
+/// Legacy wall-clock adapter; see [`run_ilu_sptrsv_threaded_full`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_ilu_sptrsv_threaded_watchdog(
+    l: &Csr,
+    u: &Csr,
+    b: &[f64],
+    unit_lower: bool,
+    unit_upper: bool,
+    seg: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
+    run_ilu_sptrsv_threaded_full(
+        l,
+        u,
+        b,
+        unit_lower,
+        unit_upper,
+        seg,
+        max_warps,
+        WatchdogPolicy::from_wallclock(watchdog),
+        &FaultPlan::default(),
     )
 }
 
@@ -1274,10 +1620,10 @@ pub fn run_ilu_sptrsv_threaded(
 /// `x` holding the backward-solve result (`final_relres` is not
 /// meaningful for a direct solve and is reported as `0`). A dependency
 /// cycle (corrupted factor) fails as [`SolveFailure::Wedged`] once
-/// `watchdog` expires; a panicking warp (e.g. out-of-range column index)
+/// the watchdog expires; a panicking warp (e.g. out-of-range column index)
 /// fails as [`SolveFailure::WarpPanic`] — never a hang.
 #[allow(clippy::too_many_arguments)]
-pub fn run_ilu_sptrsv_threaded_watchdog(
+pub fn run_ilu_sptrsv_threaded_full(
     l: &Csr,
     u: &Csr,
     b: &[f64],
@@ -1285,7 +1631,8 @@ pub fn run_ilu_sptrsv_threaded_watchdog(
     unit_upper: bool,
     seg: usize,
     max_warps: usize,
-    watchdog: Option<Duration>,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
 ) -> ThreadedReport {
     let n = l.nrows;
     assert_eq!(l.nrows, l.ncols);
@@ -1311,7 +1658,8 @@ pub fn run_ilu_sptrsv_threaded_watchdog(
     let final_relres_bits = AtomicU64::new(0f64.to_bits());
     let poison = AtomicI64::new(POISON_NONE);
     let failure_cell = FailureCell::new();
-    let deadline = watchdog.map(|d| Instant::now() + d);
+    let (deadline, heartbeat) = arm_watchdog(watchdog, warps);
+    let hb = heartbeat.as_ref();
     let warps_i = warps as i64;
 
     let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
@@ -1323,14 +1671,24 @@ pub fn run_ilu_sptrsv_threaded_watchdog(
             let iterations_done = &iterations_done;
             let converged_flag = &converged_flag;
             let poison = &poison;
+            let plan = &*plan;
             handles.push(scope.spawn(move |_| {
-                let sync = WarpSync { poison, deadline };
+                let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let sync = WarpSync {
+                    poison,
+                    deadline,
+                    heartbeat: hb,
+                    faults: wf.as_ref(),
+                    warp: w,
+                };
                 let events: Vec<BreakdownEvent> = Vec::new();
                 let trail: Vec<f64> = Vec::new();
                 let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
                     let rows = (seg_lo[w] * seg)..((seg_lo[w + 1] * seg).min(n));
                     sync.iteration_gate()?;
+                    sync.step(0, 0)?;
                     warp_sptrsv_lower(l, unit_lower, rhs, y, fwd, rows.clone(), 1, sync)?;
+                    sync.step(0, 1)?;
                     warp_sptrsv_upper(u, unit_upper, y, z, bwd, rows, 1, sync)?;
                     // Completion barrier so success is only reported once
                     // every warp finished (a late panic must win).
@@ -1342,37 +1700,13 @@ pub fn run_ilu_sptrsv_threaded_watchdog(
                     }
                     Ok(())
                 }));
-                match body {
-                    Ok(_) => WarpOut {
-                        events,
-                        panic: None,
-                        trail,
-                    },
-                    Err(payload) => {
-                        let _ = poison.compare_exchange(
-                            POISON_NONE,
-                            POISON_PANIC,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        );
-                        WarpOut {
-                            events,
-                            panic: Some(panic_message(payload)),
-                            trail,
-                        }
-                    }
-                }
+                let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
+                settle_warp(body, poison, events, trail, faults)
             }));
         }
         handles
             .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| WarpOut {
-                    events: Vec::new(),
-                    panic: Some("warp thread died outside the panic guard".to_string()),
-                    trail: Vec::new(),
-                })
-            })
+            .map(|h| h.join().unwrap_or_else(|_| dead_warp()))
             .collect()
     })
     .expect("threaded SpTRSV scope failed");
@@ -1385,12 +1719,15 @@ pub fn run_ilu_sptrsv_threaded_watchdog(
         &final_relres_bits,
         &poison,
         &failure_cell,
+        heartbeat.as_ref(),
+        SPTRSV_STEPS,
+        plan,
         outs,
     )
 }
 
-/// Runs ILU(0)-preconditioned CG with the default watchdog
-/// ([`DEFAULT_WATCHDOG`]); see [`run_pcg_threaded_watchdog`].
+/// Runs ILU(0)-preconditioned CG with the default watchdog policy (the
+/// progress heartbeat); see [`run_pcg_threaded_full`].
 pub fn run_pcg_threaded(
     m: &TiledMatrix,
     ilu: &Ilu0,
@@ -1399,7 +1736,39 @@ pub fn run_pcg_threaded(
     max_iter: usize,
     max_warps: usize,
 ) -> ThreadedReport {
-    run_pcg_threaded_watchdog(m, ilu, b, tol, max_iter, max_warps, Some(DEFAULT_WATCHDOG))
+    run_pcg_threaded_full(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::default(),
+        &FaultPlan::default(),
+    )
+}
+
+/// Legacy wall-clock adapter; see [`run_pcg_threaded_full`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_threaded_watchdog(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
+    run_pcg_threaded_full(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::from_wallclock(watchdog),
+        &FaultPlan::default(),
+    )
 }
 
 /// Runs ILU(0)-preconditioned CG entirely inside the "single kernel":
@@ -1419,14 +1788,16 @@ pub fn run_pcg_threaded(
 /// CSR order exactly like the sequential kernel. Residual trajectories
 /// are therefore bitwise-reproducible across 1..k warps — the property
 /// the differential harness in `tests/threaded_parity.rs` locks down.
-pub fn run_pcg_threaded_watchdog(
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_threaded_full(
     m: &TiledMatrix,
     ilu: &Ilu0,
     b: &[f64],
     tol: f64,
     max_iter: usize,
     max_warps: usize,
-    watchdog: Option<Duration>,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
 ) -> ThreadedReport {
     let n = m.nrows;
     assert_eq!(b.len(), n);
@@ -1443,16 +1814,7 @@ pub fn run_pcg_threaded_watchdog(
 
     let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm_b == 0.0 {
-        return ThreadedReport {
-            x: vec![0.0; n],
-            iterations: 0,
-            converged: true,
-            final_relres: 0.0,
-            warps,
-            breakdowns: Vec::new(),
-            failure: None,
-            residual_history: Vec::new(),
-        };
+        return trivial_report(n, warps);
     }
 
     let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
@@ -1486,7 +1848,8 @@ pub fn run_pcg_threaded_watchdog(
     let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
     let poison = AtomicI64::new(POISON_NONE);
     let failure_cell = FailureCell::new();
-    let deadline = watchdog.map(|d| Instant::now() + d);
+    let (deadline, heartbeat) = arm_watchdog(watchdog, warps);
+    let hb = heartbeat.as_ref();
     let warps_i = warps as i64;
 
     let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
@@ -1501,8 +1864,16 @@ pub fn run_pcg_threaded_watchdog(
             let final_relres_bits = &final_relres_bits;
             let poison = &poison;
             let failure_cell = &failure_cell;
+            let plan = &*plan;
             handles.push(scope.spawn(move |_| {
-                let sync = WarpSync { poison, deadline };
+                let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let sync = WarpSync {
+                    poison,
+                    deadline,
+                    heartbeat: hb,
+                    faults: wf.as_ref(),
+                    warp: w,
+                };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
                 let mut trail: Vec<f64> = Vec::new();
                 let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
@@ -1558,6 +1929,7 @@ pub fn run_pcg_threaded_watchdog(
                             for (o, v) in acc[..len].iter().enumerate() {
                                 output[base_row + o].store(v.to_bits(), Ordering::Release);
                             }
+                            sync.pulse();
                         }
                     };
 
@@ -1566,6 +1938,7 @@ pub fn run_pcg_threaded_watchdog(
 
                     // ---- Init: z = M⁻¹ r (r = b), p = z, ρ = (r, z).
                     sync.iteration_gate()?;
+                    sync.step(0, 0)?;
                     apply_epoch += 1;
                     warp_sptrsv_lower(&ilu.l, true, r, y, fwd, rows.clone(), apply_epoch, sync)?;
                     warp_sptrsv_upper(&ilu.u, false, y, z, bwd, rows.clone(), apply_epoch, sync)?;
@@ -1585,6 +1958,7 @@ pub fn run_pcg_threaded_watchdog(
                         sync.iteration_gate()?;
 
                         // ---- u = A p; curvature pᵀ A p.
+                        sync.step(j, 1)?;
                         spmv_own(p, uv);
                         for s in my_segs.clone() {
                             let mut part = 0.0;
@@ -1647,6 +2021,7 @@ pub fn run_pcg_threaded_watchdog(
                         }
 
                         // ---- x += αp, r −= αu, ‖r‖² partials.
+                        sync.step(j, 2)?;
                         for s in my_segs.clone() {
                             let mut part = 0.0;
                             for e in elems(s) {
@@ -1675,6 +2050,7 @@ pub fn run_pcg_threaded_watchdog(
 
                         // ---- z = M⁻¹ r (the barrier above published every
                         // segment of r) and ρ' = (r, z).
+                        sync.step(j, 3)?;
                         apply_epoch += 1;
                         warp_sptrsv_lower(
                             &ilu.l,
@@ -1709,6 +2085,7 @@ pub fn run_pcg_threaded_watchdog(
                         rz = rz_new;
 
                         // ---- p = z + βp.
+                        sync.step(j, 4)?;
                         for s in my_segs.clone() {
                             for e in elems(s) {
                                 st(&p[e], ld(&z[e]) + beta * ld(&p[e]));
@@ -1741,37 +2118,13 @@ pub fn run_pcg_threaded_watchdog(
                     }
                     Ok(())
                 }));
-                match body {
-                    Ok(_) => WarpOut {
-                        events,
-                        panic: None,
-                        trail,
-                    },
-                    Err(payload) => {
-                        let _ = poison.compare_exchange(
-                            POISON_NONE,
-                            POISON_PANIC,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        );
-                        WarpOut {
-                            events,
-                            panic: Some(panic_message(payload)),
-                            trail,
-                        }
-                    }
-                }
+                let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
+                settle_warp(body, poison, events, trail, faults)
             }));
         }
         handles
             .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| WarpOut {
-                    events: Vec::new(),
-                    panic: Some("warp thread died outside the panic guard".to_string()),
-                    trail: Vec::new(),
-                })
-            })
+            .map(|h| h.join().unwrap_or_else(|_| dead_warp()))
             .collect()
     })
     .expect("threaded PCG scope failed");
@@ -1784,12 +2137,15 @@ pub fn run_pcg_threaded_watchdog(
         &final_relres_bits,
         &poison,
         &failure_cell,
+        heartbeat.as_ref(),
+        PCG_STEPS,
+        plan,
         outs,
     )
 }
 
-/// Runs ILU(0)-preconditioned BiCGSTAB with the default watchdog
-/// ([`DEFAULT_WATCHDOG`]); see [`run_pbicgstab_threaded_watchdog`].
+/// Runs ILU(0)-preconditioned BiCGSTAB with the default watchdog policy
+/// (the progress heartbeat); see [`run_pbicgstab_threaded_full`].
 pub fn run_pbicgstab_threaded(
     m: &TiledMatrix,
     ilu: &Ilu0,
@@ -1798,16 +2154,20 @@ pub fn run_pbicgstab_threaded(
     max_iter: usize,
     max_warps: usize,
 ) -> ThreadedReport {
-    run_pbicgstab_threaded_watchdog(m, ilu, b, tol, max_iter, max_warps, Some(DEFAULT_WATCHDOG))
+    run_pbicgstab_threaded_full(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::default(),
+        &FaultPlan::default(),
+    )
 }
 
-/// Right-preconditioned BiCGSTAB inside the single kernel: two in-kernel
-/// SpTRSV applications (`p̂ = M⁻¹p`, `ŝ = M⁻¹s`) and two owner-computes
-/// SpMVs per iteration, five barriers on the normal path. Same
-/// determinism, dependency-counter, poison and watchdog story as
-/// [`run_pcg_threaded_watchdog`]; breakdown/restart semantics mirror the
-/// sequential `run_pbicgstab` core (ρ/ω restarts, `Stalled` abort after
-/// futile restarts).
+/// Legacy wall-clock adapter; see [`run_pbicgstab_threaded_full`].
+#[allow(clippy::too_many_arguments)]
 pub fn run_pbicgstab_threaded_watchdog(
     m: &TiledMatrix,
     ilu: &Ilu0,
@@ -1816,6 +2176,36 @@ pub fn run_pbicgstab_threaded_watchdog(
     max_iter: usize,
     max_warps: usize,
     watchdog: Option<Duration>,
+) -> ThreadedReport {
+    run_pbicgstab_threaded_full(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::from_wallclock(watchdog),
+        &FaultPlan::default(),
+    )
+}
+
+/// Right-preconditioned BiCGSTAB inside the single kernel: two in-kernel
+/// SpTRSV applications (`p̂ = M⁻¹p`, `ŝ = M⁻¹s`) and two owner-computes
+/// SpMVs per iteration, five barriers on the normal path. Same
+/// determinism, dependency-counter, poison and watchdog story as
+/// [`run_pcg_threaded_full`]; breakdown/restart semantics mirror the
+/// sequential `run_pbicgstab` core (ρ/ω restarts, `Stalled` abort after
+/// futile restarts).
+#[allow(clippy::too_many_arguments)]
+pub fn run_pbicgstab_threaded_full(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
 ) -> ThreadedReport {
     let n = m.nrows;
     assert_eq!(b.len(), n);
@@ -1832,16 +2222,7 @@ pub fn run_pbicgstab_threaded_watchdog(
 
     let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm_b == 0.0 {
-        return ThreadedReport {
-            x: vec![0.0; n],
-            iterations: 0,
-            converged: true,
-            final_relres: 0.0,
-            warps,
-            breakdowns: Vec::new(),
-            failure: None,
-            residual_history: Vec::new(),
-        };
+        return trivial_report(n, warps);
     }
 
     let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
@@ -1878,7 +2259,8 @@ pub fn run_pbicgstab_threaded_watchdog(
     let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
     let poison = AtomicI64::new(POISON_NONE);
     let failure_cell = FailureCell::new();
-    let deadline = watchdog.map(|d| Instant::now() + d);
+    let (deadline, heartbeat) = arm_watchdog(watchdog, warps);
+    let hb = heartbeat.as_ref();
     let warps_i = warps as i64;
 
     let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
@@ -1896,8 +2278,16 @@ pub fn run_pbicgstab_threaded_watchdog(
             let final_relres_bits = &final_relres_bits;
             let poison = &poison;
             let failure_cell = &failure_cell;
+            let plan = &*plan;
             handles.push(scope.spawn(move |_| {
-                let sync = WarpSync { poison, deadline };
+                let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let sync = WarpSync {
+                    poison,
+                    deadline,
+                    heartbeat: hb,
+                    faults: wf.as_ref(),
+                    warp: w,
+                };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
                 let mut trail: Vec<f64> = Vec::new();
                 let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
@@ -1950,6 +2340,7 @@ pub fn run_pbicgstab_threaded_watchdog(
                             for (o, val) in acc[..len].iter().enumerate() {
                                 output[base_row + o].store(val.to_bits(), Ordering::Release);
                             }
+                            sync.pulse();
                         }
                     };
 
@@ -1962,6 +2353,7 @@ pub fn run_pbicgstab_threaded_watchdog(
 
                         // ---- p̂ = M⁻¹ p (own rows of p feed the forward
                         // solve; cross-warp flow is through the counters).
+                        sync.step(j, 0)?;
                         apply_epoch += 1;
                         warp_sptrsv_lower(
                             &ilu.l,
@@ -1986,6 +2378,7 @@ pub fn run_pbicgstab_threaded_watchdog(
                         barrier()?; // p̂ published for the SpMV
 
                         // ---- v = A p̂; denom = (v, r0*).
+                        sync.step(j, 1)?;
                         spmv_own(phat, v);
                         for s in my_segs.clone() {
                             let mut part = 0.0;
@@ -2060,6 +2453,7 @@ pub fn run_pbicgstab_threaded_watchdog(
                         }
 
                         // ---- s = r − αv; ŝ = M⁻¹ s.
+                        sync.step(j, 2)?;
                         for s in my_segs.clone() {
                             for e in elems(s) {
                                 st(&sv[e], ld(&r[e]) - alpha * ld(&v[e]));
@@ -2089,6 +2483,7 @@ pub fn run_pbicgstab_threaded_watchdog(
                         barrier()?; // ŝ published for the SpMV
 
                         // ---- t = A ŝ; (t, s) and (t, t).
+                        sync.step(j, 3)?;
                         spmv_own(shat, tv);
                         for s in my_segs.clone() {
                             let mut pts = 0.0;
@@ -2106,6 +2501,7 @@ pub fn run_pbicgstab_threaded_watchdog(
                         let omega = if tt > 0.0 { seg_total(seg_ts) / tt } else { 0.0 };
 
                         // ---- x += αp̂ + ωŝ; r = s − ωt; ρ', ‖r‖² partials.
+                        sync.step(j, 4)?;
                         for s in my_segs.clone() {
                             let mut prho = 0.0;
                             let mut prr = 0.0;
@@ -2188,37 +2584,13 @@ pub fn run_pbicgstab_threaded_watchdog(
                     }
                     Ok(())
                 }));
-                match body {
-                    Ok(_) => WarpOut {
-                        events,
-                        panic: None,
-                        trail,
-                    },
-                    Err(payload) => {
-                        let _ = poison.compare_exchange(
-                            POISON_NONE,
-                            POISON_PANIC,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        );
-                        WarpOut {
-                            events,
-                            panic: Some(panic_message(payload)),
-                            trail,
-                        }
-                    }
-                }
+                let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
+                settle_warp(body, poison, events, trail, faults)
             }));
         }
         handles
             .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| WarpOut {
-                    events: Vec::new(),
-                    panic: Some("warp thread died outside the panic guard".to_string()),
-                    trail: Vec::new(),
-                })
-            })
+            .map(|h| h.join().unwrap_or_else(|_| dead_warp()))
             .collect()
     })
     .expect("threaded PBiCGSTAB scope failed");
@@ -2231,6 +2603,9 @@ pub fn run_pbicgstab_threaded_watchdog(
         &final_relres_bits,
         &poison,
         &failure_cell,
+        heartbeat.as_ref(),
+        PBICGSTAB_STEPS,
+        plan,
         outs,
     )
 }
@@ -2261,6 +2636,33 @@ mod tests {
 
     fn tiled(a: &Csr) -> TiledMatrix {
         TiledMatrix::from_csr_with(a, 16, &ClassifyOptions::default())
+    }
+
+    #[test]
+    fn full_entry_reports_fault_telemetry_and_progress() {
+        let a = poisson1d(96);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 96];
+        a.matvec(&vec![1.0; 96], &mut b);
+        let clean =
+            run_cg_threaded_full(&m, &b, 1e-10, 1000, 3, WatchdogPolicy::default(), &FaultPlan::default());
+        assert!(clean.converged);
+        assert!(clean.injected_faults.is_none(), "empty plan → no telemetry");
+        assert_eq!(clean.last_progress.len(), clean.warps);
+        assert!(clean
+            .last_progress
+            .iter()
+            .all(|p| CG_STEPS.contains(&p.step)));
+
+        let plan = FaultPlan::seeded(11).with_delay(200, 16).with_stall(4, 50);
+        let rep = run_cg_threaded_full(&m, &b, 1e-10, 1000, 3, WatchdogPolicy::default(), &plan);
+        assert!(rep.converged);
+        let inj = rep.injected_faults.expect("non-empty plan → telemetry");
+        assert_eq!(inj.plan, plan.to_string(), "repro line round-trips");
+        assert!(inj.counts.total() > 0, "benign faults actually fired");
+        for (t, c) in rep.x.iter().zip(&clean.x) {
+            assert_eq!(t.to_bits(), c.to_bits(), "benign plan is bitwise inert");
+        }
     }
 
     #[test]

@@ -14,4 +14,15 @@ timeout --signal=KILL 600 cargo test -q --locked --offline --workspace
 # are ignored in debug; run them optimized, again with a hard kill so a
 # wedged in-kernel SpTRSV fails fast instead of stalling CI.
 timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test threaded_parity
+# Fault-injection tier (release-only: the full FaultKind × engine × warp
+# matrix is ignored in debug). Every plan in the suite is seed-deterministic;
+# on failure the assertion message embeds the plan's Display form — a
+# compilable `FaultPlan::seeded(..)` builder line — so the exact perturbation
+# can be replayed. The hard kill bounds a watchdog regression (a missed wedge
+# would otherwise spin forever).
+if ! timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mille-feuille --test fault_injection -- --include-ignored; then
+    echo "fault_injection tier failed: the repro seed is the FaultPlan::seeded(..) line in the assertion above" >&2
+    exit 1
+fi
+timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-solver --test prop_heartbeat
 cargo clippy --all-targets --workspace --locked --offline -- -D warnings

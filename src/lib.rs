@@ -47,8 +47,9 @@ pub mod prelude {
     pub use mf_gpu::DeviceSpec;
     pub use mf_precision::Precision;
     pub use mf_solver::{
-        BreakdownEvent, BreakdownKind, ExecutedMode, KernelMode, MilleFeuille, RecoveryAction,
-        SolveFailure, SolveReport, SolverConfig, ThreadedReport,
+        BreakdownEvent, BreakdownKind, ExecutedMode, FaultKind, FaultPlan, InjectedFaults,
+        KernelMode, MilleFeuille, RecoveryAction, SolveFailure, SolveReport, SolverConfig,
+        ThreadedReport, WatchdogPolicy,
     };
     pub use mf_sparse::{Coo, Csr, TiledMatrix};
 }

@@ -92,7 +92,7 @@ fn modeled_cores_fail_finite_on_breakdown() {
 #[test]
 fn threaded_facade_fails_finite_within_watchdog() {
     let config = SolverConfig {
-        watchdog: Some(Duration::from_secs(5)),
+        watchdog: WatchdogPolicy::Heartbeat(Duration::from_secs(5)),
         ..SolverConfig::default()
     };
     let solver = MilleFeuille::new(DeviceSpec::a100(), config);
@@ -128,4 +128,76 @@ fn healthy_solves_report_no_failure() {
     assert!(rep.converged);
     assert!(rep.failure.is_none());
     assert!(rep.breakdowns.is_empty());
+}
+
+/// ILU(0)/IC(0) zero- and tiny-pivot breakdowns no longer hard-fail the
+/// preconditioned facade: bounded diagonal boosting retries the
+/// factorization on `A + αI` (α = 10⁻³·max|a_ii|, doubling, at most
+/// `MAX_FACTOR_SHIFTS` attempts), and every attempt is recorded as a
+/// `FactorShift` breakdown event at iteration 0. Unrepairable inputs
+/// (shape errors, genuinely indefinite IC(0) input) still propagate `Err`.
+#[test]
+fn factorization_fallback_boosts_diagonal() {
+    use mille_feuille::kernels::MAX_FACTOR_SHIFTS;
+    let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+
+    // Structurally missing diagonal in the leading 2×2 block: plain ILU(0)
+    // hits a structural zero pivot at row 0.
+    let mut a = Coo::new(6, 6);
+    a.push(0, 1, 1.0);
+    a.push(1, 0, 1.0);
+    for i in 2..6 {
+        a.push(i, i, 4.0);
+        if i > 2 {
+            a.push(i, i - 1, -1.0);
+            a.push(i - 1, i, -1.0);
+        }
+    }
+    let a = a.to_csr();
+    let b = vec![1.0; 6];
+
+    let rep = solver.solve_pbicgstab(&a, &b).unwrap();
+    let shifts = rep
+        .breakdowns
+        .iter()
+        .filter(|e| e.kind == BreakdownKind::FactorShift)
+        .count();
+    assert!(
+        (1..=MAX_FACTOR_SHIFTS).contains(&shifts),
+        "expected 1..=4 shift events, got {shifts}"
+    );
+    assert_eq!(rep.breakdowns[0].iteration, 0, "shifts precede iteration 1");
+    assert_eq!(rep.breakdowns[0].action, RecoveryAction::Restarted);
+    assert!(rep.final_relres.is_finite());
+
+    // Same recovery on the PCG and threaded-PCG paths.
+    let rep = solver.solve_pcg(&a, &b).unwrap();
+    assert!(rep
+        .breakdowns
+        .iter()
+        .any(|e| e.kind == BreakdownKind::FactorShift));
+    let rep = solver.solve_pcg_threaded(&a, &b, 3).unwrap();
+    assert!(rep
+        .breakdowns
+        .iter()
+        .any(|e| e.kind == BreakdownKind::FactorShift));
+
+    // Healthy input factors shift-free — boosting must stay invisible.
+    let good = poisson1d(32);
+    let bg = rhs(&good);
+    let rep = solver.solve_pcg(&good, &bg).unwrap();
+    assert!(rep.converged);
+    assert!(!rep
+        .breakdowns
+        .iter()
+        .any(|e| e.kind == BreakdownKind::FactorShift));
+
+    // Unrepairable: no diagonal shift fixes a rectangular matrix …
+    assert!(solver.solve_pcg(&Coo::new(2, 3).to_csr(), &[1.0; 2]).is_err());
+    // … and the bounded schedule never Cholesky-factors an indefinite
+    // matrix (eigenvalue −1 would need a shift > 1 ≫ 8·10⁻³·max|a_ii|).
+    let mut indef = Coo::new(2, 2);
+    indef.push(0, 0, -1.0);
+    indef.push(1, 1, 1.0);
+    assert!(solver.solve_pcg_ic0(&indef.to_csr(), &[1.0, 1.0]).is_err());
 }

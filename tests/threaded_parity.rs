@@ -19,7 +19,10 @@ use mille_feuille::collection::ValueClass;
 use mille_feuille::kernels::ilu0;
 use mille_feuille::precision::ClassifyOptions;
 use mille_feuille::prelude::*;
-use mille_feuille::solver::{run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded, run_pcg_threaded};
+use mille_feuille::solver::{
+    run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded, run_pbicgstab_threaded_full,
+    run_pcg_threaded, run_pcg_threaded_full,
+};
 use mille_feuille::sparse::Coo;
 use std::time::{Duration, Instant};
 
@@ -122,6 +125,102 @@ fn pcg_grid_matches_sequential_reference_bitwise() {
         }
     }
     assert!(combos >= 50, "grid too small: {combos} combos");
+}
+
+/// The PCG grid again, this time under a seeded benign fault plan
+/// (per-poll delays + periodic barrier stalls): schedule perturbation may
+/// reorder *waiting* but never arithmetic, so every combination must stay
+/// bitwise-identical to the same sequential reference the clean grid is
+/// checked against. This is the differential harness's strongest
+/// determinism statement: the protocol's results are a function of the
+/// inputs alone, not of thread timing.
+#[test]
+fn pcg_grid_bitwise_under_seeded_perturbation() {
+    let fixtures: Vec<(&str, Csr)> = vec![
+        ("poisson2d_8x7", gen::poisson2d(8, 7)),
+        ("poisson3d_4x4x4", gen::poisson3d(4, 4, 4)),
+        ("banded_spd_60", gen::banded_spd(60, 3, ValueClass::Real, 7)),
+        (
+            "random_spd_48",
+            gen::random_spd(48, 4, ValueClass::WideModerate, 11),
+        ),
+    ];
+    let warp_counts = [1usize, 2, 3, 5, 8];
+    let (tol, max_iter) = (1e-10, 200);
+    let plan = FaultPlan::seeded(42).with_delay(60, 12).with_stall(64, 20);
+
+    for (mname, a) in &fixtures {
+        let ilu = ilu0(a).expect("ILU(0) on an SPD grid fixture");
+        let b = paper_rhs(a);
+        for (pname, m) in tilings(a, 8) {
+            let reference = reference_pcg(&m, &ilu, &b, tol, max_iter);
+            for &wc in &warp_counts {
+                let rep = run_pcg_threaded_full(
+                    &m,
+                    &ilu,
+                    &b,
+                    tol,
+                    max_iter,
+                    wc,
+                    WatchdogPolicy::default(),
+                    &plan,
+                );
+                assert_parity(&format!("pcg+{plan} {mname}/{pname}/w{wc}"), &rep, &reference);
+                assert!(
+                    rep.injected_faults.is_some(),
+                    "{mname}/{pname}/w{wc}: telemetry missing"
+                );
+            }
+        }
+    }
+}
+
+/// PBiCGSTAB under the same seeded perturbation (one tiling per matrix —
+/// the clean grid already covers the precision axis).
+#[test]
+fn pbicgstab_grid_bitwise_under_seeded_perturbation() {
+    let fixtures: Vec<(&str, Csr)> = vec![
+        ("convdiff2d_7x6", gen::convdiff2d(7, 6, 0.4, 0.2)),
+        (
+            "banded_nonsym_50",
+            gen::banded_nonsym(50, 2, ValueClass::Real, 3),
+        ),
+        (
+            "random_nonsym_40",
+            gen::random_nonsym(40, 3, ValueClass::Integer, 9),
+        ),
+    ];
+    let warp_counts = [1usize, 3, 7];
+    let (tol, max_iter) = (1e-10, 300);
+    let plan = FaultPlan::seeded(43).with_delay(60, 12).with_stall(64, 20);
+
+    for (mname, a) in &fixtures {
+        let ilu = ilu0(a).expect("ILU(0) on a nonsymmetric grid fixture");
+        let b = paper_rhs(a);
+        for (pname, m) in tilings(a, 8) {
+            if pname != "mixed" {
+                continue;
+            }
+            let reference = reference_pbicgstab(&m, &ilu, &b, tol, max_iter);
+            for &wc in &warp_counts {
+                let rep = run_pbicgstab_threaded_full(
+                    &m,
+                    &ilu,
+                    &b,
+                    tol,
+                    max_iter,
+                    wc,
+                    WatchdogPolicy::default(),
+                    &plan,
+                );
+                assert_parity(
+                    &format!("pbicgstab+{plan} {mname}/{pname}/w{wc}"),
+                    &rep,
+                    &reference,
+                );
+            }
+        }
+    }
 }
 
 /// Tentpole grid, PBiCGSTAB side: 3 nonsymmetric matrices × 3 precisions
@@ -247,7 +346,7 @@ fn corrupted_factors_fail_structured_never_hang() {
     let b = paper_rhs(&a);
     let budget = Duration::from_secs(30);
     let cfg = SolverConfig {
-        watchdog: Some(Duration::from_millis(250)),
+        watchdog: WatchdogPolicy::Heartbeat(Duration::from_millis(250)),
         ..SolverConfig::default()
     };
     let solver = MilleFeuille::new(DeviceSpec::a100(), cfg);
@@ -292,7 +391,7 @@ fn corrupted_factors_fail_structured_never_hang() {
     let mut panicky = ilu0(&a).unwrap();
     panicky.l.colidx[panicky.l.rowptr[5]] = 10_000;
     let cfg = SolverConfig {
-        watchdog: Some(Duration::from_millis(500)),
+        watchdog: WatchdogPolicy::Heartbeat(Duration::from_millis(500)),
         ..SolverConfig::default()
     };
     let solver = MilleFeuille::new(DeviceSpec::a100(), cfg);
