@@ -181,7 +181,15 @@ impl Baseline {
                 break;
             }
         }
-        report(x, iterations, converged, relres, ch.tl, residual_history, error_history)
+        report(
+            x,
+            iterations,
+            converged,
+            relres,
+            ch.tl,
+            residual_history,
+            error_history,
+        )
     }
 
     /// FP64 CSR BiCGSTAB through this library (Algorithm 2).
@@ -286,7 +294,15 @@ impl Baseline {
             blas1::bicgstab_p_update(&r, beta, omega, &mu, &mut p);
             ch.axpy(n);
         }
-        report(x, iterations, converged, relres, ch.tl, residual_history, error_history)
+        report(
+            x,
+            iterations,
+            converged,
+            relres,
+            ch.tl,
+            residual_history,
+            error_history,
+        )
     }
 
     /// FP64 PCG with ILU(0) + *level-scheduled* SpTRSV (how
@@ -378,7 +394,15 @@ impl Baseline {
                 break;
             }
         }
-        report(x, iterations, converged, relres, ch.tl, residual_history, vec![])
+        report(
+            x,
+            iterations,
+            converged,
+            relres,
+            ch.tl,
+            residual_history,
+            vec![],
+        )
     }
 
     /// FP64 PBiCGSTAB with ILU(0) + level-scheduled SpTRSV.
@@ -495,7 +519,15 @@ impl Baseline {
             blas1::bicgstab_p_update(&r, beta, omega, &v, &mut p);
             ch.axpy(n);
         }
-        report(x, iterations, converged, relres, ch.tl, residual_history, vec![])
+        report(
+            x,
+            iterations,
+            converged,
+            relres,
+            ch.tl,
+            residual_history,
+            vec![],
+        )
     }
 }
 
@@ -595,7 +627,9 @@ mod tests {
 
         let an = nonsym1d(256);
         let bn = rhs(&an);
-        let rep2 = Baseline::cusparse().solve_pbicgstab(&an, &bn, &cfg).unwrap();
+        let rep2 = Baseline::cusparse()
+            .solve_pbicgstab(&an, &bn, &cfg)
+            .unwrap();
         assert!(rep2.converged);
     }
 
@@ -617,8 +651,7 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let a = poisson1d(16);
-        let rep =
-            Baseline::ginkgo().solve_cg(&a, &[0.0; 16], &SolverConfig::default());
+        let rep = Baseline::ginkgo().solve_cg(&a, &[0.0; 16], &SolverConfig::default());
         assert!(rep.converged);
         assert_eq!(rep.iterations, 0);
     }

@@ -30,9 +30,7 @@ fn bench_libraries(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("{label}_like"), name),
                 &a,
-                |bch, a| {
-                    bch.iter(|| base.solve_cg(black_box(a), black_box(&b), &cfg()))
-                },
+                |bch, a| bch.iter(|| base.solve_cg(black_box(a), black_box(&b), &cfg())),
             );
         }
     }

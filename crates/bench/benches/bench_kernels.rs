@@ -49,11 +49,15 @@ fn bench_blas1(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("blas1");
     g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("dot", |b| b.iter(|| blas1::dot(black_box(&x), black_box(&y))));
+    g.bench_function("dot", |b| {
+        b.iter(|| blas1::dot(black_box(&x), black_box(&y)))
+    });
     g.bench_function("dot_par", |b| {
         b.iter(|| blas1::dot_par(black_box(&x), black_box(&y)))
     });
-    g.bench_function("axpy", |b| b.iter(|| blas1::axpy(1.0001, black_box(&x), &mut y)));
+    g.bench_function("axpy", |b| {
+        b.iter(|| blas1::axpy(1.0001, black_box(&x), &mut y))
+    });
     g.bench_function("visflag_scan", |b| {
         let mut flags = Vec::new();
         b.iter(|| retrieve_vis_flags(black_box(&y), 16, 1e-10, &mut flags))
@@ -71,11 +75,17 @@ fn bench_sptrsv(c: &mut Criterion) {
         bch.iter(|| sptrsv_lower(black_box(&f.l), black_box(&b), true))
     });
     for leaf in [16usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("lower_recursive", leaf), &leaf, |bch, &leaf| {
-            bch.iter(|| sptrsv_lower_recursive(black_box(&f.l), black_box(&b), true, leaf))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("lower_recursive", leaf),
+            &leaf,
+            |bch, &leaf| {
+                bch.iter(|| sptrsv_lower_recursive(black_box(&f.l), black_box(&b), true, leaf))
+            },
+        );
     }
-    g.bench_function("ilu_apply", |bch| bch.iter(|| f.apply_default(black_box(&b))));
+    g.bench_function("ilu_apply", |bch| {
+        bch.iter(|| f.apply_default(black_box(&b)))
+    });
     g.finish();
 }
 

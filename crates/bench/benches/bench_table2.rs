@@ -38,9 +38,7 @@ fn bench_converged_solves(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("base_bicgstab", name), &a, |bch, a| {
             let base = Baseline::cusparse();
-            bch.iter(|| {
-                base.solve_bicgstab(black_box(a), black_box(&b), &SolverConfig::default())
-            })
+            bch.iter(|| base.solve_bicgstab(black_box(a), black_box(&b), &SolverConfig::default()))
         });
     }
     g.finish();

@@ -89,7 +89,12 @@ fn main() {
         .collect();
 
     let mut table = Table::new(vec![
-        "name", "nnz", "uniform_precision", "tiled_us", "uniform_us", "fp64_us",
+        "name",
+        "nnz",
+        "uniform_precision",
+        "tiled_us",
+        "uniform_us",
+        "fp64_us",
         "mem_uniform_over_tiled",
     ]);
     for r in rows {

@@ -62,7 +62,13 @@ fn main() {
         .collect();
 
     let mut table = Table::new(vec![
-        "name", "iters_on", "iters_off", "on_us", "off_us", "speedup", "bypass_pct",
+        "name",
+        "iters_on",
+        "iters_off",
+        "on_us",
+        "off_us",
+        "speedup",
+        "bypass_pct",
     ]);
     let mut speedups = Vec::new();
     for r in rows.into_iter().flatten() {

@@ -16,11 +16,22 @@ fn main() {
         "matrix", "nnz", "cg-it", "cg µs", "ilu-it", "ilu µs", "ic-it", "ic µs", "bj-it", "bj µs"
     );
     let mut table = Table::new(vec![
-        "name", "nnz", "cg_iters", "cg_us", "ilu_iters", "ilu_us", "ic_iters", "ic_us",
-        "bj_iters", "bj_us", "bj_fp16_blocks",
+        "name",
+        "nnz",
+        "cg_iters",
+        "cg_us",
+        "ilu_iters",
+        "ilu_us",
+        "ic_iters",
+        "ic_us",
+        "bj_iters",
+        "bj_us",
+        "bj_fp16_blocks",
     ]);
 
-    let names = ["mesh3e1", "thermal", "LFAT5000", "Muu", "minsurfo", "crystm02"];
+    let names = [
+        "mesh3e1", "thermal", "LFAT5000", "Muu", "minsurfo", "crystm02",
+    ];
     for name in names {
         let m = named_matrix(name).expect("named proxy");
         assert_eq!(m.kind, SolverKind::Cg, "{name} must be SPD");

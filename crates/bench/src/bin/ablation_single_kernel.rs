@@ -16,7 +16,14 @@ fn main() {
         "n", "nnz", "single µs", "multi µs", "single/multi", "auto"
     );
 
-    let mut table = Table::new(vec!["n", "nnz", "single_us", "multi_us", "ratio", "auto_mode"]);
+    let mut table = Table::new(vec![
+        "n",
+        "nnz",
+        "single_us",
+        "multi_us",
+        "ratio",
+        "auto_mode",
+    ]);
     for grid in [8usize, 16, 32, 64, 96, 128, 192, 256, 384, 512, 640] {
         let a = poisson2d(grid, grid);
         let b = paper_rhs(&a);

@@ -14,7 +14,13 @@ fn main() {
     println!("Ablation — tile size (A100, {iters} iterations)\n");
     let names = ["garon2", "nmos3", "shallow_water1", "thermomech_TC", "poli"];
     let mut table = Table::new(vec![
-        "name", "tile", "tiles", "mem_ratio_vs_csr", "fp8_tiles", "fp64_tiles", "solve_us",
+        "name",
+        "tile",
+        "tiles",
+        "mem_ratio_vs_csr",
+        "fp8_tiles",
+        "fp64_tiles",
+        "solve_us",
     ]);
 
     for name in names {

@@ -13,8 +13,18 @@ use mf_sparse::TiledMatrix;
 fn main() {
     let opts = ClassifyOptions::default();
     let mut table = Table::new(vec![
-        "matrix", "n", "nnz", "fp64%", "fp32%", "fp16%", "fp8%", "tiles", "tile_fp64",
-        "tile_fp32", "tile_fp16", "tile_fp8",
+        "matrix",
+        "n",
+        "nnz",
+        "fp64%",
+        "fp32%",
+        "fp16%",
+        "fp8%",
+        "tiles",
+        "tile_fp64",
+        "tile_fp32",
+        "tile_fp16",
+        "tile_fp8",
     ]);
 
     println!("Figure 1 — 'enough good' precision of each nonzero (loss < 1e-15)\n");

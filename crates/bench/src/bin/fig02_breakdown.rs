@@ -5,7 +5,9 @@
 //! are bucketed by nonzero count so the size dependence is visible.
 
 use mf_baselines::Baseline;
-use mf_bench::{bicgstab_entries, cg_entries, harness::paper_rhs, iters_from_env, write_csv, Table};
+use mf_bench::{
+    bicgstab_entries, cg_entries, harness::paper_rhs, iters_from_env, write_csv, Table,
+};
 use mf_collection::SuiteEntry;
 use mf_gpu::Phase;
 use mf_solver::SolverConfig;
@@ -60,9 +62,15 @@ fn bucket_label(nnz: usize) -> &'static str {
 
 fn summarize(label: &str, rows: &[Row], table: &mut Table) {
     println!("\n{label} (multi-kernel baseline, {} matrices)", rows.len());
-    println!("{:>10} {:>6} {:>7} {:>7} {:>7} {:>7}", "bucket", "count", "spmv%", "dot%", "axpy%", "sync%");
+    println!(
+        "{:>10} {:>6} {:>7} {:>7} {:>7} {:>7}",
+        "bucket", "count", "spmv%", "dot%", "axpy%", "sync%"
+    );
     for bucket in ["nnz<1e3", "1e3..1e4", "1e4..1e5", "1e5..1e6", ">=1e6"] {
-        let in_bucket: Vec<&Row> = rows.iter().filter(|r| bucket_label(r.nnz) == bucket).collect();
+        let in_bucket: Vec<&Row> = rows
+            .iter()
+            .filter(|r| bucket_label(r.nnz) == bucket)
+            .collect();
         if in_bucket.is_empty() {
             continue;
         }
@@ -94,7 +102,9 @@ fn summarize(label: &str, rows: &[Row], table: &mut Table) {
 
 fn main() {
     let iters = iters_from_env();
-    let mut table = Table::new(vec!["method", "bucket", "count", "spmv%", "dot%", "axpy%", "sync%"]);
+    let mut table = Table::new(vec![
+        "method", "bucket", "count", "spmv%", "dot%", "axpy%", "sync%",
+    ]);
 
     println!("Figure 2 — runtime breakdown of the multi-kernel baselines ({iters} iterations)");
     let cg = breakdown(&cg_entries(), false, iters);

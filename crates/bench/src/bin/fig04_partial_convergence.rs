@@ -13,7 +13,13 @@ use mf_solver::{MilleFeuille, SolverConfig};
 
 fn main() {
     let mut table = Table::new(vec![
-        "matrix", "iteration", "ge_eps", "eps_1e1", "eps_1e2", "eps_1e3", "below",
+        "matrix",
+        "iteration",
+        "ge_eps",
+        "eps_1e1",
+        "eps_1e2",
+        "eps_1e3",
+        "below",
     ]);
 
     println!("Figure 4 — |p_j| range evolution during CG (ε = 1e-10·‖b‖)\n");

@@ -32,7 +32,11 @@ fn main() {
     let m = TiledMatrix::from_csr_with(&csr, 2, &ClassifyOptions::default());
 
     println!("Figure 6 — single-kernel dependency machinery on the paper's example\n");
-    println!("matrix: 6x6, {} tiles of 2x2 in {} tile rows", m.tile_count(), m.tile_rows);
+    println!(
+        "matrix: 6x6, {} tiles of 2x2 in {} tile rows",
+        m.tile_count(),
+        m.tile_rows
+    );
     for i in 0..m.tile_count() {
         println!(
             "  tile {i}: position ({}, {}), {} nnz, precision {}",
@@ -54,7 +58,8 @@ fn main() {
         let (lo, hi) = spmv.warp_tiles[w];
         println!(
             "  warp {w}: SpMV tiles {lo}..{hi} ({} nnz), vector segments {:?}",
-            spmv.warp_nnz[w], vecs.warp_segments.get(w)
+            spmv.warp_nnz[w],
+            vecs.warp_segments.get(w)
         );
     }
 
@@ -62,7 +67,9 @@ fn main() {
     println!("  A: each tile's SpMV lands -> atomicSub(d_s[row_tile]); warps spin until their row tiles drain");
     println!("  B: dot (u, p) per segment -> atomicSub(d_d); spin until 0; alpha = rr/y");
     println!("  C: x += alpha p, r -= alpha u; dot (r, r) -> atomicAdd(d_d); spin until warp_num");
-    println!("  D: p = r + beta p -> atomicAdd(d_a); spin until warp_num; in-kernel residual check");
+    println!(
+        "  D: p = r + beta p -> atomicAdd(d_a); spin until warp_num; in-kernel residual check"
+    );
 
     // Now actually run it, concurrently, with real threads and atomics.
     let mut b = vec![0.0; 6];
@@ -72,11 +79,7 @@ fn main() {
         "\nthreaded engine: {} warps, converged = {} in {} iterations (relres {:.2e})",
         rep.warps, rep.converged, rep.iterations, rep.final_relres
     );
-    let err = rep
-        .x
-        .iter()
-        .map(|v| (v - 1.0).abs())
-        .fold(0.0f64, f64::max);
+    let err = rep.x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
     println!("max |x - 1| = {err:.2e}");
     assert!(rep.converged && err < 1e-9);
 }

@@ -13,7 +13,13 @@ use mf_solver::{MilleFeuille, SolverConfig};
 fn main() {
     println!("Figure 7 — dynamic tile precision evolution (on-chip lowering + bypass)\n");
     let mut table = Table::new(vec![
-        "matrix", "iteration", "fp64", "fp32", "fp16", "fp8", "bypassed_tiles",
+        "matrix",
+        "iteration",
+        "fp64",
+        "fp32",
+        "fp16",
+        "fp8",
+        "bypassed_tiles",
     ]);
 
     for name in ["m3plates", "shallow_water1", "Muu"] {

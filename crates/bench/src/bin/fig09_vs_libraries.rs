@@ -22,10 +22,7 @@ fn emit(label: &str, rows: &[CompareRow], paper_geo: f64, paper_max: f64) {
     let mut sorted: Vec<&CompareRow> = rows.iter().collect();
     sorted.sort_by(|a, b| b.speedup.total_cmp(&a.speedup));
     for r in sorted.iter().take(3) {
-        println!(
-            "    {:<22} nnz={:<9} {:.2}x",
-            r.name, r.nnz, r.speedup
-        );
+        println!("    {:<22} nnz={:<9} {:.2}x", r.name, r.nnz, r.speedup);
     }
     let mut table = Table::new(vec!["name", "n", "nnz", "mf_us", "base_us", "speedup"]);
     for r in rows {
@@ -47,9 +44,7 @@ fn main() {
     let iters = iters_from_env();
     let cg = cg_entries();
     let bi = bicgstab_entries();
-    println!(
-        "Figure 9 — Mille-feuille vs PETSc and Ginkgo on the A100, {iters} iterations\n"
-    );
+    println!("Figure 9 — Mille-feuille vs PETSc and Ginkgo on the A100, {iters} iterations\n");
     let a100 = DeviceSpec::a100();
 
     emit(

@@ -68,8 +68,17 @@ fn main() {
         .collect();
 
     let mut table = Table::new(vec![
-        "name", "nnz", "tiles_fp64", "tiles_fp32", "tiles_fp16", "tiles_fp8",
-        "low_prec_work%", "bypass_work%", "fp64_us", "mixed_us", "speedup",
+        "name",
+        "nnz",
+        "tiles_fp64",
+        "tiles_fp32",
+        "tiles_fp16",
+        "tiles_fp8",
+        "low_prec_work%",
+        "bypass_work%",
+        "fp64_us",
+        "mixed_us",
+        "speedup",
     ]);
     println!(
         "{:<16} {:>9} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} | {:>8}",

@@ -52,7 +52,13 @@ fn main() {
     ratios.extend(measure(&bicgstab_entries(), &mut rows));
 
     let mut table = Table::new(vec![
-        "name", "nnz", "tiled_high", "tiled_low", "tiled_values", "csr_bytes", "ratio",
+        "name",
+        "nnz",
+        "tiled_high",
+        "tiled_low",
+        "tiled_values",
+        "csr_bytes",
+        "ratio",
     ]);
     for r in rows {
         table.row(r);

@@ -36,8 +36,7 @@ fn measure(entries: &[SuiteEntry], kind: SolverKind, iters: usize) -> Vec<Row> {
                 SolverKind::Cg => solver.solve_cg(&a, &b),
                 SolverKind::Bicgstab => solver.solve_bicgstab(&a, &b),
             };
-            let preprocess_us =
-                rep.timeline.get(Phase::Preprocess);
+            let preprocess_us = rep.timeline.get(Phase::Preprocess);
             Row {
                 name: e.name.clone(),
                 nnz: a.nnz(),
@@ -50,10 +49,7 @@ fn measure(entries: &[SuiteEntry], kind: SolverKind, iters: usize) -> Vec<Row> {
 }
 
 fn emit(label: &str, rows: &[Row], table: &mut Table) {
-    let fracs: Vec<f64> = rows
-        .iter()
-        .map(|r| r.preprocess_us / r.total_us)
-        .collect();
+    let fracs: Vec<f64> = rows.iter().map(|r| r.preprocess_us / r.total_us).collect();
     let mean = 100.0 * fracs.iter().sum::<f64>() / fracs.len() as f64;
     let max = 100.0 * fracs.iter().copied().fold(0.0, f64::max);
     let under_one_iter = rows
@@ -82,7 +78,13 @@ fn main() {
     let iters = iters_from_env();
     println!("Figure 14 — preprocessing share of {iters}-iteration solves (A100)\n");
     let mut table = Table::new(vec![
-        "method", "name", "nnz", "preprocess_us", "per_iter_us", "total_us", "fraction",
+        "method",
+        "name",
+        "nnz",
+        "preprocess_us",
+        "per_iter_us",
+        "total_us",
+        "fraction",
     ]);
     let cg = measure(&cg_entries(), SolverKind::Cg, iters);
     emit("CG", &cg, &mut table);

@@ -64,13 +64,7 @@ struct Sample {
     min_us: f64,
 }
 
-fn time_spmv(
-    m: &TiledMatrix,
-    flags: &[VisFlag],
-    x: &[f64],
-    threads: usize,
-    reps: usize,
-) -> Sample {
+fn time_spmv(m: &TiledMatrix, flags: &[VisFlag], x: &[f64], threads: usize, reps: usize) -> Sample {
     let mut shared = SharedTiles::load(m);
     let mut y = vec![0.0; m.nrows];
     // Warm-up: first call performs the demanded lowerings; afterwards the
@@ -104,7 +98,9 @@ fn main() {
     let tile_size = 32;
     let m = TiledMatrix::from_csr_with(&a, tile_size, &ClassifyOptions::default());
     let flags = mixed_flags(m.tile_cols);
-    let x: Vec<f64> = (0..m.nrows).map(|i| ((i % 23) as f64) * 0.37 - 4.0).collect();
+    let x: Vec<f64> = (0..m.nrows)
+        .map(|i| ((i % 23) as f64) * 0.37 - 4.0)
+        .collect();
 
     // Sanity: the parallel path must be bitwise-identical to the serial one
     // on this matrix/flag pattern before we bother timing it.
@@ -117,7 +113,10 @@ fn main() {
         let st_s = spmv_mixed(&m, &mut sh_s, &flags, &x, &mut y_s);
         let st_p = spmv_mixed_par(&m, &mut sh_p, &flags, &x, &mut y_p, 4);
         bitwise &= st_s == st_p;
-        bitwise &= y_s.iter().zip(&y_p).all(|(a, b)| a.to_bits() == b.to_bits());
+        bitwise &= y_s
+            .iter()
+            .zip(&y_p)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
         bitwise &= sh_s.arena == sh_p.arena && sh_s.current_prec == sh_p.current_prec;
     }
 

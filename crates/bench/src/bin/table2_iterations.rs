@@ -17,8 +17,15 @@ fn main() {
     println!("Table II — iterations and solve time, converged runs (ε = 1e-10)\n");
     let (cg_names, bi_names) = table2_names();
     let mut table = Table::new(vec![
-        "method", "matrix", "base_iters", "base_ms", "mf_iters", "mf_ms", "iter_ratio",
-        "time_speedup", "mf_status",
+        "method",
+        "matrix",
+        "base_iters",
+        "base_ms",
+        "mf_iters",
+        "mf_ms",
+        "iter_ratio",
+        "time_speedup",
+        "mf_status",
     ]);
 
     println!(
@@ -37,7 +44,10 @@ fn main() {
         let (mf, bl) = if method == "CG" {
             (solver.solve_cg(&a, &b), base.solve_cg(&a, &b, &cfg))
         } else {
-            (solver.solve_bicgstab(&a, &b), base.solve_bicgstab(&a, &b, &cfg))
+            (
+                solver.solve_bicgstab(&a, &b),
+                base.solve_bicgstab(&a, &b, &cfg),
+            )
         };
         let ratio = mf.iterations as f64 / bl.iterations.max(1) as f64;
         let speedup = bl.solve_us() / mf.solve_us();

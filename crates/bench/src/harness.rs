@@ -269,8 +269,7 @@ mod tests {
     #[test]
     fn bicgstab_comparison_runs() {
         let entries = tiny_suite(SolverKind::Bicgstab);
-        let rows =
-            compare_bicgstab(&entries, &DeviceSpec::mi210(), &Baseline::hipsparse(), 10);
+        let rows = compare_bicgstab(&entries, &DeviceSpec::mi210(), &Baseline::hipsparse(), 10);
         assert_eq!(rows.len(), entries.len());
         assert!(rows.iter().all(|r| r.speedup > 0.0));
     }
@@ -281,8 +280,7 @@ mod tests {
         let rows = compare_pcg(&entries, &DeviceSpec::a100(), &Baseline::cusparse(), 10);
         assert!(!rows.is_empty());
         let nentries = tiny_suite(SolverKind::Bicgstab);
-        let nrows =
-            compare_pbicgstab(&nentries, &DeviceSpec::a100(), &Baseline::cusparse(), 10);
+        let nrows = compare_pbicgstab(&nentries, &DeviceSpec::a100(), &Baseline::cusparse(), 10);
         assert!(!nrows.is_empty());
     }
 
@@ -319,6 +317,7 @@ mod tests {
                 preprocess_wall_us: 0.0,
                 breakdowns,
                 failure,
+                trace: None,
             }
         }
 

@@ -21,9 +21,8 @@ pub mod svg;
 pub mod table;
 
 pub use harness::{
-    iters_from_env,
-    bicgstab_entries, cg_entries, compare_cg, compare_bicgstab, compare_pcg,
-    compare_pbicgstab, suite_options_from_env, CompareRow,
+    bicgstab_entries, cg_entries, compare_bicgstab, compare_cg, compare_pbicgstab, compare_pcg,
+    iters_from_env, suite_options_from_env, CompareRow,
 };
 pub use stats::{geomean, max_speedup, summarize, SpeedupSummary};
 pub use svg::{render_tile_map, write_tile_map_svg};

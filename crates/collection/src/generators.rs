@@ -453,7 +453,11 @@ mod tests {
         assert!(!s.symmetric);
         // Interior rows sit exactly on the weak-dominance boundary; float
         // summation order can tip them an ulp either way.
-        assert!(s.diag_dominant_fraction > 0.3, "{}", s.diag_dominant_fraction);
+        assert!(
+            s.diag_dominant_fraction > 0.3,
+            "{}",
+            s.diag_dominant_fraction
+        );
         let dyadic = convdiff2d(10, 10, 0.5, 0.25);
         let s2 = MatrixStats::compute(&dyadic);
         assert_eq!(s2.diag_dominant_fraction, 1.0); // dyadic sums are exact

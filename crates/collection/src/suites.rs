@@ -23,7 +23,11 @@ pub enum GenSpec {
     /// 3-D Poisson stencil.
     Poisson3d { nx: usize, ny: usize, nz: usize },
     /// Diagonal mass matrix.
-    Mass { n: usize, class: ValueClass, seed: u64 },
+    Mass {
+        n: usize,
+        class: ValueClass,
+        seed: u64,
+    },
     /// Symmetric banded SPD.
     BandedSpd {
         n: usize,

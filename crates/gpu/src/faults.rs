@@ -319,7 +319,11 @@ impl fmt::Display for FaultPlan {
             write!(f, ".with_panic_at({}, {}, {})", p.warp, p.iteration, p.step)?;
         }
         if let Some(p) = self.poison_at {
-            write!(f, ".with_poison_at({}, {}, {})", p.warp, p.iteration, p.step)?;
+            write!(
+                f,
+                ".with_poison_at({}, {}, {})",
+                p.warp, p.iteration, p.step
+            )?;
         }
         if let Some(h) = self.halt {
             match h.warp {
@@ -355,6 +359,19 @@ pub enum BarrierFault {
     Halt,
 }
 
+impl BarrierFault {
+    /// Stable numeric code carried by trace `Fault` events (0 = no fault;
+    /// codes are disjoint from [`StepFault::trace_code`]).
+    pub fn trace_code(self) -> u64 {
+        match self {
+            BarrierFault::None => 0,
+            BarrierFault::Stall(_) => 1,
+            BarrierFault::Retry(_) => 2,
+            BarrierFault::Halt => 3,
+        }
+    }
+}
+
 /// What a step boundary should do.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepFault {
@@ -364,6 +381,18 @@ pub enum StepFault {
     Panic,
     /// Poison the run (warp sets the shared wedge flag and exits).
     Poison,
+}
+
+impl StepFault {
+    /// Stable numeric code carried by trace `Fault` events (0 = no fault;
+    /// codes are disjoint from [`BarrierFault::trace_code`]).
+    pub fn trace_code(self) -> u64 {
+        match self {
+            StepFault::None => 0,
+            StepFault::Panic => 4,
+            StepFault::Poison => 5,
+        }
+    }
 }
 
 /// Tally of faults actually injected, per warp — merged into
@@ -403,7 +432,12 @@ impl FaultCounts {
 
     /// Total injected events of any kind.
     pub fn total(self) -> u64 {
-        self.delays + self.yields + self.stalls + self.retries + self.halts + self.panics
+        self.delays
+            + self.yields
+            + self.stalls
+            + self.retries
+            + self.halts
+            + self.panics
             + self.poisons
     }
 }
@@ -575,7 +609,9 @@ mod tests {
 
     #[test]
     fn point_faults_target_their_warp_only() {
-        let p = FaultPlan::seeded(1).with_panic_at(2, 3, 1).with_poison_at(0, 0, 0);
+        let p = FaultPlan::seeded(1)
+            .with_panic_at(2, 3, 1)
+            .with_poison_at(0, 0, 0);
         assert_eq!(p.for_warp(2).step_fault(3, 1), StepFault::Panic);
         assert_eq!(p.for_warp(1).step_fault(3, 1), StepFault::None);
         assert_eq!(p.for_warp(0).step_fault(0, 0), StepFault::Poison);
@@ -597,7 +633,9 @@ mod tests {
 
     #[test]
     fn stall_and_retry_respect_period() {
-        let p = FaultPlan::seeded(9).with_stall(2, 50).with_retry_storm(3, 8);
+        let p = FaultPlan::seeded(9)
+            .with_stall(2, 50)
+            .with_retry_storm(3, 8);
         let w = p.for_warp(0);
         let faults: Vec<BarrierFault> = (0..6).map(|_| w.barrier_entry()).collect();
         assert_eq!(

@@ -39,11 +39,11 @@ pub mod timeline;
 
 pub use cost::CostModel;
 pub use deps::{DepArrays, Heartbeat, RowDeps};
+pub use device::{DeviceSpec, Vendor};
 pub use faults::{
     BarrierFault, FaultCounts, FaultKind, FaultPlan, InjectedFaults, SpinFault, StepFault,
     WarpFaults,
 };
-pub use device::{DeviceSpec, Vendor};
 pub use schedule::{SpmvSchedule, VectorSchedule};
 pub use sharedmem::ShmemPlan;
 pub use timeline::{Phase, Timeline};

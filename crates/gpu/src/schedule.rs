@@ -120,8 +120,7 @@ impl SpmvSchedule {
             return 1.0;
         }
         let max = *self.warp_nnz.iter().max().unwrap() as f64;
-        let mean =
-            self.warp_nnz.iter().sum::<usize>() as f64 / self.warp_nnz.len() as f64;
+        let mean = self.warp_nnz.iter().sum::<usize>() as f64 / self.warp_nnz.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -151,7 +150,8 @@ impl VectorSchedule {
         let num_segments = n.div_ceil(segment_len);
         let warps = num_segments.min(max_warps);
         let mut warp_segments = Vec::with_capacity(warps);
-        #[allow(clippy::manual_checked_ops)] // the zero guard covers the whole split block, not just the division
+        #[allow(clippy::manual_checked_ops)]
+        // the zero guard covers the whole split block, not just the division
         if warps > 0 {
             // Even contiguous split of segments over warps.
             let base = num_segments / warps;
@@ -222,11 +222,7 @@ mod tests {
                 a.push(i, i + 1, -1.0);
             }
         }
-        TiledMatrix::from_csr_with(
-            &a.to_csr(),
-            ts,
-            &mf_precision::ClassifyOptions::default(),
-        )
+        TiledMatrix::from_csr_with(&a.to_csr(), ts, &mf_precision::ClassifyOptions::default())
     }
 
     #[test]

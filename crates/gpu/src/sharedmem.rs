@@ -44,8 +44,7 @@ impl ShmemPlan {
     /// stays within the usable budget.
     #[allow(clippy::needless_range_loop)] // i is a tile id used with several accessors
     pub fn plan(matrix: &TiledMatrix, device: &DeviceSpec) -> ShmemPlan {
-        let budget =
-            (device.total_shared_mem() as f64 * USABLE_SHMEM_FRACTION) as usize;
+        let budget = (device.total_shared_mem() as f64 * USABLE_SHMEM_FRACTION) as usize;
         let t = matrix.tile_count();
         let mut in_shared = vec![false; t];
         let mut shared = 0usize;
@@ -74,7 +73,7 @@ impl ShmemPlan {
         let rows = (matrix.nonrow[i + 1] - matrix.nonrow[i]) as usize;
         nnz * matrix.tile_prec[i].bytes() // values at tile precision
             + nnz                          // csr_colidx (u8)
-            + rows * 5                     // row_index (u8) + csr_rowptr (u32)
+            + rows * 5 // row_index (u8) + csr_rowptr (u32)
     }
 
     /// `true` when every tile fits on-chip.

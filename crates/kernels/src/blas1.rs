@@ -214,7 +214,9 @@ mod tests {
     fn tree_sum_layout_depends_only_on_length() {
         // Same data, asked twice → same bits; and the norm wrappers agree.
         let n = 6 * DET_CHUNK + 5;
-        let x: Vec<f64> = (0..n).map(|i| ((i * 31 % 97) as f64 - 48.0) * 1e-3).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 % 97) as f64 - 48.0) * 1e-3)
+            .collect();
         assert_eq!(dot_par(&x, &x).to_bits(), dot_par(&x, &x).to_bits());
         assert_eq!(norm2_sq_par(&x).to_bits(), dot_det(&x, &x).to_bits());
         assert_eq!(norm2_par(&x).to_bits(), dot_det(&x, &x).sqrt().to_bits());

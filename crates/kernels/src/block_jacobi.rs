@@ -101,7 +101,10 @@ impl BlockJacobi {
             // blocks are stored normalized by their largest magnitude and
             // rescaled on application (standard practice in the adaptive
             // block-Jacobi literature).
-            let scale = inv.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(f64::MIN_POSITIVE);
+            let scale = inv
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
+                .max(f64::MIN_POSITIVE);
             let mut q = inv.clone();
             for v in &mut q {
                 *v = p.quantize(*v / scale) * scale;

@@ -275,11 +275,7 @@ impl Ilu0 {
     /// Applies the preconditioner with the recursive-block SpTRSV (the path
     /// Mille-feuille uses, §III-C). Returns `z` and the combined SpTRSV
     /// statistics of both solves for the cost model.
-    pub fn apply_recursive(
-        &self,
-        r: &[f64],
-        leaf: usize,
-    ) -> (Vec<f64>, RecursiveTrsvStats) {
+    pub fn apply_recursive(&self, r: &[f64], leaf: usize) -> (Vec<f64>, RecursiveTrsvStats) {
         let mut y = vec![0.0; r.len()];
         let mut z = vec![0.0; r.len()];
         let stats = self.apply_recursive_into(r, leaf, &mut y, &mut z);
@@ -365,11 +361,7 @@ impl Ic0 {
     }
 
     /// Applies with the recursive-block SpTRSV, returning combined stats.
-    pub fn apply_recursive(
-        &self,
-        r: &[f64],
-        leaf: usize,
-    ) -> (Vec<f64>, RecursiveTrsvStats) {
+    pub fn apply_recursive(&self, r: &[f64], leaf: usize) -> (Vec<f64>, RecursiveTrsvStats) {
         let mut y = vec![0.0; r.len()];
         let mut z = vec![0.0; r.len()];
         let stats = self.apply_recursive_into(r, leaf, &mut y, &mut z);
@@ -585,10 +577,7 @@ mod tests {
         a.push(1, 0, 1.0);
         a.push(1, 1, 1.0);
         // a(0,0) missing -> structural zero pivot.
-        assert!(matches!(
-            ilu0(&a.to_csr()),
-            Err(FactorError::ZeroPivot(0))
-        ));
+        assert!(matches!(ilu0(&a.to_csr()), Err(FactorError::ZeroPivot(0))));
     }
 
     #[test]

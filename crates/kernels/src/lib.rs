@@ -27,8 +27,8 @@ pub mod visflag;
 pub use block_jacobi::BlockJacobi;
 pub use ilu::{diag_shifted, ic0, ilu0, ilu0_boosted, Ic0, Ilu0, MAX_FACTOR_SHIFTS};
 pub use spmv::{
-    spmv_csr, spmv_csr_par, spmv_mixed, spmv_mixed_par, spmv_tiled, spmv_tiled_par,
-    MixedSpmvStats, SharedTiles,
+    spmv_csr, spmv_csr_par, spmv_mixed, spmv_mixed_par, spmv_tiled, spmv_tiled_par, MixedSpmvStats,
+    SharedTiles,
 };
 pub use sptrsv::{
     level_schedule, sptrsv_lower, sptrsv_lower_into, sptrsv_lower_recursive,

@@ -209,6 +209,19 @@ impl MixedSpmvStats {
             .sum()
     }
 
+    /// Value bytes split per executed precision `[FP64, FP32, FP16, FP8]`
+    /// — the per-precision breakdown of [`value_bytes`], recorded as
+    /// `SpmvBytes` trace events and summed by the trace-timeline bench.
+    ///
+    /// [`value_bytes`]: MixedSpmvStats::value_bytes
+    pub fn bytes_by_precision(&self) -> [u64; 4] {
+        let mut bytes = [0u64; 4];
+        for (code, &n) in self.nnz_by_prec.iter().enumerate() {
+            bytes[code] = (n * Precision::from_tile_code(code as u8).unwrap().bytes()) as u64;
+        }
+        bytes
+    }
+
     /// Total nonzeros considered (computed + bypassed).
     pub fn nnz_total(&self) -> usize {
         self.nnz_by_prec.iter().sum::<usize>() + self.nnz_bypassed
@@ -628,6 +641,12 @@ mod tests {
         let f = s.weighted_flops();
         assert!((f - (2.0 * 10.0 + 2.0 * 80.0 * 0.125)).abs() < 1e-12);
         assert_eq!(s.value_bytes(), 10 * 8 + 80);
+        assert_eq!(s.bytes_by_precision(), [80, 0, 0, 80]);
+        assert_eq!(
+            s.bytes_by_precision().iter().sum::<u64>() as usize,
+            s.value_bytes(),
+            "per-precision bytes sum to the total"
+        );
     }
 
     #[test]

@@ -383,7 +383,10 @@ mod tests {
         let d = Dense::from_csr(&l);
         let xd = d.solve(&b).unwrap();
         for i in 0..40 {
-            assert!((x[i] - xd[i]).abs() < 1e-9 * xd[i].abs().max(1.0), "row {i}");
+            assert!(
+                (x[i] - xd[i]).abs() < 1e-9 * xd[i].abs().max(1.0),
+                "row {i}"
+            );
         }
     }
 
@@ -395,7 +398,10 @@ mod tests {
         let d = Dense::from_csr(&u);
         let xd = d.solve(&b).unwrap();
         for i in 0..40 {
-            assert!((x[i] - xd[i]).abs() < 1e-9 * xd[i].abs().max(1.0), "row {i}");
+            assert!(
+                (x[i] - xd[i]).abs() < 1e-9 * xd[i].abs().max(1.0),
+                "row {i}"
+            );
         }
     }
 

@@ -174,10 +174,7 @@ mod tests {
     #[test]
     fn loss_is_infinite_on_overflow_to_inf() {
         // FP16 overflows to infinity above 65520.
-        assert_eq!(
-            roundtrip_loss(1e6, Precision::Fp16, &opts()),
-            f64::INFINITY
-        );
+        assert_eq!(roundtrip_loss(1e6, Precision::Fp16, &opts()), f64::INFINITY);
     }
 
     #[test]

@@ -379,7 +379,14 @@ mod tests {
     fn f64_conversion_matches_f32_when_safe() {
         // For values exactly representable in f32, f64->f16 must equal f32->f16.
         let vals = [
-            0.1f32, 1.0, -3.5, 1234.56, 65504.0, 1e-5, -2.0e-7, 0.333_333_34,
+            0.1f32,
+            1.0,
+            -3.5,
+            1234.56,
+            65504.0,
+            1e-5,
+            -2.0e-7,
+            0.333_333_34,
         ];
         for &v in &vals {
             assert_eq!(
@@ -412,7 +419,11 @@ mod tests {
                 continue;
             }
             let back = Fp16::from_f32(h.to_f32());
-            assert_eq!(back.to_bits(), bits, "roundtrip failed for bits {bits:#06x}");
+            assert_eq!(
+                back.to_bits(),
+                bits,
+                "roundtrip failed for bits {bits:#06x}"
+            );
         }
     }
 

@@ -32,7 +32,9 @@ pub mod minifloat;
 pub mod packed;
 pub mod precision;
 
-pub use classify::{classification_histogram, classify_group, classify_value, roundtrip_loss, ClassifyOptions};
+pub use classify::{
+    classification_histogram, classify_group, classify_value, roundtrip_loss, ClassifyOptions,
+};
 pub use fp16::Fp16;
 pub use fp8::{Fp8E4M3, Fp8E5M2};
 pub use packed::{PackedValues, PackedValuesBuilder};

@@ -168,7 +168,11 @@ impl MiniFormat {
 
     /// Decodes a code of this format to `f64` (exact).
     pub fn decode(&self, code: u8) -> f64 {
-        let sign = if code & self.sign_mask() != 0 { -1.0 } else { 1.0 };
+        let sign = if code & self.sign_mask() != 0 {
+            -1.0
+        } else {
+            1.0
+        };
         let body = code & (self.sign_mask() - 1);
         let exp_field = (body >> self.man_bits) as i32;
         let man = (body & self.man_mask()) as f64;

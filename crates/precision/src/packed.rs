@@ -65,12 +65,14 @@ impl PackedValuesBuilder {
             }
             Precision::Fp16 => {
                 for &v in vals {
-                    self.buf.extend_from_slice(&Fp16::from_f64(v).to_bits().to_le_bytes());
+                    self.buf
+                        .extend_from_slice(&Fp16::from_f64(v).to_bits().to_le_bytes());
                 }
             }
             Precision::Fp8 => {
                 for &v in vals {
-                    self.buf.extend_from_slice(&[Fp8E4M3::from_f64(v).to_bits()]);
+                    self.buf
+                        .extend_from_slice(&[Fp8E4M3::from_f64(v).to_bits()]);
                 }
             }
         }

@@ -206,10 +206,7 @@ mod tests {
 
     #[test]
     fn min_takes_narrower() {
-        assert_eq!(
-            Precision::Fp64.min(Precision::Fp16),
-            Precision::Fp16
-        );
+        assert_eq!(Precision::Fp64.min(Precision::Fp16), Precision::Fp16);
         assert_eq!(Precision::Fp8.min(Precision::Fp64), Precision::Fp8);
     }
 

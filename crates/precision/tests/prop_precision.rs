@@ -2,7 +2,9 @@
 
 use mf_precision::fp16::{f32_to_f16_bits, f64_to_f16_bits};
 use mf_precision::minifloat::{E4M3, E5M2};
-use mf_precision::{classify_value, ClassifyOptions, Fp16, Fp8E4M3, PackedValuesBuilder, Precision};
+use mf_precision::{
+    classify_value, ClassifyOptions, Fp16, Fp8E4M3, PackedValuesBuilder, Precision,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -6,7 +6,7 @@
 //! input vector (`p_j` and `s_j`), matching the §III-D rule that the SpMV
 //! *input* drives tile precision.
 
-use crate::cg::{mixed_spmv, CoreResult};
+use crate::cg::{finish_host_trace, host_tracer, mixed_spmv, record_spmv_trace, CoreResult};
 use crate::config::{SolverConfig, MAX_CONSECUTIVE_RESTARTS};
 use crate::coster::Coster;
 use crate::partial::PartialState;
@@ -25,7 +25,15 @@ pub fn run_bicgstab(
     coster: &Coster,
     partial: &mut PartialState,
 ) -> CoreResult {
-    run_bicgstab_ws(m, shared, b, cfg, coster, partial, &mut SolverWorkspace::new())
+    run_bicgstab_ws(
+        m,
+        shared,
+        b,
+        cfg,
+        coster,
+        partial,
+        &mut SolverWorkspace::new(),
+    )
 }
 
 /// Workspace-reusing variant of [`run_bicgstab`] (see
@@ -47,6 +55,7 @@ pub fn run_bicgstab_ws(
     coster.solve_start(&mut tl);
 
     let mut result = CoreResult::empty();
+    let tracer = host_tracer(cfg);
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
@@ -54,13 +63,23 @@ pub fn run_bicgstab_ws(
         result.converged = true;
         result.final_relres = 0.0;
         result.timeline = tl;
+        finish_host_trace(tracer, &mut result);
         return result;
     }
 
     // x0 = 0 ⇒ r0 = b, r0* = r0, p0 = r0 (Algorithm 2 lines 1–3). The
     // workspace maps µ onto `u` and θ onto `t`.
     ws.ensure(n);
-    let SolverWorkspace { x, r, r0s, p, u: mu, s, t: theta, .. } = ws;
+    let SolverWorkspace {
+        x,
+        r,
+        r0s,
+        p,
+        u: mu,
+        s,
+        t: theta,
+        ..
+    } = ws;
     r.copy_from_slice(b);
     r0s.copy_from_slice(b); // shadow residual, fixed
     p.copy_from_slice(b);
@@ -71,14 +90,20 @@ pub fn run_bicgstab_ws(
     let check_convergence = cfg.fixed_iterations.is_none();
     let mut consecutive_restarts = 0usize;
 
-    for _j in 0..iters {
+    for j in 0..iters {
         // µ = A·p (first SpMV, flags from p).
+        if let Some(t) = &tracer {
+            t.stamp(j as i64, 0);
+        }
         partial.update(p);
         if partial.enabled() {
             coster.visflag_scan(&mut tl);
         }
         let st1 = mixed_spmv(m, shared, &partial.vis_flags, p, mu, threads);
         result.spmv_stats.merge(&st1);
+        if let Some(t) = &tracer {
+            record_spmv_trace(t, &st1, shared);
+        }
         coster.spmv(&mut tl, m, shared, &partial.vis_flags, &st1);
 
         // α = (r, r0*) / (µ, r0*).
@@ -109,7 +134,18 @@ pub fn run_bicgstab_ws(
             let iter_idx = result.iterations;
             result.iterations += 1;
             consecutive_restarts += 1;
-            record_traces(&mut result, cfg, partial, shared, x, r, p, norm_b, &st1, &st1);
+            record_traces(
+                &mut result,
+                cfg,
+                partial,
+                shared,
+                x,
+                r,
+                p,
+                norm_b,
+                &st1,
+                &st1,
+            );
             // An α-restart leaves x and r untouched; see the CG core for
             // why repeating it is a fixed point worth aborting.
             let abort_nonfinite = !rho.is_finite();
@@ -122,11 +158,15 @@ pub fn run_bicgstab_ws(
             };
             result.record_breakdown(iter_idx, kind, action);
             if abort_nonfinite {
-                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                result.failure = Some(SolveFailure::NonFinite {
+                    iteration: iter_idx,
+                });
                 break;
             }
             if abort_stalled {
-                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                result.failure = Some(SolveFailure::Stalled {
+                    iteration: iter_idx,
+                });
                 break;
             }
             continue;
@@ -137,12 +177,18 @@ pub fn run_bicgstab_ws(
         coster.axpy(&mut tl, 1);
 
         // θ = A·s (second SpMV, flags from s).
+        if let Some(t) = &tracer {
+            t.stamp(j as i64, 2); // BICGSTAB_STEPS[2] = "spmv_s"
+        }
         partial.update(s);
         if partial.enabled() {
             coster.visflag_scan(&mut tl);
         }
         let st2 = mixed_spmv(m, shared, &partial.vis_flags, s, theta, threads);
         result.spmv_stats.merge(&st2);
+        if let Some(t) = &tracer {
+            record_spmv_trace(t, &st2, shared);
+        }
         coster.spmv(&mut tl, m, shared, &partial.vis_flags, &st2);
 
         // ω = (θ,s) / (θ,θ).
@@ -176,7 +222,9 @@ pub fn run_bicgstab_ws(
             let iter_idx = result.iterations;
             result.iterations += 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             coster.iteration_end(&mut tl);
             break;
         }
@@ -234,6 +282,7 @@ pub fn run_bicgstab_ws(
         coster.iteration_end(&mut tl);
     }
 
+    finish_host_trace(tracer, &mut result);
     result.x = x.clone();
     result.timeline = tl;
     result
@@ -329,12 +378,8 @@ mod tests {
         let mut b = vec![0.0; a.nrows];
         a.matvec(&vec![1.0; a.ncols], &mut b);
         let eps_abs = cfg.tolerance * blas1::norm2(&b);
-        let partial = PartialState::new(
-            cfg.partial_convergence,
-            m.tile_cols,
-            cfg.tile_size,
-            eps_abs,
-        );
+        let partial =
+            PartialState::new(cfg.partial_convergence, m.tile_cols, cfg.tile_size, eps_abs);
         (m, shared, coster, partial, b)
     }
 
@@ -456,6 +501,33 @@ mod tests {
             res.iterations <= MAX_CONSECUTIVE_RESTARTS,
             "stall abort must bound the futile restarts, ran {}",
             res.iterations
+        );
+    }
+
+    #[test]
+    fn event_trace_is_inert_and_records_both_spmvs() {
+        let a = convdiff1d(120);
+        let base = SolverConfig::default();
+        let (m, mut sh1, coster, mut p1, b) = setup(&a, &base);
+        let off = run_bicgstab(&m, &mut sh1, &b, &base, &coster, &mut p1);
+        assert!(off.trace.is_none());
+
+        let cfg = SolverConfig {
+            trace: mf_trace::TraceConfig::on(),
+            ..SolverConfig::default()
+        };
+        let (m2, mut sh2, coster2, mut p2, b2) = setup(&a, &cfg);
+        let on = run_bicgstab(&m2, &mut sh2, &b2, &cfg, &coster2, &mut p2);
+        assert_eq!(off.x, on.x, "tracing must not perturb the numerics");
+        assert_eq!(off.iterations, on.iterations);
+
+        let trace = on.trace.expect("tracing enabled -> trace present");
+        assert_eq!(trace.count(mf_trace::EventKind::IterStart), on.iterations);
+        // Two SpMVs per full iteration, each with a Bypass marker.
+        assert_eq!(trace.count(mf_trace::EventKind::Bypass), 2 * on.iterations);
+        assert_eq!(
+            trace.bytes_by_precision().iter().sum::<u64>() as usize,
+            on.spmv_stats.value_bytes()
         );
     }
 

@@ -64,6 +64,8 @@ pub struct CoreResult {
     /// restart fixed point); `None` for convergence or plain iteration
     /// exhaustion.
     pub failure: Option<SolveFailure>,
+    /// Structured event trace (when `SolverConfig::trace` is enabled).
+    pub trace: Option<mf_trace::Trace>,
 }
 
 impl CoreResult {
@@ -84,17 +86,66 @@ impl CoreResult {
             precision_history: Vec::new(),
             breakdowns: Vec::new(),
             failure: None,
+            trace: None,
         }
     }
 
     /// Records a breakdown observed at the *current* (0-based) iteration —
     /// call before `iterations` is advanced past it.
-    pub(crate) fn record_breakdown(&mut self, iteration: usize, kind: BreakdownKind, action: RecoveryAction) {
+    pub(crate) fn record_breakdown(
+        &mut self,
+        iteration: usize,
+        kind: BreakdownKind,
+        action: RecoveryAction,
+    ) {
         self.breakdowns.push(BreakdownEvent {
             iteration,
             kind,
             action,
         });
+    }
+}
+
+/// Builds the host-side event tracer for a sequential core (recorded as
+/// warp 0) when tracing is enabled; one `Option` branch otherwise.
+pub(crate) fn host_tracer(cfg: &SolverConfig) -> Option<mf_trace::WarpTracer> {
+    cfg.trace
+        .enabled
+        .then(|| mf_trace::WarpTracer::new(0, cfg.trace.capacity_per_warp))
+}
+
+/// Records one SpMV call's per-precision byte counters, bypass hits, and
+/// the current on-chip precision histogram. Shared by the sequential CG
+/// and BiCGSTAB cores so both emit the same event shape.
+pub(crate) fn record_spmv_trace(
+    tracer: &mf_trace::WarpTracer,
+    stats: &MixedSpmvStats,
+    shared: &SharedTiles,
+) {
+    for (code, bytes) in stats.bytes_by_precision().into_iter().enumerate() {
+        if bytes > 0 {
+            tracer.record(mf_trace::EventKind::SpmvBytes, code as u64, bytes);
+        }
+    }
+    tracer.record(
+        mf_trace::EventKind::Bypass,
+        stats.tiles_bypassed as u64,
+        stats.nnz_bypassed as u64,
+    );
+    tracer.record(
+        mf_trace::EventKind::Precision,
+        mf_trace::pack_precision_histogram(current_precision_histogram(shared)),
+        0,
+    );
+}
+
+/// Finalizes a sequential core's trace: merge the single host stream and
+/// fold in the breakdown trail as epilogue events.
+pub(crate) fn finish_host_trace(tracer: Option<mf_trace::WarpTracer>, result: &mut CoreResult) {
+    if let Some(t) = tracer {
+        let mut trace = mf_trace::Trace::merge(vec![t.finish()]);
+        crate::report::append_breakdown_epilogue(&mut trace, &result.breakdowns);
+        result.trace = Some(trace);
     }
 }
 
@@ -120,7 +171,15 @@ pub fn run_cg(
     coster: &Coster,
     partial: &mut PartialState,
 ) -> CoreResult {
-    run_cg_ws(m, shared, b, cfg, coster, partial, &mut SolverWorkspace::new())
+    run_cg_ws(
+        m,
+        shared,
+        b,
+        cfg,
+        coster,
+        partial,
+        &mut SolverWorkspace::new(),
+    )
 }
 
 /// Workspace-reusing variant of [`run_cg`]: every loop vector comes from
@@ -143,6 +202,7 @@ pub fn run_cg_ws(
     coster.solve_start(&mut tl);
 
     let mut result = CoreResult::empty();
+    let tracer = host_tracer(cfg);
 
     let norm_b = blas1::norm2(b);
     if norm_b == 0.0 {
@@ -151,6 +211,7 @@ pub fn run_cg_ws(
         result.converged = true;
         result.final_relres = 0.0;
         result.timeline = tl;
+        finish_host_trace(tracer, &mut result);
         return result;
     }
 
@@ -168,14 +229,20 @@ pub fn run_cg_ws(
     let check_convergence = cfg.fixed_iterations.is_none();
     let mut consecutive_restarts = 0usize;
 
-    for _j in 0..iters {
+    for j in 0..iters {
         // ---- Step A: vis_flag retrieval + mixed-precision SpMV µ = A·p.
+        if let Some(t) = &tracer {
+            t.stamp(j as i64, 0);
+        }
         partial.update(p);
         if partial.enabled() {
             coster.visflag_scan(&mut tl);
         }
         let stats = mixed_spmv(m, shared, &partial.vis_flags, p, u, threads);
         result.spmv_stats.merge(&stats);
+        if let Some(t) = &tracer {
+            record_spmv_trace(t, &stats, shared);
+        }
         coster.spmv(&mut tl, m, shared, &partial.vis_flags, &stats);
 
         // ---- Step B: α = (r,r) / (µ,p).
@@ -216,7 +283,9 @@ pub fn run_cg_ws(
             if cfg.trace_partial {
                 result.p_range_history.push(partial.p_range_histogram(p));
                 result.bypass_history.push(stats.tiles_bypassed);
-                result.precision_history.push(current_precision_histogram(shared));
+                result
+                    .precision_history
+                    .push(current_precision_histogram(shared));
             }
             // Abort when recovery is impossible: the residual itself went
             // non-finite, or restarting keeps reproducing the same state (a
@@ -232,11 +301,15 @@ pub fn run_cg_ws(
             };
             result.record_breakdown(iter_idx, kind, action);
             if abort_nonfinite {
-                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                result.failure = Some(SolveFailure::NonFinite {
+                    iteration: iter_idx,
+                });
                 break;
             }
             if abort_stalled {
-                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                result.failure = Some(SolveFailure::Stalled {
+                    iteration: iter_idx,
+                });
                 break;
             }
             continue;
@@ -257,7 +330,9 @@ pub fn run_cg_ws(
             let iter_idx = result.iterations;
             result.iterations += 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             coster.iteration_end(&mut tl);
             break;
         }
@@ -282,7 +357,9 @@ pub fn run_cg_ws(
         if cfg.trace_partial {
             result.p_range_history.push(partial.p_range_histogram(p));
             result.bypass_history.push(stats.tiles_bypassed);
-            result.precision_history.push(current_precision_histogram(shared));
+            result
+                .precision_history
+                .push(current_precision_histogram(shared));
         }
 
         if check_convergence && relres < cfg.tolerance {
@@ -291,6 +368,7 @@ pub fn run_cg_ws(
         }
     }
 
+    finish_host_trace(tracer, &mut result);
     result.x = x.clone();
     result.timeline = tl;
     result
@@ -354,12 +432,8 @@ mod tests {
         let mut b = vec![0.0; a.nrows];
         a.matvec(&vec![1.0; a.ncols], &mut b);
         let eps_abs = cfg.tolerance * blas1::norm2(&b);
-        let partial = PartialState::new(
-            cfg.partial_convergence,
-            m.tile_cols,
-            cfg.tile_size,
-            eps_abs,
-        );
+        let partial =
+            PartialState::new(cfg.partial_convergence, m.tile_cols, cfg.tile_size, eps_abs);
         (m, shared, coster, partial, b)
     }
 
@@ -563,6 +637,41 @@ mod tests {
         assert_eq!(res_s.iterations, res_m.iterations);
         assert_eq!(res_s.x, res_m.x);
         assert!(res_m.timeline.get(mf_gpu::Phase::Sync) > res_s.timeline.get(mf_gpu::Phase::Sync));
+    }
+
+    #[test]
+    fn event_trace_is_inert_and_covers_every_iteration() {
+        let a = poisson1d(96);
+        let base = SolverConfig::default();
+        let (m, mut sh1, coster, mut p1, b) = setup(&a, &base);
+        let off = run_cg(&m, &mut sh1, &b, &base, &coster, &mut p1);
+        assert!(off.trace.is_none(), "tracing defaults off");
+
+        let cfg = SolverConfig {
+            trace: mf_trace::TraceConfig::on(),
+            ..SolverConfig::default()
+        };
+        let (m2, mut sh2, coster2, mut p2, b2) = setup(&a, &cfg);
+        let on = run_cg(&m2, &mut sh2, &b2, &cfg, &coster2, &mut p2);
+        assert_eq!(off.x, on.x, "tracing must not perturb the numerics");
+        assert_eq!(off.iterations, on.iterations);
+        assert_eq!(off.final_relres, on.final_relres);
+
+        let trace = on.trace.expect("tracing enabled -> trace present");
+        assert_eq!(trace.warps, 1, "sequential core records as warp 0");
+        assert_eq!(trace.count(mf_trace::EventKind::IterStart), on.iterations);
+        assert_eq!(trace.count(mf_trace::EventKind::Bypass), on.iterations);
+        assert_eq!(trace.count(mf_trace::EventKind::Precision), on.iterations);
+        assert!(trace.count(mf_trace::EventKind::SpmvBytes) >= on.iterations);
+        assert_eq!(
+            trace.bytes_by_precision().iter().sum::<u64>() as usize,
+            on.spmv_stats.value_bytes(),
+            "trace byte counters agree with the aggregate stats"
+        );
+        assert_eq!(
+            trace.bypassed_tiles() as usize,
+            on.spmv_stats.tiles_bypassed
+        );
     }
 
     #[test]

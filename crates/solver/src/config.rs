@@ -1,6 +1,7 @@
 //! Solver configuration.
 
 use mf_precision::ClassifyOptions;
+use mf_trace::TraceConfig;
 use std::time::Duration;
 
 /// Default watchdog deadline for the threaded single-kernel engines — far
@@ -175,6 +176,12 @@ pub struct SolverConfig {
     /// surfacing the failed CG report. The handoff is recorded as a
     /// [`crate::report::RecoveryAction::SwitchedSolver`] breakdown event.
     pub auto_switch_on_breakdown: bool,
+    /// Structured event tracing ([`mf_trace`]): off by default (every
+    /// event site is one `Option` branch). When enabled, engines record
+    /// iteration/barrier/row-wait/precision/bypass/breakdown/fault events
+    /// into per-warp ring buffers, merged deterministically into
+    /// `SolveReport::trace` / `ThreadedReport::trace` at join time.
+    pub trace: TraceConfig,
 }
 
 impl Default for SolverConfig {
@@ -197,6 +204,7 @@ impl Default for SolverConfig {
             host_parallelism: HostParallelism::Auto,
             watchdog: WatchdogPolicy::default(),
             auto_switch_on_breakdown: true,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -251,6 +259,7 @@ mod tests {
             "watchdog defaults to the progress heartbeat"
         );
         assert!(c.auto_switch_on_breakdown, "auto re-dispatch defaults on");
+        assert!(!c.trace.enabled, "event tracing defaults off");
     }
 
     #[test]

@@ -32,8 +32,7 @@ impl WarpRates {
     /// Derives the per-warp rates from a device cost model.
     pub fn of(cost: &CostModel) -> WarpRates {
         WarpRates {
-            flops_per_us: cost.device.flops_per_us()
-                / cost.device.warps_for_peak_compute as f64,
+            flops_per_us: cost.device.flops_per_us() / cost.device.warps_for_peak_compute as f64,
             bytes_per_us: cost.device.bytes_per_us() / cost.device.warps_for_peak_bw as f64,
         }
     }
@@ -276,11 +275,7 @@ impl MultiCoster {
     /// leaf triangles serialize (one device sweep each), but the square
     /// blocks run as parallel SpMVs — that trade is where the PCG speedups
     /// of Fig. 10 come from.
-    pub fn sptrsv_recursive(
-        &self,
-        tl: &mut Timeline,
-        stats: &mf_kernels::RecursiveTrsvStats,
-    ) {
+    pub fn sptrsv_recursive(&self, tl: &mut Timeline, stats: &mf_kernels::RecursiveTrsvStats) {
         let leaf_sweeps = stats.leaves as f64 * 0.8;
         let spmv_body = self.cost.roofline_us(
             2.0 * stats.spmv_nnz as f64,
@@ -343,9 +338,10 @@ impl MultiCoster {
     pub fn block_jacobi(&self, tl: &mut Timeline, bj: &mf_kernels::BlockJacobi) {
         let flops = bj.apply_flops();
         let bytes = (bj.storage_bytes() + 16 * bj.n) as f64;
-        let warps = self.cost.blas1_warps(bj.n.max(1)).max(bj.nblocks().min(
-            self.cost.device.max_resident_warps(),
-        ));
+        let warps = self
+            .cost
+            .blas1_warps(bj.n.max(1))
+            .max(bj.nblocks().min(self.cost.device.max_resident_warps()));
         let body = self.cost.kernel_body_us(flops, bytes, warps);
         tl.add(Phase::SpTrsv, body);
         tl.add(Phase::Sync, self.cost.launch_us());
@@ -485,13 +481,13 @@ mod tests {
     fn warp_rates_are_fractions_of_peak() {
         let c = cost();
         let r = WarpRates::of(&c);
-        assert!(r.flops_per_us * c.device.warps_for_peak_compute as f64 <= c.device.flops_per_us() * 1.001);
+        assert!(
+            r.flops_per_us * c.device.warps_for_peak_compute as f64
+                <= c.device.flops_per_us() * 1.001
+        );
         assert!(r.warp_time(1000.0, 0.0) > 0.0);
         // Roofline: the max of the two terms.
-        assert_eq!(
-            r.warp_time(0.0, 1000.0),
-            1000.0 / r.bytes_per_us
-        );
+        assert_eq!(r.warp_time(0.0, 1000.0), 1000.0 / r.bytes_per_us);
     }
 
     #[test]

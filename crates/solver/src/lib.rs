@@ -61,22 +61,25 @@ pub mod threaded;
 pub mod workspace;
 
 pub use config::{
-    HostParallelism, KernelMode, SolverConfig, WatchdogPolicy, DEFAULT_HEARTBEAT,
-    DEFAULT_WATCHDOG,
+    HostParallelism, KernelMode, SolverConfig, WatchdogPolicy, DEFAULT_HEARTBEAT, DEFAULT_WATCHDOG,
 };
-pub use workspace::SolverWorkspace;
 pub use report::{
     BreakdownEvent, BreakdownKind, ExecutedMode, RecoveryAction, SolveFailure, SolveReport,
     WarpProgress,
 };
 pub use solver::MilleFeuille;
 pub use threaded::{
-    run_bicgstab_threaded_full, run_cg_threaded_full, run_ilu_sptrsv_threaded,
-    run_ilu_sptrsv_threaded_full, run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded,
-    run_pbicgstab_threaded_full, run_pbicgstab_threaded_watchdog, run_pcg_threaded,
-    run_pcg_threaded_full, run_pcg_threaded_watchdog, ThreadedReport, BICGSTAB_STEPS, CG_STEPS,
-    PBICGSTAB_STEPS, PCG_STEPS, SPTRSV_STEPS,
+    run_bicgstab_threaded_full, run_bicgstab_threaded_traced, run_cg_threaded_full,
+    run_cg_threaded_traced, run_ilu_sptrsv_threaded, run_ilu_sptrsv_threaded_full,
+    run_ilu_sptrsv_threaded_traced, run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded,
+    run_pbicgstab_threaded_full, run_pbicgstab_threaded_traced, run_pbicgstab_threaded_watchdog,
+    run_pcg_threaded, run_pcg_threaded_full, run_pcg_threaded_traced, run_pcg_threaded_watchdog,
+    ThreadedReport, BICGSTAB_STEPS, CG_STEPS, PBICGSTAB_STEPS, PCG_STEPS, SPTRSV_STEPS,
 };
+pub use workspace::SolverWorkspace;
 // The fault-injection vocabulary lives in `mf_gpu::faults`; re-export the
 // pieces test harnesses compose so they need only this crate.
 pub use mf_gpu::{FaultKind, FaultPlan, InjectedFaults};
+// The trace vocabulary lives in `mf-trace`; re-export the pieces callers
+// need to turn recording on and consume the merged event stream.
+pub use mf_trace::{EventKind, Trace, TraceConfig, TraceEvent};

@@ -37,7 +37,16 @@ pub fn run_pcg(
     mc: &MultiCoster,
     partial: &mut PartialState,
 ) -> CoreResult {
-    run_pcg_ws(m, shared, ilu, b, cfg, mc, partial, &mut SolverWorkspace::new())
+    run_pcg_ws(
+        m,
+        shared,
+        ilu,
+        b,
+        cfg,
+        mc,
+        partial,
+        &mut SolverWorkspace::new(),
+    )
 }
 
 /// Workspace-reusing variant of [`run_pcg`] (see [`crate::cg::run_cg_ws`]).
@@ -74,7 +83,9 @@ pub fn run_pcg_ws(
     }
 
     ws.ensure(n);
-    let SolverWorkspace { x, r, z, p, u, y, .. } = ws;
+    let SolverWorkspace {
+        x, r, z, p, u, y, ..
+    } = ws;
     r.copy_from_slice(b);
     let threads = cfg.host_parallelism.threads_for(m.nnz());
     let fstats = ilu.apply_recursive_into(r, cfg.trsv_leaf, y, z);
@@ -125,11 +136,15 @@ pub fn run_pcg_ws(
             };
             result.record_breakdown(iter_idx, kind, action);
             if abort_nonfinite {
-                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                result.failure = Some(SolveFailure::NonFinite {
+                    iteration: iter_idx,
+                });
                 break;
             }
             if abort_stalled {
-                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                result.failure = Some(SolveFailure::Stalled {
+                    iteration: iter_idx,
+                });
                 break;
             }
             continue;
@@ -149,7 +164,9 @@ pub fn run_pcg_ws(
             let iter_idx = result.iterations;
             result.iterations += 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             break;
         }
 
@@ -178,7 +195,9 @@ pub fn run_pcg_ws(
             // correlation collapsed. Record and abort.
             let iter_idx = result.iterations - 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             break;
         }
     }
@@ -201,7 +220,16 @@ pub fn run_pcg_ic(
     mc: &MultiCoster,
     partial: &mut PartialState,
 ) -> CoreResult {
-    run_pcg_ic_ws(m, shared, ic, b, cfg, mc, partial, &mut SolverWorkspace::new())
+    run_pcg_ic_ws(
+        m,
+        shared,
+        ic,
+        b,
+        cfg,
+        mc,
+        partial,
+        &mut SolverWorkspace::new(),
+    )
 }
 
 /// Workspace-reusing variant of [`run_pcg_ic`].
@@ -236,7 +264,9 @@ pub fn run_pcg_ic_ws(
     }
 
     ws.ensure(n);
-    let SolverWorkspace { x, r, z, p, u, y, .. } = ws;
+    let SolverWorkspace {
+        x, r, z, p, u, y, ..
+    } = ws;
     r.copy_from_slice(b);
     let threads = cfg.host_parallelism.threads_for(m.nnz());
     let fstats = ic.apply_recursive_into(r, cfg.trsv_leaf, y, z);
@@ -287,11 +317,15 @@ pub fn run_pcg_ic_ws(
             };
             result.record_breakdown(iter_idx, kind, action);
             if abort_nonfinite {
-                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                result.failure = Some(SolveFailure::NonFinite {
+                    iteration: iter_idx,
+                });
                 break;
             }
             if abort_stalled {
-                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                result.failure = Some(SolveFailure::Stalled {
+                    iteration: iter_idx,
+                });
                 break;
             }
             continue;
@@ -310,7 +344,9 @@ pub fn run_pcg_ic_ws(
             let iter_idx = result.iterations;
             result.iterations += 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             break;
         }
 
@@ -339,7 +375,9 @@ pub fn run_pcg_ic_ws(
             // correlation collapsed. Record and abort.
             let iter_idx = result.iterations - 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             break;
         }
     }
@@ -363,7 +401,16 @@ pub fn run_pcg_bj(
     mc: &MultiCoster,
     partial: &mut PartialState,
 ) -> CoreResult {
-    run_pcg_bj_ws(m, shared, bj, b, cfg, mc, partial, &mut SolverWorkspace::new())
+    run_pcg_bj_ws(
+        m,
+        shared,
+        bj,
+        b,
+        cfg,
+        mc,
+        partial,
+        &mut SolverWorkspace::new(),
+    )
 }
 
 /// Workspace-reusing variant of [`run_pcg_bj`].
@@ -460,11 +507,15 @@ pub fn run_pcg_bj_ws(
             };
             result.record_breakdown(iter_idx, kind, action);
             if abort_nonfinite {
-                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                result.failure = Some(SolveFailure::NonFinite {
+                    iteration: iter_idx,
+                });
                 break;
             }
             if abort_stalled {
-                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                result.failure = Some(SolveFailure::Stalled {
+                    iteration: iter_idx,
+                });
                 break;
             }
             continue;
@@ -483,7 +534,9 @@ pub fn run_pcg_bj_ws(
             let iter_idx = result.iterations;
             result.iterations += 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             break;
         }
 
@@ -512,7 +565,9 @@ pub fn run_pcg_bj_ws(
             // correlation collapsed. Record and abort.
             let iter_idx = result.iterations - 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             break;
         }
     }
@@ -534,7 +589,16 @@ pub fn run_pbicgstab(
     mc: &MultiCoster,
     partial: &mut PartialState,
 ) -> CoreResult {
-    run_pbicgstab_ws(m, shared, ilu, b, cfg, mc, partial, &mut SolverWorkspace::new())
+    run_pbicgstab_ws(
+        m,
+        shared,
+        ilu,
+        b,
+        cfg,
+        mc,
+        partial,
+        &mut SolverWorkspace::new(),
+    )
 }
 
 /// Workspace-reusing variant of [`run_pbicgstab`].
@@ -571,7 +635,19 @@ pub fn run_pbicgstab_ws(
     }
 
     ws.ensure(n);
-    let SolverWorkspace { x, r, r0s, p, u: v, s, t, y, phat, shat, .. } = ws;
+    let SolverWorkspace {
+        x,
+        r,
+        r0s,
+        p,
+        u: v,
+        s,
+        t,
+        y,
+        phat,
+        shat,
+        ..
+    } = ws;
     r.copy_from_slice(b);
     r0s.copy_from_slice(b);
     p.copy_from_slice(b);
@@ -631,11 +707,15 @@ pub fn run_pbicgstab_ws(
             };
             result.record_breakdown(iter_idx, kind, action);
             if abort_nonfinite {
-                result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+                result.failure = Some(SolveFailure::NonFinite {
+                    iteration: iter_idx,
+                });
                 break;
             }
             if abort_stalled {
-                result.failure = Some(SolveFailure::Stalled { iteration: iter_idx });
+                result.failure = Some(SolveFailure::Stalled {
+                    iteration: iter_idx,
+                });
                 break;
             }
             continue;
@@ -676,7 +756,9 @@ pub fn run_pbicgstab_ws(
             let iter_idx = result.iterations;
             result.iterations += 1;
             result.record_breakdown(iter_idx, BreakdownKind::NonFinite, RecoveryAction::Aborted);
-            result.failure = Some(SolveFailure::NonFinite { iteration: iter_idx });
+            result.failure = Some(SolveFailure::NonFinite {
+                iteration: iter_idx,
+            });
             break;
         }
 
@@ -755,7 +837,15 @@ mod tests {
         a.to_csr()
     }
 
-    fn setup(a: &Csr) -> (TiledMatrix, SharedTiles, MultiCoster, PartialState, Vec<f64>) {
+    fn setup(
+        a: &Csr,
+    ) -> (
+        TiledMatrix,
+        SharedTiles,
+        MultiCoster,
+        PartialState,
+        Vec<f64>,
+    ) {
         let m = TiledMatrix::from_csr_with(a, 16, &ClassifyOptions::default());
         let shared = SharedTiles::load(&m);
         let mc = MultiCoster::new(CostModel::new(DeviceSpec::a100()), a.nrows);
@@ -840,7 +930,15 @@ mod tests {
         let ilu = ilu0(&a).unwrap();
         let cfg = SolverConfig::default();
         let (m, mut shared, mc, mut partial, _) = setup(&a);
-        let res = run_pcg(&m, &mut shared, &ilu, &vec![0.0; 32], &cfg, &mc, &mut partial);
+        let res = run_pcg(
+            &m,
+            &mut shared,
+            &ilu,
+            &vec![0.0; 32],
+            &cfg,
+            &mc,
+            &mut partial,
+        );
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

@@ -44,6 +44,21 @@ impl BreakdownKind {
             BreakdownKind::FactorShift => "factor_shift",
         }
     }
+
+    /// Stable numeric code carried in the `a` payload of a
+    /// [`mf_trace::EventKind::Breakdown`] event. Append-only: codes are
+    /// part of the trace format and must never be renumbered.
+    pub fn trace_code(self) -> u64 {
+        match self {
+            BreakdownKind::Curvature => 1,
+            BreakdownKind::Rho => 2,
+            BreakdownKind::Omega => 3,
+            BreakdownKind::NonFinite => 4,
+            BreakdownKind::Watchdog => 5,
+            BreakdownKind::Panic => 6,
+            BreakdownKind::FactorShift => 7,
+        }
+    }
 }
 
 /// Last published position of one warp when a threaded solve ended — the
@@ -72,6 +87,36 @@ pub enum RecoveryAction {
     /// The Auto front-end abandoned this method and re-dispatched the system
     /// to a different solver (CG → BiCGSTAB after curvature breakdowns).
     SwitchedSolver,
+}
+
+impl RecoveryAction {
+    /// Stable numeric code carried in the `b` payload of a
+    /// [`mf_trace::EventKind::Breakdown`] event. Append-only.
+    pub fn trace_code(self) -> u64 {
+        match self {
+            RecoveryAction::Restarted => 1,
+            RecoveryAction::Aborted => 2,
+            RecoveryAction::SwitchedSolver => 3,
+        }
+    }
+}
+
+/// Synthesize the post-loop breakdown trail into trace epilogue events
+/// (step = [`mf_trace::STEP_EPILOGUE`]) and fold them into `trace`.
+/// Shared by every engine so sequential and threaded traces agree on the
+/// encoding.
+pub(crate) fn append_breakdown_epilogue(
+    trace: &mut mf_trace::Trace,
+    breakdowns: &[BreakdownEvent],
+) {
+    trace.append_epilogue(breakdowns.iter().enumerate().map(|(i, ev)| {
+        mf_trace::Trace::breakdown_event(
+            ev.iteration,
+            ev.kind.trace_code(),
+            ev.action.trace_code(),
+            i as u32,
+        )
+    }));
 }
 
 /// One observed breakdown: where it happened, what it was, what was done.
@@ -214,6 +259,9 @@ pub struct SolveReport {
     /// Set when the solve terminated abnormally (poisoned, stalled, or
     /// non-finite); `None` for converged and plain out-of-iterations runs.
     pub failure: Option<SolveFailure>,
+    /// Merged structured event trace (when [`crate::SolverConfig::trace`]
+    /// is enabled; `None` otherwise).
+    pub trace: Option<mf_trace::Trace>,
 }
 
 impl SolveReport {
@@ -308,6 +356,7 @@ mod tests {
             preprocess_wall_us: 0.0,
             breakdowns: vec![],
             failure: None,
+            trace: None,
         }
     }
 
@@ -371,6 +420,50 @@ mod tests {
             message: "boom".into(),
         });
         assert_eq!(r.status_label(), "aborted(warp_panic)");
+    }
+
+    #[test]
+    fn breakdown_epilogue_encoding_is_stable() {
+        let mut trace = mf_trace::Trace::default();
+        super::append_breakdown_epilogue(
+            &mut trace,
+            &[
+                BreakdownEvent {
+                    iteration: 3,
+                    kind: BreakdownKind::Rho,
+                    action: RecoveryAction::Restarted,
+                },
+                BreakdownEvent {
+                    iteration: 9,
+                    kind: BreakdownKind::Watchdog,
+                    action: RecoveryAction::Aborted,
+                },
+            ],
+        );
+        assert_eq!(trace.events.len(), 2);
+        assert!(
+            trace
+                .events
+                .iter()
+                .all(|e| e.kind == mf_trace::EventKind::Breakdown
+                    && e.step == mf_trace::STEP_EPILOGUE)
+        );
+        assert_eq!(
+            (
+                trace.events[0].iteration,
+                trace.events[0].a,
+                trace.events[0].b
+            ),
+            (3, 2, 1)
+        );
+        assert_eq!(
+            (
+                trace.events[1].iteration,
+                trace.events[1].a,
+                trace.events[1].b
+            ),
+            (9, 5, 2)
+        );
     }
 
     #[test]

@@ -108,11 +108,7 @@ impl MilleFeuille {
                 TiledMatrix::from_csr_with(a, self.config.tile_size, &self.config.classify)
             }
         } else {
-            TiledMatrix::from_csr_uniform(
-                a,
-                self.config.tile_size,
-                mf_precision::Precision::Fp64,
-            )
+            TiledMatrix::from_csr_uniform(a, self.config.tile_size, mf_precision::Precision::Fp64)
         };
         let wall_us = start.elapsed().as_secs_f64() * 1e6;
 
@@ -152,8 +148,8 @@ impl MilleFeuille {
                 // the benefit" clause of §III-C).
                 let single = SingleCoster::new(self.cost(), tiled, self.config.tile_size)
                     .estimate_cg_iteration_us(&tiled.tile_prec);
-                let multi = MultiCoster::new(self.cost(), tiled.nrows)
-                    .estimate_cg_iteration_us(tiled);
+                let multi =
+                    MultiCoster::new(self.cost(), tiled.nrows).estimate_cg_iteration_us(tiled);
                 // Slightly conservative: the estimate is a CG iteration,
                 // and the multi-kernel fallback is never worse than the
                 // baselines — prefer it on a near-tie.
@@ -208,6 +204,7 @@ impl MilleFeuille {
             preprocess_wall_us: pre.wall_us,
             breakdowns: core.breakdowns,
             failure: core.failure,
+            trace: core.trace,
         }
     }
 
@@ -263,7 +260,15 @@ impl MilleFeuille {
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let coster = self.build_coster(&pre.tiled, mode);
-        let core = run_cg_ws(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial, ws);
+        let core = run_cg_ws(
+            &pre.tiled,
+            &mut shared,
+            b,
+            &self.config,
+            &coster,
+            &mut partial,
+            ws,
+        );
         let warps = coster.warp_count();
         self.assemble(a, pre, mode, warps, core)
     }
@@ -279,7 +284,7 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_cg_threaded_full(
+        crate::threaded::run_cg_threaded_traced(
             &pre.tiled,
             b,
             self.config.tolerance,
@@ -287,6 +292,7 @@ impl MilleFeuille {
             max_warps,
             self.config.watchdog,
             &mf_gpu::FaultPlan::default(),
+            &self.config.trace,
         )
     }
 
@@ -298,7 +304,7 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_bicgstab_threaded_full(
+        crate::threaded::run_bicgstab_threaded_traced(
             &pre.tiled,
             b,
             self.config.tolerance,
@@ -306,6 +312,7 @@ impl MilleFeuille {
             max_warps,
             self.config.watchdog,
             &mf_gpu::FaultPlan::default(),
+            &self.config.trace,
         )
     }
 
@@ -315,19 +322,21 @@ impl MilleFeuille {
     }
 
     /// [`Self::solve_bicgstab`] with a caller-provided [`SolverWorkspace`].
-    pub fn solve_bicgstab_ws(
-        &self,
-        a: &Csr,
-        b: &[f64],
-        ws: &mut SolverWorkspace,
-    ) -> SolveReport {
+    pub fn solve_bicgstab_ws(&self, a: &Csr, b: &[f64], ws: &mut SolverWorkspace) -> SolveReport {
         let pre = self.preprocess(a);
         let mode = self.decide_mode(&pre.tiled);
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let coster = self.build_coster(&pre.tiled, mode);
-        let core =
-            run_bicgstab_ws(&pre.tiled, &mut shared, b, &self.config, &coster, &mut partial, ws);
+        let core = run_bicgstab_ws(
+            &pre.tiled,
+            &mut shared,
+            b,
+            &self.config,
+            &coster,
+            &mut partial,
+            ws,
+        );
         let warps = coster.warp_count();
         self.assemble(a, pre, mode, warps, core)
     }
@@ -339,7 +348,11 @@ impl MilleFeuille {
     /// boosting ([`mf_kernels::ilu0_boosted`]); every shift attempt is
     /// recorded as a `FactorShift` breakdown event on the report. Returns
     /// `Err` only when boosting is exhausted (or the matrix is not square).
-    pub fn solve_pcg(&self, a: &Csr, b: &[f64]) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
+    pub fn solve_pcg(
+        &self,
+        a: &Csr,
+        b: &[f64],
+    ) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
         let (ilu, shifts) = ilu0_boosted(a)?;
         let mut rep = self.solve_pcg_with(a, b, &ilu);
         prepend_factor_shifts(&mut rep.breakdowns, &shifts);
@@ -353,7 +366,15 @@ impl MilleFeuille {
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let mc = MultiCoster::new(self.cost(), a.nrows);
-        let core = run_pcg(&pre.tiled, &mut shared, ilu, b, &self.config, &mc, &mut partial);
+        let core = run_pcg(
+            &pre.tiled,
+            &mut shared,
+            ilu,
+            b,
+            &self.config,
+            &mc,
+            &mut partial,
+        );
         self.assemble(a, pre, mode, 0, core)
     }
 
@@ -371,7 +392,15 @@ impl MilleFeuille {
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let mc = MultiCoster::new(self.cost(), a.nrows);
-        let core = run_pcg_ic(&pre.tiled, &mut shared, &ic, b, &self.config, &mc, &mut partial);
+        let core = run_pcg_ic(
+            &pre.tiled,
+            &mut shared,
+            &ic,
+            b,
+            &self.config,
+            &mc,
+            &mut partial,
+        );
         let mut rep = self.assemble(a, pre, mode, 0, core);
         prepend_factor_shifts(&mut rep.breakdowns, &shifts);
         Ok(rep)
@@ -391,7 +420,15 @@ impl MilleFeuille {
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let mc = MultiCoster::new(self.cost(), a.nrows);
-        let core = run_pcg_bj(&pre.tiled, &mut shared, &bj, b, &self.config, &mc, &mut partial);
+        let core = run_pcg_bj(
+            &pre.tiled,
+            &mut shared,
+            &bj,
+            b,
+            &self.config,
+            &mc,
+            &mut partial,
+        );
         Ok(self.assemble(a, pre, mode, 0, core))
     }
 
@@ -414,7 +451,15 @@ impl MilleFeuille {
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let mc = MultiCoster::new(self.cost(), a.nrows);
-        let core = run_pbicgstab(&pre.tiled, &mut shared, ilu, b, &self.config, &mc, &mut partial);
+        let core = run_pbicgstab(
+            &pre.tiled,
+            &mut shared,
+            ilu,
+            b,
+            &self.config,
+            &mc,
+            &mut partial,
+        );
         self.assemble(a, pre, mode, 0, core)
     }
 
@@ -449,7 +494,7 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_pcg_threaded_full(
+        crate::threaded::run_pcg_threaded_traced(
             &pre.tiled,
             ilu,
             b,
@@ -458,6 +503,7 @@ impl MilleFeuille {
             max_warps,
             self.config.watchdog,
             &mf_gpu::FaultPlan::default(),
+            &self.config.trace,
         )
     }
 
@@ -485,7 +531,7 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_pbicgstab_threaded_full(
+        crate::threaded::run_pbicgstab_threaded_traced(
             &pre.tiled,
             ilu,
             b,
@@ -494,19 +540,16 @@ impl MilleFeuille {
             max_warps,
             self.config.watchdog,
             &mf_gpu::FaultPlan::default(),
+            &self.config.trace,
         )
     }
 
     fn build_coster(&self, tiled: &TiledMatrix, mode: ExecutedMode) -> Coster {
         match mode {
-            ExecutedMode::SingleKernel => Coster::Single(SingleCoster::new(
-                self.cost(),
-                tiled,
-                self.config.tile_size,
-            )),
-            ExecutedMode::MultiKernel => {
-                Coster::Multi(MultiCoster::new(self.cost(), tiled.nrows))
+            ExecutedMode::SingleKernel => {
+                Coster::Single(SingleCoster::new(self.cost(), tiled, self.config.tile_size))
             }
+            ExecutedMode::MultiKernel => Coster::Multi(MultiCoster::new(self.cost(), tiled.nrows)),
         }
     }
 }
@@ -735,10 +778,7 @@ mod tests {
         // Integer-valued matrix: everything classifies FP8.
         let a = poisson1d(5_000);
         let b = rhs(&a);
-        let mixed = MilleFeuille::new(
-            DeviceSpec::a100(),
-            SolverConfig::benchmark_100_iters(),
-        );
+        let mixed = MilleFeuille::new(DeviceSpec::a100(), SolverConfig::benchmark_100_iters());
         let fp64 = MilleFeuille::new(
             DeviceSpec::a100(),
             SolverConfig {

@@ -76,6 +76,7 @@ use mf_gpu::{
 };
 use mf_kernels::ilu::Ilu0;
 use mf_sparse::{Csr, TiledMatrix};
+use mf_trace::{EventKind, Trace, TraceConfig, WarpTrace, WarpTracer};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -114,6 +115,12 @@ pub struct ThreadedReport {
     /// injection tally. `None` when the solve ran with an empty
     /// [`FaultPlan`] (the normal case).
     pub injected_faults: Option<InjectedFaults>,
+    /// Merged event trace ([`mf_trace`]): per-warp ring buffers joined in
+    /// deterministic `(iteration, step, warp, seq)` order, with the
+    /// breakdown trail appended as epilogue events. `None` unless the
+    /// solve ran through a `run_*_threaded_traced` entry with tracing
+    /// enabled.
+    pub trace: Option<Trace>,
 }
 
 impl ThreadedReport {
@@ -167,6 +174,9 @@ struct WarpSync<'a> {
     deadline: Option<Instant>,
     heartbeat: Option<&'a Heartbeat>,
     faults: Option<&'a WarpFaults>,
+    /// Event recorder; `None` (the default) makes every event site a
+    /// single branch.
+    tracer: Option<&'a WarpTracer>,
     warp: usize,
 }
 
@@ -210,15 +220,26 @@ impl WarpSync<'_> {
         }
     }
 
-    /// Step boundary: publish this warp's (iteration, step) position to the
-    /// heartbeat, then fire any injected point fault addressed at it.
+    /// Step boundary: move the trace stamp and publish this warp's
+    /// (iteration, step) position to the heartbeat, then fire any injected
+    /// point fault addressed at it (recording the firing first, so a
+    /// panicking/poisoning site still shows up in the trace).
     #[inline]
     fn step(&self, iteration: i64, step: usize) -> Result<(), i64> {
+        if let Some(t) = self.tracer {
+            t.stamp(iteration, step);
+        }
         if let Some(hb) = self.heartbeat {
             hb.beat(self.warp, Heartbeat::pack(iteration as usize, step));
         }
         if let Some(f) = self.faults {
-            match f.step_fault(iteration as usize, step) {
+            let fault = f.step_fault(iteration as usize, step);
+            if fault != StepFault::None {
+                if let Some(t) = self.tracer {
+                    t.record(EventKind::Fault, fault.trace_code(), 0);
+                }
+            }
+            match fault {
                 StepFault::None => {}
                 StepFault::Panic => panic!(
                     "injected fault: warp {} panicked at iteration {} step {}",
@@ -241,43 +262,87 @@ impl WarpSync<'_> {
     /// heartbeat, so a schedule that keeps clearing waits (however slowly)
     /// is never reported as wedged.
     fn spin_until(&self, counter: &AtomicI64, target: i64) -> Result<(), i64> {
-        if let Some(f) = self.faults {
-            match f.barrier_entry() {
-                BarrierFault::None => {}
-                BarrierFault::Stall(d) => {
-                    let until = Instant::now() + d;
-                    while Instant::now() < until {
-                        let code = self.poison.load(Ordering::Acquire);
-                        if code != POISON_NONE {
-                            return Err(code);
-                        }
-                        std::hint::spin_loop();
-                    }
-                }
-                BarrierFault::Retry(extra) => {
-                    for _ in 0..extra {
-                        let _ = counter.load(Ordering::Acquire);
-                    }
-                }
-                BarrierFault::Halt => loop {
-                    // Dead warp: never advances again, but keeps polling the
-                    // poison flag and the watchdog so the run is reapable.
+        self.enter_fault(counter)?;
+        if let Some(t) = self.tracer {
+            t.record(EventKind::BarrierEnter, target.max(0) as u64, 0);
+            let polls = self.spin_core(counter, target)?;
+            t.add_polls(polls);
+            t.record(EventKind::BarrierExit, target.max(0) as u64, polls);
+            Ok(())
+        } else {
+            self.spin_core(counter, target).map(|_| ())
+        }
+    }
+
+    /// Row-dependency wait inside the in-kernel SpTRSV: identical fault,
+    /// poison and watchdog semantics to [`WarpSync::spin_until`], but no
+    /// per-wait events — at one wait per dependent row they would swamp
+    /// the ring. Spin polls still accumulate into the tracer; the SpTRSV
+    /// passes record one aggregate `RowWait` event each instead.
+    fn spin_until_row(&self, counter: &AtomicI64, target: i64) -> Result<(), i64> {
+        self.enter_fault(counter)?;
+        let polls = self.spin_core(counter, target)?;
+        if let Some(t) = self.tracer {
+            t.add_polls(polls);
+        }
+        Ok(())
+    }
+
+    /// Fires the warp's barrier-entry fault hook and executes its arm
+    /// (recording non-trivial firings as `Fault` events — the hook draws
+    /// from deterministic per-warp state, so the events are too).
+    fn enter_fault(&self, counter: &AtomicI64) -> Result<(), i64> {
+        let Some(f) = self.faults else {
+            return Ok(());
+        };
+        let fault = f.barrier_entry();
+        if fault != BarrierFault::None {
+            if let Some(t) = self.tracer {
+                t.record(EventKind::Fault, fault.trace_code(), 0);
+            }
+        }
+        match fault {
+            BarrierFault::None => {}
+            BarrierFault::Stall(d) => {
+                let until = Instant::now() + d;
+                while Instant::now() < until {
                     let code = self.poison.load(Ordering::Acquire);
                     if code != POISON_NONE {
                         return Err(code);
                     }
-                    if self.expired() {
-                        return Err(self.wedge());
-                    }
-                    std::thread::yield_now();
-                },
+                    std::hint::spin_loop();
+                }
             }
+            BarrierFault::Retry(extra) => {
+                for _ in 0..extra {
+                    let _ = counter.load(Ordering::Acquire);
+                }
+            }
+            BarrierFault::Halt => loop {
+                // Dead warp: never advances again, but keeps polling the
+                // poison flag and the watchdog so the run is reapable.
+                let code = self.poison.load(Ordering::Acquire);
+                if code != POISON_NONE {
+                    return Err(code);
+                }
+                if self.expired() {
+                    return Err(self.wedge());
+                }
+                std::thread::yield_now();
+            },
         }
-        let mut polls = 0u32;
+        Ok(())
+    }
+
+    /// The raw poll loop shared by both wait flavours: spins until
+    /// `counter >= target`, returning the number of unsatisfied polls it
+    /// burned (schedule-dependent — trace payloads only).
+    fn spin_core(&self, counter: &AtomicI64, target: i64) -> Result<u64, i64> {
+        let mut polls = 0u64;
         loop {
             if counter.load(Ordering::Acquire) >= target {
                 self.pulse();
-                return Ok(());
+                return Ok(polls);
             }
             let code = self.poison.load(Ordering::Acquire);
             if code != POISON_NONE {
@@ -364,6 +429,9 @@ struct WarpOut {
     trail: Vec<f64>,
     /// Faults this warp actually injected (zero under an empty plan).
     faults: FaultCounts,
+    /// This warp's event recorder (created outside the panic guard, so
+    /// events up to a panic survive it). `None` when tracing is off.
+    tracer: Option<WarpTracer>,
 }
 
 /// Folds one warp's `catch_unwind` outcome into a [`WarpOut`], poisoning
@@ -374,6 +442,7 @@ fn settle_warp(
     events: Vec<BreakdownEvent>,
     trail: Vec<f64>,
     faults: FaultCounts,
+    tracer: Option<WarpTracer>,
 ) -> WarpOut {
     match body {
         Ok(_) => WarpOut {
@@ -381,6 +450,7 @@ fn settle_warp(
             panic: None,
             trail,
             faults,
+            tracer,
         },
         Err(payload) => {
             let _ = poison.compare_exchange(
@@ -394,6 +464,7 @@ fn settle_warp(
                 panic: Some(panic_message(payload)),
                 trail,
                 faults,
+                tracer,
             }
         }
     }
@@ -406,6 +477,7 @@ fn dead_warp() -> WarpOut {
         panic: Some("warp thread died outside the panic guard".to_string()),
         trail: Vec::new(),
         faults: FaultCounts::default(),
+        tracer: None,
     }
 }
 
@@ -422,6 +494,7 @@ fn trivial_report(n: usize, warps: usize) -> ThreadedReport {
         residual_history: Vec::new(),
         last_progress: Vec::new(),
         injected_faults: None,
+        trace: None,
     }
 }
 
@@ -534,6 +607,18 @@ fn finish_report(
             _ => None,
         }
     };
+    // Merge the per-warp event streams after the breakdown trail is final,
+    // so the epilogue includes the host-appended Panic/Watchdog events.
+    let warp_traces: Vec<WarpTrace> = outs
+        .iter_mut()
+        .filter_map(|o| o.tracer.take())
+        .map(|t| t.finish())
+        .collect();
+    let trace = (!warp_traces.is_empty()).then(|| {
+        let mut tr = Trace::merge(warp_traces);
+        crate::report::append_breakdown_epilogue(&mut tr, &breakdowns);
+        tr
+    });
     ThreadedReport {
         x: x.iter()
             .map(|c| f64::from_bits(c.load(Ordering::Acquire)))
@@ -547,6 +632,7 @@ fn finish_report(
         residual_history,
         last_progress,
         injected_faults,
+        trace,
     }
 }
 
@@ -635,6 +721,34 @@ pub fn run_cg_threaded_full(
     watchdog: WatchdogPolicy,
     plan: &FaultPlan,
 ) -> ThreadedReport {
+    run_cg_threaded_traced(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        watchdog,
+        plan,
+        &TraceConfig::default(),
+    )
+}
+
+/// [`run_cg_threaded_full`] plus an event-trace switch: with
+/// `trace.enabled` each warp records into its own ring buffer
+/// ([`mf_trace::WarpTracer`]) and the merged stream lands in
+/// [`ThreadedReport::trace`]. A disabled config is bitwise inert.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cg_threaded_traced(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+) -> ThreadedReport {
+    let trace = *trace;
     let n = m.nrows;
     assert_eq!(b.len(), n);
     assert_eq!(m.nrows, m.ncols);
@@ -656,9 +770,8 @@ pub fn run_cg_threaded_full(
     // Shared vectors as atomic bit-cells: every element is written by
     // exactly one warp between barriers (x, r, p by the segment owner; u by
     // the segment owner during the gather).
-    let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
-        v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
-    };
+    let to_cells =
+        |v: &[f64]| -> Vec<AtomicU64> { v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect() };
     let x = to_cells(&vec![0.0; n]);
     let r = to_cells(b);
     let p = to_cells(b);
@@ -667,9 +780,7 @@ pub fn run_cg_threaded_full(
     // per-row partial of A·p here (Release) before bumping `d_s`; the
     // segment owner assembles rows from the slots in global tile order, so
     // the sum is identical for every warp count and schedule perturbation.
-    let scratch: Vec<AtomicU64> = (0..m.row_index.len())
-        .map(|_| AtomicU64::new(0))
-        .collect();
+    let scratch: Vec<AtomicU64> = (0..m.row_index.len()).map(|_| AtomicU64::new(0)).collect();
 
     // Dependency counters (monotone epochs).
     let ds_init: Vec<i64> = {
@@ -721,11 +832,15 @@ pub fn run_cg_threaded_full(
             let plan = &*plan;
             handles.push(scope.spawn(move |_| {
                 let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let tracer = trace
+                    .enabled
+                    .then(|| WarpTracer::new(w, trace.capacity_per_warp));
                 let sync = WarpSync {
                     poison,
                     deadline,
                     heartbeat: hb,
                     faults: wf.as_ref(),
+                    tracer: tracer.as_ref(),
                     warp: w,
                 };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
@@ -772,9 +887,7 @@ pub fn run_cg_threaded_full(
                             #[allow(clippy::needless_range_loop)]
                             for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
                                 let mut sum = 0.0;
-                                for k in
-                                    m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
-                                {
+                                for k in m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize {
                                     sum += vals[k - nnz_base]
                                         * ld(&p[base_col + m.csr_colidx[k] as usize]);
                                 }
@@ -858,8 +971,7 @@ pub fn run_cg_threaded_full(
                             // repeat from the same state is a fixed point —
                             // abort instead of spinning (see crate::config).
                             let abort_nonfinite = !rr_restart.is_finite();
-                            let abort_stalled =
-                                consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let abort_stalled = consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
                             let action = if abort_nonfinite || abort_stalled {
                                 RecoveryAction::Aborted
                             } else {
@@ -874,8 +986,7 @@ pub fn run_cg_threaded_full(
                                 iterations_done.store(j + 1, Ordering::Release);
                                 let relres = rr_restart.max(0.0).sqrt() / norm_b;
                                 if relres.is_finite() {
-                                    final_relres_bits
-                                        .store(relres.to_bits(), Ordering::Release);
+                                    final_relres_bits.store(relres.to_bits(), Ordering::Release);
                                 }
                                 if abort_nonfinite {
                                     failure_cell.set(FAIL_NONFINITE, j);
@@ -953,7 +1064,7 @@ pub fn run_cg_threaded_full(
                     Ok(())
                 }));
                 let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
-                settle_warp(body, poison, events, trail, faults)
+                settle_warp(body, poison, events, trail, faults, tracer)
             }));
         }
         handles
@@ -1039,6 +1150,32 @@ pub fn run_bicgstab_threaded_full(
     watchdog: WatchdogPolicy,
     plan: &FaultPlan,
 ) -> ThreadedReport {
+    run_bicgstab_threaded_traced(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        watchdog,
+        plan,
+        &TraceConfig::default(),
+    )
+}
+
+/// [`run_bicgstab_threaded_full`] plus an event-trace switch; see
+/// [`run_cg_threaded_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_bicgstab_threaded_traced(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+) -> ThreadedReport {
+    let trace = *trace;
     let n = m.nrows;
     assert_eq!(b.len(), n);
     assert_eq!(m.nrows, m.ncols);
@@ -1057,9 +1194,8 @@ pub fn run_bicgstab_threaded_full(
         return trivial_report(n, warps);
     }
 
-    let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
-        v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
-    };
+    let to_cells =
+        |v: &[f64]| -> Vec<AtomicU64> { v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect() };
     let x = to_cells(&vec![0.0; n]);
     let r = to_cells(b);
     let p = to_cells(b);
@@ -1067,12 +1203,10 @@ pub fn run_bicgstab_threaded_full(
     let u = to_cells(&vec![0.0; n]); // µ = A p
     let th = to_cells(&vec![0.0; n]); // θ = A s
     let r0s: Vec<f64> = b.to_vec(); // shadow residual, immutable
-    // Per-tile-row-entry SpMV partials, shared by both SpMV epochs (the
-    // dot barrier after each gather separates a slot's reads from its next
-    // writes); see [`run_cg_threaded_full`].
-    let scratch: Vec<AtomicU64> = (0..m.row_index.len())
-        .map(|_| AtomicU64::new(0))
-        .collect();
+                                    // Per-tile-row-entry SpMV partials, shared by both SpMV epochs (the
+                                    // dot barrier after each gather separates a slot's reads from its next
+                                    // writes); see [`run_cg_threaded_full`].
+    let scratch: Vec<AtomicU64> = (0..m.row_index.len()).map(|_| AtomicU64::new(0)).collect();
 
     let ds_init: Vec<i64> = {
         let mut c = vec![0i64; m.tile_rows];
@@ -1085,7 +1219,7 @@ pub fn run_bicgstab_threaded_full(
     let d_d = AtomicI64::new(0); // three dot barriers per iteration
     let d_b = AtomicI64::new(0); // s-ready barrier
     let d_a = AtomicI64::new(0); // end-of-iteration barrier
-    // Per-segment single-writer dot partials, one array per dot site.
+                                 // Per-segment single-writer dot partials, one array per dot site.
     let mk_seg = || -> Vec<AtomicU64> { (0..segments).map(|_| AtomicU64::new(0)).collect() };
     let seg_denom = mk_seg();
     let seg_ts = mk_seg();
@@ -1125,11 +1259,15 @@ pub fn run_bicgstab_threaded_full(
             let plan = &*plan;
             handles.push(scope.spawn(move |_| {
                 let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let tracer = trace
+                    .enabled
+                    .then(|| WarpTracer::new(w, trace.capacity_per_warp));
                 let sync = WarpSync {
                     poison,
                     deadline,
                     heartbeat: hb,
                     faults: wf.as_ref(),
+                    tracer: tracer.as_ref(),
                     warp: w,
                 };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
@@ -1168,9 +1306,7 @@ pub fn run_bicgstab_threaded_full(
                             #[allow(clippy::needless_range_loop)]
                             for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
                                 let mut sum = 0.0;
-                                for k in
-                                    m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
-                                {
+                                for k in m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize {
                                     sum += vals[k - nnz_base]
                                         * ld(&input[base_col + m.csr_colidx[k] as usize]);
                                 }
@@ -1235,8 +1371,7 @@ pub fn run_bicgstab_threaded_full(
                             };
                             // Stand-in for the skipped second SpMV epoch.
                             for i in my_tiles.clone() {
-                                d_s[m.tile_rowidx[i] as usize]
-                                    .fetch_add(1, Ordering::AcqRel);
+                                d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
                             }
                             d_b.fetch_add(1, Ordering::AcqRel);
                             sync.spin_until(d_b, warps_i * (j + 1))?;
@@ -1277,10 +1412,8 @@ pub fn run_bicgstab_threaded_full(
                             sync.spin_until(d_a, warps_i * (j + 1))?;
 
                             consecutive_restarts += 1;
-                            let abort_nonfinite =
-                                !rho_restart.is_finite() || !rr.is_finite();
-                            let abort_stalled =
-                                consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let abort_nonfinite = !rho_restart.is_finite() || !rr.is_finite();
+                            let abort_stalled = consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
                             let action = if abort_nonfinite || abort_stalled {
                                 RecoveryAction::Aborted
                             } else {
@@ -1295,8 +1428,7 @@ pub fn run_bicgstab_threaded_full(
                                 iterations_done.store(j + 1, Ordering::Release);
                                 let relres = rr.max(0.0).sqrt() / norm_b;
                                 if relres.is_finite() {
-                                    final_relres_bits
-                                        .store(relres.to_bits(), Ordering::Release);
+                                    final_relres_bits.store(relres.to_bits(), Ordering::Release);
                                 }
                                 if abort_nonfinite {
                                     failure_cell.set(FAIL_NONFINITE, j);
@@ -1342,7 +1474,11 @@ pub fn run_bicgstab_threaded_full(
                         d_d.fetch_add(1, Ordering::AcqRel);
                         sync.spin_until(d_d, warps_i * (3 * j + 2))?;
                         let tt = seg_total(seg_tt);
-                        let omega = if tt > 0.0 { seg_total(seg_ts) / tt } else { 0.0 };
+                        let omega = if tt > 0.0 {
+                            seg_total(seg_ts) / tt
+                        } else {
+                            0.0
+                        };
 
                         // ---- x += αp + ωs; r = s − ωθ; ρ' and ‖r‖² partials.
                         sync.step(j, 3)?;
@@ -1350,10 +1486,7 @@ pub fn run_bicgstab_threaded_full(
                             let mut prho = 0.0;
                             let mut prr = 0.0;
                             for e in elems(sg) {
-                                st(
-                                    &x[e],
-                                    ld(&x[e]) + alpha * ld(&p[e]) + omega * ld(&sv[e]),
-                                );
+                                st(&x[e], ld(&x[e]) + alpha * ld(&p[e]) + omega * ld(&sv[e]));
                                 let rv = ld(&sv[e]) - omega * ld(&th[e]);
                                 st(&r[e], rv);
                                 prho += rv * r0s[e];
@@ -1388,9 +1521,8 @@ pub fn run_bicgstab_threaded_full(
                         // ---- p = r + β(p − ωµ).
                         sync.step(j, 4)?;
                         let beta = (rho_new / rho) * (alpha / omega);
-                        let restart = !beta.is_finite()
-                            || omega == 0.0
-                            || rho_new.abs() < f64::MIN_POSITIVE;
+                        let restart =
+                            !beta.is_finite() || omega == 0.0 || rho_new.abs() < f64::MIN_POSITIVE;
                         for sg in my_segs.clone() {
                             for e in elems(sg) {
                                 let pv = if restart {
@@ -1441,7 +1573,7 @@ pub fn run_bicgstab_threaded_full(
                     Ok(())
                 }));
                 let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
-                settle_warp(body, poison, events, trail, faults)
+                settle_warp(body, poison, events, trail, faults, tracer)
             }));
         }
         handles
@@ -1502,6 +1634,7 @@ fn warp_sptrsv_lower(
     epoch: i64,
     sync: WarpSync<'_>,
 ) -> Result<(), i64> {
+    let polls0 = sync.tracer.map(|t| t.polls()).unwrap_or(0);
     for r in rows.clone() {
         let mut sum = 0.0;
         let mut diag = if unit_diag { 1.0 } else { 0.0 };
@@ -1513,7 +1646,7 @@ fn warp_sptrsv_lower(
                 continue;
             }
             if !(rows.start <= c && c < r) {
-                sync.spin_until(deps.counter(c), epoch)?;
+                sync.spin_until_row(deps.counter(c), epoch)?;
             }
             sum += v * f64::from_bits(out[c].load(Ordering::Acquire));
         }
@@ -1521,6 +1654,13 @@ fn warp_sptrsv_lower(
         out[r].store(xr.to_bits(), Ordering::Release);
         deps.complete(r);
         sync.pulse();
+    }
+    if let Some(t) = sync.tracer {
+        t.record(
+            EventKind::RowWait,
+            (rows.end - rows.start) as u64,
+            t.polls() - polls0,
+        );
     }
     Ok(())
 }
@@ -1538,6 +1678,7 @@ fn warp_sptrsv_upper(
     epoch: i64,
     sync: WarpSync<'_>,
 ) -> Result<(), i64> {
+    let polls0 = sync.tracer.map(|t| t.polls()).unwrap_or(0);
     for r in rows.clone().rev() {
         let mut sum = 0.0;
         let mut diag = if unit_diag { 1.0 } else { 0.0 };
@@ -1549,7 +1690,7 @@ fn warp_sptrsv_upper(
                 continue;
             }
             if !(r < c && c < rows.end) {
-                sync.spin_until(deps.counter(c), epoch)?;
+                sync.spin_until_row(deps.counter(c), epoch)?;
             }
             sum += v * f64::from_bits(out[c].load(Ordering::Acquire));
         }
@@ -1557,6 +1698,13 @@ fn warp_sptrsv_upper(
         out[r].store(xr.to_bits(), Ordering::Release);
         deps.complete(r);
         sync.pulse();
+    }
+    if let Some(t) = sync.tracer {
+        t.record(
+            EventKind::RowWait,
+            (rows.end - rows.start) as u64,
+            t.polls() - polls0,
+        );
     }
     Ok(())
 }
@@ -1634,6 +1782,36 @@ pub fn run_ilu_sptrsv_threaded_full(
     watchdog: WatchdogPolicy,
     plan: &FaultPlan,
 ) -> ThreadedReport {
+    run_ilu_sptrsv_threaded_traced(
+        l,
+        u,
+        b,
+        unit_lower,
+        unit_upper,
+        seg,
+        max_warps,
+        watchdog,
+        plan,
+        &TraceConfig::default(),
+    )
+}
+
+/// [`run_ilu_sptrsv_threaded_full`] plus an event-trace switch; see
+/// [`run_cg_threaded_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_ilu_sptrsv_threaded_traced(
+    l: &Csr,
+    u: &Csr,
+    b: &[f64],
+    unit_lower: bool,
+    unit_upper: bool,
+    seg: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+) -> ThreadedReport {
+    let trace = *trace;
     let n = l.nrows;
     assert_eq!(l.nrows, l.ncols);
     assert_eq!(u.nrows, u.ncols);
@@ -1674,11 +1852,15 @@ pub fn run_ilu_sptrsv_threaded_full(
             let plan = &*plan;
             handles.push(scope.spawn(move |_| {
                 let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let tracer = trace
+                    .enabled
+                    .then(|| WarpTracer::new(w, trace.capacity_per_warp));
                 let sync = WarpSync {
                     poison,
                     deadline,
                     heartbeat: hb,
                     faults: wf.as_ref(),
+                    tracer: tracer.as_ref(),
                     warp: w,
                 };
                 let events: Vec<BreakdownEvent> = Vec::new();
@@ -1701,7 +1883,7 @@ pub fn run_ilu_sptrsv_threaded_full(
                     Ok(())
                 }));
                 let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
-                settle_warp(body, poison, events, trail, faults)
+                settle_warp(body, poison, events, trail, faults, tracer)
             }));
         }
         handles
@@ -1799,6 +1981,36 @@ pub fn run_pcg_threaded_full(
     watchdog: WatchdogPolicy,
     plan: &FaultPlan,
 ) -> ThreadedReport {
+    run_pcg_threaded_traced(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        watchdog,
+        plan,
+        &TraceConfig::default(),
+    )
+}
+
+/// [`run_pcg_threaded_full`] plus an event-trace switch; see
+/// [`run_cg_threaded_traced`]. The in-kernel SpTRSV passes contribute one
+/// aggregate `RowWait` event each (rows solved + spin polls burned on
+/// row dependencies), not per-row events.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_threaded_traced(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+) -> ThreadedReport {
+    let trace = *trace;
     let n = m.nrows;
     assert_eq!(b.len(), n);
     assert_eq!(m.nrows, m.ncols);
@@ -1817,9 +2029,8 @@ pub fn run_pcg_threaded_full(
         return trivial_report(n, warps);
     }
 
-    let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
-        v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
-    };
+    let to_cells =
+        |v: &[f64]| -> Vec<AtomicU64> { v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect() };
     let zeros = vec![0.0; n];
     let x = to_cells(&zeros);
     let r = to_cells(b);
@@ -1867,11 +2078,15 @@ pub fn run_pcg_threaded_full(
             let plan = &*plan;
             handles.push(scope.spawn(move |_| {
                 let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let tracer = trace
+                    .enabled
+                    .then(|| WarpTracer::new(w, trace.capacity_per_warp));
                 let sync = WarpSync {
                     poison,
                     deadline,
                     heartbeat: hb,
                     faults: wf.as_ref(),
+                    tracer: tracer.as_ref(),
                     warp: w,
                 };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
@@ -1994,8 +2209,7 @@ pub fn run_pcg_threaded_full(
                             rz = rz_restart;
                             consecutive_restarts += 1;
                             let abort_nonfinite = !rz_restart.is_finite();
-                            let abort_stalled =
-                                consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let abort_stalled = consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
                             let action = if abort_nonfinite || abort_stalled {
                                 RecoveryAction::Aborted
                             } else {
@@ -2119,7 +2333,7 @@ pub fn run_pcg_threaded_full(
                     Ok(())
                 }));
                 let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
-                settle_warp(body, poison, events, trail, faults)
+                settle_warp(body, poison, events, trail, faults, tracer)
             }));
         }
         handles
@@ -2207,6 +2421,34 @@ pub fn run_pbicgstab_threaded_full(
     watchdog: WatchdogPolicy,
     plan: &FaultPlan,
 ) -> ThreadedReport {
+    run_pbicgstab_threaded_traced(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        watchdog,
+        plan,
+        &TraceConfig::default(),
+    )
+}
+
+/// [`run_pbicgstab_threaded_full`] plus an event-trace switch; see
+/// [`run_pcg_threaded_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pbicgstab_threaded_traced(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+) -> ThreadedReport {
+    let trace = *trace;
     let n = m.nrows;
     assert_eq!(b.len(), n);
     assert_eq!(m.nrows, m.ncols);
@@ -2225,9 +2467,8 @@ pub fn run_pbicgstab_threaded_full(
         return trivial_report(n, warps);
     }
 
-    let to_cells = |v: &[f64]| -> Vec<AtomicU64> {
-        v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect()
-    };
+    let to_cells =
+        |v: &[f64]| -> Vec<AtomicU64> { v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect() };
     let zeros = vec![0.0; n];
     let x = to_cells(&zeros);
     let r = to_cells(b);
@@ -2266,8 +2507,7 @@ pub fn run_pbicgstab_threaded_full(
     let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(warps);
         for w in 0..warps {
-            let (x, r, p, phat, v, sv, shat, tv, y) =
-                (&x, &r, &p, &phat, &v, &sv, &shat, &tv, &y);
+            let (x, r, p, phat, v, sv, shat, tv, y) = (&x, &r, &p, &phat, &v, &sv, &shat, &tv, &y);
             let (fwd, bwd, bar) = (&fwd, &bwd, &bar);
             let (seg_denom, seg_ts, seg_tt) = (&seg_denom, &seg_ts, &seg_tt);
             let (seg_rho, seg_rr, seg_rho_bd, seg_rr_bd) =
@@ -2281,11 +2521,15 @@ pub fn run_pbicgstab_threaded_full(
             let plan = &*plan;
             handles.push(scope.spawn(move |_| {
                 let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let tracer = trace
+                    .enabled
+                    .then(|| WarpTracer::new(w, trace.capacity_per_warp));
                 let sync = WarpSync {
                     poison,
                     deadline,
                     heartbeat: hb,
                     faults: wf.as_ref(),
+                    tracer: tracer.as_ref(),
                     warp: w,
                 };
                 let mut events: Vec<BreakdownEvent> = Vec::new();
@@ -2419,10 +2663,8 @@ pub fn run_pbicgstab_threaded_full(
                             }
                             rho = rho_restart;
                             consecutive_restarts += 1;
-                            let abort_nonfinite =
-                                !rho_restart.is_finite() || !rrv.is_finite();
-                            let abort_stalled =
-                                consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let abort_nonfinite = !rho_restart.is_finite() || !rrv.is_finite();
+                            let abort_stalled = consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
                             let action = if abort_nonfinite || abort_stalled {
                                 RecoveryAction::Aborted
                             } else {
@@ -2437,8 +2679,7 @@ pub fn run_pbicgstab_threaded_full(
                                 iterations_done.store(j + 1, Ordering::Release);
                                 let relres = rrv.max(0.0).sqrt() / norm_b;
                                 if relres.is_finite() {
-                                    final_relres_bits
-                                        .store(relres.to_bits(), Ordering::Release);
+                                    final_relres_bits.store(relres.to_bits(), Ordering::Release);
                                 }
                                 if abort_nonfinite {
                                     failure_cell.set(FAIL_NONFINITE, j);
@@ -2498,7 +2739,11 @@ pub fn run_pbicgstab_threaded_full(
                         }
                         barrier()?;
                         let tt = seg_total(seg_tt);
-                        let omega = if tt > 0.0 { seg_total(seg_ts) / tt } else { 0.0 };
+                        let omega = if tt > 0.0 {
+                            seg_total(seg_ts) / tt
+                        } else {
+                            0.0
+                        };
 
                         // ---- x += αp̂ + ωŝ; r = s − ωt; ρ', ‖r‖² partials.
                         sync.step(j, 4)?;
@@ -2539,9 +2784,8 @@ pub fn run_pbicgstab_threaded_full(
 
                         // ---- p = r + β(p − ωv) (or restart p = r).
                         let beta = (rho_new / rho) * (alpha / omega);
-                        let restart = !beta.is_finite()
-                            || omega == 0.0
-                            || rho_new.abs() < f64::MIN_POSITIVE;
+                        let restart =
+                            !beta.is_finite() || omega == 0.0 || rho_new.abs() < f64::MIN_POSITIVE;
                         for s in my_segs.clone() {
                             for e in elems(s) {
                                 let pv = if restart {
@@ -2585,7 +2829,7 @@ pub fn run_pbicgstab_threaded_full(
                     Ok(())
                 }));
                 let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
-                settle_warp(body, poison, events, trail, faults)
+                settle_warp(body, poison, events, trail, faults, tracer)
             }));
         }
         handles
@@ -2644,8 +2888,15 @@ mod tests {
         let m = tiled(&a);
         let mut b = vec![0.0; 96];
         a.matvec(&vec![1.0; 96], &mut b);
-        let clean =
-            run_cg_threaded_full(&m, &b, 1e-10, 1000, 3, WatchdogPolicy::default(), &FaultPlan::default());
+        let clean = run_cg_threaded_full(
+            &m,
+            &b,
+            1e-10,
+            1000,
+            3,
+            WatchdogPolicy::default(),
+            &FaultPlan::default(),
+        );
         assert!(clean.converged);
         assert!(clean.injected_faults.is_none(), "empty plan → no telemetry");
         assert_eq!(clean.last_progress.len(), clean.warps);
@@ -2952,8 +3203,7 @@ mod tests {
             (run_cg_threaded_watchdog as Engine, "cg"),
             (run_bicgstab_threaded_watchdog as Engine, "bicgstab"),
         ] {
-            let rep: ThreadedReport =
-                engine(&m, &b, 1e-10, 1000, 4, Some(Duration::ZERO));
+            let rep: ThreadedReport = engine(&m, &b, 1e-10, 1000, 4, Some(Duration::ZERO));
             assert!(!rep.converged, "{name}");
             assert_eq!(rep.iterations, 0, "{name}");
             assert!(
@@ -3181,7 +3431,12 @@ mod tests {
         for (name, a, b_val, must_fail) in [
             ("indefinite", &indefinite, 1.0, &["cg"][..]),
             ("singular", &singular, 1.0, &[][..]),
-            ("badly_scaled", &badly_scaled, 1e200, &["cg", "bicgstab"][..]),
+            (
+                "badly_scaled",
+                &badly_scaled,
+                1e200,
+                &["cg", "bicgstab"][..],
+            ),
         ] {
             let m = tiled(a);
             let b = vec![b_val; n];

@@ -218,7 +218,13 @@ mod tests {
         // [ 0 3 0 ]
         // [ 4 0 5 ]
         let mut a = Coo::new(3, 3);
-        for &(r, c, v) in &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 2.0),
+            (0, 2, 1.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             a.push(r, c, v);
         }
         a.to_csr()

@@ -50,11 +50,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
         "general" => MmSymmetry::General,
         "symmetric" => MmSymmetry::Symmetric,
         "skew-symmetric" => MmSymmetry::SkewSymmetric,
-        other => {
-            return Err(SparseError::Parse(format!(
-                "unsupported symmetry {other}"
-            )))
-        }
+        other => return Err(SparseError::Parse(format!("unsupported symmetry {other}"))),
     };
 
     // Skip comments, find the size line.

@@ -24,7 +24,7 @@
 
 use crate::coo::Coo;
 use crate::csr::Csr;
-use mf_precision::{classify_group, ClassifyOptions, PackedValuesBuilder, PackedValues, Precision};
+use mf_precision::{classify_group, ClassifyOptions, PackedValues, PackedValuesBuilder, Precision};
 
 /// The tile edge length used throughout the paper.
 pub const DEFAULT_TILE_SIZE: usize = 16;
@@ -373,7 +373,10 @@ impl TiledMatrix {
     /// in-place variant [`decode_tile_values`](Self::decode_tile_values)
     /// that `SharedTiles` uses to (re)fill its flat value arena.
     pub fn decode_tile_into(&self, i: usize, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), (self.tile_nnz[i + 1] - self.tile_nnz[i]) as usize);
+        debug_assert_eq!(
+            out.len(),
+            (self.tile_nnz[i + 1] - self.tile_nnz[i]) as usize
+        );
         self.vals
             .decode_run(self.val_offsets[i], self.tile_prec[i], out);
     }
@@ -467,10 +470,10 @@ impl TiledMatrix {
                 + 4 * t            // tile_colidx
                 + t                // tile_prec
                 + 4 * (t + 1)      // tile_nnz
-                + 4 * (t + 1),     // nonrow
+                + 4 * (t + 1), // nonrow
             low_level: 4 * (nr + 1) // csr_rowptr
                 + nr               // row_index
-                + self.nnz(),      // csr_colidx (u8)
+                + self.nnz(), // csr_colidx (u8)
             values: self.vals.len_bytes(),
         }
     }
@@ -658,7 +661,12 @@ mod tests {
         csr.matvec(&x, &mut y1);
         t.matvec(&x, &mut y2);
         for i in 0..8 {
-            assert!((y1[i] - y2[i]).abs() < 1e-12, "row {i}: {} vs {}", y1[i], y2[i]);
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-12,
+                "row {i}: {} vs {}",
+                y1[i],
+                y2[i]
+            );
         }
     }
 
@@ -784,7 +792,9 @@ mod tests {
         let mut a = Coo::new(n, n);
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..600 {
@@ -798,10 +808,7 @@ mod tests {
         let t = TiledMatrix::from_csr(&csr);
         assert_eq!(t.to_csr(), csr);
         // Histograms are consistent.
-        assert_eq!(
-            t.nnz_precision_histogram().iter().sum::<usize>(),
-            csr.nnz()
-        );
+        assert_eq!(t.nnz_precision_histogram().iter().sum::<usize>(), csr.nnz());
         assert_eq!(
             t.tile_precision_histogram().iter().sum::<usize>(),
             t.tile_count()

@@ -9,16 +9,14 @@ use proptest::prelude::*;
 /// so format round-trips are bit-exact.
 fn exact_coo(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
     (1..max_n, 1..max_n).prop_flat_map(move |(nr, nc)| {
-        prop::collection::vec((0..nr, 0..nc, -128i32..=128), 0..max_nnz).prop_map(
-            move |entries| {
-                let mut a = Coo::new(nr, nc);
-                for (r, c, v) in entries {
-                    a.push(r, c, v as f64 / 8.0);
-                }
-                a.compact();
-                a
-            },
-        )
+        prop::collection::vec((0..nr, 0..nc, -128i32..=128), 0..max_nnz).prop_map(move |entries| {
+            let mut a = Coo::new(nr, nc);
+            for (r, c, v) in entries {
+                a.push(r, c, v as f64 / 8.0);
+            }
+            a.compact();
+            a
+        })
     })
 }
 

@@ -20,7 +20,9 @@ fn main() {
     // --- Plain CG vs ILU(0)-preconditioned CG.
     let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
     let cg = solver.solve_cg(&a, &b);
-    let pcg = solver.solve_pcg(&a, &b).expect("stencil ILU(0) cannot break down");
+    let pcg = solver
+        .solve_pcg(&a, &b)
+        .expect("stencil ILU(0) cannot break down");
     println!(
         "CG : {:>4} iterations, {:>10.1} µs, relres {:.2e} [{:?}]",
         cg.iterations,
@@ -37,16 +39,18 @@ fn main() {
     assert!(pcg.iterations < cg.iterations, "ILU(0) must cut iterations");
 
     // Solutions agree.
-    let diff = cg
-        .x
-        .iter()
-        .zip(&pcg.x)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let diff =
+        cg.x.iter()
+            .zip(&pcg.x)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
     println!("max |x_cg - x_pcg| = {diff:.2e}\n");
 
     // --- Configuration sweep on CG.
-    println!("{:<42} {:>6} {:>12} {:>10}", "configuration", "iters", "solve µs", "relres");
+    println!(
+        "{:<42} {:>6} {:>12} {:>10}",
+        "configuration", "iters", "solve µs", "relres"
+    );
     let configs: Vec<(&str, DeviceSpec, SolverConfig)> = vec![
         (
             "A100, mixed + partial (paper default)",
@@ -61,7 +65,11 @@ fn main() {
                 ..SolverConfig::default()
             },
         ),
-        ("A100, FP64 only", DeviceSpec::a100(), SolverConfig::fp64_only()),
+        (
+            "A100, FP64 only",
+            DeviceSpec::a100(),
+            SolverConfig::fp64_only(),
+        ),
         (
             "A100, forced multi-kernel",
             DeviceSpec::a100(),

@@ -65,8 +65,14 @@ fn main() {
     let a = mille_feuille::collection::decoupled_blocks_with(160, 64, 0.3, 2.0, 21);
     let mut b = vec![0.0; a.nrows];
     a.matvec(&vec![1.0; a.ncols], &mut b);
-    println!("\nsecond system (decoupled blocks): n = {}, nnz = {}", a.nrows, a.nnz());
-    println!("\npartial-convergence safety factor sweep (default 0.1; 1.0 = paper's exact ladder):");
+    println!(
+        "\nsecond system (decoupled blocks): n = {}, nnz = {}",
+        a.nrows,
+        a.nnz()
+    );
+    println!(
+        "\npartial-convergence safety factor sweep (default 0.1; 1.0 = paper's exact ladder):"
+    );
     println!(
         "{:>8} | {:>6} | {:>8} | {:>10}",
         "safety", "iters", "bypass%", "solve µs"
@@ -80,7 +86,11 @@ fn main() {
         let rep = MilleFeuille::new(DeviceSpec::a100(), cfg).solve_cg(&a, &b);
         println!(
             "{:>8} | {:>6} | {:>8.2} | {:>10.1}{}",
-            if safety == 0.0 { "off".to_string() } else { format!("{safety}") },
+            if safety == 0.0 {
+                "off".to_string()
+            } else {
+                format!("{safety}")
+            },
             rep.iterations,
             100.0 * rep.bypass_fraction(),
             rep.solve_us(),

@@ -22,10 +22,20 @@ fn main() {
     let report = solver.solve_cg(&a, &b);
 
     println!("system:        n = {}, nnz = {}", a.nrows, a.nnz());
-    println!("converged:     {} ({} iterations)", report.converged, report.iterations);
+    println!(
+        "converged:     {} ({} iterations)",
+        report.converged, report.iterations
+    );
     println!("rel. residual: {:.3e}", report.final_relres);
-    println!("mode:          {:?} with {} warps", report.mode, report.warp_count);
-    println!("modeled time:  {:.1} µs solve, {:.1} µs total", report.solve_us(), report.total_us());
+    println!(
+        "mode:          {:?} with {} warps",
+        report.mode, report.warp_count
+    );
+    println!(
+        "modeled time:  {:.1} µs solve, {:.1} µs total",
+        report.solve_us(),
+        report.total_us()
+    );
     println!("breakdown:     {}", report.timeline);
     println!(
         "precision:     {:.1}% of SpMV work below FP64, {:.1}% bypassed",

@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# Smoke-run the host SpMV scaling bench and record the perf trajectory:
-# writes bench_out/spmv_scaling.csv and BENCH_spmv.json at the repo root.
+# Smoke-run the perf-trajectory benches: the host SpMV scaling bench
+# (bench_out/spmv_scaling.csv + BENCH_spmv.json) and the trace-timeline
+# bench with its recording-overhead gate (bench_out/fig_trace_timeline.csv
+# + BENCH_trace.json; *fails* when tracing costs more than the gate).
 #
-# Knobs (see crates/bench/src/bin/spmv_scaling.rs):
-#   MF_SPMV_GRID     Poisson grid side (default 320 -> 102,400 rows)
-#   MF_SPMV_REPS     timed reps per thread count (default 20)
-#   MF_SPMV_THREADS  comma list of thread counts (default 1,2,4,8)
+# Knobs (see crates/bench/src/bin/{spmv_scaling,fig_trace_timeline}.rs):
+#   MF_SPMV_GRID      Poisson grid side (default 320 -> 102,400 rows)
+#   MF_SPMV_REPS      timed reps per thread count (default 20)
+#   MF_SPMV_THREADS   comma list of thread counts (default 1,2,4,8)
+#   MF_TRACE_GRID     Poisson grid side for the trace bench (default 320)
+#   MF_TRACE_ITERS    fixed iteration count (default 25)
+#   MF_TRACE_REPS     timed reps per config (default 3)
+#   MF_TRACE_GATE_PCT overhead gate in percent (default 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --locked --offline -p mf-bench --bin spmv_scaling
+cargo build --release --locked --offline -p mf-bench \
+    --bin spmv_scaling --bin fig_trace_timeline
 ./target/release/spmv_scaling
+./target/release/fig_trace_timeline --trace-dir bench_out/traces

@@ -1,16 +1,37 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build, test, lint — all offline (the workspace vendors
-# every external crate under vendor/).
+# Tier-1 CI gate: format, build, test, lint — all offline (the workspace
+# vendors every external crate under vendor/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --locked --offline --workspace
+# First-party packages only: the vendored stand-ins under vendor/ are
+# workspace members but keep their upstream formatting, so fmt (and any
+# other "our code" gate) must name packages instead of using --all.
+MF_PACKAGES=(
+    mille-feuille mf-baselines mf-bench mf-collection mf-gpu
+    mf-kernels mf-precision mf-solver mf-sparse mf-trace
+)
+FMT_ARGS=()
+for p in "${MF_PACKAGES[@]}"; do FMT_ARGS+=(-p "$p"); done
+cargo fmt "${FMT_ARGS[@]}" --check
+
+# Debug tier. Build everything (test binaries included) *before* the test
+# timeout starts: previously the debug test run cold-compiled the whole
+# workspace a second time inside its 600 s budget — right after the release
+# build below had already cold-compiled it once — so a slow compile could
+# eat the entire window and a genuine hang had almost no budget left to be
+# caught in. The hard kill now bounds test *execution* only.
+cargo build --locked --offline --workspace --all-targets
 # Hard timeout: the threaded engines are hang-proof by design (poison flag +
 # watchdog), so a wedged test run is a regression — kill it instead of letting
 # CI sit forever.
 timeout --signal=KILL 600 cargo test -q --locked --offline --workspace
-# Release tier: the cross-engine differential harness (threaded PCG/PBiCGSTAB
-# vs sequential references, bitwise) includes release-only deep sweeps that
+
+# Release tier: one release build (again with test binaries) serves every
+# release-only tier below.
+cargo build --release --locked --offline --workspace --all-targets
+# The cross-engine differential harness (threaded PCG/PBiCGSTAB vs
+# sequential references, bitwise) includes release-only deep sweeps that
 # are ignored in debug; run them optimized, again with a hard kill so a
 # wedged in-kernel SpTRSV fails fast instead of stalling CI.
 timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test threaded_parity

@@ -186,12 +186,23 @@ fn main() -> ExitCode {
     println!("method:        {method} on {}", solver.device.name);
     println!(
         "result:        {} after {} iterations (relres {:.3e})",
-        if report.converged { "converged" } else { "NOT converged" },
+        if report.converged {
+            "converged"
+        } else {
+            "NOT converged"
+        },
         report.iterations,
         report.final_relres
     );
-    println!("mode:          {:?}, {} warps", report.mode, report.warp_count);
-    println!("modeled time:  {:.1} µs ({})", report.total_us(), report.timeline);
+    println!(
+        "mode:          {:?}, {} warps",
+        report.mode, report.warp_count
+    );
+    println!(
+        "modeled time:  {:.1} µs ({})",
+        report.total_us(),
+        report.timeline
+    );
     println!(
         "precision:     {:.1}% of SpMV work below FP64, {:.1}% bypassed",
         100.0 * report.low_precision_fraction(),

@@ -12,6 +12,7 @@
 //! | [`gpu`] | device models (A100/MI210), roofline cost model, warp scheduling, dependency arrays |
 //! | [`kernels`] | SpMV (CSR/tiled/mixed), BLAS-1, SpTRSV, ILU(0)/IC(0) |
 //! | [`solver`] | the Mille-feuille CG/BiCGSTAB/PCG/PBiCGSTAB solver |
+//! | [`trace`] | deterministic event recorder: JSONL + Chrome `trace_event` exports |
 //! | [`baselines`] | cuSPARSE/hipSPARSE/PETSc/Ginkgo-like comparison solvers |
 //! | [`collection`] | synthetic SuiteSparse-style matrix collection |
 //!
@@ -40,6 +41,7 @@ pub use mf_kernels as kernels;
 pub use mf_precision as precision;
 pub use mf_solver as solver;
 pub use mf_sparse as sparse;
+pub use mf_trace as trace;
 
 /// The types most programs need.
 pub mod prelude {
@@ -52,4 +54,5 @@ pub mod prelude {
         ThreadedReport, WatchdogPolicy,
     };
     pub use mf_sparse::{Coo, Csr, TiledMatrix};
+    pub use mf_trace::{EventKind, Trace, TraceConfig, TraceEvent};
 }

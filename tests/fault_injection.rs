@@ -51,7 +51,13 @@ fn fixture() -> Fixture {
     }
 }
 
-fn run(f: &Fixture, engine: &str, warps: usize, wd: WatchdogPolicy, plan: &FaultPlan) -> ThreadedReport {
+fn run(
+    f: &Fixture,
+    engine: &str,
+    warps: usize,
+    wd: WatchdogPolicy,
+    plan: &FaultPlan,
+) -> ThreadedReport {
     let (tol, it) = (1e-10, 500);
     match engine {
         "cg" => run_cg_threaded_full(&f.tiled, &f.b, tol, it, warps, wd, plan),
@@ -113,7 +119,13 @@ fn benign_plans_are_bitwise_inert() {
     let f = fixture();
     for engine in ENGINES {
         for warps in WARPS {
-            let clean = run(&f, engine, warps, WatchdogPolicy::default(), &FaultPlan::default());
+            let clean = run(
+                &f,
+                engine,
+                warps,
+                WatchdogPolicy::default(),
+                &FaultPlan::default(),
+            );
             assert!(clean.converged, "{engine}/{warps}: clean run must converge");
             assert!(clean.injected_faults.is_none());
             for kind in FaultKind::ALL.into_iter().filter(|k| k.is_benign()) {
@@ -257,7 +269,13 @@ fn injection_smoke_all_engines() {
     let wd = WatchdogPolicy::Heartbeat(Duration::from_millis(100));
     let halt = FaultPlan::seeded(4).with_halt(None, 2);
     for engine in ENGINES {
-        let clean = run(&f, engine, 4, WatchdogPolicy::default(), &FaultPlan::default());
+        let clean = run(
+            &f,
+            engine,
+            4,
+            WatchdogPolicy::default(),
+            &FaultPlan::default(),
+        );
         let rep = run(&f, engine, 4, WatchdogPolicy::default(), &benign);
         assert_bitwise(&clean, &rep, engine);
         let rep = run(&f, engine, 4, wd, &halt);

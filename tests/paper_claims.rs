@@ -36,7 +36,11 @@ fn headline_speedup_band() {
         let mf = MilleFeuille::new(DeviceSpec::a100(), bench_cfg()).solve_cg(&a, &b);
         let base = Baseline::cusparse().solve_cg(&a, &b, &bench_cfg());
         let s = base.solve_us() / mf.solve_us();
-        assert!(s >= 1.0, "{}: Mille-feuille must never lose ({s:.3}x)", e.name);
+        assert!(
+            s >= 1.0,
+            "{}: Mille-feuille must never lose ({s:.3}x)",
+            e.name
+        );
         speedups.push(s.ln());
     }
     let geomean = (speedups.iter().sum::<f64>() / speedups.len() as f64).exp();
@@ -77,7 +81,10 @@ fn single_kernel_launches_once() {
         "expected exactly 3 launches, got {} µs of sync",
         rep.timeline.get(Phase::Sync)
     );
-    assert!(rep.timeline.get(Phase::Wait) > 0.0, "busy-wait must be charged");
+    assert!(
+        rep.timeline.get(Phase::Wait) > 0.0,
+        "busy-wait must be charged"
+    );
 }
 
 /// §III-C: the solver falls back to multi-kernel past ~1e6 nonzeros.
@@ -185,14 +192,20 @@ fn fig1_precision_characters() {
         .unwrap()
         .generate();
     let h = classification_histogram(&garon2.vals, &opts);
-    assert!(h[2] + h[3] > garon2.nnz() * 9 / 10, "garon2 low-precision: {h:?}");
+    assert!(
+        h[2] + h[3] > garon2.nnz() * 9 / 10,
+        "garon2 low-precision: {h:?}"
+    );
 
     let asic = mille_feuille::collection::named_matrix("ASIC_320k")
         .unwrap()
         .generate();
     let h = classification_histogram(&asic.vals, &opts);
     assert!(h[3] > asic.nnz() / 2, "ASIC FP8 majority: {h:?}");
-    assert!(h[0] > asic.nnz() / 20, "ASIC FP64 interconnect share: {h:?}");
+    assert!(
+        h[0] > asic.nnz() / 20,
+        "ASIC FP64 interconnect share: {h:?}"
+    );
 }
 
 /// PETSc/Ginkgo/cuSPARSE ordering (Fig. 9): on the same matrix, the modeled
@@ -201,7 +214,9 @@ fn fig1_precision_characters() {
 fn library_overhead_ordering() {
     let a = gen::poisson2d(30, 30);
     let b = rhs(&a);
-    let cu = Baseline::cusparse().solve_cg(&a, &b, &bench_cfg()).solve_us();
+    let cu = Baseline::cusparse()
+        .solve_cg(&a, &b, &bench_cfg())
+        .solve_us();
     let gk = Baseline::ginkgo().solve_cg(&a, &b, &bench_cfg()).solve_us();
     let pe = Baseline::petsc().solve_cg(&a, &b, &bench_cfg()).solve_us();
     assert!(pe > gk && gk > cu, "petsc {pe}, ginkgo {gk}, cusparse {cu}");

@@ -193,7 +193,9 @@ fn factorization_fallback_boosts_diagonal() {
         .any(|e| e.kind == BreakdownKind::FactorShift));
 
     // Unrepairable: no diagonal shift fixes a rectangular matrix …
-    assert!(solver.solve_pcg(&Coo::new(2, 3).to_csr(), &[1.0; 2]).is_err());
+    assert!(solver
+        .solve_pcg(&Coo::new(2, 3).to_csr(), &[1.0; 2])
+        .is_err());
     // … and the bounded schedule never Cholesky-factors an indefinite
     // matrix (eigenvalue −1 would need a shift > 1 ≫ 8·10⁻³·max|a_ii|).
     let mut indef = Coo::new(2, 2);

@@ -33,7 +33,10 @@ fn cg_matches_oracle_on_spd_families() {
     let cases: Vec<(&str, Csr)> = vec![
         ("poisson2d", gen::poisson2d(12, 11)),
         ("poisson3d", gen::poisson3d(5, 5, 5)),
-        ("banded_int", gen::banded_spd(120, 3, ValueClass::Integer, 1)),
+        (
+            "banded_int",
+            gen::banded_spd(120, 3, ValueClass::Integer, 1),
+        ),
         ("banded_real", gen::banded_spd(120, 4, ValueClass::Real, 2)),
         ("random_spd", gen::random_spd(100, 5, ValueClass::Real, 3)),
         ("mass", gen::mass_matrix(90, ValueClass::Real, 4)),
@@ -42,7 +45,11 @@ fn cg_matches_oracle_on_spd_families() {
     let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
     for (label, a) in cases {
         let rep = solver.solve_cg(&a, &rhs(&a));
-        assert!(rep.converged, "{label} did not converge: {}", rep.final_relres);
+        assert!(
+            rep.converged,
+            "{label} did not converge: {}",
+            rep.final_relres
+        );
         check_against_oracle(&a, &rep.x, 1e-6, label);
     }
 }
@@ -69,7 +76,11 @@ fn bicgstab_matches_oracle_on_nonsym_families() {
     let solver = MilleFeuille::with_defaults(DeviceSpec::mi210());
     for (label, a) in cases {
         let rep = solver.solve_bicgstab(&a, &rhs(&a));
-        assert!(rep.converged, "{label} did not converge: {}", rep.final_relres);
+        assert!(
+            rep.converged,
+            "{label} did not converge: {}",
+            rep.final_relres
+        );
         check_against_oracle(&a, &rep.x, 1e-5, label);
     }
 }

@@ -11,9 +11,7 @@
 
 mod common;
 
-use common::{
-    assert_matches_oracle, paper_rhs, reference_pbicgstab, reference_pcg, RefReport,
-};
+use common::{assert_matches_oracle, paper_rhs, reference_pbicgstab, reference_pcg, RefReport};
 use mille_feuille::collection as gen;
 use mille_feuille::collection::ValueClass;
 use mille_feuille::kernels::ilu0;
@@ -34,8 +32,14 @@ fn tilings(a: &Csr, ts: usize) -> Vec<(&'static str, TiledMatrix)> {
             "mixed",
             TiledMatrix::from_csr_with(a, ts, &ClassifyOptions::default()),
         ),
-        ("fp64", TiledMatrix::from_csr_uniform(a, ts, Precision::Fp64)),
-        ("fp32", TiledMatrix::from_csr_uniform(a, ts, Precision::Fp32)),
+        (
+            "fp64",
+            TiledMatrix::from_csr_uniform(a, ts, Precision::Fp64),
+        ),
+        (
+            "fp32",
+            TiledMatrix::from_csr_uniform(a, ts, Precision::Fp32),
+        ),
     ]
 }
 
@@ -165,7 +169,11 @@ fn pcg_grid_bitwise_under_seeded_perturbation() {
                     WatchdogPolicy::default(),
                     &plan,
                 );
-                assert_parity(&format!("pcg+{plan} {mname}/{pname}/w{wc}"), &rep, &reference);
+                assert_parity(
+                    &format!("pcg+{plan} {mname}/{pname}/w{wc}"),
+                    &rep,
+                    &reference,
+                );
                 assert!(
                     rep.injected_faults.is_some(),
                     "{mname}/{pname}/w{wc}: telemetry missing"
@@ -284,7 +292,10 @@ fn pcg_breakdown_parity_with_reference() {
     let m = TiledMatrix::from_csr_uniform(&a, 8, Precision::Fp64);
 
     let reference = reference_pcg(&m, &ilu, &b, 1e-10, 100);
-    assert!(reference.failed, "reference should abort on stalled restarts");
+    assert!(
+        reference.failed,
+        "reference should abort on stalled restarts"
+    );
     assert!(!reference.converged);
 
     for wc in [1usize, 2, 3] {
@@ -329,7 +340,9 @@ fn facade_threaded_solves_match_oracle() {
     assert!(pcg.converged, "facade PCG: {}", pcg.status_label());
     assert_matches_oracle(&a, &b, &pcg.x, 1e-5, "facade pcg");
 
-    let bi = solver.solve_pbicgstab_threaded(&a, &b, 3).expect("factorable");
+    let bi = solver
+        .solve_pbicgstab_threaded(&a, &b, 3)
+        .expect("factorable");
     assert!(bi.converged, "facade PBiCGSTAB: {}", bi.status_label());
     assert_matches_oracle(&a, &b, &bi.x, 1e-5, "facade pbicgstab");
 }
@@ -364,7 +377,10 @@ fn corrupted_factors_fail_structured_never_hang() {
     );
     assert_eq!(rep.status_label(), "aborted(watchdog)");
     assert!(!rep.converged);
-    assert!(t0.elapsed() < budget, "wedge was not bounded by the watchdog");
+    assert!(
+        t0.elapsed() < budget,
+        "wedge was not bounded by the watchdog"
+    );
 
     // Same cycle through the standalone SpTRSV runner.
     let good = ilu0(&a).unwrap();
