@@ -8,7 +8,7 @@
 //! 2.89× faster; pores_1: same 43 iterations, 5.83× faster).
 
 use mf_baselines::Baseline;
-use mf_bench::{harness::paper_rhs, write_csv, Table};
+use mf_bench::{barriers_per_iter, harness::paper_rhs, metric_cell, write_csv, Table};
 use mf_collection::{named_matrix, table2_names};
 use mf_gpu::DeviceSpec;
 use mf_solver::{MilleFeuille, SolverConfig};
@@ -26,10 +26,11 @@ fn main() {
         "iter_ratio",
         "time_speedup",
         "mf_status",
+        "barriers_iter",
     ]);
 
     println!(
-        "{:<8} {:<16} | {:>10} {:>10} | {:>8} {:>8} | {:>6} {:>8} | status",
+        "{:<8} {:<16} | {:>10} {:>10} | {:>8} {:>8} | {:>6} {:>8} | status  b/iter",
         "method", "matrix", "base iter", "base ms", "mf iter", "mf ms", "iterx", "speedup"
     );
 
@@ -52,9 +53,13 @@ fn main() {
         let ratio = mf.iterations as f64 / bl.iterations.max(1) as f64;
         let speedup = bl.solve_us() / mf.solve_us();
         let status = mf.status_label();
+        // Tracing is off here, and the sequential model cores record no
+        // barrier epochs anyway, so this renders `-`; the fig_pipeline
+        // bench's threaded runs are where the column carries numbers.
+        let barriers = metric_cell(barriers_per_iter(mf.trace.as_ref()));
         iter_ratios.push(ratio);
         println!(
-            "{:<8} {:<16} | {:>10} {:>10.3} | {:>8} {:>8.3} | {:>5.2}x {:>7.2}x | {}{}",
+            "{:<8} {:<16} | {:>10} {:>10.3} | {:>8} {:>8.3} | {:>5.2}x {:>7.2}x | {}  {}{}",
             method,
             name,
             bl.iterations,
@@ -64,6 +69,7 @@ fn main() {
             ratio,
             speedup,
             status,
+            barriers,
             if bl.converged { "" } else { "  [base !conv]" },
         );
         table.row(vec![
@@ -76,6 +82,7 @@ fn main() {
             format!("{ratio:.3}"),
             format!("{speedup:.3}"),
             status,
+            barriers,
         ]);
     };
 

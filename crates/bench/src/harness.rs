@@ -33,6 +33,23 @@ pub struct CompareRow {
     /// style rows no longer conflate "ran the iteration budget" with
     /// "broke down".
     pub mf_status: String,
+    /// Barrier epochs per iteration per warp from the run's
+    /// [`mf_trace::TraceSummary`] (see [`barriers_per_iter`]); `None`
+    /// when tracing was off for the run.
+    pub mf_barriers_per_iter: Option<f64>,
+}
+
+/// Barrier epochs per iteration per warp for the `barriers/iter` table
+/// column, from a solve's merged trace. `None` when tracing was off, the
+/// stream is incomplete (ring drops would undercount the epochs), or the
+/// engine recorded no barrier epochs at all — the sequential model cores
+/// charge sync time in the timeline but emit no barrier events, so only
+/// the threaded engines (the population this column measures) produce a
+/// number.
+pub fn barriers_per_iter(trace: Option<&mf_trace::Trace>) -> Option<f64> {
+    let s = trace?.summary();
+    (s.dropped == 0 && s.count(mf_trace::EventKind::BarrierEnter) > 0)
+        .then(|| s.barriers_per_iteration())
 }
 
 impl CompareRow {
@@ -57,6 +74,7 @@ impl CompareRow {
             base_iters,
             mf_mode: mf.mode,
             mf_status: mf.status_label(),
+            mf_barriers_per_iter: barriers_per_iter(mf.trace.as_ref()),
         }
     }
 }
@@ -353,11 +371,53 @@ mod tests {
         for (mf, expect) in &cases {
             let row = CompareRow::from_reports("synthetic", 4, 10, mf, 1.0, 12);
             assert_eq!(&row.mf_status, expect);
+            assert_eq!(row.mf_barriers_per_iter, None, "tracing was off");
         }
         // Statuses must be distinct so the table actually separates them.
         let labels: std::collections::HashSet<_> =
             cases.iter().map(|(r, _)| r.status_label()).collect();
         assert_eq!(labels.len(), cases.len());
+    }
+
+    /// The `barriers/iter` column only reports complete threaded-style
+    /// streams: barrier epochs divided by warps × iterations, `None` for
+    /// untraced runs, barrier-free (sequential) traces, and lossy rings.
+    #[test]
+    fn barriers_column_measures_complete_threaded_traces_only() {
+        use mf_trace::{EventKind, Trace, WarpTracer};
+        // Threaded-style: 2 warps × 4 iterations × 2 barrier epochs each.
+        let streams: Vec<_> = (0..2u32)
+            .map(|w| {
+                let t = WarpTracer::new(w as usize, 256);
+                for j in 0..4 {
+                    t.stamp(j, 0);
+                    t.record(EventKind::BarrierEnter, 1, 0);
+                    t.record(EventKind::BarrierEnter, 2, 0);
+                }
+                t.finish()
+            })
+            .collect();
+        let threaded = Trace::merge(streams);
+        assert_eq!(barriers_per_iter(Some(&threaded)), Some(2.0));
+
+        // Sequential-style: events recorded, but no barrier epochs.
+        let t = WarpTracer::new(0, 256);
+        t.stamp(0, 0);
+        t.record(EventKind::SpmvBytes, 0, 64);
+        let sequential = Trace::merge(vec![t.finish()]);
+        assert_eq!(barriers_per_iter(Some(&sequential)), None);
+        assert_eq!(barriers_per_iter(None), None);
+
+        // Lossy ring: a capacity-1 tracer drops events, so the count
+        // would undercount — the column must decline to report.
+        let t = WarpTracer::new(0, 1);
+        t.stamp(0, 0);
+        for _ in 0..8 {
+            t.record(EventKind::BarrierEnter, 1, 0);
+        }
+        let lossy = Trace::merge(vec![t.finish()]);
+        assert!(lossy.dropped > 0, "fixture must actually drop");
+        assert_eq!(barriers_per_iter(Some(&lossy)), None);
     }
 
     #[test]

@@ -21,9 +21,9 @@ pub mod svg;
 pub mod table;
 
 pub use harness::{
-    bicgstab_entries, cg_entries, compare_bicgstab, compare_cg, compare_pbicgstab, compare_pcg,
-    iters_from_env, suite_options_from_env, CompareRow,
+    barriers_per_iter, bicgstab_entries, cg_entries, compare_bicgstab, compare_cg,
+    compare_pbicgstab, compare_pcg, iters_from_env, suite_options_from_env, CompareRow,
 };
 pub use stats::{geomean, max_speedup, summarize, SpeedupSummary};
 pub use svg::{render_tile_map, write_tile_map_svg};
-pub use table::{write_csv, Table};
+pub use table::{metric_cell, write_csv, Table};

@@ -76,6 +76,17 @@ impl Table {
     }
 }
 
+/// Formats an optional metric for a table cell: two decimals, `-` when
+/// the value was not measured. The `barriers/iter` column uses this —
+/// runs with tracing off (or whose engine records no barrier epochs)
+/// render as `-` instead of a misleading zero.
+pub fn metric_cell(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}"),
+        None => "-".to_string(),
+    }
+}
+
 /// Writes a table as CSV under `bench_out/` (created on demand). Returns
 /// the path written.
 pub fn write_csv(name: &str, table: &Table) -> std::io::Result<std::path::PathBuf> {
@@ -110,6 +121,13 @@ mod tests {
         let mut buf = Vec::new();
         t.to_csv(&mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn metric_cells_render() {
+        assert_eq!(metric_cell(Some(1.0)), "1.00");
+        assert_eq!(metric_cell(Some(3.984)), "3.98");
+        assert_eq!(metric_cell(None), "-");
     }
 
     #[test]

@@ -85,6 +85,17 @@ impl CostModel {
         self.device.spin_poll_us
     }
 
+    /// One global barrier epoch of the single-kernel scheme: every warp
+    /// bumps the shared epoch counter (one atomic each) and busy-waits for
+    /// the count to reach the warp total (one poll step charged; further
+    /// polls overlap the stragglers' remaining work). This is the unit the
+    /// pipelined schedules minimize — classic CG passes ~4 such epochs per
+    /// iteration, pipelined CG exactly one.
+    #[inline]
+    pub fn barrier_us(&self, warps: usize) -> f64 {
+        self.atomics_us(warps) + self.spin_us()
+    }
+
     /// Number of warps a BLAS-1 kernel over `n` elements puts in flight.
     pub fn blas1_warps(&self, n: usize) -> usize {
         n.div_ceil(ELEMS_PER_WARP_BLAS1)
@@ -210,6 +221,10 @@ mod tests {
         assert_eq!(m.atomics_us(100), 100.0 * m.device.atomic_us);
         assert!(m.d2h_us() > 0.0);
         assert!(m.spin_us() > 0.0);
+        // A barrier epoch is the atomic bumps plus one poll, and it grows
+        // with the warp count (more counter traffic to serialize).
+        assert_eq!(m.barrier_us(8), m.atomics_us(8) + m.spin_us());
+        assert!(m.barrier_us(32) > m.barrier_us(2));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!   per-column `vis_flag` demands, with on-chip (shared-memory copy)
 //!   precision lowering and tile bypass.
 
+use crate::blas1::DETERMINISTIC_CHUNK;
 use crate::visflag::VisFlag;
 use mf_precision::Precision;
 use mf_sparse::{Csr, TiledMatrix};
@@ -24,7 +25,7 @@ pub fn spmv_csr(a: &Csr, x: &[f64], y: &mut [f64]) {
 pub fn spmv_csr_par(a: &Csr, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols);
     assert_eq!(y.len(), a.nrows);
-    if a.nrows < 4_096 {
+    if a.nrows < DETERMINISTIC_CHUNK {
         return spmv_csr(a, x, y);
     }
     y.par_iter_mut().enumerate().for_each(|(r, yr)| {
@@ -47,7 +48,7 @@ pub fn spmv_tiled(m: &TiledMatrix, x: &[f64], y: &mut [f64]) {
 pub fn spmv_tiled_par(m: &TiledMatrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), m.ncols);
     assert_eq!(y.len(), m.nrows);
-    if m.nrows < 4_096 {
+    if m.nrows < DETERMINISTIC_CHUNK {
         return spmv_tiled(m, x, y);
     }
     // Tiles are stored sorted by (tile_row, tile_col): record each tile

@@ -1,8 +1,9 @@
 //! Property-based tests for the computational kernels.
 
 use mf_kernels::{
-    blas1, ilu0, level_schedule, spmv_csr, spmv_mixed, spmv_mixed_par, sptrsv_lower,
-    sptrsv_lower_recursive, sptrsv_upper, sptrsv_upper_recursive, SharedTiles, VisFlag,
+    blas1, ilu0, level_schedule, spmv_csr, spmv_csr_par, spmv_mixed, spmv_mixed_par, spmv_tiled,
+    spmv_tiled_par, sptrsv_lower, sptrsv_lower_recursive, sptrsv_upper, sptrsv_upper_recursive,
+    SharedTiles, VisFlag,
 };
 use mf_precision::ClassifyOptions;
 use mf_sparse::{Coo, Csr, TiledMatrix};
@@ -44,6 +45,33 @@ fn varied_coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Cs
             a.to_csr()
         })
     })
+}
+
+/// Deterministic value vector for the fused-kernel equivalence tests: mostly
+/// finite values across magnitudes, with NaN and ±Inf mixed in (1-in-16 slots
+/// each) so the fused pass is proven to propagate non-finite data exactly
+/// like the unfused sequence.
+fn special_vec(n: usize, seed: u64, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64 * 131 + salt);
+            match h % 16 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                k => ((h >> 8) as f64 / (1u64 << 40) as f64 - 8.0) * 10f64.powi(k as i32 - 8),
+            }
+        })
+        .collect()
+}
+
+/// Bitwise comparison that treats every NaN payload as equal (the unfused
+/// reference can produce a differently-signed NaN from `-alpha * inf`-style
+/// intermediates on some orderings; the contract is "NaN where NaN").
+fn bits_match(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
 }
 
 const FLAG_CHOICES: [VisFlag; 5] = [
@@ -231,6 +259,184 @@ proptest! {
         blas1::waxpy(&v, alpha, &w, &mut z);
         for i in 0..n {
             prop_assert!((z[i] - (v[i] + alpha * w[i])).abs() < 1e-12 * z[i].abs().max(1.0));
+        }
+    }
+
+    /// The fused pipelined-CG update applied per random segment is bitwise
+    /// identical to the unfused whole-vector xpay/axpy sequence — over random
+    /// values (including NaN/Inf), scalars, and segment splits. This is the
+    /// exact claim the threaded engines rely on: fusing five kernels into one
+    /// pass, cut at arbitrary owner-segment boundaries, changes no bits.
+    #[test]
+    fn fused_cg_update_bitwise_equals_unfused(
+        n in 1usize..300,
+        seed in 0u64..u64::MAX,
+        alpha_raw in -100.0f64..100.0,
+        alpha_kind in 0u8..10,
+        beta in -100.0f64..100.0,
+    ) {
+        // 1-in-5 cases drive a non-finite alpha through the fused pass.
+        let alpha = match alpha_kind {
+            8 => f64::INFINITY,
+            9 => f64::NAN,
+            _ => alpha_raw,
+        };
+        let mk = |salt: u64| special_vec(n, seed, salt);
+        let q = mk(1);
+        let (p0, s0, z0, x0, r0, w0) = (mk(2), mk(3), mk(7), mk(4), mk(5), mk(6));
+
+        // Unfused reference over the whole vector.
+        let (mut p1, mut s1, mut z1, mut x1, mut r1, mut w1) = (
+            p0.clone(), s0.clone(), z0.clone(), x0.clone(), r0.clone(), w0.clone(),
+        );
+        blas1::xpay(&r1.clone(), beta, &mut p1);
+        blas1::xpay(&w1.clone(), beta, &mut s1);
+        blas1::xpay(&q, beta, &mut z1);
+        blas1::axpy(alpha, &p1, &mut x1);
+        blas1::axpy(-alpha, &s1, &mut r1);
+        blas1::axpy(-alpha, &z1, &mut w1);
+
+        // Fused pass over random contiguous segments (cut points from the
+        // same seed), mimicking arbitrary owner-warp boundaries.
+        let mut bounds: Vec<usize> = (0..(seed % 5) as usize)
+            .map(|k| (seed.wrapping_mul(k as u64 * 2 + 3) % (n as u64 + 1)) as usize)
+            .collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let (mut p2, mut s2, mut z2, mut x2, mut r2, mut w2) = (
+            p0.clone(), s0.clone(), z0.clone(), x0.clone(), r0.clone(), w0.clone(),
+        );
+        for win in bounds.windows(2) {
+            let (lo, hi) = (win[0], win[1]);
+            blas1::cg_pipelined_update(
+                alpha, beta, &q[lo..hi],
+                &mut p2[lo..hi], &mut s2[lo..hi], &mut z2[lo..hi],
+                &mut x2[lo..hi], &mut r2[lo..hi], &mut w2[lo..hi],
+            );
+        }
+        for i in 0..n {
+            prop_assert!(bits_match(p1[i], p2[i]), "p[{i}]: {:e} vs {:e}", p1[i], p2[i]);
+            prop_assert!(bits_match(s1[i], s2[i]), "s[{i}]: {:e} vs {:e}", s1[i], s2[i]);
+            prop_assert!(bits_match(z1[i], z2[i]), "z[{i}]: {:e} vs {:e}", z1[i], z2[i]);
+            prop_assert!(bits_match(x1[i], x2[i]), "x[{i}]: {:e} vs {:e}", x1[i], x2[i]);
+            prop_assert!(bits_match(r1[i], r2[i]), "r[{i}]: {:e} vs {:e}", r1[i], r2[i]);
+            prop_assert!(bits_match(w1[i], w2[i]), "w[{i}]: {:e} vs {:e}", w1[i], w2[i]);
+        }
+    }
+
+    /// Same claim for the eight-way fused pipelined-PCG update.
+    #[test]
+    fn fused_pcg_update_bitwise_equals_unfused(
+        n in 1usize..250,
+        seed in 0u64..u64::MAX,
+        alpha in -50.0f64..50.0,
+        beta_raw in -50.0f64..50.0,
+        beta_kind in 0u8..9,
+        cut in 0usize..250,
+    ) {
+        let beta = if beta_kind == 8 { f64::NEG_INFINITY } else { beta_raw };
+        let m_vals = special_vec(n, seed, 21);
+        let nn_vals = special_vec(n, seed, 22);
+        let m = &m_vals[..];
+        let nn = &nn_vals[..];
+        let mk = |k: f64| -> Vec<f64> { (0..n).map(|i| ((i as f64) * k).sin() * 1e2).collect() };
+        let (p0, s0, q0, zz0) = (mk(0.1), mk(0.2), mk(0.3), mk(0.4));
+        let (x0, r0, u0, w0) = (mk(0.5), mk(0.6), mk(0.8), mk(1.1));
+
+        let (mut p1, mut s1, mut q1, mut zz1) = (p0.clone(), s0.clone(), q0.clone(), zz0.clone());
+        let (mut x1, mut r1, mut u1, mut w1) = (x0.clone(), r0.clone(), u0.clone(), w0.clone());
+        blas1::xpay(&u1.clone(), beta, &mut p1);
+        blas1::xpay(&w1.clone(), beta, &mut s1);
+        blas1::xpay(m, beta, &mut q1);
+        blas1::xpay(nn, beta, &mut zz1);
+        blas1::axpy(alpha, &p1, &mut x1);
+        blas1::axpy(-alpha, &s1, &mut r1);
+        blas1::axpy(-alpha, &q1, &mut u1);
+        blas1::axpy(-alpha, &zz1, &mut w1);
+
+        let (mut p2, mut s2, mut q2, mut zz2) = (p0.clone(), s0.clone(), q0.clone(), zz0.clone());
+        let (mut x2, mut r2, mut u2, mut w2) = (x0.clone(), r0.clone(), u0.clone(), w0.clone());
+        let c = cut.min(n);
+        for (lo, hi) in [(0, c), (c, n)] {
+            blas1::pcg_pipelined_update(
+                alpha, beta, &m[lo..hi], &nn[lo..hi],
+                &mut p2[lo..hi], &mut s2[lo..hi], &mut q2[lo..hi], &mut zz2[lo..hi],
+                &mut x2[lo..hi], &mut r2[lo..hi], &mut u2[lo..hi], &mut w2[lo..hi],
+            );
+        }
+        for i in 0..n {
+            prop_assert!(bits_match(p1[i], p2[i]));
+            prop_assert!(bits_match(s1[i], s2[i]));
+            prop_assert!(bits_match(q1[i], q2[i]));
+            prop_assert!(bits_match(zz1[i], zz2[i]));
+            prop_assert!(bits_match(x1[i], x2[i]));
+            prop_assert!(bits_match(r1[i], r2[i]));
+            prop_assert!(bits_match(u1[i], u2[i]));
+            prop_assert!(bits_match(w1[i], w2[i]));
+        }
+    }
+
+    /// The fused dot pair returns exactly the bits of two separate dots.
+    #[test]
+    fn dot2_bitwise_equals_two_dots(
+        x1 in prop::collection::vec(-1.0e8f64..1.0e8, 1..400),
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = x1.len();
+        let x2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7 + seed as f64 * 1e-12).cos()).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 13 + 7) % 101) as f64 * 1e-3 - 0.05).collect();
+        let (a, b) = blas1::dot2(&x1, &x2, &y);
+        prop_assert_eq!(a.to_bits(), blas1::dot(&x1, &y).to_bits());
+        prop_assert_eq!(b.to_bits(), blas1::dot(&x2, &y).to_bits());
+    }
+
+    /// Both consumers of the shared `DETERMINISTIC_CHUNK` constant — the
+    /// blas1 fixed-chunk reduction tree and the SpMV parallel/serial gate —
+    /// stay bitwise-identical to their serial references across the chunk
+    /// boundary (lengths straddling 4 096) and any rayon thread count.
+    #[test]
+    fn deterministic_chunk_paths_bitwise_equal_serial(
+        delta in 0usize..64,
+        seed in 0u64..1_000_000,
+        extra in prop::collection::vec((0usize..4_160, 0usize..4_160, 1i32..=100), 0..200),
+    ) {
+        let n = blas1::DETERMINISTIC_CHUNK - 32 + delta; // straddles the gate
+        // blas1 reduction: par vs serial fixed-chunk reference, magnitudes
+        // spread so reassociation would change bits.
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 * 31 + seed) % 97) as f64 * 10f64.powi((i % 13) as i32 - 6))
+            .collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        prop_assert_eq!(blas1::dot_par(&x, &y).to_bits(), blas1::dot_det(&x, &y).to_bits());
+        prop_assert_eq!(blas1::norm2_par(&x).to_bits(), blas1::dot_det(&x, &x).sqrt().to_bits());
+
+        // SpMV gate: par vs serial, bitwise, on a matrix the same size.
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 20.0 + (i % 5) as f64 * 0.017);
+        }
+        for (r, c, v) in extra {
+            if r < n && c < n && r != c {
+                coo.push(r, c, v as f64 * 10f64.powi((v % 9) - 4));
+            }
+        }
+        let a = coo.to_csr();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        spmv_csr(&a, &x, &mut y1);
+        spmv_csr_par(&a, &x, &mut y2);
+        for i in 0..n {
+            prop_assert_eq!(y1[i].to_bits(), y2[i].to_bits());
+        }
+        let t = TiledMatrix::from_csr(&a);
+        let mut y3 = vec![0.0; n];
+        let mut y4 = vec![0.0; n];
+        spmv_tiled(&t, &x, &mut y3);
+        spmv_tiled_par(&t, &x, &mut y4);
+        for i in 0..n {
+            prop_assert_eq!(y3[i].to_bits(), y4[i].to_bits());
         }
     }
 }

@@ -150,7 +150,7 @@ pub(crate) fn finish_host_trace(tracer: Option<mf_trace::WarpTracer>, result: &m
 }
 
 /// Relative error `‖x − x*‖₂ / ‖x*‖₂`.
-fn rel_error(x: &[f64], reference: &[f64]) -> f64 {
+pub(crate) fn rel_error(x: &[f64], reference: &[f64]) -> f64 {
     let mut diff = 0.0;
     let mut norm = 0.0;
     for (a, b) in x.iter().zip(reference) {

@@ -60,6 +60,22 @@ impl WatchdogPolicy {
 /// where restarts are routine.
 pub const MAX_CONSECUTIVE_RESTARTS: usize = 8;
 
+/// Pipelined-recurrence selection for the CG family. The pipelined
+/// (Ghysels–Vanroose) variants trade a modest, characterized rounding
+/// drift for a collapsed synchronization schedule — one global reduction
+/// per iteration instead of two, and 1–2 barrier epochs per iteration in
+/// the threaded engines instead of ~4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Let the cost model decide: pipelined when the predicted per-
+    /// iteration sync saving beats the extra fused-update traffic.
+    Auto,
+    /// Always the classic (two-reduction) recurrence.
+    Classic,
+    /// Always the pipelined recurrence.
+    Pipelined,
+}
+
 /// Execution-mode selection (§III-C).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelMode {
@@ -147,6 +163,11 @@ pub struct SolverConfig {
     pub partial_safety: f64,
     /// Kernel mode policy.
     pub kernel_mode: KernelMode,
+    /// Pipelined-recurrence policy for CG dispatched through
+    /// [`crate::MilleFeuille::solve_auto`]. Explicit entry points
+    /// (`solve_cg`, `solve_cg_pipelined`, …) ignore this and run what
+    /// their name says.
+    pub pipeline: PipelineMode,
     /// Classification options for the initial tile precisions.
     pub classify: ClassifyOptions,
     /// Leaf size of the recursive-block SpTRSV (preconditioned solvers).
@@ -196,6 +217,7 @@ impl Default for SolverConfig {
             partial_convergence: true,
             partial_safety: 0.1,
             kernel_mode: KernelMode::Auto,
+            pipeline: PipelineMode::Auto,
             classify: ClassifyOptions::default(),
             trsv_leaf: mf_kernels::sptrsv::DEFAULT_TRSV_LEAF,
             trace_residuals: false,
@@ -251,6 +273,7 @@ mod tests {
         assert!(c.mixed_precision);
         assert!(c.partial_convergence);
         assert_eq!(c.kernel_mode, KernelMode::Auto);
+        assert_eq!(c.pipeline, PipelineMode::Auto);
         assert!(c.fixed_iterations.is_none());
         assert_eq!(c.host_parallelism, HostParallelism::Auto);
         assert_eq!(

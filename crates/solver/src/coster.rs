@@ -116,10 +116,9 @@ impl SingleCoster {
         tl.add(Phase::Spmv, load);
     }
 
-    /// Step A: per-warp maxima of the mixed-precision SpMV. `shared` holds
-    /// the current (possibly lowered) tile precisions; `vis` decides
-    /// bypass. Also charges the per-tile atomics and the Step-A barrier.
-    pub fn spmv(&self, tl: &mut Timeline, shared: &SharedTiles, vis: &[VisFlag]) {
+    /// Per-warp straggler body of the mixed-precision SpMV plus the active
+    /// tile count (needed for the dependency-array atomic charge).
+    fn spmv_body(&self, shared: &SharedTiles, vis: &[VisFlag]) -> (f64, usize) {
         let mut worst = 0.0f64;
         let mut active_tiles = 0usize;
         for (w, &(lo, hi)) in self.spmv_sched.warp_tiles.iter().enumerate() {
@@ -140,29 +139,78 @@ impl SingleCoster {
             }
             worst = worst.max(self.rates.warp_time(flops, bytes));
         }
+        (worst, active_tiles)
+    }
+
+    /// Per-warp straggler body of a dot-product step.
+    fn dot_body(&self) -> f64 {
+        let e = self.vec_sched.max_warp_elems() as f64;
+        let t = self.rates.warp_time(2.0 * e, 16.0 * e);
+        t + 0.02 * (self.warp_count() as f64).log2().max(1.0)
+    }
+
+    /// Per-warp straggler body of a `fused`-vector AXPY-like step.
+    fn axpy_body(&self, fused: usize) -> f64 {
+        let e = self.vec_sched.max_warp_elems() as f64;
+        let f = fused as f64;
+        self.rates.warp_time(2.0 * e * f, 24.0 * e * f)
+    }
+
+    /// Step A: per-warp maxima of the mixed-precision SpMV. `shared` holds
+    /// the current (possibly lowered) tile precisions; `vis` decides
+    /// bypass. Also charges the per-tile atomics and the Step-A barrier.
+    pub fn spmv(&self, tl: &mut Timeline, shared: &SharedTiles, vis: &[VisFlag]) {
+        let (worst, active_tiles) = self.spmv_body(shared, vis);
         tl.add(Phase::Spmv, worst);
         tl.add(Phase::Atomic, self.cost.atomics_us(active_tiles));
         tl.add(Phase::Wait, self.cost.spin_us());
     }
 
+    /// [`SingleCoster::spmv`] without the end-of-step synchronization: the
+    /// pipelined schedule's SpMV publishes through the iteration's one
+    /// explicit [`SingleCoster::barrier`] instead of its own epoch. The
+    /// per-tile dependency atomics still apply (owner hand-off bookkeeping).
+    pub fn spmv_unsync(&self, tl: &mut Timeline, shared: &SharedTiles, vis: &[VisFlag]) {
+        let (worst, active_tiles) = self.spmv_body(shared, vis);
+        tl.add(Phase::Spmv, worst);
+        tl.add(Phase::Atomic, self.cost.atomics_us(active_tiles));
+    }
+
     /// A dot-product step over the length-`n` vector pair (Steps B/C):
     /// per-warp maxima + block reduction + one atomic per warp + barrier.
     pub fn dot(&self, tl: &mut Timeline) {
-        let e = self.vec_sched.max_warp_elems() as f64;
-        let t = self.rates.warp_time(2.0 * e, 16.0 * e);
-        let reduction = 0.02 * (self.warp_count() as f64).log2().max(1.0);
-        tl.add(Phase::Dot, t + reduction);
+        tl.add(Phase::Dot, self.dot_body());
         tl.add(Phase::Atomic, self.cost.atomics_us(self.warp_count()));
         tl.add(Phase::Wait, self.cost.spin_us());
+    }
+
+    /// [`SingleCoster::dot`] without its own barrier epoch (pipelined
+    /// schedule: the partials ride the iteration's one barrier). The
+    /// per-warp partial publication atomics still apply.
+    pub fn dot_unsync(&self, tl: &mut Timeline) {
+        tl.add(Phase::Dot, self.dot_body());
+        tl.add(Phase::Atomic, self.cost.atomics_us(self.warp_count()));
     }
 
     /// An AXPY-like step updating `fused` vectors in one pass (Step C/D
     /// tails): per-warp maxima + one atomic per warp + barrier.
     pub fn axpy(&self, tl: &mut Timeline, fused: usize) {
-        let e = self.vec_sched.max_warp_elems() as f64;
-        let f = fused as f64;
-        let t = self.rates.warp_time(2.0 * e * f, 24.0 * e * f);
-        tl.add(Phase::Axpy, t);
+        tl.add(Phase::Axpy, self.axpy_body(fused));
+        tl.add(Phase::Atomic, self.cost.atomics_us(self.warp_count()));
+        tl.add(Phase::Wait, self.cost.spin_us());
+    }
+
+    /// [`SingleCoster::axpy`] without its own barrier epoch (pipelined
+    /// schedule).
+    pub fn axpy_unsync(&self, tl: &mut Timeline, fused: usize) {
+        tl.add(Phase::Axpy, self.axpy_body(fused));
+    }
+
+    /// One explicit global barrier epoch: every warp bumps the shared
+    /// counter and busy-waits for the rest. The pipelined variants pay for
+    /// synchronization here — once (CG) or twice (PCG) per iteration —
+    /// instead of at every step.
+    pub fn barrier(&self, tl: &mut Timeline) {
         tl.add(Phase::Atomic, self.cost.atomics_us(self.warp_count()));
         tl.add(Phase::Wait, self.cost.spin_us());
     }
@@ -199,6 +247,29 @@ impl SingleCoster {
         self.dot(&mut tl);
         self.axpy(&mut tl, 1);
         self.iteration_end(&mut tl);
+        tl.total_us()
+    }
+
+    /// Modeled cost of one *pipelined* CG iteration (Ghysels–Vanroose
+    /// schedule): the same SpMV, one fused six-vector update, one fused dot
+    /// pair, and exactly ONE barrier epoch instead of the classic
+    /// schedule's ~4. `solve_auto` compares this against
+    /// [`SingleCoster::estimate_cg_iteration_us`] to decide whether the
+    /// barrier savings justify the pipelined recurrence's rounding drift.
+    pub fn estimate_cg_pipelined_iteration_us(
+        &self,
+        initial_prec: &[mf_precision::Precision],
+    ) -> f64 {
+        let mut tl = Timeline::new();
+        let shared = SharedTiles::precision_only(initial_prec);
+        let max_col = self.tile_col.iter().copied().max().unwrap_or(0) as usize;
+        let keep = vec![VisFlag::Keep; max_col + 1];
+        self.spmv_unsync(&mut tl, &shared, &keep);
+        // dot2 streams the same two vectors one dot would; the second
+        // accumulator is register traffic.
+        self.dot_unsync(&mut tl);
+        self.axpy_unsync(&mut tl, 6);
+        self.barrier(&mut tl);
         tl.total_us()
     }
 }
@@ -437,6 +508,53 @@ impl Coster {
         }
     }
 
+    /// Charges one SpMV *without* a trailing barrier epoch (pipelined
+    /// schedule). Multi-kernel: identical to [`Coster::spmv`] — the kernel
+    /// boundary there *is* the synchronization and cannot be elided.
+    pub fn spmv_unsync(
+        &self,
+        tl: &mut Timeline,
+        m: &TiledMatrix,
+        shared: &SharedTiles,
+        vis: &[VisFlag],
+        stats: &MixedSpmvStats,
+    ) {
+        match self {
+            Coster::Single(s) => s.spmv_unsync(tl, shared, vis),
+            Coster::Multi(mc) => mc.spmv(tl, m, stats),
+        }
+    }
+
+    /// Charges one dot product without a trailing barrier epoch (pipelined
+    /// schedule); multi-kernel is unchanged, including the `to_host` scalar
+    /// readback the host-side recurrence still needs.
+    pub fn dot_unsync(&self, tl: &mut Timeline, to_host: bool) {
+        match self {
+            Coster::Single(s) => s.dot_unsync(tl),
+            Coster::Multi(m) => m.dot(tl, to_host),
+        }
+    }
+
+    /// Charges a `fused`-vector update without a trailing barrier epoch
+    /// (pipelined schedule). Multi-kernel executes the fusion as ONE kernel
+    /// (that is what fusing buys on the classic path) rather than `fused`
+    /// launches.
+    pub fn axpy_unsync(&self, tl: &mut Timeline, fused: usize) {
+        match self {
+            Coster::Single(s) => s.axpy_unsync(tl, fused),
+            Coster::Multi(m) => m.axpy(tl),
+        }
+    }
+
+    /// Charges one explicit global barrier epoch — the pipelined variants'
+    /// per-iteration synchronization. Multi-kernel: no-op (kernel
+    /// boundaries are already priced as launches on every call).
+    pub fn barrier(&self, tl: &mut Timeline) {
+        if let Coster::Single(s) = self {
+            s.barrier(tl);
+        }
+    }
+
     /// Charges the Algorithm-4 scan (single-kernel only; the multi-kernel
     /// path does not run the dynamic strategy).
     pub fn visflag_scan(&self, tl: &mut Timeline) {
@@ -601,6 +719,33 @@ mod tests {
         let mut tl_flat_level = Timeline::new();
         mc.sptrsv(&mut tl_flat_level, 40_000, 8);
         assert!(tl_flat.get(Phase::SpTrsv) <= tl_flat_level.get(Phase::SpTrsv) + 1e-9);
+    }
+
+    #[test]
+    fn pipelined_estimate_removes_barrier_epochs() {
+        let m = tiled(512);
+        let sc = SingleCoster::new(cost(), &m, 16);
+        let classic = sc.estimate_cg_iteration_us(&m.tile_prec);
+        let piped = sc.estimate_cg_pipelined_iteration_us(&m.tile_prec);
+        // 1 barrier instead of ~4 epochs (and one fused dot pass instead of
+        // two): strictly cheaper on a sync-dominated (small) system, even
+        // though the fused six-vector update streams more AXPY traffic.
+        assert!(piped < classic, "pipelined {piped} vs classic {classic}");
+        // The savings are at least the three removed barrier epochs minus
+        // the extra fused-update traffic — concretely, positive and real:
+        let epoch = cost().barrier_us(sc.warp_count());
+        assert!(
+            classic - piped > epoch,
+            "gap {} epoch {epoch}",
+            classic - piped
+        );
+
+        // The explicit barrier charge itself lands on Atomic + Wait.
+        let mut tl = Timeline::new();
+        sc.barrier(&mut tl);
+        assert!(tl.get(Phase::Wait) > 0.0);
+        assert!(tl.get(Phase::Atomic) > 0.0);
+        assert_eq!(tl.get(Phase::Spmv), 0.0);
     }
 
     #[test]

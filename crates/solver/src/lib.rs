@@ -54,6 +54,7 @@ pub mod cg;
 pub mod config;
 pub mod coster;
 pub mod partial;
+pub mod pipelined;
 pub mod precond;
 pub mod report;
 pub mod solver;
@@ -61,7 +62,11 @@ pub mod threaded;
 pub mod workspace;
 
 pub use config::{
-    HostParallelism, KernelMode, SolverConfig, WatchdogPolicy, DEFAULT_HEARTBEAT, DEFAULT_WATCHDOG,
+    HostParallelism, KernelMode, PipelineMode, SolverConfig, WatchdogPolicy, DEFAULT_HEARTBEAT,
+    DEFAULT_WATCHDOG,
+};
+pub use pipelined::{
+    run_cg_pipelined, run_cg_pipelined_ws, run_pcg_pipelined, run_pcg_pipelined_ws,
 };
 pub use report::{
     BreakdownEvent, BreakdownKind, ExecutedMode, RecoveryAction, SolveFailure, SolveReport,
@@ -69,12 +74,16 @@ pub use report::{
 };
 pub use solver::MilleFeuille;
 pub use threaded::{
-    run_bicgstab_threaded_full, run_bicgstab_threaded_traced, run_cg_threaded_full,
-    run_cg_threaded_traced, run_ilu_sptrsv_threaded, run_ilu_sptrsv_threaded_full,
-    run_ilu_sptrsv_threaded_traced, run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded,
-    run_pbicgstab_threaded_full, run_pbicgstab_threaded_traced, run_pbicgstab_threaded_watchdog,
-    run_pcg_threaded, run_pcg_threaded_full, run_pcg_threaded_traced, run_pcg_threaded_watchdog,
-    ThreadedReport, BICGSTAB_STEPS, CG_STEPS, PBICGSTAB_STEPS, PCG_STEPS, SPTRSV_STEPS,
+    run_bicgstab_threaded_full, run_bicgstab_threaded_traced, run_cg_pipelined_threaded,
+    run_cg_pipelined_threaded_full, run_cg_pipelined_threaded_traced,
+    run_cg_pipelined_threaded_watchdog, run_cg_threaded_full, run_cg_threaded_traced,
+    run_ilu_sptrsv_threaded, run_ilu_sptrsv_threaded_full, run_ilu_sptrsv_threaded_traced,
+    run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded, run_pbicgstab_threaded_full,
+    run_pbicgstab_threaded_traced, run_pbicgstab_threaded_watchdog, run_pcg_pipelined_threaded,
+    run_pcg_pipelined_threaded_full, run_pcg_pipelined_threaded_traced,
+    run_pcg_pipelined_threaded_watchdog, run_pcg_threaded, run_pcg_threaded_full,
+    run_pcg_threaded_traced, run_pcg_threaded_watchdog, ThreadedReport, BICGSTAB_STEPS,
+    CG_PIPELINED_STEPS, CG_STEPS, PBICGSTAB_STEPS, PCG_PIPELINED_STEPS, PCG_STEPS, SPTRSV_STEPS,
 };
 pub use workspace::SolverWorkspace;
 // The fault-injection vocabulary lives in `mf_gpu::faults`; re-export the

@@ -2,9 +2,10 @@
 
 use crate::bicgstab::run_bicgstab_ws;
 use crate::cg::{run_cg_ws, CoreResult};
-use crate::config::{KernelMode, SolverConfig};
+use crate::config::{KernelMode, PipelineMode, SolverConfig};
 use crate::coster::{Coster, MultiCoster, SingleCoster};
 use crate::partial::PartialState;
+use crate::pipelined::{run_cg_pipelined_ws, run_pcg_pipelined_ws};
 use crate::precond::{run_pbicgstab, run_pcg, run_pcg_bj, run_pcg_ic};
 use crate::report::{ExecutedMode, SolveReport};
 use crate::workspace::SolverWorkspace;
@@ -208,6 +209,30 @@ impl MilleFeuille {
         }
     }
 
+    /// Resolves [`SolverConfig::pipeline`] for a preprocessed matrix.
+    /// Explicit modes win; `Auto` picks the pipelined schedule when the
+    /// modeled barrier savings are a nontrivial share (>5%) of a
+    /// single-kernel iteration — i.e. on synchronization-dominated
+    /// (small/medium) systems, where the pipelined recurrence's rounding
+    /// drift buys real time. Multi-kernel mode stays classic under `Auto`:
+    /// every operation is its own kernel there, so the barrier epochs the
+    /// pipeline removes were never being paid.
+    pub fn decide_pipeline(&self, tiled: &TiledMatrix, mode: ExecutedMode) -> bool {
+        match self.config.pipeline {
+            PipelineMode::Classic => false,
+            PipelineMode::Pipelined => true,
+            PipelineMode::Auto => {
+                if mode != ExecutedMode::SingleKernel {
+                    return false;
+                }
+                let sc = SingleCoster::new(self.cost(), tiled, self.config.tile_size);
+                let classic = sc.estimate_cg_iteration_us(&tiled.tile_prec);
+                let piped = sc.estimate_cg_pipelined_iteration_us(&tiled.tile_prec);
+                piped < classic * 0.95
+            }
+        }
+    }
+
     /// Solves `A x = b`, picking the method by matrix structure the way the
     /// paper partitions SuiteSparse: CG for (likely) symmetric positive
     /// definite matrices, BiCGSTAB otherwise.
@@ -225,7 +250,14 @@ impl MilleFeuille {
         if !mf_sparse::MatrixStats::compute(a).likely_spd() {
             return self.solve_bicgstab(a, b);
         }
-        let cg = self.solve_cg(a, b);
+        // CG admits the pipelined schedule; [`SolverConfig::pipeline`]
+        // (resolved per matrix by `decide_pipeline`) picks it here. The
+        // explicit `solve_cg` / `solve_cg_pipelined` entries ignore the
+        // knob — callers asking for a schedule by name get that schedule.
+        let pre = self.preprocess(a);
+        let mode = self.decide_mode(&pre.tiled);
+        let pipelined = self.decide_pipeline(&pre.tiled, mode);
+        let cg = self.run_cg_dispatch(a, pre, mode, b, &mut SolverWorkspace::new(), pipelined);
         let curvature_abort = cg.failure.is_some()
             && cg
                 .breakdowns
@@ -257,18 +289,66 @@ impl MilleFeuille {
     pub fn solve_cg_ws(&self, a: &Csr, b: &[f64], ws: &mut SolverWorkspace) -> SolveReport {
         let pre = self.preprocess(a);
         let mode = self.decide_mode(&pre.tiled);
+        self.run_cg_dispatch(a, pre, mode, b, ws, false)
+    }
+
+    /// Solves `A x = b` with *pipelined* (Ghysels–Vanroose) CG: the SpMV
+    /// input is carried by the `w = A·r` recurrence, so one fused update +
+    /// one fused dot pair + ONE barrier epoch per iteration replace the
+    /// classic schedule's four synchronization points. Same breakdown /
+    /// restart semantics as [`Self::solve_cg`]; the residual trajectory
+    /// drifts from classic CG only by rounding (see DESIGN.md §12).
+    pub fn solve_cg_pipelined(&self, a: &Csr, b: &[f64]) -> SolveReport {
+        self.solve_cg_pipelined_ws(a, b, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::solve_cg_pipelined`] with a caller-provided workspace.
+    pub fn solve_cg_pipelined_ws(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        ws: &mut SolverWorkspace,
+    ) -> SolveReport {
+        let pre = self.preprocess(a);
+        let mode = self.decide_mode(&pre.tiled);
+        self.run_cg_dispatch(a, pre, mode, b, ws, true)
+    }
+
+    /// Shared tail of the CG entry points: build the mode-matched coster
+    /// and run whichever recurrence `pipelined` selects.
+    fn run_cg_dispatch(
+        &self,
+        a: &Csr,
+        pre: Preprocessed,
+        mode: ExecutedMode,
+        b: &[f64],
+        ws: &mut SolverWorkspace,
+        pipelined: bool,
+    ) -> SolveReport {
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
         let coster = self.build_coster(&pre.tiled, mode);
-        let core = run_cg_ws(
-            &pre.tiled,
-            &mut shared,
-            b,
-            &self.config,
-            &coster,
-            &mut partial,
-            ws,
-        );
+        let core = if pipelined {
+            run_cg_pipelined_ws(
+                &pre.tiled,
+                &mut shared,
+                b,
+                &self.config,
+                &coster,
+                &mut partial,
+                ws,
+            )
+        } else {
+            run_cg_ws(
+                &pre.tiled,
+                &mut shared,
+                b,
+                &self.config,
+                &coster,
+                &mut partial,
+                ws,
+            )
+        };
         let warps = coster.warp_count();
         self.assemble(a, pre, mode, warps, core)
     }
@@ -374,6 +454,43 @@ impl MilleFeuille {
             &self.config,
             &mc,
             &mut partial,
+        );
+        self.assemble(a, pre, mode, 0, core)
+    }
+
+    /// Solves with *pipelined* ILU(0)-preconditioned CG: the Ghysels–
+    /// Vanroose PCG recurrence fuses the iteration into one preconditioner
+    /// application, one SpMV, one eight-vector update and one reduction
+    /// group — two synchronization points instead of four. Pivot
+    /// breakdowns are retried with bounded diagonal boosting exactly like
+    /// [`Self::solve_pcg`].
+    pub fn solve_pcg_pipelined(
+        &self,
+        a: &Csr,
+        b: &[f64],
+    ) -> Result<SolveReport, mf_kernels::ilu::FactorError> {
+        let (ilu, shifts) = ilu0_boosted(a)?;
+        let mut rep = self.solve_pcg_pipelined_with(a, b, &ilu);
+        prepend_factor_shifts(&mut rep.breakdowns, &shifts);
+        Ok(rep)
+    }
+
+    /// Pipelined PCG with a caller-provided factorization.
+    pub fn solve_pcg_pipelined_with(&self, a: &Csr, b: &[f64], ilu: &Ilu0) -> SolveReport {
+        let pre = self.preprocess(a);
+        let mode = ExecutedMode::MultiKernel; // as solve_pcg: preconditioning extends the multi-kernel method
+        let mut shared = SharedTiles::load(&pre.tiled);
+        let mut partial = self.partial_state(&pre.tiled, b, mode);
+        let mc = MultiCoster::new(self.cost(), a.nrows);
+        let core = run_pcg_pipelined_ws(
+            &pre.tiled,
+            &mut shared,
+            ilu,
+            b,
+            &self.config,
+            &mc,
+            &mut partial,
+            &mut SolverWorkspace::new(),
         );
         self.assemble(a, pre, mode, 0, core)
     }
@@ -532,6 +649,66 @@ impl MilleFeuille {
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
         crate::threaded::run_pbicgstab_threaded_traced(
+            &pre.tiled,
+            ilu,
+            b,
+            self.config.tolerance,
+            self.config.max_iter,
+            max_warps,
+            self.config.watchdog,
+            &mf_gpu::FaultPlan::default(),
+            &self.config.trace,
+        )
+    }
+
+    /// Threaded single-kernel *pipelined* CG: one global barrier per
+    /// iteration (the classic engine passes four wait sites); see
+    /// [`Self::solve_cg_threaded`] for the config inheritance.
+    pub fn solve_cg_pipelined_threaded(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        max_warps: usize,
+    ) -> crate::threaded::ThreadedReport {
+        let pre = self.preprocess(a);
+        crate::threaded::run_cg_pipelined_threaded_traced(
+            &pre.tiled,
+            b,
+            self.config.tolerance,
+            self.config.max_iter,
+            max_warps,
+            self.config.watchdog,
+            &mf_gpu::FaultPlan::default(),
+            &self.config.trace,
+        )
+    }
+
+    /// Threaded single-kernel *pipelined* ILU(0)-PCG: two global barriers
+    /// per iteration (the classic engine passes four), with the triangular
+    /// solves still in-kernel; see [`Self::solve_pcg_threaded`].
+    pub fn solve_pcg_pipelined_threaded(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        max_warps: usize,
+    ) -> Result<crate::threaded::ThreadedReport, mf_kernels::ilu::FactorError> {
+        let (ilu, shifts) = ilu0_boosted(a)?;
+        let mut rep = self.solve_pcg_pipelined_threaded_with(a, b, &ilu, max_warps);
+        prepend_factor_shifts(&mut rep.breakdowns, &shifts);
+        Ok(rep)
+    }
+
+    /// [`Self::solve_pcg_pipelined_threaded`] with a caller-provided
+    /// factorization.
+    pub fn solve_pcg_pipelined_threaded_with(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        ilu: &Ilu0,
+        max_warps: usize,
+    ) -> crate::threaded::ThreadedReport {
+        let pre = self.preprocess(a);
+        crate::threaded::run_pcg_pipelined_threaded_traced(
             &pre.tiled,
             ilu,
             b,
@@ -937,6 +1114,94 @@ mod tests {
             .breakdowns
             .iter()
             .any(|e| e.action == RecoveryAction::SwitchedSolver));
+    }
+
+    #[test]
+    fn facade_pipelined_end_to_end() {
+        let a = poisson1d(500);
+        let b = rhs(&a);
+        let solver = MilleFeuille::with_defaults(DeviceSpec::a100());
+        let rep = solver.solve_cg_pipelined(&a, &b);
+        assert!(rep.converged);
+        assert_eq!(rep.mode, ExecutedMode::SingleKernel);
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+        let rep = solver.solve_pcg_pipelined(&a, &b).unwrap();
+        assert!(rep.converged);
+        assert!(rep.iterations <= 4, "{}", rep.iterations);
+        assert!(rep.timeline.get(Phase::SpTrsv) > 0.0);
+
+        let rep = solver.solve_cg_pipelined_threaded(&a, &b, 4);
+        assert!(rep.converged);
+        assert!(rep.failure.is_none());
+        for v in &rep.x {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+        let rep = solver.solve_pcg_pipelined_threaded(&a, &b, 4).unwrap();
+        assert!(rep.converged);
+        assert!(rep.iterations <= 4, "{}", rep.iterations);
+    }
+
+    #[test]
+    fn pipeline_mode_knob_is_honored() {
+        use crate::config::PipelineMode;
+        let a = poisson1d(256);
+        let b = rhs(&a);
+        let tiled = TiledMatrix::from_csr(&a);
+
+        let forced = |mode| {
+            MilleFeuille::new(
+                DeviceSpec::a100(),
+                SolverConfig {
+                    pipeline: mode,
+                    ..SolverConfig::default()
+                },
+            )
+        };
+        assert!(!forced(PipelineMode::Classic).decide_pipeline(&tiled, ExecutedMode::SingleKernel));
+        assert!(forced(PipelineMode::Pipelined).decide_pipeline(&tiled, ExecutedMode::SingleKernel));
+        // Auto: a small single-kernel system is synchronization-dominated,
+        // so the barrier savings clear the margin; multi-kernel mode never
+        // pipelines under Auto (nothing to save).
+        let auto = forced(PipelineMode::Auto);
+        assert!(auto.decide_pipeline(&tiled, ExecutedMode::SingleKernel));
+        assert!(!auto.decide_pipeline(&tiled, ExecutedMode::MultiKernel));
+
+        // solve_auto with the knob forced converges through either path.
+        for mode in [PipelineMode::Classic, PipelineMode::Pipelined] {
+            let rep = forced(mode).solve_auto(&a, &b);
+            assert!(rep.converged, "{mode:?}");
+            assert!(rep.true_relres(&a, &b) < 1e-9, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_timeline_charges_fewer_sync_epochs() {
+        // Same fixed iteration count, same matrix: the pipelined solve's
+        // modeled Wait share must be below classic (1 barrier epoch per
+        // iteration instead of ~4) while the arithmetic phases match.
+        let a = poisson1d(512);
+        let b = rhs(&a);
+        let solver = MilleFeuille::new(
+            DeviceSpec::a100(),
+            SolverConfig {
+                fixed_iterations: Some(50),
+                partial_convergence: false,
+                ..SolverConfig::default()
+            },
+        );
+        let classic = solver.solve_cg(&a, &b);
+        let piped = solver.solve_cg_pipelined(&a, &b);
+        assert_eq!(classic.mode, ExecutedMode::SingleKernel);
+        assert_eq!(classic.iterations, 50);
+        assert_eq!(piped.iterations, 50);
+        assert!(
+            piped.timeline.get(Phase::Wait) < 0.5 * classic.timeline.get(Phase::Wait),
+            "pipelined Wait {} vs classic {}",
+            piped.timeline.get(Phase::Wait),
+            classic.timeline.get(Phase::Wait)
+        );
     }
 
     #[test]

@@ -69,6 +69,7 @@
 //! heartbeat bound; `tests/fault_injection.rs` locks both families down.
 
 use crate::config::{WatchdogPolicy, MAX_CONSECUTIVE_RESTARTS};
+use crate::pipelined::{breakdown_kind, pipeline_scalars};
 use crate::report::{BreakdownEvent, BreakdownKind, RecoveryAction, SolveFailure, WarpProgress};
 use mf_gpu::{
     BarrierFault, FaultCounts, FaultPlan, Heartbeat, InjectedFaults, RowDeps, SpinFault,
@@ -162,6 +163,13 @@ pub const PCG_STEPS: &[&str] = &["init", "spmv", "update", "precond", "direction
 pub const PBICGSTAB_STEPS: &[&str] = &["precond_p", "spmv_v", "precond_s", "spmv_t", "update"];
 /// Step names of the standalone SpTRSV runner.
 pub const SPTRSV_STEPS: &[&str] = &["lower", "upper"];
+/// Step names of the pipelined CG engine (`init` runs once, before
+/// iteration 0; each iteration passes exactly one global barrier, inside
+/// `update`).
+pub const CG_PIPELINED_STEPS: &[&str] = &["init", "spmv", "scalars", "update"];
+/// Step names of the pipelined PCG engine (`init` runs once; each iteration
+/// passes two global barriers — after `precond` and inside `update`).
+pub const PCG_PIPELINED_STEPS: &[&str] = &["init", "precond", "spmv", "scalars", "update"];
 
 /// Per-warp view of the shared poison flag, the watchdog (wall-clock
 /// deadline and/or progress heartbeat) and the warp's fault stream; all
@@ -2854,6 +2862,848 @@ pub fn run_pbicgstab_threaded_traced(
     )
 }
 
+// ---- Pipelined engines -----------------------------------------------------
+//
+// The classic threaded CG passes four synchronization epochs per iteration
+// (the per-segment `d_s` waits, two `d_d` dot barriers, one `d_a` vector
+// barrier). The pipelined recurrence (see `crate::pipelined`) removes the
+// dependency of the SpMV on the current reduction, which lets the whole
+// iteration collapse onto ONE global barrier:
+//
+// * the SpMV is owner-computes over whole tile rows (as in the classic PCG
+//   engine), so there is no producer/consumer `d_s` hand-off at all;
+// * `w` — the only vector another warp ever reads — is double-buffered, and
+//   the fused six-vector update writes the *other* slot, so the SpMV of a
+//   slow warp can still be reading the published slot while a fast warp is
+//   already one step ahead;
+// * the dot-partial arrays are double-buffered the same way, and both
+//   parities flip only on a *successful* update (a deterministic decision,
+//   identical on every warp), so a breakdown iteration simply re-reads the
+//   same slots — restart needs no copies, exactly like the sequential core.
+//
+// The pipelined PCG keeps two barriers: `m = M⁻¹w` must be published before
+// the SpMV `n = A·m` reads it cross-warp. Everything else (`w`, `u`, and
+// the six recurrence vectors) is only ever touched by its segment owner,
+// so the second classic publish barrier and both extra dot barriers
+// disappear. Determinism and warp-count invariance hold for the same
+// reasons as the classic engines: owner-computes SpMV in global tile
+// order, per-segment single-writer dot partials reduced in fixed segment
+// order, and SpTRSV rows combined in CSR order.
+
+/// Runs pipelined CG with the default watchdog policy; see
+/// [`run_cg_pipelined_threaded_full`].
+pub fn run_cg_pipelined_threaded(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+) -> ThreadedReport {
+    run_cg_pipelined_threaded_full(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::default(),
+        &FaultPlan::default(),
+    )
+}
+
+/// Legacy wall-clock adapter; see [`run_cg_pipelined_threaded_full`].
+pub fn run_cg_pipelined_threaded_watchdog(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
+    run_cg_pipelined_threaded_full(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::from_wallclock(watchdog),
+        &FaultPlan::default(),
+    )
+}
+
+/// Runs Ghysels–Vanroose pipelined CG inside the single kernel with ONE
+/// global barrier per iteration (the classic engine passes four wait sites;
+/// see the module-section comment above for how the collapse works).
+/// Breakdown/restart semantics mirror [`crate::pipelined::run_cg_pipelined_ws`]:
+/// the restart is a flag flip (β = 0 rebuilds the direction state on the
+/// next iteration), futile restarts abort as `Stalled`, and a non-finite γ
+/// aborts as `NonFinite` — all decided from the shared reduction, so every
+/// warp takes the identical branch and the barrier epochs stay aligned.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cg_pipelined_threaded_full(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+) -> ThreadedReport {
+    run_cg_pipelined_threaded_traced(
+        m,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        watchdog,
+        plan,
+        &TraceConfig::default(),
+    )
+}
+
+/// [`run_cg_pipelined_threaded_full`] plus an event-trace switch; see
+/// [`run_cg_threaded_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_cg_pipelined_threaded_traced(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+) -> ThreadedReport {
+    let trace = *trace;
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+    assert_eq!(m.nrows, m.ncols);
+    assert!(max_warps >= 1);
+
+    let ts = m.tile_size;
+    let segments = n.div_ceil(ts).max(1);
+    let warps = segments.min(max_warps).max(1);
+    let seg_lo = segment_bounds(segments, warps);
+    let tr_start = tile_row_starts(m, segments);
+
+    let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_b == 0.0 {
+        return trivial_report(n, warps);
+    }
+
+    let to_cells =
+        |v: &[f64]| -> Vec<AtomicU64> { v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect() };
+    let zeros = vec![0.0; n];
+    let x = to_cells(&zeros);
+    let r = to_cells(b);
+    let p = to_cells(&zeros);
+    let s = to_cells(&zeros); // s = A·p (recurrence)
+    let z = to_cells(&zeros); // z = A·s (recurrence)
+    let q = to_cells(&zeros); // q = A·w (per-iteration SpMV output)
+                              // w = A·r, double-buffered: slot k%2 is the published input of the
+                              // current iteration, the fused update writes slot (k+1)%2 (k counts
+                              // successful updates, so a breakdown iteration re-reads the same slot).
+    let wbuf = [to_cells(&zeros), to_cells(&zeros)];
+
+    let bar = AtomicI64::new(0);
+    // Dot-partial arrays, double-buffered on the same parity as `w`.
+    let mk_seg = || -> Vec<AtomicU64> { (0..segments).map(|_| AtomicU64::new(0)).collect() };
+    let seg_gamma = [mk_seg(), mk_seg()];
+    let seg_delta = [mk_seg(), mk_seg()];
+
+    let iterations_done = AtomicI64::new(0);
+    let converged_flag = AtomicI64::new(0);
+    let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
+    let poison = AtomicI64::new(POISON_NONE);
+    let failure_cell = FailureCell::new();
+    let (deadline, heartbeat) = arm_watchdog(watchdog, warps);
+    let hb = heartbeat.as_ref();
+    let warps_i = warps as i64;
+
+    let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(warps);
+        for w in 0..warps {
+            let (x, r, p, s, z, q) = (&x, &r, &p, &s, &z, &q);
+            let (wbuf, bar) = (&wbuf, &bar);
+            let (seg_gamma, seg_delta) = (&seg_gamma, &seg_delta);
+            let (seg_lo, tr_start) = (&seg_lo, &tr_start);
+            let iterations_done = &iterations_done;
+            let converged_flag = &converged_flag;
+            let final_relres_bits = &final_relres_bits;
+            let poison = &poison;
+            let failure_cell = &failure_cell;
+            let plan = &*plan;
+            handles.push(scope.spawn(move |_| {
+                let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let tracer = trace
+                    .enabled
+                    .then(|| WarpTracer::new(w, trace.capacity_per_warp));
+                let sync = WarpSync {
+                    poison,
+                    deadline,
+                    heartbeat: hb,
+                    faults: wf.as_ref(),
+                    tracer: tracer.as_ref(),
+                    warp: w,
+                };
+                let mut events: Vec<BreakdownEvent> = Vec::new();
+                let mut trail: Vec<f64> = Vec::new();
+                let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
+                    let my_segs = seg_lo[w]..seg_lo[w + 1];
+                    let elems = |sg: usize| (sg * ts)..(((sg + 1) * ts).min(n));
+                    let my_tiles = tr_start[seg_lo[w]]..tr_start[seg_lo[w + 1]];
+                    let tile_vals: Vec<Vec<f64>> =
+                        my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+                    let mut acc = vec![0.0f64; ts];
+
+                    let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
+                    let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+                    let seg_total = |cells: &[AtomicU64]| -> f64 {
+                        let mut t = 0.0;
+                        for cell in cells.iter() {
+                            t += f64::from_bits(cell.load(Ordering::Acquire));
+                        }
+                        t
+                    };
+                    let mut bar_epoch = 0i64;
+                    let mut barrier = || -> Result<(), i64> {
+                        bar_epoch += 1;
+                        bar.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(bar, warps_i * bar_epoch)
+                    };
+                    // Owner-computes SpMV over my whole tile rows (see
+                    // run_pcg_threaded_traced).
+                    let mut spmv_own = |input: &[AtomicU64], output: &[AtomicU64]| {
+                        for sg in my_segs.clone() {
+                            let base_row = sg * ts;
+                            let len = ((sg + 1) * ts).min(n) - base_row;
+                            acc[..len].fill(0.0);
+                            for i in tr_start[sg]..tr_start[sg + 1] {
+                                let base_col = m.tile_colidx[i] as usize * ts;
+                                let nnz_base = m.tile_nnz[i] as usize;
+                                let vals = &tile_vals[i - my_tiles.start];
+                                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                    let mut sum = 0.0;
+                                    for k in
+                                        m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                                    {
+                                        sum += vals[k - nnz_base]
+                                            * f64::from_bits(
+                                                input[base_col + m.csr_colidx[k] as usize]
+                                                    .load(Ordering::Acquire),
+                                            );
+                                    }
+                                    acc[m.row_index[ri] as usize] += sum;
+                                }
+                            }
+                            for (o, v) in acc[..len].iter().enumerate() {
+                                output[base_row + o].store(v.to_bits(), Ordering::Release);
+                            }
+                            sync.pulse();
+                        }
+                    };
+
+                    // ---- Init: w = A·r (r = b), γ₀ = (r,r), δ₀ = (w,r).
+                    sync.iteration_gate()?;
+                    sync.step(0, 0)?;
+                    spmv_own(r, &wbuf[0]);
+                    for sg in my_segs.clone() {
+                        let mut pg = 0.0;
+                        let mut pd = 0.0;
+                        for e in elems(sg) {
+                            let rv = ld(&r[e]);
+                            pg += rv * rv;
+                            pd += ld(&wbuf[0][e]) * rv;
+                        }
+                        st(&seg_gamma[0][sg], pg);
+                        st(&seg_delta[0][sg], pd);
+                    }
+                    barrier()?; // publishes w and the (γ₀, δ₀) partials
+
+                    let mut k = 0usize; // successful updates completed
+                    let mut gamma_old = 1.0f64;
+                    let mut alpha_old = 1.0f64;
+                    let mut fresh = true;
+                    let mut consecutive_restarts = 0usize;
+
+                    for j in 0..max_iter as i64 {
+                        sync.iteration_gate()?;
+                        let s_in = k % 2;
+                        let s_out = (k + 1) % 2;
+
+                        // ---- q = A·w: reads the slot the last barrier
+                        // published; never races the updates, which write
+                        // the other slot.
+                        sync.step(j, 1)?;
+                        spmv_own(&wbuf[s_in], q);
+
+                        // ---- Scalars from the published reduction —
+                        // identical on every warp (fixed segment order).
+                        sync.step(j, 2)?;
+                        let gamma = seg_total(&seg_gamma[s_in]);
+                        let delta = seg_total(&seg_delta[s_in]);
+                        let (beta, alpha, denom) =
+                            pipeline_scalars(fresh, gamma, gamma_old, delta, alpha_old);
+                        if let Some(kind) = breakdown_kind(alpha, denom) {
+                            // Flag-only restart: β = 0 next iteration
+                            // rebuilds p, s, z wholesale; the parities do
+                            // not flip, so the same (γ, δ) and the same w
+                            // slot are re-read. One barrier keeps the epoch
+                            // count aligned with the normal path.
+                            fresh = true;
+                            barrier()?;
+                            consecutive_restarts += 1;
+                            let abort_nonfinite = !gamma.is_finite();
+                            let abort_stalled = consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let action = if abort_nonfinite || abort_stalled {
+                                RecoveryAction::Aborted
+                            } else {
+                                RecoveryAction::Restarted
+                            };
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind,
+                                action,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                let relres = gamma.max(0.0).sqrt() / norm_b;
+                                if relres.is_finite() {
+                                    final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                                }
+                                if abort_nonfinite {
+                                    failure_cell.set(FAIL_NONFINITE, j);
+                                } else if abort_stalled {
+                                    failure_cell.set(FAIL_STALLED, j);
+                                }
+                            }
+                            if abort_nonfinite || abort_stalled {
+                                return Ok(());
+                            }
+                            continue;
+                        }
+                        consecutive_restarts = 0;
+
+                        // ---- Fused six-vector update + next dot partials
+                        // (elementwise order matches blas1::cg_pipelined_update
+                        // exactly, so the drift envelope is shared).
+                        sync.step(j, 3)?;
+                        for sg in my_segs.clone() {
+                            let mut pg = 0.0;
+                            let mut pd = 0.0;
+                            for e in elems(sg) {
+                                let wv = ld(&wbuf[s_in][e]);
+                                let qv = ld(&q[e]);
+                                let pv = ld(&r[e]) + beta * ld(&p[e]);
+                                st(&p[e], pv);
+                                let sv = wv + beta * ld(&s[e]);
+                                st(&s[e], sv);
+                                let zv = qv + beta * ld(&z[e]);
+                                st(&z[e], zv);
+                                st(&x[e], ld(&x[e]) + alpha * pv);
+                                let rv = ld(&r[e]) - alpha * sv;
+                                st(&r[e], rv);
+                                let wn = wv - alpha * zv;
+                                st(&wbuf[s_out][e], wn);
+                                pg += rv * rv;
+                                pd += wn * rv;
+                            }
+                            st(&seg_gamma[s_out][sg], pg);
+                            st(&seg_delta[s_out][sg], pd);
+                        }
+                        barrier()?; // THE barrier: publishes w' + (γ', δ')
+
+                        k += 1;
+                        gamma_old = gamma;
+                        alpha_old = alpha;
+                        fresh = false;
+
+                        let gamma_new = seg_total(&seg_gamma[s_out]);
+                        if !gamma_new.is_finite() {
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: BreakdownKind::NonFinite,
+                                action: RecoveryAction::Aborted,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                failure_cell.set(FAIL_NONFINITE, j);
+                            }
+                            return Ok(());
+                        }
+                        let relres = gamma_new.max(0.0).sqrt() / norm_b;
+                        if w == 0 {
+                            iterations_done.store(j + 1, Ordering::Release);
+                            final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                            trail.push(relres);
+                        }
+                        if relres < tol {
+                            if w == 0 {
+                                converged_flag.store(1, Ordering::Release);
+                            }
+                            break;
+                        }
+                    }
+                    Ok(())
+                }));
+                let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
+                settle_warp(body, poison, events, trail, faults, tracer)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| dead_warp()))
+            .collect()
+    })
+    .expect("threaded pipelined CG scope failed");
+
+    finish_report(
+        &x,
+        warps,
+        &iterations_done,
+        &converged_flag,
+        &final_relres_bits,
+        &poison,
+        &failure_cell,
+        heartbeat.as_ref(),
+        CG_PIPELINED_STEPS,
+        plan,
+        outs,
+    )
+}
+
+/// Runs pipelined ILU(0)-preconditioned CG with the default watchdog
+/// policy; see [`run_pcg_pipelined_threaded_full`].
+pub fn run_pcg_pipelined_threaded(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+) -> ThreadedReport {
+    run_pcg_pipelined_threaded_full(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::default(),
+        &FaultPlan::default(),
+    )
+}
+
+/// Legacy wall-clock adapter; see [`run_pcg_pipelined_threaded_full`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_pipelined_threaded_watchdog(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: Option<Duration>,
+) -> ThreadedReport {
+    run_pcg_pipelined_threaded_full(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        WatchdogPolicy::from_wallclock(watchdog),
+        &FaultPlan::default(),
+    )
+}
+
+/// Runs Ghysels–Vanroose pipelined PCG inside the single kernel with TWO
+/// global barriers per iteration (the classic engine passes four): one
+/// publishes `m = M⁻¹w` for the SpMV, one publishes the fused dot partials.
+/// The in-kernel SpTRSV, poison/watchdog and fault-injection machinery are
+/// identical to [`run_pcg_threaded_full`]; breakdown semantics mirror
+/// [`crate::pipelined::run_pcg_pipelined_ws`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_pipelined_threaded_full(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+) -> ThreadedReport {
+    run_pcg_pipelined_threaded_traced(
+        m,
+        ilu,
+        b,
+        tol,
+        max_iter,
+        max_warps,
+        watchdog,
+        plan,
+        &TraceConfig::default(),
+    )
+}
+
+/// [`run_pcg_pipelined_threaded_full`] plus an event-trace switch; see
+/// [`run_pcg_threaded_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pcg_pipelined_threaded_traced(
+    m: &TiledMatrix,
+    ilu: &Ilu0,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+) -> ThreadedReport {
+    let trace = *trace;
+    let n = m.nrows;
+    assert_eq!(b.len(), n);
+    assert_eq!(m.nrows, m.ncols);
+    assert_eq!(ilu.l.nrows, n);
+    assert_eq!(ilu.u.nrows, n);
+    assert!(max_warps >= 1);
+
+    let ts = m.tile_size;
+    let segments = n.div_ceil(ts).max(1);
+    let warps = segments.min(max_warps).max(1);
+    let seg_lo = segment_bounds(segments, warps);
+    let tr_start = tile_row_starts(m, segments);
+
+    let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_b == 0.0 {
+        return trivial_report(n, warps);
+    }
+
+    let to_cells =
+        |v: &[f64]| -> Vec<AtomicU64> { v.iter().map(|&x| AtomicU64::new(x.to_bits())).collect() };
+    let zeros = vec![0.0; n];
+    let x = to_cells(&zeros);
+    let r = to_cells(b);
+    let p = to_cells(&zeros);
+    let s = to_cells(&zeros); // s = A·p (recurrence)
+    let q = to_cells(&zeros); // q = M⁻¹s (recurrence)
+    let zz = to_cells(&zeros); // z = A·q (recurrence)
+    let u = to_cells(&zeros); // u = M⁻¹r
+    let wv = to_cells(&zeros); // w = A·u — warp-private (own rows only)
+    let mv = to_cells(&zeros); // m = M⁻¹w — the one cross-warp vector
+    let nv = to_cells(&zeros); // n = A·m
+    let y = to_cells(&zeros); // forward-solve scratch
+
+    let fwd = RowDeps::new(n);
+    let bwd = RowDeps::new(n);
+    let bar = AtomicI64::new(0);
+
+    let mk_seg = || -> Vec<AtomicU64> { (0..segments).map(|_| AtomicU64::new(0)).collect() };
+    let seg_gamma = [mk_seg(), mk_seg()];
+    let seg_delta = [mk_seg(), mk_seg()];
+    let seg_rho = [mk_seg(), mk_seg()];
+
+    let iterations_done = AtomicI64::new(0);
+    let converged_flag = AtomicI64::new(0);
+    let final_relres_bits = AtomicU64::new(f64::INFINITY.to_bits());
+    let poison = AtomicI64::new(POISON_NONE);
+    let failure_cell = FailureCell::new();
+    let (deadline, heartbeat) = arm_watchdog(watchdog, warps);
+    let hb = heartbeat.as_ref();
+    let warps_i = warps as i64;
+
+    let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(warps);
+        for w in 0..warps {
+            let (x, r, p, s, q, zz, u) = (&x, &r, &p, &s, &q, &zz, &u);
+            let (wv, mv, nv, y) = (&wv, &mv, &nv, &y);
+            let (fwd, bwd, bar) = (&fwd, &bwd, &bar);
+            let (seg_gamma, seg_delta, seg_rho) = (&seg_gamma, &seg_delta, &seg_rho);
+            let (seg_lo, tr_start) = (&seg_lo, &tr_start);
+            let iterations_done = &iterations_done;
+            let converged_flag = &converged_flag;
+            let final_relres_bits = &final_relres_bits;
+            let poison = &poison;
+            let failure_cell = &failure_cell;
+            let plan = &*plan;
+            handles.push(scope.spawn(move |_| {
+                let wf = (!plan.is_empty()).then(|| plan.for_warp(w));
+                let tracer = trace
+                    .enabled
+                    .then(|| WarpTracer::new(w, trace.capacity_per_warp));
+                let sync = WarpSync {
+                    poison,
+                    deadline,
+                    heartbeat: hb,
+                    faults: wf.as_ref(),
+                    tracer: tracer.as_ref(),
+                    warp: w,
+                };
+                let mut events: Vec<BreakdownEvent> = Vec::new();
+                let mut trail: Vec<f64> = Vec::new();
+                let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), i64> {
+                    let my_segs = seg_lo[w]..seg_lo[w + 1];
+                    let elems = |sg: usize| (sg * ts)..(((sg + 1) * ts).min(n));
+                    let rows = (seg_lo[w] * ts)..((seg_lo[w + 1] * ts).min(n));
+                    let my_tiles = tr_start[seg_lo[w]]..tr_start[seg_lo[w + 1]];
+                    let tile_vals: Vec<Vec<f64>> =
+                        my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
+                    let mut acc = vec![0.0f64; ts];
+
+                    let ld = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Acquire));
+                    let st = |c: &AtomicU64, v: f64| c.store(v.to_bits(), Ordering::Release);
+                    let seg_total = |cells: &[AtomicU64]| -> f64 {
+                        let mut t = 0.0;
+                        for cell in cells.iter() {
+                            t += f64::from_bits(cell.load(Ordering::Acquire));
+                        }
+                        t
+                    };
+                    let mut bar_epoch = 0i64;
+                    let mut barrier = || -> Result<(), i64> {
+                        bar_epoch += 1;
+                        bar.fetch_add(1, Ordering::AcqRel);
+                        sync.spin_until(bar, warps_i * bar_epoch)
+                    };
+                    let mut spmv_own = |input: &[AtomicU64], output: &[AtomicU64]| {
+                        for sg in my_segs.clone() {
+                            let base_row = sg * ts;
+                            let len = ((sg + 1) * ts).min(n) - base_row;
+                            acc[..len].fill(0.0);
+                            for i in tr_start[sg]..tr_start[sg + 1] {
+                                let base_col = m.tile_colidx[i] as usize * ts;
+                                let nnz_base = m.tile_nnz[i] as usize;
+                                let vals = &tile_vals[i - my_tiles.start];
+                                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                    let mut sum = 0.0;
+                                    for kk in
+                                        m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                                    {
+                                        sum += vals[kk - nnz_base]
+                                            * f64::from_bits(
+                                                input[base_col + m.csr_colidx[kk] as usize]
+                                                    .load(Ordering::Acquire),
+                                            );
+                                    }
+                                    acc[m.row_index[ri] as usize] += sum;
+                                }
+                            }
+                            for (o, v) in acc[..len].iter().enumerate() {
+                                output[base_row + o].store(v.to_bits(), Ordering::Release);
+                            }
+                            sync.pulse();
+                        }
+                    };
+
+                    let mut apply_epoch = 0i64;
+
+                    // ---- Init: u = M⁻¹r (r = b), then w = A·u,
+                    // γ₀ = (r,u), δ₀ = (w,u), ρ₀ = (r,r).
+                    sync.iteration_gate()?;
+                    sync.step(0, 0)?;
+                    apply_epoch += 1;
+                    warp_sptrsv_lower(&ilu.l, true, r, y, fwd, rows.clone(), apply_epoch, sync)?;
+                    warp_sptrsv_upper(&ilu.u, false, y, u, bwd, rows.clone(), apply_epoch, sync)?;
+                    barrier()?; // publishes u for the SpMV
+                    spmv_own(u, wv);
+                    for sg in my_segs.clone() {
+                        let mut pg = 0.0;
+                        let mut pd = 0.0;
+                        let mut pr = 0.0;
+                        for e in elems(sg) {
+                            let rv = ld(&r[e]);
+                            let uv = ld(&u[e]);
+                            pg += rv * uv;
+                            pd += ld(&wv[e]) * uv;
+                            pr += rv * rv;
+                        }
+                        st(&seg_gamma[0][sg], pg);
+                        st(&seg_delta[0][sg], pd);
+                        st(&seg_rho[0][sg], pr);
+                    }
+                    barrier()?; // publishes the (γ₀, δ₀, ρ₀) partials
+
+                    let mut k = 0usize;
+                    let mut gamma_old = 1.0f64;
+                    let mut alpha_old = 1.0f64;
+                    let mut fresh = true;
+                    let mut consecutive_restarts = 0usize;
+
+                    for j in 0..max_iter as i64 {
+                        sync.iteration_gate()?;
+                        let s_in = k % 2;
+                        let s_out = (k + 1) % 2;
+
+                        // ---- m = M⁻¹w (w is warp-private: the SpTRSV rhs
+                        // reads own rows only).
+                        sync.step(j, 1)?;
+                        apply_epoch += 1;
+                        warp_sptrsv_lower(
+                            &ilu.l,
+                            true,
+                            wv,
+                            y,
+                            fwd,
+                            rows.clone(),
+                            apply_epoch,
+                            sync,
+                        )?;
+                        warp_sptrsv_upper(
+                            &ilu.u,
+                            false,
+                            y,
+                            mv,
+                            bwd,
+                            rows.clone(),
+                            apply_epoch,
+                            sync,
+                        )?;
+                        barrier()?; // barrier 1 of 2: publishes m
+
+                        // ---- n = A·m.
+                        sync.step(j, 2)?;
+                        spmv_own(mv, nv);
+
+                        // ---- Scalars from the published reduction.
+                        sync.step(j, 3)?;
+                        let gamma = seg_total(&seg_gamma[s_in]);
+                        let delta = seg_total(&seg_delta[s_in]);
+                        let (beta, alpha, denom) =
+                            pipeline_scalars(fresh, gamma, gamma_old, delta, alpha_old);
+                        if let Some(kind) = breakdown_kind(alpha, denom) {
+                            // Flag-only restart, as in pipelined CG; the
+                            // second barrier keeps the epoch count aligned.
+                            fresh = true;
+                            barrier()?;
+                            let rho = seg_total(&seg_rho[s_in]);
+                            consecutive_restarts += 1;
+                            let abort_nonfinite = !gamma.is_finite();
+                            let abort_stalled = consecutive_restarts >= MAX_CONSECUTIVE_RESTARTS;
+                            let action = if abort_nonfinite || abort_stalled {
+                                RecoveryAction::Aborted
+                            } else {
+                                RecoveryAction::Restarted
+                            };
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind,
+                                action,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                let relres = rho.max(0.0).sqrt() / norm_b;
+                                if relres.is_finite() {
+                                    final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                                }
+                                if abort_nonfinite {
+                                    failure_cell.set(FAIL_NONFINITE, j);
+                                } else if abort_stalled {
+                                    failure_cell.set(FAIL_STALLED, j);
+                                }
+                            }
+                            if abort_nonfinite || abort_stalled {
+                                return Ok(());
+                            }
+                            continue;
+                        }
+                        consecutive_restarts = 0;
+
+                        // ---- Fused eight-vector update + next dot partials
+                        // (elementwise order matches blas1::pcg_pipelined_update).
+                        sync.step(j, 4)?;
+                        for sg in my_segs.clone() {
+                            let mut pg = 0.0;
+                            let mut pd = 0.0;
+                            let mut pr = 0.0;
+                            for e in elems(sg) {
+                                let mvv = ld(&mv[e]);
+                                let nvv = ld(&nv[e]);
+                                let uo = ld(&u[e]);
+                                let wo = ld(&wv[e]);
+                                let pv = uo + beta * ld(&p[e]);
+                                st(&p[e], pv);
+                                let sv = wo + beta * ld(&s[e]);
+                                st(&s[e], sv);
+                                let qv = mvv + beta * ld(&q[e]);
+                                st(&q[e], qv);
+                                let zv = nvv + beta * ld(&zz[e]);
+                                st(&zz[e], zv);
+                                st(&x[e], ld(&x[e]) + alpha * pv);
+                                let rv = ld(&r[e]) - alpha * sv;
+                                st(&r[e], rv);
+                                let un = uo - alpha * qv;
+                                st(&u[e], un);
+                                let wn = wo - alpha * zv;
+                                st(&wv[e], wn);
+                                pg += rv * un;
+                                pd += wn * un;
+                                pr += rv * rv;
+                            }
+                            st(&seg_gamma[s_out][sg], pg);
+                            st(&seg_delta[s_out][sg], pd);
+                            st(&seg_rho[s_out][sg], pr);
+                        }
+                        barrier()?; // barrier 2 of 2: publishes the partials
+
+                        k += 1;
+                        gamma_old = gamma;
+                        alpha_old = alpha;
+                        fresh = false;
+
+                        let rho_new = seg_total(&seg_rho[s_out]);
+                        if !rho_new.is_finite() {
+                            events.push(BreakdownEvent {
+                                iteration: j as usize,
+                                kind: BreakdownKind::NonFinite,
+                                action: RecoveryAction::Aborted,
+                            });
+                            if w == 0 {
+                                iterations_done.store(j + 1, Ordering::Release);
+                                failure_cell.set(FAIL_NONFINITE, j);
+                            }
+                            return Ok(());
+                        }
+                        let relres = rho_new.max(0.0).sqrt() / norm_b;
+                        if w == 0 {
+                            iterations_done.store(j + 1, Ordering::Release);
+                            final_relres_bits.store(relres.to_bits(), Ordering::Release);
+                            trail.push(relres);
+                        }
+                        if relres < tol {
+                            if w == 0 {
+                                converged_flag.store(1, Ordering::Release);
+                            }
+                            break;
+                        }
+                    }
+                    Ok(())
+                }));
+                let faults = wf.as_ref().map(|f| f.counts()).unwrap_or_default();
+                settle_warp(body, poison, events, trail, faults, tracer)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| dead_warp()))
+            .collect()
+    })
+    .expect("threaded pipelined PCG scope failed");
+
+    finish_report(
+        &x,
+        warps,
+        &iterations_done,
+        &converged_flag,
+        &final_relres_bits,
+        &poison,
+        &failure_cell,
+        heartbeat.as_ref(),
+        PCG_PIPELINED_STEPS,
+        plan,
+        outs,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -3465,6 +4315,280 @@ mod tests {
                         assert!(rep.iterations <= 100, "{name}/{ename}/{warps}");
                     }
                 }
+            }
+        }
+    }
+
+    // ---- Pipelined engines -----------------------------------------------
+
+    #[test]
+    fn pipelined_cg_converges_and_is_warp_invariant() {
+        let a = poisson1d(512);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 512];
+        a.matvec(&vec![1.0; 512], &mut b);
+        let base = run_cg_pipelined_threaded(&m, &b, 1e-10, 1000, 1);
+        assert!(base.converged, "relres {}", base.final_relres);
+        assert!(base.failure.is_none());
+        for v in &base.x {
+            assert!((v - 1.0).abs() < 1e-7, "{v}");
+        }
+        for warps in [2, 5, 8] {
+            let rep = run_cg_pipelined_threaded(&m, &b, 1e-10, 1000, warps);
+            assert!(rep.converged, "warps {warps}");
+            assert_eq!(rep.iterations, base.iterations, "warps {warps}");
+            assert_eq!(
+                rep.final_relres.to_bits(),
+                base.final_relres.to_bits(),
+                "warps {warps}"
+            );
+            assert_eq!(rep.residual_history, base.residual_history);
+            for (i, (t, s)) in rep.x.iter().zip(&base.x).enumerate() {
+                assert_eq!(t.to_bits(), s.to_bits(), "warps {warps} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_pcg_converges_and_is_warp_invariant() {
+        let (_, m, f, b) = pcg_fixture(512);
+        let base = run_pcg_pipelined_threaded(&m, &f, &b, 1e-10, 1000, 1);
+        assert!(base.converged, "relres {}", base.final_relres);
+        assert!(base.failure.is_none());
+        for v in &base.x {
+            assert!((v - 1.0).abs() < 1e-7, "{v}");
+        }
+        for warps in [4, 7] {
+            let rep = run_pcg_pipelined_threaded(&m, &f, &b, 1e-10, 1000, warps);
+            assert!(rep.converged, "warps {warps}");
+            assert_eq!(rep.iterations, base.iterations, "warps {warps}");
+            assert_eq!(rep.residual_history, base.residual_history);
+            for (i, (t, s)) in rep.x.iter().zip(&base.x).enumerate() {
+                assert_eq!(t.to_bits(), s.to_bits(), "warps {warps} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_cg_iteration_count_tracks_classic() {
+        // The pipelined recurrence is the same Krylov method with different
+        // rounding; on a well-conditioned fixture the convergence iteration
+        // may only drift by a hair.
+        let a = poisson1d(256);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 256];
+        a.matvec(&vec![1.0; 256], &mut b);
+        let classic = run_cg_threaded(&m, &b, 1e-10, 1000, 4);
+        let pipelined = run_cg_pipelined_threaded(&m, &b, 1e-10, 1000, 4);
+        assert!(classic.converged && pipelined.converged);
+        assert!(
+            classic.iterations.abs_diff(pipelined.iterations) <= 5,
+            "classic {} vs pipelined {}",
+            classic.iterations,
+            pipelined.iterations
+        );
+        for (t, s) in pipelined.x.iter().zip(&classic.x) {
+            assert!((t - s).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pipelined_cg_indefinite_fails_finite() {
+        let n = 64;
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, -1.0);
+        }
+        let m = tiled(&a.to_csr());
+        let b = vec![1.0; n];
+        for warps in [1, 4] {
+            let rep = run_cg_pipelined_threaded(&m, &b, 1e-10, 1000, warps);
+            assert!(!rep.converged, "warps {warps}");
+            assert!(rep.final_relres.is_finite(), "warps {warps}");
+            assert!(rep.x.iter().all(|v| v.is_finite()), "warps {warps}");
+            assert!(
+                matches!(rep.failure, Some(SolveFailure::Stalled { .. })),
+                "warps {warps}: {:?}",
+                rep.failure
+            );
+            assert_eq!(rep.iterations, MAX_CONSECUTIVE_RESTARTS, "warps {warps}");
+            assert!(rep
+                .breakdowns
+                .iter()
+                .all(|e| e.kind == BreakdownKind::Curvature));
+            assert_eq!(
+                rep.breakdowns.last().unwrap().action,
+                RecoveryAction::Aborted
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_zero_rhs_and_max_iter() {
+        let a = poisson1d(64);
+        let m = tiled(&a);
+        let rep = run_cg_pipelined_threaded(&m, &vec![0.0; 64], 1e-10, 100, 4);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+        let mut b = vec![0.0; 64];
+        a.matvec(&vec![1.0; 64], &mut b);
+        let rep = run_cg_pipelined_threaded(&m, &b, 1e-30, 5, 4);
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 5);
+        assert!(rep.failure.is_none());
+
+        let (_, m, f, b) = pcg_fixture(64);
+        let rep = run_pcg_pipelined_threaded(&m, &f, &vec![0.0; 64], 1e-10, 100, 4);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+        let rep = run_pcg_pipelined_threaded(&m, &f, &b, 0.0, 3, 4);
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 3);
+        assert!(rep.failure.is_none());
+    }
+
+    #[test]
+    fn pipelined_benign_faults_bitwise_inert() {
+        let a = poisson1d(160);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 160];
+        a.matvec(&vec![1.0; 160], &mut b);
+        let plan = FaultPlan::seeded(11).with_delay(200, 16).with_stall(4, 50);
+        let clean = run_cg_pipelined_threaded(&m, &b, 1e-10, 1000, 4);
+        let rep = run_cg_pipelined_threaded_full(
+            &m,
+            &b,
+            1e-10,
+            1000,
+            4,
+            WatchdogPolicy::default(),
+            &plan,
+        );
+        assert!(rep.converged);
+        let inj = rep.injected_faults.expect("non-empty plan → telemetry");
+        assert!(inj.counts.total() > 0, "benign faults actually fired");
+        for (t, c) in rep.x.iter().zip(&clean.x) {
+            assert_eq!(t.to_bits(), c.to_bits(), "benign plan is bitwise inert");
+        }
+
+        let (_, pm, f, pb) = pcg_fixture(160);
+        let clean = run_pcg_pipelined_threaded(&pm, &f, &pb, 1e-10, 1000, 4);
+        let rep = run_pcg_pipelined_threaded_full(
+            &pm,
+            &f,
+            &pb,
+            1e-10,
+            1000,
+            4,
+            WatchdogPolicy::default(),
+            &plan,
+        );
+        assert!(rep.converged);
+        for (t, c) in rep.x.iter().zip(&clean.x) {
+            assert_eq!(t.to_bits(), c.to_bits(), "benign plan is bitwise inert");
+        }
+    }
+
+    #[test]
+    fn pipelined_watchdog_zero_deadline_wedges_cleanly() {
+        let a = poisson1d(128);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 128];
+        a.matvec(&vec![1.0; 128], &mut b);
+        let rep: ThreadedReport =
+            run_cg_pipelined_threaded_watchdog(&m, &b, 1e-10, 1000, 4, Some(Duration::ZERO));
+        assert!(!rep.converged);
+        assert!(
+            matches!(rep.failure, Some(SolveFailure::Wedged { .. })),
+            "{:?}",
+            rep.failure
+        );
+        assert_eq!(rep.breakdowns.last().unwrap().kind, BreakdownKind::Watchdog);
+    }
+
+    /// The tentpole claim, measured: the classic CG passes ~4 synchronization
+    /// epochs per iteration, the pipelined CG exactly one (plus one at init);
+    /// classic PCG four barriers, pipelined PCG two (plus two at init). The
+    /// trace counts every `BarrierEnter` per warp, so the densities are
+    /// directly comparable (SpTRSV row waits are recorded as `RowWait` and
+    /// do not inflate the metric).
+    #[test]
+    fn pipelined_trace_shows_barrier_collapse() {
+        let tr = TraceConfig {
+            enabled: true,
+            capacity_per_warp: 65536,
+        };
+        let wd = WatchdogPolicy::default();
+        let plan = FaultPlan::default();
+
+        let a = poisson1d(256);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 256];
+        a.matvec(&vec![1.0; 256], &mut b);
+        let classic = run_cg_threaded_traced(&m, &b, 1e-10, 1000, 4, wd, &plan, &tr);
+        let piped = run_cg_pipelined_threaded_traced(&m, &b, 1e-10, 1000, 4, wd, &plan, &tr);
+        assert!(classic.converged && piped.converged);
+        let cs = classic.trace.as_ref().unwrap().summary();
+        let ps = piped.trace.as_ref().unwrap().summary();
+        assert_eq!(cs.dropped + ps.dropped, 0, "ring too small for the test");
+        let (cd, pd) = (cs.barriers_per_iteration(), ps.barriers_per_iteration());
+        assert!(pd <= 1.5, "pipelined CG barrier density {pd}");
+        assert!(pd < cd, "pipelined {pd} not below classic {cd}");
+
+        // 2D Poisson: ILU(0) is *inexact* there, so PCG runs enough
+        // iterations to amortize the two init barriers (the tridiagonal
+        // fixture converges in one iteration, where density = 2 + 2/1 = 4
+        // says nothing about the steady state).
+        let k = 16;
+        let n = k * k;
+        let mut a2 = Coo::new(n, n);
+        for i in 0..k {
+            for jj in 0..k {
+                let row = i * k + jj;
+                a2.push(row, row, 4.0);
+                if i > 0 {
+                    a2.push(row, row - k, -1.0);
+                }
+                if i + 1 < k {
+                    a2.push(row, row + k, -1.0);
+                }
+                if jj > 0 {
+                    a2.push(row, row - 1, -1.0);
+                }
+                if jj + 1 < k {
+                    a2.push(row, row + 1, -1.0);
+                }
+            }
+        }
+        let a2 = a2.to_csr();
+        let pm = tiled(&a2);
+        let f = mf_kernels::ilu0(&a2).unwrap();
+        let mut pb = vec![0.0; n];
+        a2.matvec(&vec![1.0; n], &mut pb);
+        let classic = run_pcg_threaded_traced(&pm, &f, &pb, 1e-10, 1000, 4, wd, &plan, &tr);
+        let piped = run_pcg_pipelined_threaded_traced(&pm, &f, &pb, 1e-10, 1000, 4, wd, &plan, &tr);
+        assert!(classic.converged && piped.converged);
+        let cs = classic.trace.as_ref().unwrap().summary();
+        let ps = piped.trace.as_ref().unwrap().summary();
+        assert_eq!(cs.dropped + ps.dropped, 0, "ring too small for the test");
+        let (cd, pd) = (cs.barriers_per_iteration(), ps.barriers_per_iteration());
+        assert!(pd <= 2.5, "pipelined PCG barrier density {pd}");
+        assert!(pd < cd, "pipelined {pd} not below classic {cd}");
+    }
+
+    #[test]
+    fn pipelined_repeated_runs_are_consistent() {
+        let a = poisson1d(200);
+        let m = tiled(&a);
+        let mut b = vec![0.0; 200];
+        a.matvec(&vec![1.0; 200], &mut b);
+        let base = run_cg_pipelined_threaded(&m, &b, 1e-10, 1000, 7);
+        assert!(base.converged);
+        for trial in 0..10 {
+            let rep = run_cg_pipelined_threaded(&m, &b, 1e-10, 1000, 7);
+            assert!(rep.converged, "trial {trial}");
+            for (t, s) in rep.x.iter().zip(&base.x) {
+                assert_eq!(t.to_bits(), s.to_bits(), "trial {trial}");
             }
         }
     }

@@ -36,6 +36,15 @@ pub struct SolverWorkspace {
     pub phat: Vec<f64>,
     /// Preconditioned intermediate `ŝ = M⁻¹s` (PBiCGSTAB).
     pub shat: Vec<f64>,
+    /// Pipelined auxiliary `w = A·r` (CG) / `w = A·u` (PCG) — the SpMV
+    /// input of the Ghysels–Vanroose recurrence.
+    pub w: Vec<f64>,
+    /// Pipelined PCG auxiliary `m = M⁻¹w`.
+    pub m: Vec<f64>,
+    /// Pipelined PCG auxiliary `n = A·m`.
+    pub n: Vec<f64>,
+    /// Pipelined PCG auxiliary `q = M⁻¹s` (recurrence-maintained).
+    pub q: Vec<f64>,
 }
 
 impl SolverWorkspace {
@@ -66,6 +75,10 @@ impl SolverWorkspace {
             &mut self.y,
             &mut self.phat,
             &mut self.shat,
+            &mut self.w,
+            &mut self.m,
+            &mut self.n,
+            &mut self.q,
         ] {
             v.clear();
             v.resize(n, 0.0);

@@ -114,6 +114,21 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every kind, in discriminant order — [`TraceSummary::counts`] is
+    /// indexed by this order.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::IterStart,
+        EventKind::IterEnd,
+        EventKind::BarrierEnter,
+        EventKind::BarrierExit,
+        EventKind::RowWait,
+        EventKind::Precision,
+        EventKind::Bypass,
+        EventKind::SpmvBytes,
+        EventKind::Breakdown,
+        EventKind::Fault,
+    ];
+
     /// Stable snake_case label used in every export format.
     pub fn label(self) -> &'static str {
         match self {
@@ -463,6 +478,27 @@ impl Trace {
         out
     }
 
+    /// One-pass aggregate of the merged stream — the shared replacement
+    /// for the ad-hoc event counting the benches and tests used to
+    /// re-implement over `events`.
+    pub fn summary(&self) -> TraceSummary {
+        let mut counts = [0usize; EventKind::ALL.len()];
+        let mut iterations = 0usize;
+        for e in &self.events {
+            counts[e.kind as usize] += 1;
+            if e.kind == EventKind::IterStart {
+                iterations = iterations.max(e.iteration as usize + 1);
+            }
+        }
+        TraceSummary {
+            counts,
+            warps: self.warps,
+            iterations,
+            total_polls: self.total_polls,
+            dropped: self.dropped,
+        }
+    }
+
     /// Chrome `trace_event` JSON (the `{"traceEvents": [...]}` object
     /// form), loadable in Perfetto / `chrome://tracing`. Timestamps are
     /// *logical*: each event's `ts` is its index in the merged
@@ -494,6 +530,57 @@ impl Trace {
         }
         out.push_str("]}");
         out
+    }
+}
+
+/// Aggregate view of one merged [`Trace`]: per-kind event counts plus the
+/// derived per-iteration synchronization metrics the benches and the
+/// pipelined-parity harness gate on. Produced by [`Trace::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Event counts indexed by [`EventKind::ALL`] order (discriminant).
+    pub counts: [usize; EventKind::ALL.len()],
+    /// Warp streams merged into the trace.
+    pub warps: usize,
+    /// Iteration-space size: `max(iteration) + 1` over `IterStart`
+    /// events (0 when nothing was recorded). Init-phase events stamped
+    /// before the first iteration are folded into iteration 0.
+    pub iterations: usize,
+    /// Spin-poll iterations summed over warps (schedule-dependent).
+    pub total_polls: u64,
+    /// Events lost to ring wraparound, summed over warps.
+    pub dropped: u64,
+}
+
+impl TraceSummary {
+    /// Count of one event kind.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.counts[kind as usize]
+    }
+
+    /// Barrier epochs per iteration per warp: every warp records one
+    /// `BarrierEnter` per epoch it participates in, so
+    /// `count / (warps × iterations)` is the engine's barrier schedule
+    /// density — the headline number the pipelined engines cut from ~4
+    /// to 1–2. Returns 0.0 for empty traces.
+    pub fn barriers_per_iteration(&self) -> f64 {
+        let denom = self.warps * self.iterations;
+        if denom == 0 {
+            0.0
+        } else {
+            self.count(EventKind::BarrierEnter) as f64 / denom as f64
+        }
+    }
+
+    /// Spin polls per recorded wait exit (`BarrierExit` + `RowWait`),
+    /// schedule-dependent. Returns 0.0 when no waits were recorded.
+    pub fn spin_polls_per_wait(&self) -> f64 {
+        let waits = self.count(EventKind::BarrierExit) + self.count(EventKind::RowWait);
+        if waits == 0 {
+            0.0
+        } else {
+            self.total_polls as f64 / waits as f64
+        }
     }
 }
 
@@ -680,6 +767,40 @@ mod tests {
         assert_eq!(tr.bypassed_tiles(), 5);
         assert_eq!(tr.count(EventKind::SpmvBytes), 2);
         assert!((tr.spin_polls_per_wait() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_counts_and_barrier_density() {
+        // Two warps × 3 iterations × one barrier pair per iteration.
+        let a = tracer_with(0, 64, 3);
+        a.add_polls(6);
+        let b = tracer_with(1, 64, 3);
+        let s = Trace::merge(vec![a.finish(), b.finish()]).summary();
+        assert_eq!(s.warps, 2);
+        assert_eq!(s.iterations, 3);
+        assert_eq!(s.count(EventKind::IterStart), 6);
+        assert_eq!(s.count(EventKind::BarrierEnter), 6);
+        assert_eq!(s.count(EventKind::BarrierExit), 6);
+        assert_eq!(s.count(EventKind::Fault), 0);
+        assert!((s.barriers_per_iteration() - 1.0).abs() < 1e-12);
+        assert!((s.spin_polls_per_wait() - 1.0).abs() < 1e-12);
+        assert_eq!(s.dropped, 0);
+        // Summary counts agree with the one-kind-at-a-time counter.
+        let tr = Trace::merge(vec![tracer_with(0, 64, 2).finish()]);
+        let s2 = tr.summary();
+        for k in EventKind::ALL {
+            assert_eq!(s2.count(k), tr.count(k), "{}", k.label());
+        }
+    }
+
+    #[test]
+    fn summary_of_empty_trace_is_all_zero() {
+        let s = Trace::default().summary();
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.warps, 0);
+        assert_eq!(s.barriers_per_iteration(), 0.0);
+        assert_eq!(s.spin_polls_per_wait(), 0.0);
+        assert!(s.counts.iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Smoke-run the perf-trajectory benches: the host SpMV scaling bench
-# (bench_out/spmv_scaling.csv + BENCH_spmv.json) and the trace-timeline
+# (bench_out/spmv_scaling.csv + BENCH_spmv.json), the trace-timeline
 # bench with its recording-overhead gate (bench_out/fig_trace_timeline.csv
-# + BENCH_trace.json; *fails* when tracing costs more than the gate).
+# + BENCH_trace.json; *fails* when tracing costs more than the gate), and
+# the pipelined barrier-schedule bench (bench_out/fig_pipeline.csv +
+# BENCH_pipeline.json; *fails* when pipelined CG/PCG exceed 1/2 marginal
+# barrier epochs per iteration or leave the classic-vs-pipelined drift
+# envelope).
 #
-# Knobs (see crates/bench/src/bin/{spmv_scaling,fig_trace_timeline}.rs):
+# Knobs (see crates/bench/src/bin/{spmv_scaling,fig_trace_timeline,fig_pipeline}.rs):
 #   MF_SPMV_GRID      Poisson grid side (default 320 -> 102,400 rows)
 #   MF_SPMV_REPS      timed reps per thread count (default 20)
 #   MF_SPMV_THREADS   comma list of thread counts (default 1,2,4,8)
@@ -12,10 +16,16 @@
 #   MF_TRACE_ITERS    fixed iteration count (default 25)
 #   MF_TRACE_REPS     timed reps per config (default 3)
 #   MF_TRACE_GATE_PCT overhead gate in percent (default 5)
+#   MF_PIPE_GRID      Poisson grid side for the schedule bench (default 32)
+#   MF_PIPE_WARPS     warp count for the traced runs (default 2)
+#   MF_PIPE_BUDGET    fixed iteration budget of the density window (default 12)
+#   MF_PIPE_REPS      timed reps per solve (default 2)
+#   MF_PIPE_COUNT     extra suite matrices in the solve table (default 2)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --locked --offline -p mf-bench \
-    --bin spmv_scaling --bin fig_trace_timeline
+    --bin spmv_scaling --bin fig_trace_timeline --bin fig_pipeline
 ./target/release/spmv_scaling
 ./target/release/fig_trace_timeline --trace-dir bench_out/traces
+./target/release/fig_pipeline

@@ -35,6 +35,11 @@ cargo build --release --locked --offline --workspace --all-targets
 # are ignored in debug; run them optimized, again with a hard kill so a
 # wedged in-kernel SpTRSV fails fast instead of stalling CI.
 timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test threaded_parity
+# Pipelined-parity tier: the pipelined CG/PCG engines against their
+# sequential references (bitwise, clean and under seeded perturbation)
+# plus the explicit pipelined-vs-classic residual-drift envelope; the
+# release run includes the 576-row asymmetric-warp sweep ignored in debug.
+timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test pipelined_parity
 # Fault-injection tier (release-only: the full FaultKind × engine × warp
 # matrix is ignored in debug). Every plan in the suite is seed-deterministic;
 # on failure the assertion message embeds the plan's Display form — a

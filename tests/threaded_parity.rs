@@ -9,6 +9,9 @@
 //! factors must fail as structured `Wedged`/`WarpPanic` reports in bounded
 //! time — never hang.
 
+// `common` also carries the pipelined references used by
+// `tests/pipelined_parity.rs`; this binary does not call them.
+#[allow(dead_code)]
 mod common;
 
 use common::{assert_matches_oracle, paper_rhs, reference_pbicgstab, reference_pcg, RefReport};
