@@ -1,0 +1,379 @@
+//! Serving-layer amortization: preprocessing cache and batched multi-RHS
+//! solves (ROADMAP "solver-as-a-service", mf-serve crate).
+//!
+//! Two measurements over [`mf_serve::SolveService`], both gated (exit 1 on
+//! failure):
+//!
+//! 1. **Cache amortization** — replay a seeded trace of single-solve
+//!    requests (Zipf-ish skew over a small matrix pool, fresh right-hand
+//!    side every request, ILU(0)-preconditioned solves so preparation
+//!    includes the factorization). Two services run the *same* trace:
+//!    a cold service whose admission cap is zero (every request rebuilds —
+//!    the no-cache baseline) and a warm service with the default cache,
+//!    primed by one pass over the pool. Per-request latency → p50 / p99 /
+//!    requests-per-second. Gate: warm p50 ≥ 3× better than cold p50, and
+//!    warm answers bitwise equal cold answers (amortization must not
+//!    change numbers).
+//! 2. **Batch amortization** — `k` requests sharing one (warm) matrix:
+//!    one lockstep `solve_batch` of all `k` vs `k` individual solves of
+//!    the same right-hand sides (the never-batched path). Both amortize
+//!    preparation via the cache, so the difference is purely the one-pass-
+//!    per-iteration SpMM. Gate: batched requests/sec > individual
+//!    requests/sec, again with bitwise-equal answers.
+//!
+//! Output: `bench_out/fig_serve.csv` + `BENCH_serve.json`.
+//!
+//! Env knobs: `MF_SERVE_GRID` (smallest Poisson proxy side, default 20),
+//! `MF_SERVE_MATS` (pool size, default 4), `MF_SERVE_REQS` (trace length,
+//! default 96), `MF_SERVE_ITERS` (per-request refinement budget, default 3;
+//! the trace models the real-time serving pattern — a fixed small amount of
+//! iterative refinement per request, the same fixed-budget regime the
+//! paper's performance figures use — so preparation dominates the request;
+//! 0 switches the trace to tolerance mode), `MF_SERVE_TOL` (trace-solve
+//! tolerance in tolerance mode, default 1e-6; the batch workload keeps the
+//! solver default), `MF_SERVE_BATCH`
+//! (k of the batch workload, default 8), `MF_SERVE_REPS` (timed reps of
+//! both workloads — per-request/min-of-reps, every rep bitwise-identical —
+//! default 3), `MF_SERVE_WARM_GATE` (required cold/warm p50 ratio,
+//! default 3.0).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+use mf_bench::{write_csv, Table};
+use mf_collection::poisson2d;
+use mf_serve::{CacheConfig, ServeConfig, SolveService};
+use mf_sparse::Csr;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seeded_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+        .collect()
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+struct TraceStats {
+    p50_us: f64,
+    p99_us: f64,
+    rps: f64,
+}
+
+/// Replays `requests` against `svc` `reps` times, returning latency stats
+/// (per-request min across reps — every replay is bitwise-deterministic,
+/// so the min is the same work with the least scheduler noise) and the
+/// solutions of the first pass (for the bitwise gate).
+fn replay(
+    svc: &SolveService,
+    mats: &[Csr],
+    requests: &[(usize, Vec<f64>)],
+    reps: usize,
+) -> (TraceStats, Vec<Vec<f64>>) {
+    let mut lat_us: Vec<f64> = vec![f64::INFINITY; requests.len()];
+    let mut xs: Vec<Vec<f64>> = Vec::with_capacity(requests.len());
+    let mut total_s = f64::INFINITY;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        for (i, (mi, b)) in requests.iter().enumerate() {
+            let t = Instant::now();
+            let out = svc.solve(&mats[*mi], b);
+            lat_us[i] = lat_us[i].min(t.elapsed().as_secs_f64() * 1e6);
+            if rep == 0 {
+                xs.push(out.report.x);
+            }
+        }
+        total_s = total_s.min(t0.elapsed().as_secs_f64());
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        TraceStats {
+            p50_us: percentile(&lat_us, 0.50),
+            p99_us: percentile(&lat_us, 0.99),
+            rps: requests.len() as f64 / total_s,
+        },
+        xs,
+    )
+}
+
+fn main() {
+    let grid = env_usize("MF_SERVE_GRID", 20).max(4);
+    let mats_count = env_usize("MF_SERVE_MATS", 4).max(1);
+    let reqs = env_usize("MF_SERVE_REQS", 96).max(8);
+    let trace_tol = env_f64("MF_SERVE_TOL", 1e-6);
+    let trace_iters = env_usize("MF_SERVE_ITERS", 3);
+    let batch_k = env_usize("MF_SERVE_BATCH", 8).max(2);
+    let reps = env_usize("MF_SERVE_REPS", 3).max(1);
+    let warm_gate = env_f64("MF_SERVE_WARM_GATE", 3.0);
+
+    // ---- Matrix pool: distinct Poisson proxies (distinct fingerprints).
+    let mats: Vec<Csr> = (0..mats_count)
+        .map(|i| poisson2d(grid + 2 * i, grid + 2 * i))
+        .collect();
+    println!(
+        "fig_serve: {} matrices (n = {}..{}), {} requests, batch k = {}",
+        mats.len(),
+        mats.first().unwrap().nrows,
+        mats.last().unwrap().nrows,
+        reqs,
+        batch_k
+    );
+
+    // ---- Seeded request trace: skewed matrix choice, fresh RHS each.
+    let mut state = 0x5eed_f00d_u64;
+    let requests: Vec<(usize, Vec<f64>)> = (0..reqs)
+        .map(|_| {
+            // Square the draw to skew toward low indices (hot matrices).
+            let u = (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            let mi = ((u * u) * mats.len() as f64) as usize % mats.len();
+            let b = seeded_vec(mats[mi].nrows, splitmix(&mut state));
+            (mi, b)
+        })
+        .collect();
+
+    // ---- 1. Cache amortization: cold (admission-disabled) vs warm. ----
+    let trace_solver = mf_serve::SolverConfig {
+        tolerance: trace_tol,
+        fixed_iterations: (trace_iters > 0).then_some(trace_iters),
+        ..mf_serve::SolverConfig::default()
+    };
+    let cold_svc = SolveService::new(ServeConfig {
+        precondition: true,
+        solver: trace_solver.clone(),
+        cache: CacheConfig {
+            max_entry_bytes: 0, // nothing is ever admitted: the no-cache baseline
+            ..CacheConfig::default()
+        },
+        ..ServeConfig::default()
+    });
+    let warm_svc = SolveService::new(ServeConfig {
+        precondition: true,
+        solver: trace_solver,
+        ..ServeConfig::default()
+    });
+    // Prime the warm service: one pass over the pool pays each build once.
+    for (i, a) in mats.iter().enumerate() {
+        warm_svc.solve(a, &seeded_vec(a.nrows, 0xAB + i as u64));
+    }
+
+    let (cold, cold_xs) = replay(&cold_svc, &mats, &requests, reps);
+    let (warm, warm_xs) = replay(&warm_svc, &mats, &requests, reps);
+    let bitwise_trace = cold_xs == warm_xs;
+    let speedup_p50 = cold.p50_us / warm.p50_us;
+
+    let cs = cold_svc.cache_stats();
+    let wsstats = warm_svc.cache_stats();
+    println!(
+        "cold:  p50 {:.1} µs  p99 {:.1} µs  {:.0} req/s  (builds {})",
+        cold.p50_us, cold.p99_us, cold.rps, cs.builds
+    );
+    println!(
+        "warm:  p50 {:.1} µs  p99 {:.1} µs  {:.0} req/s  (hits {} misses {})",
+        warm.p50_us, warm.p99_us, warm.rps, wsstats.hits, wsstats.misses
+    );
+    println!("warm-cache p50 speedup: {speedup_p50:.2}x (gate >= {warm_gate:.1}x)");
+    assert_eq!(
+        cs.builds as usize,
+        reqs * reps,
+        "cold baseline must rebuild every request"
+    );
+    assert_eq!(
+        wsstats.misses as usize,
+        mats.len(),
+        "warm service builds each matrix exactly once (priming)"
+    );
+
+    let cache_pass = speedup_p50 >= warm_gate && bitwise_trace;
+    if !bitwise_trace {
+        eprintln!("FAIL: warm answers diverge from cold answers");
+    }
+    if speedup_p50 < warm_gate {
+        eprintln!("FAIL: warm p50 speedup {speedup_p50:.2}x below gate {warm_gate:.1}x");
+    }
+
+    // ---- 2. Batch amortization: one solve_batch(k) vs k singles. ----
+    let a = &mats[0];
+    let batch_rhss: Vec<Vec<f64>> = (0..batch_k)
+        .map(|j| seeded_vec(a.nrows, 0xBA7C_0000 + j as u64))
+        .collect();
+    let batch_svc = SolveService::new(ServeConfig::default());
+    batch_svc.prepare(a); // warm: isolate the SpMM amortization
+
+    let mut batched_us = f64::INFINITY;
+    let mut individual_us = f64::INFINITY;
+    let mut batched_out = Vec::new();
+    let mut individual_out: Vec<Vec<f64>> = Vec::new();
+    for rep in 0..=reps {
+        let t = Instant::now();
+        let out = batch_svc.solve_batch(a, &batch_rhss);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        if rep > 0 {
+            batched_us = batched_us.min(us);
+        }
+        batched_out = out;
+
+        let t = Instant::now();
+        let solo: Vec<Vec<f64>> = batch_rhss
+            .iter()
+            .map(|b| {
+                batch_svc.solve_batch(a, std::slice::from_ref(b))[0]
+                    .x
+                    .clone()
+            })
+            .collect();
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        if rep > 0 {
+            individual_us = individual_us.min(us);
+        }
+        individual_out = solo;
+    }
+    let batched_rps = batch_k as f64 / (batched_us / 1e6);
+    let individual_rps = batch_k as f64 / (individual_us / 1e6);
+    let bitwise_batch = batched_out
+        .iter()
+        .zip(&individual_out)
+        .all(|(o, s)| &o.x == s);
+    let all_batched = batched_out.iter().all(|o| o.batched);
+    println!(
+        "batch k={batch_k}: batched {:.1} µs ({batched_rps:.0} req/s) vs individual {:.1} µs ({individual_rps:.0} req/s)",
+        batched_us, individual_us
+    );
+
+    let batch_pass = batched_rps > individual_rps && bitwise_batch && all_batched;
+    if !bitwise_batch {
+        eprintln!("FAIL: batched answers diverge from individual answers");
+    }
+    if !all_batched {
+        eprintln!("FAIL: columns unexpectedly left the lockstep on an SPD pool");
+    }
+    if batched_rps <= individual_rps {
+        eprintln!("FAIL: batching did not beat {batch_k} independent solves ({batched_rps:.0} vs {individual_rps:.0} req/s)");
+    }
+
+    // ---- CSV ----
+    let mut table = Table::new(vec![
+        "workload", "variant", "requests", "p50_us", "p99_us", "rps",
+    ]);
+    for (variant, s) in [("cold", &cold), ("warm", &warm)] {
+        table.row(vec![
+            "trace".to_string(),
+            variant.to_string(),
+            reqs.to_string(),
+            format!("{:.1}", s.p50_us),
+            format!("{:.1}", s.p99_us),
+            format!("{:.1}", s.rps),
+        ]);
+    }
+    for (variant, us, rps) in [
+        ("individual", individual_us, individual_rps),
+        ("batched", batched_us, batched_rps),
+    ] {
+        table.row(vec![
+            "batch".to_string(),
+            variant.to_string(),
+            batch_k.to_string(),
+            format!("{:.1}", us / batch_k as f64), // per-request
+            "-".to_string(),
+            format!("{rps:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+    let csv = write_csv("fig_serve", &table).expect("write csv");
+    println!("wrote {}", csv.display());
+
+    // ---- JSON (hand-rolled; no serde in the offline workspace). ----
+    let pass = cache_pass && batch_pass;
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fig_serve\",\n",
+            "  \"pool\": {{\"matrices\": {mats}, \"grid_min\": {grid}, \"n_min\": {nmin}, \"n_max\": {nmax}}},\n",
+            "  \"trace\": {{\n",
+            "    \"requests\": {reqs},\n",
+            "    \"fixed_iters_per_request\": {titers},\n",
+            "    \"cold\": {{\"p50_us\": {cp50:.1}, \"p99_us\": {cp99:.1}, \"rps\": {crps:.1}, \"builds\": {cbuilds}}},\n",
+            "    \"warm\": {{\"p50_us\": {wp50:.1}, \"p99_us\": {wp99:.1}, \"rps\": {wrps:.1}, \"hits\": {whits}, \"misses\": {wmiss}}},\n",
+            "    \"p50_speedup\": {sp:.3},\n",
+            "    \"bitwise_warm_eq_cold\": {bw},\n",
+            "    \"gate_min_speedup\": {gate:.1},\n",
+            "    \"pass\": {cpass}\n",
+            "  }},\n",
+            "  \"batch\": {{\n",
+            "    \"k\": {k},\n",
+            "    \"individual\": {{\"wall_us\": {ius:.1}, \"rps\": {irps:.1}}},\n",
+            "    \"batched\": {{\"wall_us\": {bus:.1}, \"rps\": {brps:.1}}},\n",
+            "    \"rps_speedup\": {bsp:.3},\n",
+            "    \"bitwise_batched_eq_individual\": {bbw},\n",
+            "    \"pass\": {bpass}\n",
+            "  }},\n",
+            "  \"pass\": {pass}\n",
+            "}}\n"
+        ),
+        mats = mats.len(),
+        grid = grid,
+        nmin = mats.first().unwrap().nrows,
+        nmax = mats.last().unwrap().nrows,
+        reqs = reqs,
+        titers = trace_iters,
+        cp50 = cold.p50_us,
+        cp99 = cold.p99_us,
+        crps = cold.rps,
+        cbuilds = cs.builds,
+        wp50 = warm.p50_us,
+        wp99 = warm.p99_us,
+        wrps = warm.rps,
+        whits = wsstats.hits,
+        wmiss = wsstats.misses,
+        sp = speedup_p50,
+        bw = bitwise_trace,
+        gate = warm_gate,
+        cpass = cache_pass,
+        k = batch_k,
+        ius = individual_us,
+        irps = individual_rps,
+        bus = batched_us,
+        brps = batched_rps,
+        bsp = batched_rps / individual_rps,
+        bbw = bitwise_batch,
+        bpass = batch_pass,
+        pass = pass,
+    );
+    let mut f = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    if !pass {
+        eprintln!("FAIL: fig_serve gates");
+        std::process::exit(1);
+    }
+    println!("fig_serve gates PASS");
+}

@@ -333,6 +333,7 @@ mod tests {
                 bypass_history: vec![],
                 precision_history: vec![],
                 preprocess_wall_us: 0.0,
+                preprocess_passes: 1,
                 breakdowns,
                 failure,
                 trace: None,

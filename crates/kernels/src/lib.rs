@@ -9,6 +9,9 @@
 //! * [`spmv`] — CSR SpMV, tiled SpMV, and the **mixed-precision SpMV with
 //!   tile bypass** of paper Algorithm 5 operating on the "shared memory"
 //!   copy of the tiles.
+//! * [`spmm`] — blocked multi-right-hand-side variants (SpMM + per-column
+//!   BLAS1) that amortize one tile pass across `k` vectors for the serving
+//!   layer, bitwise identical per column to the single-vector kernels.
 //! * [`visflag`] — the convergent-elements retrieval of paper Algorithm 4
 //!   producing the per-column-segment `vis_flag` demands.
 //! * [`sptrsv`] — sparse triangular solves: naive, level-scheduled analysis,
@@ -20,12 +23,14 @@
 pub mod blas1;
 pub mod block_jacobi;
 pub mod ilu;
+pub mod spmm;
 pub mod spmv;
 pub mod sptrsv;
 pub mod visflag;
 
 pub use block_jacobi::BlockJacobi;
 pub use ilu::{diag_shifted, ic0, ilu0, ilu0_boosted, Ic0, Ilu0, MAX_FACTOR_SHIFTS};
+pub use spmm::{axpy_block, col, col_mut, dot_block, spmm_mixed, xpay_block};
 pub use spmv::{
     spmv_csr, spmv_csr_par, spmv_mixed, spmv_mixed_par, spmv_tiled, spmv_tiled_par, MixedSpmvStats,
     SharedTiles,

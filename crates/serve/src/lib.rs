@@ -1,0 +1,49 @@
+//! # mf-serve
+//!
+//! The serving layer of the Mille-feuille reproduction: a
+//! [`SolveService`] that turns the one-shot facade
+//! ([`mf_solver::MilleFeuille`]) into a long-lived solver-as-a-service
+//! front end for streams of requests.
+//!
+//! Two observations drive the design (ROADMAP "solver-as-a-service"):
+//!
+//! 1. **Preprocessing amortizes.** A solve request is `(A, b)`, but in
+//!    serving workloads the same operator `A` arrives again and again with
+//!    different right-hand sides (time stepping, parameter sweeps,
+//!    per-frame physics). The CSR→tiled conversion, the precision
+//!    classification, the ILU(0) factorization and the kernel-mode
+//!    decision depend only on `A` — [`PreparedMatrix`] captures them once,
+//!    keyed by the deterministic content fingerprint
+//!    ([`mf_sparse::Fingerprint`]), and an LRU + byte-budget cache
+//!    ([`cache`]) reuses them across requests.
+//! 2. **SpMV traffic amortizes across right-hand sides.** Requests sharing
+//!    a matrix can advance `k` CG recurrences through ONE pass over the
+//!    tiles per iteration ([`mf_kernels::spmm_mixed`] +
+//!    [`mf_solver::block::run_cg_block_ws`]) instead of `k` passes —
+//!    [`SolveService::solve_batch`].
+//!
+//! # Determinism contract
+//!
+//! Serving must never change answers:
+//!
+//! * a cache-**hit** solve is bitwise identical to the cold solve of the
+//!   same request (the cache stores exactly what [`MilleFeuille`]'s own
+//!   preprocessing would have produced — pinned by differential tests);
+//! * a **batched** solve is bitwise identical, per right-hand side, to the
+//!   `k` individual solves it coalesced (columns that leave the lockstep
+//!   are re-solved individually, which is itself the never-batched path).
+//!
+//! Cache observability flows through `mf-trace`: every lookup records a
+//! `CacheHit`/`CacheMiss` event and every eviction a `CacheEvict`, with
+//! aggregate [`CacheStats`] counters for quick assertions.
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{CacheConfig, CacheStats, PreparedMatrix};
+pub use service::{BatchOutcome, ServeConfig, ServeReport, SolveService};
+
+// Re-export the vocabulary a service embedder needs so `mf-serve` is
+// usable without naming every underlying crate.
+pub use mf_solver::{MilleFeuille, SolveReport, SolverConfig};
+pub use mf_sparse::{Csr, Fingerprint};

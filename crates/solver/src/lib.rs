@@ -50,6 +50,7 @@
 //! trail; see DESIGN.md "Failure modes and recovery".
 
 pub mod bicgstab;
+pub mod block;
 pub mod cg;
 pub mod config;
 pub mod coster;
@@ -61,6 +62,9 @@ pub mod solver;
 pub mod threaded;
 pub mod workspace;
 
+pub use block::{
+    run_cg_block_ws, BlockOptions, BlockResult, BlockWorkspace, ColumnResult, ColumnStatus,
+};
 pub use config::{
     HostParallelism, KernelMode, PipelineMode, SolverConfig, WatchdogPolicy, DEFAULT_HEARTBEAT,
     DEFAULT_WATCHDOG,

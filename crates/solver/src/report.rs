@@ -254,6 +254,11 @@ pub struct SolveReport {
     /// Preprocessing wall-clock on the host running this simulation, in µs
     /// (informational; the modeled preprocess time is in `timeline`).
     pub preprocess_wall_us: f64,
+    /// CSR→tiled preprocessing passes charged to this report: 1 for a cold
+    /// facade solve — including `solve_auto`'s CG→BiCGSTAB re-dispatch,
+    /// which reuses the first pass — and 0 when a serving-layer cache
+    /// supplied the tiled matrix.
+    pub preprocess_passes: usize,
     /// Every breakdown the core observed (iteration, kind, recovery).
     pub breakdowns: Vec<BreakdownEvent>,
     /// Set when the solve terminated abnormally (poisoned, stalled, or
@@ -354,6 +359,7 @@ mod tests {
             bypass_history: vec![],
             precision_history: vec![],
             preprocess_wall_us: 0.0,
+            preprocess_passes: 1,
             breakdowns: vec![],
             failure: None,
             trace: None,

@@ -179,12 +179,12 @@ impl MilleFeuille {
     fn assemble(
         &self,
         a: &Csr,
-        pre: Preprocessed,
+        pre: &Preprocessed,
         mode: ExecutedMode,
         warp_count: usize,
         core: CoreResult,
     ) -> SolveReport {
-        let mut timeline = pre.timeline;
+        let mut timeline = pre.timeline.clone();
         timeline.merge(&core.timeline);
         SolveReport {
             x: core.x,
@@ -203,6 +203,7 @@ impl MilleFeuille {
             bypass_history: core.bypass_history,
             precision_history: core.precision_history,
             preprocess_wall_us: pre.wall_us,
+            preprocess_passes: 1,
             breakdowns: core.breakdowns,
             failure: core.failure,
             trace: core.trace,
@@ -257,7 +258,7 @@ impl MilleFeuille {
         let pre = self.preprocess(a);
         let mode = self.decide_mode(&pre.tiled);
         let pipelined = self.decide_pipeline(&pre.tiled, mode);
-        let cg = self.run_cg_dispatch(a, pre, mode, b, &mut SolverWorkspace::new(), pipelined);
+        let cg = self.run_cg_dispatch(a, &pre, mode, b, &mut SolverWorkspace::new(), pipelined);
         let curvature_abort = cg.failure.is_some()
             && cg
                 .breakdowns
@@ -266,15 +267,27 @@ impl MilleFeuille {
         if !(curvature_abort && self.config.auto_switch_on_breakdown) {
             return cg;
         }
+        // Re-dispatch to BiCGSTAB on the SAME preprocessed matrix — the
+        // tiled format is method-agnostic, so a second CSR→tiled pass would
+        // be pure waste (and the report would double-charge Preprocess).
         let mut handoff = cg.breakdowns;
         handoff.push(BreakdownEvent {
             iteration: cg.iterations,
             kind: BreakdownKind::Curvature,
             action: RecoveryAction::SwitchedSolver,
         });
-        let mut rep = self.solve_bicgstab(a, b);
+        let mut rep = self.run_bicgstab_dispatch(a, &pre, b, &mut SolverWorkspace::new());
         handoff.extend(rep.breakdowns.iter().copied());
         rep.breakdowns = handoff;
+        // The handoff report carries the full trajectory: CG's pre-switch
+        // residual/error history followed by BiCGSTAB's (previously the CG
+        // history was silently discarded).
+        let mut residuals = cg.residual_history;
+        residuals.extend(rep.residual_history.iter().copied());
+        rep.residual_history = residuals;
+        let mut errors = cg.error_history;
+        errors.extend(rep.error_history.iter().copied());
+        rep.error_history = errors;
         rep
     }
 
@@ -288,6 +301,23 @@ impl MilleFeuille {
     /// them (the report, tiled matrix and on-chip copy still allocate).
     pub fn solve_cg_ws(&self, a: &Csr, b: &[f64], ws: &mut SolverWorkspace) -> SolveReport {
         let pre = self.preprocess(a);
+        let mode = self.decide_mode(&pre.tiled);
+        self.run_cg_dispatch(a, &pre, mode, b, ws, false)
+    }
+
+    /// [`Self::solve_cg_ws`] on an already-preprocessed matrix: the serving
+    /// layer's cache-hit path. `pre` must come from [`Self::preprocess`]
+    /// with this same config on this same `a` — then the solve is bitwise
+    /// identical to a cold [`Self::solve_cg_ws`] (the report differs only
+    /// in `preprocess_passes`/`preprocess_wall_us`, which the caller
+    /// adjusts).
+    pub fn solve_cg_preprocessed(
+        &self,
+        a: &Csr,
+        pre: &Preprocessed,
+        b: &[f64],
+        ws: &mut SolverWorkspace,
+    ) -> SolveReport {
         let mode = self.decide_mode(&pre.tiled);
         self.run_cg_dispatch(a, pre, mode, b, ws, false)
     }
@@ -311,7 +341,7 @@ impl MilleFeuille {
     ) -> SolveReport {
         let pre = self.preprocess(a);
         let mode = self.decide_mode(&pre.tiled);
-        self.run_cg_dispatch(a, pre, mode, b, ws, true)
+        self.run_cg_dispatch(a, &pre, mode, b, ws, true)
     }
 
     /// Shared tail of the CG entry points: build the mode-matched coster
@@ -319,7 +349,7 @@ impl MilleFeuille {
     fn run_cg_dispatch(
         &self,
         a: &Csr,
-        pre: Preprocessed,
+        pre: &Preprocessed,
         mode: ExecutedMode,
         b: &[f64],
         ws: &mut SolverWorkspace,
@@ -404,6 +434,19 @@ impl MilleFeuille {
     /// [`Self::solve_bicgstab`] with a caller-provided [`SolverWorkspace`].
     pub fn solve_bicgstab_ws(&self, a: &Csr, b: &[f64], ws: &mut SolverWorkspace) -> SolveReport {
         let pre = self.preprocess(a);
+        self.run_bicgstab_dispatch(a, &pre, b, ws)
+    }
+
+    /// Shared tail of the BiCGSTAB entry points, also the re-dispatch
+    /// target of [`Self::solve_auto`] (which hands over the preprocessed
+    /// matrix CG already paid for).
+    fn run_bicgstab_dispatch(
+        &self,
+        a: &Csr,
+        pre: &Preprocessed,
+        b: &[f64],
+        ws: &mut SolverWorkspace,
+    ) -> SolveReport {
         let mode = self.decide_mode(&pre.tiled);
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
@@ -442,6 +485,20 @@ impl MilleFeuille {
     /// PCG with a caller-provided factorization (lets benchmarks reuse it).
     pub fn solve_pcg_with(&self, a: &Csr, b: &[f64], ilu: &Ilu0) -> SolveReport {
         let pre = self.preprocess(a);
+        self.solve_pcg_preprocessed(a, &pre, b, ilu)
+    }
+
+    /// [`Self::solve_pcg_with`] on an already-preprocessed matrix: the
+    /// serving layer's cache-hit path (both the tiled format and the
+    /// factorization come from the cache). Bitwise identical to a cold
+    /// [`Self::solve_pcg_with`] given the same `a`/config.
+    pub fn solve_pcg_preprocessed(
+        &self,
+        a: &Csr,
+        pre: &Preprocessed,
+        b: &[f64],
+        ilu: &Ilu0,
+    ) -> SolveReport {
         let mode = ExecutedMode::MultiKernel; // paper: preconditioning extends the multi-kernel method
         let mut shared = SharedTiles::load(&pre.tiled);
         let mut partial = self.partial_state(&pre.tiled, b, mode);
@@ -492,7 +549,7 @@ impl MilleFeuille {
             &mut partial,
             &mut SolverWorkspace::new(),
         );
-        self.assemble(a, pre, mode, 0, core)
+        self.assemble(a, &pre, mode, 0, core)
     }
 
     /// Solves with IC(0)-preconditioned CG (`M = L·Lᵀ`) — an extension
@@ -518,7 +575,7 @@ impl MilleFeuille {
             &mc,
             &mut partial,
         );
-        let mut rep = self.assemble(a, pre, mode, 0, core);
+        let mut rep = self.assemble(a, &pre, mode, 0, core);
         prepend_factor_shifts(&mut rep.breakdowns, &shifts);
         Ok(rep)
     }
@@ -546,7 +603,7 @@ impl MilleFeuille {
             &mc,
             &mut partial,
         );
-        Ok(self.assemble(a, pre, mode, 0, core))
+        Ok(self.assemble(a, &pre, mode, 0, core))
     }
 
     /// Solves with ILU(0)-preconditioned BiCGSTAB.
@@ -577,7 +634,7 @@ impl MilleFeuille {
             &mc,
             &mut partial,
         );
-        self.assemble(a, pre, mode, 0, core)
+        self.assemble(a, &pre, mode, 0, core)
     }
 
     /// Solves `A x = b` with the threaded single-kernel ILU(0)-PCG engine:
@@ -1114,6 +1171,70 @@ mod tests {
             .breakdowns
             .iter()
             .any(|e| e.action == RecoveryAction::SwitchedSolver));
+    }
+
+    /// Regression: the CG→BiCGSTAB re-dispatch used to preprocess the
+    /// matrix a second time and silently discard CG's pre-switch residual
+    /// trajectory. The handoff report must charge exactly one preprocessing
+    /// pass and carry CG's history ahead of BiCGSTAB's.
+    #[test]
+    fn solve_auto_handoff_reuses_preprocessing_and_keeps_cg_history() {
+        use crate::report::RecoveryAction;
+        // Same SPD-heuristic-fooling fixture as the switch test.
+        let n = 40;
+        let mut a = Coo::new(n, n);
+        for i in 0..n - 2 {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n - 2 {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.push(n - 2, n - 2, 1.0);
+        a.push(n - 2, n - 1, 5.0);
+        a.push(n - 1, n - 2, 5.0);
+        a.push(n - 1, n - 1, 1.0);
+        let a = a.to_csr();
+        let mut b = vec![0.0; n];
+        b[n - 2] = 1.0;
+        b[n - 1] = -1.0;
+
+        let solver = MilleFeuille::new(
+            DeviceSpec::a100(),
+            SolverConfig {
+                trace_residuals: true,
+                ..SolverConfig::default()
+            },
+        );
+        let cg = solver.solve_cg(&a, &b);
+        assert!(cg.failure.is_some(), "prerequisite: CG must abort");
+        let cg_iters = cg.iterations;
+        assert!(cg_iters > 0 && !cg.residual_history.is_empty());
+
+        let rep = solver.solve_auto(&a, &b);
+        assert!(rep.converged);
+        assert_eq!(
+            rep.preprocess_passes, 1,
+            "handoff must reuse the first CSR→tiled pass"
+        );
+        assert!(
+            rep.breakdowns
+                .iter()
+                .any(|e| e.action == RecoveryAction::SwitchedSolver),
+            "this report is a handoff report"
+        );
+        // CG's pre-switch residuals lead the merged history, bitwise.
+        assert!(rep.residual_history.len() > cg_iters);
+        assert_eq!(&rep.residual_history[..cg_iters], &cg.residual_history[..]);
+        // The modeled timeline charges preprocessing once: the handoff
+        // report's Preprocess share equals a plain BiCGSTAB solve's.
+        let plain = solver.solve_bicgstab(&a, &b);
+        assert_eq!(
+            rep.timeline.get(Phase::Preprocess),
+            plain.timeline.get(Phase::Preprocess)
+        );
     }
 
     #[test]

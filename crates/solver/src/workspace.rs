@@ -62,6 +62,13 @@ impl SolverWorkspace {
 
     /// Sizes every buffer to `n` and zero-fills it. Never shrinks capacity,
     /// so a warm workspace allocates nothing.
+    ///
+    /// The `clear()` before `resize` is load-bearing for shrink-then-grow
+    /// reuse (n=250 → n=37 → n=250, the serving loop's access pattern):
+    /// `resize` alone only zeroes *appended* elements, so growing back
+    /// would resurrect stale iterate values from the earlier larger solve.
+    /// `tests/facade_edge_cases.rs` pins this with cross-engine
+    /// interleaving.
     pub fn ensure(&mut self, n: usize) {
         for v in [
             &mut self.x,

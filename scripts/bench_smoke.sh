@@ -6,9 +6,13 @@
 # the pipelined barrier-schedule bench (bench_out/fig_pipeline.csv +
 # BENCH_pipeline.json; *fails* when pipelined CG/PCG exceed 1/2 marginal
 # barrier epochs per iteration or leave the classic-vs-pipelined drift
-# envelope).
+# envelope), and the serving-layer bench (bench_out/fig_serve.csv +
+# BENCH_serve.json; *fails* when the warm preprocessing cache doesn't beat
+# cold p50 by 3x on the replayed small-solve trace, when one batched
+# multi-RHS solve doesn't beat k independent solves on requests/sec, or
+# when either amortization changes a single bit of any answer).
 #
-# Knobs (see crates/bench/src/bin/{spmv_scaling,fig_trace_timeline,fig_pipeline}.rs):
+# Knobs (see crates/bench/src/bin/{spmv_scaling,fig_trace_timeline,fig_pipeline,fig_serve}.rs):
 #   MF_SPMV_GRID      Poisson grid side (default 320 -> 102,400 rows)
 #   MF_SPMV_REPS      timed reps per thread count (default 20)
 #   MF_SPMV_THREADS   comma list of thread counts (default 1,2,4,8)
@@ -21,11 +25,18 @@
 #   MF_PIPE_BUDGET    fixed iteration budget of the density window (default 12)
 #   MF_PIPE_REPS      timed reps per solve (default 2)
 #   MF_PIPE_COUNT     extra suite matrices in the solve table (default 2)
+#   MF_SERVE_GRID     smallest Poisson proxy side of the pool (default 20)
+#   MF_SERVE_MATS     matrix pool size (default 4)
+#   MF_SERVE_REQS     replayed trace length (default 96)
+#   MF_SERVE_ITERS    per-request refinement budget (default 3; 0 = tolerance mode)
+#   MF_SERVE_BATCH    k of the batched multi-RHS workload (default 8)
+#   MF_SERVE_WARM_GATE  required cold/warm p50 ratio (default 3.0)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --locked --offline -p mf-bench \
-    --bin spmv_scaling --bin fig_trace_timeline --bin fig_pipeline
+    --bin spmv_scaling --bin fig_trace_timeline --bin fig_pipeline --bin fig_serve
 ./target/release/spmv_scaling
 ./target/release/fig_trace_timeline --trace-dir bench_out/traces
 ./target/release/fig_pipeline
+./target/release/fig_serve

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 # other "our code" gate) must name packages instead of using --all.
 MF_PACKAGES=(
     mille-feuille mf-baselines mf-bench mf-collection mf-gpu
-    mf-kernels mf-precision mf-solver mf-sparse mf-trace
+    mf-kernels mf-precision mf-serve mf-solver mf-sparse mf-trace
 )
 FMT_ARGS=()
 for p in "${MF_PACKAGES[@]}"; do FMT_ARGS+=(-p "$p"); done
@@ -51,4 +51,9 @@ if ! timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mil
     exit 1
 fi
 timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-solver --test prop_heartbeat
+# Serving tier (release: the adversarial cache suite spawns seeded
+# concurrent request threads across eviction boundaries — optimized builds
+# give the interleavings real contention; a condvar bug shows up as a hang,
+# which the hard kill converts into a fast failure).
+timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-serve
 cargo clippy --all-targets --workspace --locked --offline -- -D warnings
