@@ -337,6 +337,7 @@ mod tests {
                 breakdowns,
                 failure,
                 trace: None,
+                retier_trail: vec![],
             }
         }
 

@@ -30,11 +30,14 @@ pub enum Phase {
     Preprocess,
     /// Preconditioner factorization (ILU0/IC0).
     Factorize,
+    /// Adaptive re-tiering: tile requantization + residual refresh
+    /// bookkeeping (controller v2).
+    Retier,
 }
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Spmv,
         Phase::Dot,
         Phase::Axpy,
@@ -45,6 +48,7 @@ impl Phase {
         Phase::Wait,
         Phase::Preprocess,
         Phase::Factorize,
+        Phase::Retier,
     ];
 
     #[inline]
@@ -60,6 +64,7 @@ impl Phase {
             Phase::Wait => 7,
             Phase::Preprocess => 8,
             Phase::Factorize => 9,
+            Phase::Retier => 10,
         }
     }
 
@@ -76,6 +81,7 @@ impl Phase {
             Phase::Wait => "wait",
             Phase::Preprocess => "preprocess",
             Phase::Factorize => "factorize",
+            Phase::Retier => "retier",
         }
     }
 }
@@ -83,7 +89,7 @@ impl Phase {
 /// Accumulated modeled time per phase, in microseconds.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Timeline {
-    totals: [f64; 10],
+    totals: [f64; 11],
 }
 
 impl Timeline {

@@ -169,6 +169,34 @@ impl SharedTiles {
             self.current_prec[i] = self.initial_prec[i];
         }
     }
+
+    /// Re-tiers tile `i` to `tier` (adaptive controller v2): re-decodes the
+    /// tile's *classification-time* stored values from `m` and quantizes
+    /// them to the target tier in place — no re-tiling, the tile layout and
+    /// arena range are untouched, only the resident values and the
+    /// precision tag change.
+    ///
+    /// Unlike [`SharedTiles::lower_tile`] (the one-way §III-D path, which
+    /// deliberately requantizes the *current* on-chip copy), re-tiering
+    /// always starts from a fresh decode: quantizing an already-quantized
+    /// copy would compound rounding, making the values depend on the plan
+    /// history rather than on the plan — and promotion would be impossible.
+    /// `current_prec` records the tier's storage precision (scaled FP8
+    /// accounts as FP8), so the SpMV statistics and the cost model see the
+    /// re-tiered traffic with no kernel changes.
+    pub fn retier_tile(&mut self, m: &TiledMatrix, i: usize, tier: mf_precision::TileTier) {
+        let (lo, hi) = (self.tile_off[i], self.tile_off[i + 1]);
+        m.decode_tile_into(i, &mut self.arena[lo..hi]);
+        tier.quantize_slice(&mut self.arena[lo..hi]);
+        self.current_prec[i] = tier.storage();
+    }
+
+    /// Applies a whole re-tier plan, in action order.
+    pub fn apply_retier(&mut self, m: &TiledMatrix, actions: &[mf_precision::RetierAction]) {
+        for a in actions {
+            self.retier_tile(m, a.tile as usize, a.to);
+        }
+    }
 }
 
 /// Execution statistics of one mixed-precision SpMV — feeds both the cost
@@ -698,6 +726,37 @@ mod tests {
             assert_eq!(shared.tile_values(i), t.decode_tile_values(i).as_slice());
             assert_eq!(shared.current_prec[i], shared.initial_prec[i]);
         }
+    }
+
+    #[test]
+    fn retier_decodes_fresh_not_compounded() {
+        use mf_precision::{pick_scale_exp, TileTier};
+        // A tile with a value only exact in FP64.
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 0.1);
+        let t = TiledMatrix::from_csr_with(&a.to_csr(), 2, &ClassifyOptions::default());
+        let mut shared = SharedTiles::load(&t);
+        // Degrade the on-chip copy first (the §III-D one-way path)...
+        shared.lower_tile(0, Precision::Fp8);
+        assert_eq!(shared.tile_values(0)[0], Precision::Fp8.quantize(0.1));
+        // ...then re-tier to FP16: the result must be FP16(0.1), NOT
+        // FP16(FP8(0.1)) — a fresh decode, not a compounded requantize.
+        shared.retier_tile(&t, 0, TileTier::Full(Precision::Fp16));
+        assert_eq!(shared.tile_values(0)[0], Precision::Fp16.quantize(0.1));
+        assert_eq!(shared.current_prec[0], Precision::Fp16);
+        // Promotion back to the classification tier restores the value.
+        shared.retier_tile(&t, 0, TileTier::Full(Precision::Fp64));
+        assert_eq!(shared.tile_values(0)[0], 0.1);
+        // Scaled FP8 applies the scaled codec and accounts as FP8.
+        let e = pick_scale_exp(0.1);
+        shared.retier_tile(&t, 0, TileTier::ScaledFp8 { scale_exp: e });
+        assert_eq!(
+            shared.tile_values(0)[0],
+            mf_precision::quantize_scaled_e4m3(0.1, e)
+        );
+        assert_eq!(shared.current_prec[0], Precision::Fp8);
+        // Within the documented scaled-FP8 round-trip envelope.
+        assert!((shared.tile_values(0)[0] - 0.1).abs() <= 0.1 * 2f64.powi(-4));
     }
 
     #[test]

@@ -152,6 +152,46 @@ macro_rules! impl_fp8 {
 impl_fp8!(Fp8E4M3, E4M3, "Fp8E4M3");
 impl_fp8!(Fp8E5M2, E5M2, "Fp8E5M2");
 
+/// Picks the per-tile scaling exponent for *scaled* FP8 storage: the
+/// smallest `e` such that `max_abs / 2^e` fits E4M3's finite range, so the
+/// tile's largest magnitude lands in the format's top binade and the whole
+/// tile uses as much of the 8-bit dynamic range as possible. Negative `e`
+/// scales small-magnitude tiles *up*, recovering resolution plain FP8
+/// would waste on empty headroom.
+///
+/// Deterministic by construction: a pure function of `max_abs` computed
+/// with exact power-of-two arithmetic (the `log2` seed is verified and
+/// corrected by exact comparisons). Returns 0 for zero / non-finite input.
+pub fn pick_scale_exp(max_abs: f64) -> i16 {
+    if !(max_abs.is_finite() && max_abs > 0.0) {
+        return 0;
+    }
+    let cap = Fp8E4M3::max_finite();
+    let mut e = (max_abs / cap).log2().ceil() as i32;
+    e = e.clamp(-1100, 1100);
+    // Guard the floating-point seed with exact checks: 2^e is exact, and
+    // division by a power of two is exact, so both comparisons are exact.
+    while e < 1100 && max_abs / 2f64.powi(e) > cap {
+        e += 1;
+    }
+    while e > -1100 && max_abs / 2f64.powi(e - 1) <= cap {
+        e -= 1;
+    }
+    e as i16
+}
+
+/// Quantizes `v` through scaled E4M3 storage with scaling exponent
+/// `scale_exp`: the stored byte is `E4M3(v / 2^e)` and the decoded value is
+/// `E4M3(v / 2^e) * 2^e`. Both scalings are exact (powers of two), so the
+/// only rounding is the E4M3 conversion itself; the round-trip error is
+/// bounded by `max(|v| * 2^-4, 2^(e-10))` (half-ULP of a normal, half the
+/// scaled subnormal step).
+#[inline]
+pub fn quantize_scaled_e4m3(v: f64, scale_exp: i16) -> f64 {
+    let s = 2f64.powi(scale_exp as i32);
+    Fp8E4M3::from_f64(v / s).to_f64() * s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +238,37 @@ mod tests {
     fn ordering_on_finites() {
         assert!(Fp8E4M3::from_f64(1.0) < Fp8E4M3::from_f64(2.0));
         assert!(Fp8E4M3::from_f64(-448.0) < Fp8E4M3::from_f64(448.0));
+    }
+
+    #[test]
+    fn scale_exp_is_minimal_and_sufficient() {
+        for &m in &[1e-30, 1e-6, 0.07, 1.0, 448.0, 449.0, 1e4, 1e12, 1e300] {
+            let e = pick_scale_exp(m) as i32;
+            assert!(m / 2f64.powi(e) <= 448.0, "max_abs {m} exp {e}");
+            if e > -126 {
+                assert!(m / 2f64.powi(e - 1) > 448.0, "exp {e} not minimal for {m}");
+            }
+        }
+        assert_eq!(pick_scale_exp(0.0), 0);
+        assert_eq!(pick_scale_exp(f64::NAN), 0);
+        assert_eq!(pick_scale_exp(f64::INFINITY), 0);
+        // In-range magnitudes need no scaling or scale *up*.
+        assert!(pick_scale_exp(448.0) <= 0);
+        assert!(pick_scale_exp(1e-6) < 0);
+    }
+
+    #[test]
+    fn scaled_quantize_round_trip_envelope() {
+        let e = pick_scale_exp(1e6);
+        for &v in &[1e6, -7.3e5, 1234.5, 0.0, -1e6] {
+            let q = quantize_scaled_e4m3(v, e);
+            let bound = (v.abs() * 2f64.powi(-4)).max(2f64.powi(e as i32 - 10));
+            assert!((q - v).abs() <= bound, "v {v} q {q} bound {bound}");
+        }
+        // scale_exp = 0 degenerates to plain E4M3.
+        assert_eq!(
+            quantize_scaled_e4m3(0.1, 0),
+            Fp8E4M3::from_f64(0.1).to_f64()
+        );
     }
 }

@@ -24,6 +24,9 @@
 //! * [`classify`] — the paper's `1e-15`-loss initial-precision criterion.
 //! * [`packed`] — byte-packed value buffers (one encoding per tile precision)
 //!   used by the tiled sparse format for honest memory accounting.
+//! * [`retier`] — the residual-driven adaptive re-tier controller
+//!   (controller v2): deterministic per-solve tier plans, including scaled
+//!   FP8 with per-tile scaling factors.
 
 pub mod classify;
 pub mod fp16;
@@ -31,14 +34,18 @@ pub mod fp8;
 pub mod minifloat;
 pub mod packed;
 pub mod precision;
+pub mod retier;
 
 pub use classify::{
     classification_histogram, classify_group, classify_value, roundtrip_loss, ClassifyOptions,
 };
 pub use fp16::Fp16;
-pub use fp8::{Fp8E4M3, Fp8E5M2};
+pub use fp8::{pick_scale_exp, quantize_scaled_e4m3, Fp8E4M3, Fp8E5M2};
 pub use packed::{PackedValues, PackedValuesBuilder};
 pub use precision::Precision;
+pub use retier::{
+    AdaptiveConfig, PrecisionController, RetierAction, RetierDecision, TierCap, TileInfo, TileTier,
+};
 
 /// The loss threshold of the paper's "enough good" criterion (§II-A):
 /// a nonzero can be stored in a narrower precision when the relative

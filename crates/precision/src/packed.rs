@@ -79,6 +79,22 @@ impl PackedValuesBuilder {
         start
     }
 
+    /// Appends `vals` encoded as *scaled* FP8 (E4M3 of `v / 2^scale_exp`,
+    /// one byte per value — the per-tile `scale_exp` is metadata the caller
+    /// stores alongside the offset, exactly like the precision tag of
+    /// [`PackedValuesBuilder::push_run`]). Returns the starting byte
+    /// offset. This is the storage codec of the adaptive re-tiering path's
+    /// [`crate::retier::TileTier::ScaledFp8`] tier.
+    pub fn push_run_scaled(&mut self, vals: &[f64], scale_exp: i16) -> usize {
+        let start = self.buf.len();
+        let s = 2f64.powi(scale_exp as i32);
+        for &v in vals {
+            self.buf
+                .extend_from_slice(&[Fp8E4M3::from_f64(v / s).to_bits()]);
+        }
+        start
+    }
+
     /// Finishes the builder.
     pub fn finish(self) -> PackedValues {
         PackedValues {
@@ -153,6 +169,21 @@ impl PackedValues {
         self.decode_run(byte_offset, prec, &mut out);
         out
     }
+
+    /// Decodes the `idx`-th value of a *scaled* FP8 run written by
+    /// [`PackedValuesBuilder::push_run_scaled`] with the same `scale_exp`.
+    #[inline]
+    pub fn get_scaled(&self, byte_offset: usize, scale_exp: i16, idx: usize) -> f64 {
+        Fp8E4M3::from_bits(self.buf[byte_offset + idx]).to_f64() * 2f64.powi(scale_exp as i32)
+    }
+
+    /// Decodes a whole scaled-FP8 run into `out` (must have length `n`).
+    pub fn decode_run_scaled(&self, byte_offset: usize, scale_exp: i16, out: &mut [f64]) {
+        let s = 2f64.powi(scale_exp as i32);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = Fp8E4M3::from_bits(self.buf[byte_offset + i]).to_f64() * s;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +245,24 @@ mod tests {
         b.push_run(&[1.0; 8], Precision::Fp64);
         assert_eq!(b.offset(), 64);
         assert_eq!(b.finish().len_bytes(), 64);
+    }
+
+    #[test]
+    fn scaled_run_round_trips_through_bytes() {
+        use crate::fp8::{pick_scale_exp, quantize_scaled_e4m3};
+        let vals = [1.5e6, -2.0e5, 0.0, 7.25e4, 9.9e5];
+        let e = pick_scale_exp(1.5e6);
+        let mut b = PackedValuesBuilder::new();
+        let off = b.push_run_scaled(&vals, e);
+        let p = b.finish();
+        assert_eq!(p.len_bytes(), vals.len()); // one byte per value
+        let mut out = vec![0.0; vals.len()];
+        p.decode_run_scaled(off, e, &mut out);
+        for (i, (&v, &d)) in vals.iter().zip(&out).enumerate() {
+            assert_eq!(d, p.get_scaled(off, e, i));
+            // The byte codec applies exactly the scaled-quantization model.
+            assert_eq!(d, quantize_scaled_e4m3(v, e));
+        }
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Residual-driven adaptive re-tiering (controller v2).
+//!
+//! The tiled format classifies every tile's precision once, at
+//! preprocessing, by the round-trip criterion of [`crate::classify`]; the
+//! partial-convergence strategy then only ever *lowers* tiles one-way as
+//! their `p`-segments shrink. This module adds the adaptive scheme of
+//! Guo/de Sturler/Warburton (arXiv:2505.04155): while the residual is still
+//! orders of magnitude above the target tolerance, the operator does not
+//! need anywhere near its classification-time accuracy, so *all* tiles can
+//! run in a narrow storage tier — including **scaled FP8**, where a
+//! per-tile power-of-two scaling factor ([`crate::fp8::pick_scale_exp`])
+//! lets even wide-magnitude tiles use the 8-bit format. As convergence
+//! tightens, the [`PrecisionController`] widens the tier cap back until the
+//! final iterations run at full classification-time precision.
+//!
+//! Every decision is a **pure function** of `(iteration, canonical
+//! residual decade, the controller's own tier state)`. No wall-clock, no
+//! thread identity, no measured byte counters feed the decision — projected
+//! traffic is derived from the tier vector itself (which equals what
+//! `MixedSpmvStats::bytes_by_precision` reports for one full pass), so a
+//! sequential engine, a 7-warp threaded engine and a pipelined engine
+//! replay the exact same decision sequence. That determinism is pinned by
+//! `tests/adaptive_parity.rs` in the solver crate.
+
+use crate::fp8::{pick_scale_exp, quantize_scaled_e4m3};
+use crate::precision::Precision;
+
+/// The storage tier of a tile under adaptive re-tiering: one of the four
+/// classification precisions, or scaled FP8 (E4M3 bytes plus a per-tile
+/// power-of-two scaling exponent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TileTier {
+    /// Plain storage in one of the four classification precisions.
+    Full(Precision),
+    /// Scaled FP8: byte `E4M3(v / 2^scale_exp)`, decoded by multiplying the
+    /// widened value back by `2^scale_exp`.
+    ScaledFp8 {
+        /// Per-tile scaling exponent from [`pick_scale_exp`].
+        scale_exp: i16,
+    },
+}
+
+impl TileTier {
+    /// Storage bytes per nonzero value in this tier (the per-tile scale
+    /// factor of [`TileTier::ScaledFp8`] is amortized over the tile).
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        match self {
+            TileTier::Full(p) => p.bytes(),
+            TileTier::ScaledFp8 { .. } => 1,
+        }
+    }
+
+    /// The [`Precision`] whose execution pipe and byte width this tier
+    /// uses — scaled FP8 moves and computes exactly like plain FP8, so the
+    /// per-precision SpMV statistics account it under `Fp8`.
+    #[inline]
+    pub const fn storage(self) -> Precision {
+        match self {
+            TileTier::Full(p) => p,
+            TileTier::ScaledFp8 { .. } => Precision::Fp8,
+        }
+    }
+
+    /// Quantizes `v` exactly as storing it in this tier would.
+    #[inline]
+    pub fn quantize(self, v: f64) -> f64 {
+        match self {
+            TileTier::Full(p) => p.quantize(v),
+            TileTier::ScaledFp8 { scale_exp } => quantize_scaled_e4m3(v, scale_exp),
+        }
+    }
+
+    /// Quantizes a slice in place.
+    pub fn quantize_slice(self, vals: &mut [f64]) {
+        if self == TileTier::Full(Precision::Fp64) {
+            return;
+        }
+        for v in vals {
+            *v = self.quantize(*v);
+        }
+    }
+
+    /// Stable code for trace payloads: 0–3 are [`Precision::tile_code`]
+    /// (0 = FP64 … 3 = FP8), 4 is scaled FP8. Append-only.
+    #[inline]
+    pub const fn trace_code(self) -> u8 {
+        match self {
+            TileTier::Full(p) => p.tile_code(),
+            TileTier::ScaledFp8 { .. } => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for TileTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileTier::Full(p) => write!(f, "{p}"),
+            TileTier::ScaledFp8 { scale_exp } => write!(f, "sFP8(2^{scale_exp})"),
+        }
+    }
+}
+
+/// The controller's global tier cap — the narrowest storage any tile is
+/// *allowed* to use at the current convergence stage. A tile's effective
+/// tier is the narrower of its classification-time precision and the cap
+/// (re-tiering never promotes a tile above what classification assigned).
+/// Ordered narrow → wide; the cap only ever widens after the initial
+/// demotion, which is what guarantees the decision sequence terminates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TierCap {
+    /// Everything runs as (scaled) FP8.
+    Scaled8,
+    /// Cap at FP16.
+    Half,
+    /// Cap at FP32.
+    Single,
+    /// No cap: classification-time tiers.
+    Full,
+}
+
+impl TierCap {
+    /// All caps, narrowest first.
+    pub const ALL: [TierCap; 4] = [
+        TierCap::Scaled8,
+        TierCap::Half,
+        TierCap::Single,
+        TierCap::Full,
+    ];
+
+    /// Stable code for trace payloads (0 = Scaled8 … 3 = Full).
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The next wider cap (saturates at [`TierCap::Full`]).
+    #[inline]
+    pub const fn widened(self) -> TierCap {
+        match self {
+            TierCap::Scaled8 => TierCap::Half,
+            TierCap::Half => TierCap::Single,
+            TierCap::Single | TierCap::Full => TierCap::Full,
+        }
+    }
+}
+
+/// One tile's re-tier instruction within a [`RetierDecision`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetierAction {
+    /// Tile index in the tiled matrix's tile order.
+    pub tile: u32,
+    /// Tier before the plan is applied.
+    pub from: TileTier,
+    /// Tier after the plan is applied.
+    pub to: TileTier,
+}
+
+/// A deterministic re-tier plan, emitted at a convergence check and applied
+/// by every engine at the same barrier-aligned epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetierDecision {
+    /// Iteration at which the plan was decided (and applied).
+    pub iteration: usize,
+    /// Canonical residual decade `⌊log10 relres⌋` that drove the decision.
+    pub decade: i64,
+    /// The cap this plan moves the solve to.
+    pub cap: TierCap,
+    /// Per-tile actions, in tile order; never empty.
+    pub actions: Vec<RetierAction>,
+}
+
+impl RetierDecision {
+    /// Net change in projected bytes moved per matrix pass (negative =
+    /// demotion saves traffic), from the tile sizes recorded by the
+    /// controller.
+    pub fn bytes_delta(&self, tiles: &[TileInfo]) -> i64 {
+        self.actions
+            .iter()
+            .map(|a| {
+                let nnz = tiles[a.tile as usize].nnz as i64;
+                nnz * (a.to.bytes() as i64 - a.from.bytes() as i64)
+            })
+            .sum()
+    }
+}
+
+/// Static, per-tile facts the controller needs — captured once when the
+/// controller is built (all derivable deterministically from the tiled
+/// matrix, independent of engine or schedule).
+#[derive(Clone, Copy, Debug)]
+pub struct TileInfo {
+    /// Stored nonzeros in the tile.
+    pub nnz: usize,
+    /// Classification-time precision (the tile never re-tiers above it).
+    pub initial: Precision,
+    /// Largest magnitude among the tile's decoded values; seeds
+    /// [`pick_scale_exp`] for the scaled-FP8 tier.
+    pub max_abs: f64,
+}
+
+/// Tuning knobs of the adaptive controller. The defaults are the pinned
+/// configuration the `fig_adaptive` gate runs with.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Decisions are evaluated every `period` iterations (at iterations
+    /// `period, 2·period, …`). Also the horizon of the projected-savings
+    /// guard.
+    pub period: usize,
+    /// Don't run capped within this many decades of the target tolerance:
+    /// once `relres ≤ tolerance · 10^margin_decades` the cap widens to
+    /// [`TierCap::Full`] so the end-game runs at classification precision.
+    pub margin_decades: f64,
+    /// The initial demotion only fires when the projected byte savings over
+    /// one period exceed this many full matrix passes (a re-tier costs a
+    /// residual-refresh pass, so tiny matrices or all-FP8-classified
+    /// matrices stay static).
+    pub min_savings_passes: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> AdaptiveConfig {
+        AdaptiveConfig {
+            period: 8,
+            margin_decades: 2.0,
+            min_savings_passes: 2.0,
+        }
+    }
+}
+
+/// The residual-driven re-tier controller.
+///
+/// Feed it the recurrence relative residual at the end of every iteration
+/// via [`PrecisionController::observe`]; when it returns a
+/// [`RetierDecision`], the engine must (a) requantize every listed tile
+/// from its *classification-time stored values* (never from an already
+/// re-tiered copy — requantizing a quantized copy would compound rounding
+/// and make the result depend on the plan history's storage, not the plan)
+/// and (b) refresh the recurrence from the true residual `r = b − A·x`
+/// against the re-tiered operator, at a barrier-aligned epoch.
+///
+/// ### Decision function
+///
+/// At iterations divisible by [`AdaptiveConfig::period`]:
+///
+/// 1. the residual decade `d = ⌊log10 relres⌋` selects a target cap —
+///    `d ≥ −1` ⇒ scaled FP8, `d ≥ −3` ⇒ FP16, `d ≥ −6` ⇒ FP32, else
+///    full — overridden to Full inside the `margin_decades` end-game
+///    window;
+/// 2. **stagnation ratchet**: if the decade did not improve since the
+///    previous check while a cap is active, the cap widens one step —
+///    this is what detects each tier's residual floor (≈6e−2 for FP8,
+///    ≈5e−4 for FP16, ≈6e−8 for FP32) without modeling it;
+/// 3. after the first applied plan the cap is **monotone widening** —
+///    combined with the per-tile "never above classification" clamp this
+///    bounds every solve to at most 4 re-tier plans and makes the
+///    monotonicity property `prop_retier.rs` proves;
+/// 4. the initial demotion must clear the projected-savings guard
+///    ([`AdaptiveConfig::min_savings_passes`]).
+pub struct PrecisionController {
+    cfg: AdaptiveConfig,
+    tiles: Vec<TileInfo>,
+    tiers: Vec<TileTier>,
+    cap: TierCap,
+    decided: bool,
+    last_decade: Option<i64>,
+}
+
+impl PrecisionController {
+    /// Builds a controller over `tiles`; every tile starts at its
+    /// classification-time tier ([`TierCap::Full`]).
+    pub fn new(cfg: AdaptiveConfig, tiles: Vec<TileInfo>) -> PrecisionController {
+        let tiers = tiles.iter().map(|t| TileTier::Full(t.initial)).collect();
+        PrecisionController {
+            cfg,
+            tiles,
+            tiers,
+            cap: TierCap::Full,
+            decided: false,
+            last_decade: None,
+        }
+    }
+
+    /// Current tier of every tile, in tile order.
+    pub fn tiers(&self) -> &[TileTier] {
+        &self.tiers
+    }
+
+    /// Current cap.
+    pub fn cap(&self) -> TierCap {
+        self.cap
+    }
+
+    /// Projected value-bytes one full matrix pass moves under the current
+    /// tier vector (equals `MixedSpmvStats::bytes_by_precision` summed for
+    /// a bypass-free pass).
+    pub fn bytes_per_pass(&self) -> u64 {
+        Self::project_bytes(&self.tiles, &self.tiers)
+    }
+
+    fn project_bytes(tiles: &[TileInfo], tiers: &[TileTier]) -> u64 {
+        tiles
+            .iter()
+            .zip(tiers)
+            .map(|(t, tier)| t.nnz as u64 * tier.bytes() as u64)
+            .sum()
+    }
+
+    /// The tier a tile runs at under `cap`: the narrower of the cap and the
+    /// tile's classification precision. Scaled FP8 is only used for tiles
+    /// classified *wider* than FP8 — a tile whose values already round-trip
+    /// in plain FP8 gains nothing from a scale factor.
+    fn tile_target(info: &TileInfo, cap: TierCap) -> TileTier {
+        match cap {
+            TierCap::Full => TileTier::Full(info.initial),
+            TierCap::Single => TileTier::Full(info.initial.min(Precision::Fp32)),
+            TierCap::Half => TileTier::Full(info.initial.min(Precision::Fp16)),
+            TierCap::Scaled8 => {
+                if info.initial == Precision::Fp8 {
+                    TileTier::Full(Precision::Fp8)
+                } else {
+                    TileTier::ScaledFp8 {
+                        scale_exp: pick_scale_exp(info.max_abs),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cap the residual decade alone asks for.
+    fn decade_target(decade: i64) -> TierCap {
+        if decade >= -1 {
+            TierCap::Scaled8
+        } else if decade >= -3 {
+            TierCap::Half
+        } else if decade >= -6 {
+            TierCap::Single
+        } else {
+            TierCap::Full
+        }
+    }
+
+    /// Feeds one end-of-iteration residual to the controller. Returns a
+    /// plan exactly when the engine must re-tier (and refresh) before the
+    /// next iteration's matrix pass.
+    pub fn observe(
+        &mut self,
+        iteration: usize,
+        relres: f64,
+        tolerance: f64,
+    ) -> Option<RetierDecision> {
+        let period = self.cfg.period.max(1);
+        if iteration == 0 || !iteration.is_multiple_of(period) {
+            return None;
+        }
+        if !(relres.is_finite() && relres > 0.0) {
+            return None;
+        }
+        let decade = relres.log10().floor() as i64;
+        let prev = self.last_decade.replace(decade);
+
+        let endgame = relres <= tolerance * 10f64.powf(self.cfg.margin_decades);
+        let mut target = if endgame {
+            TierCap::Full
+        } else {
+            Self::decade_target(decade)
+        };
+        if let Some(prev) = prev {
+            if self.decided && self.cap < TierCap::Full && decade >= prev {
+                // Stagnating at the current cap's residual floor: widen.
+                target = target.max(self.cap.widened());
+            }
+        }
+        let new_cap = if self.decided {
+            self.cap.max(target)
+        } else {
+            target
+        };
+        if self.decided && new_cap == self.cap {
+            return None;
+        }
+
+        let new_tiers: Vec<TileTier> = self
+            .tiles
+            .iter()
+            .map(|t| Self::tile_target(t, new_cap))
+            .collect();
+        let actions: Vec<RetierAction> = self
+            .tiers
+            .iter()
+            .zip(&new_tiers)
+            .enumerate()
+            .filter(|(_, (from, to))| from != to)
+            .map(|(i, (from, to))| RetierAction {
+                tile: i as u32,
+                from: *from,
+                to: *to,
+            })
+            .collect();
+        if actions.is_empty() {
+            // Vacuous cap move (e.g. every tile already classified at or
+            // below the cap): record the cap, emit nothing.
+            self.cap = new_cap;
+            self.decided = true;
+            return None;
+        }
+
+        if !self.decided {
+            // Initial demotion: only worth a refresh pass when the
+            // projected savings over one period clear the guard.
+            let old_bytes = Self::project_bytes(&self.tiles, &self.tiers) as f64;
+            let new_bytes = Self::project_bytes(&self.tiles, &new_tiers) as f64;
+            if (old_bytes - new_bytes) * (period as f64) < self.cfg.min_savings_passes * old_bytes {
+                return None;
+            }
+        }
+
+        self.tiers = new_tiers;
+        self.cap = new_cap;
+        self.decided = true;
+        Some(RetierDecision {
+            iteration,
+            decade,
+            cap: new_cap,
+            actions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiles(n: usize, initial: Precision) -> Vec<TileInfo> {
+        (0..n)
+            .map(|i| TileInfo {
+                nnz: 100,
+                initial,
+                max_abs: 1.0 + i as f64,
+            })
+            .collect()
+    }
+
+    fn drive(ctrl: &mut PrecisionController, relres: &[(usize, f64)]) -> Vec<RetierDecision> {
+        relres
+            .iter()
+            .filter_map(|&(it, r)| ctrl.observe(it, r, 1e-10))
+            .collect()
+    }
+
+    #[test]
+    fn demotes_then_widens_with_convergence() {
+        let mut c = PrecisionController::new(AdaptiveConfig::default(), tiles(10, Precision::Fp64));
+        let ds = drive(
+            &mut c,
+            &[
+                (8, 2e-1),  // decade -1 → scaled FP8
+                (16, 3e-2), // improving, stays
+                (24, 4e-3), // decade -3 → FP16
+                (32, 5e-5), // decade -5 → FP32
+                (40, 2e-9), // endgame window (≤ 1e-8) → full
+            ],
+        );
+        let caps: Vec<TierCap> = ds.iter().map(|d| d.cap).collect();
+        assert_eq!(
+            caps,
+            [
+                TierCap::Scaled8,
+                TierCap::Half,
+                TierCap::Single,
+                TierCap::Full
+            ]
+        );
+        assert!(matches!(ds[0].actions[0].to, TileTier::ScaledFp8 { .. }));
+        assert_eq!(ds[3].actions[0].to, TileTier::Full(Precision::Fp64));
+        assert_eq!(c.cap(), TierCap::Full);
+    }
+
+    #[test]
+    fn stagnation_ratchet_escapes_tier_floor() {
+        let mut c = PrecisionController::new(AdaptiveConfig::default(), tiles(4, Precision::Fp64));
+        let ds = drive(
+            &mut c,
+            &[
+                (8, 2e-1),    // demote to scaled FP8
+                (16, 1.5e-1), // decade -1 again: stagnating → widen to FP16
+                (24, 1.2e-1), // still -1: stagnating → widen to FP32
+            ],
+        );
+        let caps: Vec<TierCap> = ds.iter().map(|d| d.cap).collect();
+        assert_eq!(caps, [TierCap::Scaled8, TierCap::Half, TierCap::Single]);
+    }
+
+    #[test]
+    fn never_promotes_above_classification_tier() {
+        let mut c = PrecisionController::new(AdaptiveConfig::default(), tiles(6, Precision::Fp16));
+        let ds = drive(&mut c, &[(8, 5e-1), (16, 1e-4), (24, 1e-9)]);
+        for d in &ds {
+            for a in &d.actions {
+                assert!(
+                    a.to.storage() <= Precision::Fp16,
+                    "tile promoted above classification: {:?}",
+                    a
+                );
+            }
+        }
+        // The widening plan restores exactly the classification tier.
+        let last = ds.last().unwrap();
+        assert!(last
+            .actions
+            .iter()
+            .all(|a| a.to == TileTier::Full(Precision::Fp16)));
+    }
+
+    #[test]
+    fn fp8_classified_matrix_stays_static() {
+        // Everything already FP8: no cap produces actions, no plan ever.
+        let mut c = PrecisionController::new(AdaptiveConfig::default(), tiles(8, Precision::Fp8));
+        let ds = drive(&mut c, &[(8, 5e-1), (16, 1e-3), (24, 1e-7), (32, 1e-9)]);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn savings_guard_blocks_trivial_demotions() {
+        // FP32-classified tiles demoting within two decades of nothing:
+        // 4 → 1 bytes saves 75% per pass; with period 8 that's 6 passes
+        // of savings ≥ 2 passes, so it fires...
+        let mut c = PrecisionController::new(AdaptiveConfig::default(), tiles(4, Precision::Fp32));
+        assert!(c.observe(8, 1e-1, 1e-10).is_some());
+        // ...but an Fp64→Fp32 move under a 1-iteration period cannot pay
+        // for its refresh: (8-4)/8 × 1 < 2.
+        let cfg = AdaptiveConfig {
+            period: 1,
+            ..AdaptiveConfig::default()
+        };
+        let mut c = PrecisionController::new(cfg, tiles(4, Precision::Fp64));
+        assert!(c.observe(1, 1e-5, 1e-10).is_none());
+        assert!(c.observe(2, 1e-5, 1e-10).is_none());
+    }
+
+    #[test]
+    fn decisions_are_replayable() {
+        // Two controllers fed the same trajectory emit identical plans —
+        // the determinism contract the differential harness relies on.
+        let traj: Vec<(usize, f64)> = (1..=64)
+            .map(|i| (i, 10f64.powf(-(i as f64) / 6.0)))
+            .collect();
+        let mk = || PrecisionController::new(AdaptiveConfig::default(), tiles(12, Precision::Fp64));
+        let (mut a, mut b) = (mk(), mk());
+        let da = drive(&mut a, &traj);
+        let db = drive(&mut b, &traj);
+        assert_eq!(da, db);
+        assert!(!da.is_empty());
+    }
+
+    #[test]
+    fn observe_only_fires_on_period_boundaries() {
+        let mut c = PrecisionController::new(AdaptiveConfig::default(), tiles(4, Precision::Fp64));
+        for it in [1, 2, 3, 7, 9, 15] {
+            assert!(c.observe(it, 1e-1, 1e-10).is_none());
+        }
+        assert!(c.observe(16, 1e-1, 1e-10).is_some());
+        // Non-finite or zero residuals never decide.
+        assert!(c.observe(24, f64::NAN, 1e-10).is_none());
+        assert!(c.observe(32, 0.0, 1e-10).is_none());
+    }
+
+    #[test]
+    fn bytes_delta_matches_projection() {
+        let infos = tiles(3, Precision::Fp64);
+        let mut c = PrecisionController::new(AdaptiveConfig::default(), infos.clone());
+        let before = c.bytes_per_pass();
+        let d = c.observe(8, 2e-1, 1e-10).unwrap();
+        let after = c.bytes_per_pass();
+        assert_eq!(after as i64 - before as i64, d.bytes_delta(&infos));
+        assert!(after < before);
+    }
+}

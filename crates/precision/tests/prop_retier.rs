@@ -1,0 +1,182 @@
+//! Property-based tests for the adaptive re-tier controller v2 and its
+//! scaled-FP8 substrate.
+//!
+//! Two families of properties:
+//!
+//! * **scaled FP8** — for any value and any per-tile scale produced by
+//!   [`pick_scale_exp`], the round-trip stays inside the documented
+//!   envelope `|q(v) − v| ≤ max(|v|·2⁻⁴, 2^(e−10))`, quantization is
+//!   idempotent, odd, and monotone, and the picked exponent is the
+//!   minimal sufficient one;
+//! * **re-tier plans** — over arbitrary residual trajectories the
+//!   controller is deterministic (same trajectory ⇒ same plans), never
+//!   promotes a tile above its classification-time tier, widens its cap
+//!   monotonically after the first applied plan (which bounds every solve
+//!   to at most 4 plans), and only fires on period boundaries.
+
+use mf_precision::{
+    pick_scale_exp, quantize_scaled_e4m3, AdaptiveConfig, Fp8E4M3, Precision, PrecisionController,
+    RetierDecision, TileInfo,
+};
+use proptest::prelude::*;
+
+/// A random tile census: `(nnz, precision code, max |value|)` triples.
+fn tiles_strategy() -> impl Strategy<Value = Vec<TileInfo>> {
+    prop::collection::vec((1usize..400, 0u8..4, 1e-8f64..1e8), 1..32).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(nnz, p, max_abs)| TileInfo {
+                nnz,
+                initial: Precision::from_tile_code(p).unwrap(),
+                max_abs,
+            })
+            .collect()
+    })
+}
+
+/// A random residual trajectory: relres per iteration, spanning converging,
+/// stagnating and diverging stretches (the controller must behave under
+/// all of them).
+fn trajectory_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u8..8, -14f64..1.0, 1e-2f64..1.0), 1..120).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(pick, exp, band)| match pick {
+                0..=3 => 10f64.powf(exp), // anything from 1e-14 to 10
+                4 | 5 => band,            // stagnation band (ratchet territory)
+                6 => f64::NAN,            // non-finite observations are skipped
+                _ => 0.0,                 // exact zero is skipped
+            })
+            .collect()
+    })
+}
+
+fn drive(ctrl: &mut PrecisionController, traj: &[f64], tol: f64) -> Vec<RetierDecision> {
+    traj.iter()
+        .enumerate()
+        .filter_map(|(i, &r)| ctrl.observe(i + 1, r, tol))
+        .collect()
+}
+
+proptest! {
+    /// Scaled-FP8 round-trip error stays inside the documented envelope
+    /// for any value covered by the tile's scale (|v| ≤ max_abs, the
+    /// invariant [`pick_scale_exp`]'s caller maintains).
+    #[test]
+    fn scaled_fp8_round_trip_within_envelope(
+        v in -1e10f64..1e10,
+        headroom in 1.0f64..1e4,
+    ) {
+        prop_assume!(v != 0.0);
+        let max_abs = v.abs() * headroom;
+        prop_assume!(max_abs.is_finite());
+        let e = pick_scale_exp(max_abs);
+        let q = quantize_scaled_e4m3(v, e);
+        let bound = (v.abs() * 2f64.powi(-4)).max(2f64.powi(e as i32 - 10));
+        prop_assert!(
+            (q - v).abs() <= bound * (1.0 + 1e-12),
+            "v {v} scale 2^{e} q {q} err {:e} bound {bound:e}",
+            (q - v).abs()
+        );
+    }
+
+    /// Scaled quantization is idempotent and odd for any in-range scale.
+    #[test]
+    fn scaled_fp8_idempotent_and_odd(v in -1e8f64..1e8, e in -60i16..60) {
+        let q = quantize_scaled_e4m3(v, e);
+        if q.is_finite() {
+            prop_assert_eq!(quantize_scaled_e4m3(q, e), q);
+        }
+        prop_assert_eq!(quantize_scaled_e4m3(-v, e), -q);
+    }
+
+    /// Scaled quantization at a fixed scale is monotone.
+    #[test]
+    fn scaled_fp8_monotone(a in -1e8f64..1e8, b in -1e8f64..1e8, e in -60i16..60) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize_scaled_e4m3(lo, e) <= quantize_scaled_e4m3(hi, e));
+    }
+
+    /// The picked exponent is sufficient (the tile's max lands in range)
+    /// and minimal (one step tighter would overflow) — exact power-of-two
+    /// arithmetic, so both comparisons are exact.
+    #[test]
+    fn picked_scale_is_minimal_sufficient(max_abs in 1e-300f64..1e300) {
+        let cap = Fp8E4M3::max_finite();
+        let e = pick_scale_exp(max_abs) as i32;
+        prop_assert!(max_abs / 2f64.powi(e) <= cap, "exp {e} insufficient");
+        prop_assert!(max_abs / 2f64.powi(e - 1) > cap, "exp {e} not minimal");
+    }
+
+    /// Over any residual trajectory: plans are deterministic, fire only on
+    /// period boundaries in strictly increasing order, never promote a
+    /// tile above its classification tier, widen the cap monotonically
+    /// after the first applied plan, and number at most 4.
+    #[test]
+    fn plans_are_deterministic_monotone_and_bounded(
+        tiles in tiles_strategy(),
+        traj in trajectory_strategy(),
+        period in 1usize..12,
+        tol_exp in -12i32..-6,
+    ) {
+        let cfg = AdaptiveConfig { period, ..AdaptiveConfig::default() };
+        let tol = 10f64.powi(tol_exp);
+
+        let mut a = PrecisionController::new(cfg, tiles.clone());
+        let mut b = PrecisionController::new(cfg, tiles.clone());
+        let ds = drive(&mut a, &traj, tol);
+        let replay = drive(&mut b, &traj, tol);
+        prop_assert_eq!(&ds, &replay);
+
+        prop_assert!(ds.len() <= 4, "unbounded plan count: {}", ds.len());
+        for d in &ds {
+            prop_assert_eq!(d.iteration % period, 0);
+            prop_assert!(!d.actions.is_empty(), "empty plan");
+            for act in &d.actions {
+                let info = &tiles[act.tile as usize];
+                prop_assert!(
+                    act.to.storage() <= info.initial,
+                    "tile {} promoted above classification {:?}: {:?}",
+                    act.tile, info.initial, act
+                );
+                prop_assert!(act.from != act.to, "no-op action");
+            }
+        }
+        for w in ds.windows(2) {
+            prop_assert!(w[0].iteration < w[1].iteration, "non-increasing iterations");
+            prop_assert!(
+                w[0].cap <= w[1].cap,
+                "cap narrowed after the first applied plan: {:?} then {:?}",
+                w[0].cap, w[1].cap
+            );
+        }
+        // The controller's final cap is the last plan's cap (or widened
+        // without actions, which never narrows it).
+        if let Some(last) = ds.last() {
+            prop_assert!(a.cap() >= last.cap);
+        } else {
+            // No plan ⇒ tier vector untouched: every tile still at its
+            // classification tier.
+            prop_assert!(a
+                .tiers()
+                .iter()
+                .zip(&tiles)
+                .all(|(t, info)| t.storage() == info.initial));
+        }
+    }
+
+    /// The savings guard scales with the period: a demotion that cannot
+    /// recoup its refresh pass within one period never fires, so with the
+    /// projected savings fraction `f` the first plan requires
+    /// `f · period ≥ min_savings_passes`.
+    #[test]
+    fn savings_guard_respects_period(period in 1usize..64) {
+        let cfg = AdaptiveConfig { period, ..AdaptiveConfig::default() };
+        // Uniform FP64 census demoting to scaled FP8 saves 7/8 per pass.
+        let tiles: Vec<TileInfo> = (0..8)
+            .map(|i| TileInfo { nnz: 64, initial: Precision::Fp64, max_abs: 1.0 + i as f64 })
+            .collect();
+        let mut c = PrecisionController::new(cfg, tiles);
+        let fired = c.observe(period, 0.5, 1e-10).is_some();
+        let should_fire = (7.0 / 8.0) * period as f64 >= cfg.min_savings_passes;
+        prop_assert!(fired == should_fire, "period {}: fired {}", period, fired);
+    }
+}

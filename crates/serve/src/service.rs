@@ -189,6 +189,13 @@ impl SolveService {
     /// forced off (the configuration under which per-column bitwise parity
     /// with the single-RHS core is pinned); the cached ILU factors only
     /// accelerate [`SolveService::solve`].
+    ///
+    /// An adaptive-precision config ([`mf_solver::SolverConfig::adaptive`])
+    /// never enters the lockstep: a re-tier plan is a function of one
+    /// residual trajectory, so applying any column's plan to the shared
+    /// tile state would couple the batch-mates' arithmetic. Adaptive
+    /// batches fall back to `k` independent single-RHS adaptive solves —
+    /// bitwise what the same requests would produce unbatched.
     pub fn solve_batch(&self, a: &Csr, rhss: &[Vec<f64>]) -> Vec<BatchOutcome> {
         if rhss.is_empty() {
             return Vec::new();
@@ -198,6 +205,25 @@ impl SolveService {
             assert_eq!(b.len(), n, "every right-hand side must have n entries");
         }
         let (prepared, hit) = self.prepare(a);
+        if self.batch_cfg.adaptive.is_some() {
+            return rhss
+                .iter()
+                .map(|rhs| {
+                    let mut sws = SolverWorkspace::new();
+                    let rep =
+                        self.batch_solver
+                            .solve_cg_preprocessed(a, &prepared.pre, rhs, &mut sws);
+                    BatchOutcome {
+                        x: rep.x,
+                        iterations: rep.iterations,
+                        converged: rep.converged,
+                        final_relres: rep.final_relres,
+                        batched: false,
+                        cache_hit: hit,
+                    }
+                })
+                .collect();
+        }
         let mut out: Vec<Option<BatchOutcome>> = (0..rhss.len()).map(|_| None).collect();
         let mut bws = BlockWorkspace::new();
         let step = self.config.max_batch.max(1);

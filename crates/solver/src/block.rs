@@ -151,6 +151,16 @@ impl BlockWorkspace {
 /// tile state to evolve identically to a single-RHS solve with
 /// `partial_convergence: false`, which an all-`Keep` run guarantees (no
 /// dynamic lowering ever fires).
+///
+/// [`SolverConfig::adaptive`] is ignored here for the same reason, only
+/// more so: a re-tier plan is a function of one residual trajectory, and a
+/// batch has `k` of them — any plan the lockstep applied to the *shared*
+/// tile state would make each column's arithmetic depend on its
+/// batch-mates, breaking the bitwise-independence contract. The serving
+/// layer therefore never routes an adaptive config through the blocked
+/// core: mf-serve's `solve_batch` falls back to `k` independent
+/// single-RHS adaptive solves (each with its own [`SharedTiles`] and its
+/// own controller), which is the only grouping-invariant semantics.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cg_block_ws(
     m: &TiledMatrix,

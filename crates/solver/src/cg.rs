@@ -66,6 +66,9 @@ pub struct CoreResult {
     pub failure: Option<SolveFailure>,
     /// Structured event trace (when `SolverConfig::trace` is enabled).
     pub trace: Option<mf_trace::Trace>,
+    /// Re-tier plans the adaptive controller applied, in order (empty
+    /// unless `SolverConfig::adaptive` is armed).
+    pub retier_trail: Vec<mf_precision::RetierDecision>,
 }
 
 impl CoreResult {
@@ -87,6 +90,7 @@ impl CoreResult {
             breakdowns: Vec::new(),
             failure: None,
             trace: None,
+            retier_trail: Vec::new(),
         }
     }
 
@@ -224,6 +228,16 @@ pub fn run_cg_ws(
     p.copy_from_slice(b);
     let threads = cfg.host_parallelism.threads_for(m.nnz());
     let mut rr = blas1::dot(r, r);
+
+    // Adaptive re-tiering (controller v2): a pure state machine observing
+    // the residual trajectory at every convergence check. Built from the
+    // tile census alone, so every engine replays the identical decision
+    // sequence. The refresh SpMV runs with all-Keep flags — it computes
+    // the *true* residual of the re-tiered operator.
+    let mut ctrl = cfg
+        .adaptive
+        .map(|ac| crate::adaptive::controller_for(m, ac));
+    let retier_keep = ctrl.as_ref().map(|_| keep_flags(m.tile_cols));
 
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
@@ -365,6 +379,42 @@ pub fn run_cg_ws(
         if check_convergence && relres < cfg.tolerance {
             result.converged = true;
             break;
+        }
+
+        // ---- Adaptive re-tier epoch (after the convergence check, so a
+        // converged solve never re-tiers): apply the plan to the on-chip
+        // tiles, then refresh the recurrence from the true residual of the
+        // re-tiered operator — r = b − A·x, p = r — because the recurrence
+        // tracks the *old* operator. Breakdown-restart iterations `continue`
+        // above and are never observed.
+        if let Some(c) = ctrl.as_mut() {
+            if let Some(d) = c.observe(result.iterations, relres, cfg.tolerance) {
+                let touched: usize = d
+                    .actions
+                    .iter()
+                    .map(|a| {
+                        (m.tile_nnz[a.tile as usize + 1] - m.tile_nnz[a.tile as usize]) as usize
+                    })
+                    .sum();
+                shared.apply_retier(m, &d.actions);
+                coster.retier(&mut tl, touched);
+                let keepf = retier_keep.as_ref().expect("armed with controller");
+                let rstats = mixed_spmv(m, shared, keepf, x, u, threads);
+                result.spmv_stats.merge(&rstats);
+                coster.spmv(&mut tl, m, shared, keepf, &rstats);
+                for i in 0..n {
+                    r[i] = b[i] - u[i];
+                }
+                p.copy_from_slice(r);
+                rr = blas1::dot(r, r);
+                coster.axpy(&mut tl, 2);
+                coster.dot(&mut tl, true);
+                if let Some(t) = &tracer {
+                    let (pa, pb) = crate::adaptive::retier_trace_payload(&d);
+                    t.record(mf_trace::EventKind::Retier, pa, pb);
+                }
+                result.retier_trail.push(d);
+            }
         }
     }
 

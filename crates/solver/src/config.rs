@@ -203,6 +203,17 @@ pub struct SolverConfig {
     /// into per-warp ring buffers, merged deterministically into
     /// `SolveReport::trace` / `ThreadedReport::trace` at join time.
     pub trace: TraceConfig,
+    /// Adaptive precision controller v2 (residual-driven tile re-tiering,
+    /// including scaled FP8): `Some(cfg)` arms a
+    /// [`mf_precision::PrecisionController`] that observes the relative
+    /// residual at every convergence check and emits deterministic re-tier
+    /// plans applied at barrier-aligned epochs, each followed by a true-
+    /// residual refresh. `None` (the default) keeps the static
+    /// classification of Finding 1. Mutually exclusive with
+    /// `partial_convergence` — the facade forces partial convergence off
+    /// when adaptive is armed, because the one-way on-chip lowering would
+    /// fight the controller's plans.
+    pub adaptive: Option<mf_precision::AdaptiveConfig>,
 }
 
 impl Default for SolverConfig {
@@ -227,6 +238,7 @@ impl Default for SolverConfig {
             watchdog: WatchdogPolicy::default(),
             auto_switch_on_breakdown: true,
             trace: TraceConfig::default(),
+            adaptive: None,
         }
     }
 }
@@ -283,6 +295,7 @@ mod tests {
         );
         assert!(c.auto_switch_on_breakdown, "auto re-dispatch defaults on");
         assert!(!c.trace.enabled, "event tracing defaults off");
+        assert!(c.adaptive.is_none(), "adaptive re-tiering defaults off");
     }
 
     #[test]

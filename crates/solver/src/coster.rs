@@ -227,6 +227,19 @@ impl SingleCoster {
         tl.add(Phase::Wait, self.cost.spin_us());
     }
 
+    /// A barrier-aligned re-tier epoch: the owning warps re-quantize the
+    /// `touched_nnz` nonzeros of the re-tiered tiles in place (read the
+    /// stored byte, write the new encoding — ≤ 9 bytes of traffic per
+    /// nonzero at the widest transition) and every warp joins one extra
+    /// barrier so no SpMV overlaps the swap.
+    pub fn retier(&self, tl: &mut Timeline, touched_nnz: usize) {
+        tl.add(
+            Phase::Retier,
+            9.0 * touched_nnz as f64 / self.cost.device.bytes_per_us(),
+        );
+        self.barrier(tl);
+    }
+
     /// Modeled cost of one CG iteration at the tiles' initial precisions
     /// (all columns active). Used by the Auto mode decision: the paper
     /// reverts to multi-kernel "when the overhead ... outweighs the
@@ -403,6 +416,21 @@ impl MultiCoster {
     /// dot result — already charged via `dot(to_host=true)`.
     pub fn iteration_end(&self, _tl: &mut Timeline) {}
 
+    /// A re-tier pass as its own kernel: stream the `touched_nnz` nonzeros
+    /// of the re-tiered tiles through the converter (≤ 9 bytes/nnz) plus
+    /// the usual launch overhead.
+    pub fn retier(&self, tl: &mut Timeline, touched_nnz: usize) {
+        tl.add(
+            Phase::Retier,
+            self.cost.roofline_us(
+                touched_nnz as f64,
+                9.0 * touched_nnz as f64,
+                self.cost.spmv_warps(touched_nnz.max(1)),
+            ),
+        );
+        tl.add(Phase::Sync, self.cost.launch_us());
+    }
+
     /// A block-Jacobi application kernel: one small dense mat-vec per block,
     /// fully parallel (no dependency levels — the structural advantage over
     /// SpTRSV), priced at the blocks' storage precisions.
@@ -568,6 +596,16 @@ impl Coster {
         match self {
             Coster::Single(s) => s.iteration_end(tl),
             Coster::Multi(m) => m.iteration_end(tl),
+        }
+    }
+
+    /// Charges one adaptive re-tier epoch touching `touched_nnz` stored
+    /// nonzeros (tile re-quantization; the refresh SpMV/dots are charged
+    /// separately through the normal step methods).
+    pub fn retier(&self, tl: &mut Timeline, touched_nnz: usize) {
+        match self {
+            Coster::Single(s) => s.retier(tl, touched_nnz),
+            Coster::Multi(m) => m.retier(tl, touched_nnz),
         }
     }
 }

@@ -49,6 +49,7 @@
 //! never wedge the process. Reports carry the full [`BreakdownEvent`]
 //! trail; see DESIGN.md "Failure modes and recovery".
 
+pub mod adaptive;
 pub mod bicgstab;
 pub mod block;
 pub mod cg;
@@ -79,20 +80,26 @@ pub use report::{
 pub use solver::MilleFeuille;
 pub use threaded::{
     run_bicgstab_threaded_full, run_bicgstab_threaded_traced, run_cg_pipelined_threaded,
-    run_cg_pipelined_threaded_full, run_cg_pipelined_threaded_traced,
-    run_cg_pipelined_threaded_watchdog, run_cg_threaded_full, run_cg_threaded_traced,
-    run_ilu_sptrsv_threaded, run_ilu_sptrsv_threaded_full, run_ilu_sptrsv_threaded_traced,
-    run_ilu_sptrsv_threaded_watchdog, run_pbicgstab_threaded, run_pbicgstab_threaded_full,
-    run_pbicgstab_threaded_traced, run_pbicgstab_threaded_watchdog, run_pcg_pipelined_threaded,
-    run_pcg_pipelined_threaded_full, run_pcg_pipelined_threaded_traced,
-    run_pcg_pipelined_threaded_watchdog, run_pcg_threaded, run_pcg_threaded_full,
-    run_pcg_threaded_traced, run_pcg_threaded_watchdog, ThreadedReport, BICGSTAB_STEPS,
-    CG_PIPELINED_STEPS, CG_STEPS, PBICGSTAB_STEPS, PCG_PIPELINED_STEPS, PCG_STEPS, SPTRSV_STEPS,
+    run_cg_pipelined_threaded_adaptive, run_cg_pipelined_threaded_full,
+    run_cg_pipelined_threaded_traced, run_cg_pipelined_threaded_watchdog, run_cg_threaded_adaptive,
+    run_cg_threaded_full, run_cg_threaded_traced, run_ilu_sptrsv_threaded,
+    run_ilu_sptrsv_threaded_full, run_ilu_sptrsv_threaded_traced, run_ilu_sptrsv_threaded_watchdog,
+    run_pbicgstab_threaded, run_pbicgstab_threaded_full, run_pbicgstab_threaded_traced,
+    run_pbicgstab_threaded_watchdog, run_pcg_pipelined_threaded, run_pcg_pipelined_threaded_full,
+    run_pcg_pipelined_threaded_traced, run_pcg_pipelined_threaded_watchdog, run_pcg_threaded,
+    run_pcg_threaded_full, run_pcg_threaded_traced, run_pcg_threaded_watchdog, ThreadedReport,
+    BICGSTAB_STEPS, CG_PIPELINED_STEPS, CG_STEPS, PBICGSTAB_STEPS, PCG_PIPELINED_STEPS, PCG_STEPS,
+    SPTRSV_STEPS,
 };
 pub use workspace::SolverWorkspace;
 // The fault-injection vocabulary lives in `mf_gpu::faults`; re-export the
 // pieces test harnesses compose so they need only this crate.
 pub use mf_gpu::{FaultKind, FaultPlan, InjectedFaults};
+// The adaptive re-tiering vocabulary lives in `mf-precision`; re-export the
+// pieces callers need to arm the controller and read the decision trail.
+pub use mf_precision::{
+    AdaptiveConfig, PrecisionController, RetierAction, RetierDecision, TierCap, TileTier,
+};
 // The trace vocabulary lives in `mf-trace`; re-export the pieces callers
 // need to turn recording on and consume the merged event stream.
 pub use mf_trace::{EventKind, Trace, TraceConfig, TraceEvent};

@@ -169,6 +169,15 @@ pub fn run_cg_pipelined_ws(
     coster.dot_unsync(&mut tl, true);
     coster.barrier(&mut tl); // the init epoch publishing w, γ₀, δ₀
 
+    // Adaptive re-tiering: the refresh recomputes r = b − A·x and the
+    // recurrence seeds w = A·r, (γ, δ) from the re-tiered operator and
+    // flags a fresh (steepest-descent) start — the pipelined analogue of
+    // the classic core's r/p rebuild.
+    let mut ctrl = cfg
+        .adaptive
+        .map(|ac| crate::adaptive::controller_for(m, ac));
+    let retier_keep = ctrl.as_ref().map(|_| crate::cg::keep_flags(m.tile_cols));
+
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
     let mut consecutive_restarts = 0usize;
@@ -293,6 +302,46 @@ pub fn run_cg_pipelined_ws(
         if check_convergence && relres < cfg.tolerance {
             result.converged = true;
             break;
+        }
+
+        // ---- Adaptive re-tier epoch (after the convergence check):
+        // re-tier, then reseed the whole recurrence from the true residual
+        // of the re-tiered operator: r = b − A·x (via the q temp), w = A·r,
+        // (γ, δ) = ((r,r), (w,r)), fresh start.
+        if let Some(c) = ctrl.as_mut() {
+            if let Some(d) = c.observe(result.iterations, relres, cfg.tolerance) {
+                let touched: usize = d
+                    .actions
+                    .iter()
+                    .map(|a| {
+                        (m.tile_nnz[a.tile as usize + 1] - m.tile_nnz[a.tile as usize]) as usize
+                    })
+                    .sum();
+                shared.apply_retier(m, &d.actions);
+                coster.retier(&mut tl, touched);
+                let keepf = retier_keep.as_ref().expect("armed with controller");
+                let xstats = mixed_spmv(m, shared, keepf, x, q, threads);
+                result.spmv_stats.merge(&xstats);
+                coster.spmv_unsync(&mut tl, m, shared, keepf, &xstats);
+                for i in 0..n {
+                    r[i] = b[i] - q[i];
+                }
+                coster.axpy_unsync(&mut tl, 1);
+                let wstats = mixed_spmv(m, shared, keepf, r, w, threads);
+                result.spmv_stats.merge(&wstats);
+                coster.spmv_unsync(&mut tl, m, shared, keepf, &wstats);
+                let (g, dl) = blas1::dot2(r, w, r);
+                gamma = g;
+                delta = dl;
+                coster.dot_unsync(&mut tl, true);
+                coster.barrier(&mut tl);
+                fresh = true;
+                if let Some(t) = &tracer {
+                    let (pa, pb) = crate::adaptive::retier_trace_payload(&d);
+                    t.record(mf_trace::EventKind::Retier, pa, pb);
+                }
+                result.retier_trail.push(d);
+            }
         }
     }
 

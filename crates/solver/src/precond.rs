@@ -94,6 +94,14 @@ pub fn run_pcg_ws(
     let mut rz = blas1::dot(r, z);
     mc.dot(&mut tl, true);
 
+    // Adaptive re-tiering: same controller state machine as the CG core
+    // (see `crate::adaptive`); the refresh re-derives z and rz through the
+    // preconditioner because the recurrence tracks the old operator.
+    let mut ctrl = cfg
+        .adaptive
+        .map(|ac| crate::adaptive::controller_for(m, ac));
+    let retier_keep = ctrl.as_ref().map(|_| crate::cg::keep_flags(m.tile_cols));
+
     let iters = cfg.fixed_iterations.unwrap_or(cfg.max_iter);
     let check_convergence = cfg.fixed_iterations.is_none();
     let mut consecutive_restarts = 0usize;
@@ -199,6 +207,37 @@ pub fn run_pcg_ws(
                 iteration: iter_idx,
             });
             break;
+        }
+
+        // ---- Adaptive re-tier epoch (after the convergence check):
+        // re-tier the tiles, then rebuild r = b − A·x, z = M⁻¹r, p = z and
+        // rz = (r,z) from the re-tiered operator.
+        if let Some(c) = ctrl.as_mut() {
+            if let Some(d) = c.observe(result.iterations, relres, cfg.tolerance) {
+                let touched: usize = d
+                    .actions
+                    .iter()
+                    .map(|a| {
+                        (m.tile_nnz[a.tile as usize + 1] - m.tile_nnz[a.tile as usize]) as usize
+                    })
+                    .sum();
+                shared.apply_retier(m, &d.actions);
+                mc.retier(&mut tl, touched);
+                let keepf = retier_keep.as_ref().expect("armed with controller");
+                let rstats = mixed_spmv(m, shared, keepf, x, u, threads);
+                result.spmv_stats.merge(&rstats);
+                mc.spmv(&mut tl, m, &rstats);
+                for i in 0..n {
+                    r[i] = b[i] - u[i];
+                }
+                mc.axpy(&mut tl);
+                let zst = ilu.apply_recursive_into(r, cfg.trsv_leaf, y, z);
+                mc.sptrsv_adaptive(&mut tl, &zst, ilu.nnz(), lu_levels);
+                p.copy_from_slice(z);
+                rz = blas1::dot(r, z);
+                mc.dot(&mut tl, true);
+                result.retier_trail.push(d);
+            }
         }
     }
 

@@ -267,6 +267,11 @@ pub struct SolveReport {
     /// Merged structured event trace (when [`crate::SolverConfig::trace`]
     /// is enabled; `None` otherwise).
     pub trace: Option<mf_trace::Trace>,
+    /// Every re-tier plan the adaptive precision controller applied, in
+    /// application order (empty unless [`crate::SolverConfig::adaptive`]
+    /// is armed). Engines apply identical plans at identical iterations,
+    /// so the differential harness compares these trails verbatim.
+    pub retier_trail: Vec<mf_precision::RetierDecision>,
 }
 
 impl SolveReport {
@@ -363,6 +368,7 @@ mod tests {
             breakdowns: vec![],
             failure: None,
             trace: None,
+            retier_trail: vec![],
         }
     }
 

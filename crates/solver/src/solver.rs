@@ -165,8 +165,13 @@ impl MilleFeuille {
 
     fn partial_state(&self, tiled: &TiledMatrix, b: &[f64], mode: ExecutedMode) -> PartialState {
         // The dynamic strategy needs the persistent on-chip tile copy, so it
-        // only runs in single-kernel mode (§III-D).
-        let enabled = self.config.partial_convergence && mode == ExecutedMode::SingleKernel;
+        // only runs in single-kernel mode (§III-D). Adaptive re-tiering
+        // forces it off: the one-way on-chip lowering would fight the
+        // controller's plans, and a bypassed tile would skip the refresh
+        // SpMV's true-residual contribution.
+        let enabled = self.config.partial_convergence
+            && self.config.adaptive.is_none()
+            && mode == ExecutedMode::SingleKernel;
         let eps_abs = self.config.tolerance * self.config.partial_safety * blas1::norm2(b);
         PartialState::new(
             enabled,
@@ -207,6 +212,7 @@ impl MilleFeuille {
             breakdowns: core.breakdowns,
             failure: core.failure,
             trace: core.trace,
+            retier_trail: core.retier_trail,
         }
     }
 
@@ -385,8 +391,9 @@ impl MilleFeuille {
 
     /// Solves `A x = b` with the *real* multi-threaded single-kernel CG
     /// engine (warps as OS threads, atomic-counter synchronization). The
-    /// solve inherits `tolerance`, `max_iter` and [`SolverConfig::watchdog`]
-    /// from this facade's config; `max_warps` caps the thread count.
+    /// solve inherits `tolerance`, `max_iter`, [`SolverConfig::watchdog`]
+    /// and [`SolverConfig::adaptive`] from this facade's config;
+    /// `max_warps` caps the thread count.
     pub fn solve_cg_threaded(
         &self,
         a: &Csr,
@@ -394,7 +401,7 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_cg_threaded_traced(
+        crate::threaded::run_cg_threaded_adaptive(
             &pre.tiled,
             b,
             self.config.tolerance,
@@ -403,6 +410,7 @@ impl MilleFeuille {
             self.config.watchdog,
             &mf_gpu::FaultPlan::default(),
             &self.config.trace,
+            self.config.adaptive,
         )
     }
 
@@ -728,7 +736,7 @@ impl MilleFeuille {
         max_warps: usize,
     ) -> crate::threaded::ThreadedReport {
         let pre = self.preprocess(a);
-        crate::threaded::run_cg_pipelined_threaded_traced(
+        crate::threaded::run_cg_pipelined_threaded_adaptive(
             &pre.tiled,
             b,
             self.config.tolerance,
@@ -737,6 +745,7 @@ impl MilleFeuille {
             self.config.watchdog,
             &mf_gpu::FaultPlan::default(),
             &self.config.trace,
+            self.config.adaptive,
         )
     }
 

@@ -76,6 +76,7 @@ use mf_gpu::{
     SpmvSchedule, StepFault, WarpFaults,
 };
 use mf_kernels::ilu::Ilu0;
+use mf_precision::{AdaptiveConfig, RetierDecision};
 use mf_sparse::{Csr, TiledMatrix};
 use mf_trace::{EventKind, Trace, TraceConfig, WarpTrace, WarpTracer};
 use std::ops::Range;
@@ -122,6 +123,13 @@ pub struct ThreadedReport {
     /// solve ran through a `run_*_threaded_traced` entry with tracing
     /// enabled.
     pub trace: Option<Trace>,
+    /// Re-tier plans applied by the adaptive precision controller, in
+    /// epoch order (warp 0's copy — every warp replicates the identical
+    /// controller, so every warp computes the same plans). Empty unless
+    /// the solve ran through a `run_*_threaded_adaptive` entry with a
+    /// controller armed. The differential harness compares these trails
+    /// verbatim against the sequential engines'.
+    pub retier_trail: Vec<RetierDecision>,
 }
 
 impl ThreadedReport {
@@ -503,6 +511,7 @@ fn trivial_report(n: usize, warps: usize) -> ThreadedReport {
         last_progress: Vec::new(),
         injected_faults: None,
         trace: None,
+        retier_trail: Vec::new(),
     }
 }
 
@@ -641,6 +650,7 @@ fn finish_report(
         last_progress,
         injected_faults,
         trace,
+        retier_trail: Vec::new(),
     }
 }
 
@@ -756,6 +766,33 @@ pub fn run_cg_threaded_traced(
     plan: &FaultPlan,
     trace: &TraceConfig,
 ) -> ThreadedReport {
+    run_cg_threaded_adaptive(m, b, tol, max_iter, max_warps, watchdog, plan, trace, None)
+}
+
+/// [`run_cg_threaded_traced`] plus the adaptive precision controller v2
+/// (`None` is bitwise inert). Every warp constructs the identical
+/// controller from the same census and observes the identical residual at
+/// the loop bottom, so every warp computes the same re-tier plan with zero
+/// extra synchronization. An applied plan consumes one **refresh pass**:
+/// one full barrier-aligned loop slot with the normal pass's exact counter
+/// footprint (one `d_s` epoch per tile, two `d_d` epochs, one `d_a`
+/// epoch), during which each warp requantizes its own resident tiles from
+/// a fresh decode (the [`mf_kernels::SharedTiles::retier_tile`] rule) and
+/// the true residual `r = b − A·x` rebuilds the search direction. Refresh
+/// passes advance the physical slot index but not the reported iteration
+/// count, matching the sequential engines.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cg_threaded_adaptive(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+    adaptive: Option<AdaptiveConfig>,
+) -> ThreadedReport {
     let trace = *trace;
     let n = m.nrows;
     assert_eq!(b.len(), n);
@@ -822,10 +859,15 @@ pub fn run_cg_threaded_traced(
 
     let warps_i = warps as i64;
 
+    // Warp 0's applied-plan trail; uncontended (single writer) and read
+    // only after the scope joins.
+    let retier_out: std::sync::Mutex<Vec<RetierDecision>> = std::sync::Mutex::new(Vec::new());
+
     let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(warps);
         for w in 0..warps {
             let (x, r, p, u) = (&x, &r, &p, &u);
+            let retier_out = &retier_out;
             let (d_s, d_d, d_a) = (&d_s, &d_d, &d_a);
             let scratch = &scratch;
             let (seg_y, seg_z, seg_z_bd) = (&seg_y, &seg_z, &seg_z_bd);
@@ -862,8 +904,9 @@ pub fn run_cg_threaded_traced(
                     } else {
                         0..0
                     };
-                    // Decode my tiles once ("load into shared memory").
-                    let tile_vals: Vec<Vec<f64>> =
+                    // Decode my tiles once ("load into shared memory");
+                    // mutable only for adaptive re-tier refresh passes.
+                    let mut tile_vals: Vec<Vec<f64>> =
                         my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
                     let mut acc = vec![0.0f64; ts];
 
@@ -879,8 +922,101 @@ pub fn run_cg_threaded_traced(
                         t
                     };
 
-                    for j in 0..max_iter as i64 {
+                    // Replicated controller: identical census + identical
+                    // observed residuals ⇒ identical plans on every warp.
+                    let mut ctrl = adaptive.map(|ac| crate::adaptive::controller_for(m, ac));
+                    let mut pending: Option<RetierDecision> = None;
+                    // Physical loop slots `j` (barrier epochs) vs completed
+                    // CG iterations: refresh passes consume a slot without
+                    // counting as an iteration, so the two diverge only in
+                    // adaptive runs.
+                    let mut iters_completed: i64 = 0;
+                    let mut j: i64 = -1;
+                    loop {
+                        j += 1;
+                        if iters_completed >= max_iter as i64 {
+                            break;
+                        }
                         sync.iteration_gate()?;
+                        let it = iters_completed;
+
+                        if let Some(d) = pending.take() {
+                            // ---- Re-tier refresh pass (slot `j`, not an
+                            // iteration). Requantize my resident tiles from
+                            // a fresh decode, recompute u = A·x through the
+                            // normal scratch protocol, and let segment
+                            // owners rebuild r = b − u, p = r, rr = (r, r).
+                            sync.step(j, 0)?;
+                            for (ti, i) in my_tiles.clone().enumerate() {
+                                if let Some(a) = d.actions.iter().find(|a| a.tile as usize == i) {
+                                    let mut fresh = m.decode_tile_values(i);
+                                    a.to.quantize_slice(&mut fresh);
+                                    tile_vals[ti] = fresh;
+                                }
+                            }
+                            for (ti, i) in my_tiles.clone().enumerate() {
+                                let base_col = m.tile_colidx[i] as usize * ts;
+                                let nnz_base = m.tile_nnz[i] as usize;
+                                let vals = &tile_vals[ti];
+                                #[allow(clippy::needless_range_loop)]
+                                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                    let mut sum = 0.0;
+                                    for k in
+                                        m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                                    {
+                                        sum += vals[k - nnz_base]
+                                            * ld(&x[base_col + m.csr_colidx[k] as usize]);
+                                    }
+                                    scratch[ri].store(sum.to_bits(), Ordering::Release);
+                                }
+                                d_s[m.tile_rowidx[i] as usize].fetch_add(1, Ordering::AcqRel);
+                                sync.pulse();
+                            }
+                            sync.step(j, 1)?;
+                            for s in my_segs.clone() {
+                                if s < ds_init.len() {
+                                    sync.spin_until(&d_s[s], ds_init[s] * (j + 1))?;
+                                }
+                                let base_row = s * ts;
+                                let len = ((s + 1) * ts).min(n) - base_row;
+                                acc[..len].fill(0.0);
+                                for i in tr_start[s]..tr_start[s + 1] {
+                                    for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                        acc[m.row_index[ri] as usize] +=
+                                            f64::from_bits(scratch[ri].load(Ordering::Acquire));
+                                    }
+                                }
+                                let mut part = 0.0;
+                                for (o, &v) in acc[..len].iter().enumerate() {
+                                    let e = base_row + o;
+                                    let rv = b[e] - v;
+                                    st(&r[e], rv);
+                                    st(&p[e], rv);
+                                    part += rv * rv;
+                                }
+                                st(&seg_y[s], part);
+                            }
+                            d_d.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_d, warps_i * (2 * j + 1))?;
+                            rr = seg_total(seg_y);
+                            // Epoch-matching bumps: a refresh pass must
+                            // leave every counter exactly where a normal
+                            // pass would.
+                            d_d.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_d, warps_i * (2 * j + 2))?;
+                            d_a.fetch_add(1, Ordering::AcqRel);
+                            sync.spin_until(d_a, warps_i * (j + 1))?;
+                            if w == 0 {
+                                if let Some(t) = sync.tracer {
+                                    let (pa, pb) = crate::adaptive::retier_trace_payload(&d);
+                                    t.record(EventKind::Retier, pa, pb);
+                                }
+                                if let Ok(mut g) = retier_out.lock() {
+                                    g.push(d);
+                                }
+                            }
+                            continue;
+                        }
 
                         // ---- Step A: produce the per-tile-row partials of
                         // u = A·p for my (load-balanced) tiles into their
@@ -986,20 +1122,21 @@ pub fn run_cg_threaded_traced(
                                 RecoveryAction::Restarted
                             };
                             events.push(BreakdownEvent {
-                                iteration: j as usize,
+                                iteration: it as usize,
                                 kind,
                                 action,
                             });
+                            iters_completed = it + 1;
                             if w == 0 {
-                                iterations_done.store(j + 1, Ordering::Release);
+                                iterations_done.store(it + 1, Ordering::Release);
                                 let relres = rr_restart.max(0.0).sqrt() / norm_b;
                                 if relres.is_finite() {
                                     final_relres_bits.store(relres.to_bits(), Ordering::Release);
                                 }
                                 if abort_nonfinite {
-                                    failure_cell.set(FAIL_NONFINITE, j);
+                                    failure_cell.set(FAIL_NONFINITE, it);
                                 } else if abort_stalled {
-                                    failure_cell.set(FAIL_STALLED, j);
+                                    failure_cell.set(FAIL_STALLED, it);
                                 }
                             }
                             if abort_nonfinite || abort_stalled {
@@ -1030,13 +1167,13 @@ pub fn run_cg_threaded_traced(
                             // identically (final_relres keeps its last
                             // finite value).
                             events.push(BreakdownEvent {
-                                iteration: j as usize,
+                                iteration: it as usize,
                                 kind: BreakdownKind::NonFinite,
                                 action: RecoveryAction::Aborted,
                             });
                             if w == 0 {
-                                iterations_done.store(j + 1, Ordering::Release);
-                                failure_cell.set(FAIL_NONFINITE, j);
+                                iterations_done.store(it + 1, Ordering::Release);
+                                failure_cell.set(FAIL_NONFINITE, it);
                             }
                             return Ok(());
                         }
@@ -1057,8 +1194,9 @@ pub fn run_cg_threaded_traced(
                         // All warps compute the identical residual decision —
                         // the in-kernel convergence check of Algorithm 3.
                         let relres = rr_new.max(0.0).sqrt() / norm_b;
+                        iters_completed = it + 1;
                         if w == 0 {
-                            iterations_done.store(j + 1, Ordering::Release);
+                            iterations_done.store(it + 1, Ordering::Release);
                             final_relres_bits.store(relres.to_bits(), Ordering::Release);
                             trail.push(relres);
                         }
@@ -1067,6 +1205,12 @@ pub fn run_cg_threaded_traced(
                                 converged_flag.store(1, Ordering::Release);
                             }
                             break;
+                        }
+                        // Adaptive hook (after the convergence check, like
+                        // the sequential cores): every warp arms the same
+                        // plan; the next slot becomes the refresh pass.
+                        if let Some(c) = ctrl.as_mut() {
+                            pending = c.observe(iters_completed as usize, relres, tol);
                         }
                     }
                     Ok(())
@@ -1082,7 +1226,7 @@ pub fn run_cg_threaded_traced(
     })
     .expect("threaded CG scope failed");
 
-    finish_report(
+    let mut report = finish_report(
         &x,
         warps,
         &iterations_done,
@@ -1094,7 +1238,9 @@ pub fn run_cg_threaded_traced(
         CG_STEPS,
         plan,
         outs,
-    )
+    );
+    report.retier_trail = retier_out.into_inner().unwrap_or_else(|e| e.into_inner());
+    report
 }
 
 /// Runs BiCGSTAB with the default watchdog policy (the progress heartbeat,
@@ -2973,6 +3119,30 @@ pub fn run_cg_pipelined_threaded_traced(
     plan: &FaultPlan,
     trace: &TraceConfig,
 ) -> ThreadedReport {
+    run_cg_pipelined_threaded_adaptive(m, b, tol, max_iter, max_warps, watchdog, plan, trace, None)
+}
+
+/// [`run_cg_pipelined_threaded_traced`] plus the adaptive precision
+/// controller v2 (`None` is bitwise inert); see
+/// [`run_cg_threaded_adaptive`] for the replication argument. A refresh
+/// pass here costs two global barriers: one publishing the rebuilt true
+/// residual `r = b − A·x`, one publishing the reseeded recurrence
+/// (`w = A·r` into the *current* parity slot plus its (γ, δ) partials),
+/// after which `fresh = true` restarts the direction stack exactly like a
+/// flag-only breakdown restart. The parities do not flip (`k` does not
+/// advance), and refresh passes are not counted as iterations.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cg_pipelined_threaded_adaptive(
+    m: &TiledMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    max_warps: usize,
+    watchdog: WatchdogPolicy,
+    plan: &FaultPlan,
+    trace: &TraceConfig,
+    adaptive: Option<AdaptiveConfig>,
+) -> ThreadedReport {
     let trace = *trace;
     let n = m.nrows;
     assert_eq!(b.len(), n);
@@ -3019,10 +3189,15 @@ pub fn run_cg_pipelined_threaded_traced(
     let hb = heartbeat.as_ref();
     let warps_i = warps as i64;
 
+    // Warp 0's applied-plan trail; uncontended (single writer) and read
+    // only after the scope joins.
+    let retier_out: std::sync::Mutex<Vec<RetierDecision>> = std::sync::Mutex::new(Vec::new());
+
     let outs: Vec<WarpOut> = crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(warps);
         for w in 0..warps {
             let (x, r, p, s, z, q) = (&x, &r, &p, &s, &z, &q);
+            let retier_out = &retier_out;
             let (wbuf, bar) = (&wbuf, &bar);
             let (seg_gamma, seg_delta) = (&seg_gamma, &seg_delta);
             let (seg_lo, tr_start) = (&seg_lo, &tr_start);
@@ -3051,7 +3226,10 @@ pub fn run_cg_pipelined_threaded_traced(
                     let my_segs = seg_lo[w]..seg_lo[w + 1];
                     let elems = |sg: usize| (sg * ts)..(((sg + 1) * ts).min(n));
                     let my_tiles = tr_start[seg_lo[w]]..tr_start[seg_lo[w + 1]];
-                    let tile_vals: Vec<Vec<f64>> =
+                    // Mutable only for adaptive re-tier refresh passes; the
+                    // SpMV closure takes the decoded tiles as a parameter so
+                    // a refresh can requantize between calls.
+                    let mut tile_vals: Vec<Vec<f64>> =
                         my_tiles.clone().map(|i| m.decode_tile_values(i)).collect();
                     let mut acc = vec![0.0f64; ts];
 
@@ -3072,40 +3250,41 @@ pub fn run_cg_pipelined_threaded_traced(
                     };
                     // Owner-computes SpMV over my whole tile rows (see
                     // run_pcg_threaded_traced).
-                    let mut spmv_own = |input: &[AtomicU64], output: &[AtomicU64]| {
-                        for sg in my_segs.clone() {
-                            let base_row = sg * ts;
-                            let len = ((sg + 1) * ts).min(n) - base_row;
-                            acc[..len].fill(0.0);
-                            for i in tr_start[sg]..tr_start[sg + 1] {
-                                let base_col = m.tile_colidx[i] as usize * ts;
-                                let nnz_base = m.tile_nnz[i] as usize;
-                                let vals = &tile_vals[i - my_tiles.start];
-                                for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
-                                    let mut sum = 0.0;
-                                    for k in
-                                        m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
-                                    {
-                                        sum += vals[k - nnz_base]
-                                            * f64::from_bits(
-                                                input[base_col + m.csr_colidx[k] as usize]
-                                                    .load(Ordering::Acquire),
-                                            );
+                    let mut spmv_own =
+                        |tile_vals: &[Vec<f64>], input: &[AtomicU64], output: &[AtomicU64]| {
+                            for sg in my_segs.clone() {
+                                let base_row = sg * ts;
+                                let len = ((sg + 1) * ts).min(n) - base_row;
+                                acc[..len].fill(0.0);
+                                for i in tr_start[sg]..tr_start[sg + 1] {
+                                    let base_col = m.tile_colidx[i] as usize * ts;
+                                    let nnz_base = m.tile_nnz[i] as usize;
+                                    let vals = &tile_vals[i - my_tiles.start];
+                                    for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                                        let mut sum = 0.0;
+                                        for k in
+                                            m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize
+                                        {
+                                            sum += vals[k - nnz_base]
+                                                * f64::from_bits(
+                                                    input[base_col + m.csr_colidx[k] as usize]
+                                                        .load(Ordering::Acquire),
+                                                );
+                                        }
+                                        acc[m.row_index[ri] as usize] += sum;
                                     }
-                                    acc[m.row_index[ri] as usize] += sum;
                                 }
+                                for (o, v) in acc[..len].iter().enumerate() {
+                                    output[base_row + o].store(v.to_bits(), Ordering::Release);
+                                }
+                                sync.pulse();
                             }
-                            for (o, v) in acc[..len].iter().enumerate() {
-                                output[base_row + o].store(v.to_bits(), Ordering::Release);
-                            }
-                            sync.pulse();
-                        }
-                    };
+                        };
 
                     // ---- Init: w = A·r (r = b), γ₀ = (r,r), δ₀ = (w,r).
                     sync.iteration_gate()?;
                     sync.step(0, 0)?;
-                    spmv_own(r, &wbuf[0]);
+                    spmv_own(&tile_vals, r, &wbuf[0]);
                     for sg in my_segs.clone() {
                         let mut pg = 0.0;
                         let mut pd = 0.0;
@@ -3125,16 +3304,77 @@ pub fn run_cg_pipelined_threaded_traced(
                     let mut fresh = true;
                     let mut consecutive_restarts = 0usize;
 
-                    for j in 0..max_iter as i64 {
+                    // Replicated controller: identical census + identical
+                    // observed residuals ⇒ identical plans on every warp.
+                    let mut ctrl = adaptive.map(|ac| crate::adaptive::controller_for(m, ac));
+                    let mut pending: Option<RetierDecision> = None;
+                    let mut iters_completed: i64 = 0;
+                    let mut j: i64 = -1;
+                    loop {
+                        j += 1;
+                        if iters_completed >= max_iter as i64 {
+                            break;
+                        }
                         sync.iteration_gate()?;
+                        let it = iters_completed;
                         let s_in = k % 2;
                         let s_out = (k + 1) % 2;
+
+                        if let Some(d) = pending.take() {
+                            // ---- Re-tier refresh pass (slot `j`, not an
+                            // iteration): requantize my resident tiles from
+                            // a fresh decode, rebuild the true residual
+                            // r = b − A·x (barrier publishes r), reseed
+                            // w = A·r into the *current* parity slot with
+                            // its (γ, δ) partials (barrier publishes them),
+                            // then restart the direction stack fresh.
+                            sync.step(j, 1)?;
+                            for i in my_tiles.clone() {
+                                if let Some(a) = d.actions.iter().find(|a| a.tile as usize == i) {
+                                    let mut vals = m.decode_tile_values(i);
+                                    a.to.quantize_slice(&mut vals);
+                                    tile_vals[i - my_tiles.start] = vals;
+                                }
+                            }
+                            spmv_own(&tile_vals, x, q);
+                            for sg in my_segs.clone() {
+                                for e in elems(sg) {
+                                    st(&r[e], b[e] - ld(&q[e]));
+                                }
+                            }
+                            barrier()?; // publishes the rebuilt r
+                            sync.step(j, 3)?;
+                            spmv_own(&tile_vals, r, &wbuf[s_in]);
+                            for sg in my_segs.clone() {
+                                let mut pg = 0.0;
+                                let mut pd = 0.0;
+                                for e in elems(sg) {
+                                    let rv = ld(&r[e]);
+                                    pg += rv * rv;
+                                    pd += ld(&wbuf[s_in][e]) * rv;
+                                }
+                                st(&seg_gamma[s_in][sg], pg);
+                                st(&seg_delta[s_in][sg], pd);
+                            }
+                            barrier()?; // publishes w and the (γ, δ) partials
+                            fresh = true;
+                            if w == 0 {
+                                if let Some(t) = sync.tracer {
+                                    let (pa, pb) = crate::adaptive::retier_trace_payload(&d);
+                                    t.record(EventKind::Retier, pa, pb);
+                                }
+                                if let Ok(mut g) = retier_out.lock() {
+                                    g.push(d);
+                                }
+                            }
+                            continue;
+                        }
 
                         // ---- q = A·w: reads the slot the last barrier
                         // published; never races the updates, which write
                         // the other slot.
                         sync.step(j, 1)?;
-                        spmv_own(&wbuf[s_in], q);
+                        spmv_own(&tile_vals, &wbuf[s_in], q);
 
                         // ---- Scalars from the published reduction —
                         // identical on every warp (fixed segment order).
@@ -3160,20 +3400,21 @@ pub fn run_cg_pipelined_threaded_traced(
                                 RecoveryAction::Restarted
                             };
                             events.push(BreakdownEvent {
-                                iteration: j as usize,
+                                iteration: it as usize,
                                 kind,
                                 action,
                             });
+                            iters_completed = it + 1;
                             if w == 0 {
-                                iterations_done.store(j + 1, Ordering::Release);
+                                iterations_done.store(it + 1, Ordering::Release);
                                 let relres = gamma.max(0.0).sqrt() / norm_b;
                                 if relres.is_finite() {
                                     final_relres_bits.store(relres.to_bits(), Ordering::Release);
                                 }
                                 if abort_nonfinite {
-                                    failure_cell.set(FAIL_NONFINITE, j);
+                                    failure_cell.set(FAIL_NONFINITE, it);
                                 } else if abort_stalled {
-                                    failure_cell.set(FAIL_STALLED, j);
+                                    failure_cell.set(FAIL_STALLED, it);
                                 }
                             }
                             if abort_nonfinite || abort_stalled {
@@ -3220,19 +3461,20 @@ pub fn run_cg_pipelined_threaded_traced(
                         let gamma_new = seg_total(&seg_gamma[s_out]);
                         if !gamma_new.is_finite() {
                             events.push(BreakdownEvent {
-                                iteration: j as usize,
+                                iteration: it as usize,
                                 kind: BreakdownKind::NonFinite,
                                 action: RecoveryAction::Aborted,
                             });
                             if w == 0 {
-                                iterations_done.store(j + 1, Ordering::Release);
-                                failure_cell.set(FAIL_NONFINITE, j);
+                                iterations_done.store(it + 1, Ordering::Release);
+                                failure_cell.set(FAIL_NONFINITE, it);
                             }
                             return Ok(());
                         }
                         let relres = gamma_new.max(0.0).sqrt() / norm_b;
+                        iters_completed = it + 1;
                         if w == 0 {
-                            iterations_done.store(j + 1, Ordering::Release);
+                            iterations_done.store(it + 1, Ordering::Release);
                             final_relres_bits.store(relres.to_bits(), Ordering::Release);
                             trail.push(relres);
                         }
@@ -3241,6 +3483,12 @@ pub fn run_cg_pipelined_threaded_traced(
                                 converged_flag.store(1, Ordering::Release);
                             }
                             break;
+                        }
+                        // Adaptive hook (after the convergence check, like
+                        // the sequential cores): every warp arms the same
+                        // plan; the next slot becomes the refresh pass.
+                        if let Some(c) = ctrl.as_mut() {
+                            pending = c.observe(iters_completed as usize, relres, tol);
                         }
                     }
                     Ok(())
@@ -3256,7 +3504,7 @@ pub fn run_cg_pipelined_threaded_traced(
     })
     .expect("threaded pipelined CG scope failed");
 
-    finish_report(
+    let mut report = finish_report(
         &x,
         warps,
         &iterations_done,
@@ -3268,7 +3516,9 @@ pub fn run_cg_pipelined_threaded_traced(
         CG_PIPELINED_STEPS,
         plan,
         outs,
-    )
+    );
+    report.retier_trail = retier_out.into_inner().unwrap_or_else(|e| e.into_inner());
+    report
 }
 
 /// Runs pipelined ILU(0)-preconditioned CG with the default watchdog

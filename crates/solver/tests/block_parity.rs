@@ -39,6 +39,23 @@ fn seeded_vec(n: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
+/// Diagonally dominant SPD tridiagonal with noisy (not exactly
+/// representable) values, so tiles classify at full precision and the
+/// adaptive controller has demotion headroom.
+fn noisy_spd(n: usize, seed: u64) -> Csr {
+    let noise = seeded_vec(n, seed);
+    let mut a = Coo::new(n, n);
+    for (i, &w) in noise.iter().enumerate() {
+        a.push(i, i, 4.0 + 0.3 * w.abs());
+        if i + 1 < n {
+            let v = -1.0 + 0.1 * w;
+            a.push(i, i + 1, v);
+            a.push(i + 1, i, v);
+        }
+    }
+    a.to_csr()
+}
+
 fn single_solve(a: &Csr, cfg: &SolverConfig, b: &[f64]) -> mf_solver::cg::CoreResult {
     let m = TiledMatrix::from_csr_with(a, cfg.tile_size, &mf_precision::ClassifyOptions::default());
     let mut shared = SharedTiles::load(&m);
@@ -198,6 +215,73 @@ fn breakdown_column_detaches_without_poisoning_batch() {
     }
     assert_eq!(res.detached(), vec![0, 1]);
     assert_eq!(res.spmm_passes, 1, "breakdown detected on the first pass");
+}
+
+#[test]
+fn adaptive_config_is_inert_in_the_lockstep() {
+    // The blocked core must ignore `SolverConfig::adaptive` entirely: a
+    // re-tier plan is a function of one residual trajectory, and applying
+    // any column's plan to the shared tile state would couple the
+    // batch-mates' arithmetic. The serving layer routes adaptive configs
+    // around the lockstep (k independent solves); this pins the other half
+    // of that contract — an armed controller reaching the lockstep anyway
+    // changes nothing, bitwise.
+    let n = 140;
+    let a = noisy_spd(n, 3);
+    let base = SolverConfig {
+        partial_convergence: false,
+        ..SolverConfig::default()
+    };
+    let armed = SolverConfig {
+        adaptive: Some(mf_solver::AdaptiveConfig::default()),
+        ..base.clone()
+    };
+    let k = 3;
+    let b: Vec<f64> = (0..k).flat_map(|j| seeded_vec(n, j as u64 + 5)).collect();
+
+    let m = TiledMatrix::from_csr_with(
+        &a,
+        base.tile_size,
+        &mf_precision::ClassifyOptions::default(),
+    );
+    let coster = Coster::Single(SingleCoster::new(
+        CostModel::new(DeviceSpec::a100()),
+        &m,
+        base.tile_size,
+    ));
+    let run = |cfg: &SolverConfig| {
+        let mut shared = SharedTiles::load(&m);
+        run_cg_block_ws(
+            &m,
+            &mut shared,
+            &b,
+            k,
+            cfg,
+            &BlockOptions::default(),
+            &coster,
+            &mut BlockWorkspace::new(),
+        )
+    };
+    let plain = run(&base);
+    let with_controller = run(&armed);
+    for j in 0..k {
+        assert_eq!(
+            plain.columns[j].x, with_controller.columns[j].x,
+            "column {j}: an armed adaptive config must be inert in the lockstep"
+        );
+        assert_eq!(
+            plain.columns[j].iterations,
+            with_controller.columns[j].iterations
+        );
+    }
+
+    // Sanity (non-vacuity): the same armed config does re-tier through the
+    // single-RHS adaptive path on this matrix.
+    let solo = single_solve(&a, &armed, &b[..n]);
+    assert!(
+        !solo.retier_trail.is_empty(),
+        "expected the armed controller to fire on the single-RHS path"
+    );
 }
 
 #[test]

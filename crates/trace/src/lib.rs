@@ -101,6 +101,7 @@ impl TraceConfig {
 /// | `CacheHit` | fingerprint low 64 bits | entry bytes | yes* |
 /// | `CacheMiss` | fingerprint low 64 bits | entry bytes | yes* |
 /// | `CacheEvict` | fingerprint low 64 bits | bytes freed | yes* |
+/// | `Retier` | packed (cap code << 32 \| actions) | iteration decided | yes |
 ///
 /// (*) Cache events are deterministic for a fixed *request order*; a
 /// concurrent serving front-end interleaves requests nondeterministically,
@@ -121,12 +122,14 @@ pub enum EventKind {
     CacheHit = 10,
     CacheMiss = 11,
     CacheEvict = 12,
+    /// Adaptive re-tier plan applied (controller v2).
+    Retier = 13,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order — [`TraceSummary::counts`] is
     /// indexed by this order.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::IterStart,
         EventKind::IterEnd,
         EventKind::BarrierEnter,
@@ -140,6 +143,7 @@ impl EventKind {
         EventKind::CacheHit,
         EventKind::CacheMiss,
         EventKind::CacheEvict,
+        EventKind::Retier,
     ];
 
     /// Stable snake_case label used in every export format.
@@ -158,6 +162,7 @@ impl EventKind {
             EventKind::CacheHit => "cache_hit",
             EventKind::CacheMiss => "cache_miss",
             EventKind::CacheEvict => "cache_evict",
+            EventKind::Retier => "retier",
         }
     }
 

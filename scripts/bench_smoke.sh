@@ -10,9 +10,14 @@
 # BENCH_serve.json; *fails* when the warm preprocessing cache doesn't beat
 # cold p50 by 3x on the replayed small-solve trace, when one batched
 # multi-RHS solve doesn't beat k independent solves on requests/sec, or
-# when either amortization changes a single bit of any answer).
+# when either amortization changes a single bit of any answer), and the
+# adaptive re-tiering bench (bench_out/fig_adaptive.csv +
+# BENCH_adaptive.json; *fails* when the residual-driven controller moves
+# more total value bytes than the static classification on any SPD matrix,
+# reaches a different termination status, or is not strictly cheaper on at
+# least half the population).
 #
-# Knobs (see crates/bench/src/bin/{spmv_scaling,fig_trace_timeline,fig_pipeline,fig_serve}.rs):
+# Knobs (see crates/bench/src/bin/{spmv_scaling,fig_trace_timeline,fig_pipeline,fig_serve,fig_adaptive}.rs):
 #   MF_SPMV_GRID      Poisson grid side (default 320 -> 102,400 rows)
 #   MF_SPMV_REPS      timed reps per thread count (default 20)
 #   MF_SPMV_THREADS   comma list of thread counts (default 1,2,4,8)
@@ -31,12 +36,17 @@
 #   MF_SERVE_ITERS    per-request refinement budget (default 3; 0 = tolerance mode)
 #   MF_SERVE_BATCH    k of the batched multi-RHS workload (default 8)
 #   MF_SERVE_WARM_GATE  required cold/warm p50 ratio (default 3.0)
+#   MF_ADAPT_TOL      convergence tolerance of the adaptive bench (default 1e-10)
+#   MF_ADAPT_MAXITER  iteration cap of the adaptive bench (default 4000)
+#   MF_ADAPT_SCALE    size multiplier on the adaptive population (default 1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --locked --offline -p mf-bench \
-    --bin spmv_scaling --bin fig_trace_timeline --bin fig_pipeline --bin fig_serve
+    --bin spmv_scaling --bin fig_trace_timeline --bin fig_pipeline --bin fig_serve \
+    --bin fig_adaptive
 ./target/release/spmv_scaling
 ./target/release/fig_trace_timeline --trace-dir bench_out/traces
 ./target/release/fig_pipeline
 ./target/release/fig_serve
+./target/release/fig_adaptive

@@ -51,6 +51,23 @@ if ! timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mil
     exit 1
 fi
 timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-solver --test prop_heartbeat
+# Adaptive-parity tier: the residual-driven re-tier controller across all
+# four engine families (classic/pipelined × sequential/threaded) — one
+# decision sequence everywhere, bitwise warp-count invariance, and bitwise
+# stability under the seeded FaultPlan perturbation. Deterministic end to
+# end: on failure the assertion embeds the compilable FaultPlan::seeded(..)
+# builder line (where a perturbation is involved) and a plain rerun
+# replays everything else.
+if ! timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mille-feuille --test adaptive_parity; then
+    echo "adaptive_parity tier failed: fixtures and any FaultPlan are seed-deterministic — rerun the named test to replay; the FaultPlan::seeded(..) line in the assertion (if present) is the exact perturbation" >&2
+    exit 1
+fi
+# Re-tier property tier: scaled-FP8 round-trip/monotonicity envelopes and
+# controller plan invariants (determinism, period alignment, monotone cap,
+# ≤4 plans) over generated trajectories. The vendored proptest shim seeds
+# each generator stream from the test name, so a failure replays with a
+# plain rerun of the same test.
+timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-precision --test prop_retier
 # Serving tier (release: the adversarial cache suite spawns seeded
 # concurrent request threads across eviction boundaries — optimized builds
 # give the interleavings real contention; a condvar bug shows up as a hang,
