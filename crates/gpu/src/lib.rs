@@ -28,15 +28,28 @@
 //! * [`faults`] — deterministic, seed-reproducible schedule perturbation
 //!   and fault injection ([`FaultPlan`]) for stress-testing the
 //!   dependency protocol's determinism and liveness claims.
+//! * [`backend`] — the [`Device`]/[`DeviceBuffer`] execution-backend trait
+//!   pair (modeled on the wasi-parallel device abstraction), the simulated
+//!   single-device implementor, the [`Interconnect`] link model, and the
+//!   shard-invariant [`two_level_dot`] reduction.
+//! * [`shard`] — deterministic row-block domain decomposition
+//!   ([`ShardPlan`]) with halo-column extraction, the partitioning layer
+//!   under the multi-device sharded engine in `mf-solver`.
 
+pub mod backend;
 pub mod cost;
 pub mod deps;
 pub mod device;
 pub mod faults;
 pub mod schedule;
+pub mod shard;
 pub mod sharedmem;
 pub mod timeline;
 
+pub use backend::{
+    two_level_dot, BackendKind, BufferId, Device, DeviceBuffer, Interconnect, SimBuffer, SimDevice,
+    TWO_LEVEL_CHUNK,
+};
 pub use cost::CostModel;
 pub use deps::{DepArrays, Heartbeat, RowDeps};
 pub use device::{DeviceSpec, Vendor};
@@ -45,5 +58,6 @@ pub use faults::{
     WarpFaults,
 };
 pub use schedule::{SpmvSchedule, VectorSchedule};
+pub use shard::ShardPlan;
 pub use sharedmem::ShmemPlan;
 pub use timeline::{Phase, Timeline};

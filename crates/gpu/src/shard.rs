@@ -1,0 +1,242 @@
+//! Deterministic row-block domain decomposition of a [`TiledMatrix`]
+//! across N devices.
+//!
+//! The partition is the same arithmetic the threaded engine uses to hand
+//! segments to warps (`base`/`extra` contiguous split), applied one level
+//! up: shard boundaries land on *segment* boundaries (a segment is
+//! `tile_size` consecutive rows, the single-writer unit of every engine),
+//! so a shard owns whole tile-rows. Because tiles are sorted by
+//! `(tile_row, tile_col)`, each shard's tiles form one contiguous span of
+//! the tile arrays, and running `tile_matvec_span` over that span touches
+//! exactly the shard's rows — the per-device SpMV is bit-identical to the
+//! same rows of the global SpMV.
+//!
+//! The plan is a pure function of `(nrows, tile_size, shards)`: the same
+//! inputs always produce the same decomposition, which is what lets the
+//! sharded engine promise bitwise reproducibility.
+
+use mf_sparse::{Csr, TiledMatrix};
+use std::ops::Range;
+
+/// A deterministic row-block partition of `n` rows into `shards`
+/// contiguous blocks aligned to `tile_size`-row segment boundaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of matrix rows.
+    pub n: usize,
+    /// Segment length (= tile edge length of the matrix).
+    pub tile_size: usize,
+    /// Number of segments (`ceil(n / tile_size)`, min 1).
+    pub segments: usize,
+    /// Effective shard count: `min(requested, segments).max(1)` — a shard
+    /// with zero segments would be a device with no work.
+    pub shards: usize,
+    /// Segment boundary of each shard, length `shards + 1`
+    /// (`seg_lo[0] = 0`, `seg_lo[shards] = segments`).
+    pub seg_lo: Vec<usize>,
+    /// Row boundary of each shard, length `shards + 1`
+    /// (`row_lo[k] = min(seg_lo[k] · tile_size, n)`).
+    pub row_lo: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partitions `n` rows in `tile_size`-row segments across `shards`
+    /// blocks, mirroring the engines' `segment_bounds` split: every shard
+    /// gets `segments / shards` segments and the first `segments % shards`
+    /// shards get one extra.
+    pub fn partition(n: usize, tile_size: usize, shards: usize) -> ShardPlan {
+        assert!(tile_size > 0, "tile_size must be positive");
+        let segments = n.div_ceil(tile_size).max(1);
+        let shards = shards.min(segments).max(1);
+        let base = segments / shards;
+        let extra = segments % shards;
+        let mut seg_lo = Vec::with_capacity(shards + 1);
+        seg_lo.push(0usize);
+        for k in 0..shards {
+            let prev = *seg_lo.last().unwrap();
+            seg_lo.push(prev + base + usize::from(k < extra));
+        }
+        let row_lo = seg_lo.iter().map(|&s| (s * tile_size).min(n)).collect();
+        ShardPlan {
+            n,
+            tile_size,
+            segments,
+            shards,
+            seg_lo,
+            row_lo,
+        }
+    }
+
+    /// Partition matching a tiled matrix's row/tile geometry.
+    pub fn for_matrix(m: &TiledMatrix, shards: usize) -> ShardPlan {
+        Self::partition(m.nrows, m.tile_size, shards)
+    }
+
+    /// Rows owned by shard `k`.
+    pub fn rows(&self, k: usize) -> Range<usize> {
+        self.row_lo[k]..self.row_lo[k + 1]
+    }
+
+    /// Segments owned by shard `k`.
+    pub fn segs(&self, k: usize) -> Range<usize> {
+        self.seg_lo[k]..self.seg_lo[k + 1]
+    }
+
+    /// The shard owning row `r`.
+    pub fn owner_of_row(&self, r: usize) -> usize {
+        assert!(r < self.n, "row {r} out of range for n = {}", self.n);
+        // row_lo is non-decreasing with row_lo[shards] = n, so the owner is
+        // the last shard whose lower bound is <= r.
+        match self.row_lo.binary_search(&r) {
+            Ok(k) => k.min(self.shards - 1),
+            Err(k) => k - 1,
+        }
+    }
+
+    /// Tile-span boundaries per shard, length `shards + 1`: shard `k` owns
+    /// tiles `tile_lo[k]..tile_lo[k + 1]`. Contiguous because tiles are
+    /// sorted by `(tile_row, tile_col)` and shards own whole tile-row runs.
+    pub fn tile_bounds(&self, m: &TiledMatrix) -> Vec<usize> {
+        assert_eq!(m.nrows, self.n, "plan built for a different matrix");
+        assert_eq!(m.tile_size, self.tile_size, "tile size mismatch");
+        let mut tile_lo = Vec::with_capacity(self.shards + 1);
+        let mut t = 0usize;
+        for k in 0..self.shards {
+            tile_lo.push(t);
+            let seg_hi = self.seg_lo[k + 1] as u32;
+            while t < m.tile_count() && m.tile_rowidx[t] < seg_hi {
+                t += 1;
+            }
+        }
+        tile_lo.push(t);
+        debug_assert_eq!(t, m.tile_count());
+        tile_lo
+    }
+
+    /// The halo of shard `k`: the sorted, deduplicated set of column
+    /// indices its tiles reference that lie *outside* its own row block.
+    /// These are exactly the remote `p`-vector entries the shard must
+    /// receive each iteration before its SpMV.
+    pub fn halo_columns(&self, m: &TiledMatrix, k: usize) -> Vec<usize> {
+        let tile_lo = self.tile_bounds(m);
+        self.halo_columns_with(m, &tile_lo, k)
+    }
+
+    /// [`Self::halo_columns`] with precomputed [`Self::tile_bounds`].
+    pub fn halo_columns_with(&self, m: &TiledMatrix, tile_lo: &[usize], k: usize) -> Vec<usize> {
+        let own = self.rows(k);
+        let mut halo = std::collections::BTreeSet::new();
+        for i in tile_lo[k]..tile_lo[k + 1] {
+            let base_col = m.tile_colidx[i] as usize * m.tile_size;
+            // A tile whose column block is wholly inside the shard's own
+            // rows cannot contribute halo columns.
+            if own.start <= base_col && base_col + m.tile_size <= own.end {
+                continue;
+            }
+            for ri in m.nonrow[i] as usize..m.nonrow[i + 1] as usize {
+                for idx in m.csr_rowptr[ri] as usize..m.csr_rowptr[ri + 1] as usize {
+                    let col = base_col + m.csr_colidx[idx] as usize;
+                    if !own.contains(&col) {
+                        halo.insert(col);
+                    }
+                }
+            }
+        }
+        halo.into_iter().collect()
+    }
+
+    /// Halo of shard `k` against a CSR matrix (used for the triangular
+    /// ILU(0) factors, which are not tiled): columns referenced by the
+    /// shard's rows that lie outside its row block. Sorted, deduplicated.
+    pub fn csr_halo_columns(&self, a: &Csr, k: usize) -> Vec<usize> {
+        assert_eq!(a.nrows, self.n, "plan built for a different matrix");
+        let own = self.rows(k);
+        let mut halo = std::collections::BTreeSet::new();
+        for r in own.clone() {
+            for (c, _) in a.row(r) {
+                if !own.contains(&c) {
+                    halo.insert(c);
+                }
+            }
+        }
+        halo.into_iter().collect()
+    }
+
+    /// Packed value bytes of the tiles owned by shard `k` — the matrix
+    /// payload a device must hold, and the quantity `fig_shard` gates on
+    /// (per-shard bytes ≈ total / shards).
+    pub fn value_bytes(&self, m: &TiledMatrix, tile_lo: &[usize], k: usize) -> usize {
+        let (lo, hi) = (tile_lo[k], tile_lo[k + 1]);
+        if lo == hi {
+            return 0;
+        }
+        let end = if hi == m.tile_count() {
+            m.vals_raw().len()
+        } else {
+            m.val_offsets[hi]
+        };
+        end - m.val_offsets[lo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::Coo;
+
+    fn laplace1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn partition_covers_rows_exactly_once() {
+        for (n, ts, s) in [(100, 8, 3), (1, 16, 4), (64, 16, 4), (65, 16, 9)] {
+            let p = ShardPlan::partition(n, ts, s);
+            assert_eq!(p.row_lo[0], 0);
+            assert_eq!(*p.row_lo.last().unwrap(), n);
+            let total: usize = (0..p.shards).map(|k| p.rows(k).len()).sum();
+            assert_eq!(total, n);
+            for r in 0..n {
+                let k = p.owner_of_row(r);
+                assert!(p.rows(k).contains(&r), "row {r} owner {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_clamped_to_segments() {
+        let p = ShardPlan::partition(20, 16, 8);
+        assert_eq!(p.segments, 2);
+        assert_eq!(p.shards, 2);
+        let p = ShardPlan::partition(20, 16, 0);
+        assert_eq!(p.shards, 1);
+    }
+
+    #[test]
+    fn tile_bounds_and_halo_on_tridiagonal() {
+        let a = laplace1d(64);
+        let m = TiledMatrix::from_csr(&a);
+        let p = ShardPlan::for_matrix(&m, 2);
+        let tl = p.tile_bounds(&m);
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[2], m.tile_count());
+        // Tridiagonal with ts = 16: shard 0 owns rows 0..32 and references
+        // only column 32 beyond them; shard 1 references only column 31.
+        assert_eq!(p.halo_columns_with(&m, &tl, 0), vec![32]);
+        assert_eq!(p.halo_columns_with(&m, &tl, 1), vec![31]);
+        assert_eq!(p.csr_halo_columns(&a, 0), vec![32]);
+        assert_eq!(p.csr_halo_columns(&a, 1), vec![31]);
+        let total: usize = (0..2).map(|k| p.value_bytes(&m, &tl, k)).sum();
+        assert_eq!(total, m.vals_raw().len());
+    }
+}

@@ -19,10 +19,14 @@
 //!   preconditioned solvers.
 //! * [`ilu`] — ILU(0) and IC(0) factorizations for the PCG/PBiCGSTAB
 //!   variants.
+//! * [`shard`] — per-shard tile views with halo columns and the
+//!   sequential-span triangular solves used by the multi-device sharded
+//!   engine.
 
 pub mod blas1;
 pub mod block_jacobi;
 pub mod ilu;
+pub mod shard;
 pub mod spmm;
 pub mod spmv;
 pub mod sptrsv;
@@ -30,6 +34,7 @@ pub mod visflag;
 
 pub use block_jacobi::BlockJacobi;
 pub use ilu::{diag_shifted, ic0, ilu0, ilu0_boosted, Ic0, Ilu0, MAX_FACTOR_SHIFTS};
+pub use shard::{sptrsv_lower_span, sptrsv_upper_span, ShardView};
 pub use spmm::{axpy_block, col, col_mut, dot_block, spmm_mixed, xpay_block};
 pub use spmv::{
     spmv_csr, spmv_csr_par, spmv_mixed, spmv_mixed_par, spmv_tiled, spmv_tiled_par, MixedSpmvStats,

@@ -1,0 +1,217 @@
+//! Per-shard kernel views for the multi-device sharded engine.
+//!
+//! A [`ShardView`] is one device's slice of the problem: its contiguous
+//! tile span, its row block, and its **halo** — the off-block columns its
+//! tiles reference, i.e. the remote vector entries that must arrive before
+//! its SpMV can run. The view executes against a *full-length* input
+//! vector in which only `rows ∪ halo_cols` entries are meaningful; keeping
+//! the global indexing means every kernel below is literally the same
+//! arithmetic, in the same order, as its single-device counterpart
+//! restricted to the shard's rows — which is what makes sharded solves
+//! bitwise-reproducible at any shard count.
+//!
+//! Triangular solves cannot be sharded independently (row `r` needs every
+//! `x[c]`, `c < r`), so [`sptrsv_lower_span`] / [`sptrsv_upper_span`] run
+//! the shards *sequentially* — shard 0 → N−1 for `L`, N−1 → 0 for `U` —
+//! with each shard importing the cross-shard entries its rows reference.
+//! Substitution visits rows in the same order and combines each row's
+//! entries in CSR order exactly like [`crate::sptrsv::sptrsv_lower_into`],
+//! so the chained result is bit-identical to the unsharded solve.
+
+use mf_gpu::ShardPlan;
+use mf_sparse::{Csr, TiledMatrix};
+use std::ops::Range;
+
+/// One shard's view of a tiled matrix: tile span, row block, halo.
+#[derive(Clone, Debug)]
+pub struct ShardView {
+    /// Shard index in `0..plan.shards`.
+    pub shard: usize,
+    /// Rows owned by this shard.
+    pub rows: Range<usize>,
+    /// Contiguous tile span of this shard (tiles sorted by tile row).
+    pub tiles: Range<usize>,
+    /// Sorted off-block columns referenced by `tiles` — the `p`-vector
+    /// entries to receive from peer shards each iteration.
+    pub halo_cols: Vec<usize>,
+    /// Packed value bytes of the shard's tiles (its matrix payload).
+    pub value_bytes: usize,
+}
+
+impl ShardView {
+    /// Builds every shard's view of `m` under `plan`.
+    pub fn build_all(m: &TiledMatrix, plan: &ShardPlan) -> Vec<ShardView> {
+        let tile_lo = plan.tile_bounds(m);
+        (0..plan.shards)
+            .map(|k| ShardView {
+                shard: k,
+                rows: plan.rows(k),
+                tiles: tile_lo[k]..tile_lo[k + 1],
+                halo_cols: plan.halo_columns_with(m, &tile_lo, k),
+                value_bytes: plan.value_bytes(m, &tile_lo, k),
+            })
+            .collect()
+    }
+
+    /// Bytes of one halo exchange for this shard (f64 payload).
+    pub fn halo_bytes(&self) -> u64 {
+        8 * self.halo_cols.len() as u64
+    }
+
+    /// The shard's SpMV: `y ← (A p)[rows]`, with `p` full-length (owned +
+    /// halo entries populated) and `y.len() == rows.len()`. Tiles are
+    /// visited in global order and each row combines its nonzeros in CSR
+    /// order, so concatenating every shard's `y` reproduces
+    /// [`TiledMatrix::matvec`] bit-for-bit.
+    pub fn spmv(&self, m: &TiledMatrix, p: &[f64], y: &mut [f64]) {
+        assert_eq!(p.len(), m.ncols);
+        assert_eq!(y.len(), self.rows.len());
+        y.fill(0.0);
+        m.tile_matvec_span(self.tiles.clone(), p, y, self.rows.start);
+    }
+}
+
+/// Forward-substitution span: solves rows `rows` of `L x = b` into the
+/// full-length `x`, assuming every `x[c]` with `c < rows.start` that these
+/// rows reference is already present (shards must run in ascending order).
+/// Bitwise ≡ the same rows of [`crate::sptrsv::sptrsv_lower_into`].
+pub fn sptrsv_lower_span(l: &Csr, b: &[f64], x: &mut [f64], unit_diag: bool, rows: Range<usize>) {
+    assert_eq!(l.nrows, l.ncols);
+    assert_eq!(b.len(), l.nrows);
+    assert_eq!(x.len(), l.nrows);
+    assert!(rows.end <= l.nrows);
+    for r in rows {
+        let mut sum = 0.0;
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (c, v) in l.row(r) {
+            if c < r {
+                sum += v * x[c];
+            } else if c == r && !unit_diag {
+                diag = v;
+            }
+        }
+        debug_assert!(diag != 0.0, "zero diagonal at row {r}");
+        x[r] = (b[r] - sum) / diag;
+    }
+}
+
+/// Backward-substitution span: solves rows `rows` of `U x = b` into the
+/// full-length `x`, assuming every `x[c]` with `c >= rows.end` that these
+/// rows reference is already present (shards must run in descending
+/// order). Bitwise ≡ the same rows of [`crate::sptrsv::sptrsv_upper_into`].
+pub fn sptrsv_upper_span(u: &Csr, b: &[f64], x: &mut [f64], unit_diag: bool, rows: Range<usize>) {
+    assert_eq!(u.nrows, u.ncols);
+    assert_eq!(b.len(), u.nrows);
+    assert_eq!(x.len(), u.nrows);
+    assert!(rows.end <= u.nrows);
+    for r in rows.rev() {
+        let mut sum = 0.0;
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (c, v) in u.row(r) {
+            if c > r {
+                sum += v * x[c];
+            } else if c == r && !unit_diag {
+                diag = v;
+            }
+        }
+        debug_assert!(diag != 0.0, "zero diagonal at row {r}");
+        x[r] = (b[r] - sum) / diag;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sptrsv::{sptrsv_lower_into, sptrsv_upper_into};
+    use mf_sparse::Coo;
+
+    fn poisson1d(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.5 + (i % 4) as f64 * 0.25);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn sharded_spmv_concatenates_to_matvec() {
+        let a = poisson1d(77);
+        let m = TiledMatrix::from_csr(&a);
+        let p: Vec<f64> = (0..77).map(|i| (i as f64 * 0.21).sin() + 0.5).collect();
+        let mut whole = vec![0.0; 77];
+        m.matvec(&p, &mut whole);
+        for shards in [1, 2, 3, 4] {
+            let plan = ShardPlan::for_matrix(&m, shards);
+            let views = ShardView::build_all(&m, &plan);
+            let mut pieced = vec![0.0; 77];
+            for v in &views {
+                let mut y = vec![0.0; v.rows.len()];
+                v.spmv(&m, &p, &mut y);
+                pieced[v.rows.clone()].copy_from_slice(&y);
+            }
+            assert_eq!(bits(&pieced), bits(&whole), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn halo_is_only_what_spmv_needs() {
+        let a = poisson1d(64);
+        let m = TiledMatrix::from_csr(&a);
+        let plan = ShardPlan::for_matrix(&m, 4);
+        let views = ShardView::build_all(&m, &plan);
+        let p: Vec<f64> = (0..64).map(|i| 1.0 + i as f64).collect();
+        let mut whole = vec![0.0; 64];
+        m.matvec(&p, &mut whole);
+        for v in &views {
+            // Poison every entry that is neither owned nor halo: the
+            // shard's SpMV must not read them.
+            let mut masked = vec![f64::NAN; 64];
+            for r in v.rows.clone() {
+                masked[r] = p[r];
+            }
+            for &c in &v.halo_cols {
+                masked[c] = p[c];
+            }
+            let mut y = vec![0.0; v.rows.len()];
+            v.spmv(&m, &masked, &mut y);
+            assert_eq!(bits(&y), bits(&whole[v.rows.clone()]), "shard {}", v.shard);
+        }
+    }
+
+    #[test]
+    fn trsv_spans_chain_to_full_solve() {
+        let a = poisson1d(50);
+        let l = a.lower_triangle();
+        let u = a.upper_triangle();
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.4).cos()).collect();
+
+        let mut y_full = vec![0.0; 50];
+        sptrsv_lower_into(&l, &b, &mut y_full, true);
+        let mut z_full = vec![0.0; 50];
+        sptrsv_upper_into(&u, &y_full, &mut z_full, false);
+
+        for shards in [1, 2, 3, 5] {
+            let plan = ShardPlan::partition(50, 16, shards);
+            let mut y = vec![0.0; 50];
+            for k in 0..plan.shards {
+                sptrsv_lower_span(&l, &b, &mut y, true, plan.rows(k));
+            }
+            assert_eq!(bits(&y), bits(&y_full), "lower, {shards} shards");
+            let mut z = vec![0.0; 50];
+            for k in (0..plan.shards).rev() {
+                sptrsv_upper_span(&u, &y, &mut z, false, plan.rows(k));
+            }
+            assert_eq!(bits(&z), bits(&z_full), "upper, {shards} shards");
+        }
+    }
+}

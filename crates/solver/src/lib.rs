@@ -59,6 +59,7 @@ pub mod partial;
 pub mod pipelined;
 pub mod precond;
 pub mod report;
+pub mod sharded;
 pub mod solver;
 pub mod threaded;
 pub mod workspace;
@@ -76,6 +77,9 @@ pub use pipelined::{
 pub use report::{
     BreakdownEvent, BreakdownKind, ExecutedMode, RecoveryAction, SolveFailure, SolveReport,
     WarpProgress,
+};
+pub use sharded::{
+    run_cg_sharded, run_cg_sharded_full, run_pcg_sharded, run_pcg_sharded_full, ShardedReport,
 };
 pub use solver::MilleFeuille;
 pub use threaded::{

@@ -689,6 +689,79 @@ impl MilleFeuille {
         )
     }
 
+    /// Solves `A x = b` with the multi-device **sharded** CG engine: the
+    /// tiled matrix is row-block partitioned across `shards` simulated
+    /// devices behind the [`mf_gpu::Device`] backend trait, with per-
+    /// iteration halo exchange and a two-level deterministic reduction.
+    /// Numeric outputs are bitwise identical to
+    /// [`Self::solve_cg_threaded`] without adaptive re-tiering, at any
+    /// shard count. Inherits `tolerance` and `max_iter` from the config.
+    pub fn solve_cg_sharded(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        shards: usize,
+        max_warps: usize,
+    ) -> crate::sharded::ShardedReport {
+        self.solve_cg_sharded_ws(a, b, shards, max_warps, &mut SolverWorkspace::new())
+    }
+
+    /// [`Self::solve_cg_sharded`] with a caller-provided
+    /// [`SolverWorkspace`] (serving-style reuse across solves).
+    pub fn solve_cg_sharded_ws(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        shards: usize,
+        max_warps: usize,
+        ws: &mut SolverWorkspace,
+    ) -> crate::sharded::ShardedReport {
+        let pre = self.preprocess(a);
+        crate::sharded::run_cg_sharded_full(
+            &pre.tiled,
+            b,
+            self.config.tolerance,
+            self.config.max_iter,
+            shards,
+            max_warps,
+            &self.device,
+            mf_gpu::Interconnect::default(),
+            &mf_gpu::FaultPlan::default(),
+            &self.config.trace,
+            ws,
+        )
+    }
+
+    /// Multi-device sharded ILU(0)-PCG; see [`Self::solve_cg_sharded`].
+    /// Pivot breakdowns are retried with bounded diagonal boosting exactly
+    /// like [`Self::solve_pcg_threaded`].
+    pub fn solve_pcg_sharded(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        shards: usize,
+        max_warps: usize,
+    ) -> Result<crate::sharded::ShardedReport, mf_kernels::ilu::FactorError> {
+        let (ilu, shifts) = ilu0_boosted(a)?;
+        let pre = self.preprocess(a);
+        let mut rep = crate::sharded::run_pcg_sharded_full(
+            &pre.tiled,
+            &ilu,
+            b,
+            self.config.tolerance,
+            self.config.max_iter,
+            shards,
+            max_warps,
+            &self.device,
+            mf_gpu::Interconnect::default(),
+            &mf_gpu::FaultPlan::default(),
+            &self.config.trace,
+            &mut SolverWorkspace::new(),
+        );
+        prepend_factor_shifts(&mut rep.breakdowns, &shifts);
+        Ok(rep)
+    }
+
     /// Threaded single-kernel ILU(0)-PBiCGSTAB; see
     /// [`Self::solve_pcg_threaded`].
     pub fn solve_pbicgstab_threaded(

@@ -102,6 +102,7 @@ impl TraceConfig {
 /// | `CacheMiss` | fingerprint low 64 bits | entry bytes | yes* |
 /// | `CacheEvict` | fingerprint low 64 bits | bytes freed | yes* |
 /// | `Retier` | packed (cap code << 32 \| actions) | iteration decided | yes |
+/// | `Halo` | bytes exchanged | packed (peer shard << 32 \| messages) | yes |
 ///
 /// (*) Cache events are deterministic for a fixed *request order*; a
 /// concurrent serving front-end interleaves requests nondeterministically,
@@ -124,12 +125,16 @@ pub enum EventKind {
     CacheEvict = 12,
     /// Adaptive re-tier plan applied (controller v2).
     Retier = 13,
+    /// Sharded-engine halo exchange: one shard's boundary-vector traffic
+    /// for an iteration step. Appended last so [`TraceSummary::counts`]
+    /// indices from earlier releases stay valid.
+    Halo = 14,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order — [`TraceSummary::counts`] is
     /// indexed by this order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::IterStart,
         EventKind::IterEnd,
         EventKind::BarrierEnter,
@@ -144,6 +149,7 @@ impl EventKind {
         EventKind::CacheMiss,
         EventKind::CacheEvict,
         EventKind::Retier,
+        EventKind::Halo,
     ];
 
     /// Stable snake_case label used in every export format.
@@ -163,6 +169,7 @@ impl EventKind {
             EventKind::CacheMiss => "cache_miss",
             EventKind::CacheEvict => "cache_evict",
             EventKind::Retier => "retier",
+            EventKind::Halo => "halo",
         }
     }
 

@@ -15,7 +15,11 @@
 # BENCH_adaptive.json; *fails* when the residual-driven controller moves
 # more total value bytes than the static classification on any SPD matrix,
 # reaches a different termination status, or is not strictly cheaper on at
-# least half the population).
+# least half the population), and the multi-device sharding bench
+# (bench_out/fig_shard.csv + BENCH_shard.json; *fails* when any shard
+# count changes a single bit of any solve versus the single-device
+# engine, or when 4-way sharding keeps more than 0.35 of the largest grid
+# matrix's packed payload on one device).
 #
 # Knobs (see crates/bench/src/bin/{spmv_scaling,fig_trace_timeline,fig_pipeline,fig_serve,fig_adaptive}.rs):
 #   MF_SPMV_GRID      Poisson grid side (default 320 -> 102,400 rows)
@@ -39,14 +43,20 @@
 #   MF_ADAPT_TOL      convergence tolerance of the adaptive bench (default 1e-10)
 #   MF_ADAPT_MAXITER  iteration cap of the adaptive bench (default 4000)
 #   MF_ADAPT_SCALE    size multiplier on the adaptive population (default 1)
+#   MF_SHARD_GRID     largest Poisson side of the sharding bench (default 96)
+#   MF_SHARD_TOL      convergence tolerance of the sharding bench (default 1e-10)
+#   MF_SHARD_MAXITER  iteration cap of the sharding bench (default 2000)
+#   MF_SHARD_WARPS    warp cap of both engines in the sharding bench (default 4)
+#   MF_SHARD_SPLIT_GATE  max per-device payload fraction at 4 shards (default 0.35)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --locked --offline -p mf-bench \
     --bin spmv_scaling --bin fig_trace_timeline --bin fig_pipeline --bin fig_serve \
-    --bin fig_adaptive
+    --bin fig_adaptive --bin fig_shard
 ./target/release/spmv_scaling
 ./target/release/fig_trace_timeline --trace-dir bench_out/traces
 ./target/release/fig_pipeline
 ./target/release/fig_serve
 ./target/release/fig_adaptive
+./target/release/fig_shard

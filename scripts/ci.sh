@@ -62,6 +62,22 @@ if ! timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mil
     echo "adaptive_parity tier failed: fixtures and any FaultPlan are seed-deterministic — rerun the named test to replay; the FaultPlan::seeded(..) line in the assertion (if present) is the exact perturbation" >&2
     exit 1
 fi
+# Sharded-parity tier: the multi-device sharded CG/PCG engines against the
+# single-device threaded engine, bitwise across the (matrix × precision ×
+# shard-count × warp-count) grid, clean and under the seeded delay/stall
+# plan. Everything is seed-deterministic: on failure the assertion message
+# carries the combination's (matrix, precision, shards, warps) coordinates
+# and — for the faulted grids — the compilable FaultPlan::seeded(..) repro
+# line.
+if ! timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test sharded_parity; then
+    echo "sharded_parity tier failed: rerun the named test to replay; the assertion names the (matrix, precision, shards, warps) combination and any FaultPlan::seeded(..) line is the exact perturbation" >&2
+    exit 1
+fi
+# Shard-partition property tier: partitioner row coverage, halo exactness
+# and the two-level reduction's bitwise shard invariance over generated
+# (n, tile_size, shards) space. Generator streams are seeded from test
+# names, so a plain rerun replays a failure.
+timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-gpu --test prop_partition
 # Re-tier property tier: scaled-FP8 round-trip/monotonicity envelopes and
 # controller plan invariants (determinism, period alignment, monotone cap,
 # ≤4 plans) over generated trajectories. The vendored proptest shim seeds

@@ -50,8 +50,8 @@ pub mod prelude {
     pub use mf_precision::Precision;
     pub use mf_solver::{
         BreakdownEvent, BreakdownKind, ExecutedMode, FaultKind, FaultPlan, InjectedFaults,
-        KernelMode, MilleFeuille, RecoveryAction, SolveFailure, SolveReport, SolverConfig,
-        ThreadedReport, WatchdogPolicy,
+        KernelMode, MilleFeuille, RecoveryAction, ShardedReport, SolveFailure, SolveReport,
+        SolverConfig, ThreadedReport, WatchdogPolicy,
     };
     pub use mf_sparse::{Coo, Csr, TiledMatrix};
     pub use mf_trace::{EventKind, Trace, TraceConfig, TraceEvent};
