@@ -1,0 +1,248 @@
+//! Ticketed preprocessing: fused sequencer/worker/committer flow versus
+//! the phase-barrier pipeline (ROADMAP "ticketed deterministic
+//! parallelism").
+//!
+//! Every matrix of a small SPD population runs the fused ticketed
+//! preprocessing (tile classification + ILU(0) rows in one ticket
+//! stream) at worker counts {1, 2, 4} and the phase-barrier reference
+//! (`TiledMatrix::from_csr_par` + `ilu0_boosted`). The ticketed flow is
+//! deterministic and worker-count invariant by construction, so the
+//! figure of merit is **utilization**: the modeled makespan of the fused
+//! stream against the same units behind phase barriers
+//! ([`simulate_ticketed`] / [`simulate_barrier_pipeline`] over real
+//! per-unit costs), on a fixed work budget.
+//!
+//! Gates (exit 1 on failure):
+//!
+//! * **bitwise invariance** — at *every* worker count the ticketed tiles
+//!   and factors are bitwise identical to the phase-barrier reference on
+//!   every matrix;
+//! * **utilization** — on every matrix, at every modeled worker count,
+//!   the fused ticketed makespan is no worse than the phase-barrier
+//!   makespan over the identical unit costs (`ticketed ≤ barrier`).
+//!
+//! Host wall-clock of both flows is *recorded* per row for honesty but
+//! **not gated**: CI hosts (often 1 core) make wall-time gates noise.
+//!
+//! Output: `bench_out/fig_ticket.csv` + `BENCH_ticket.json`.
+//!
+//! Env knobs: `MF_TICKET_GRID` (largest Poisson side, default 64),
+//! `MF_TICKET_TILE` (default 16).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use mf_bench::{write_csv, Table};
+use mf_collection::{banded_spd, poisson2d, random_spd, ValueClass};
+use mf_gpu::{simulate_barrier_pipeline, simulate_ticketed};
+use mf_kernels::ilu0_boosted;
+use mf_precision::ClassifyOptions;
+use mf_solver::ticketed::{preprocess_tiled_ilu0_ticketed, TicketedOptions};
+use mf_sparse::{Csr, TiledMatrix};
+use mf_trace::TraceConfig;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+struct TicketRow {
+    matrix: String,
+    n: usize,
+    nnz: usize,
+    workers: usize,
+    bitwise: bool,
+    modeled_ticketed: u64,
+    modeled_barrier: u64,
+    wall_ticketed_us: f64,
+    wall_barrier_us: f64,
+    accepted: usize,
+    fallbacks: usize,
+}
+
+fn main() {
+    let grid = env_usize("MF_TICKET_GRID", 64).max(8);
+    let tile = env_usize("MF_TICKET_TILE", 16).clamp(2, 256);
+    let worker_grid = [1usize, 2, 4];
+    let copts = ClassifyOptions::default();
+
+    let systems: Vec<(String, Csr)> = vec![
+        (format!("poisson2d_{grid}x{grid}"), poisson2d(grid, grid)),
+        (
+            "banded_spd_real_600".into(),
+            banded_spd(600, 4, ValueClass::Real, 7),
+        ),
+        (
+            "random_spd_wide_300".into(),
+            random_spd(300, 5, ValueClass::WideModerate, 11),
+        ),
+    ];
+
+    println!(
+        "fig_ticket: {} SPD systems, workers {:?}, tile {tile}",
+        systems.len(),
+        worker_grid
+    );
+
+    let mut rows: Vec<TicketRow> = Vec::new();
+    for (name, a) in &systems {
+        // Phase-barrier reference, timed: classify-all barrier, then
+        // factor-all.
+        let t0 = std::time::Instant::now();
+        let tiled_ref = TiledMatrix::from_csr_par(a, tile, &copts);
+        let factor_ref = ilu0_boosted(a).expect("reference ILU(0)");
+        let wall_barrier_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        // Modeled makespans over the *same* real per-unit costs.
+        let (fused, tiles, serial_rows) = mf_solver::fused_unit_specs(a, tile);
+
+        for &w in &worker_grid {
+            let topts = TicketedOptions {
+                workers: w,
+                faults: None,
+                trace: TraceConfig::default(),
+            };
+            let t0 = std::time::Instant::now();
+            let (tiled, factors, outcome) = preprocess_tiled_ilu0_ticketed(a, tile, &copts, &topts);
+            let wall_ticketed_us = t0.elapsed().as_secs_f64() * 1e6;
+            let bitwise = match &factors {
+                Ok((f, shifts)) => {
+                    tiled.tile_prec == tiled_ref.tile_prec
+                        && tiled.vals_raw() == tiled_ref.vals_raw()
+                        && tiled.csr_rowptr == tiled_ref.csr_rowptr
+                        && f.l.rowptr == factor_ref.0.l.rowptr
+                        && bits(&f.l.vals) == bits(&factor_ref.0.l.vals)
+                        && bits(&f.u.vals) == bits(&factor_ref.0.u.vals)
+                        && bits(shifts) == bits(&factor_ref.1)
+                }
+                Err(_) => false,
+            };
+            rows.push(TicketRow {
+                matrix: name.clone(),
+                n: a.nrows,
+                nnz: a.nnz(),
+                workers: w,
+                bitwise,
+                modeled_ticketed: simulate_ticketed(&fused, w),
+                modeled_barrier: simulate_barrier_pipeline(&tiles, &serial_rows, w),
+                wall_ticketed_us,
+                wall_barrier_us,
+                accepted: outcome.stats.accepted,
+                fallbacks: outcome.stats.fallbacks,
+            });
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "matrix",
+        "workers",
+        "n",
+        "nnz",
+        "bitwise",
+        "modeled_ticketed",
+        "modeled_barrier",
+        "modeled_speedup",
+        "wall_ticketed_us",
+        "wall_barrier_us",
+        "accepted",
+        "fallbacks",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.matrix.clone(),
+            r.workers.to_string(),
+            r.n.to_string(),
+            r.nnz.to_string(),
+            r.bitwise.to_string(),
+            r.modeled_ticketed.to_string(),
+            r.modeled_barrier.to_string(),
+            format!(
+                "{:.3}",
+                r.modeled_barrier as f64 / r.modeled_ticketed.max(1) as f64
+            ),
+            format!("{:.1}", r.wall_ticketed_us),
+            format!("{:.1}", r.wall_barrier_us),
+            r.accepted.to_string(),
+            r.fallbacks.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let csv = write_csv("fig_ticket", &table).expect("write csv");
+    println!("wrote {}", csv.display());
+
+    // ---- Gates. ----
+    let all_bitwise = rows.iter().all(|r| r.bitwise);
+    for r in rows.iter().filter(|r| !r.bitwise) {
+        eprintln!(
+            "FAIL: {} at {} workers diverged from the phase-barrier reference",
+            r.matrix, r.workers
+        );
+    }
+    let all_utilized = rows.iter().all(|r| r.modeled_ticketed <= r.modeled_barrier);
+    for r in rows
+        .iter()
+        .filter(|r| r.modeled_ticketed > r.modeled_barrier)
+    {
+        eprintln!(
+            "FAIL: {} at {} workers: modeled ticketed makespan {} exceeds phase-barrier {}",
+            r.matrix, r.workers, r.modeled_ticketed, r.modeled_barrier
+        );
+    }
+
+    // ---- JSON (hand-rolled; no serde in the offline workspace). ----
+    let pass = all_bitwise && all_utilized;
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fig_ticket\",\n",
+            "  \"tile\": {tile},\n",
+            "  \"gates\": {{\"bitwise_all_worker_counts\": {bw}, \"ticketed_le_barrier_all_rows\": {ut}}},\n",
+            "  \"rows\": [\n"
+        ),
+        tile = tile,
+        bw = all_bitwise,
+        ut = all_utilized,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            concat!(
+                "    {{\"matrix\": \"{name}\", \"n\": {n}, \"nnz\": {nnz}, \"workers\": {workers},\n",
+                "     \"bitwise\": {bitwise}, \"modeled_ticketed\": {mt}, \"modeled_barrier\": {mb},\n",
+                "     \"wall_ticketed_us\": {wt:.3}, \"wall_barrier_us\": {wb:.3},\n",
+                "     \"accepted\": {acc}, \"fallbacks\": {fb}}}{comma}\n"
+            ),
+            name = r.matrix,
+            n = r.n,
+            nnz = r.nnz,
+            workers = r.workers,
+            bitwise = r.bitwise,
+            mt = r.modeled_ticketed,
+            mb = r.modeled_barrier,
+            wt = r.wall_ticketed_us,
+            wb = r.wall_barrier_us,
+            acc = r.accepted,
+            fb = r.fallbacks,
+            comma = if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(json, "  ],\n  \"pass\": {pass}\n}}\n");
+    let mut f = std::fs::File::create("BENCH_ticket.json").expect("create BENCH_ticket.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_ticket.json");
+    println!("wrote BENCH_ticket.json");
+
+    if !pass {
+        eprintln!("FAIL: fig_ticket gates");
+        std::process::exit(1);
+    }
+    println!("fig_ticket gates PASS");
+}

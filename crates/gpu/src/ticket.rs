@@ -1,0 +1,794 @@
+//! Ticketed deterministic parallel execution (sequencer / workers /
+//! committer).
+//!
+//! The host-side preprocessing pipeline — CSR→tile conversion, per-tile
+//! precision classification, ILU(0)/IC(0) factorization — is a chain of
+//! barrier-shaped phases: every stage waits for the slowest unit of the
+//! previous one. This module provides the alternative concurrency
+//! substrate named in ROADMAP ("Ticketed deterministic parallelism for
+//! the host engines", after SNIPPETS.md snippet 3):
+//!
+//! * a **sequencer** assigns each work unit a monotonic *ticket* (here:
+//!   the unit's index in a pre-planned order) and a deterministic
+//!   per-ticket seed derived from `(salt, ticket)` by [splitmix64] —
+//!   never from thread identity or time;
+//! * N **workers** claim tickets in order from a shared cursor and
+//!   compute against an immutable snapshot: the unit itself plus the
+//!   prefix of *committed* results visible through a [`CommitView`].
+//!   A unit may declare one predecessor ticket ([`dep`]); the worker
+//!   blocks until that ticket has committed, which — because commits
+//!   are strictly ordered — implies *every* earlier ticket has too;
+//! * a single-threaded **committer** (the caller's thread) applies
+//!   results strictly in ticket order. Each worker result carries the
+//!   watermark it observed; the committer *revalidates* it (was the
+//!   declared dependency really committed when the worker read it?) and
+//!   falls back to recomputing the unit serially when the result is
+//!   stale, dropped, or the worker panicked. The committed sequence is
+//!   therefore a pure function of `(units, seeds)` — bitwise identical
+//!   at every worker count, which is what `tests/ticketed_parity.rs`
+//!   pins.
+//!
+//! [`TicketFaults`] perturbs the worker side (delays, stalls, dropped /
+//! stale results, planted panics) the same way [`FaultPlan`] perturbs
+//! the solver engines: seeded, reproducible from the `Display` repro
+//! line, and required *not* to change a single output bit — only the
+//! (schedule-dependent) [`TicketStats`] fallback counters.
+//!
+//! The module also carries a deterministic **schedule model**
+//! ([`simulate_ticketed`] / [`simulate_barrier_pipeline`]) used by
+//! `fig_ticket` to gate utilization on hosts where wall-clock speedup
+//! is physically unavailable (the CI container exposes one core).
+//!
+//! [`dep`]: UnitSpec::dep
+//! [`FaultPlan`]: crate::FaultPlan
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Probability knobs are expressed in per-mille (0..=1000) so plans stay
+/// integer-literal and hash-stable across platforms (same convention as
+/// [`crate::faults::PER_MILLE`]).
+pub const TICKET_PER_MILLE: u64 = 1000;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-ticket seed: a pure function of `(salt, ticket)`.
+///
+/// Workers receive this seed with the unit; nothing downstream may draw
+/// randomness from thread identity, claim order, or time, so replaying a
+/// run with any worker count reproduces the exact per-unit streams.
+#[must_use]
+pub fn ticket_seed(salt: u64, ticket: usize) -> u64 {
+    let mut s = salt ^ (ticket as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    splitmix64(&mut s)
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Seeded, reproducible perturbation of the ticketed runtime's *worker*
+/// side. Mirrors [`crate::FaultPlan`]: per-worker [splitmix64] streams,
+/// `Display` is a compilable builder repro line, and an empty plan costs
+/// one branch.
+///
+/// All kinds are *benign for the output*: dropped / stale / panicking
+/// workers merely push tickets onto the committer's serial-fallback
+/// path. The determinism claim quantifies over all of them.
+///
+/// [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TicketFaults {
+    seed: u64,
+    /// Per-claim busy-spin: with probability `delay_per_mille`/1000 burn
+    /// 1..=`delay_max_spins` `spin_loop` hints before computing.
+    delay_per_mille: u16,
+    delay_max_spins: u32,
+    /// Every `stall_period`-th claim, busy-wait `stall_spins` hints.
+    stall_period: u32,
+    stall_spins: u32,
+    /// Per ticket: publish no result (worker "loses" it).
+    drop_per_mille: u16,
+    /// Per ticket: publish a corrupted observed-watermark of 0, forcing
+    /// commit-time revalidation to reject the result.
+    stale_per_mille: u16,
+    /// Per ticket: panic inside the compute closure.
+    panic_per_mille: u16,
+}
+
+impl TicketFaults {
+    /// An empty plan with a fixed seed; add faults with the `with_*`
+    /// builders.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        TicketFaults {
+            seed,
+            delay_per_mille: 0,
+            delay_max_spins: 0,
+            stall_period: 0,
+            stall_spins: 0,
+            drop_per_mille: 0,
+            stale_per_mille: 0,
+            panic_per_mille: 0,
+        }
+    }
+
+    /// Per-claim busy-spin delays.
+    #[must_use]
+    pub fn with_delay(mut self, per_mille: u16, max_spins: u32) -> Self {
+        self.delay_per_mille = per_mille.min(1000);
+        self.delay_max_spins = max_spins.max(1);
+        self
+    }
+
+    /// Bounded stall every `period`-th claim.
+    #[must_use]
+    pub fn with_stall(mut self, period: u32, spins: u32) -> Self {
+        self.stall_period = period.max(1);
+        self.stall_spins = spins;
+        self
+    }
+
+    /// Workers lose the result of a ticket with the given probability.
+    #[must_use]
+    pub fn with_drop(mut self, per_mille: u16) -> Self {
+        self.drop_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Workers publish a stale (watermark-0) result with the given
+    /// probability.
+    #[must_use]
+    pub fn with_stale(mut self, per_mille: u16) -> Self {
+        self.stale_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Workers panic inside compute with the given probability.
+    #[must_use]
+    pub fn with_panic(mut self, per_mille: u16) -> Self {
+        self.panic_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// True when no fault kind is armed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.delay_per_mille == 0
+            && self.stall_period == 0
+            && self.drop_per_mille == 0
+            && self.stale_per_mille == 0
+            && self.panic_per_mille == 0
+    }
+
+    /// The per-worker fault stream. Worker `w`'s stream depends only on
+    /// `(seed, w)`, so a failing run replays exactly.
+    #[must_use]
+    pub fn for_worker(&self, worker: usize) -> WorkerTicketFaults {
+        let mut s = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul((worker as u64) | 1)
+            ^ 0x5851_F42D_4C95_7F2D;
+        let state = splitmix64(&mut s);
+        WorkerTicketFaults {
+            plan: *self,
+            rng: Cell::new(state),
+            claims: Cell::new(0),
+        }
+    }
+}
+
+impl fmt::Display for TicketFaults {
+    /// A compilable repro line, echoed by failing tests.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TicketFaults::seeded(0x{:x})", self.seed)?;
+        if self.delay_per_mille > 0 {
+            write!(
+                f,
+                ".with_delay({}, {})",
+                self.delay_per_mille, self.delay_max_spins
+            )?;
+        }
+        if self.stall_period > 0 {
+            write!(
+                f,
+                ".with_stall({}, {})",
+                self.stall_period, self.stall_spins
+            )?;
+        }
+        if self.drop_per_mille > 0 {
+            write!(f, ".with_drop({})", self.drop_per_mille)?;
+        }
+        if self.stale_per_mille > 0 {
+            write!(f, ".with_stale({})", self.stale_per_mille)?;
+        }
+        if self.panic_per_mille > 0 {
+            write!(f, ".with_panic({})", self.panic_per_mille)?;
+        }
+        Ok(())
+    }
+}
+
+/// One worker's view of a [`TicketFaults`] plan (single-threaded; holds
+/// the worker's private RNG stream).
+pub struct WorkerTicketFaults {
+    plan: TicketFaults,
+    rng: Cell<u64>,
+    claims: Cell<u64>,
+}
+
+impl WorkerTicketFaults {
+    fn draw(&self) -> u64 {
+        let mut s = self.rng.get();
+        let v = splitmix64(&mut s);
+        self.rng.set(s);
+        v
+    }
+
+    fn roll(&self, per_mille: u16) -> bool {
+        per_mille > 0 && self.draw() % TICKET_PER_MILLE < u64::from(per_mille)
+    }
+
+    /// Called once per claimed ticket, before computing: injects the
+    /// benign delay / stall perturbations.
+    pub fn on_claim(&self) {
+        let c = self.claims.get() + 1;
+        self.claims.set(c);
+        if self.plan.delay_per_mille > 0 && self.roll(self.plan.delay_per_mille) {
+            let spins = self.draw() % u64::from(self.plan.delay_max_spins) + 1;
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+        if self.plan.stall_period > 0 && c.is_multiple_of(u64::from(self.plan.stall_period)) {
+            for _ in 0..self.plan.stall_spins {
+                std::hint::spin_loop();
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Should this ticket's result be lost before publication?
+    pub fn drop_result(&self) -> bool {
+        self.roll(self.plan.drop_per_mille)
+    }
+
+    /// Should this ticket publish a corrupted observed-watermark?
+    pub fn stale_result(&self) -> bool {
+        self.roll(self.plan.stale_per_mille)
+    }
+
+    /// Should the compute closure panic on this ticket?
+    pub fn panic_now(&self) -> bool {
+        self.roll(self.plan.panic_per_mille)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// Read-only window over the committed prefix of results.
+///
+/// `get(t)` is only legal for tickets below the current watermark; the
+/// runtime guarantees a worker that waited for its declared dependency
+/// sees every ticket up to it (commits are strictly ordered).
+pub struct CommitView<'a, R> {
+    slots: &'a [OnceLock<R>],
+    watermark: &'a AtomicUsize,
+}
+
+impl<R> CommitView<'_, R> {
+    /// Number of committed tickets (watermark). Tickets `0..committed()`
+    /// are readable.
+    #[must_use]
+    pub fn committed(&self) -> usize {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// The committed result of `ticket`. Panics if it has not committed
+    /// yet — readers must wait on their declared dependency first.
+    #[must_use]
+    pub fn get(&self, ticket: usize) -> &R {
+        let w = self.committed();
+        assert!(
+            ticket < w,
+            "CommitView::get({ticket}) ahead of watermark {w}"
+        );
+        self.slots[ticket]
+            .get()
+            .expect("slot published before watermark advance")
+    }
+}
+
+/// Worker / committer configuration for [`run_ticketed`].
+#[derive(Clone, Copy)]
+pub struct TicketConfig<'a> {
+    /// Worker thread count; `<= 1` runs the whole pipeline serially on
+    /// the caller thread (no spawns, faults ignored).
+    pub workers: usize,
+    /// Salt for [`ticket_seed`]; pin it per pipeline so seeds are stable
+    /// across runs.
+    pub salt: u64,
+    /// Optional worker-side perturbation plan.
+    pub faults: Option<&'a TicketFaults>,
+}
+
+/// Schedule-dependent observability counters for one ticketed run.
+///
+/// The committed *outputs* are deterministic; these counters are not
+/// (they depend on thread interleaving and the fault plan) — treat them
+/// as diagnostics, never as inputs to numerics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TicketStats {
+    /// Total tickets committed.
+    pub tickets: usize,
+    /// Worker threads used (0 = serial caller-thread path).
+    pub workers: usize,
+    /// Tickets whose worker result was accepted as-is.
+    pub accepted: usize,
+    /// Tickets recomputed serially by the committer (any reason).
+    pub fallbacks: usize,
+    /// ... of which: the worker published nothing (drop fault, panic).
+    pub dropped: usize,
+    /// ... of which: revalidation rejected a stale observed-watermark.
+    pub stale: usize,
+}
+
+/// Metadata the committer hands to the commit closure.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitInfo {
+    /// The ticket's deterministic seed (same value the worker received).
+    pub seed: u64,
+    /// Worker that produced the committed result; `None` when the
+    /// committer recomputed it (serial fallback) or on the serial path.
+    pub worker: Option<usize>,
+    /// True when this result came from the serial-fallback recompute.
+    pub fallback: bool,
+}
+
+/// A commit-closure error, annotated with the ticket it fired on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TicketError<E> {
+    /// Ticket whose commit failed.
+    pub ticket: usize,
+    /// The commit closure's error.
+    pub error: E,
+}
+
+/// What a worker publishes for one ticket.
+struct WorkerOut<R> {
+    /// `None` when the result was lost (drop fault or worker panic).
+    value: Option<R>,
+    /// Watermark the worker observed before computing (0 under the
+    /// stale fault) — revalidated against the unit's dependency at
+    /// commit time.
+    observed: usize,
+    worker: usize,
+}
+
+/// Run `units` through the sequencer / worker / committer pipeline.
+///
+/// * `dep_of(t)` names the single predecessor ticket unit `t` reads
+///   through the [`CommitView`] (must be `< t`), or `None`. Because
+///   commits are strictly ordered, waiting on the *maximum* predecessor
+///   suffices even when a unit reads several.
+/// * `make_worker()` builds per-thread scratch state (one per worker
+///   plus one for the committer's fallback path).
+/// * `compute(state, ticket, unit, seed, view)` must be a pure function
+///   of its arguments — it runs on an arbitrary thread at an arbitrary
+///   time after the dependency committed.
+/// * `commit(ticket, unit, result, info, view)` runs on the caller
+///   thread, strictly in ticket order; its `Ok` value is what dependents
+///   observe. An `Err` aborts the run (workers drain and exit).
+///
+/// Returns the committed results in ticket order plus the run's
+/// [`TicketStats`]. The result vector is **bitwise identical for every
+/// `workers` value and every fault plan** — the property pinned by
+/// `tests/ticketed_parity.rs` and `crates/gpu/tests/prop_ticket.rs`.
+pub fn run_ticketed<U, R, W, E>(
+    units: &[U],
+    dep_of: impl Fn(usize) -> Option<usize> + Sync,
+    cfg: TicketConfig<'_>,
+    make_worker: impl Fn() -> W + Sync,
+    compute: impl Fn(&mut W, usize, &U, u64, &CommitView<'_, R>) -> R + Sync,
+    mut commit: impl FnMut(usize, &U, R, &CommitInfo, &CommitView<'_, R>) -> Result<R, E>,
+) -> Result<(Vec<R>, TicketStats), TicketError<E>>
+where
+    U: Sync,
+    R: Send + Sync,
+{
+    let n = units.len();
+    let committed: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    let watermark = AtomicUsize::new(0);
+    let mut stats = TicketStats {
+        tickets: n,
+        ..TicketStats::default()
+    };
+
+    // Debug-time contract check: dependencies must point strictly
+    // backwards, otherwise the wait protocol deadlocks.
+    debug_assert!((0..n).all(|t| dep_of(t).is_none_or(|d| d < t)));
+
+    if cfg.workers <= 1 || n == 0 {
+        // Serial path: committer computes and commits in one loop. This
+        // *is* the reference semantics the parallel path must match.
+        let mut state = make_worker();
+        for (t, unit) in units.iter().enumerate() {
+            let seed = ticket_seed(cfg.salt, t);
+            let view = CommitView {
+                slots: &committed,
+                watermark: &watermark,
+            };
+            let r = compute(&mut state, t, unit, seed, &view);
+            let info = CommitInfo {
+                seed,
+                worker: None,
+                fallback: false,
+            };
+            match commit(t, unit, r, &info, &view) {
+                Ok(r) => {
+                    let _ = committed[t].set(r);
+                    watermark.store(t + 1, Ordering::Release);
+                    stats.accepted += 1;
+                }
+                Err(error) => return Err(TicketError { ticket: t, error }),
+            }
+        }
+        let out = committed
+            .into_iter()
+            .map(|c| c.into_inner().expect("all tickets committed"))
+            .collect();
+        return Ok((out, stats));
+    }
+
+    stats.workers = cfg.workers;
+    let results: Vec<std::sync::Mutex<Option<WorkerOut<R>>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0); // the sequencer: monotonic claims
+    let abort = AtomicBool::new(false);
+
+    let mut commit_err: Option<TicketError<E>> = None;
+    std::thread::scope(|s| {
+        for w in 0..cfg.workers {
+            let results = &results;
+            let committed = &committed;
+            let watermark = &watermark;
+            let cursor = &cursor;
+            let abort = &abort;
+            let dep_of = &dep_of;
+            let make_worker = &make_worker;
+            let compute = &compute;
+            let faults = cfg.faults.map(|f| f.for_worker(w));
+            s.spawn(move || {
+                let mut state = make_worker();
+                loop {
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    if t >= n || abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Some(f) = &faults {
+                        f.on_claim();
+                    }
+                    if let Some(d) = dep_of(t) {
+                        while watermark.load(Ordering::Acquire) <= d {
+                            if abort.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                            // The CI host exposes one core; never spin
+                            // without handing it back.
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut observed = watermark.load(Ordering::Acquire);
+                    let seed = ticket_seed(cfg.salt, t);
+                    let view = CommitView {
+                        slots: committed,
+                        watermark,
+                    };
+                    let planted_panic = faults.as_ref().is_some_and(|f| f.panic_now());
+                    let value = catch_unwind(AssertUnwindSafe(|| {
+                        if planted_panic {
+                            panic!("TicketFaults planted panic on ticket {t}");
+                        }
+                        compute(&mut state, t, &units[t], seed, &view)
+                    }))
+                    .ok();
+                    let value = match &faults {
+                        Some(f) if f.drop_result() => None,
+                        _ => value,
+                    };
+                    if faults.as_ref().is_some_and(|f| f.stale_result()) {
+                        observed = 0;
+                    }
+                    *results[t].lock().expect("worker slot lock") = Some(WorkerOut {
+                        value,
+                        observed,
+                        worker: w,
+                    });
+                }
+            });
+        }
+
+        // The committer: strictly in ticket order, on the caller thread.
+        let mut fallback_state: Option<W> = None;
+        for (t, unit) in units.iter().enumerate() {
+            let out = loop {
+                if let Some(o) = results[t].lock().expect("worker slot lock").take() {
+                    break o;
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            };
+            let seed = ticket_seed(cfg.salt, t);
+            // Revalidate: did the worker really see the dependency
+            // committed? (The stale fault corrupts `observed` to 0.)
+            let valid = dep_of(t).is_none_or(|d| out.observed > d);
+            let view = CommitView {
+                slots: &committed,
+                watermark: &watermark,
+            };
+            let (r, info) = match (out.value, valid) {
+                (Some(r), true) => {
+                    stats.accepted += 1;
+                    (
+                        r,
+                        CommitInfo {
+                            seed,
+                            worker: Some(out.worker),
+                            fallback: false,
+                        },
+                    )
+                }
+                (maybe, _) => {
+                    // Serial fallback: recompute on the committer's own
+                    // state. Deterministic — same (unit, seed, deps).
+                    stats.fallbacks += 1;
+                    if maybe.is_none() {
+                        stats.dropped += 1;
+                    } else {
+                        stats.stale += 1;
+                    }
+                    let state = fallback_state.get_or_insert_with(&make_worker);
+                    let r = compute(state, t, unit, seed, &view);
+                    (
+                        r,
+                        CommitInfo {
+                            seed,
+                            worker: None,
+                            fallback: true,
+                        },
+                    )
+                }
+            };
+            match commit(t, unit, r, &info, &view) {
+                Ok(r) => {
+                    let _ = committed[t].set(r);
+                    watermark.store(t + 1, Ordering::Release);
+                }
+                Err(error) => {
+                    abort.store(true, Ordering::Relaxed);
+                    commit_err = Some(TicketError { ticket: t, error });
+                    break;
+                }
+            }
+        }
+        // Scope joins the workers; `abort` unblocks any dep-waiters.
+        if commit_err.is_some() {
+            abort.store(true, Ordering::Relaxed);
+        }
+    });
+
+    if let Some(e) = commit_err {
+        return Err(e);
+    }
+    let out = committed
+        .into_iter()
+        .map(|c| c.into_inner().expect("all tickets committed"))
+        .collect();
+    Ok((out, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Schedule model
+// ---------------------------------------------------------------------------
+
+/// One unit's modeled costs for the schedule simulators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnitSpec {
+    /// Predecessor ticket (must be `<` this unit's index), or `None`.
+    pub dep: Option<usize>,
+    /// Modeled worker compute cost (abstract cost units; callers use
+    /// nnz-proportional charges).
+    pub compute_cost: u64,
+    /// Modeled committer cost (serial by construction).
+    pub commit_cost: u64,
+}
+
+/// Modeled makespan of the ticketed pipeline at `workers` workers.
+///
+/// Deterministic list schedule: tickets are claimed in order by the
+/// earliest-free worker (ties to the lowest index), a claim may not
+/// start computing before its dependency's commit, and commits are
+/// serialized in ticket order on a dedicated committer.
+#[must_use]
+pub fn simulate_ticketed(units: &[UnitSpec], workers: usize) -> u64 {
+    let workers = workers.max(1);
+    let mut free = vec![0u64; workers];
+    let mut commit_time = vec![0u64; units.len()];
+    let mut prev_commit = 0u64;
+    for (t, u) in units.iter().enumerate() {
+        let (w, _) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &f)| (f, i))
+            .expect("workers >= 1");
+        let ready = u.dep.map_or(0, |d| commit_time[d]);
+        let start = free[w].max(ready);
+        let done = start + u.compute_cost;
+        free[w] = done;
+        prev_commit = done.max(prev_commit) + u.commit_cost;
+        commit_time[t] = prev_commit;
+    }
+    prev_commit
+}
+
+/// Modeled makespan of the phase-barrier pipeline the ticketed flow
+/// replaces: `parallel` units compute under a list schedule at
+/// `workers` workers and commit serially *after the barrier*; `serial`
+/// units then run compute+commit one after another (this mirrors the
+/// real path — rayon classification, serial tile assembly, serial
+/// row-by-row factorization).
+#[must_use]
+pub fn simulate_barrier_pipeline(
+    parallel: &[UnitSpec],
+    serial: &[UnitSpec],
+    workers: usize,
+) -> u64 {
+    let workers = workers.max(1);
+    let mut free = vec![0u64; workers];
+    for u in parallel {
+        let (w, _) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &f)| (f, i))
+            .expect("workers >= 1");
+        free[w] += u.compute_cost;
+    }
+    let barrier = free.iter().copied().max().unwrap_or(0);
+    let assembled = barrier + parallel.iter().map(|u| u.commit_cost).sum::<u64>();
+    assembled
+        + serial
+            .iter()
+            .map(|u| u.compute_cost + u.commit_cost)
+            .sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = ticket_seed(7, 0);
+        let b = ticket_seed(7, 1);
+        assert_eq!(a, ticket_seed(7, 0));
+        assert_ne!(a, b);
+        assert_ne!(a, ticket_seed(8, 0));
+    }
+
+    /// Prefix-sum chain: unit t = t + value(t-1); every worker count and
+    /// fault plan must commit the identical sequence.
+    fn chain(workers: usize, faults: Option<&TicketFaults>) -> Vec<u64> {
+        let units: Vec<u64> = (0..64).collect();
+        let cfg = TicketConfig {
+            workers,
+            salt: 0xC0FFEE,
+            faults,
+        };
+        let (out, stats) = run_ticketed(
+            &units,
+            |t| t.checked_sub(1),
+            cfg,
+            || (),
+            |_, t, u, seed, view: &CommitView<'_, u64>| {
+                let prev = if t == 0 { 0 } else { *view.get(t - 1) };
+                prev + *u + (seed & 1)
+            },
+            |_, _, r, _, _| Ok::<u64, ()>(r),
+        )
+        .expect("no commit errors");
+        assert_eq!(stats.tickets, 64);
+        out
+    }
+
+    #[test]
+    fn worker_counts_commit_identical_sequences() {
+        let serial = chain(1, None);
+        for w in [2usize, 3, 7] {
+            assert_eq!(chain(w, None), serial, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn faults_change_stats_not_outputs() {
+        let serial = chain(1, None);
+        let plan = TicketFaults::seeded(0x51ED)
+            .with_delay(400, 64)
+            .with_stall(3, 128)
+            .with_drop(250)
+            .with_stale(250)
+            .with_panic(120);
+        assert_eq!(chain(4, Some(&plan)), serial, "{plan}");
+    }
+
+    #[test]
+    fn commit_error_aborts_with_ticket() {
+        let units: Vec<u64> = (0..32).collect();
+        let cfg = TicketConfig {
+            workers: 4,
+            salt: 1,
+            faults: None,
+        };
+        let err = run_ticketed(
+            &units,
+            |_| None,
+            cfg,
+            || (),
+            |_, _, u, _, _: &CommitView<'_, u64>| *u,
+            |t, _, r, _, _| if t == 9 { Err("boom") } else { Ok(r) },
+        )
+        .expect_err("ticket 9 fails");
+        assert_eq!(err.ticket, 9);
+        assert_eq!(err.error, "boom");
+    }
+
+    #[test]
+    fn repro_line_is_compilable_builder() {
+        let plan = TicketFaults::seeded(0xAB).with_drop(10).with_stale(20);
+        assert_eq!(
+            plan.to_string(),
+            "TicketFaults::seeded(0xab).with_drop(10).with_stale(20)"
+        );
+    }
+
+    #[test]
+    fn ticketed_model_never_loses_to_barrier_model() {
+        // Tile-like parallel units followed by a serial dependency chain
+        // of row units — the preprocessing shape.
+        let tiles: Vec<UnitSpec> = (0..40)
+            .map(|i| UnitSpec {
+                dep: None,
+                compute_cost: 50 + (i as u64 * 13) % 90,
+                commit_cost: 5,
+            })
+            .collect();
+        let rows: Vec<UnitSpec> = (0..80)
+            .map(|i| UnitSpec {
+                dep: if i == 0 { None } else { Some(40 + i - 1) },
+                compute_cost: 20,
+                commit_cost: 4,
+            })
+            .collect();
+        let mut fused = tiles.clone();
+        fused.extend(rows.iter().map(|u| UnitSpec { ..*u }));
+        for w in [1usize, 2, 4, 8] {
+            let t = simulate_ticketed(&fused, w);
+            let b = simulate_barrier_pipeline(&tiles, &rows, w);
+            assert!(t <= b, "workers={w}: ticketed {t} > barrier {b}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based pins for the ticketed sequencer/worker/committer
+//! runtime: for random dependency DAGs, random per-unit work and random
+//! seeded fault plans, the committed output is a pure function of
+//! (units, salt) — identical at every worker count, clean or perturbed —
+//! commits happen strictly in ticket order with the advertised seeds,
+//! and a commit-time error surfaces the same ticket everywhere.
+
+use mf_gpu::{run_ticketed, ticket_seed, CommitView, TicketConfig, TicketFaults, TicketStats};
+use proptest::prelude::*;
+
+/// Worker counts exercised per case: serial reference, even, odd, and
+/// more workers than host cores.
+const WORKER_GRID: [usize; 4] = [1, 2, 3, 7];
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A random backward-pointing dependency graph: unit `i` depends on a
+/// pseudo-random earlier unit (or nothing), plus a payload per unit.
+fn build_graph(n: usize, seed: u64) -> (Vec<u64>, Vec<Option<usize>>) {
+    let mut payloads = Vec::with_capacity(n);
+    let mut deps = Vec::with_capacity(n);
+    let mut s = seed | 1;
+    for i in 0..n {
+        s = splitmix(s);
+        payloads.push(s);
+        s = splitmix(s);
+        // ~1/3 of units are roots; the rest chain to a random predecessor.
+        deps.push(if i == 0 || s.is_multiple_of(3) {
+            None
+        } else {
+            Some((s >> 8) as usize % i)
+        });
+    }
+    (payloads, deps)
+}
+
+/// A fault plan derived from one seed, covering every fault class.
+fn plan(seed: u64) -> TicketFaults {
+    TicketFaults::seeded(seed)
+        .with_delay(((seed >> 3) % 200) as u16, 1 + (seed % 16) as u32)
+        .with_stall(3 + (seed % 13) as u32, 1 + ((seed >> 7) % 32) as u32)
+        .with_drop(((seed >> 11) % 150) as u16)
+        .with_stale(((seed >> 17) % 150) as u16)
+        .with_panic(((seed >> 23) % 60) as u16)
+}
+
+/// Runs the reference compute (a hash chain through the dependency) on
+/// the ticket runtime and returns the committed vector plus stats.
+fn run(
+    payloads: &[u64],
+    deps: &[Option<usize>],
+    salt: u64,
+    workers: usize,
+    faults: Option<&TicketFaults>,
+) -> (Vec<u64>, TicketStats) {
+    let dep_of = |t: usize| deps[t];
+    let cfg = TicketConfig {
+        workers,
+        salt,
+        faults,
+    };
+    run_ticketed(
+        payloads,
+        dep_of,
+        cfg,
+        || 0u64,
+        |scratch: &mut u64, t: usize, unit: &u64, seed: u64, view: &CommitView<'_, u64>| {
+            // Mix the unit payload, its seed, and the committed
+            // predecessor: a result that genuinely depends on snapshot
+            // reads, so stale snapshots would corrupt it if revalidation
+            // ever let one through.
+            *scratch = scratch.wrapping_add(1);
+            let dep_val = deps[t].map_or(0, |d| *view.get(d));
+            splitmix(unit ^ seed ^ dep_val.rotate_left(17))
+        },
+        |_t, _unit, r, _info, _view| Ok::<u64, ()>(r),
+    )
+    .expect("infallible commit")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The committed output is bitwise identical at every worker count,
+    /// clean or under any seeded fault plan, and matches the serial
+    /// reference (workers = 1, no faults).
+    #[test]
+    fn output_is_worker_count_and_fault_invariant(
+        n in 1usize..48,
+        graph_seed in 0u64..u64::MAX,
+        fault_seed in 0u64..u64::MAX,
+        salt in 0u64..u64::MAX,
+    ) {
+        let (payloads, deps) = build_graph(n, graph_seed);
+        let (reference, ref_stats) = run(&payloads, &deps, salt, 1, None);
+        prop_assert_eq!(ref_stats.tickets, n);
+        let faults = plan(fault_seed);
+        for w in WORKER_GRID {
+            for f in [None, Some(&faults)] {
+                let (out, stats) = run(&payloads, &deps, salt, w, f);
+                prop_assert!(out == reference,
+                    "diverged at workers={} faults={:?}", w, f.map(|p| p.to_string()));
+                prop_assert_eq!(stats.tickets, n);
+                // Every ticket was committed exactly once: either a
+                // worker result survived revalidation or the committer
+                // recomputed it.
+                prop_assert_eq!(stats.accepted + stats.fallbacks, n);
+                if w > 1 && f.is_none() {
+                    // Clean runs only fall back on genuine stale
+                    // snapshots, never drops.
+                    prop_assert_eq!(stats.dropped, 0);
+                }
+            }
+        }
+    }
+
+    /// Commits happen strictly in ticket order, with the advertised
+    /// deterministic per-ticket seed, at every worker count.
+    #[test]
+    fn commits_are_ordered_with_deterministic_seeds(
+        n in 1usize..32,
+        graph_seed in 0u64..u64::MAX,
+        fault_seed in 0u64..u64::MAX,
+        salt in 0u64..u64::MAX,
+    ) {
+        let (payloads, deps) = build_graph(n, graph_seed);
+        let faults = plan(fault_seed);
+        for w in WORKER_GRID {
+            let mut order = Vec::new();
+            let cfg = TicketConfig { workers: w, salt, faults: Some(&faults) };
+            let dep_of = |t: usize| deps[t];
+            let res = run_ticketed(
+                &payloads,
+                dep_of,
+                cfg,
+                || (),
+                |_s, _t, unit, seed, _view: &CommitView<'_, u64>| splitmix(*unit ^ seed),
+                |t, _unit, r, info, _view| {
+                    order.push((t, info.seed));
+                    Ok::<u64, ()>(r)
+                },
+            );
+            prop_assert!(res.is_ok());
+            let expect: Vec<(usize, u64)> =
+                (0..n).map(|t| (t, ticket_seed(salt, t))).collect();
+            prop_assert!(order == expect, "workers={}", w);
+        }
+    }
+
+    /// A commit-time rejection aborts with the same ticket at every
+    /// worker count and fault plan — the error is part of the
+    /// deterministic output, not of the schedule.
+    #[test]
+    fn commit_errors_surface_the_same_ticket(
+        n in 2usize..32,
+        graph_seed in 0u64..u64::MAX,
+        fault_seed in 0u64..u64::MAX,
+        bad_pick in 0u64..u64::MAX,
+    ) {
+        let (payloads, deps) = build_graph(n, graph_seed);
+        let bad = (bad_pick as usize) % n;
+        let faults = plan(fault_seed);
+        for w in WORKER_GRID {
+            for f in [None, Some(&faults)] {
+                let cfg = TicketConfig { workers: w, salt: 9, faults: f };
+                let dep_of = |t: usize| deps[t];
+                let res = run_ticketed(
+                    &payloads,
+                    dep_of,
+                    cfg,
+                    || (),
+                    |_s, _t, unit, seed, _view: &CommitView<'_, u64>| splitmix(*unit ^ seed),
+                    |t, _unit, r, _info, _view| {
+                        if t == bad {
+                            Err(t)
+                        } else {
+                            Ok(r)
+                        }
+                    },
+                );
+                let err = res.expect_err("commit must reject");
+                prop_assert!(err.ticket == bad, "workers={}", w);
+                prop_assert_eq!(err.error, bad);
+            }
+        }
+    }
+}

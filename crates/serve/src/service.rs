@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use mf_gpu::{CostModel, DeviceSpec};
-use mf_kernels::{ilu0_boosted, SharedTiles};
+use mf_kernels::SharedTiles;
 use mf_solver::block::{run_cg_block_ws, BlockOptions, BlockWorkspace, ColumnStatus};
 use mf_solver::coster::{Coster, MultiCoster, SingleCoster};
 use mf_solver::report::ExecutedMode;
@@ -126,14 +126,15 @@ impl SolveService {
     pub fn prepare(&self, a: &Csr) -> (Arc<PreparedMatrix>, bool) {
         let fp = a.fingerprint();
         self.cache.get_or_build(fp, || {
-            let pre = self.solver.preprocess(a);
-            let ilu = if self.config.precondition {
-                // A factorization failure (non-square, irreparable pivot)
-                // downgrades this matrix to plain CG rather than failing
-                // the request.
-                ilu0_boosted(a).ok().map(|(f, _shifts)| f)
+            let (pre, ilu) = if self.config.precondition {
+                // Fused cold path: tiling and ILU(0) share one ticket
+                // stream when host parallelism allows. A factorization
+                // failure (non-square, irreparable pivot) downgrades this
+                // matrix to plain CG rather than failing the request.
+                let (pre, factors) = self.solver.preprocess_with_ilu0(a);
+                (pre, factors.ok().map(|(f, _shifts)| f))
             } else {
-                None
+                (self.solver.preprocess(a), None)
             };
             let mode = self.solver.decide_mode(&pre.tiled);
             let pipelined = self.solver.decide_pipeline(&pre.tiled, mode);

@@ -62,6 +62,7 @@ pub mod report;
 pub mod sharded;
 pub mod solver;
 pub mod threaded;
+pub mod ticketed;
 pub mod workspace;
 
 pub use block::{
@@ -94,6 +95,11 @@ pub use threaded::{
     run_pcg_threaded_full, run_pcg_threaded_traced, run_pcg_threaded_watchdog, ThreadedReport,
     BICGSTAB_STEPS, CG_PIPELINED_STEPS, CG_STEPS, PBICGSTAB_STEPS, PCG_PIPELINED_STEPS, PCG_STEPS,
     SPTRSV_STEPS,
+};
+pub use ticketed::{
+    build_tiled_ticketed, fused_unit_specs, ic0_boosted_ticketed, ilu0_boosted_ticketed,
+    preprocess_fused_ticketed, preprocess_tiled_ilu0_ticketed, FactorKind, PreResult, PreUnit,
+    TicketedOptions, TicketedOutcome,
 };
 pub use workspace::SolverWorkspace;
 // The fault-injection vocabulary lives in `mf_gpu::faults`; re-export the

@@ -1,0 +1,817 @@
+//! Ticketed preprocessing: CSR→tile conversion, per-tile precision
+//! classification and ILU(0)/IC(0) factorization as **one fused
+//! sequencer/worker/committer flow** (DESIGN.md §16).
+//!
+//! The phase-barrier pipeline this replaces runs three stages back to
+//! back: classify every tile (rayon map), assemble every tile (serial),
+//! factor every row (serial). The fused flow puts tile-classification
+//! units and factorization-row units into a single ticket stream (the
+//! dependency-bearing rows lead, the independent tiles trail — see
+//! `order_units`), lets
+//! [`mf_gpu::run_ticketed`] workers compute them out of order against
+//! committed snapshots, and commits strictly in ticket order:
+//!
+//! * a **tile** commit appends to the in-order [`TileAssembler`] — the
+//!   packed value buffer is append-only, which is exactly the
+//!   strict-commit-order discipline the ticket runtime provides;
+//! * a **row** commit appends to the factor-row accumulator that
+//!   dependent rows read through the [`CommitView`]. A row is admitted
+//!   as soon as its largest pattern predecessor commits (`RowDeps`
+//!   watermark logic: commits are in order, so watermark > max-dep
+//!   implies *every* dep is visible).
+//!
+//! Workers run the *same* `classify_tile` / `ilu0_row` / `ic0_row`
+//! kernels the serial path runs, and commits apply in the serial order,
+//! so the output is **bitwise identical** to `from_csr_par` +
+//! sequential classification + `ilu0_boosted` at every worker count —
+//! clean or under seeded [`TicketFaults`] perturbation
+//! (`tests/ticketed_parity.rs` pins the full grid).
+//!
+//! Factor breakdowns mirror the serial `*_boosted` drivers exactly: a
+//! fused first attempt never aborts (tiles must finish), records the
+//! first row error in row order, then retries rows-only passes on
+//! `A + αI` with the identical [`initial_boost_shift`]-doubling
+//! schedule.
+
+use mf_gpu::ticket::{run_ticketed, CommitView, TicketConfig, TicketFaults, TicketStats, UnitSpec};
+use mf_kernels::{
+    diag_shifted, ic0_row, ilu0_row, initial_boost_shift, CholRowsView, FactorError, FactorRow,
+    FactorRowsView, Ic0, Ic0Rows, Ic0Scratch, Ilu0, Ilu0Rows, IluScratch, MAX_FACTOR_SHIFTS,
+};
+use mf_precision::{ClassifyOptions, Precision};
+use mf_sparse::{Csr, TileAssembler, TileBuildPlan, TiledMatrix};
+use mf_trace::{EventKind, Trace, TraceConfig, WarpTracer};
+
+/// Fixed seed salt for the preprocessing ticket stream; retry passes
+/// add their attempt number so every pass has distinct per-ticket seeds.
+const PREPROCESS_SALT: u64 = 0x7101_C5ED_0000_0000;
+
+/// One work unit of the fused preprocessing stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PreUnit {
+    /// Classify tile `t` of the [`TileBuildPlan`].
+    Tile(usize),
+    /// Factor row `r` against its committed predecessors.
+    Row(usize),
+}
+
+/// One committed result of the fused stream.
+#[derive(Clone, Debug)]
+pub enum PreResult {
+    /// The classified precision of a tile.
+    Tile(Precision),
+    /// The factored row, or the row's breakdown. Errors do not abort the
+    /// fused pass (tiles must finish); the first one, in row order, is
+    /// the pass verdict — the same row the serial factorization fails at.
+    Row(Result<FactorRow, FactorError>),
+}
+
+/// Which factorization the fused pipeline runs alongside tiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FactorKind {
+    /// ILU(0) (the PCG cold path).
+    Ilu0,
+    /// IC(0) (SPD-only preconditioning).
+    Ic0,
+}
+
+/// Options for the ticketed preprocessing drivers.
+#[derive(Clone, Copy, Default)]
+pub struct TicketedOptions<'a> {
+    /// Worker thread count; `<= 1` runs the serial reference path.
+    pub workers: usize,
+    /// Optional seeded worker perturbation (tests only).
+    pub faults: Option<&'a TicketFaults>,
+    /// Trace recording; when enabled the committer emits one
+    /// [`EventKind::Ticket`] event per commit, in commit order, through
+    /// warp 0 of the canonical merge.
+    pub trace: TraceConfig,
+}
+
+/// Schedule-dependent diagnostics of one ticketed preprocessing run
+/// (aggregated over the fused pass and any boost retries).
+#[derive(Clone, Debug, Default)]
+pub struct TicketedOutcome {
+    /// Aggregated runtime counters.
+    pub stats: TicketStats,
+    /// The merged `Ticket`-event trace, when recording was enabled.
+    pub trace: Option<Trace>,
+}
+
+fn add_stats(into: &mut TicketStats, s: &TicketStats) {
+    into.tickets += s.tickets;
+    into.workers = into.workers.max(s.workers);
+    into.accepted += s.accepted;
+    into.fallbacks += s.fallbacks;
+    into.dropped += s.dropped;
+    into.stale += s.stale;
+}
+
+/// Largest pattern column `< r` in row `r` (the row's commit watermark
+/// dependency), or `None` for rows with no lower-triangle entries.
+fn max_lower_col(a: &Csr, r: usize) -> Option<usize> {
+    let mut dep = None;
+    for (c, _) in a.row(r) {
+        if c < r {
+            dep = Some(c);
+        } else {
+            break;
+        }
+    }
+    dep
+}
+
+/// Ticket order of the fused stream: all `rows` row units lead, all
+/// `tiles` tile units trail.
+///
+/// Rows are the only units with dependencies, and on banded matrices
+/// they form a near-serial commit chain (row `r` waits for row `r-1`'s
+/// commit) — the critical path of the whole pipeline. Commits are
+/// strictly in ticket order, so any tile ticket ordered *before* a row
+/// ticket delays that row's commit (and every row behind it) by the
+/// tile's compute. Leading with rows lets the chain pipeline compute
+/// over commit from ticket 0 — factorization starts before any
+/// classification, which no phase-barrier schedule can do — while the
+/// dependency-free tiles fill worker capacity afterwards with their
+/// commits pipelined. `fig_ticket` gates this schedule's modeled
+/// makespan against the phase-barrier pipeline over identical unit
+/// costs.
+fn order_units(tiles: usize, rows: usize) -> Vec<PreUnit> {
+    let mut units = Vec::with_capacity(tiles + rows);
+    units.extend((0..rows).map(PreUnit::Row));
+    units.extend((0..tiles).map(PreUnit::Tile));
+    units
+}
+
+/// Packs the deterministic `a` payload of a `Ticket` event.
+fn ticket_payload_a(stream: u64, index: usize) -> u64 {
+    (stream << 32) | (index as u64 & 0xFFFF_FFFF)
+}
+
+/// Packs the schedule-dependent `b` payload (zeroed canonically).
+fn ticket_payload_b(worker: Option<usize>, fallback: bool) -> u64 {
+    let w = worker.map_or(0, |w| w as u64 + 1);
+    (w << 1) | u64::from(fallback)
+}
+
+/// The ticketed pipeline's [`FactorRowsView`]: resolves row indices to
+/// committed tickets. Only rows whose commit the caller's dependency
+/// watermark guarantees are ever read.
+struct TicketIluView<'v, 'a> {
+    view: &'v CommitView<'a, PreResult>,
+    row_ticket: &'v [usize],
+}
+
+const EMPTY_ROW: &[(usize, f64)] = &[];
+
+impl FactorRowsView for TicketIluView<'_, '_> {
+    fn upper_row(&self, k: usize) -> &[(usize, f64)] {
+        match self.view.get(self.row_ticket[k]) {
+            PreResult::Row(Ok(row)) => &row.upper,
+            _ => EMPTY_ROW,
+        }
+    }
+    fn diag(&self, k: usize) -> f64 {
+        match self.view.get(self.row_ticket[k]) {
+            PreResult::Row(Ok(row)) => row.diag,
+            // A broken predecessor: report an unusable pivot. The result
+            // computed through it is discarded (an earlier ticket already
+            // carried the pass verdict), so the value only needs to be
+            // deterministic.
+            _ => 0.0,
+        }
+    }
+}
+
+struct TicketCholView<'v, 'a> {
+    view: &'v CommitView<'a, PreResult>,
+    row_ticket: &'v [usize],
+}
+
+impl CholRowsView for TicketCholView<'_, '_> {
+    fn chol_row(&self, j: usize) -> &[(usize, f64)] {
+        match self.view.get(self.row_ticket[j]) {
+            PreResult::Row(Ok(row)) => &row.lower,
+            _ => EMPTY_ROW,
+        }
+    }
+    fn chol_diag(&self, j: usize) -> f64 {
+        match self.view.get(self.row_ticket[j]) {
+            PreResult::Row(Ok(row)) => row.diag,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Per-worker scratch covering both unit kinds.
+struct PreScratch {
+    ilu: IluScratch,
+    ic: Ic0Scratch,
+}
+
+/// Computes one unit — the single compute kernel all passes share.
+#[allow(clippy::too_many_arguments)]
+fn compute_unit(
+    a: &Csr,
+    plan: Option<&TileBuildPlan>,
+    opts: &ClassifyOptions,
+    kind: FactorKind,
+    row_ticket: &[usize],
+    scratch: &mut PreScratch,
+    unit: PreUnit,
+    view: &CommitView<'_, PreResult>,
+) -> PreResult {
+    match unit {
+        PreUnit::Tile(t) => PreResult::Tile(
+            plan.expect("tile units require a plan")
+                .classify_tile(a, t, opts),
+        ),
+        PreUnit::Row(r) => PreResult::Row(match kind {
+            FactorKind::Ilu0 => {
+                let v = TicketIluView { view, row_ticket };
+                ilu0_row(a, r, &v, &mut scratch.ilu)
+            }
+            FactorKind::Ic0 => {
+                let v = TicketCholView { view, row_ticket };
+                ic0_row(a, r, &v, &mut scratch.ic)
+            }
+        }),
+    }
+}
+
+/// One ticketed pass over `units`. Tile commits feed `asm`; the first
+/// row error (in ticket = row order) is recorded in the returned value
+/// without aborting when `abort_on_row_error` is false. Returns the
+/// committed row results in row order.
+#[allow(clippy::too_many_arguments)]
+fn run_pass(
+    a: &Csr,
+    plan: Option<&TileBuildPlan>,
+    opts: &ClassifyOptions,
+    kind: FactorKind,
+    units: &[PreUnit],
+    topts: &TicketedOptions<'_>,
+    salt: u64,
+    stream_of: &dyn Fn(PreUnit) -> u64,
+    tracer: Option<&WarpTracer>,
+    mut asm: Option<&mut TileAssembler<'_>>,
+    abort_on_row_error: bool,
+) -> (Vec<FactorRow>, Option<FactorError>, TicketStats) {
+    let n = a.nrows;
+    // Ticket of each unit, so row compute can resolve predecessors and
+    // the committer can map tickets back to streams.
+    let mut row_ticket = vec![usize::MAX; n];
+    for (ticket, u) in units.iter().enumerate() {
+        if let PreUnit::Row(r) = *u {
+            row_ticket[r] = ticket;
+        }
+    }
+    // A row waits for its largest pattern predecessor's commit; commits
+    // are strictly ordered, so that watermark implies every predecessor.
+    let dep_of = |ticket: usize| -> Option<usize> {
+        match units[ticket] {
+            PreUnit::Tile(_) => None,
+            PreUnit::Row(r) => max_lower_col(a, r).map(|c| row_ticket[c]),
+        }
+    };
+
+    let cfg = TicketConfig {
+        workers: topts.workers,
+        salt,
+        faults: topts.faults,
+    };
+    let mut first_err: Option<FactorError> = None;
+    let run = run_ticketed(
+        units,
+        dep_of,
+        cfg,
+        || PreScratch {
+            ilu: IluScratch::new(n),
+            ic: Ic0Scratch::new(n),
+        },
+        |scratch, _ticket, unit, _seed, view| {
+            compute_unit(a, plan, opts, kind, &row_ticket, scratch, *unit, view)
+        },
+        |_ticket, unit, r, info, _view| {
+            if let Some(tr) = tracer {
+                let idx = match *unit {
+                    PreUnit::Tile(t) => t,
+                    PreUnit::Row(row) => row,
+                };
+                tr.record(
+                    EventKind::Ticket,
+                    ticket_payload_a(stream_of(*unit), idx),
+                    ticket_payload_b(info.worker, info.fallback),
+                );
+            }
+            match (&r, *unit) {
+                (PreResult::Tile(p), PreUnit::Tile(t)) => {
+                    asm.as_mut()
+                        .expect("tile units require an assembler")
+                        .push_tile(t, *p);
+                }
+                (PreResult::Row(Err(e)), PreUnit::Row(_)) => {
+                    if abort_on_row_error {
+                        return Err(e.clone());
+                    }
+                    if first_err.is_none() {
+                        first_err = Some(e.clone());
+                    }
+                }
+                _ => {}
+            }
+            Ok(r)
+        },
+    );
+    match run {
+        Ok((out, stats)) => {
+            let mut rows: Vec<FactorRow> = Vec::new();
+            if first_err.is_none() {
+                for res in out {
+                    if let PreResult::Row(Ok(row)) = res {
+                        rows.push(row);
+                    }
+                }
+            }
+            (rows, first_err, stats)
+        }
+        Err(e) => (
+            Vec::new(),
+            Some(e.error),
+            TicketStats {
+                tickets: units.len(),
+                workers: topts.workers,
+                ..TicketStats::default()
+            },
+        ),
+    }
+}
+
+/// Rows-only boost retries mirroring the serial `*_boosted` schedule:
+/// first shift [`initial_boost_shift`], doubling, at most
+/// [`MAX_FACTOR_SHIFTS`] attempts, every attempted shift recorded.
+#[allow(clippy::too_many_arguments)]
+fn boost_retries(
+    a: &Csr,
+    kind: FactorKind,
+    topts: &TicketedOptions<'_>,
+    tracer: Option<&WarpTracer>,
+    stats: &mut TicketStats,
+    shifts: &mut Vec<f64>,
+    first_err: FactorError,
+) -> Result<Vec<FactorRow>, FactorError> {
+    let mut shift = initial_boost_shift(a);
+    let mut last = first_err;
+    for attempt in 0..MAX_FACTOR_SHIFTS {
+        shifts.push(shift);
+        let shifted = diag_shifted(a, shift);
+        let units: Vec<PreUnit> = (0..shifted.nrows).map(PreUnit::Row).collect();
+        let stream = 2 + attempt as u64;
+        let (rows, err, s) = run_pass(
+            &shifted,
+            None,
+            &ClassifyOptions::default(),
+            kind,
+            &units,
+            topts,
+            PREPROCESS_SALT.wrapping_add(1 + attempt as u64),
+            &move |_| stream,
+            tracer,
+            None,
+            true,
+        );
+        add_stats(stats, &s);
+        match err {
+            None => return Ok(rows),
+            Some(e) => last = e,
+        }
+        shift *= 2.0;
+    }
+    Err(last)
+}
+
+fn rows_to_ilu(rows: Vec<FactorRow>) -> Ilu0 {
+    let mut acc = Ilu0Rows::with_capacity(rows.len());
+    for row in rows {
+        acc.push(row);
+    }
+    acc.into_factors()
+}
+
+fn rows_to_ic(rows: Vec<FactorRow>) -> Result<Ic0, FactorError> {
+    let mut acc = Ic0Rows::with_capacity(rows.len());
+    for row in rows {
+        acc.push(row);
+    }
+    let l = acc.into_factor();
+    let lt = l.transpose();
+    Ok(Ic0 { l, lt })
+}
+
+fn finish_trace(tracer: Option<WarpTracer>) -> Option<Trace> {
+    tracer.map(|t| Trace::merge(vec![t.finish()]))
+}
+
+fn make_tracer(cfg: &TraceConfig) -> Option<WarpTracer> {
+    if cfg.enabled {
+        let t = WarpTracer::new(0, cfg.capacity_per_warp);
+        // One stamp for the whole preprocessing stream: iteration 0,
+        // step 0. Commit order is carried by the per-warp `seq` field in
+        // the canonical merge key.
+        t.stamp(0, 0);
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// Ticketed CSR→tile conversion + classification (no factorization).
+/// Bitwise identical to [`TiledMatrix::from_csr_par`] at every worker
+/// count.
+pub fn build_tiled_ticketed(
+    a: &Csr,
+    tile_size: usize,
+    opts: &ClassifyOptions,
+    topts: &TicketedOptions<'_>,
+) -> (TiledMatrix, TicketedOutcome) {
+    let plan = TileBuildPlan::new(a, tile_size);
+    let units: Vec<PreUnit> = (0..plan.tile_count()).map(PreUnit::Tile).collect();
+    let tracer = make_tracer(&topts.trace);
+    let mut asm = TileAssembler::new(a, &plan);
+    let (_, err, stats) = run_pass(
+        a,
+        Some(&plan),
+        opts,
+        FactorKind::Ilu0,
+        &units,
+        topts,
+        PREPROCESS_SALT,
+        &|_| 0,
+        tracer.as_ref(),
+        Some(&mut asm),
+        false,
+    );
+    debug_assert!(err.is_none(), "tile-only pass cannot break down");
+    let tiled = asm.finish();
+    let outcome = TicketedOutcome {
+        stats,
+        trace: finish_trace(tracer),
+    };
+    (tiled, outcome)
+}
+
+/// The fused flow: tiles and ILU(0)/IC(0) rows in one ticket stream.
+/// The tiled matrix is bitwise identical to `from_csr_par`, the factor
+/// result (factors + attempted shifts) bitwise identical to
+/// [`mf_kernels::ilu0_boosted`] / [`Ic0::new_boosted`].
+#[allow(clippy::type_complexity)]
+pub fn preprocess_fused_ticketed(
+    a: &Csr,
+    tile_size: usize,
+    opts: &ClassifyOptions,
+    kind: FactorKind,
+    topts: &TicketedOptions<'_>,
+) -> (
+    TiledMatrix,
+    Result<(Vec<FactorRow>, Vec<f64>), FactorError>,
+    TicketedOutcome,
+) {
+    let plan = TileBuildPlan::new(a, tile_size);
+    let square = a.nrows == a.ncols;
+    let rows = if square { a.nrows } else { 0 };
+    let units = order_units(plan.tile_count(), rows);
+    let tracer = make_tracer(&topts.trace);
+    let mut asm = TileAssembler::new(a, &plan);
+    let (factor_rows, err, mut stats) = run_pass(
+        a,
+        Some(&plan),
+        opts,
+        kind,
+        &units,
+        topts,
+        PREPROCESS_SALT,
+        &|u| match u {
+            PreUnit::Tile(_) => 0,
+            PreUnit::Row(_) => 1,
+        },
+        tracer.as_ref(),
+        Some(&mut asm),
+        false,
+    );
+    let tiled = asm.finish();
+
+    let factors = if !square {
+        Err(FactorError::NotSquare)
+    } else {
+        match err {
+            None => Ok((factor_rows, Vec::new())),
+            // `NotSquare` is never retried; per-row passes cannot produce
+            // it, but keep the serial driver's contract explicit.
+            Some(FactorError::NotSquare) => Err(FactorError::NotSquare),
+            Some(e) => {
+                let mut shifts = Vec::new();
+                boost_retries(a, kind, topts, tracer.as_ref(), &mut stats, &mut shifts, e)
+                    .map(|rows| (rows, shifts))
+            }
+        }
+    };
+    let outcome = TicketedOutcome {
+        stats,
+        trace: finish_trace(tracer),
+    };
+    (tiled, factors, outcome)
+}
+
+/// [`preprocess_fused_ticketed`] with the row results packaged as the
+/// [`Ilu0`] factors the PCG cold path consumes — the fused counterpart
+/// of `preprocess` + [`mf_kernels::ilu0_boosted`].
+#[allow(clippy::type_complexity)]
+pub fn preprocess_tiled_ilu0_ticketed(
+    a: &Csr,
+    tile_size: usize,
+    opts: &ClassifyOptions,
+    topts: &TicketedOptions<'_>,
+) -> (
+    TiledMatrix,
+    Result<(Ilu0, Vec<f64>), FactorError>,
+    TicketedOutcome,
+) {
+    let (tiled, fac, outcome) =
+        preprocess_fused_ticketed(a, tile_size, opts, FactorKind::Ilu0, topts);
+    (
+        tiled,
+        fac.map(|(rows, shifts)| (rows_to_ilu(rows), shifts)),
+        outcome,
+    )
+}
+
+/// Ticketed mirror of [`mf_kernels::ilu0_boosted`] (rows only, no
+/// tiling): bitwise-identical factors and shift schedule.
+pub fn ilu0_boosted_ticketed(
+    a: &Csr,
+    topts: &TicketedOptions<'_>,
+) -> (Result<(Ilu0, Vec<f64>), FactorError>, TicketedOutcome) {
+    let (rows, result, outcome) = factor_rows_ticketed(a, FactorKind::Ilu0, topts);
+    (result.map(|shifts| (rows_to_ilu(rows), shifts)), outcome)
+}
+
+/// Ticketed mirror of [`Ic0::new_boosted`]: bitwise-identical factors
+/// and shift schedule.
+pub fn ic0_boosted_ticketed(
+    a: &Csr,
+    topts: &TicketedOptions<'_>,
+) -> (Result<(Ic0, Vec<f64>), FactorError>, TicketedOutcome) {
+    let (rows, result, outcome) = factor_rows_ticketed(a, FactorKind::Ic0, topts);
+    match result {
+        Ok(shifts) => match rows_to_ic(rows) {
+            Ok(ic) => (Ok((ic, shifts)), outcome),
+            Err(e) => (Err(e), outcome),
+        },
+        Err(e) => (Err(e), outcome),
+    }
+}
+
+/// Shared rows-only driver: first attempt on `a`, then the boost
+/// schedule. Returns the surviving rows and the attempted shifts.
+#[allow(clippy::type_complexity)]
+fn factor_rows_ticketed(
+    a: &Csr,
+    kind: FactorKind,
+    topts: &TicketedOptions<'_>,
+) -> (
+    Vec<FactorRow>,
+    Result<Vec<f64>, FactorError>,
+    TicketedOutcome,
+) {
+    if a.nrows != a.ncols {
+        return (
+            Vec::new(),
+            Err(FactorError::NotSquare),
+            TicketedOutcome::default(),
+        );
+    }
+    let tracer = make_tracer(&topts.trace);
+    let units: Vec<PreUnit> = (0..a.nrows).map(PreUnit::Row).collect();
+    let (rows, err, mut stats) = run_pass(
+        a,
+        None,
+        &ClassifyOptions::default(),
+        kind,
+        &units,
+        topts,
+        PREPROCESS_SALT,
+        &|_| 1,
+        tracer.as_ref(),
+        None,
+        false,
+    );
+    let result = match err {
+        None => Ok((rows, Vec::new())),
+        Some(FactorError::NotSquare) => Err(FactorError::NotSquare),
+        Some(e) => {
+            let mut shifts = Vec::new();
+            boost_retries(a, kind, topts, tracer.as_ref(), &mut stats, &mut shifts, e)
+                .map(|rows| (rows, shifts))
+        }
+    };
+    let outcome = TicketedOutcome {
+        stats,
+        trace: finish_trace(tracer),
+    };
+    match result {
+        Ok((rows, shifts)) => (rows, Ok(shifts), outcome),
+        Err(e) => (Vec::new(), Err(e), outcome),
+    }
+}
+
+/// Builds the fused stream's modeled [`UnitSpec`]s from real per-unit
+/// costs (tile: its nnz; row: its nnz plus the upper-row lengths of its
+/// eliminators) — the `fig_ticket` schedule-model input.
+pub fn fused_unit_specs(
+    a: &Csr,
+    tile_size: usize,
+) -> (Vec<UnitSpec>, Vec<UnitSpec>, Vec<UnitSpec>) {
+    let plan = TileBuildPlan::new(a, tile_size);
+    let rows = if a.nrows == a.ncols { a.nrows } else { 0 };
+    let units = order_units(plan.tile_count(), rows);
+    let mut row_ticket = vec![usize::MAX; a.nrows];
+    for (ticket, u) in units.iter().enumerate() {
+        if let PreUnit::Row(r) = *u {
+            row_ticket[r] = ticket;
+        }
+    }
+    // Row compute cost: its own pattern plus one pass over each
+    // eliminator row's upper part (the IKJ inner loop's touch count).
+    let row_cost = |r: usize| -> u64 {
+        let own = a.row(r).count() as u64;
+        let elim: u64 = a
+            .row(r)
+            .filter(|&(c, _)| c < r)
+            .map(|(c, _)| a.row(c).filter(|&(j, _)| j >= c).count() as u64)
+            .sum();
+        own + elim
+    };
+    let spec_of = |u: &PreUnit| -> UnitSpec {
+        match *u {
+            PreUnit::Tile(t) => UnitSpec {
+                dep: None,
+                // Classification reads each value ~4 times (round-trip
+                // tests per candidate precision).
+                compute_cost: 4 * plan.tile_nnz_of(t) as u64,
+                commit_cost: plan.tile_nnz_of(t) as u64,
+            },
+            PreUnit::Row(r) => UnitSpec {
+                dep: max_lower_col(a, r).map(|c| row_ticket[c]),
+                compute_cost: row_cost(r),
+                commit_cost: a.row(r).count() as u64,
+            },
+        }
+    };
+    let fused: Vec<UnitSpec> = units.iter().map(spec_of).collect();
+    let tiles: Vec<UnitSpec> = units
+        .iter()
+        .filter(|u| matches!(u, PreUnit::Tile(_)))
+        .map(spec_of)
+        .collect();
+    // The barrier model's serial stage has no cross-unit deps.
+    let serial_rows: Vec<UnitSpec> = units
+        .iter()
+        .filter(|u| matches!(u, PreUnit::Row(_)))
+        .map(|u| UnitSpec {
+            dep: None,
+            ..spec_of(u)
+        })
+        .collect();
+    (fused, tiles, serial_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_kernels::{ic0, ilu0, ilu0_boosted};
+    use mf_sparse::Coo;
+
+    fn tridiag_spd(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 4.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    fn opts<'a>(workers: usize) -> TicketedOptions<'a> {
+        TicketedOptions {
+            workers,
+            faults: None,
+            trace: TraceConfig::default(),
+        }
+    }
+
+    #[test]
+    fn tiled_build_matches_phase_barrier() {
+        let a = tridiag_spd(150);
+        let reference = TiledMatrix::from_csr_par(&a, 16, &ClassifyOptions::default());
+        for w in [1usize, 2, 4] {
+            let (t, _) = build_tiled_ticketed(&a, 16, &ClassifyOptions::default(), &opts(w));
+            assert_eq!(t.tile_prec, reference.tile_prec, "workers={w}");
+            assert_eq!(t.vals_raw(), reference.vals_raw());
+            assert_eq!(t.csr_rowptr, reference.csr_rowptr);
+        }
+    }
+
+    #[test]
+    fn fused_factors_match_serial() {
+        let a = tridiag_spd(80);
+        let serial = ilu0(&a).unwrap();
+        for w in [1usize, 3] {
+            let (_, fac, _) = preprocess_fused_ticketed(
+                &a,
+                16,
+                &ClassifyOptions::default(),
+                FactorKind::Ilu0,
+                &opts(w),
+            );
+            let (rows, shifts) = fac.unwrap();
+            assert!(shifts.is_empty());
+            let f = rows_to_ilu(rows);
+            assert_eq!(f.u.vals, serial.u.vals, "workers={w}");
+            assert_eq!(f.l.vals, serial.l.vals);
+        }
+    }
+
+    #[test]
+    fn boosted_fallback_matches_serial_schedule() {
+        // Structural zero pivots force the boost path.
+        let mut a = Coo::new(6, 6);
+        a.push(0, 1, 1.0);
+        a.push(1, 0, 1.0);
+        for i in 2..6 {
+            a.push(i, i, 1.0);
+        }
+        let a = a.to_csr();
+        let (serial, serial_shifts) = ilu0_boosted(&a).unwrap();
+        for w in [1usize, 2, 7] {
+            let (fac, _) = ilu0_boosted_ticketed(&a, &opts(w));
+            let (f, shifts) = fac.unwrap();
+            assert_eq!(shifts, serial_shifts, "workers={w}");
+            assert_eq!(f.u.vals, serial.u.vals);
+            assert_eq!(f.l.vals, serial.l.vals);
+        }
+    }
+
+    #[test]
+    fn ic_matches_serial() {
+        let a = tridiag_spd(40);
+        let serial = ic0(&a).unwrap();
+        for w in [1usize, 4] {
+            let (fac, _) = ic0_boosted_ticketed(&a, &opts(w));
+            let (ic, shifts) = fac.unwrap();
+            assert!(shifts.is_empty());
+            assert_eq!(ic.l.vals, serial.vals, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn rows_lead_tiles_trail_and_cover_both_streams() {
+        let units = order_units(10, 30);
+        assert_eq!(units.len(), 40);
+        // The dependency-bearing row chain owns the head of the ticket
+        // stream; independent tiles trail, each stream in index order.
+        let expect: Vec<PreUnit> = (0..30)
+            .map(PreUnit::Row)
+            .chain((0..10).map(PreUnit::Tile))
+            .collect();
+        assert_eq!(units, expect);
+    }
+
+    #[test]
+    fn trace_records_one_ticket_event_per_commit() {
+        let a = tridiag_spd(64);
+        let topts = TicketedOptions {
+            workers: 2,
+            faults: None,
+            trace: TraceConfig::with_capacity(4096),
+        };
+        let (tiled, fac, outcome) = preprocess_fused_ticketed(
+            &a,
+            16,
+            &ClassifyOptions::default(),
+            FactorKind::Ilu0,
+            &topts,
+        );
+        assert!(fac.is_ok());
+        let trace = outcome.trace.expect("trace enabled");
+        let tickets = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Ticket)
+            .count();
+        assert_eq!(tickets, tiled.tile_count() + a.nrows);
+    }
+}

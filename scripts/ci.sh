@@ -1,6 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: format, build, test, lint — all offline (the workspace
+# CI driver: format, build, test, lint — all offline (the workspace
 # vendors every external crate under vendor/).
+#
+# The release test tiers are DATA, not steps: one declarative table
+# (name|package|test target|budget|extra test args|repro-hint kind),
+# one runner function. `.github/workflows/ci.yml` consumes the same
+# table via `scripts/ci.sh --tier <name>` / `--release-tiers`, so a
+# tier added here is automatically a tier added in CI.
+#
+# Modes:
+#   (no args)        full tier-1 gate: fmt, debug build+test, release
+#                    build, every release tier, clippy
+#   --lint           fmt --check + clippy -D warnings only
+#   --debug          debug build + debug test suite (600 s hard kill)
+#   --release-tiers  every release tier from the table, in order
+#   --tier NAME      one release tier (self-sufficient: builds its own
+#                    test binaries if missing, so a single invocation
+#                    works on a clean checkout)
+#   --list-tiers     print the tier table
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,82 +28,181 @@ MF_PACKAGES=(
     mille-feuille mf-baselines mf-bench mf-collection mf-gpu
     mf-kernels mf-precision mf-serve mf-solver mf-sparse mf-trace
 )
-FMT_ARGS=()
-for p in "${MF_PACKAGES[@]}"; do FMT_ARGS+=(-p "$p"); done
-cargo fmt "${FMT_ARGS[@]}" --check
 
-# Debug tier. Build everything (test binaries included) *before* the test
-# timeout starts: previously the debug test run cold-compiled the whole
-# workspace a second time inside its 600 s budget — right after the release
-# build below had already cold-compiled it once — so a slow compile could
-# eat the entire window and a genuine hang had almost no budget left to be
-# caught in. The hard kill now bounds test *execution* only.
-cargo build --locked --offline --workspace --all-targets
-# Hard timeout: the threaded engines are hang-proof by design (poison flag +
-# watchdog), so a wedged test run is a regression — kill it instead of letting
-# CI sit forever.
-timeout --signal=KILL 600 cargo test -q --locked --offline --workspace
+# ---- The release tier table -------------------------------------------
+# Field layout: name|package|test target|budget seconds|extra args|repro
+#   name         tier id (used by --tier and as the log/file name)
+#   package      cargo -p argument
+#   test target  cargo --test argument; empty = the package's whole suite
+#   budget       hard-kill budget for test *execution* (not compilation)
+#   extra args   appended after `--` (e.g. --include-ignored)
+#   repro        how to replay a failure:
+#                  faultplan    assertion embeds a compilable
+#                               FaultPlan::seeded(..) builder line
+#                  ticketfaults assertion embeds a compilable
+#                               TicketFaults::seeded(..) builder line
+#                  rerun        fixtures/generators are seed-deterministic
+#                               (test-name seeded); a plain rerun replays
+#
+# The hard `timeout --signal=KILL` wrappers are load-bearing: the
+# threaded engines are hang-proof by design (poison flag + watchdog), so
+# a wedged test run is itself the regression — kill it fast instead of
+# letting CI sit forever.
+TIERS=(
+    "threaded_parity|mille-feuille|threaded_parity|420||rerun"
+    "pipelined_parity|mille-feuille|pipelined_parity|420||rerun"
+    "fault_injection|mille-feuille|fault_injection|300|--include-ignored|faultplan"
+    "prop_heartbeat|mf-solver|prop_heartbeat|300||rerun"
+    "serve|mf-serve||300||rerun"
+    "adaptive_parity|mille-feuille|adaptive_parity|300||faultplan"
+    "sharded_parity|mille-feuille|sharded_parity|420||faultplan"
+    "ticketed_parity|mille-feuille|ticketed_parity|300||ticketfaults"
+    "prop_partition|mf-gpu|prop_partition|300||rerun"
+    "prop_ticket|mf-gpu|prop_ticket|300||rerun"
+    "prop_retier|mf-precision|prop_retier|300||rerun"
+)
 
-# Release tier: one release build (again with test binaries) serves every
-# release-only tier below.
-cargo build --release --locked --offline --workspace --all-targets
-# The cross-engine differential harness (threaded PCG/PBiCGSTAB vs
-# sequential references, bitwise) includes release-only deep sweeps that
-# are ignored in debug; run them optimized, again with a hard kill so a
-# wedged in-kernel SpTRSV fails fast instead of stalling CI.
-timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test threaded_parity
-# Pipelined-parity tier: the pipelined CG/PCG engines against their
-# sequential references (bitwise, clean and under seeded perturbation)
-# plus the explicit pipelined-vs-classic residual-drift envelope; the
-# release run includes the 576-row asymmetric-warp sweep ignored in debug.
-timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test pipelined_parity
-# Fault-injection tier (release-only: the full FaultKind × engine × warp
-# matrix is ignored in debug). Every plan in the suite is seed-deterministic;
-# on failure the assertion message embeds the plan's Display form — a
-# compilable `FaultPlan::seeded(..)` builder line — so the exact perturbation
-# can be replayed. The hard kill bounds a watchdog regression (a missed wedge
-# would otherwise spin forever).
-if ! timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mille-feuille --test fault_injection -- --include-ignored; then
-    echo "fault_injection tier failed: the repro seed is the FaultPlan::seeded(..) line in the assertion above" >&2
-    exit 1
-fi
-timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-solver --test prop_heartbeat
-# Adaptive-parity tier: the residual-driven re-tier controller across all
-# four engine families (classic/pipelined × sequential/threaded) — one
-# decision sequence everywhere, bitwise warp-count invariance, and bitwise
-# stability under the seeded FaultPlan perturbation. Deterministic end to
-# end: on failure the assertion embeds the compilable FaultPlan::seeded(..)
-# builder line (where a perturbation is involved) and a plain rerun
-# replays everything else.
-if ! timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mille-feuille --test adaptive_parity; then
-    echo "adaptive_parity tier failed: fixtures and any FaultPlan are seed-deterministic — rerun the named test to replay; the FaultPlan::seeded(..) line in the assertion (if present) is the exact perturbation" >&2
-    exit 1
-fi
-# Sharded-parity tier: the multi-device sharded CG/PCG engines against the
-# single-device threaded engine, bitwise across the (matrix × precision ×
-# shard-count × warp-count) grid, clean and under the seeded delay/stall
-# plan. Everything is seed-deterministic: on failure the assertion message
-# carries the combination's (matrix, precision, shards, warps) coordinates
-# and — for the faulted grids — the compilable FaultPlan::seeded(..) repro
-# line.
-if ! timeout --signal=KILL 420 cargo test -q --locked --offline --release -p mille-feuille --test sharded_parity; then
-    echo "sharded_parity tier failed: rerun the named test to replay; the assertion names the (matrix, precision, shards, warps) combination and any FaultPlan::seeded(..) line is the exact perturbation" >&2
-    exit 1
-fi
-# Shard-partition property tier: partitioner row coverage, halo exactness
-# and the two-level reduction's bitwise shard invariance over generated
-# (n, tile_size, shards) space. Generator streams are seeded from test
-# names, so a plain rerun replays a failure.
-timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-gpu --test prop_partition
-# Re-tier property tier: scaled-FP8 round-trip/monotonicity envelopes and
-# controller plan invariants (determinism, period alignment, monotone cap,
-# ≤4 plans) over generated trajectories. The vendored proptest shim seeds
-# each generator stream from the test name, so a failure replays with a
-# plain rerun of the same test.
-timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-precision --test prop_retier
-# Serving tier (release: the adversarial cache suite spawns seeded
-# concurrent request threads across eviction boundaries — optimized builds
-# give the interleavings real contention; a condvar bug shows up as a hang,
-# which the hard kill converts into a fast failure).
-timeout --signal=KILL 300 cargo test -q --locked --offline --release -p mf-serve
-cargo clippy --all-targets --workspace --locked --offline -- -D warnings
+list_tiers() {
+    printf '%-18s %-14s %-18s %7s  %-18s %s\n' \
+        NAME PACKAGE TARGET BUDGET "EXTRA ARGS" REPRO
+    local row
+    for row in "${TIERS[@]}"; do
+        IFS='|' read -r name pkg target budget extra repro <<<"$row"
+        printf '%-18s %-14s %-18s %6ss  %-18s %s\n' \
+            "$name" "$pkg" "${target:-(package)}" "$budget" "${extra:--}" "$repro"
+    done
+}
+
+# Echoes the tier's seeded-repro hint to stderr and, under GitHub
+# Actions, to the job summary — uniformly for every tier, driven by the
+# table's repro-hint kind.
+emit_repro_hint() {
+    local name="$1" pkg="$2" target="$3" repro="$4" log="$5"
+    local pattern="" lines=""
+    case "$repro" in
+        faultplan) pattern='FaultPlan::seeded' ;;
+        ticketfaults) pattern='TicketFaults::seeded' ;;
+    esac
+    if [[ -n "$pattern" && -f "$log" ]]; then
+        lines="$(grep -h "$pattern" "$log" || true)"
+    fi
+    {
+        echo "$name tier failed."
+        if [[ -n "$pattern" ]]; then
+            echo "Every perturbation is seed-deterministic: replay it with the compilable ${pattern}(..) builder line from the assertion:"
+            echo "${lines:-(no ${pattern} line captured — the failure is in a clean grid; rerun the named test)}"
+        else
+            echo "Fixtures and generator streams are seed-deterministic (test-name seeded): rerun the named test to replay:"
+        fi
+        echo "  cargo test --release --locked --offline -p $pkg ${target:+--test $target}"
+    } >&2
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        {
+            echo "## $name tier failed"
+            echo
+            if [[ -n "$pattern" ]]; then
+                echo "Replay the exact perturbation with the \`${pattern}(..)\` builder line:"
+                echo
+                echo '```'
+                echo "${lines:-(no ${pattern} line captured — the failure is in a clean grid; rerun the named test)}"
+                echo '```'
+            else
+                echo 'Seed-deterministic (test-name seeded): a plain rerun replays the failure.'
+            fi
+            echo
+            echo '```'
+            echo "cargo test --release --locked --offline -p $pkg ${target:+--test $target}"
+            echo '```'
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
+}
+
+run_tier() {
+    local want="$1" row found=0
+    for row in "${TIERS[@]}"; do
+        IFS='|' read -r name pkg target budget extra repro <<<"$row"
+        [[ "$name" == "$want" ]] || continue
+        found=1
+        local target_args=()
+        [[ -n "$target" ]] && target_args=(--test "$target")
+        local extra_args=()
+        [[ -n "$extra" ]] && extra_args=(-- $extra)
+        # Self-sufficient: compile the tier's test binaries *outside* the
+        # execution budget, so a single `--tier` invocation works on a
+        # clean checkout and a slow cold build can't eat the hang budget.
+        cargo test --no-run --release --locked --offline -p "$pkg" "${target_args[@]}"
+        local log="${name}.log"
+        echo "== tier $name: -p $pkg ${target_args[*]:-} (${budget}s hard kill)"
+        set -o pipefail
+        if ! timeout --signal=KILL "$budget" \
+            cargo test -q --locked --offline --release -p "$pkg" \
+            "${target_args[@]}" "${extra_args[@]}" 2>&1 | tee "$log"; then
+            emit_repro_hint "$name" "$pkg" "$target" "$repro" "$log"
+            return 1
+        fi
+        return 0
+    done
+    if (( ! found )); then
+        echo "unknown tier '$want' — available tiers:" >&2
+        list_tiers >&2
+        return 2
+    fi
+}
+
+run_lint() {
+    local fmt_args=()
+    local p
+    for p in "${MF_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
+    cargo fmt "${fmt_args[@]}" --check
+    cargo clippy --all-targets --workspace --locked --offline -- -D warnings
+}
+
+run_debug() {
+    # Build everything (test binaries included) *before* the test timeout
+    # starts, so the hard kill bounds test *execution* only.
+    cargo build --locked --offline --workspace --all-targets
+    timeout --signal=KILL 600 cargo test -q --locked --offline --workspace
+}
+
+run_release_tiers() {
+    # One release build (test binaries included) serves every tier; each
+    # tier's own build-if-missing step is then a no-op.
+    cargo build --release --locked --offline --workspace --all-targets
+    local row
+    for row in "${TIERS[@]}"; do
+        run_tier "${row%%|*}"
+    done
+}
+
+case "${1:-}" in
+    --list-tiers)
+        list_tiers
+        ;;
+    --tier)
+        [[ $# -ge 2 ]] || { echo "usage: $0 --tier NAME" >&2; exit 2; }
+        run_tier "$2"
+        ;;
+    --lint)
+        run_lint
+        ;;
+    --debug)
+        run_debug
+        ;;
+    --release-tiers)
+        run_release_tiers
+        ;;
+    "")
+        # Full tier-1 gate, in the historical order: fmt, debug tier,
+        # release tiers, clippy last.
+        fmt_args=()
+        for p in "${MF_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
+        cargo fmt "${fmt_args[@]}" --check
+        run_debug
+        run_release_tiers
+        cargo clippy --all-targets --workspace --locked --offline -- -D warnings
+        ;;
+    *)
+        echo "usage: $0 [--lint|--debug|--release-tiers|--tier NAME|--list-tiers]" >&2
+        exit 2
+        ;;
+esac

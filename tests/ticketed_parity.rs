@@ -1,0 +1,273 @@
+//! Differential harness for the ticketed preprocessing pipeline.
+//!
+//! Every cell of a (matrix × stream × worker-count) grid runs the
+//! ticketed flow — tile classification, ILU(0), IC(0), the
+//! boosted-fallback schedule, and the fused tile+factor stream — and
+//! compares it **bitwise** against the phase-barrier references
+//! (`TiledMatrix::from_csr_par`, `ilu0_boosted`, `Ic0::new_boosted`):
+//! tile precisions, packed value bytes, factor patterns and values, and
+//! the attempted-shift schedules. The same grid is then rerun under a
+//! seeded worker perturbation (claim delays, periodic stalls, dropped
+//! results, stale-snapshot rejects, planted panics): faults exercise the
+//! committer's revalidation and serial fallback but may never perturb
+//! output — the faulted runs must stay bitwise-identical to the clean
+//! serial reference.
+//!
+//! Repro: every assertion carries its (matrix, workers) coordinates, and
+//! the perturbed grid uses the reproducible plan printed by
+//! `TicketFaults::seeded(42).with_delay(60, 12).with_stall(16, 40)
+//! .with_drop(40).with_stale(40).with_panic(15)`.
+
+use mille_feuille::collection as gen;
+use mille_feuille::collection::ValueClass;
+use mille_feuille::gpu::TicketFaults;
+use mille_feuille::kernels::{ilu0_boosted, Ic0, Ilu0};
+use mille_feuille::precision::ClassifyOptions;
+use mille_feuille::solver::ticketed::{
+    build_tiled_ticketed, ic0_boosted_ticketed, ilu0_boosted_ticketed, preprocess_fused_ticketed,
+    preprocess_tiled_ilu0_ticketed, FactorKind, TicketedOptions,
+};
+use mille_feuille::sparse::{Coo, Csr, TiledMatrix};
+use mille_feuille::trace::{EventKind, TraceConfig};
+
+/// The worker grid the issue pins: serial reference, even split, more
+/// workers than cores, and a prime count that misaligns every stride.
+const WORKERS: [usize; 4] = [1, 2, 4, 7];
+
+const TILE: usize = 16;
+
+/// The seeded perturbation applied to every grid cell in the faulted
+/// pass: claim delays, periodic stalls, dropped results (committer
+/// recomputes), stale snapshots (revalidation rejects) and planted
+/// panics (serial fallback path).
+fn faults() -> TicketFaults {
+    TicketFaults::seeded(42)
+        .with_delay(60, 12)
+        .with_stall(16, 40)
+        .with_drop(40)
+        .with_stale(40)
+        .with_panic(15)
+}
+
+fn opts(workers: usize, faulted: bool) -> TicketedOptions<'static> {
+    // The plan is Copy-free; leak one per call so the borrow is 'static
+    // (test-only convenience, a handful of allocations per process).
+    let faults: Option<&'static TicketFaults> = if faulted {
+        Some(Box::leak(Box::new(faults())))
+    } else {
+        None
+    };
+    TicketedOptions {
+        workers,
+        faults,
+        trace: TraceConfig::default(),
+    }
+}
+
+/// Bitwise view of a float vector (plain `==` would conflate 0.0/-0.0
+/// and choke on NaN).
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn matrices() -> Vec<(&'static str, Csr)> {
+    vec![
+        ("poisson2d_20", gen::poisson2d(20, 20)),
+        (
+            "banded_spd_150",
+            gen::banded_spd(150, 4, ValueClass::Real, 7),
+        ),
+        (
+            "random_spd_96",
+            gen::random_spd(96, 5, ValueClass::WideModerate, 11),
+        ),
+        ("mass_90", gen::mass_matrix(90, ValueClass::Dyadic, 3)),
+    ]
+}
+
+/// A matrix whose first row is an isolated hard-zero pivot: ILU(0) and
+/// IC(0) both break down at row 0 and succeed only through the boost
+/// schedule (the shifted diagonal repairs the decoupled row without
+/// touching the SPD tail).
+fn breakdown_matrix() -> Csr {
+    let mut a = Coo::new(32, 32);
+    a.push(0, 0, 0.0);
+    for i in 1..32 {
+        a.push(i, i, 3.0 + i as f64 * 0.125);
+        if i > 1 {
+            a.push(i, i - 1, -1.0);
+            a.push(i - 1, i, -1.0);
+        }
+    }
+    a.to_csr()
+}
+
+fn assert_tiled_eq(got: &TiledMatrix, want: &TiledMatrix, ctx: &str) {
+    assert_eq!(got.tile_prec, want.tile_prec, "tile_prec diverged: {ctx}");
+    assert_eq!(got.tile_rowidx, want.tile_rowidx, "tile_rowidx: {ctx}");
+    assert_eq!(got.tile_colidx, want.tile_colidx, "tile_colidx: {ctx}");
+    assert_eq!(got.tile_nnz, want.tile_nnz, "tile_nnz: {ctx}");
+    assert_eq!(got.csr_rowptr, want.csr_rowptr, "csr_rowptr: {ctx}");
+    assert_eq!(got.csr_colidx, want.csr_colidx, "csr_colidx: {ctx}");
+    assert_eq!(got.row_index, want.row_index, "row_index: {ctx}");
+    assert_eq!(got.vals_raw(), want.vals_raw(), "packed values: {ctx}");
+    assert_eq!(got.val_offsets, want.val_offsets, "val_offsets: {ctx}");
+}
+
+fn assert_ilu_eq(got: &Ilu0, want: &Ilu0, ctx: &str) {
+    assert_eq!(got.l.rowptr, want.l.rowptr, "L pattern: {ctx}");
+    assert_eq!(got.l.colidx, want.l.colidx, "L pattern: {ctx}");
+    assert_eq!(bits(&got.l.vals), bits(&want.l.vals), "L values: {ctx}");
+    assert_eq!(got.u.rowptr, want.u.rowptr, "U pattern: {ctx}");
+    assert_eq!(got.u.colidx, want.u.colidx, "U pattern: {ctx}");
+    assert_eq!(bits(&got.u.vals), bits(&want.u.vals), "U values: {ctx}");
+}
+
+fn assert_ic_eq(got: &Ic0, want: &Ic0, ctx: &str) {
+    assert_eq!(got.l.rowptr, want.l.rowptr, "IC L pattern: {ctx}");
+    assert_eq!(got.l.colidx, want.l.colidx, "IC L pattern: {ctx}");
+    assert_eq!(bits(&got.l.vals), bits(&want.l.vals), "IC L values: {ctx}");
+    assert_eq!(
+        bits(&got.lt.vals),
+        bits(&want.lt.vals),
+        "IC Lᵀ values: {ctx}"
+    );
+}
+
+#[test]
+fn classification_matches_phase_barrier_across_worker_grid() {
+    let copts = ClassifyOptions::default();
+    for (name, a) in matrices() {
+        let reference = TiledMatrix::from_csr_par(&a, TILE, &copts);
+        for faulted in [false, true] {
+            for w in WORKERS {
+                let ctx = format!("matrix={name} workers={w} faults={faulted} ({})", faults());
+                let (tiled, _) = build_tiled_ticketed(&a, TILE, &copts, &opts(w, faulted));
+                assert_tiled_eq(&tiled, &reference, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn ilu0_matches_serial_across_worker_grid() {
+    for (name, a) in matrices() {
+        let (serial, serial_shifts) = ilu0_boosted(&a).expect("reference ILU(0)");
+        for faulted in [false, true] {
+            for w in WORKERS {
+                let ctx = format!("matrix={name} workers={w} faults={faulted} ({})", faults());
+                let (fac, _) = ilu0_boosted_ticketed(&a, &opts(w, faulted));
+                let (f, shifts) = fac.expect("ticketed ILU(0)");
+                assert_eq!(bits(&shifts), bits(&serial_shifts), "shifts: {ctx}");
+                assert_ilu_eq(&f, &serial, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn ic0_matches_serial_across_worker_grid() {
+    for (name, a) in matrices() {
+        let (serial, serial_shifts) = Ic0::new_boosted(&a).expect("reference IC(0)");
+        for faulted in [false, true] {
+            for w in WORKERS {
+                let ctx = format!("matrix={name} workers={w} faults={faulted} ({})", faults());
+                let (fac, _) = ic0_boosted_ticketed(&a, &opts(w, faulted));
+                let (f, shifts) = fac.expect("ticketed IC(0)");
+                assert_eq!(bits(&shifts), bits(&serial_shifts), "shifts: {ctx}");
+                assert_ic_eq(&f, &serial, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn boosted_fallback_matches_serial_shift_schedule() {
+    let a = breakdown_matrix();
+    let (ilu_ref, ilu_shifts) = ilu0_boosted(&a).expect("boosted ILU(0) reference");
+    assert!(!ilu_shifts.is_empty(), "matrix must force the boost path");
+    let (ic_ref, ic_shifts) = Ic0::new_boosted(&a).expect("boosted IC(0) reference");
+    assert!(!ic_shifts.is_empty());
+    for faulted in [false, true] {
+        for w in WORKERS {
+            let ctx = format!("breakdown workers={w} faults={faulted} ({})", faults());
+            let (fac, _) = ilu0_boosted_ticketed(&a, &opts(w, faulted));
+            let (f, shifts) = fac.expect("ticketed boosted ILU(0)");
+            assert_eq!(bits(&shifts), bits(&ilu_shifts), "ILU shifts: {ctx}");
+            assert_ilu_eq(&f, &ilu_ref, &ctx);
+
+            let (fac, _) = ic0_boosted_ticketed(&a, &opts(w, faulted));
+            let (f, shifts) = fac.expect("ticketed boosted IC(0)");
+            assert_eq!(bits(&shifts), bits(&ic_shifts), "IC shifts: {ctx}");
+            assert_ic_eq(&f, &ic_ref, &ctx);
+        }
+    }
+}
+
+#[test]
+fn fused_stream_matches_both_phase_barrier_references() {
+    let copts = ClassifyOptions::default();
+    for (name, a) in [matrices().remove(0), ("breakdown", breakdown_matrix())] {
+        let tiled_ref = TiledMatrix::from_csr_par(&a, TILE, &copts);
+        let factor_ref = ilu0_boosted(&a);
+        for faulted in [false, true] {
+            for w in WORKERS {
+                let ctx = format!("matrix={name} workers={w} faults={faulted} ({})", faults());
+                let (tiled, factors, _) =
+                    preprocess_tiled_ilu0_ticketed(&a, TILE, &copts, &opts(w, faulted));
+                assert_tiled_eq(&tiled, &tiled_ref, &ctx);
+                match (&factors, &factor_ref) {
+                    (Ok((f, shifts)), Ok((rf, rshifts))) => {
+                        assert_eq!(bits(shifts), bits(rshifts), "fused shifts: {ctx}");
+                        assert_ilu_eq(f, rf, &ctx);
+                    }
+                    (Err(e), Err(re)) => assert_eq!(e, re, "fused error: {ctx}"),
+                    _ => panic!("fused factor outcome diverged: {ctx}"),
+                }
+            }
+        }
+    }
+}
+
+/// The `Ticket` event stream is schedule-dependent in its worker/fallback
+/// payload but canonical serialization zeroes exactly that — so the
+/// canonical trace must be byte-identical across every worker count and
+/// fault plan, and carry one event per committed unit in commit order.
+#[test]
+fn canonical_trace_is_worker_count_and_fault_invariant() {
+    let a = gen::poisson2d(16, 16);
+    let copts = ClassifyOptions::default();
+    let mut canon: Option<String> = None;
+    for faulted in [false, true] {
+        for w in WORKERS {
+            let topts = TicketedOptions {
+                trace: TraceConfig::with_capacity(8192),
+                ..opts(w, faulted)
+            };
+            let (tiled, factors, outcome) =
+                preprocess_fused_ticketed(&a, TILE, &copts, FactorKind::Ilu0, &topts);
+            assert!(factors.is_ok());
+            let trace = outcome.trace.expect("trace enabled");
+            let tickets = trace
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::Ticket)
+                .count();
+            assert_eq!(
+                tickets,
+                tiled.tile_count() + a.nrows,
+                "one Ticket event per committed unit (workers={w} faults={faulted})"
+            );
+            let jsonl = trace.canonical_jsonl();
+            match &canon {
+                None => canon = Some(jsonl),
+                Some(reference) => assert_eq!(
+                    &jsonl,
+                    reference,
+                    "canonical trace diverged at workers={w} faults={faulted} ({})",
+                    faults()
+                ),
+            }
+        }
+    }
+}
